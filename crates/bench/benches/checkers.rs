@@ -1,0 +1,69 @@
+//! Per-checker benchmarks: the cost of each of the nine anti-pattern
+//! detectors over the same fixture functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use refminer::checkers::{default_checkers, CheckCtx};
+use refminer::cparse::parse_str;
+use refminer::cpg::FunctionGraph;
+use refminer::rcapi::ApiKb;
+use refminer_bench::fixture_tree;
+
+fn bench_each_checker(c: &mut Criterion) {
+    let tree = fixture_tree();
+    // Parse a handful of representative files.
+    let tus: Vec<_> = tree
+        .files
+        .iter()
+        .filter(|f| f.path.ends_with(".c"))
+        .take(12)
+        .map(|f| parse_str(&f.path, &f.content))
+        .collect();
+    let graphs: Vec<Vec<FunctionGraph>> = tus.iter().map(FunctionGraph::build_all).collect();
+    let kb = ApiKb::builtin();
+
+    let mut g = c.benchmark_group("checker");
+    for checker in default_checkers() {
+        g.bench_function(checker.pattern().id(), |b| {
+            b.iter(|| {
+                let mut findings = 0usize;
+                for (tu, gs) in tus.iter().zip(&graphs) {
+                    for graph in gs {
+                        let ctx = CheckCtx {
+                            file: &tu.path,
+                            graph,
+                            kb: &kb,
+                            unit: tu,
+                            all_graphs: gs,
+                            helpers: Default::default(),
+                        };
+                        findings += checker.check(&ctx).len();
+                    }
+                }
+                findings
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let tree = fixture_tree();
+    let tus: Vec<_> = tree
+        .files
+        .iter()
+        .filter(|f| f.path.ends_with(".c"))
+        .take(12)
+        .map(|f| parse_str(&f.path, &f.content))
+        .collect();
+    c.bench_function("checker/graph_construction_12_files", |b| {
+        b.iter(|| {
+            tus.iter()
+                .map(|tu| FunctionGraph::build_all(tu).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_each_checker, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! One benchmark per paper table/figure: the cost of regenerating each
+//! artifact from its substrate (scaled-down substrates keep wall time
+//! sane; the computation per element is the real thing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use refminer::corpus::{generate_history, generate_tree, HistoryConfig, TreeConfig};
+use refminer::cparse::parse_str;
+use refminer::cpg::FunctionGraph;
+use refminer::dataset::{
+    classify_history, growth_by_year, triage, DistributionStats, ImpactStats, LifetimeStats,
+};
+use refminer::rcapi::ApiKb;
+use refminer::template::{parse_template, TemplateMatcher};
+use refminer::w2v::{W2vConfig, Word2Vec};
+use refminer::{audit, AuditConfig, Project};
+
+fn small_history() -> refminer::corpus::History {
+    generate_history(&HistoryConfig {
+        n_bugs: 150,
+        n_noise: 100,
+        n_reverts: 4,
+        n_neutral: 500,
+        ..Default::default()
+    })
+}
+
+/// Figure 1: mining + growth histogram.
+fn bench_fig1(c: &mut Criterion) {
+    let h = small_history();
+    let kb = ApiKb::builtin();
+    c.bench_function("fig1/growth_trend", |b| {
+        b.iter(|| {
+            let bugs = classify_history(&h.commits, &kb);
+            growth_by_year(&bugs).len()
+        })
+    });
+}
+
+/// Figure 2: distribution + density.
+fn bench_fig2(c: &mut Criterion) {
+    let h = small_history();
+    let kb = ApiKb::builtin();
+    let bugs = classify_history(&h.commits, &kb);
+    c.bench_function("fig2/distribution", |b| {
+        b.iter(|| DistributionStats::compute(&bugs).counts.len())
+    });
+}
+
+/// Figure 3: lifetime statistics.
+fn bench_fig3(c: &mut Criterion) {
+    let h = small_history();
+    let kb = ApiKb::builtin();
+    let bugs = classify_history(&h.commits, &kb);
+    c.bench_function("fig3/lifetimes", |b| {
+        b.iter(|| LifetimeStats::compute(&bugs).tagged)
+    });
+}
+
+/// Table 1: template parsing + matching against the listings.
+fn bench_table1(c: &mut Criterion) {
+    let kb = ApiKb::builtin();
+    let tu = parse_str(
+        "l2.c",
+        "static int setup(struct usb_serial *serial) { usb_serial_put(serial); mutex_unlock(&serial->disc_mutex); return 0; }",
+    );
+    let g = FunctionGraph::build(tu.functions().next().unwrap());
+    c.bench_function("table1/template_match", |b| {
+        b.iter(|| {
+            let t = parse_template("F_start -> S_P(p0) -> S_{U.D}(p0) -> F_end").unwrap();
+            TemplateMatcher::new(&kb).find(&t, &g).len()
+        })
+    });
+}
+
+/// Table 2: taxonomy statistics.
+fn bench_table2(c: &mut Criterion) {
+    let h = small_history();
+    let kb = ApiKb::builtin();
+    let bugs = classify_history(&h.commits, &kb);
+    c.bench_function("table2/impact_stats", |b| {
+        b.iter(|| ImpactStats::compute(&bugs).total)
+    });
+}
+
+/// Table 3: CBOW training on a small corpus.
+fn bench_table3(c: &mut Criterion) {
+    let h = small_history();
+    let corpus: String = h
+        .commits
+        .iter()
+        .map(|c| c.message.replace('\n', " "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let cfg = W2vConfig {
+        dim: 32,
+        epochs: 2,
+        min_count: 2,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("w2v_train", |b| {
+        b.iter(|| Word2Vec::train_text(&corpus, &cfg).vocab().len())
+    });
+    g.finish();
+}
+
+/// Tables 4 & 5: the checker audit + triage.
+fn bench_table4_5(c: &mut Criterion) {
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    let mut g = c.benchmark_group("table4_5");
+    g.sample_size(20);
+    g.bench_function("audit_and_triage", |b| {
+        b.iter(|| {
+            let report = audit(&project, &AuditConfig::default());
+            triage(&report.findings, &tree.manifest).totals().bugs
+        })
+    });
+    g.finish();
+}
+
+/// Table 6: API discovery over the tree.
+fn bench_table6(c: &mut Criterion) {
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.1,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    c.bench_function("table6/kb_after_discovery", |b| {
+        b.iter(|| audit(&project, &AuditConfig::default()).kb.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4_5,
+    bench_table6
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Stage-by-stage pipeline benchmarks: lexing, parsing, CPG
+//! construction, discovery, and the end-to-end audit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use refminer::clex::{scan_defines, Lexer};
+use refminer::corpus::{generate_tree, TreeConfig};
+use refminer::cparse::parse_str;
+use refminer::cpg::FunctionGraph;
+use refminer::rcapi::{discover, ApiKb, DiscoverConfig};
+use refminer::{audit, AuditConfig, Project};
+use refminer_bench::fixture_file;
+
+fn bench_lexer(c: &mut Criterion) {
+    let (_, src) = fixture_file();
+    let mut g = c.benchmark_group("lexer");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("tokenize", |b| b.iter(|| Lexer::new(&src).tokenize().len()));
+    g.bench_function("scan_defines", |b| b.iter(|| scan_defines(&src).len()));
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let (path, src) = fixture_file();
+    let mut g = c.benchmark_group("parser");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("parse_file", |b| {
+        b.iter(|| parse_str(&path, &src).items.len())
+    });
+    g.finish();
+}
+
+fn bench_cpg(c: &mut Criterion) {
+    let (path, src) = fixture_file();
+    let tu = parse_str(&path, &src);
+    c.bench_function("cpg/build_all_functions", |b| {
+        b.iter(|| FunctionGraph::build_all(&tu).len())
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.05,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let tus: Vec<_> = tree
+        .files
+        .iter()
+        .map(|f| parse_str(&f.path, &f.content))
+        .collect();
+    let defines: Vec<_> = tree
+        .files
+        .iter()
+        .flat_map(|f| scan_defines(&f.content))
+        .collect();
+    c.bench_function("discovery/apis_and_smartloops", |b| {
+        b.iter(|| {
+            discover(
+                &tus,
+                &defines,
+                &ApiKb::builtin(),
+                &DiscoverConfig::default(),
+            )
+            .apis
+            .len()
+        })
+    });
+}
+
+fn bench_audit_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit_end_to_end");
+    g.sample_size(20);
+    for scale in [0.05f64, 0.1, 0.25] {
+        let tree = generate_tree(&TreeConfig {
+            scale,
+            include_tricky: false,
+            ..Default::default()
+        });
+        let project = Project::from_tree(&tree);
+        g.throughput(Throughput::Elements(tree.manifest.bugs.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("scale_{scale}")),
+            &project,
+            |b, project| b.iter(|| audit(project, &AuditConfig::default()).findings.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lexer,
+    bench_parser,
+    bench_cpg,
+    bench_discovery,
+    bench_audit_scaling
+);
+criterion_main!(benches);

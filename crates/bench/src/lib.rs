@@ -1,0 +1,28 @@
+//! # refminer-bench
+//!
+//! Criterion benchmarks for the refminer pipeline. Fixtures shared by
+//! the bench targets live here.
+
+use refminer::corpus::{generate_tree, SyntheticTree, TreeConfig};
+
+/// A mid-sized fixture tree (~10% of the Table 5 plan) reused across
+/// benches so they measure analysis cost, not generation cost.
+pub fn fixture_tree() -> SyntheticTree {
+    generate_tree(&TreeConfig {
+        scale: 0.1,
+        include_tricky: false,
+        ..Default::default()
+    })
+}
+
+/// A representative single source file from the fixture (a few bugs,
+/// some clean code).
+pub fn fixture_file() -> (String, String) {
+    let tree = fixture_tree();
+    let f = tree
+        .files
+        .iter()
+        .find(|f| f.path.ends_with(".c") && f.content.len() > 800)
+        .expect("fixture has sources");
+    (f.path.clone(), f.content.clone())
+}

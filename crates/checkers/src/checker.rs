@@ -1,0 +1,217 @@
+//! The checker trait, shared helpers, and the all-checkers runner.
+
+use refminer_cparse::TranslationUnit;
+use refminer_cpg::{FunctionGraph, NodeId, StoreTarget};
+use refminer_rcapi::{ApiKb, RcApi};
+
+use crate::ctx::CheckCtx;
+use crate::finding::Finding;
+
+/// A static checker for one anti-pattern.
+pub trait Checker {
+    /// The anti-pattern this checker detects.
+    fn pattern(&self) -> crate::finding::AntiPattern;
+    /// Runs the checker on one function.
+    fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding>;
+}
+
+/// The default checker set: one per anti-pattern, P1 through P9.
+pub fn default_checkers() -> Vec<Box<dyn Checker>> {
+    vec![
+        Box::new(crate::deviation::ReturnErrorChecker),
+        Box::new(crate::deviation::ReturnNullChecker),
+        Box::new(crate::hidden::SmartLoopBreakChecker),
+        Box::new(crate::hidden::HiddenApiChecker),
+        Box::new(crate::location::ErrorPathChecker),
+        Box::new(crate::location::InterUnpairedChecker),
+        Box::new(crate::location::DirectFreeChecker),
+        Box::new(crate::risk::UadChecker),
+        Box::new(crate::risk::EscapeChecker),
+    ]
+}
+
+/// Runs every checker over every function of a translation unit.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_cparse::parse_str;
+/// use refminer_rcapi::ApiKb;
+/// use refminer_checkers::check_unit;
+///
+/// let tu = parse_str("drivers/nvmem/core.c", r#"
+/// int probe(struct bus_type *bus, void *np)
+/// {
+///         struct device *dev = bus_find_device(bus, NULL, np, match_fn);
+///         if (!dev)
+///                 return -EPROBE_DEFER;
+///         return 0;
+/// }
+/// "#);
+/// let findings = check_unit(&tu, &ApiKb::builtin());
+/// assert!(!findings.is_empty());
+/// ```
+pub fn check_unit(unit: &TranslationUnit, kb: &ApiKb) -> Vec<Finding> {
+    let graphs = FunctionGraph::build_all(unit);
+    check_unit_with_graphs(unit, kb, &graphs)
+}
+
+/// Like [`check_unit`], reusing pre-built graphs.
+pub fn check_unit_with_graphs(
+    unit: &TranslationUnit,
+    kb: &ApiKb,
+    graphs: &[FunctionGraph],
+) -> Vec<Finding> {
+    check_unit_with_checkers(unit, kb, graphs, &default_checkers())
+}
+
+/// Runs an explicit checker subset (ablation studies, custom configs).
+pub fn check_unit_with_checkers(
+    unit: &TranslationUnit,
+    kb: &ApiKb,
+    graphs: &[FunctionGraph],
+    checkers: &[Box<dyn Checker>],
+) -> Vec<Finding> {
+    let helpers = crate::summaries::HelperSummaries::compute(graphs, kb);
+    let mut out = Vec::new();
+    for graph in graphs {
+        let ctx = CheckCtx {
+            file: &unit.path,
+            graph,
+            kb,
+            unit,
+            all_graphs: graphs,
+            helpers: helpers.clone(),
+        };
+        for checker in checkers {
+            out.extend(checker.check(&ctx));
+        }
+    }
+    dedup_findings(&mut out);
+    out
+}
+
+/// Removes duplicate findings (same pattern, function, line, api).
+pub fn dedup_findings(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pattern, a.api.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.pattern,
+            b.api.as_str(),
+        ))
+    });
+    findings.dedup_by(|a, b| {
+        a.pattern == b.pattern && a.file == b.file && a.line == b.line && a.api == b.api
+    });
+}
+
+/// An increment-API call site: the node, the API, and the variable the
+/// acquired reference landed in (if any).
+pub(crate) struct IncSite<'a> {
+    pub node: NodeId,
+    pub api: &'a RcApi,
+    /// The object variable holding the new reference. `None` when the
+    /// returned reference was discarded.
+    pub object: Option<String>,
+}
+
+/// Finds every increment-API call site in a function, with the object
+/// variable the reference flows into.
+pub(crate) fn inc_sites<'a>(ctx: &'a CheckCtx<'_>) -> Vec<IncSite<'a>> {
+    let mut out = Vec::new();
+    for n in ctx.graph.cfg.node_ids() {
+        let facts = &ctx.graph.facts[n];
+        for call in &facts.calls {
+            let Some(api) = ctx.kb.get(&call.name) else {
+                continue;
+            };
+            if api.dir != refminer_rcapi::RcDir::Inc {
+                continue;
+            }
+            let object = if api.returns_object() {
+                facts
+                    .assigns
+                    .iter()
+                    .find(|a| a.rhs_call.as_deref() == Some(api.name.as_str()))
+                    .and_then(|a| match &a.target {
+                        StoreTarget::Var(v) => Some(v.clone()),
+                        _ => None,
+                    })
+            } else {
+                api.object_arg()
+                    .and_then(|i| call.arg_root(i))
+                    .map(str::to_string)
+            };
+            out.push(IncSite {
+                node: n,
+                api,
+                object,
+            });
+        }
+    }
+    out
+}
+
+/// Whether any node in the function pairs the increment `api` on `obj`.
+pub(crate) fn has_any_paired_dec(ctx: &CheckCtx<'_>, api: &RcApi, obj: &str) -> bool {
+    ctx.graph
+        .cfg
+        .node_ids()
+        .any(|n| ctx.is_paired_dec(n, api, obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_cparse::parse_str;
+
+    #[test]
+    fn inc_sites_extraction() {
+        let tu = parse_str(
+            "t.c",
+            r#"
+int f(struct device *dev)
+{
+        struct device_node *np = of_find_node_by_path("/soc");
+        pm_runtime_get_sync(dev);
+        of_find_node_by_path("/discarded");
+        return 0;
+}
+"#,
+        );
+        let graphs = FunctionGraph::build_all(&tu);
+        let kb = ApiKb::builtin();
+        let ctx = CheckCtx {
+            file: "t.c",
+            graph: &graphs[0],
+            kb: &kb,
+            unit: &tu,
+            all_graphs: &graphs,
+            helpers: Default::default(),
+        };
+        let sites = inc_sites(&ctx);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].object.as_deref(), Some("np"));
+        assert_eq!(sites[1].object.as_deref(), Some("dev"));
+        assert_eq!(sites[2].object, None);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        use crate::finding::{AntiPattern, Impact};
+        let f = Finding {
+            pattern: AntiPattern::P4,
+            impact: Impact::Leak,
+            file: "a.c".into(),
+            function: "f".into(),
+            line: 3,
+            api: "x".into(),
+            object: None,
+            message: String::new(),
+        };
+        let mut v = vec![f.clone(), f.clone()];
+        dedup_findings(&mut v);
+        assert_eq!(v.len(), 1);
+    }
+}

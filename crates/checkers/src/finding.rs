@@ -1,0 +1,181 @@
+//! Findings: what a checker reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's nine anti-patterns (§5.1.3, §5.2.3, §5.3.4, §5.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AntiPattern {
+    /// Return-Error deviation: `G_E` increment followed by an error
+    /// block with no paired decrement.
+    P1,
+    /// Return-NULL deviation: `G_N` increment whose result is
+    /// dereferenced without a NULL check.
+    P2,
+    /// Smartloop break: leaving a macro loop without decrementing the
+    /// iterator.
+    P3,
+    /// Hidden refcounting: a refcounting-embedded (find-like) API whose
+    /// reference is never paired in the function.
+    P4,
+    /// Error-handling path missing the decrement that other paths have.
+    P5,
+    /// Inter-unpaired: increment in one half of an indirect-call pair
+    /// (probe/remove, open/release) with no decrement in the other.
+    P6,
+    /// Direct-free: `kfree` on a refcounted object instead of the
+    /// decrement API.
+    P7,
+    /// Use-after-decrease (UAD): object accessed after its decrement.
+    P8,
+    /// Reference escape: borrowed reference stored into a global or out
+    /// parameter without an increment around the escape point.
+    P9,
+}
+
+impl AntiPattern {
+    /// All nine, in order.
+    pub fn all() -> [AntiPattern; 9] {
+        use AntiPattern::*;
+        [P1, P2, P3, P4, P5, P6, P7, P8, P9]
+    }
+
+    /// Short identifier (`"P1"`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            AntiPattern::P1 => "P1",
+            AntiPattern::P2 => "P2",
+            AntiPattern::P3 => "P3",
+            AntiPattern::P4 => "P4",
+            AntiPattern::P5 => "P5",
+            AntiPattern::P6 => "P6",
+            AntiPattern::P7 => "P7",
+            AntiPattern::P8 => "P8",
+            AntiPattern::P9 => "P9",
+        }
+    }
+
+    /// The semantic-template text of the anti-pattern (§5).
+    pub fn template_text(&self) -> &'static str {
+        match self {
+            AntiPattern::P1 => "F_start -> S_{G_E} -> B_error -> F_end",
+            AntiPattern::P2 => "F_start -> S_{G_N} -> S_{D_N} -> F_end",
+            AntiPattern::P3 => "F_start -> M_SL -> S_break -> F_end",
+            AntiPattern::P4 => "F_start -> S_{G_H} -> F_end",
+            AntiPattern::P5 => "F_start -> S_G -> B_error -> F_end",
+            AntiPattern::P6 => "F_interpaired -> S_G -> F_end",
+            AntiPattern::P7 => "F_start -> S_G -> S_{free} -> F_end",
+            AntiPattern::P8 => "F_start -> S_P(p0) -> S_D(p0) -> F_end",
+            AntiPattern::P9 => "F_start -> S_{A_GO} -> F_end",
+        }
+    }
+
+    /// The root-cause family the pattern belongs to (§5 headings).
+    pub fn root_cause(&self) -> &'static str {
+        match self {
+            AntiPattern::P1 | AntiPattern::P2 => "implementation deviation",
+            AntiPattern::P3 | AntiPattern::P4 => "hidden refcounting",
+            AntiPattern::P5 | AntiPattern::P6 | AntiPattern::P7 => "overlooked location",
+            AntiPattern::P8 | AntiPattern::P9 => "future risk",
+        }
+    }
+}
+
+impl fmt::Display for AntiPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// The security impact a finding can lead to (Table 4's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Impact {
+    /// Memory leak (CWE-401).
+    Leak,
+    /// Use-after-free (CWE-416).
+    Uaf,
+    /// NULL-pointer dereference.
+    Npd,
+}
+
+impl fmt::Display for Impact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Impact::Leak => "Leak",
+            Impact::Uaf => "UAF",
+            Impact::Npd => "NPD",
+        })
+    }
+}
+
+/// One detected anti-pattern instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which anti-pattern matched.
+    pub pattern: AntiPattern,
+    /// The projected security impact.
+    pub impact: Impact,
+    /// Source file (repo-relative).
+    pub file: String,
+    /// Containing function.
+    pub function: String,
+    /// 1-based line of the key statement.
+    pub line: u32,
+    /// The bug-caused API (Table 5's "Bug-Caused API" column).
+    pub api: String,
+    /// The refcounted object variable, when identified.
+    pub object: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {} in {}(): {}",
+            self.file, self.line, self.pattern, self.impact, self.api, self.function, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_families() {
+        assert_eq!(AntiPattern::P1.id(), "P1");
+        assert_eq!(AntiPattern::all().len(), 9);
+        assert_eq!(AntiPattern::P3.root_cause(), "hidden refcounting");
+        assert_eq!(AntiPattern::P8.root_cause(), "future risk");
+    }
+
+    #[test]
+    fn templates_parse() {
+        for p in AntiPattern::all() {
+            assert!(
+                refminer_template::parse_template(p.template_text()).is_ok(),
+                "template for {p} must parse"
+            );
+        }
+    }
+
+    #[test]
+    fn finding_display() {
+        let f = Finding {
+            pattern: AntiPattern::P4,
+            impact: Impact::Leak,
+            file: "drivers/soc/foo.c".into(),
+            function: "foo_probe".into(),
+            line: 42,
+            api: "of_find_node_by_name".into(),
+            object: Some("np".into()),
+            message: "reference never released".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("drivers/soc/foo.c:42"));
+        assert!(s.contains("[P4/Leak]"));
+        assert!(s.contains("foo_probe"));
+    }
+}

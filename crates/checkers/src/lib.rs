@@ -1,0 +1,41 @@
+//! # refminer-checkers
+//!
+//! The nine anti-pattern static checkers of the SOSP '23 refcounting
+//! study (§5–§6), implemented as path queries over `refminer-cpg`
+//! function graphs with `refminer-rcapi` giving call names their
+//! refcounting meaning:
+//!
+//! | Checker | Anti-pattern | Root cause | Impact |
+//! |---------|--------------|------------|--------|
+//! | [`ReturnErrorChecker`]   | P1 | implementation deviation | leak |
+//! | [`ReturnNullChecker`]    | P2 | implementation deviation | NPD |
+//! | [`SmartLoopBreakChecker`]| P3 | hidden refcounting | leak |
+//! | [`HiddenApiChecker`]     | P4 | hidden refcounting | leak / UAF |
+//! | [`ErrorPathChecker`]     | P5 | overlooked location | leak |
+//! | [`InterUnpairedChecker`] | P6 | overlooked location | leak |
+//! | [`DirectFreeChecker`]    | P7 | overlooked location | leak |
+//! | [`UadChecker`]           | P8 | future risk | UAF |
+//! | [`EscapeChecker`]        | P9 | future risk | UAF |
+//!
+//! Use [`check_unit`] to run the full set over one parsed file.
+
+mod checker;
+mod ctx;
+mod deviation;
+mod finding;
+mod hidden;
+mod location;
+mod risk;
+mod summaries;
+
+pub use checker::{
+    check_unit, check_unit_with_checkers, check_unit_with_graphs, dedup_findings, default_checkers,
+    Checker,
+};
+pub use ctx::CheckCtx;
+pub use deviation::{ReturnErrorChecker, ReturnNullChecker};
+pub use finding::{AntiPattern, Finding, Impact};
+pub use hidden::{HiddenApiChecker, SmartLoopBreakChecker};
+pub use location::{DirectFreeChecker, ErrorPathChecker, InterUnpairedChecker};
+pub use risk::{EscapeChecker, UadChecker};
+pub use summaries::{FnSummary, HelperSummaries};

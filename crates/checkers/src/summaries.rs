@@ -1,0 +1,211 @@
+//! Lightweight intra-unit function summaries.
+//!
+//! The paper's checkers are intra-procedural, and its five false
+//! positives all came from semantics hidden behind a call (§6.4). For
+//! helpers defined *in the same translation unit* we can do better
+//! without real inter-procedural analysis: summarize, per function,
+//! which pointer parameters it releases or acquires, and let the
+//! pairing predicate accept `foo_cleanup(np)` when `foo_cleanup`'s
+//! summary says "releases parameter 0".
+
+use std::collections::HashMap;
+
+use refminer_cpg::FunctionGraph;
+use refminer_rcapi::{ApiKb, RcDir};
+
+/// Per-function effect summary: which parameter indices the function
+/// (transitively, within the unit) releases or acquires.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Parameter indices whose refcount the function may decrement.
+    pub releases: Vec<usize>,
+    /// Parameter indices whose refcount the function may increment.
+    pub acquires: Vec<usize>,
+}
+
+/// Summaries of every function in a translation unit, keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct HelperSummaries {
+    map: HashMap<String, FnSummary>,
+}
+
+impl HelperSummaries {
+    /// An empty summary set (no helpers known).
+    pub fn empty() -> HelperSummaries {
+        HelperSummaries::default()
+    }
+
+    /// Computes summaries for all functions of a unit, propagating
+    /// through same-unit helper calls to a small fixpoint.
+    pub fn compute(graphs: &[FunctionGraph], kb: &ApiKb) -> HelperSummaries {
+        let mut map: HashMap<String, FnSummary> = graphs
+            .iter()
+            .map(|g| (g.name().to_string(), FnSummary::default()))
+            .collect();
+        // A couple of rounds are enough for the helper-of-helper depth
+        // found in practice; a full SCC fixpoint is not worth the
+        // complexity here.
+        for _round in 0..3 {
+            let mut changed = false;
+            for g in graphs {
+                let params: Vec<Option<&str>> =
+                    g.func.params.iter().map(|p| p.name.as_deref()).collect();
+                let mut summary = FnSummary::default();
+                for n in g.cfg.node_ids() {
+                    for call in &g.facts[n].calls {
+                        // Direct refcounting APIs.
+                        if let Some(api) = kb.get(&call.name) {
+                            if let Some(obj_arg) = api.object_arg() {
+                                if let Some(root) = call.arg_root(obj_arg) {
+                                    if let Some(idx) = params.iter().position(|p| *p == Some(root))
+                                    {
+                                        match api.dir {
+                                            RcDir::Dec => push_unique(&mut summary.releases, idx),
+                                            RcDir::Inc => push_unique(&mut summary.acquires, idx),
+                                        }
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        // Same-unit helpers with known summaries.
+                        if let Some(callee) = map.get(&call.name) {
+                            let callee = callee.clone();
+                            for &rel in &callee.releases {
+                                if let Some(root) = call.arg_root(rel) {
+                                    if let Some(idx) = params.iter().position(|p| *p == Some(root))
+                                    {
+                                        push_unique(&mut summary.releases, idx);
+                                    }
+                                }
+                            }
+                            for &acq in &callee.acquires {
+                                if let Some(root) = call.arg_root(acq) {
+                                    if let Some(idx) = params.iter().position(|p| *p == Some(root))
+                                    {
+                                        push_unique(&mut summary.acquires, idx);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let entry = map.get_mut(g.name()).expect("seeded above");
+                if *entry != summary {
+                    *entry = summary;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        HelperSummaries { map }
+    }
+
+    /// The summary for a function name, if it is defined in the unit.
+    pub fn get(&self, name: &str) -> Option<&FnSummary> {
+        self.map.get(name)
+    }
+
+    /// Whether calling `name` with `obj` at argument `arg` releases a
+    /// reference on it.
+    pub fn call_releases(&self, name: &str, arg: usize) -> bool {
+        self.get(name)
+            .map(|s| s.releases.contains(&arg))
+            .unwrap_or(false)
+    }
+}
+
+fn push_unique(v: &mut Vec<usize>, x: usize) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_cparse::parse_str;
+
+    fn summaries(src: &str) -> HelperSummaries {
+        let tu = parse_str("t.c", src);
+        let graphs = FunctionGraph::build_all(&tu);
+        HelperSummaries::compute(&graphs, &ApiKb::builtin())
+    }
+
+    #[test]
+    fn direct_release_summarized() {
+        let s = summaries(
+            r#"
+static void foo_cleanup(struct device_node *np)
+{
+        unmap_regs(np);
+        of_node_put(np);
+}
+"#,
+        );
+        assert_eq!(s.get("foo_cleanup").unwrap().releases, vec![0]);
+        assert!(s.call_releases("foo_cleanup", 0));
+        assert!(!s.call_releases("foo_cleanup", 1));
+    }
+
+    #[test]
+    fn transitive_release_through_helper() {
+        let s = summaries(
+            r#"
+static void inner(struct device_node *n)
+{
+        of_node_put(n);
+}
+static void outer(struct device_node *node)
+{
+        log_node(node);
+        inner(node);
+}
+"#,
+        );
+        assert!(s.call_releases("outer", 0));
+    }
+
+    #[test]
+    fn acquire_summarized() {
+        let s = summaries(
+            r#"
+static void pin_node(struct device_node *np)
+{
+        of_node_get(np);
+}
+"#,
+        );
+        assert_eq!(s.get("pin_node").unwrap().acquires, vec![0]);
+    }
+
+    #[test]
+    fn unrelated_helper_has_empty_summary() {
+        let s = summaries(
+            r#"
+static int helper(struct device_node *np)
+{
+        return np != NULL;
+}
+"#,
+        );
+        assert_eq!(s.get("helper").unwrap(), &FnSummary::default());
+        assert!(!s.call_releases("helper", 0));
+    }
+
+    #[test]
+    fn second_parameter_tracked() {
+        let s = summaries(
+            r#"
+static void detach(struct priv *p, struct device_node *np)
+{
+        p->ready = 0;
+        of_node_put(np);
+}
+"#,
+        );
+        assert_eq!(s.get("detach").unwrap().releases, vec![1]);
+    }
+}

@@ -1,0 +1,421 @@
+//! Edge-case behaviour of the checkers on kernel idioms the unit tests
+//! do not cover: ERR_PTR guards, switch dispatch, loops, aliasing, and
+//! double acquisitions.
+
+use refminer_checkers::{check_unit, AntiPattern, Finding};
+use refminer_cparse::parse_str;
+use refminer_rcapi::ApiKb;
+
+fn findings(src: &str) -> Vec<Finding> {
+    let tu = parse_str("edge.c", src);
+    check_unit(&tu, &ApiKb::builtin())
+}
+
+#[test]
+fn err_ptr_guard_is_not_a_leaky_error_path() {
+    // `of_parse_phandle` result guarded with IS_ERR; success path puts.
+    let f = findings(
+        r#"
+int probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_parse_phandle(pdev->dev.of_node, "x", 0);
+        if (IS_ERR(np))
+                return PTR_ERR(np);
+        use_node(np);
+        of_node_put(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn err_ptr_guard_does_not_hide_real_leak() {
+    // Success path still leaks even with an IS_ERR guard present.
+    let f = findings(
+        r#"
+int probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_parse_phandle(pdev->dev.of_node, "x", 0);
+        if (IS_ERR(np))
+                return PTR_ERR(np);
+        use_node(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.iter().any(|x| x.pattern == AntiPattern::P4), "got {f:?}");
+}
+
+#[test]
+fn switch_with_put_in_every_case_is_clean() {
+    let f = findings(
+        r#"
+int handle(int mode)
+{
+        struct device_node *np = of_find_node_by_path("/soc");
+        if (!np)
+                return -ENODEV;
+        switch (mode) {
+        case 1:
+                setup_a(np);
+                of_node_put(np);
+                break;
+        default:
+                of_node_put(np);
+                break;
+        }
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn switch_with_leaky_case_is_flagged() {
+    let f = findings(
+        r#"
+int handle(int mode)
+{
+        struct device_node *np = of_find_node_by_path("/soc");
+        if (!np)
+                return -ENODEV;
+        switch (mode) {
+        case 1:
+                setup_a(np);
+                break;
+        default:
+                of_node_put(np);
+                break;
+        }
+        return 0;
+}
+"#,
+    );
+    assert!(!f.is_empty(), "the case-1 path leaks");
+}
+
+#[test]
+fn put_through_alias_is_paired() {
+    let f = findings(
+        r#"
+int probe(void)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        struct device_node *alias;
+        if (!np)
+                return -ENODEV;
+        alias = np;
+        of_node_put(alias);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "alias pairing missed: {f:?}");
+}
+
+#[test]
+fn double_get_needs_double_put() {
+    let f = findings(
+        r#"
+int probe(void)
+{
+        struct device_node *a = of_find_node_by_name(NULL, "a");
+        struct device_node *b = of_find_node_by_name(NULL, "b");
+        if (!a)
+                return -ENODEV;
+        if (!b) {
+                of_node_put(a);
+                return -ENODEV;
+        }
+        of_node_put(a);
+        return 0;
+}
+"#,
+    );
+    // `b` is never released on the success path.
+    assert_eq!(f.len(), 1, "got {f:?}");
+    assert_eq!(f[0].object.as_deref(), Some("b"));
+}
+
+#[test]
+fn put_inside_while_loop_pairs_loop_gets() {
+    let f = findings(
+        r#"
+int walk(struct device_node *start)
+{
+        struct device_node *np = start;
+        while (np) {
+                struct device_node *next = of_get_parent(np);
+                process(np);
+                of_node_put(next);
+                np = next;
+        }
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn goto_chain_reaching_put_is_clean() {
+    let f = findings(
+        r#"
+int probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_path("/soc");
+        int ret;
+        if (!np)
+                return -ENODEV;
+        ret = step_one(np);
+        if (ret)
+                goto err_one;
+        ret = step_two(np);
+        if (ret)
+                goto err_two;
+        of_node_put(np);
+        return 0;
+err_two:
+        undo_one(pdev);
+err_one:
+        of_node_put(np);
+        return ret;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn conditional_acquisition_only_pairs_when_taken() {
+    let f = findings(
+        r#"
+int probe(struct platform_device *pdev, int want)
+{
+        struct device_node *np = NULL;
+        if (want)
+                np = of_find_node_by_path("/soc");
+        if (np)
+                of_node_put(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn uad_in_loop_detected_across_iterations() {
+    // The put happens at the bottom, the deref at the top of the next
+    // iteration — visible only through the back-edge.
+    let f = findings(
+        r#"
+void drain(struct sock *sk)
+{
+        while (more(sk->queue)) {
+                sock_put(sk);
+        }
+}
+"#,
+    );
+    assert!(f.iter().any(|x| x.pattern == AntiPattern::P8), "got {f:?}");
+}
+
+#[test]
+fn pm_runtime_put_sync_variant_pairs() {
+    let f = findings(
+        r#"
+int resume(struct device *dev)
+{
+        int ret = pm_runtime_get_sync(dev);
+        if (ret < 0) {
+                pm_runtime_put_sync(dev);
+                return ret;
+        }
+        pm_runtime_put_autosuspend(dev);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn put_inside_same_unit_helper_is_paired() {
+    // The release happens inside a static helper defined in the same
+    // file; the summaries make the pairing visible.
+    let f = findings(
+        r#"
+static void codec_cleanup(struct device_node *np)
+{
+        unmap_regs(np);
+        of_node_put(np);
+}
+
+int probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "codec");
+        if (!np)
+                return -ENODEV;
+        if (setup_hw(np) < 0) {
+                codec_cleanup(np);
+                return -EIO;
+        }
+        codec_cleanup(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn helper_that_does_not_release_is_no_excuse() {
+    let f = findings(
+        r#"
+static void codec_log(struct device_node *np)
+{
+        pr_info(np->name);
+}
+
+int probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "codec");
+        if (!np)
+                return -ENODEV;
+        codec_log(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.iter().any(|x| x.pattern == AntiPattern::P4), "got {f:?}");
+}
+
+#[test]
+fn transitive_helper_release_is_paired() {
+    let f = findings(
+        r#"
+static void inner_put(struct device_node *n)
+{
+        of_node_put(n);
+}
+static void outer_teardown(struct device_node *node)
+{
+        stop_hw(node);
+        inner_put(node);
+}
+int probe(void)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        outer_teardown(np);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn smartloop_break_with_helper_put_is_clean() {
+    let f = findings(
+        r#"
+static void node_done(struct device_node *dn)
+{
+        of_node_put(dn);
+}
+int scan(struct platform_device *pdev)
+{
+        struct device_node *dn;
+        for_each_matching_node(dn, ids) {
+                if (want(dn)) {
+                        node_done(dn);
+                        break;
+                }
+        }
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn ifdef_wrapped_code_is_analyzed() {
+    let f = findings(
+        r#"
+#ifdef CONFIG_OF
+int probe(void)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        return 0;
+}
+#endif
+"#,
+    );
+    assert_eq!(f.len(), 1, "got {f:?}");
+}
+
+#[test]
+fn null_eq_comparison_guards_p2() {
+    let f = findings(
+        r#"
+static int probe(void)
+{
+        struct mdesc_handle *hp = mdesc_grab();
+        if (hp == NULL)
+                return -ENODEV;
+        process_version(hp->version);
+        mdesc_release(hp);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn do_while_zero_cleanup_macro_idiom() {
+    // `do { ... } while (0)` blocks (expanded macros) are plain code.
+    let f = findings(
+        r#"
+int probe(void)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        do {
+                setup(np);
+                of_node_put(np);
+        } while (0);
+        return 0;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}
+
+#[test]
+fn ternary_condition_checks_do_not_confuse_p4() {
+    let f = findings(
+        r#"
+int probe(int fast)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        int rate;
+        if (!np)
+                return -ENODEV;
+        rate = fast ? read_fast(np) : read_slow(np);
+        of_node_put(np);
+        return rate;
+}
+"#,
+    );
+    assert!(f.is_empty(), "got {f:?}");
+}

@@ -1,0 +1,77 @@
+//! Recoverable lexing errors.
+
+use std::fmt;
+
+/// An error encountered while lexing.
+///
+/// The lexer never aborts on these; it records them and continues, so a
+/// single stray byte in a 20-MLoC tree does not lose a whole file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A byte that cannot begin any token.
+    UnexpectedByte {
+        /// The offending byte.
+        byte: u8,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A `/* ... ` comment missing its closing `*/`.
+    UnterminatedComment {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A string literal missing its closing quote.
+    UnterminatedString {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A character literal missing its closing quote.
+    UnterminatedChar {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedByte { byte, line, col } => {
+                write!(f, "{line}:{col}: unexpected byte 0x{byte:02x}")
+            }
+            LexError::UnterminatedComment { line, col } => {
+                write!(f, "{line}:{col}: unterminated block comment")
+            }
+            LexError::UnterminatedString { line, col } => {
+                write!(f, "{line}:{col}: unterminated string literal")
+            }
+            LexError::UnterminatedChar { line, col } => {
+                write!(f, "{line}:{col}: unterminated character literal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LexError::UnexpectedByte {
+            byte: b'@',
+            line: 3,
+            col: 7,
+        };
+        assert_eq!(e.to_string(), "3:7: unexpected byte 0x40");
+    }
+}

@@ -1,0 +1,204 @@
+//! The C keyword table, extended with a handful of kernel ubiquities.
+
+/// Reserved words recognized by the lexer.
+///
+/// Besides ISO C keywords this includes a few words that appear so often
+/// in kernel sources that treating them as plain identifiers would burden
+/// every downstream consumer (`inline`, `__inline__`, `typeof`, ...).
+/// GCC attribute spellings are deliberately *not* keywords; the parser
+/// skips `__attribute__((..))` groups syntactically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Auto,
+    Break,
+    Case,
+    Char,
+    Const,
+    Continue,
+    Default,
+    Do,
+    Double,
+    Else,
+    Enum,
+    Extern,
+    Float,
+    For,
+    Goto,
+    If,
+    Inline,
+    Int,
+    Long,
+    Register,
+    Restrict,
+    Return,
+    Short,
+    Signed,
+    Sizeof,
+    Static,
+    Struct,
+    Switch,
+    Typedef,
+    Typeof,
+    Union,
+    Unsigned,
+    Void,
+    Volatile,
+    While,
+    /// `_Bool` / `bool`.
+    Bool,
+}
+
+impl Keyword {
+    /// Looks up an identifier in the keyword table.
+    ///
+    /// Not the `FromStr` trait: lookup failure is an ordinary outcome
+    /// (the identifier is just not a keyword), not an error.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "auto" => Auto,
+            "break" => Break,
+            "case" => Case,
+            "char" => Char,
+            "const" | "__const" | "__const__" => Const,
+            "continue" => Continue,
+            "default" => Default,
+            "do" => Do,
+            "double" => Double,
+            "else" => Else,
+            "enum" => Enum,
+            "extern" => Extern,
+            "float" => Float,
+            "for" => For,
+            "goto" => Goto,
+            "if" => If,
+            "inline" | "__inline" | "__inline__" | "__always_inline" => Inline,
+            "int" => Int,
+            "long" => Long,
+            "register" => Register,
+            "restrict" | "__restrict" | "__restrict__" => Restrict,
+            "return" => Return,
+            "short" => Short,
+            "signed" | "__signed__" => Signed,
+            "sizeof" => Sizeof,
+            "static" => Static,
+            "struct" => Struct,
+            "switch" => Switch,
+            "typedef" => Typedef,
+            "typeof" | "__typeof__" | "__typeof" => Typeof,
+            "union" => Union,
+            "unsigned" => Unsigned,
+            "void" => Void,
+            "volatile" | "__volatile__" => Volatile,
+            "while" => While,
+            "_Bool" | "bool" => Bool,
+            _ => return None,
+        })
+    }
+
+    /// Whether the keyword can begin a type name.
+    pub fn is_type_start(&self) -> bool {
+        use Keyword::*;
+        matches!(
+            self,
+            Char | Const
+                | Double
+                | Enum
+                | Float
+                | Int
+                | Long
+                | Short
+                | Signed
+                | Struct
+                | Typeof
+                | Union
+                | Unsigned
+                | Void
+                | Volatile
+                | Bool
+        )
+    }
+
+    /// Whether the keyword is a declaration specifier (storage class or
+    /// qualifier) that can precede a type.
+    pub fn is_decl_specifier(&self) -> bool {
+        use Keyword::*;
+        self.is_type_start()
+            || matches!(
+                self,
+                Auto | Extern | Inline | Register | Restrict | Static | Typedef
+            )
+    }
+
+    /// Canonical spelling (the ISO one, not the gcc aliases).
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Auto => "auto",
+            Break => "break",
+            Case => "case",
+            Char => "char",
+            Const => "const",
+            Continue => "continue",
+            Default => "default",
+            Do => "do",
+            Double => "double",
+            Else => "else",
+            Enum => "enum",
+            Extern => "extern",
+            Float => "float",
+            For => "for",
+            Goto => "goto",
+            If => "if",
+            Inline => "inline",
+            Int => "int",
+            Long => "long",
+            Register => "register",
+            Restrict => "restrict",
+            Return => "return",
+            Short => "short",
+            Signed => "signed",
+            Sizeof => "sizeof",
+            Static => "static",
+            Struct => "struct",
+            Switch => "switch",
+            Typedef => "typedef",
+            Typeof => "typeof",
+            Union => "union",
+            Unsigned => "unsigned",
+            Void => "void",
+            Volatile => "volatile",
+            While => "while",
+            Bool => "bool",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_iso_keywords() {
+        assert_eq!(Keyword::from_str("return"), Some(Keyword::Return));
+        assert_eq!(Keyword::from_str("while"), Some(Keyword::While));
+        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn recognizes_gcc_aliases() {
+        assert_eq!(Keyword::from_str("__inline__"), Some(Keyword::Inline));
+        assert_eq!(Keyword::from_str("__typeof__"), Some(Keyword::Typeof));
+        assert_eq!(Keyword::from_str("__const"), Some(Keyword::Const));
+    }
+
+    #[test]
+    fn type_start_classification() {
+        assert!(Keyword::Struct.is_type_start());
+        assert!(Keyword::Unsigned.is_type_start());
+        assert!(!Keyword::Return.is_type_start());
+        assert!(Keyword::Static.is_decl_specifier());
+        assert!(!Keyword::Break.is_decl_specifier());
+    }
+}

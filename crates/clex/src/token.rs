@@ -1,0 +1,349 @@
+//! Token and source-position types produced by the lexer.
+
+use std::fmt;
+
+use crate::keywords::Keyword;
+
+/// A half-open byte range into the original source, with 1-based line and
+/// column of the first byte.
+///
+/// Spans are cheap to copy and order naturally by start offset, which the
+/// downstream graph layers use as a stand-in for execution order (the same
+/// trick the paper uses with line numbers embedded in CPG nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: u32,
+    /// Byte offset one past the last byte of the token.
+    pub end: u32,
+    /// 1-based line number of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Span {
+    /// Returns a span covering both `self` and `other`.
+    ///
+    /// The resulting line/column are taken from whichever span starts
+    /// first.
+    pub fn join(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Punctuators and operators of the C language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `...`
+    Ellipsis,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `&=`
+    AmpAssign,
+    /// `|=`
+    PipeAssign,
+    /// `^=`
+    CaretAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl Punct {
+    /// The exact source text of this punctuator.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Ellipsis => "...",
+            Question => "?",
+            Colon => ":",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Inc => "++",
+            Dec => "--",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Not => "!",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+/// The different kinds of preprocessor directive the lexer recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PpKind {
+    /// `#include`
+    Include,
+    /// `#define`
+    Define,
+    /// `#undef`
+    Undef,
+    /// `#if` / `#ifdef` / `#ifndef`
+    If,
+    /// `#elif` / `#else`
+    Else,
+    /// `#endif`
+    Endif,
+    /// `#pragma`
+    Pragma,
+    /// Any other directive (`#error`, `#line`, ...).
+    Other,
+}
+
+/// The payload of a single token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A reserved word of C (plus a few ubiquitous kernel extensions).
+    Keyword(Keyword),
+    /// An integer literal; the raw text is kept alongside the decoded
+    /// value so error codes like `0x80000000` survive faithfully.
+    IntLit {
+        /// Decoded value (saturating on overflow).
+        value: i64,
+        /// Raw source text, including any base prefix and suffixes.
+        raw: String,
+    },
+    /// A floating-point literal (kept raw; the analyses never need the
+    /// numeric value).
+    FloatLit(String),
+    /// A string literal, *without* the surrounding quotes and with escape
+    /// sequences left as written.
+    StrLit(String),
+    /// A character literal, without the surrounding quotes.
+    CharLit(String),
+    /// A punctuator or operator.
+    Punct(Punct),
+    /// A whole preprocessor directive line (including continuations).
+    ///
+    /// The `raw` field holds the full logical line with the backslash
+    /// continuations spliced out.
+    PpDirective {
+        /// Which directive this is.
+        kind: PpKind,
+        /// The full text of the logical line, `#` included.
+        raw: String,
+    },
+    /// A comment (only produced when [`LexOptions::keep_comments`] is set).
+    ///
+    /// [`LexOptions::keep_comments`]: crate::lexer::LexOptions::keep_comments
+    Comment(String),
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(self, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+/// A single lexed token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where the token came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Convenience accessor for identifier tokens.
+    pub fn ident(&self) -> Option<&str> {
+        self.kind.ident()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_orders_by_start() {
+        let a = Span {
+            start: 10,
+            end: 12,
+            line: 2,
+            col: 1,
+        };
+        let b = Span {
+            start: 4,
+            end: 8,
+            line: 1,
+            col: 5,
+        };
+        let j = a.join(b);
+        assert_eq!(j.start, 4);
+        assert_eq!(j.end, 12);
+        assert_eq!(j.line, 1);
+        assert_eq!(j.col, 5);
+    }
+
+    #[test]
+    fn punct_round_trips_text() {
+        assert_eq!(Punct::Arrow.as_str(), "->");
+        assert_eq!(Punct::ShlAssign.as_str(), "<<=");
+    }
+
+    #[test]
+    fn token_kind_helpers() {
+        let t = TokenKind::Ident("dev".into());
+        assert_eq!(t.ident(), Some("dev"));
+        assert!(TokenKind::Punct(Punct::Semi).is_punct(Punct::Semi));
+        assert!(!TokenKind::Punct(Punct::Semi).is_punct(Punct::Comma));
+    }
+}

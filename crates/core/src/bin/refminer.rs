@@ -1,0 +1,197 @@
+//! The `refminer` command-line tool: audit a C source tree for
+//! refcounting bugs with the nine anti-pattern checkers.
+//!
+//! ```text
+//! refminer [OPTIONS] <PATH>
+//!
+//! OPTIONS:
+//!     --pattern <P1..P9>[,..]  only report these anti-patterns
+//!     --impact <leak|uaf|npd>  only report these impacts
+//!     --json                   emit findings as JSON lines
+//!     --csv                    emit findings as CSV
+//!     --no-discovery           skip API/smartloop discovery
+//!     --stats                  print per-pattern/per-impact summaries
+//!     -h, --help               print this help
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use refminer::checkers::{AntiPattern, Impact};
+use refminer::report::Table;
+use refminer::{audit, AuditConfig, Project};
+
+struct Options {
+    path: PathBuf,
+    patterns: Option<Vec<AntiPattern>>,
+    impacts: Option<Vec<Impact>>,
+    json: bool,
+    csv: bool,
+    discovery: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: refminer [--pattern P4,P8] [--impact leak,uaf,npd] \
+         [--json|--csv] [--no-discovery] [--stats] <PATH>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_pattern(s: &str) -> Option<AntiPattern> {
+    AntiPattern::all()
+        .into_iter()
+        .find(|p| p.id().eq_ignore_ascii_case(s))
+}
+
+fn parse_impact(s: &str) -> Option<Impact> {
+    match s.to_ascii_lowercase().as_str() {
+        "leak" => Some(Impact::Leak),
+        "uaf" => Some(Impact::Uaf),
+        "npd" => Some(Impact::Npd),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        path: PathBuf::new(),
+        patterns: None,
+        impacts: None,
+        json: false,
+        csv: false,
+        discovery: true,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => usage(),
+            "--json" => opts.json = true,
+            "--csv" => opts.csv = true,
+            "--no-discovery" => opts.discovery = false,
+            "--stats" => opts.stats = true,
+            "--pattern" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let parsed: Option<Vec<AntiPattern>> =
+                    value.split(',').map(parse_pattern).collect();
+                match parsed {
+                    Some(v) => opts.patterns = Some(v),
+                    None => {
+                        eprintln!("unknown anti-pattern in `{value}`");
+                        usage();
+                    }
+                }
+            }
+            "--impact" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let parsed: Option<Vec<Impact>> = value.split(',').map(parse_impact).collect();
+                match parsed {
+                    Some(v) => opts.impacts = Some(v),
+                    None => {
+                        eprintln!("unknown impact in `{value}`");
+                        usage();
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            other => {
+                if path.is_some() {
+                    usage();
+                }
+                path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    opts.path = path.unwrap_or_else(|| usage());
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let project = match Project::scan(&opts.path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("refminer: cannot scan {}: {e}", opts.path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if project.units().is_empty() {
+        eprintln!("refminer: no .c/.h files under {}", opts.path.display());
+        return ExitCode::from(2);
+    }
+    let report = audit(
+        &project,
+        &AuditConfig {
+            discover_apis: opts.discovery,
+            ..Default::default()
+        },
+    );
+    let findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            opts.patterns
+                .as_ref()
+                .map(|ps| ps.contains(&f.pattern))
+                .unwrap_or(true)
+                && opts
+                    .impacts
+                    .as_ref()
+                    .map(|is| is.contains(&f.impact))
+                    .unwrap_or(true)
+        })
+        .collect();
+
+    if opts.json {
+        for f in &findings {
+            println!("{}", serde_json::to_string(f).expect("findings serialize"));
+        }
+    } else if opts.csv {
+        let mut t = Table::new(vec![
+            "file", "line", "pattern", "impact", "api", "function", "object",
+        ]);
+        for f in &findings {
+            t.row(vec![
+                f.file.clone(),
+                f.line.to_string(),
+                f.pattern.to_string(),
+                f.impact.to_string(),
+                f.api.clone(),
+                f.function.clone(),
+                f.object.clone().unwrap_or_default(),
+            ]);
+        }
+        print!("{}", t.to_csv());
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    if opts.stats {
+        eprintln!(
+            "\nscanned {} files, {} functions, {} lines; {} finding(s)",
+            report.files,
+            report.functions,
+            report.lines,
+            findings.len()
+        );
+        let mut by_pattern = Table::new(vec!["pattern", "count"]).numeric();
+        for (p, c) in report.by_pattern() {
+            by_pattern.row(vec![p.to_string(), c.to_string()]);
+        }
+        eprint!("{}", by_pattern.render());
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,40 @@
+//! # refminer
+//!
+//! A reproduction of *"One Simple API Can Cause Hundreds of Bugs: An
+//! Analysis of Refcounting Bugs in All Modern Linux Kernels"*
+//! (SOSP '23) as a Rust library: anti-pattern static checkers for
+//! refcounting bugs in C codebases, plus the empirical-study pipeline
+//! (commit mining, taxonomy, statistics, word2vec keyword analysis).
+//!
+//! The facade re-exports the subsystem crates and offers the
+//! end-to-end [`audit`] pipeline:
+//!
+//! ```
+//! use refminer::{audit, AuditConfig, Project};
+//!
+//! let project = Project::from_sources(vec![(
+//!     "drivers/demo/demo.c".to_string(),
+//!     "int f(struct device *d) { int r = pm_runtime_get_sync(d); if (r < 0) return r; pm_runtime_put(d); return 0; }".to_string(),
+//! )]);
+//! let report = audit(&project, &AuditConfig::default());
+//! assert_eq!(report.findings.len(), 1); // the P1 leak
+//! ```
+
+mod audit;
+mod project;
+
+pub use audit::{audit, AuditConfig, AuditReport};
+pub use project::{Project, SourceUnit};
+
+pub use refminer_checkers as checkers;
+pub use refminer_checkers::{AntiPattern, Finding, Impact};
+pub use refminer_clex as clex;
+pub use refminer_corpus as corpus;
+pub use refminer_cparse as cparse;
+pub use refminer_cpg as cpg;
+pub use refminer_dataset as dataset;
+pub use refminer_rcapi as rcapi;
+pub use refminer_rcapi::ApiKb;
+pub use refminer_report as report;
+pub use refminer_template as template;
+pub use refminer_w2v as w2v;

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `refminer` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_demo_tree() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_cli_test_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("drivers/demo")).expect("mkdir");
+    std::fs::write(
+        dir.join("drivers/demo/demo.c"),
+        r#"
+int demo_probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        return 0;
+}
+void demo_drop(struct sock *sk)
+{
+        sock_put(sk);
+        sk->sk_err = 0;
+}
+"#,
+    )
+    .expect("write demo");
+    dir
+}
+
+fn refminer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_refminer"))
+}
+
+#[test]
+fn reports_findings_and_exits_one() {
+    let dir = write_demo_tree();
+    let out = refminer().arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "findings → exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[P4/Leak]"), "stdout: {stdout}");
+    assert!(stdout.contains("[P8/UAF]"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pattern_filter_narrows_output() {
+    let dir = write_demo_tree();
+    let out = refminer()
+        .args(["--pattern", "P8"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P8"));
+    assert!(!stdout.contains("P4"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_output_parses() {
+    let dir = write_demo_tree();
+    let out = refminer().arg("--json").arg(&dir).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut count = 0;
+    for line in stdout.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        assert!(v.get("pattern").is_some());
+        assert!(v.get("file").is_some());
+        count += 1;
+    }
+    assert_eq!(count, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn csv_output_has_header_and_rows() {
+    let dir = write_demo_tree();
+    let out = refminer().arg("--csv").arg(&dir).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "file,line,pattern,impact,api,function,object");
+    assert_eq!(lines.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn impact_filter_and_clean_exit() {
+    let dir = write_demo_tree();
+    // NPD findings do not exist in the demo: exit 0, empty output.
+    let out = refminer()
+        .args(["--impact", "npd"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_path_exits_two() {
+    let out = refminer()
+        .arg("/nonexistent/refminer/path")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}

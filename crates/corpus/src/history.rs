@@ -1,0 +1,751 @@
+//! Simulated kernel commit history (2005–2022).
+//!
+//! This is the stand-in for the ~1M-commit Linux git log the paper
+//! mines (§3.1). The generator plants refcounting-bug *fixing* commits
+//! (plus their introducing commits), keyword-noise candidates that the
+//! second filtering stage must reject, wrong-patch/revert pairs
+//! (the dcb4b8ad/0a96fa64 case), and bulk neutral commits. Marginal
+//! distributions — bug kind (Table 2), subsystem (Figure 2), fix-year
+//! growth (Figure 1), lifetime (Figure 3) — are calibrated to the
+//! paper; everything downstream (mining, classification, statistics)
+//! recovers them from the generated *text*, not from hidden labels.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::subsystems::HISTORICAL_SUBSYSTEM_WEIGHTS;
+
+/// One simulated commit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Commit {
+    /// Abbreviated commit hash.
+    pub id: String,
+    /// Commit year (2005–2022).
+    pub year: u32,
+    /// Commit month (1–12).
+    pub month: u32,
+    /// Kernel release the commit landed in (`"v5.10"`).
+    pub version: String,
+    /// Top-level subsystem touched.
+    pub subsystem: String,
+    /// Module within the subsystem.
+    pub module: String,
+    /// Full commit message (summary, body, optional `Fixes:` tag).
+    pub message: String,
+    /// Unified-diff excerpt (hunk headers plus +/- lines).
+    pub diff: String,
+}
+
+impl Commit {
+    /// The `Fixes:` tag target, if the message carries one.
+    pub fn fixes_tag(&self) -> Option<&str> {
+        self.message
+            .lines()
+            .find_map(|l| l.strip_prefix("Fixes: "))
+            .map(|rest| rest.split_whitespace().next().unwrap_or(""))
+    }
+}
+
+/// A generated history, sorted by (year, month).
+#[derive(Debug, Clone)]
+pub struct History {
+    /// All commits in date order.
+    pub commits: Vec<Commit>,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Refcounting bug-fix commits to plant (the paper's dataset has
+    /// 1,033 after manual confirmation).
+    pub n_bugs: usize,
+    /// Keyword-noise candidates the second filtering stage rejects
+    /// (the paper saw 1,825 candidates for 1,033 bugs).
+    pub n_noise: usize,
+    /// Wrong-patch + revert pairs (Fixes-tag-based FP removal, §3.1).
+    pub n_reverts: usize,
+    /// Bulk neutral commits (word2vec corpus volume).
+    pub n_neutral: usize,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            seed: 0x71157041,
+            n_bugs: 1033,
+            n_noise: 792,
+            n_reverts: 12,
+            n_neutral: 20_000,
+        }
+    }
+}
+
+/// The taxonomy used for planting (recovered by the miner from text,
+/// never read directly by the analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlantedKind {
+    MissingDecIntra,
+    MissingDecInter,
+    LeakOther,
+    MisplacedDecUad,
+    MisplacedDecOther,
+    MisplacedInc,
+    MissingIncIntra,
+    MissingIncInter,
+    UafOther,
+}
+
+/// Table 2 weights (out of 1,033).
+const KIND_WEIGHTS: &[(PlantedKind, u32)] = &[
+    (PlantedKind::MissingDecIntra, 590),
+    (PlantedKind::MissingDecInter, 104),
+    (PlantedKind::LeakOther, 47),
+    (PlantedKind::MisplacedDecUad, 94),
+    (PlantedKind::MisplacedDecOther, 25),
+    (PlantedKind::MisplacedInc, 25),
+    (PlantedKind::MissingIncIntra, 53),
+    (PlantedKind::MissingIncInter, 22),
+    (PlantedKind::UafOther, 73),
+];
+
+/// Figure 1 fix-year growth weights (2005..=2022).
+const YEAR_WEIGHTS: &[(u32, u32)] = &[
+    (2005, 5),
+    (2006, 6),
+    (2007, 7),
+    (2008, 8),
+    (2009, 10),
+    (2010, 12),
+    (2011, 14),
+    (2012, 16),
+    (2013, 18),
+    (2014, 21),
+    (2015, 25),
+    (2016, 30),
+    (2017, 38),
+    (2018, 50),
+    (2019, 120),
+    (2020, 160),
+    (2021, 210),
+    (2022, 260),
+];
+
+/// Maps a year (plus a within-year fraction) to the kernel release
+/// current at that time.
+pub fn version_for(year: u32, frac: f64) -> String {
+    let half = frac >= 0.5;
+    match year {
+        2005 => format!("v2.6.{}", if half { 14 } else { 12 }),
+        2006 => format!("v2.6.{}", if half { 18 } else { 16 }),
+        2007 => format!("v2.6.{}", if half { 23 } else { 21 }),
+        2008 => format!("v2.6.{}", if half { 27 } else { 25 }),
+        2009 => format!("v2.6.{}", if half { 31 } else { 29 }),
+        2010 => format!("v2.6.{}", if half { 36 } else { 34 }),
+        2011 => format!("v3.{}", if half { 1 } else { 0 }),
+        2012 => format!("v3.{}", if half { 6 } else { 4 }),
+        2013 => format!("v3.{}", if half { 11 } else { 9 }),
+        2014 => format!("v3.{}", if half { 17 } else { 14 }),
+        2015 => format!("v4.{}", if half { 2 } else { 0 }),
+        2016 => format!("v4.{}", if half { 8 } else { 5 }),
+        2017 => format!("v4.{}", if half { 13 } else { 10 }),
+        2018 => format!("v4.{}", if half { 19 } else { 16 }),
+        2019 => format!("v5.{}", if half { 3 } else { 0 }),
+        2020 => format!("v5.{}", if half { 9 } else { 6 }),
+        2021 => format!("v5.{}", if half { 14 } else { 11 }),
+        _ => {
+            if half {
+                "v6.0".to_string()
+            } else {
+                "v5.17".to_string()
+            }
+        }
+    }
+}
+
+/// The major release family of a version string (`"v4.19"` → 4; all
+/// v2.6.x map to 2).
+pub fn major_of(version: &str) -> u8 {
+    version
+        .trim_start_matches('v')
+        .split('.')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Sampler<'a, T: Copy> {
+    items: &'a [(T, u32)],
+    total: u32,
+}
+
+impl<'a, T: Copy> Sampler<'a, T> {
+    fn new(items: &'a [(T, u32)]) -> Self {
+        Sampler {
+            items,
+            total: items.iter().map(|(_, w)| w).sum(),
+        }
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        let mut x = rng.gen_range(0..self.total);
+        for (item, w) in self.items {
+            if x < *w {
+                return *item;
+            }
+            x -= w;
+        }
+        self.items[self.items.len() - 1].0
+    }
+}
+
+/// The inc/dec API families used in planted fixes, per subsystem.
+fn api_family(rng: &mut ChaCha8Rng, subsystem: &str) -> (&'static str, &'static str, &'static str) {
+    // (find_like_inc, paired_dec, explicit_inc)
+    let of_apis: &[(&str, &str, &str)] = &[
+        ("of_find_node_by_name", "of_node_put", "of_node_get"),
+        ("of_find_compatible_node", "of_node_put", "of_node_get"),
+        ("of_find_matching_node", "of_node_put", "of_node_get"),
+        ("of_parse_phandle", "of_node_put", "of_node_get"),
+        ("of_get_parent", "of_node_put", "of_node_get"),
+        ("bus_find_device", "put_device", "get_device"),
+        ("class_find_device", "put_device", "get_device"),
+        (
+            "pm_runtime_get_sync",
+            "pm_runtime_put",
+            "pm_runtime_get_sync",
+        ),
+    ];
+    let net_apis: &[(&str, &str, &str)] = &[
+        ("ip_dev_find", "dev_put", "dev_hold"),
+        ("sockfd_lookup", "sockfd_put", "sock_hold"),
+        ("tipc_node_find", "tipc_node_put", "sock_hold"),
+        ("rxrpc_lookup_peer", "rxrpc_put_peer", "sock_hold"),
+    ];
+    // NOTE: dec APIs here must carry a refcounting keyword *segment*
+    // (`_put`, `_release`, ...) or the paper's stage-1 keyword filter —
+    // and ours — cannot see the fix (a real threat-to-validity the
+    // paper acknowledges; `bdput`-style names are exactly the kind it
+    // misses).
+    let fs_apis: &[(&str, &str, &str)] = &[
+        ("lookup_bdev", "blkdev_put", "kobject_get"),
+        ("afs_alloc_read", "afs_put_read", "kref_get"),
+        ("mpol_shared_policy_lookup", "mpol_cond_put", "kref_get"),
+    ];
+    let pool = match subsystem {
+        "net" => net_apis,
+        "fs" | "block" => fs_apis,
+        _ => of_apis,
+    };
+    pool[rng.gen_range(0..pool.len())]
+}
+
+const MODULES: &[&str] = &[
+    "core", "main", "probe", "host", "hub", "bridge", "bus", "port", "dev", "ctl",
+];
+
+fn module_for(rng: &mut ChaCha8Rng, subsystem: &str) -> String {
+    match subsystem {
+        "drivers" => {
+            const M: &[&str] = &[
+                "clk", "gpu", "soc", "usb", "net", "mmc", "i2c", "iio", "tty", "video", "w1",
+                "memory", "media", "pci", "phy",
+            ];
+            M[rng.gen_range(0..M.len())].to_string()
+        }
+        "arch" => {
+            const M: &[&str] = &["arm", "powerpc", "mips", "sparc", "x86", "sh"];
+            M[rng.gen_range(0..M.len())].to_string()
+        }
+        _ => MODULES[rng.gen_range(0..MODULES.len())].to_string(),
+    }
+}
+
+fn hex_id(rng: &mut ChaCha8Rng) -> String {
+    (0..12)
+        .map(|_| "0123456789abcdef".as_bytes()[rng.gen_range(0..16)] as char)
+        .collect()
+}
+
+/// Generates the full history.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_corpus::{generate_history, HistoryConfig};
+///
+/// let h = generate_history(&HistoryConfig {
+///     n_bugs: 50, n_noise: 30, n_reverts: 2, n_neutral: 100,
+///     ..Default::default()
+/// });
+/// assert!(h.commits.len() >= 180);
+/// ```
+pub fn generate_history(cfg: &HistoryConfig) -> History {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let kind_sampler = Sampler::new(KIND_WEIGHTS);
+    let year_sampler = Sampler::new(YEAR_WEIGHTS);
+    let subsys_sampler = Sampler::new(HISTORICAL_SUBSYSTEM_WEIGHTS);
+    let mut commits: Vec<Commit> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Planted bug pairs: introducing commit + fixing commit.
+    // ------------------------------------------------------------------
+    for i in 0..cfg.n_bugs {
+        let kind = kind_sampler.sample(&mut rng);
+        let fix_year = year_sampler.sample(&mut rng);
+        let subsystem = subsys_sampler.sample(&mut rng).to_string();
+        let module = module_for(&mut rng, &subsystem);
+        let (find_api, dec_api, inc_api) = api_family(&mut rng, &subsystem);
+
+        // Lifetime model (Findings 4 & 5): ~24% fixed within a year,
+        // geometric tail, a slice of "ancient" bugs introduced in the
+        // v2.6 era.
+        // Lifetime mixture: ~24% fixed within the year, a short
+        // geometric bulk, and a long uniform tail that populates the
+        // cross-major-release spans of Figure 3 (v3.x → v5.x etc.).
+        let ancient = fix_year >= 2019 && rng.gen::<f64>() < 0.045;
+        let delta = if ancient {
+            fix_year - rng.gen_range(2005..=2007)
+        } else {
+            let roll = rng.gen::<f64>();
+            if roll < 0.243 {
+                0
+            } else if roll < 0.70 {
+                let mut d = 1u32;
+                while rng.gen::<f64>() < 0.45 && d < 6 {
+                    d += 1;
+                }
+                d
+            } else {
+                rng.gen_range(4..=9)
+            }
+        };
+        let intro_year = fix_year.saturating_sub(delta).max(2005);
+        let has_fixes = rng.gen::<f64>() < (567.0 / 1033.0);
+
+        let intro_id = hex_id(&mut rng);
+        let fix_id = hex_id(&mut rng);
+        let fn_name = format!("{module}_{}", MODULES[i % MODULES.len()]);
+        let var = "np";
+        // A slice of the missing-dec bugs are smartloop breaks
+        // (Anti-Pattern 3); their fix messages mention the for_each
+        // macro, feeding Table 3's `foreach` keyword column.
+        let smartloop = kind == PlantedKind::MissingDecIntra
+            && dec_api == "of_node_put"
+            && rng.gen::<f64>() < 0.18;
+
+        // Introducing commit: neutral-looking feature work. When the
+        // acquiring API itself carries a refcounting keyword
+        // (`pm_runtime_get_sync`), showing it here would make the
+        // *introducing* commit a mining candidate; real introducing
+        // commits were feature patches, so keep the shown call neutral
+        // in that case.
+        let intro_frac = rng.gen::<f64>();
+        let intro_call = if refminer_rcapi::name_direction(find_api).is_some() {
+            "setup_controller(pdev)".to_string()
+        } else {
+            format!("{find_api}(NULL, id)")
+        };
+        commits.push(Commit {
+            id: intro_id.clone(),
+            year: intro_year,
+            month: 1 + (intro_frac * 11.0) as u32,
+            version: version_for(intro_year, intro_frac),
+            subsystem: subsystem.clone(),
+            module: module.clone(),
+            message: format!(
+                "{subsystem}/{module}: add {fn_name} support\n\nInitial support for the \
+                 {module} controller."
+            ),
+            diff: format!(
+                "@@ -0,0 +12,4 @@ {fn_name}\n+\tstruct device_node *{var};\n+\t{var} = \
+                 {intro_call};\n+\tsetup({var});\n"
+            ),
+        });
+
+        // Fixing commit.
+        let fix_frac = rng.gen::<f64>();
+        let fixes_line = if has_fixes {
+            format!("\n\nFixes: {intro_id} (\"{subsystem}/{module}: add {fn_name} support\")")
+        } else {
+            String::new()
+        };
+        let (summary, body, diff) = if smartloop {
+            (
+                format!("{subsystem}/{module}: fix refcount leak in {fn_name}"),
+                format!(
+                    "Breaking out of for_each_child_of_node() keeps the hidden \
+                     reference on the iterator. Add the missing {dec_api}() before \
+                     the break to avoid the memory leak."
+                ),
+                format!(
+                    "@@ -44,4 +44,5 @@ {fn_name}\n \tfor_each_child_of_node(parent, {var}) {{\n \
+                     \t\tif (found) {{\n+\t\t\t{dec_api}({var});\n \t\t\tbreak;\n"
+                ),
+            )
+        } else {
+            let variant = rng.gen_range(0..4usize);
+            render_fix(
+                kind, &subsystem, &module, &fn_name, find_api, dec_api, inc_api, var, variant,
+            )
+        };
+        commits.push(Commit {
+            id: fix_id,
+            year: fix_year,
+            month: 1 + (fix_frac * 11.0) as u32,
+            version: version_for(fix_year, fix_frac),
+            subsystem,
+            module,
+            message: format!("{summary}\n\n{body}{fixes_line}"),
+            diff,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Keyword noise: stage-1 matches that stage 2 rejects (the APIs are
+    // not refcounting APIs).
+    // ------------------------------------------------------------------
+    const NOISE_APIS: &[(&str, &str)] = &[
+        ("clk_get_rate", "read the clock rate"),
+        ("gpiod_get_value", "read the gpio level"),
+        ("regmap_read", "get the register value"),
+        ("snd_soc_component_get_drvdata", "get the component data"),
+        ("platform_get_irq", "get the interrupt line"),
+        ("devm_kzalloc", "drop the manual release"),
+        ("irq_get_irq_data", "get the irq data"),
+    ];
+    for _ in 0..cfg.n_noise {
+        let year = year_sampler.sample(&mut rng);
+        let frac = rng.gen::<f64>();
+        let subsystem = subsys_sampler.sample(&mut rng).to_string();
+        let module = module_for(&mut rng, &subsystem);
+        let (api, what) = NOISE_APIS[rng.gen_range(0..NOISE_APIS.len())];
+        commits.push(Commit {
+            id: hex_id(&mut rng),
+            year,
+            month: 1 + (frac * 11.0) as u32,
+            version: version_for(year, frac),
+            subsystem: subsystem.clone(),
+            module: module.clone(),
+            message: format!(
+                "{subsystem}/{module}: get rid of the extra helper\n\nUse {api} to {what} \
+                 and drop the open-coded variant."
+            ),
+            diff: format!(
+                "@@ -10,2 +10,2 @@ helper\n-\tval = read_reg(base);\n+\tval = {api}(dev);\n"
+            ),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Wrong-patch + revert pairs (§3.1's false-positive removal).
+    // ------------------------------------------------------------------
+    for _ in 0..cfg.n_reverts {
+        let year = 2015 + rng.gen_range(0..7);
+        let frac = rng.gen::<f64>();
+        let subsystem = "drivers".to_string();
+        let module = module_for(&mut rng, &subsystem);
+        let wrong_id = hex_id(&mut rng);
+        let fn_name = format!("{module}_probe");
+        commits.push(Commit {
+            id: wrong_id.clone(),
+            year,
+            month: 1 + (frac * 11.0) as u32,
+            version: version_for(year, frac),
+            subsystem: subsystem.clone(),
+            module: module.clone(),
+            message: format!(
+                "{subsystem}/{module}: fix memory leak in {fn_name}\n\nAdd the missing \
+                 of_node_put() on the error path."
+            ),
+            diff: "@@ -20,3 +20,4 @@ probe\n \tnp = of_find_node_by_name(NULL, id);\n+\tof_node_put(np);\n".to_string(),
+        });
+        let rev_year = (year + 1).min(2022);
+        let rev_frac = rng.gen::<f64>();
+        commits.push(Commit {
+            id: hex_id(&mut rng),
+            year: rev_year,
+            month: 1 + (rev_frac * 11.0) as u32,
+            version: version_for(rev_year, rev_frac),
+            subsystem,
+            module: module.clone(),
+            message: format!(
+                "{module}: fix improper handling of refcount in {fn_name}\n\nThe previous \
+                 patch added an extra of_node_put() which leads to a premature free.\n\n\
+                 Fixes: {wrong_id} (\"fix memory leak in {fn_name}\")"
+            ),
+            diff: "@@ -20,4 +20,3 @@ probe\n \tnp = of_find_node_by_name(NULL, id);\n-\tof_node_put(np);\n".to_string(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk neutral commits (corpus volume for word2vec; a few mention
+    // rare refcounting words so they stay in-vocabulary).
+    // ------------------------------------------------------------------
+    const NEUTRAL: &[&str] = &[
+        "clean up whitespace and comments",
+        "convert to devm allocation helpers",
+        "update maintainers entry",
+        "simplify the probe error messages",
+        "switch to generic pm macros",
+        "use the common clock framework",
+        "refactor the interrupt setup path",
+        "document the binding properties",
+        "remove dead configuration option",
+        "constify the ops tables",
+        "unhold the board strap configuration lines early",
+        "retain compatibility with legacy boot wrappers",
+    ];
+    for i in 0..cfg.n_neutral {
+        let year = year_sampler.sample(&mut rng);
+        let frac = rng.gen::<f64>();
+        let subsystem = subsys_sampler.sample(&mut rng).to_string();
+        let module = module_for(&mut rng, &subsystem);
+        let text = NEUTRAL[i % NEUTRAL.len()];
+        commits.push(Commit {
+            id: hex_id(&mut rng),
+            year,
+            month: 1 + (frac * 11.0) as u32,
+            version: version_for(year, frac),
+            subsystem: subsystem.clone(),
+            module,
+            message: format!("{subsystem}: {text}"),
+            diff: String::new(),
+        });
+    }
+
+    commits.sort_by_key(|c| (c.year, c.month, c.id.clone()));
+    History { commits }
+}
+
+/// Renders the fixing commit's (summary, body, diff) for a kind.
+#[allow(clippy::too_many_arguments)]
+fn render_fix(
+    kind: PlantedKind,
+    subsystem: &str,
+    module: &str,
+    fn_name: &str,
+    find_api: &str,
+    dec_api: &str,
+    inc_api: &str,
+    var: &str,
+    variant: usize,
+) -> (String, String, String) {
+    use PlantedKind::*;
+    match kind {
+        MissingDecIntra => (
+            format!("{subsystem}/{module}: fix refcount leak in {fn_name}"),
+            // Phrasing variants keep the whole refcounting keyword
+            // vocabulary (increase/grab/hold/decrease/retain/...) in
+            // co-occurrence with the bug-API keywords, as the real
+            // commit logs do (Table 3's rows all have data).
+            // The find-like APIs internally call the get-named wrappers
+            // (§5.2.2 explains Table 3's find~get 0.73 exactly this
+            // way), and real fix messages spell that out — so do ours.
+            match variant {
+                0 => format!(
+                    "{find_api}() internally calls {inc_api}() and returns the \
+                     node with the refcount increased. Add the missing \
+                     {dec_api}() on the error path to avoid the memory leak."
+                ),
+                1 => format!(
+                    "The reference we grab through {find_api}() (which gets the \
+                     node via {inc_api}()) is never dropped on the error path; \
+                     decrease the refcounter with {dec_api}() to fix the leak."
+                ),
+                2 => format!(
+                    "{find_api}() takes a hold on the returned node. Release it \
+                     with {dec_api}() before returning, otherwise we retain the \
+                     reference forever and leak the node."
+                ),
+                _ => format!(
+                    "Every call to {find_api}() will increase the refcount of the \
+                     node it gets through {inc_api}(). The error path must put \
+                     the node with {dec_api}() to avoid the leak."
+                ),
+            },
+            format!(
+                "@@ -30,4 +30,5 @@ {fn_name}\n \t{var} = {find_api}(NULL, id);\n \
+                 \tif (check({var}))\n+\t\t{dec_api}({var});\n \t\treturn -EINVAL;\n"
+            ),
+        ),
+        MissingDecInter => (
+            format!("{subsystem}/{module}: fix refcount leak in {fn_name}_remove"),
+            match variant {
+                0 | 1 => format!(
+                    "The node acquired by {find_api}() in {fn_name}_probe() is never \
+                     released. Call {dec_api}() in the remove path to fix the leak."
+                ),
+                _ => format!(
+                    "{fn_name}_probe() will grab and hold a reference through \
+                     {find_api}() but {fn_name}_remove() does not decrease the \
+                     refcount. Drop it with {dec_api}() on remove."
+                ),
+            },
+            format!(
+                "@@ -88,3 +88,4 @@ {fn_name}_remove\n \tdisable_hw(priv);\n+\t{dec_api}(priv->{var});\n \treturn 0;\n"
+            ),
+        ),
+        LeakOther => (
+            format!("{subsystem}/{module}: fix possible memory leak in {fn_name}"),
+            format!(
+                "The object is refcounted; freeing it directly with kfree() leaks \
+                 the resources released by {dec_api}()."
+            ),
+            format!(
+                "@@ -61,3 +61,3 @@ {fn_name}\n-\tkfree({var});\n+\t{dec_api}({var});\n"
+            ),
+        ),
+        MisplacedDecUad => (
+            format!("{subsystem}/{module}: fix use-after-free in {fn_name}"),
+            format!(
+                "{dec_api}() may drop the last reference; move it after the final \
+                 access to the object to avoid the use-after-free."
+            ),
+            format!(
+                "@@ -42,4 +42,4 @@ {fn_name}\n-\t{dec_api}({var});\n \tfinish({var}->state);\n+\t{dec_api}({var});\n"
+            ),
+        ),
+        MisplacedDecOther => (
+            format!("{subsystem}/{module}: fix refcount imbalance in {fn_name}"),
+            format!(
+                "Move {dec_api}() out of the retry loop; dropping the reference on \
+                 every iteration underflows the refcounter."
+            ),
+            format!(
+                "@@ -52,4 +52,4 @@ {fn_name}\n-\t\t{dec_api}({var});\n \t}}\n+\t{dec_api}({var});\n"
+            ),
+        ),
+        MisplacedInc => (
+            format!("{subsystem}/{module}: fix use-after-free risk in {fn_name}"),
+            format!(
+                "Take the reference with {inc_api}() before publishing the pointer, \
+                 not after; otherwise a concurrent reader can see a droppable object."
+            ),
+            format!(
+                "@@ -35,4 +35,4 @@ {fn_name}\n-\tpublish({var});\n-\t{inc_api}({var});\n+\t{inc_api}({var});\n+\tpublish({var});\n"
+            ),
+        ),
+        MissingIncIntra => (
+            format!("{subsystem}/{module}: fix premature free / use-after-free in {fn_name}"),
+            format!(
+                "{fn_name}() keeps a long-lived pointer to the node but never takes \
+                 a reference. Add the missing {inc_api}() to prevent the use-after-free."
+            ),
+            format!(
+                "@@ -28,3 +28,4 @@ {fn_name}\n \t{var} = {find_api}(NULL, id);\n+\t{inc_api}({var});\n \tpriv->{var} = {var};\n"
+            ),
+        ),
+        MissingIncInter => (
+            format!("{subsystem}/{module}: fix use-after-free across open/release in {fn_name}"),
+            format!(
+                "The release path drops a reference the open path never took. Add \
+                 {inc_api}() in {fn_name}_open() to balance it."
+            ),
+            format!(
+                "@@ -70,3 +70,4 @@ {fn_name}_open\n \tpriv->{var} = {var};\n+\t{inc_api}({var});\n \treturn 0;\n"
+            ),
+        ),
+        UafOther => (
+            format!("{subsystem}/{module}: fix use-after-free in {fn_name} teardown"),
+            format!(
+                "Reorder the teardown so the reference held by the worker is dropped \
+                 with {dec_api}() only after the queue is flushed."
+            ),
+            format!(
+                "@@ -95,4 +95,4 @@ {fn_name}\n-\t{dec_api}({var});\n \tflush_queue(priv);\n+\t{dec_api}({var});\n"
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> History {
+        generate_history(&HistoryConfig {
+            n_bugs: 200,
+            n_noise: 100,
+            n_reverts: 4,
+            n_neutral: 300,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn commit_counts() {
+        let h = small();
+        // 200 pairs + 100 noise + 8 revert-related + 300 neutral.
+        assert_eq!(h.commits.len(), 200 * 2 + 100 + 4 * 2 + 300);
+    }
+
+    #[test]
+    fn sorted_by_date() {
+        let h = small();
+        for w in h.commits.windows(2) {
+            assert!((w[0].year, w[0].month) <= (w[1].year, w[1].month));
+        }
+    }
+
+    #[test]
+    fn fixes_tags_resolve() {
+        let h = small();
+        let ids: std::collections::HashSet<&str> =
+            h.commits.iter().map(|c| c.id.as_str()).collect();
+        let mut tagged = 0;
+        for c in &h.commits {
+            if let Some(target) = c.fixes_tag() {
+                assert!(ids.contains(target), "dangling Fixes tag {target}");
+                tagged += 1;
+            }
+        }
+        // Roughly 567/1033 of bug fixes carry tags, plus the reverts.
+        assert!(tagged > 80 && tagged < 160, "tagged = {tagged}");
+    }
+
+    #[test]
+    fn versions_monotone_by_era() {
+        assert_eq!(major_of(&version_for(2005, 0.1)), 2);
+        assert_eq!(major_of(&version_for(2013, 0.6)), 3);
+        assert_eq!(major_of(&version_for(2017, 0.2)), 4);
+        assert_eq!(major_of(&version_for(2020, 0.9)), 5);
+        assert_eq!(major_of(&version_for(2022, 0.9)), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.commits.len(), b.commits.len());
+        assert_eq!(a.commits[17].message, b.commits[17].message);
+    }
+
+    #[test]
+    fn growth_trend_increases() {
+        let h = generate_history(&HistoryConfig {
+            n_bugs: 1033,
+            n_noise: 0,
+            n_reverts: 0,
+            n_neutral: 0,
+            seed: 7,
+        });
+        // Count fix commits (the second of each pair has "fix" in the
+        // summary) per era.
+        let fixes_in = |lo: u32, hi: u32| {
+            h.commits
+                .iter()
+                .filter(|c| {
+                    c.year >= lo
+                        && c.year <= hi
+                        && c.message.lines().next().unwrap_or("").contains("fix")
+                })
+                .count()
+        };
+        let early = fixes_in(2005, 2010);
+        let late = fixes_in(2017, 2022);
+        assert!(late > early * 3, "late {late} should dwarf early {early}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # refminer-corpus
+//!
+//! The simulated substrates the paper's pipelines run on:
+//!
+//! - [`generate_tree`] — a synthetic Linux-like source tree (real C
+//!   code in kernel idiom) with anti-pattern bug instances injected per
+//!   the paper's Table 5 plan and recorded in a ground-truth
+//!   [`Manifest`]; the input for the checker experiments (Tables 4, 5).
+//! - [`generate_history`] — a simulated 2005–2022 commit stream with
+//!   planted bug-fix commits, keyword noise, wrong-patch/revert pairs
+//!   and bulk neutral commits; the input for the mining pipeline
+//!   (Figures 1–3, Tables 2–3).
+//!
+//! Both generators are deterministic given their seeds, and both are
+//! *calibrated* to the paper's reported marginals — see DESIGN.md for
+//! the substitution rationale. Downstream code recovers every statistic
+//! from the generated artifacts (source text, commit text), never from
+//! hidden labels.
+
+mod codegen;
+mod history;
+mod subsystems;
+mod tree;
+
+pub use codegen::{emit_bug, emit_clean, emit_filler, emit_tricky, NameGen};
+pub use history::{
+    generate_history, major_of, version_for, Commit, History, HistoryConfig, PlantedKind,
+};
+pub use subsystems::{
+    plan_by_subsystem, plan_total, PlanRow, HISTORICAL_SUBSYSTEM_WEIGHTS, NEW_BUG_PLAN,
+    SUBSYSTEM_KLOC,
+};
+pub use tree::{generate_tree, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig};

@@ -1,0 +1,262 @@
+//! The subsystem/module taxonomy and the paper-calibrated marginals.
+//!
+//! Two calibration tables live here:
+//!
+//! - [`HISTORICAL_SUBSYSTEM_WEIGHTS`] — where the 1,033 historical bugs
+//!   sit (Figure 2's left chart: drivers 56.9%, top-3 82.4%);
+//! - [`NEW_BUG_PLAN`] — the per-module anti-pattern instance counts of
+//!   Table 5 (351 new bugs across arch/drivers/include/net/sound).
+//!
+//! The corpus generator consumes these so that the regenerated figures
+//! and tables have the paper's shape while every pipeline stage still
+//! computes its numbers from generated artifacts.
+
+/// Per-subsystem weight of historical refcounting bugs (Figure 2,
+/// left). Weights are bug counts out of 1,033.
+pub const HISTORICAL_SUBSYSTEM_WEIGHTS: &[(&str, u32)] = &[
+    ("drivers", 588),
+    ("net", 152),
+    ("fs", 111),
+    ("arch", 60),
+    ("sound", 45),
+    ("block", 18),
+    ("kernel", 17),
+    ("mm", 12),
+    ("crypto", 10),
+    ("security", 8),
+    ("ipc", 6),
+    ("init", 4),
+    ("lib", 2),
+];
+
+/// Approximate code size per subsystem in KLOC (Figure 2, right —
+/// densities). `block` is deliberately small (65 KLOC) so it has the
+/// highest bug density, matching the paper's observation.
+pub const SUBSYSTEM_KLOC: &[(&str, u32)] = &[
+    ("drivers", 12_000),
+    ("net", 1_200),
+    ("fs", 1_300),
+    ("arch", 1_800),
+    ("sound", 900),
+    ("block", 65),
+    ("kernel", 380),
+    ("mm", 170),
+    ("crypto", 120),
+    ("security", 110),
+    ("ipc", 40),
+    ("init", 30),
+    ("lib", 160),
+];
+
+/// One row of the Table 5 plan: module location, anti-pattern id
+/// (1..=9), instance count, and the dominant bug-caused API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRow {
+    /// Top-level subsystem (`arch`, `drivers`, ...).
+    pub subsystem: &'static str,
+    /// Module within the subsystem (`arm`, `clk`, ...).
+    pub module: &'static str,
+    /// Anti-pattern number, 1..=9.
+    pub pattern: u8,
+    /// How many instances to inject.
+    pub count: u32,
+    /// The API to build the buggy code around.
+    pub api: &'static str,
+}
+
+const fn row(
+    subsystem: &'static str,
+    module: &'static str,
+    pattern: u8,
+    count: u32,
+    api: &'static str,
+) -> PlanRow {
+    PlanRow {
+        subsystem,
+        module,
+        pattern,
+        count,
+        api,
+    }
+}
+
+/// The Table 5 injection plan: every `#Anti-Pattern Instance` cell of
+/// the paper's Table 5, with the module's top bug-caused API attached.
+pub const NEW_BUG_PLAN: &[PlanRow] = &[
+    // arch. NOTE: the paper's Table 5 row for `arm` lists P4[42], but
+    // the per-subsystem totals of Table 4 (arch = 156, grand total 351)
+    // only close with 41 — the table over-counts by one. We follow the
+    // Table 4 totals.
+    row("arch", "arm", 4, 41, "of_find_compatible_node"),
+    row("arch", "arm", 6, 2, "of_find_matching_node"),
+    row("arch", "arm", 7, 2, "of_find_compatible_node"),
+    row("arch", "arm", 9, 4, "of_find_matching_node"),
+    row("arch", "microblaze", 4, 1, "of_find_matching_node"),
+    row("arch", "mips", 4, 17, "of_find_compatible_node"),
+    row("arch", "powerpc", 3, 8, "for_each_compatible_node"),
+    row("arch", "powerpc", 4, 48, "of_find_compatible_node"),
+    row("arch", "powerpc", 5, 1, "of_find_node_by_path"),
+    row("arch", "powerpc", 6, 2, "of_find_node_by_path"),
+    row("arch", "powerpc", 8, 1, "of_node_put"),
+    row("arch", "powerpc", 9, 5, "of_find_node_by_path"),
+    row("arch", "sh", 4, 1, "of_find_compatible_node"),
+    row("arch", "sparc", 2, 3, "mdesc_grab"),
+    row("arch", "sparc", 3, 4, "for_each_node_by_name"),
+    row("arch", "sparc", 4, 10, "of_find_node_by_name"),
+    row("arch", "sparc", 7, 1, "of_find_node_by_name"),
+    row("arch", "sparc", 9, 1, "of_find_node_by_name"),
+    row("arch", "x86", 4, 2, "of_find_compatible_node"),
+    row("arch", "xtensa", 4, 2, "of_find_compatible_node"),
+    // drivers.
+    row("drivers", "block", 2, 1, "mdesc_grab"),
+    row("drivers", "bus", 3, 1, "for_each_child_of_node"),
+    row("drivers", "bus", 4, 7, "of_find_matching_node"),
+    row("drivers", "clk", 4, 37, "of_get_node"),
+    row("drivers", "clocksource", 4, 1, "of_find_compatible_node"),
+    row("drivers", "cpufreq", 4, 4, "of_find_node_by_name"),
+    row("drivers", "crypto", 4, 4, "of_find_compatible_node"),
+    row("drivers", "dma", 3, 1, "for_each_child_of_node"),
+    row("drivers", "dma", 5, 1, "of_parse_phandle"),
+    row("drivers", "edac", 4, 1, "of_find_compatible_node"),
+    row("drivers", "firmware", 4, 1, "of_find_compatible_node"),
+    row("drivers", "gpio", 4, 2, "of_get_parent"),
+    row("drivers", "gpio", 6, 1, "of_node_get"),
+    row("drivers", "gpio", 9, 1, "of_node_get"),
+    row("drivers", "gpu", 3, 3, "for_each_child_of_node"),
+    row("drivers", "gpu", 4, 5, "of_graph_get_port_by_id"),
+    row("drivers", "gpu", 5, 3, "of_graph_get_port_by_id"),
+    row("drivers", "gpu", 6, 2, "of_get_node"),
+    row("drivers", "gpu", 8, 2, "of_node_put"),
+    row("drivers", "gpu", 9, 2, "of_get_node"),
+    row("drivers", "hwmon", 4, 2, "of_find_compatible_node"),
+    row("drivers", "i2c", 3, 2, "device_for_each_child_node"),
+    row("drivers", "iio", 3, 1, "device_for_each_child_node"),
+    row("drivers", "iio", 4, 1, "of_find_node_by_name"),
+    row("drivers", "input", 4, 2, "of_find_node_by_path"),
+    row("drivers", "iommu", 3, 1, "for_each_child_of_node"),
+    row("drivers", "irqchip", 4, 3, "of_find_matching_node"),
+    row("drivers", "leds", 3, 1, "fwnode_for_each_child_node"),
+    row("drivers", "macintosh", 4, 2, "of_find_compatible_node"),
+    row("drivers", "macintosh", 6, 1, "of_node_get"),
+    row("drivers", "media", 3, 2, "for_each_compatible_node"),
+    row("drivers", "memory", 3, 4, "for_each_child_of_node"),
+    row("drivers", "memory", 4, 2, "of_find_node_by_name"),
+    row("drivers", "mfd", 1, 1, "pm_runtime_get_sync"),
+    row("drivers", "mmc", 3, 3, "for_each_child_of_node"),
+    row("drivers", "mmc", 4, 1, "of_find_compatible_node"),
+    row("drivers", "net", 2, 2, "mdesc_grab"),
+    row("drivers", "net", 3, 5, "for_each_child_of_node"),
+    row("drivers", "net", 4, 12, "of_find_compatible_node"),
+    row("drivers", "nvme", 8, 1, "nvmet_fc_tgt_q_put"),
+    row("drivers", "of", 4, 1, "of_parse_phandle"),
+    row("drivers", "opp", 9, 2, "of_node_get"),
+    row("drivers", "pci", 4, 2, "of_parse_phandle"),
+    row("drivers", "pci", 5, 1, "of_find_matching_node"),
+    row("drivers", "perf", 3, 1, "for_each_cpu_node"),
+    row("drivers", "phy", 3, 1, "for_each_child_of_node"),
+    row("drivers", "phy", 4, 2, "of_parse_phandle"),
+    row("drivers", "pinctrl", 4, 1, "of_find_node_by_phandle"),
+    row("drivers", "platform", 3, 3, "device_for_each_child_node"),
+    row("drivers", "powerpc", 4, 1, "of_find_compatible_node"),
+    row("drivers", "regulator", 4, 2, "of_find_node_by_name"),
+    row("drivers", "sbus", 4, 2, "of_find_node_by_path"),
+    row("drivers", "soc", 3, 3, "for_each_child_of_node"),
+    row("drivers", "soc", 4, 7, "of_find_compatible_node"),
+    row("drivers", "soc", 5, 1, "of_get_parent"),
+    row("drivers", "soc", 6, 1, "of_get_parent"),
+    row("drivers", "soc", 9, 1, "of_find_compatible_node"),
+    row("drivers", "thermal", 6, 1, "of_node_get"),
+    row("drivers", "thermal", 9, 1, "of_node_get"),
+    row("drivers", "tty", 2, 1, "mdesc_grab"),
+    row("drivers", "tty", 4, 2, "of_find_node_by_type"),
+    row("drivers", "tty", 6, 1, "of_find_node_by_type"),
+    row("drivers", "ufs", 4, 1, "of_parse_phandle"),
+    row("drivers", "usb", 4, 6, "of_find_node_by_name"),
+    row("drivers", "usb", 8, 1, "usb_serial_put"),
+    row("drivers", "video", 4, 3, "of_find_compatible_node"),
+    row("drivers", "w1", 4, 3, "of_find_matching_node"),
+    row("drivers", "w1", 5, 1, "of_find_matching_node"),
+    // include.
+    row("include", "linux", 4, 2, "of_find_compatible_node"),
+    // net.
+    row("net", "appletalk", 4, 1, "ip_dev_find"),
+    row("net", "ipv4", 8, 1, "sock_put"),
+    // sound.
+    row("sound", "soc", 4, 8, "of_find_compatible_node"),
+    row("sound", "soc", 5, 1, "of_graph_get_port_parent"),
+];
+
+/// Total instances in the Table 5 plan.
+pub fn plan_total() -> u32 {
+    NEW_BUG_PLAN.iter().map(|r| r.count).sum()
+}
+
+/// Instances per subsystem, in plan order.
+pub fn plan_by_subsystem() -> Vec<(&'static str, u32)> {
+    let mut out: Vec<(&'static str, u32)> = Vec::new();
+    for r in NEW_BUG_PLAN {
+        match out.iter_mut().find(|(s, _)| *s == r.subsystem) {
+            Some((_, c)) => *c += r.count,
+            None => out.push((r.subsystem, r.count)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_matches_table4_totals() {
+        // Table 4: arch 156, drivers 182, include 2, net 2, sound 9,
+        // total 351.
+        let by = plan_by_subsystem();
+        let get = |s: &str| by.iter().find(|(n, _)| *n == s).map(|(_, c)| *c).unwrap();
+        assert_eq!(get("arch"), 156);
+        assert_eq!(get("drivers"), 182);
+        assert_eq!(get("include"), 2);
+        assert_eq!(get("net"), 2);
+        assert_eq!(get("sound"), 9);
+        assert_eq!(plan_total(), 351);
+    }
+
+    #[test]
+    fn historical_weights_match_findings() {
+        let total: u32 = HISTORICAL_SUBSYSTEM_WEIGHTS.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1033);
+        let get = |s: &str| {
+            HISTORICAL_SUBSYSTEM_WEIGHTS
+                .iter()
+                .find(|(n, _)| *n == s)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        // Finding 3: drivers alone 56.9%, top-3 82.4%.
+        assert_eq!(get("drivers"), 588);
+        let top3 = get("drivers") + get("net") + get("fs");
+        assert_eq!(top3, 851);
+        // Block density is the highest (Figure 2 right).
+        let density = |s: &str| {
+            let kloc = SUBSYSTEM_KLOC
+                .iter()
+                .find(|(n, _)| *n == s)
+                .map(|(_, k)| *k)
+                .unwrap();
+            get(s) as f64 / kloc as f64
+        };
+        for (s, _) in HISTORICAL_SUBSYSTEM_WEIGHTS {
+            if *s != "block" && *s != "ipc" && *s != "init" {
+                assert!(density("block") > density(s), "block must out-dense {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_patterns_in_range() {
+        for r in NEW_BUG_PLAN {
+            assert!((1..=9).contains(&r.pattern), "bad pattern {}", r.pattern);
+            assert!(r.count > 0);
+        }
+    }
+}

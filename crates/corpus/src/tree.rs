@@ -1,0 +1,592 @@
+//! Synthetic source-tree assembly: the "latest release" the checkers
+//! audit, with ground truth recorded in a manifest.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use refminer_rcapi::ApiKb;
+
+use crate::codegen::{emit_bug, emit_clean, emit_filler, emit_tricky, NameGen};
+use crate::subsystems::NEW_BUG_PLAN;
+
+/// One injected bug, as ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedBug {
+    /// File path within the tree.
+    pub path: String,
+    /// Function the bug lives in.
+    pub function: String,
+    /// Anti-pattern number (1..=9).
+    pub pattern: u8,
+    /// The bug-caused API.
+    pub api: String,
+    /// Expected impact (`Leak` / `UAF` / `NPD`).
+    pub impact: String,
+    /// Subsystem and module, for grouping reports.
+    pub subsystem: String,
+    /// Module within the subsystem.
+    pub module: String,
+}
+
+/// The ground-truth record of a generated tree.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Every injected bug.
+    pub bugs: Vec<InjectedBug>,
+    /// Correct-but-tricky functions (paper's Listing 5 shapes); any
+    /// finding on these counts as a false positive by construction.
+    pub tricky: Vec<(String, String)>,
+    /// Number of clean functions emitted (denominator for FP rates).
+    pub clean_functions: usize,
+}
+
+impl Manifest {
+    /// Whether a (path, function, pattern) triple matches an injected
+    /// bug.
+    pub fn matches(&self, path: &str, function: &str, pattern: u8) -> bool {
+        self.bugs
+            .iter()
+            .any(|b| b.path == path && b.function == function && b.pattern == pattern)
+    }
+
+    /// Whether a (path, function) pair is one of the tricky snippets.
+    pub fn is_tricky(&self, path: &str, function: &str) -> bool {
+        self.tricky.iter().any(|(p, f)| p == path && f == function)
+    }
+}
+
+/// One file of the generated tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Tree-relative path.
+    pub path: String,
+    /// C source text.
+    pub content: String,
+}
+
+/// A generated tree plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticTree {
+    /// All files (headers first, then sources).
+    pub files: Vec<SourceFile>,
+    /// Ground truth.
+    pub manifest: Manifest,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// RNG seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Scale factor on the Table 5 plan counts (1.0 = the paper's 351
+    /// instances; 0.1 ≈ 35 for quick tests).
+    pub scale: f64,
+    /// Buggy functions per generated file.
+    pub bugs_per_file: usize,
+    /// Clean functions per generated file.
+    pub clean_per_file: usize,
+    /// Whether to add the Listing 5-style tricky snippets.
+    pub include_tricky: bool,
+    /// Whether to add the *vendor* module: bugs built on custom
+    /// refcounting wrappers and a custom smartloop that only API
+    /// discovery (§6.1) can classify — the substrate for the discovery
+    /// ablation. Off by default so Table 4's totals stay the paper's.
+    pub include_vendor: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            seed: 0x54ab1e5,
+            scale: 1.0,
+            bugs_per_file: 4,
+            clean_per_file: 3,
+            include_tricky: true,
+            include_vendor: false,
+        }
+    }
+}
+
+/// Per-subsystem quota of P4 instances generated in the missing-increase
+/// (UAF) flavour, calibrated so Table 4's impact split (296 leak /
+/// 48 UAF / 7 NPD) reproduces.
+fn p4_uaf_quota(subsystem: &str) -> u32 {
+    match subsystem {
+        "arch" => 7,
+        "drivers" => 18,
+        _ => 0,
+    }
+}
+
+/// Generates the synthetic tree from the Table 5 plan.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_corpus::{generate_tree, TreeConfig};
+///
+/// let tree = generate_tree(&TreeConfig { scale: 0.05, ..Default::default() });
+/// assert!(!tree.files.is_empty());
+/// assert!(!tree.manifest.bugs.is_empty());
+/// ```
+pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
+    let kb = ApiKb::builtin();
+    let mut ng = NameGen::new(ChaCha8Rng::seed_from_u64(cfg.seed));
+    let mut files = vec![
+        SourceFile {
+            path: "include/linux/of.h".to_string(),
+            content: OF_HEADER.to_string(),
+        },
+        SourceFile {
+            path: "include/linux/kref.h".to_string(),
+            content: KREF_HEADER.to_string(),
+        },
+        SourceFile {
+            path: "drivers/base/core.c".to_string(),
+            content: BASE_CORE.to_string(),
+        },
+    ];
+    let mut manifest = Manifest::default();
+    let mut uaf_left: Vec<(String, u32)> = Vec::new();
+
+    // Group plan rows by (subsystem, module) so a module's bugs share
+    // files.
+    let mut module_rows: Vec<((&str, &str), Vec<&crate::subsystems::PlanRow>)> = Vec::new();
+    for row in NEW_BUG_PLAN {
+        let key = (row.subsystem, row.module);
+        match module_rows.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(row),
+            None => module_rows.push((key, vec![row])),
+        }
+    }
+
+    for ((subsystem, module), rows) in module_rows {
+        // Build the instance list for this module.
+        let mut instances: Vec<(u8, &str)> = Vec::new();
+        for row in rows {
+            let scaled = ((row.count as f64) * cfg.scale).ceil() as u32;
+            let scaled = scaled
+                .min(row.count)
+                .max(if cfg.scale > 0.0 { 1 } else { 0 });
+            for _ in 0..scaled {
+                instances.push((row.pattern, row.api));
+            }
+        }
+        let mut file_idx = 0usize;
+        while !instances.is_empty() {
+            file_idx += 1;
+            // The paper's two include/ bugs live in header files
+            // (§6.2: hypervisor.h, trusted_foundation.h).
+            let ext = if subsystem == "include" { "h" } else { "c" };
+            let path = format!("{subsystem}/{module}/{module}_unit{file_idx}.{ext}");
+            let take = cfg.bugs_per_file.min(instances.len());
+            let chunk: Vec<(u8, &str)> = instances.drain(..take).collect();
+            let mut content = format!(
+                "// SPDX-License-Identifier: GPL-2.0\n\
+                 // {subsystem}/{module}: generated driver unit {file_idx}.\n\
+                 #include <linux/of.h>\n#include <linux/kref.h>\n\n\
+                 struct {module}_priv {{\n\tstruct device_node *node;\n\tint ready;\n}};\n\n"
+            );
+            for (pattern, api) in chunk {
+                // The UAF (hidden-decrement) flavour of P4 only exists
+                // for APIs that consume their `from` argument.
+                let uaf_capable = pattern == 4
+                    && kb.get(api).is_some_and(|a| {
+                        matches!(a.flow, refminer_rcapi::ObjectFlow::ArgAndReturned(_))
+                    });
+                let uaf = if uaf_capable {
+                    if !uaf_left.iter().any(|(s, _)| s == subsystem) {
+                        uaf_left.push((subsystem.to_string(), p4_uaf_quota(subsystem)));
+                    }
+                    let q = uaf_left
+                        .iter_mut()
+                        .find(|(s, _)| s == subsystem)
+                        .map(|e| &mut e.1)
+                        .expect("just inserted");
+                    if *q > 0 {
+                        *q -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                let fn_name = ng.ident(&format!("{module}_op"));
+                let src = emit_bug(pattern, api, &fn_name, &kb, &mut ng, uaf);
+                content.push_str(&src);
+                content.push('\n');
+                let impact = match (pattern, uaf) {
+                    (2, _) => "NPD",
+                    (8, _) | (9, _) | (4, true) => "UAF",
+                    _ => "Leak",
+                };
+                let function = if pattern == 6 {
+                    format!("{fn_name}_probe")
+                } else {
+                    fn_name.clone()
+                };
+                manifest.bugs.push(InjectedBug {
+                    path: path.clone(),
+                    function,
+                    pattern,
+                    api: api.to_string(),
+                    impact: impact.to_string(),
+                    subsystem: subsystem.to_string(),
+                    module: module.to_string(),
+                });
+            }
+            // Clean twins and neutral filler.
+            for i in 0..cfg.clean_per_file {
+                let fn_name = ng.ident(&format!("{module}_helper"));
+                let src = if i % 2 == 0 {
+                    let (pattern, api) = clean_shape_for(i, file_idx);
+                    emit_clean(pattern, api, &fn_name, &kb, &mut ng)
+                } else {
+                    emit_filler(&fn_name, &mut ng)
+                };
+                content.push_str(&src);
+                content.push('\n');
+                manifest.clean_functions += 1;
+            }
+            files.push(SourceFile { path, content });
+        }
+    }
+
+    if cfg.include_vendor {
+        emit_vendor_module(&mut files, &mut manifest);
+    }
+
+    if cfg.include_tricky {
+        for i in 0..5 {
+            // The paper's five false positives: one in arch, four in
+            // drivers (Table 4's #FP column).
+            let path = if i == 0 {
+                format!("arch/powerpc/tricky_unit{i}.c")
+            } else {
+                format!("drivers/scsi/tricky_unit{i}.c")
+            };
+            let fn_name = ng.ident("lpfc_evt");
+            let mut content =
+                String::from("// SPDX-License-Identifier: GPL-2.0\n#include <linux/of.h>\n\n");
+            content.push_str(&emit_tricky(&fn_name, &mut ng));
+            manifest.tricky.push((path.clone(), fn_name));
+            files.push(SourceFile { path, content });
+        }
+    }
+
+    SyntheticTree { files, manifest }
+}
+
+/// Emits the vendor module: custom refcounting wrappers implemented on
+/// `kref`, a custom find-like API and a custom smartloop macro — all
+/// unknown to the builtin knowledge base — plus six bugs using them.
+/// Only API/smartloop discovery can give the checkers the vocabulary to
+/// find these.
+fn emit_vendor_module(files: &mut Vec<SourceFile>, manifest: &mut Manifest) {
+    files.push(SourceFile {
+        path: "include/vendor/widget.h".to_string(),
+        content: r#"/* SPDX-License-Identifier: GPL-2.0 */
+#ifndef _VENDOR_WIDGET_H
+#define _VENDOR_WIDGET_H
+
+struct vendor_widget {
+        struct kref refs;
+        const char *label;
+        struct vendor_widget *next;
+};
+
+extern struct vendor_widget *vendor_widget_get(struct vendor_widget *w);
+extern void vendor_widget_put(struct vendor_widget *w);
+extern struct vendor_widget *vendor_widget_find_next(struct vendor_pool *pool, struct vendor_widget *from);
+
+#define for_each_vendor_widget(pool, w) \
+        for (w = vendor_widget_find_next(pool, NULL); w; \
+             w = vendor_widget_find_next(pool, w))
+
+#endif
+"#
+        .to_string(),
+    });
+    files.push(SourceFile {
+        path: "drivers/vendor/vendor_core.c".to_string(),
+        content: r#"// SPDX-License-Identifier: GPL-2.0
+#include <vendor/widget.h>
+
+struct vendor_widget *vendor_widget_get(struct vendor_widget *w)
+{
+        if (w)
+                kref_get(&w->refs);
+        return w;
+}
+
+void vendor_widget_put(struct vendor_widget *w)
+{
+        if (w)
+                kref_put(&w->refs, vendor_widget_release);
+}
+
+struct vendor_widget *vendor_widget_find_next(struct vendor_pool *pool, struct vendor_widget *from)
+{
+        struct vendor_widget *w = pool_next(pool, from);
+        if (w)
+                kref_get(&w->refs);
+        if (from)
+                kref_put(&from->refs, vendor_widget_release);
+        return w;
+}
+"#
+        .to_string(),
+    });
+    let bugs_src = r#"// SPDX-License-Identifier: GPL-2.0
+#include <vendor/widget.h>
+
+static int vendor_scan_first(struct vendor_pool *pool)
+{
+        struct vendor_widget *w;
+        for_each_vendor_widget(pool, w) {
+                if (w->label)
+                        break;
+        }
+        return 0;
+}
+
+static int vendor_probe_label(struct vendor_pool *pool)
+{
+        struct vendor_widget *w = vendor_widget_find_next(pool, NULL);
+        if (!w)
+                return -ENODEV;
+        use_label(w->label);
+        return 0;
+}
+
+static void vendor_flush(struct vendor_widget *w)
+{
+        vendor_widget_put(w);
+        update_stats(w->label);
+}
+"#;
+    files.push(SourceFile {
+        path: "drivers/vendor/vendor_scan.c".to_string(),
+        content: bugs_src.to_string(),
+    });
+    for (function, pattern, api, impact) in [
+        ("vendor_scan_first", 3u8, "for_each_vendor_widget", "Leak"),
+        ("vendor_probe_label", 4, "vendor_widget_find_next", "Leak"),
+        ("vendor_flush", 8, "vendor_widget_put", "UAF"),
+    ] {
+        manifest.bugs.push(InjectedBug {
+            path: "drivers/vendor/vendor_scan.c".to_string(),
+            function: function.to_string(),
+            pattern,
+            api: api.to_string(),
+            impact: impact.to_string(),
+            subsystem: "drivers".to_string(),
+            module: "vendor".to_string(),
+        });
+    }
+}
+
+/// Rotates clean-twin shapes for variety.
+fn clean_shape_for(i: usize, salt: usize) -> (u8, &'static str) {
+    const SHAPES: &[(u8, &str)] = &[
+        (5, "of_find_node_by_path"),
+        (1, "pm_runtime_get_sync"),
+        (3, "for_each_child_of_node"),
+        (4, "of_find_compatible_node"),
+        (7, "of_find_node_by_name"),
+        (8, "sock_put"),
+        (9, "of_node_get"),
+        (2, "mdesc_grab"),
+    ];
+    SHAPES[(i + salt) % SHAPES.len()]
+}
+
+impl SyntheticTree {
+    /// Writes the tree to a directory (creating parents), plus the
+    /// manifest as `manifest.json` at the root.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        for f in &self.files {
+            let full = dir.join(&f.path);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, &f.content)?;
+        }
+        let manifest = serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
+        std::fs::write(dir.join("manifest.json"), manifest)
+    }
+
+    /// Total lines of C code in the tree.
+    pub fn total_lines(&self) -> usize {
+        self.files.iter().map(|f| f.content.lines().count()).sum()
+    }
+}
+
+/// The device-tree header: smartloop macros and the `device_node`
+/// definition — input for the discovery pipeline.
+const OF_HEADER: &str = r#"/* SPDX-License-Identifier: GPL-2.0 */
+#ifndef _LINUX_OF_H
+#define _LINUX_OF_H
+
+struct device_node {
+        const char *name;
+        const char *full_name;
+        struct kobject kobj;
+        struct device_node *parent;
+        struct device_node *child;
+        struct device_node *sibling;
+};
+
+extern struct device_node *of_node_get(struct device_node *node);
+extern void of_node_put(struct device_node *node);
+extern struct device_node *of_find_node_by_name(struct device_node *from, const char *name);
+extern struct device_node *of_find_compatible_node(struct device_node *from, const char *type, const char *compat);
+extern struct device_node *of_find_matching_node(struct device_node *from, const struct of_device_id *matches);
+extern struct device_node *of_get_next_child(const struct device_node *node, struct device_node *prev);
+
+#define for_each_child_of_node(parent, child) \
+        for (child = of_get_next_child(parent, NULL); child != NULL; \
+             child = of_get_next_child(parent, child))
+
+#define for_each_matching_node(dn, matches) \
+        for (dn = of_find_matching_node(NULL, matches); dn; \
+             dn = of_find_matching_node(dn, matches))
+
+#define for_each_node_by_name(dn, name) \
+        for (dn = of_find_node_by_name(NULL, name); dn; \
+             dn = of_find_node_by_name(dn, name))
+
+#define for_each_compatible_node(dn, type, compatible) \
+        for (dn = of_find_compatible_node(NULL, type, compatible); dn; \
+             dn = of_find_compatible_node(dn, type, compatible))
+
+#endif
+"#;
+
+/// The kref header: the basic refcounted structures.
+const KREF_HEADER: &str = r#"/* SPDX-License-Identifier: GPL-2.0 */
+#ifndef _LINUX_KREF_H
+#define _LINUX_KREF_H
+
+typedef struct refcount_struct {
+        int refs;
+} refcount_t;
+
+struct kref {
+        refcount_t refcount;
+};
+
+struct kobject {
+        const char *name;
+        struct kref kref;
+        unsigned int state_initialized;
+};
+
+static inline void kref_get(struct kref *kref)
+{
+        refcount_inc(&kref->refcount);
+}
+
+#endif
+"#;
+
+/// Reference implementations of the device get/put wrappers; the
+/// discovery stage classifies these as Specific APIs.
+const BASE_CORE: &str = r#"// SPDX-License-Identifier: GPL-2.0
+#include <linux/kref.h>
+
+struct device {
+        struct kobject kobj;
+        struct device *parent;
+        void *driver_data;
+};
+
+struct device *get_device(struct device *dev)
+{
+        if (dev)
+                kobject_get(&dev->kobj);
+        return dev;
+}
+
+void put_device(struct device *dev)
+{
+        if (dev)
+                kobject_put(&dev->kobj);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_plan_total() {
+        let tree = generate_tree(&TreeConfig::default());
+        assert_eq!(tree.manifest.bugs.len(), 351);
+        assert_eq!(tree.manifest.tricky.len(), 5);
+        assert!(tree.files.len() > 90);
+    }
+
+    #[test]
+    fn impacts_match_table4() {
+        let tree = generate_tree(&TreeConfig::default());
+        let count = |imp: &str| {
+            tree.manifest
+                .bugs
+                .iter()
+                .filter(|b| b.impact == imp)
+                .count()
+        };
+        assert_eq!(count("Leak"), 296);
+        assert_eq!(count("UAF"), 48);
+        assert_eq!(count("NPD"), 7);
+    }
+
+    #[test]
+    fn per_subsystem_counts_match_table4() {
+        let tree = generate_tree(&TreeConfig::default());
+        let count = |s: &str| {
+            tree.manifest
+                .bugs
+                .iter()
+                .filter(|b| b.subsystem == s)
+                .count()
+        };
+        assert_eq!(count("arch"), 156);
+        assert_eq!(count("drivers"), 182);
+        assert_eq!(count("include"), 2);
+        assert_eq!(count("net"), 2);
+        assert_eq!(count("sound"), 9);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_tree(&TreeConfig::default());
+        let b = generate_tree(&TreeConfig::default());
+        assert_eq!(a.files.len(), b.files.len());
+        assert_eq!(a.files[5].content, b.files[5].content);
+    }
+
+    #[test]
+    fn scaled_generation_shrinks() {
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.1,
+            ..Default::default()
+        });
+        assert!(tree.manifest.bugs.len() < 150);
+        assert!(!tree.manifest.bugs.is_empty());
+    }
+
+    #[test]
+    fn manifest_lookup() {
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let b = &tree.manifest.bugs[0];
+        assert!(tree.manifest.matches(&b.path, &b.function, b.pattern));
+        assert!(!tree.manifest.matches(&b.path, &b.function, 200));
+    }
+}

@@ -1,0 +1,32 @@
+//! Recoverable parse errors.
+
+use refminer_clex::Span;
+use std::fmt;
+
+/// An error the parser recovered from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A specific token was expected but absent.
+    Expected {
+        /// What was expected (source text).
+        what: &'static str,
+        /// Where the expectation failed.
+        span: Span,
+    },
+    /// A token that no production could begin with.
+    UnexpectedToken {
+        /// Where it happened.
+        span: Span,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Expected { what, span } => write!(f, "{span}: expected `{what}`"),
+            ParseError::UnexpectedToken { span } => write!(f, "{span}: unexpected token"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

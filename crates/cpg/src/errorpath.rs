@@ -1,0 +1,251 @@
+//! Error-handling-block classification (the paper's `B_error` context).
+//!
+//! Two shapes count as error handling in kernel code (§7 "two kinds of
+//! error-handling locations"):
+//!
+//! 1. the *premature exit*: the True branch of a check like
+//!    `if (ret < 0)`, `if (!ptr)`, `if (IS_ERR(x))` that leads to a
+//!    `return`/`goto` before the function's main work completes;
+//! 2. the *error label*: statements following labels named `err*`,
+//!    `out*`, `fail*`, `cleanup*`, ...
+
+use std::collections::HashSet;
+
+use crate::cfg::{Cfg, EdgeKind, NodeId, NodeKind};
+use crate::facts::{CheckFact, NodeFacts};
+
+/// Label names that conventionally begin error-handling code.
+pub fn is_error_label(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.starts_with("err")
+        || n.starts_with("out")
+        || n.starts_with("fail")
+        || n.starts_with("bail")
+        || n.starts_with("cleanup")
+        || n.starts_with("unwind")
+        || n.starts_with("free")
+        || n.starts_with("put")
+        || n.starts_with("release")
+        || n.starts_with("undo")
+        || n.starts_with("abort")
+        || n.starts_with("drop")
+        || n.starts_with("unlock")
+        || n.starts_with("unmap")
+        || n.starts_with("disable")
+        || n.starts_with("exit")
+}
+
+/// Computes the set of nodes that belong to error-handling blocks.
+///
+/// `facts` must be parallel to `cfg.nodes`.
+pub fn error_nodes(cfg: &Cfg, facts: &[NodeFacts]) -> HashSet<NodeId> {
+    let mut marked: HashSet<NodeId> = HashSet::new();
+
+    // Shape 2: error labels color everything that follows them up to
+    // the exit (flood along Fall/Goto edges, stopping at fresh labels
+    // that are *not* error labels).
+    for n in cfg.node_ids() {
+        if let NodeKind::Label(name) = &cfg.nodes[n].kind {
+            if is_error_label(name) {
+                flood_forward(cfg, n, &mut marked);
+            }
+        }
+    }
+
+    // Shape 1: the True branch of an error check, when it is a short
+    // bail-out region (reaches exit without re-joining long code). We
+    // approximate "bail-out" as: every node in the flooded region is a
+    // straight-line statement, and the region ends in return/goto.
+    for n in cfg.node_ids() {
+        let is_err_cond = matches!(cfg.nodes[n].kind, NodeKind::Cond(_))
+            && facts[n]
+                .checks
+                .iter()
+                .any(|c| matches!(c, CheckFact::ErrOnTrue(_) | CheckFact::NullOnTrue(_)));
+        if !is_err_cond {
+            continue;
+        }
+        for &(succ, kind) in cfg.succs(n) {
+            if kind != EdgeKind::True {
+                continue;
+            }
+            if let Some(region) = bailout_region(cfg, succ) {
+                marked.extend(region);
+            }
+        }
+    }
+    marked
+}
+
+/// Computes the nodes belonging to NULL-guard bailouts of `var`: the
+/// True-branch regions of checks like `if (!var) return -ENODEV;` or
+/// `if (IS_ERR(var)) return PTR_ERR(var);`.
+///
+/// When an acquired pointer is NULL (or an `ERR_PTR` sentinel), no
+/// reference was taken, so the bailout legitimately skips the
+/// decrement; checkers exclude these regions from "leaky error path"
+/// matching.
+pub fn null_guard_nodes(cfg: &Cfg, facts: &[NodeFacts], var: &str) -> HashSet<NodeId> {
+    let mut marked = HashSet::new();
+    for n in cfg.node_ids() {
+        let guards = matches!(cfg.nodes[n].kind, NodeKind::Cond(_))
+            && facts[n].checks.iter().any(|c| {
+                matches!(c,
+                    CheckFact::NullOnTrue(v) | CheckFact::ErrPtrOnTrue(v) if v == var)
+            });
+        if !guards {
+            continue;
+        }
+        for &(succ, kind) in cfg.succs(n) {
+            if kind != EdgeKind::True {
+                continue;
+            }
+            if let Some(region) = bailout_region(cfg, succ) {
+                marked.extend(region);
+            }
+        }
+    }
+    marked
+}
+
+/// Floods forward along non-back edges from `start`, inserting into
+/// `marked`.
+fn flood_forward(cfg: &Cfg, start: NodeId, marked: &mut HashSet<NodeId>) {
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if !marked.insert(n) {
+            continue;
+        }
+        for &(s, kind) in cfg.succs(n) {
+            if kind == EdgeKind::Back {
+                continue;
+            }
+            stack.push(s);
+        }
+    }
+}
+
+/// If the region starting at `start` is a short straight bail-out
+/// (statements then return/goto/exit, no branching back into main
+/// code), returns its node set.
+fn bailout_region(cfg: &Cfg, start: NodeId) -> Option<Vec<NodeId>> {
+    let mut region = Vec::new();
+    let mut cur = start;
+    for _ in 0..32 {
+        match &cfg.nodes[cur].kind {
+            NodeKind::Exit => return Some(region),
+            NodeKind::Stmt(payload) => {
+                region.push(cur);
+                use crate::cfg::Payload;
+                match payload {
+                    Payload::Return(_) | Payload::Goto(_) | Payload::Break | Payload::Continue => {
+                        return Some(region);
+                    }
+                    _ => {}
+                }
+            }
+            NodeKind::Label(_) => {
+                // Entering a label means joining shared code; only an
+                // error label keeps the region an error region (it is
+                // already flooded by shape 2 anyway).
+                return Some(region);
+            }
+            NodeKind::Cond(_) | NodeKind::MacroLoopHead { .. } => return None,
+            _ => region.push(cur),
+        }
+        let mut next = None;
+        for &(s, kind) in cfg.succs(cur) {
+            if kind == EdgeKind::Back {
+                continue;
+            }
+            if next.is_some() {
+                return None; // Branches: not a straight bail-out.
+            }
+            next = Some(s);
+        }
+        cur = next?;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::NodeFacts;
+    use refminer_cparse::parse_str;
+
+    fn analyze(body: &str) -> (Cfg, Vec<NodeFacts>, HashSet<NodeId>) {
+        let src =
+            format!("int f(struct device *dev) {{ struct device_node *np; int ret; {body} }}");
+        let tu = parse_str("t.c", &src);
+        let cfg = Cfg::build(tu.function("f").unwrap());
+        let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
+        let errs = error_nodes(&cfg, &facts);
+        (cfg, facts, errs)
+    }
+
+    #[test]
+    fn error_label_names() {
+        assert!(is_error_label("err"));
+        assert!(is_error_label("err_unmap"));
+        assert!(is_error_label("out_free"));
+        assert!(is_error_label("fail2"));
+        assert!(!is_error_label("retry"));
+        assert!(!is_error_label("loop_top"));
+    }
+
+    #[test]
+    fn premature_return_is_error_block() {
+        let (cfg, facts, errs) =
+            analyze("ret = do_thing(); if (ret < 0) return ret; do_more(); return 0;");
+        // The `return ret` inside the check must be marked.
+        let ret_nodes: Vec<_> = cfg
+            .node_ids()
+            .filter(|&i| facts[i].is_return && facts[i].returns_var.as_deref() == Some("ret"))
+            .collect();
+        assert!(ret_nodes.iter().any(|n| errs.contains(n)));
+        // The trailing `return 0` must not be.
+        let final_ret = cfg
+            .node_ids()
+            .find(|&i| facts[i].is_return && facts[i].returns_var.is_none())
+            .unwrap();
+        assert!(!errs.contains(&final_ret));
+    }
+
+    #[test]
+    fn error_label_block_marked() {
+        let (cfg, facts, errs) = analyze(
+            "ret = do_thing(); if (ret) goto err_put; return 0; err_put: of_node_put(np); return ret;",
+        );
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(errs.contains(&put));
+    }
+
+    #[test]
+    fn null_check_bailout_marked() {
+        let (cfg, facts, errs) =
+            analyze("np = find_thing(); if (!np) return -ENODEV; use_thing(np); return 0;");
+        let bail = cfg
+            .node_ids()
+            .find(|&i| facts[i].is_return && facts[i].returns_error)
+            .unwrap();
+        assert!(errs.contains(&bail));
+        let use_node = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("use_thing"))
+            .unwrap();
+        assert!(!errs.contains(&use_node));
+    }
+
+    #[test]
+    fn success_path_not_marked() {
+        let (cfg, facts, errs) = analyze("do_a(); do_b(); return 0;");
+        for i in cfg.node_ids() {
+            let _ = &facts[i];
+            assert!(!errs.contains(&i));
+        }
+    }
+}

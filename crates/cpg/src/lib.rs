@@ -1,0 +1,29 @@
+//! # refminer-cpg
+//!
+//! Code property graphs for kernel-style C functions.
+//!
+//! This crate turns `refminer-cparse` ASTs into per-function
+//! [`FunctionGraph`]s — a control-flow graph ([`Cfg`]) whose nodes carry
+//! extracted semantic facts ([`NodeFacts`]), a variable-origin analysis
+//! ([`Origins`]), and an error-block classification — and provides the
+//! [`PathQuery`] engine that the anti-pattern checkers use to search for
+//! bug-witnessing execution paths.
+//!
+//! The design follows §6.1 of the SOSP '23 refcounting study: the
+//! paper's JOERN-built CPGs with "line numbers embedded in the graph
+//! nodes to represent the execution orders" become explicit CFG edges
+//! here, and its template matching becomes product-graph path search.
+
+mod cfg;
+mod errorpath;
+mod facts;
+mod graph;
+mod origins;
+mod paths;
+
+pub use cfg::{Cfg, CfgNode, EdgeKind, NodeId, NodeKind, Payload};
+pub use errorpath::{error_nodes, is_error_label, null_guard_nodes};
+pub use facts::{ArgFact, AssignFact, CallFact, CheckFact, NodeFacts, StoreTarget};
+pub use graph::FunctionGraph;
+pub use origins::{Origin, Origins};
+pub use paths::{PathQuery, Step};

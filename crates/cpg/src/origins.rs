@@ -1,0 +1,261 @@
+//! Variable-origin analysis: a forward may-analysis over the CFG that
+//! tracks, for every program point, which call (or parameter) each
+//! pointer variable may currently hold the result of.
+//!
+//! This is the light-weight stand-in for full def-use chains: the
+//! refcounting checkers need to know "`np` was obtained from
+//! `of_find_node_by_name`" at the point of a `put`/deref/escape, with
+//! one level of copy propagation (`alias = np;`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{Cfg, NodeId, NodeKind};
+use crate::facts::{NodeFacts, StoreTarget};
+
+/// Where a variable's current value may have come from.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Origin {
+    /// The return value of a direct call, with the originating node.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Node where the call was assigned.
+        node: NodeId,
+    },
+    /// A function parameter (never reassigned so far).
+    Param,
+    /// Anything else (literal, arithmetic, unparsed).
+    Other,
+}
+
+/// Per-node origin environments (the state *after* the node executes).
+#[derive(Debug, Clone)]
+pub struct Origins {
+    out: Vec<BTreeMap<String, BTreeSet<Origin>>>,
+}
+
+impl Origins {
+    /// Runs the analysis to a fixpoint.
+    ///
+    /// `facts` must be parallel to `cfg.nodes`. `params` seeds the entry
+    /// environment.
+    pub fn compute(cfg: &Cfg, facts: &[NodeFacts], params: &[String]) -> Origins {
+        let n = cfg.nodes.len();
+        let mut out: Vec<BTreeMap<String, BTreeSet<Origin>>> = vec![BTreeMap::new(); n];
+        // Seed entry with parameters.
+        for p in params {
+            out[cfg.entry]
+                .entry(p.clone())
+                .or_default()
+                .insert(Origin::Param);
+        }
+        let mut work: Vec<NodeId> = cfg.node_ids().collect();
+        let mut iterations = 0usize;
+        let cap = n.saturating_mul(64).max(1024);
+        while let Some(node) = work.pop() {
+            iterations += 1;
+            if iterations > cap {
+                break;
+            }
+            // In-state: union of predecessors' out-states (entry keeps
+            // its seeded state).
+            let mut env: BTreeMap<String, BTreeSet<Origin>> = if node == cfg.entry {
+                out[cfg.entry].clone()
+            } else {
+                let mut e: BTreeMap<String, BTreeSet<Origin>> = BTreeMap::new();
+                for &(p, _) in cfg.preds(node) {
+                    for (var, origins) in &out[p] {
+                        e.entry(var.clone())
+                            .or_default()
+                            .extend(origins.iter().cloned());
+                    }
+                }
+                e
+            };
+            // Transfer: apply this node's assignments.
+            apply_transfer(&facts[node], node, &mut env);
+            // Macro loop heads bind their iterator argument to the loop
+            // macro itself (the hidden find-like call).
+            // Which argument is the iterator differs per macro
+            // (`for_each_matching_node(dn, ids)` vs
+            // `for_each_child_of_node(parent, child)`), so bind every
+            // bare-identifier argument; the checkers narrow with their
+            // smartloop knowledge base.
+            if let NodeKind::MacroLoopHead { name, args } = &cfg.nodes[node].kind {
+                for arg in args {
+                    if let Some(var) = arg.as_ident() {
+                        let mut set = BTreeSet::new();
+                        set.insert(Origin::Call {
+                            name: name.clone(),
+                            node,
+                        });
+                        env.insert(var.to_string(), set);
+                    }
+                }
+            }
+            if env != out[node] {
+                out[node] = env;
+                for &(s, _) in cfg.succs(node) {
+                    if !work.contains(&s) {
+                        work.push(s);
+                    }
+                }
+            }
+        }
+        Origins { out }
+    }
+
+    /// The origins of `var` *after* node `n` executes (i.e. visible to
+    /// its successors). For queries about the state at `n` itself, ask
+    /// about a predecessor — or use [`Origins::at`], which unions the
+    /// predecessors.
+    pub fn after(&self, n: NodeId, var: &str) -> impl Iterator<Item = &Origin> {
+        self.out[n].get(var).into_iter().flatten()
+    }
+
+    /// The origins of `var` as seen *by* node `n` (union over preds).
+    pub fn at<'a>(&'a self, cfg: &Cfg, n: NodeId, var: &str) -> BTreeSet<&'a Origin> {
+        let mut set = BTreeSet::new();
+        for &(p, _) in cfg.preds(n) {
+            if let Some(origins) = self.out[p].get(var) {
+                set.extend(origins.iter());
+            }
+        }
+        if n == cfg.entry {
+            if let Some(origins) = self.out[cfg.entry].get(var) {
+                set.extend(origins.iter());
+            }
+        }
+        set
+    }
+
+    /// Whether `var`, as seen by node `n`, may hold the result of a call
+    /// to `callee`.
+    pub fn var_from_call(&self, cfg: &Cfg, n: NodeId, var: &str, callee: &str) -> bool {
+        self.at(cfg, n, var)
+            .iter()
+            .any(|o| matches!(o, Origin::Call { name, .. } if name == callee))
+    }
+
+    /// All call names `var` may originate from, as seen by node `n`.
+    pub fn call_origins(&self, cfg: &Cfg, n: NodeId, var: &str) -> Vec<String> {
+        self.at(cfg, n, var)
+            .iter()
+            .filter_map(|o| match o {
+                Origin::Call { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn apply_transfer(facts: &NodeFacts, node: NodeId, env: &mut BTreeMap<String, BTreeSet<Origin>>) {
+    for a in &facts.assigns {
+        let StoreTarget::Var(dest) = &a.target else {
+            continue;
+        };
+        let mut set = BTreeSet::new();
+        if let Some(call) = &a.rhs_call {
+            set.insert(Origin::Call {
+                name: call.clone(),
+                node,
+            });
+        } else if let Some(src) = &a.rhs_root {
+            // Copy propagation: inherit the source's origins.
+            if let Some(origins) = env.get(src) {
+                set.extend(origins.iter().cloned());
+            } else {
+                set.insert(Origin::Other);
+            }
+        } else {
+            set.insert(Origin::Other);
+        }
+        // Strong update: assignment replaces previous origins.
+        env.insert(dest.clone(), set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::NodeFacts;
+    use refminer_cparse::parse_str;
+
+    fn setup(body: &str) -> (Cfg, Vec<NodeFacts>, Origins) {
+        let src = format!(
+            "int f(struct device *pdev) {{ struct device_node *np; struct device_node *alias; int ret; {body} }}"
+        );
+        let tu = parse_str("t.c", &src);
+        let func = tu.function("f").unwrap();
+        let cfg = Cfg::build(func);
+        let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
+        let origins = Origins::compute(&cfg, &facts, &["pdev".to_string()]);
+        (cfg, facts, origins)
+    }
+
+    #[test]
+    fn call_origin_tracked() {
+        let (cfg, facts, origins) =
+            setup("np = of_find_node_by_name(NULL, \"x\"); of_node_put(np); return 0;");
+        // Find the put node.
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(origins.var_from_call(&cfg, put, "np", "of_find_node_by_name"));
+    }
+
+    #[test]
+    fn copy_propagation() {
+        let (cfg, facts, origins) = setup(
+            "np = of_find_node_by_name(NULL, \"x\"); alias = np; of_node_put(alias); return 0;",
+        );
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(origins.var_from_call(&cfg, put, "alias", "of_find_node_by_name"));
+    }
+
+    #[test]
+    fn strong_update_kills_origin() {
+        let (cfg, facts, origins) =
+            setup("np = of_find_node_by_name(NULL, \"x\"); np = NULL; of_node_put(np); return 0;");
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(!origins.var_from_call(&cfg, put, "np", "of_find_node_by_name"));
+    }
+
+    #[test]
+    fn merge_over_branches() {
+        let (cfg, facts, origins) = setup(
+            "if (ret) np = of_find_node_by_name(NULL, \"a\"); else np = of_get_parent(pdev); of_node_put(np); return 0;",
+        );
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(origins.var_from_call(&cfg, put, "np", "of_find_node_by_name"));
+        assert!(origins.var_from_call(&cfg, put, "np", "of_get_parent"));
+    }
+
+    #[test]
+    fn params_are_params() {
+        let (cfg, _facts, origins) = setup("return 0;");
+        let at_exit = origins.at(&cfg, cfg.exit, "pdev");
+        assert!(at_exit.iter().any(|o| matches!(o, Origin::Param)));
+    }
+
+    #[test]
+    fn macro_loop_binds_iterator() {
+        let (cfg, facts, origins) =
+            setup("for_each_child_of_node(pdev, np) { of_node_put(np); } return 0;");
+        let put = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("of_node_put"))
+            .unwrap();
+        assert!(origins.var_from_call(&cfg, put, "np", "for_each_child_of_node"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Classification of confirmed bug-fix commits into the Table 2
+//! taxonomy, working purely from commit text (message + diff).
+
+use refminer_corpus::Commit;
+use refminer_rcapi::{ApiKb, RcDir};
+use serde::{Deserialize, Serialize};
+
+use crate::mine::diff_calls;
+
+/// The Table 2 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// 1.1 — missing decrement, pairable within one function.
+    MissingDecIntra,
+    /// 1.2 — missing decrement across paired functions.
+    MissingDecInter,
+    /// 2 — other leak causes (e.g. direct-free).
+    LeakOther,
+    /// 3.1 (UAD) — decrement misplaced before the last access.
+    MisplacedDecUad,
+    /// 3.1 (other) — decrement misplaced elsewhere.
+    MisplacedDecOther,
+    /// 3.2 — increment misplaced.
+    MisplacedInc,
+    /// 4.1 — missing increment, intra-function.
+    MissingIncIntra,
+    /// 4.2 — missing increment, inter-function.
+    MissingIncInter,
+    /// 5 — other UAF causes.
+    UafOther,
+}
+
+impl BugKind {
+    /// Human-readable label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugKind::MissingDecIntra => "1.1 Intra-Unpaired (missing dec)",
+            BugKind::MissingDecInter => "1.2 Inter-Unpaired (missing dec)",
+            BugKind::LeakOther => "2. Others (leak)",
+            BugKind::MisplacedDecUad => "3.1 Misplacing dec (UAD)",
+            BugKind::MisplacedDecOther => "3.1 Misplacing dec (other)",
+            BugKind::MisplacedInc => "3.2 Misplacing inc",
+            BugKind::MissingIncIntra => "4.1 Intra-Unpaired (missing inc)",
+            BugKind::MissingIncInter => "4.2 Inter-Unpaired (missing inc)",
+            BugKind::UafOther => "5. Others (UAF)",
+        }
+    }
+}
+
+/// Security impact of a historical bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HistImpact {
+    /// Memory leak.
+    Leak,
+    /// Use-after-free.
+    Uaf,
+}
+
+/// A classified historical bug.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistBug {
+    /// Fixing commit id.
+    pub commit_id: String,
+    /// Subsystem and module.
+    pub subsystem: String,
+    /// Module within the subsystem.
+    pub module: String,
+    /// Taxonomy bucket.
+    pub kind: BugKind,
+    /// Projected impact.
+    pub impact: HistImpact,
+    /// Year and release of the fix.
+    pub fix_year: u32,
+    /// Kernel release of the fix.
+    pub fix_version: String,
+    /// Year the bug was introduced (via the `Fixes:` tag), if tagged.
+    pub intro_year: Option<u32>,
+    /// Release the bug was introduced in, if tagged.
+    pub intro_version: Option<String>,
+    /// The refcounting APIs touched by the fix.
+    pub apis: Vec<String>,
+}
+
+impl HistBug {
+    /// Bug lifetime in years, when the introduction is known.
+    pub fn lifetime_years(&self) -> Option<u32> {
+        self.intro_year.map(|iy| self.fix_year.saturating_sub(iy))
+    }
+}
+
+/// Classifies one confirmed fixing commit.
+///
+/// `intro_lookup` resolves a `Fixes:` target id to the introducing
+/// commit's (year, version).
+pub fn classify(
+    commit: &Commit,
+    kb: &ApiKb,
+    intro_lookup: &dyn Fn(&str) -> Option<(u32, String)>,
+) -> HistBug {
+    let msg = commit.message.to_ascii_lowercase();
+    let calls = diff_calls(&commit.diff);
+
+    let mut added_dec = Vec::new();
+    let mut removed_dec = Vec::new();
+    let mut added_inc = Vec::new();
+    let mut removed_inc = Vec::new();
+    let mut removed_free = false;
+    let mut context_has_inc = false;
+    let mut apis = Vec::new();
+    for dc in &calls {
+        let dir = kb.get(&dc.api).map(|a| a.dir);
+        match (dc.sign, dir) {
+            ('+', Some(RcDir::Dec)) => added_dec.push(dc.api.clone()),
+            ('-', Some(RcDir::Dec)) => removed_dec.push(dc.api.clone()),
+            ('+', Some(RcDir::Inc)) => added_inc.push(dc.api.clone()),
+            ('-', Some(RcDir::Inc)) => removed_inc.push(dc.api.clone()),
+            ('-', None) if dc.api == "kfree" || dc.api == "kvfree" => removed_free = true,
+            (' ', Some(RcDir::Inc)) => context_has_inc = true,
+            // A smartloop in the context is an (embedded) increment
+            // site too: its fix pairs within the same function.
+            (' ', None) if kb.smartloop(&dc.api).is_some() => context_has_inc = true,
+            _ => {}
+        }
+        if dir.is_some() && !apis.contains(&dc.api) {
+            apis.push(dc.api.clone());
+        }
+    }
+
+    let mentions_uaf = msg.contains("use-after-free")
+        || msg.contains("use after free")
+        || msg.contains("uaf")
+        || msg.contains("premature");
+    let mentions_leak = msg.contains("leak") || msg.contains("out of memory");
+
+    let kind = if removed_free && !added_dec.is_empty() {
+        BugKind::LeakOther
+    } else if !added_dec.is_empty() && !removed_dec.is_empty() {
+        // A moved decrement.
+        if mentions_uaf && msg.contains("last reference") {
+            BugKind::MisplacedDecUad
+        } else if mentions_uaf {
+            BugKind::UafOther
+        } else {
+            BugKind::MisplacedDecOther
+        }
+    } else if !added_inc.is_empty() && !removed_inc.is_empty() {
+        BugKind::MisplacedInc
+    } else if !added_dec.is_empty() {
+        if context_has_inc {
+            BugKind::MissingDecIntra
+        } else {
+            BugKind::MissingDecInter
+        }
+    } else if !added_inc.is_empty() {
+        if context_has_inc {
+            BugKind::MissingIncIntra
+        } else {
+            BugKind::MissingIncInter
+        }
+    } else if mentions_uaf {
+        BugKind::UafOther
+    } else {
+        BugKind::LeakOther
+    };
+
+    // Impact: the message keywords decide (§4.1); the taxonomy bucket
+    // breaks ties.
+    let impact = if mentions_leak && !mentions_uaf {
+        HistImpact::Leak
+    } else if mentions_uaf {
+        HistImpact::Uaf
+    } else {
+        match kind {
+            BugKind::MissingDecIntra | BugKind::MissingDecInter | BugKind::LeakOther => {
+                HistImpact::Leak
+            }
+            _ => HistImpact::Uaf,
+        }
+    };
+
+    let (intro_year, intro_version) = match commit.fixes_tag().and_then(intro_lookup) {
+        Some((y, v)) => (Some(y), Some(v)),
+        None => (None, None),
+    };
+
+    HistBug {
+        commit_id: commit.id.clone(),
+        subsystem: commit.subsystem.clone(),
+        module: commit.module.clone(),
+        kind,
+        impact,
+        fix_year: commit.year,
+        fix_version: commit.version.clone(),
+        intro_year,
+        intro_version,
+        apis,
+    }
+}
+
+/// Mines and classifies a whole history in one call.
+pub fn classify_history(commits: &[Commit], kb: &ApiKb) -> Vec<HistBug> {
+    let result = crate::mine::mine(commits, kb);
+    let index: std::collections::HashMap<&str, (u32, String)> = commits
+        .iter()
+        .map(|c| (c.id.as_str(), (c.year, c.version.clone())))
+        .collect();
+    let lookup = |id: &str| index.get(id).cloned();
+    result
+        .confirmed
+        .iter()
+        .map(|c| classify(c, kb, &lookup))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_corpus::{generate_history, HistoryConfig};
+
+    fn bugs() -> Vec<HistBug> {
+        let h = generate_history(&HistoryConfig {
+            n_bugs: 1033,
+            n_noise: 300,
+            n_reverts: 6,
+            n_neutral: 500,
+            seed: 5,
+        });
+        classify_history(&h.commits, &ApiKb::builtin())
+    }
+
+    #[test]
+    fn taxonomy_proportions_match_table2() {
+        let bugs = bugs();
+        let n = bugs.len() as f64;
+        assert!(n >= 1000.0, "confirmed {n}");
+        let frac = |k: BugKind| bugs.iter().filter(|b| b.kind == k).count() as f64 / n;
+        // Paper: intra missing-dec 57.1%, inter 10.1%, UAD 9.1%.
+        let intra = frac(BugKind::MissingDecIntra);
+        assert!((intra - 0.571).abs() < 0.05, "intra = {intra}");
+        let inter = frac(BugKind::MissingDecInter);
+        assert!((inter - 0.101).abs() < 0.03, "inter = {inter}");
+        let uad = frac(BugKind::MisplacedDecUad);
+        assert!((uad - 0.091).abs() < 0.03, "uad = {uad}");
+    }
+
+    #[test]
+    fn impact_split_matches_finding1() {
+        let bugs = bugs();
+        let n = bugs.len() as f64;
+        let leak = bugs.iter().filter(|b| b.impact == HistImpact::Leak).count() as f64 / n;
+        // Paper: 71.7% leaks.
+        assert!((leak - 0.717).abs() < 0.05, "leak = {leak}");
+    }
+
+    #[test]
+    fn lifetimes_present_for_tagged() {
+        let bugs = bugs();
+        let tagged = bugs.iter().filter(|b| b.intro_year.is_some()).count();
+        // ~567/1033 tagged.
+        let frac = tagged as f64 / bugs.len() as f64;
+        assert!((frac - 0.549).abs() < 0.06, "tagged = {frac}");
+        for b in &bugs {
+            if let Some(l) = b.lifetime_years() {
+                assert!(l <= 17);
+            }
+        }
+    }
+
+    #[test]
+    fn apis_recorded() {
+        let bugs = bugs();
+        assert!(bugs.iter().all(|b| !b.apis.is_empty()));
+        assert!(bugs
+            .iter()
+            .any(|b| b.apis.iter().any(|a| a == "of_node_put")));
+    }
+
+    #[test]
+    fn direct_free_classified_leak_other() {
+        let bugs = bugs();
+        let lo: Vec<_> = bugs
+            .iter()
+            .filter(|b| b.kind == BugKind::LeakOther)
+            .collect();
+        assert!(!lo.is_empty());
+        assert!(lo.iter().all(|b| b.impact == HistImpact::Leak));
+    }
+}

@@ -1,0 +1,19 @@
+//! # refminer-dataset
+//!
+//! The empirical-study half of the reproduction: mining refcounting-bug
+//! fixes out of a commit history with the paper's two-level filtering
+//! (§3.1), classifying them into the Table 2 taxonomy, computing the
+//! statistics behind Findings 1–5 and Figures 1–3, and triaging checker
+//! findings into Table 4's shape.
+
+mod classify;
+mod mine;
+mod paper;
+mod stats;
+mod triage;
+
+pub use classify::{classify, classify_history, BugKind, HistBug, HistImpact};
+pub use mine::{diff_calls, keyword_match, mine, DiffCall, MineResult};
+pub use paper::{compare, PaperNumbers, PAPER, PAPER_TABLE3, TABLE3_COLUMNS};
+pub use stats::{growth_by_year, top_apis, DistributionStats, ImpactStats, LifetimeStats};
+pub use triage::{triage, PatchStatus, Table4Row, Triage, TriagedFinding};

@@ -1,0 +1,135 @@
+//! The paper's reported numbers, embedded for paper-vs-measured
+//! comparison in the experiment harness and EXPERIMENTS.md.
+
+/// Headline numbers of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperNumbers {
+    /// Historical bugs in the dataset (§3.1).
+    pub total_bugs: usize,
+    /// Candidates before manual confirmation (§3.1).
+    pub candidates: usize,
+    /// Kernel versions covered.
+    pub versions: usize,
+    /// Leak share (Finding 1), percent.
+    pub leak_pct: f64,
+    /// Missing-decrease share, percent.
+    pub missing_dec_pct: f64,
+    /// Intra-unpaired share, percent.
+    pub intra_unpaired_pct: f64,
+    /// Inter-unpaired share, percent.
+    pub inter_unpaired_pct: f64,
+    /// UAF share (Finding 2), percent.
+    pub uaf_pct: f64,
+    /// UAD share, percent.
+    pub uad_pct: f64,
+    /// Top-3 subsystem share (Finding 3), percent.
+    pub top3_pct: f64,
+    /// Drivers share, percent.
+    pub drivers_pct: f64,
+    /// Fixes-tagged bugs (Finding 4 denominator).
+    pub tagged: usize,
+    /// Over-one-year lifetimes among tagged.
+    pub over_one_year: usize,
+    /// Over-ten-year lifetimes.
+    pub over_ten_years: usize,
+    /// v2.6-era bugs alive into v5/v6 (Finding 5).
+    pub ancient: usize,
+    /// Bugs spanning v4.x → v5.x.
+    pub span_v4_v5: usize,
+    /// Bugs spanning v3.x → v5.x.
+    pub span_v3_v5: usize,
+    /// Bugs introduced and fixed within v5.x.
+    pub within_v5: usize,
+    /// New bugs found by the checkers (Table 4).
+    pub new_bugs: usize,
+    /// New-bug impacts.
+    pub new_leak: usize,
+    /// New-bug UAF count.
+    pub new_uaf: usize,
+    /// New-bug NPD count.
+    pub new_npd: usize,
+    /// Confirmed patches.
+    pub confirmed: usize,
+    /// Rejected patches.
+    pub rejected: usize,
+    /// False positives.
+    pub false_positives: usize,
+}
+
+/// The values as printed in the paper.
+pub const PAPER: PaperNumbers = PaperNumbers {
+    total_bugs: 1033,
+    candidates: 1825,
+    versions: 753,
+    leak_pct: 71.7,
+    missing_dec_pct: 67.2,
+    intra_unpaired_pct: 57.1,
+    inter_unpaired_pct: 10.1,
+    uaf_pct: 28.3,
+    uad_pct: 9.1,
+    top3_pct: 82.4,
+    drivers_pct: 56.9,
+    tagged: 567,
+    over_one_year: 429,
+    over_ten_years: 19,
+    ancient: 23,
+    span_v4_v5: 135,
+    span_v3_v5: 80,
+    within_v5: 189,
+    new_bugs: 351,
+    new_leak: 296,
+    new_uaf: 48,
+    new_npd: 7,
+    confirmed: 240,
+    rejected: 3,
+    false_positives: 5,
+};
+
+/// Table 3 as printed: similarity of RC keywords (rows) and
+/// bug-caused-API keywords (columns `foreach find parse open probe
+/// register`).
+pub const PAPER_TABLE3: &[(&str, [f64; 6])] = &[
+    ("refcount", [0.19, 0.33, 0.16, 0.30, 0.28, 0.19]),
+    ("increase", [0.22, 0.35, 0.29, 0.23, 0.25, 0.24]),
+    ("get", [0.32, 0.73, 0.61, 0.43, 0.46, 0.48]),
+    ("hold", [0.29, 0.43, 0.28, 0.32, 0.23, 0.30]),
+    ("grab", [0.27, 0.52, 0.33, 0.36, 0.28, 0.29]),
+    ("retain", [0.14, 0.32, 0.28, 0.17, 0.09, 0.25]),
+    ("decrease", [0.21, 0.39, 0.27, 0.26, 0.27, 0.15]),
+    ("put", [0.38, 0.58, 0.48, 0.46, 0.39, 0.36]),
+    ("unhold", [-0.13, 0.10, -0.02, 0.07, -0.03, -0.14]),
+    ("drop", [0.22, 0.33, 0.38, 0.22, 0.25, 0.30]),
+    ("release", [0.33, 0.53, 0.43, 0.48, 0.49, 0.37]),
+];
+
+/// Table 3 column headers.
+pub const TABLE3_COLUMNS: [&str; 6] = ["foreach", "find", "parse", "open", "probe", "register"];
+
+/// Formats a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64) -> String {
+    let delta = measured - paper;
+    format!("{label:<38} paper {paper:>8.1}   measured {measured:>8.1}   Δ {delta:>+7.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_consistency() {
+        assert_eq!(
+            PAPER.new_leak + PAPER.new_uaf + PAPER.new_npd,
+            PAPER.new_bugs
+        );
+        assert!((PAPER.leak_pct + PAPER.uaf_pct - 100.0).abs() < 0.1);
+        assert_eq!(PAPER_TABLE3.len(), 11);
+    }
+
+    #[test]
+    fn compare_formats() {
+        let s = compare("leak share (%)", 71.7, 70.2);
+        assert!(s.contains("71.7"));
+        assert!(s.contains("70.2"));
+        assert!(s.contains("-1.5"));
+    }
+}

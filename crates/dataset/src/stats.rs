@@ -1,0 +1,280 @@
+//! Statistics over the classified dataset: Findings 1–5 and the data
+//! behind Figures 1–3 and Table 2.
+
+use std::collections::BTreeMap;
+
+use refminer_corpus::{major_of, SUBSYSTEM_KLOC};
+
+use crate::classify::{BugKind, HistBug, HistImpact};
+
+/// Table 2: counts and percentages per taxonomy bucket.
+#[derive(Debug, Clone)]
+pub struct ImpactStats {
+    /// Total bugs.
+    pub total: usize,
+    /// Leak-impact bugs.
+    pub leaks: usize,
+    /// UAF-impact bugs.
+    pub uafs: usize,
+    /// Count per taxonomy bucket.
+    pub kinds: Vec<(BugKind, usize)>,
+}
+
+impl ImpactStats {
+    /// Computes the stats.
+    pub fn compute(bugs: &[HistBug]) -> ImpactStats {
+        let mut kinds: BTreeMap<&'static str, (BugKind, usize)> = BTreeMap::new();
+        for kind in [
+            BugKind::MissingDecIntra,
+            BugKind::MissingDecInter,
+            BugKind::LeakOther,
+            BugKind::MisplacedDecUad,
+            BugKind::MisplacedDecOther,
+            BugKind::MisplacedInc,
+            BugKind::MissingIncIntra,
+            BugKind::MissingIncInter,
+            BugKind::UafOther,
+        ] {
+            kinds.insert(kind.label(), (kind, 0));
+        }
+        for b in bugs {
+            if let Some(e) = kinds.get_mut(b.kind.label()) {
+                e.1 += 1;
+            }
+        }
+        ImpactStats {
+            total: bugs.len(),
+            leaks: bugs.iter().filter(|b| b.impact == HistImpact::Leak).count(),
+            uafs: bugs.iter().filter(|b| b.impact == HistImpact::Uaf).count(),
+            kinds: kinds.into_values().collect(),
+        }
+    }
+
+    /// Percentage of a count against the total.
+    pub fn pct(&self, count: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total as f64
+        }
+    }
+
+    /// The count for one bucket.
+    pub fn count(&self, kind: BugKind) -> usize {
+        self.kinds
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+/// Figure 2: per-subsystem counts and densities.
+#[derive(Debug, Clone)]
+pub struct DistributionStats {
+    /// (subsystem, bug count), descending.
+    pub counts: Vec<(String, usize)>,
+    /// (subsystem, bugs per KLOC), descending.
+    pub density: Vec<(String, f64)>,
+}
+
+impl DistributionStats {
+    /// Computes the distribution.
+    pub fn compute(bugs: &[HistBug]) -> DistributionStats {
+        let mut map: BTreeMap<&str, usize> = BTreeMap::new();
+        for b in bugs {
+            *map.entry(b.subsystem.as_str()).or_default() += 1;
+        }
+        let mut counts: Vec<(String, usize)> =
+            map.iter().map(|(s, c)| (s.to_string(), *c)).collect();
+        counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        // Densities are only meaningful with a statistical floor; the
+        // paper's Figure 2 likewise plots the major subsystems only.
+        let mut density: Vec<(String, f64)> = map
+            .iter()
+            .filter(|(_, c)| **c >= 12)
+            .filter_map(|(s, c)| {
+                let kloc = SUBSYSTEM_KLOC
+                    .iter()
+                    .find(|(n, _)| n == s)
+                    .map(|(_, k)| *k)?;
+                Some((s.to_string(), *c as f64 / kloc as f64))
+            })
+            .collect();
+        density.sort_by(|a, b| b.1.total_cmp(&a.1));
+        DistributionStats { counts, density }
+    }
+
+    /// Share of the top `n` subsystems (Finding 3's 82.4%).
+    pub fn top_share(&self, n: usize) -> f64 {
+        let total: usize = self.counts.iter().map(|(_, c)| c).sum();
+        let top: usize = self.counts.iter().take(n).map(|(_, c)| c).sum();
+        if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        }
+    }
+}
+
+/// Figure 1: fix-year histogram.
+pub fn growth_by_year(bugs: &[HistBug]) -> Vec<(u32, usize)> {
+    let mut map: BTreeMap<u32, usize> = BTreeMap::new();
+    for b in bugs {
+        *map.entry(b.fix_year).or_default() += 1;
+    }
+    map.into_iter().collect()
+}
+
+/// Figure 3 / Findings 4–5: lifetime statistics over the Fixes-tagged
+/// subset.
+#[derive(Debug, Clone)]
+pub struct LifetimeStats {
+    /// Bugs carrying a resolvable `Fixes:` tag.
+    pub tagged: usize,
+    /// Of those, fixed more than one year after introduction.
+    pub over_one_year: usize,
+    /// Over ten years.
+    pub over_ten_years: usize,
+    /// Introduced in the v2.6 era and fixed in v5.x/v6.x (Finding 5's
+    /// 23 "ancient" bugs).
+    pub ancient: usize,
+    /// (intro major, fix major) → count.
+    pub version_spans: BTreeMap<(u8, u8), usize>,
+    /// (intro year, fix year) pairs for plotting Figure 3.
+    pub lines: Vec<(u32, u32)>,
+}
+
+impl LifetimeStats {
+    /// Computes lifetime statistics.
+    pub fn compute(bugs: &[HistBug]) -> LifetimeStats {
+        let mut s = LifetimeStats {
+            tagged: 0,
+            over_one_year: 0,
+            over_ten_years: 0,
+            ancient: 0,
+            version_spans: BTreeMap::new(),
+            lines: Vec::new(),
+        };
+        for b in bugs {
+            let (Some(iy), Some(iv)) = (b.intro_year, b.intro_version.as_deref()) else {
+                continue;
+            };
+            s.tagged += 1;
+            let life = b.fix_year.saturating_sub(iy);
+            // Year granularity: a bug introduced in year Y and fixed in
+            // year Y+1 or later took "more than one year" in the
+            // paper's sense (release-to-release distance).
+            if life >= 1 {
+                s.over_one_year += 1;
+            }
+            if life > 10 {
+                s.over_ten_years += 1;
+            }
+            let im = major_of(iv);
+            let fm = major_of(&b.fix_version);
+            if im == 2 && fm >= 5 {
+                s.ancient += 1;
+            }
+            *s.version_spans.entry((im, fm)).or_default() += 1;
+            s.lines.push((iy, b.fix_year));
+        }
+        s.lines.sort();
+        s
+    }
+
+    /// Count of bugs spanning from major `from` to major `to`.
+    pub fn span(&self, from: u8, to: u8) -> usize {
+        self.version_spans.get(&(from, to)).copied().unwrap_or(0)
+    }
+}
+
+/// The bug-caused API leaderboard (Table 5's "Bug-Caused API" flavour,
+/// over the historical dataset).
+pub fn top_apis(bugs: &[HistBug], n: usize) -> Vec<(String, usize)> {
+    let mut map: BTreeMap<&str, usize> = BTreeMap::new();
+    for b in bugs {
+        for api in &b.apis {
+            *map.entry(api.as_str()).or_default() += 1;
+        }
+    }
+    let mut v: Vec<(String, usize)> = map.into_iter().map(|(a, c)| (a.to_string(), c)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_history;
+    use refminer_corpus::{generate_history, HistoryConfig};
+    use refminer_rcapi::ApiKb;
+
+    fn bugs() -> Vec<HistBug> {
+        let h = generate_history(&HistoryConfig {
+            n_bugs: 1033,
+            n_noise: 200,
+            n_reverts: 5,
+            n_neutral: 100,
+            seed: 11,
+        });
+        classify_history(&h.commits, &ApiKb::builtin())
+    }
+
+    #[test]
+    fn impact_stats_sum() {
+        let b = bugs();
+        let s = ImpactStats::compute(&b);
+        assert_eq!(s.leaks + s.uafs, s.total);
+        let kinds_sum: usize = s.kinds.iter().map(|(_, c)| c).sum();
+        assert_eq!(kinds_sum, s.total);
+        // Finding 1: missing-dec dominates.
+        assert!(s.count(BugKind::MissingDecIntra) > s.total / 2);
+    }
+
+    #[test]
+    fn distribution_drivers_first_block_densest() {
+        let b = bugs();
+        let d = DistributionStats::compute(&b);
+        assert_eq!(d.counts[0].0, "drivers");
+        // Finding 3: top-3 hold the overwhelming share.
+        assert!(d.top_share(3) > 0.75, "top3 = {}", d.top_share(3));
+        // Figure 2 right: block is densest.
+        assert_eq!(d.density[0].0, "block");
+    }
+
+    #[test]
+    fn growth_increases() {
+        let b = bugs();
+        let g = growth_by_year(&b);
+        let first = g.first().unwrap().1;
+        let last = g.last().unwrap().1;
+        assert!(last > first * 5, "{first} → {last}");
+    }
+
+    #[test]
+    fn lifetimes_shape() {
+        let b = bugs();
+        let s = LifetimeStats::compute(&b);
+        assert!(s.tagged > 480 && s.tagged < 640, "tagged {}", s.tagged);
+        // Finding 4: most take over a year.
+        let frac = s.over_one_year as f64 / s.tagged as f64;
+        assert!(frac > 0.55, "over-one-year share {frac}");
+        assert!(s.over_ten_years >= 5);
+        // Finding 5: ancient bugs exist.
+        assert!(s.ancient >= 8, "ancient {}", s.ancient);
+        // Version spans include v4→v5 and within-v5 populations.
+        assert!(s.span(4, 5) > 20);
+        assert!(s.span(5, 5) > 50);
+    }
+
+    #[test]
+    fn top_apis_non_empty() {
+        let b = bugs();
+        let t = top_apis(&b, 5);
+        assert_eq!(t.len(), 5);
+        assert!(t[0].1 >= t[4].1);
+        assert!(t.iter().any(|(a, _)| a == "of_node_put"));
+    }
+}

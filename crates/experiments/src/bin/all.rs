@@ -1,0 +1,24 @@
+//! Runs every table/figure experiment in sequence (the full
+//! reproduction pass recorded in EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for name in [
+        "fig1", "fig2", "fig3", "table1", "table2", "table3", "table4", "table5", "table6",
+        "ablation",
+    ] {
+        let mut cmd = Command::new(dir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {name}: {e} (build with `cargo build -p refminer-experiments --bins`)")
+        });
+        assert!(status.success(), "{name} failed");
+    }
+    println!("\nall experiments completed.");
+}

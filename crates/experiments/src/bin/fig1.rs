@@ -1,0 +1,32 @@
+//! Figure 1 — growth trend of refcounting bugs in Linux kernels,
+//! 2005–2022. The miner recovers the per-year fix counts from the
+//! simulated history; the paper's figure shows the same monotone
+//! growth on the real git log.
+
+use refminer::dataset::growth_by_year;
+use refminer::report::bar_chart;
+use refminer_experiments::{header, standard_bugs};
+
+fn main() {
+    header("Figure 1: growth trend of refcounting bugs (2005-2022)");
+    let bugs = standard_bugs();
+    let growth = growth_by_year(&bugs);
+    let data: Vec<(String, f64)> = growth
+        .iter()
+        .map(|(y, c)| (y.to_string(), *c as f64))
+        .collect();
+    print!("{}", bar_chart(&data, 50));
+    println!("\ntotal mined bugs: {}", bugs.len());
+    let first = growth.first().map(|&(_, c)| c).unwrap_or(0);
+    let last = growth.last().map(|&(_, c)| c).unwrap_or(0);
+    println!(
+        "shape check: {first} bugs in {} vs {last} in {} — {}",
+        growth.first().map(|&(y, _)| y).unwrap_or(0),
+        growth.last().map(|&(y, _)| y).unwrap_or(0),
+        if last > first * 5 {
+            "monotone growth reproduced (paper: steady rise to >120/yr by 2022)"
+        } else {
+            "UNEXPECTED: growth not reproduced"
+        }
+    );
+}

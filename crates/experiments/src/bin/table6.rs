@@ -1,0 +1,76 @@
+//! Table 6 — the error-prone API inventory: the built-in Appendix A
+//! knowledge, plus whatever API/smartloop discovery finds in the
+//! synthetic tree (§6.1's lexer-parsing stage in action).
+
+use refminer::rcapi::{ApiKb, RcClass, RcDir};
+use refminer::report::Table;
+use refminer_experiments::{header, standard_audit};
+
+fn main() {
+    header("Table 6: error-prone APIs");
+    let (_tree, report) = standard_audit();
+    let kb = &report.kb;
+
+    let mut table = Table::new(vec!["Bug Type", "APIs"]);
+    let join = |mut names: Vec<String>| {
+        names.sort();
+        names.join(", ")
+    };
+
+    let return_error: Vec<String> = kb
+        .apis()
+        .filter(|a| a.inc_on_error)
+        .map(|a| a.name.clone())
+        .collect();
+    table.row(vec!["ID / Return-Error".into(), join(return_error)]);
+
+    let return_null: Vec<String> = kb
+        .apis()
+        .filter(|a| a.may_return_null)
+        .map(|a| a.name.clone())
+        .collect();
+    table.row(vec!["ID / Return-NULL".into(), join(return_null)]);
+    table.rule();
+
+    let smartloops: Vec<String> = kb.smartloops().map(|s| s.name.clone()).collect();
+    table.row(vec![
+        "H / Complete-Hidden (smartloops)".into(),
+        join(smartloops),
+    ]);
+
+    let hidden: Vec<String> = kb
+        .apis()
+        .filter(|a| a.class == RcClass::Embedded && a.dir == RcDir::Inc && !a.may_return_null)
+        .map(|a| a.name.clone())
+        .collect();
+    table.row(vec![
+        "H / Inc.-/Dec.-Hidden (find-like)".into(),
+        join(hidden),
+    ]);
+    print!("{}", table.render());
+
+    // Show what discovery added beyond the builtin seed.
+    header("APIs and smartloops added by discovery over the tree");
+    let builtin = ApiKb::builtin();
+    let mut added: Vec<String> = kb
+        .apis()
+        .filter(|a| builtin.get(&a.name).is_none())
+        .map(|a| format!("{} ({:?}/{:?})", a.name, a.class, a.dir))
+        .collect();
+    added.sort();
+    if added.is_empty() {
+        println!("(none — the tree only uses seeded APIs)");
+    }
+    for a in added {
+        println!("  {a}");
+    }
+    let mut loops_added: Vec<String> = kb
+        .smartloops()
+        .filter(|s| builtin.smartloop(&s.name).is_none())
+        .map(|s| format!("{} (iter arg {}, dec {})", s.name, s.iter_arg, s.dec_name))
+        .collect();
+    loops_added.sort();
+    for l in loops_added {
+        println!("  smartloop {l}");
+    }
+}

@@ -1,0 +1,496 @@
+//! Discovery of refcounting structures, APIs and smartloops from source.
+//!
+//! This reproduces the paper's "Lexer Parsing (𝒢, 𝒫, 𝑀_SL)" stage
+//! (§6.1): refcounting-related structures confirm refcounting APIs
+//! (functions that operate a refcounter embedded in a parameter or
+//! returned object), and `#define`d loop macros whose bodies call
+//! find-like APIs become smartloops.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use refminer_clex::MacroDef;
+use refminer_cparse::{Expr, FunctionDef, StmtKind, TranslationUnit};
+
+use crate::kb::ApiKb;
+use crate::keywords::name_direction;
+use crate::model::{ObjectFlow, RcApi, RcClass, RcDir, SmartLoop, RC_STRUCTS};
+
+/// The output of a discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct Discovery {
+    /// Struct tags found to be refcounted (directly or by nesting).
+    pub rc_structs: BTreeSet<String>,
+    /// APIs discovered from implementations (not in the seed KB).
+    pub apis: Vec<RcApi>,
+    /// Smartloops discovered from `#define`s.
+    pub smartloops: Vec<SmartLoop>,
+}
+
+impl Discovery {
+    /// Folds the discovery results into a knowledge base.
+    pub fn into_kb(self, mut base: ApiKb) -> ApiKb {
+        for api in self.apis {
+            if base.get(&api.name).is_none() {
+                base.insert(api);
+            }
+        }
+        for sl in self.smartloops {
+            if base.smartloop(&sl.name).is_none() {
+                base.insert_loop(sl);
+            }
+        }
+        base
+    }
+}
+
+/// Configuration for discovery.
+#[derive(Debug, Clone)]
+pub struct DiscoverConfig {
+    /// How many levels of struct nesting to follow when deciding
+    /// whether a structure is refcounted (the paper's structure-parser
+    /// threshold, §6.1).
+    pub nesting_threshold: usize,
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        DiscoverConfig {
+            nesting_threshold: 3,
+        }
+    }
+}
+
+/// Runs discovery over parsed translation units and raw macro defines.
+///
+/// `seed` supplies the general APIs used to recognize wrappers; pass
+/// [`ApiKb::builtin`] in normal use.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_cparse::parse_str;
+/// use refminer_rcapi::{discover, ApiKb, DiscoverConfig, RcDir};
+///
+/// let tu = parse_str("t.c", r#"
+/// struct widget { struct kref refs; int id; };
+/// void widget_get(struct widget *w) { kref_get(&w->refs); }
+/// void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
+/// "#);
+/// let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+/// assert!(d.rc_structs.contains("widget"));
+/// assert!(d.apis.iter().any(|a| a.name == "widget_get" && a.dir == RcDir::Inc));
+/// ```
+pub fn discover(
+    tus: &[TranslationUnit],
+    defines: &[MacroDef],
+    seed: &ApiKb,
+    config: &DiscoverConfig,
+) -> Discovery {
+    let rc_structs = discover_rc_structs(tus, config.nesting_threshold);
+    let apis = discover_apis(tus, seed, &rc_structs);
+    // Smartloop discovery may reference freshly discovered APIs too.
+    let mut extended = seed.clone();
+    for api in &apis {
+        extended.insert(api.clone());
+    }
+    let smartloops = discover_smartloops(defines, &extended);
+    Discovery {
+        rc_structs,
+        apis,
+        smartloops,
+    }
+}
+
+/// Finds struct tags that embed a refcounter, directly or through up to
+/// `threshold` levels of (by-value) struct nesting.
+pub fn discover_rc_structs(tus: &[TranslationUnit], threshold: usize) -> BTreeSet<String> {
+    // tag → by-value member struct tags.
+    let mut embeds: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut marked: BTreeSet<String> = BTreeSet::new();
+    for tu in tus {
+        for s in tu.structs() {
+            let Some(tag) = &s.name else { continue };
+            for f in &s.fields {
+                if f.ty.is_pointer() {
+                    // A *pointer* to a refcounted object does not make
+                    // the containing object refcounted.
+                    continue;
+                }
+                let base = f.ty.base.as_str();
+                let direct = RC_STRUCTS
+                    .iter()
+                    .any(|rc| base == *rc || base == format!("struct {rc}").as_str());
+                if direct {
+                    marked.insert(tag.clone());
+                } else if let Some(member_tag) = f.ty.struct_tag() {
+                    embeds
+                        .entry(tag.clone())
+                        .or_default()
+                        .push(member_tag.to_string());
+                }
+            }
+        }
+    }
+    // Propagate through nesting, bounded by the threshold.
+    for _ in 0..threshold {
+        let mut added = Vec::new();
+        for (tag, members) in &embeds {
+            if !marked.contains(tag) && members.iter().any(|m| marked.contains(m)) {
+                added.push(tag.clone());
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        marked.extend(added);
+    }
+    marked
+}
+
+/// Finds functions that wrap refcounting operations.
+fn discover_apis(
+    tus: &[TranslationUnit],
+    seed: &ApiKb,
+    rc_structs: &BTreeSet<String>,
+) -> Vec<RcApi> {
+    let mut out = Vec::new();
+    for tu in tus {
+        for f in tu.functions() {
+            if seed.get(&f.name).is_some() {
+                continue;
+            }
+            if let Some(api) = classify_function(f, seed, rc_structs) {
+                out.push(api);
+            }
+        }
+    }
+    out
+}
+
+/// Direct calls in a function body, with their first-argument root.
+fn body_calls(f: &FunctionDef) -> Vec<(String, Option<String>)> {
+    let mut calls = Vec::new();
+    for s in &f.body.stmts {
+        s.walk_exprs(&mut |e: &Expr| {
+            if let Some((name, args)) = e.as_direct_call() {
+                calls.push((
+                    name.to_string(),
+                    args.first().and_then(|a| a.root_var()).map(str::to_string),
+                ));
+            }
+        });
+    }
+    calls
+}
+
+fn returns_of(f: &FunctionDef) -> (bool, bool, Vec<String>) {
+    // (has_return_null, has_error_return, returned_vars)
+    let mut has_null = false;
+    let mut has_err = false;
+    let mut vars = Vec::new();
+    for s in &f.body.stmts {
+        s.walk(&mut |s| {
+            if let StmtKind::Return(Some(v)) = &s.kind {
+                match &v.kind {
+                    refminer_cparse::ExprKind::Ident(n) if n == "NULL" => has_null = true,
+                    refminer_cparse::ExprKind::Unary {
+                        op: refminer_cparse::UnOp::Neg,
+                        ..
+                    } => has_err = true,
+                    refminer_cparse::ExprKind::IntLit(x) if *x < 0 => has_err = true,
+                    _ => {}
+                }
+                if let Some(r) = v.root_var() {
+                    vars.push(r.to_string());
+                }
+            }
+        });
+    }
+    (has_null, has_err, vars)
+}
+
+fn classify_function(
+    f: &FunctionDef,
+    seed: &ApiKb,
+    rc_structs: &BTreeSet<String>,
+) -> Option<RcApi> {
+    let calls = body_calls(f);
+    // Which known inc/dec APIs does the body invoke, and on what?
+    let mut inc_on: Vec<Option<String>> = Vec::new();
+    let mut dec_on: Vec<(String, Option<String>)> = Vec::new();
+    for (name, arg_root) in &calls {
+        match seed.direction_of(name).filter(|_| seed.get(name).is_some()) {
+            Some(RcDir::Inc) => inc_on.push(arg_root.clone()),
+            Some(RcDir::Dec) => dec_on.push((name.clone(), arg_root.clone())),
+            None => {}
+        }
+    }
+    if inc_on.is_empty() && dec_on.is_empty() {
+        return None;
+    }
+    let param_index = |root: &Option<String>| -> Option<usize> {
+        let root = root.as_deref()?;
+        f.params
+            .iter()
+            .position(|p| p.name.as_deref() == Some(root))
+    };
+    let (has_null, has_err, ret_vars) = returns_of(f);
+    let returns_rc_ptr = f.ret.is_pointer()
+        && f.ret
+            .struct_tag()
+            .is_some_and(|t| rc_structs.contains(t) || t.ends_with("_node") || t == "device");
+
+    // Decrement wrapper: body decs a parameter and does not inc.
+    if inc_on.is_empty() {
+        if let Some(idx) = dec_on.iter().find_map(|(_, root)| param_index(root)) {
+            return Some(RcApi::dec(&f.name, RcClass::Specific, ObjectFlow::Arg(idx)));
+        }
+        return None;
+    }
+
+    // Increment wrapper on a parameter.
+    if let Some(idx) = inc_on.iter().find_map(param_index) {
+        let class = if name_direction(&f.name) == Some(RcDir::Inc) {
+            RcClass::Specific
+        } else {
+            RcClass::Embedded
+        };
+        let flow = if ret_vars
+            .iter()
+            .any(|v| f.params.get(idx).and_then(|p| p.name.as_deref()) == Some(v.as_str()))
+        {
+            ObjectFlow::ArgAndReturned(idx)
+        } else {
+            ObjectFlow::Arg(idx)
+        };
+        let mut api = RcApi::inc(&f.name, class, flow, &[]);
+        api.dec_names = seed.accepted_decs(&f.name);
+        if f.ret.base.contains("int") && !f.ret.is_pointer() && has_err {
+            api = api.with_inc_on_error();
+        }
+        return Some(api);
+    }
+
+    // Find-like: incs a local (or iterates) and returns an object
+    // pointer.
+    if returns_rc_ptr || f.ret.is_pointer() {
+        let class = RcClass::Embedded;
+        let mut api = RcApi::inc(&f.name, class, ObjectFlow::Returned, &[]);
+        // Pair with the dec used internally (find-like APIs put the
+        // `from` argument with the same family's dec).
+        if let Some((dec_name, _)) = dec_on.first() {
+            api.dec_names = vec![dec_name.clone()];
+        } else {
+            api.dec_names = seed.accepted_decs(&f.name);
+        }
+        if has_null {
+            api = api.with_may_return_null();
+        }
+        return Some(api);
+    }
+
+    // Inc on a non-parameter without returning an object: possibly an
+    // int-returning helper with the inc-on-error deviation.
+    if f.ret.base.contains("int") && has_err {
+        let mut api = RcApi::inc(&f.name, RcClass::Specific, ObjectFlow::Arg(0), &[]);
+        api.dec_names = seed.accepted_decs(&f.name);
+        return Some(api.with_inc_on_error());
+    }
+    None
+}
+
+/// Finds smartloops among macro definitions: function-like loop macros
+/// whose body calls a known increment (find-like) API.
+pub fn discover_smartloops(defines: &[MacroDef], kb: &ApiKb) -> Vec<SmartLoop> {
+    let mut out = Vec::new();
+    for def in defines {
+        if !def.is_loop_macro() || kb.smartloop(&def.name).is_some() {
+            continue;
+        }
+        let Some(params) = &def.params else { continue };
+        let called = def.called_functions();
+        let Some(embedded) = called.iter().find(|c| kb.is_inc(c)) else {
+            continue;
+        };
+        let dec_name = kb
+            .accepted_decs(embedded)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| "of_node_put".to_string());
+        // The iterator is the macro parameter assigned from the
+        // embedded call in the body (`child = of_get_next_child(..)`).
+        let iter_arg = params
+            .iter()
+            .position(|p| {
+                def.body.contains(&format!("{p} =")) || def.body.contains(&format!("{p}="))
+            })
+            .unwrap_or(0);
+        out.push(SmartLoop::new(
+            &def.name,
+            iter_arg,
+            dec_name,
+            Some(embedded),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_clex::scan_defines;
+    use refminer_cparse::parse_str;
+
+    #[test]
+    fn rc_struct_direct_and_nested() {
+        let tu = parse_str(
+            "t.h",
+            r#"
+struct kobj_holder { struct kobject kobj; };
+struct device_node { struct kobj_holder holder; const char *name; };
+struct unrelated { int x; };
+struct ptr_only { struct kobject *remote; };
+"#,
+        );
+        let rc = discover_rc_structs(&[tu], 3);
+        assert!(rc.contains("kobj_holder"));
+        assert!(rc.contains("device_node"));
+        assert!(!rc.contains("unrelated"));
+        // Pointer members do not transfer refcounted-ness.
+        assert!(!rc.contains("ptr_only"));
+    }
+
+    #[test]
+    fn nesting_threshold_limits_propagation() {
+        let tu = parse_str(
+            "t.h",
+            r#"
+struct l0 { struct kref r; };
+struct l1 { struct l0 inner; };
+struct l2 { struct l1 inner; };
+struct l3 { struct l2 inner; };
+"#,
+        );
+        let rc = discover_rc_structs(std::slice::from_ref(&tu), 1);
+        assert!(rc.contains("l1"));
+        assert!(!rc.contains("l3"));
+        let rc = discover_rc_structs(&[tu], 5);
+        assert!(rc.contains("l3"));
+    }
+
+    #[test]
+    fn specific_wrapper_discovered() {
+        let tu = parse_str(
+            "t.c",
+            r#"
+struct widget { struct kref refs; };
+struct widget *widget_get(struct widget *w)
+{
+        kref_get(&w->refs);
+        return w;
+}
+void widget_put(struct widget *w)
+{
+        kref_put(&w->refs, widget_free);
+}
+"#,
+        );
+        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let get = d.apis.iter().find(|a| a.name == "widget_get").unwrap();
+        assert_eq!(get.dir, RcDir::Inc);
+        assert_eq!(get.class, RcClass::Specific);
+        assert_eq!(get.flow, ObjectFlow::ArgAndReturned(0));
+        assert_eq!(get.dec_names, vec!["widget_put"]);
+        let put = d.apis.iter().find(|a| a.name == "widget_put").unwrap();
+        assert_eq!(put.dir, RcDir::Dec);
+    }
+
+    #[test]
+    fn findlike_discovered_with_null_deviation() {
+        let tu = parse_str(
+            "t.c",
+            r#"
+struct widget { struct kref refs; };
+struct widget *widget_find(const char *name)
+{
+        struct widget *w = table_lookup(name);
+        if (!w)
+                return NULL;
+        kref_get(&w->refs);
+        return w;
+}
+"#,
+        );
+        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let find = d.apis.iter().find(|a| a.name == "widget_find").unwrap();
+        assert_eq!(find.class, RcClass::Embedded);
+        assert!(find.returns_object());
+        assert!(find.may_return_null);
+    }
+
+    #[test]
+    fn inc_on_error_deviation_discovered() {
+        let tu = parse_str(
+            "t.c",
+            r#"
+int my_pm_get_sync(struct device *dev)
+{
+        atomic_inc(&dev->power.usage_count);
+        if (rpm_resume(dev) < 0)
+                return -EAGAIN;
+        return 0;
+}
+"#,
+        );
+        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let api = d.apis.iter().find(|a| a.name == "my_pm_get_sync").unwrap();
+        assert!(api.inc_on_error);
+    }
+
+    #[test]
+    fn smartloop_discovered_from_define() {
+        let src = "\
+#define for_each_widget(pool, w) \\
+\tfor (w = widget_find_next(pool, NULL); w; w = widget_find_next(pool, w))
+";
+        let defines = scan_defines(src);
+        let mut kb = ApiKb::builtin();
+        kb.insert(RcApi::inc(
+            "widget_find_next",
+            RcClass::Embedded,
+            ObjectFlow::ArgAndReturned(1),
+            &["widget_put"],
+        ));
+        let loops = discover_smartloops(&defines, &kb);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].name, "for_each_widget");
+        assert_eq!(loops[0].iter_arg, 1);
+        assert_eq!(loops[0].dec_name, "widget_put");
+        assert_eq!(loops[0].embedded_api.as_deref(), Some("widget_find_next"));
+    }
+
+    #[test]
+    fn non_rc_loop_macro_ignored() {
+        let src = "\
+#define for_each_bit(b, mask) \\
+\tfor (b = first_bit(mask); b >= 0; b = next_bit(mask, b))
+";
+        let defines = scan_defines(src);
+        let loops = discover_smartloops(&defines, &ApiKb::builtin());
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn discovery_merges_into_kb() {
+        let tu = parse_str(
+            "t.c",
+            r#"
+struct widget { struct kref refs; };
+void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
+"#,
+        );
+        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let kb = d.into_kb(ApiKb::builtin());
+        assert!(kb.is_dec("widget_put"));
+    }
+}

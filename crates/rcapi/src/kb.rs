@@ -1,0 +1,583 @@
+//! The API knowledge base: lookup tables binding call names to their
+//! refcounting meaning, pre-seeded with the paper's Appendix A
+//! (Table 6) plus the ubiquitous general/specific pairs.
+
+use std::collections::HashMap;
+
+use crate::keywords::{name_direction, paired_dec_name};
+use crate::model::{ObjectFlow, RcApi, RcClass, RcDir, SmartLoop};
+
+/// The queryable knowledge base.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_rcapi::{ApiKb, RcDir};
+///
+/// let kb = ApiKb::builtin();
+/// let api = kb.get("of_find_matching_node").unwrap();
+/// assert_eq!(api.dir, RcDir::Inc);
+/// assert!(api.returns_object());
+/// assert!(kb.smartloop("for_each_child_of_node").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ApiKb {
+    apis: HashMap<String, RcApi>,
+    loops: HashMap<String, SmartLoop>,
+}
+
+impl ApiKb {
+    /// An empty knowledge base.
+    pub fn new() -> ApiKb {
+        ApiKb::default()
+    }
+
+    /// The built-in knowledge base with the paper's error-prone APIs.
+    pub fn builtin() -> ApiKb {
+        let mut kb = ApiKb::new();
+        kb.seed_general();
+        kb.seed_specific();
+        kb.seed_embedded();
+        kb.seed_smartloops();
+        kb
+    }
+
+    fn seed_general(&mut self) {
+        use ObjectFlow::Arg;
+        use RcClass::General;
+        for (inc, dec) in [
+            ("refcount_inc", "refcount_dec"),
+            ("refcount_inc_not_zero", "refcount_dec"),
+            ("kref_get", "kref_put"),
+            ("kobject_get", "kobject_put"),
+            ("atomic_inc", "atomic_dec"),
+        ] {
+            self.insert(RcApi::inc(inc, General, Arg(0), &[dec]));
+            self.insert(RcApi::dec(dec, General, Arg(0)));
+        }
+        // kobject_init_and_add: general-object helper with the
+        // inc-on-error deviation (§5.1.1).
+        self.insert(
+            RcApi::inc("kobject_init_and_add", General, Arg(0), &["kobject_put"])
+                .with_inc_on_error(),
+        );
+    }
+
+    fn seed_specific(&mut self) {
+        use ObjectFlow::{Arg, ArgAndReturned};
+        use RcClass::Specific;
+        self.insert(RcApi::inc(
+            "of_node_get",
+            Specific,
+            ArgAndReturned(0),
+            &["of_node_put"],
+        ));
+        self.insert(RcApi::dec("of_node_put", Specific, Arg(0)));
+        self.insert(RcApi::inc(
+            "get_device",
+            Specific,
+            ArgAndReturned(0),
+            &["put_device"],
+        ));
+        self.insert(RcApi::dec("put_device", Specific, Arg(0)));
+        self.insert(RcApi::inc(
+            "usb_serial_get",
+            Specific,
+            ArgAndReturned(0),
+            &["usb_serial_put"],
+        ));
+        self.insert(RcApi::dec("usb_serial_put", Specific, Arg(0)));
+        self.insert(RcApi::inc("dev_hold", Specific, Arg(0), &["dev_put"]));
+        self.insert(RcApi::dec("dev_put", Specific, Arg(0)));
+        self.insert(RcApi::inc("sock_hold", Specific, Arg(0), &["sock_put"]));
+        self.insert(RcApi::dec("sock_put", Specific, Arg(0)));
+        self.insert(RcApi::inc(
+            "fwnode_handle_get",
+            Specific,
+            ArgAndReturned(0),
+            &["fwnode_handle_put"],
+        ));
+        self.insert(RcApi::dec("fwnode_handle_put", Specific, Arg(0)));
+        self.insert(RcApi::inc(
+            "try_module_get",
+            Specific,
+            Arg(0),
+            &["module_put"],
+        ));
+        self.insert(RcApi::dec("module_put", Specific, Arg(0)));
+        self.insert(RcApi::dec("mdesc_release", Specific, Arg(0)));
+        self.insert(RcApi::dec("sockfd_put", Specific, Arg(0)));
+        self.insert(RcApi::dec("fput", Specific, Arg(0)));
+        self.insert(RcApi::dec("nvmet_fc_tgt_q_put", Specific, Arg(0)));
+        self.insert(RcApi::dec("lpfc_bsg_event_unref", Specific, Arg(0)));
+        self.insert(RcApi::inc(
+            "lpfc_bsg_event_ref",
+            Specific,
+            Arg(0),
+            &["lpfc_bsg_event_unref"],
+        ));
+        // The Return-Error deviation family (§5.1.1): increments the PM
+        // usage counter even when resume fails.
+        self.insert(
+            RcApi::inc(
+                "pm_runtime_get_sync",
+                Specific,
+                Arg(0),
+                &[
+                    "pm_runtime_put",
+                    "pm_runtime_put_sync",
+                    "pm_runtime_put_autosuspend",
+                    "pm_runtime_put_noidle",
+                ],
+            )
+            .with_inc_on_error(),
+        );
+        for dec in [
+            "pm_runtime_put",
+            "pm_runtime_put_sync",
+            "pm_runtime_put_autosuspend",
+            "pm_runtime_put_noidle",
+        ] {
+            self.insert(RcApi::dec(dec, Specific, Arg(0)));
+        }
+        self.insert(RcApi::inc(
+            "device_initialize",
+            Specific,
+            Arg(0),
+            &["put_device"],
+        ));
+    }
+
+    fn seed_embedded(&mut self) {
+        use ObjectFlow::{ArgAndReturned, Returned};
+        use RcClass::Embedded;
+        // The of_* find family: every one returns a device_node with an
+        // extra reference; the ones taking a `from` node also put it.
+        for name in [
+            "of_find_compatible_node",
+            "of_find_matching_node",
+            "of_find_matching_node_and_match",
+            "of_find_node_by_name",
+            "of_find_node_by_type",
+        ] {
+            self.insert(RcApi::inc(
+                name,
+                Embedded,
+                ArgAndReturned(0),
+                &["of_node_put"],
+            ));
+        }
+        for name in [
+            "of_find_node_by_path",
+            "of_find_node_by_phandle",
+            "of_parse_phandle",
+            "of_get_parent",
+            "of_get_child_by_name",
+            "of_get_next_child",
+            "of_graph_get_port_by_id",
+            "of_graph_get_port_parent",
+            "of_graph_get_remote_node",
+            "of_get_node",
+        ] {
+            self.insert(RcApi::inc(name, Embedded, Returned, &["of_node_put"]));
+        }
+        self.insert(RcApi::inc(
+            "bus_find_device",
+            Embedded,
+            Returned,
+            &["put_device"],
+        ));
+        self.insert(RcApi::inc(
+            "class_find_device",
+            Embedded,
+            Returned,
+            &["put_device"],
+        ));
+        self.insert(RcApi::inc(
+            "device_find_child",
+            Embedded,
+            Returned,
+            &["put_device"],
+        ));
+        self.insert(RcApi::inc("ip_dev_find", Embedded, Returned, &["dev_put"]));
+        self.insert(RcApi::inc(
+            "sockfd_lookup",
+            Embedded,
+            Returned,
+            &["sockfd_put", "fput"],
+        ));
+        self.insert(RcApi::inc(
+            "tipc_node_find",
+            Embedded,
+            Returned,
+            &["tipc_node_put"],
+        ));
+        self.insert(RcApi::dec(
+            "tipc_node_put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "fc_rport_lookup",
+            Embedded,
+            Returned,
+            &["kref_put"],
+        ));
+        self.insert(RcApi::inc(
+            "rxrpc_lookup_peer",
+            Embedded,
+            Returned,
+            &["rxrpc_put_peer"],
+        ));
+        self.insert(RcApi::dec(
+            "rxrpc_put_peer",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "lookup_bdev",
+            Embedded,
+            Returned,
+            &["bdput", "blkdev_put"],
+        ));
+        self.insert(RcApi::dec("bdput", RcClass::Specific, ObjectFlow::Arg(0)));
+        self.insert(RcApi::dec(
+            "blkdev_put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "ipv4_neigh_lookup",
+            Embedded,
+            Returned,
+            &["neigh_release"],
+        ));
+        self.insert(RcApi::dec(
+            "neigh_release",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "mpol_shared_policy_lookup",
+            Embedded,
+            Returned,
+            &["mpol_cond_put"],
+        ));
+        self.insert(RcApi::dec(
+            "mpol_cond_put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "tcp_ulp_find_autoload",
+            Embedded,
+            Returned,
+            &["module_put"],
+        ));
+        self.insert(RcApi::inc(
+            "gfs2_glock_nq_init",
+            Embedded,
+            ObjectFlow::Arg(0),
+            &["gfs2_glock_dq_uninit"],
+        ));
+        self.insert(RcApi::dec(
+            "gfs2_glock_dq_uninit",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "usb_anchor_urb",
+            Embedded,
+            ObjectFlow::Arg(0),
+            &["usb_unanchor_urb"],
+        ));
+        self.insert(RcApi::dec(
+            "usb_unanchor_urb",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "afs_alloc_read",
+            Embedded,
+            Returned,
+            &["afs_put_read"],
+        ));
+        self.insert(RcApi::dec(
+            "afs_put_read",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "perf_cpu_map__new",
+            Embedded,
+            Returned,
+            &["perf_cpu_map__put"],
+        ));
+        self.insert(RcApi::dec(
+            "perf_cpu_map__put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        self.insert(RcApi::inc(
+            "setup_find_cpu_node",
+            Embedded,
+            Returned,
+            &["of_node_put"],
+        ));
+        self.insert(RcApi::inc(
+            "tomoyo_mount_acl",
+            Embedded,
+            Returned,
+            &["tomoyo_put_name"],
+        ));
+        // The Return-NULL deviants (§5.1.2, Table 6 "ID / Return-NULL").
+        self.insert(
+            RcApi::inc("mdesc_grab", Embedded, Returned, &["mdesc_release"]).with_may_return_null(),
+        );
+        self.insert(
+            RcApi::inc(
+                "amdgpu_device_ip_init",
+                Embedded,
+                Returned,
+                &["amdgpu_device_ip_fini"],
+            )
+            .with_may_return_null(),
+        );
+        self.insert(RcApi::dec(
+            "amdgpu_device_ip_fini",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+    }
+
+    fn seed_smartloops(&mut self) {
+        for sl in [
+            SmartLoop::new(
+                "for_each_child_of_node",
+                1,
+                "of_node_put",
+                Some("of_get_next_child"),
+            ),
+            SmartLoop::new(
+                "for_each_available_child_of_node",
+                1,
+                "of_node_put",
+                Some("of_get_next_available_child"),
+            ),
+            SmartLoop::new(
+                "for_each_endpoint_of_node",
+                1,
+                "of_node_put",
+                Some("of_graph_get_next_endpoint"),
+            ),
+            SmartLoop::new(
+                "for_each_node_by_name",
+                0,
+                "of_node_put",
+                Some("of_find_node_by_name"),
+            ),
+            SmartLoop::new(
+                "for_each_node_by_type",
+                0,
+                "of_node_put",
+                Some("of_find_node_by_type"),
+            ),
+            SmartLoop::new(
+                "for_each_compatible_node",
+                0,
+                "of_node_put",
+                Some("of_find_compatible_node"),
+            ),
+            SmartLoop::new(
+                "for_each_matching_node",
+                0,
+                "of_node_put",
+                Some("of_find_matching_node"),
+            ),
+            SmartLoop::new(
+                "for_each_matching_node_and_match",
+                0,
+                "of_node_put",
+                Some("of_find_matching_node_and_match"),
+            ),
+            SmartLoop::new(
+                "device_for_each_child_node",
+                1,
+                "fwnode_handle_put",
+                Some("device_get_next_child_node"),
+            ),
+            SmartLoop::new(
+                "fwnode_for_each_child_node",
+                1,
+                "fwnode_handle_put",
+                Some("fwnode_get_next_child_node"),
+            ),
+            SmartLoop::new(
+                "fwnode_for_each_parent_node",
+                1,
+                "fwnode_handle_put",
+                Some("fwnode_get_parent"),
+            ),
+            SmartLoop::new("for_each_cpu_node", 0, "of_node_put", None),
+        ] {
+            self.insert_loop(sl);
+        }
+    }
+
+    /// Adds (or replaces) an API.
+    pub fn insert(&mut self, api: RcApi) {
+        self.apis.insert(api.name.clone(), api);
+    }
+
+    /// Adds (or replaces) a smartloop.
+    pub fn insert_loop(&mut self, sl: SmartLoop) {
+        self.loops.insert(sl.name.clone(), sl);
+    }
+
+    /// Looks up an API by exact name.
+    pub fn get(&self, name: &str) -> Option<&RcApi> {
+        self.apis.get(name)
+    }
+
+    /// Looks up a smartloop by macro name.
+    pub fn smartloop(&self, name: &str) -> Option<&SmartLoop> {
+        self.loops.get(name)
+    }
+
+    /// Whether `name` is a known increment API.
+    pub fn is_inc(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|a| a.dir == RcDir::Inc)
+    }
+
+    /// Whether `name` is a known decrement API.
+    pub fn is_dec(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|a| a.dir == RcDir::Dec)
+    }
+
+    /// The decrement names accepted as pairing `inc_name`, falling back
+    /// to keyword substitution for unknown APIs.
+    pub fn accepted_decs(&self, inc_name: &str) -> Vec<String> {
+        if let Some(api) = self.get(inc_name) {
+            if !api.dec_names.is_empty() {
+                return api.dec_names.clone();
+            }
+        }
+        paired_dec_name(inc_name).into_iter().collect()
+    }
+
+    /// Whether `dec_name` is an accepted pairing for `inc_name`.
+    pub fn pairs_with(&self, inc_name: &str, dec_name: &str) -> bool {
+        self.accepted_decs(inc_name).iter().any(|d| d == dec_name)
+    }
+
+    /// Direction of a call, consulting the KB first and name keywords
+    /// second.
+    pub fn direction_of(&self, name: &str) -> Option<RcDir> {
+        self.get(name)
+            .map(|a| a.dir)
+            .or_else(|| name_direction(name))
+    }
+
+    /// Iterates all known APIs.
+    pub fn apis(&self) -> impl Iterator<Item = &RcApi> {
+        self.apis.values()
+    }
+
+    /// Iterates all known smartloops.
+    pub fn smartloops(&self) -> impl Iterator<Item = &SmartLoop> {
+        self.loops.values()
+    }
+
+    /// Merges another knowledge base into this one (other wins on
+    /// conflicts).
+    pub fn merge(&mut self, other: ApiKb) {
+        self.apis.extend(other.apis);
+        self.loops.extend(other.loops);
+    }
+
+    /// Number of known APIs.
+    pub fn len(&self) -> usize {
+        self.apis.len()
+    }
+
+    /// Whether no APIs are known.
+    pub fn is_empty(&self) -> bool {
+        self.apis.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_table6_families() {
+        let kb = ApiKb::builtin();
+        // Return-Error.
+        assert!(kb.get("pm_runtime_get_sync").unwrap().inc_on_error);
+        assert!(kb.get("kobject_init_and_add").unwrap().inc_on_error);
+        // Return-NULL.
+        assert!(kb.get("mdesc_grab").unwrap().may_return_null);
+        // Hidden find family.
+        assert!(kb.is_inc("of_find_compatible_node"));
+        assert!(kb.is_inc("of_parse_phandle"));
+        assert!(kb.is_inc("sockfd_lookup"));
+        // Complete-hidden smartloops.
+        for name in [
+            "for_each_child_of_node",
+            "for_each_node_by_name",
+            "for_each_compatible_node",
+            "device_for_each_child_node",
+            "fwnode_for_each_parent_node",
+        ] {
+            assert!(kb.smartloop(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn pairing_lookup() {
+        let kb = ApiKb::builtin();
+        assert!(kb.pairs_with("of_find_node_by_name", "of_node_put"));
+        assert!(kb.pairs_with("pm_runtime_get_sync", "pm_runtime_put_noidle"));
+        assert!(!kb.pairs_with("of_find_node_by_name", "put_device"));
+    }
+
+    #[test]
+    fn fallback_pairing_by_keywords() {
+        let kb = ApiKb::builtin();
+        // Unknown API: keyword substitution kicks in.
+        assert_eq!(kb.accepted_decs("foo_widget_get"), vec!["foo_widget_put"]);
+    }
+
+    #[test]
+    fn smartloop_iterators() {
+        let kb = ApiKb::builtin();
+        assert_eq!(kb.smartloop("for_each_child_of_node").unwrap().iter_arg, 1);
+        assert_eq!(kb.smartloop("for_each_matching_node").unwrap().iter_arg, 0);
+    }
+
+    #[test]
+    fn merge_overrides() {
+        let mut kb = ApiKb::builtin();
+        let before = kb.len();
+        let mut extra = ApiKb::new();
+        extra.insert(RcApi::dec(
+            "my_custom_put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+        ));
+        kb.merge(extra);
+        assert_eq!(kb.len(), before + 1);
+        assert!(kb.is_dec("my_custom_put"));
+    }
+
+    #[test]
+    fn direction_consults_kb_then_keywords() {
+        let kb = ApiKb::builtin();
+        // `of_find_matching_node` has no inc keyword but the KB knows.
+        assert_eq!(kb.direction_of("of_find_matching_node"), Some(RcDir::Inc));
+        // Unknown but keyworded.
+        assert_eq!(kb.direction_of("snd_card_hold"), Some(RcDir::Inc));
+        assert_eq!(kb.direction_of("unrelated_fn"), None);
+    }
+}

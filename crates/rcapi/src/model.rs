@@ -1,0 +1,213 @@
+//! The refcounting API model: the paper's three API categories (§5) and
+//! their deviation flags (§5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's API taxonomy (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RcClass {
+    /// Operates basic refcounted structures directly
+    /// (`refcount_inc`, `kref_put`, `kobject_get`, ...).
+    General,
+    /// Wraps a general API for one specific object type
+    /// (`of_node_get`/`of_node_put` for `struct device_node`).
+    Specific,
+    /// Performs a non-refcounting task (usually *find*) with an
+    /// embedded refcount operation (`bus_find_device`,
+    /// `of_find_matching_node`, ...). The category responsible for
+    /// hundreds of missing-refcounting bugs.
+    Embedded,
+}
+
+/// Whether an API increments or decrements the refcounter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RcDir {
+    /// Increases the refcounter (the paper's 𝒢 operator).
+    Inc,
+    /// Decreases the refcounter (the paper's 𝒫 operator).
+    Dec,
+}
+
+/// Where the refcounted object flows through the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectFlow {
+    /// The object is argument `i` (0-based).
+    Arg(usize),
+    /// The object is the return value (find-like APIs).
+    Returned,
+    /// Both: argument `i` is consumed and a new object is returned
+    /// (`of_find_matching_node(from, ..)` puts `from` and returns the
+    /// next node with an extra reference).
+    ArgAndReturned(usize),
+}
+
+/// One refcounting API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RcApi {
+    /// Function name.
+    pub name: String,
+    /// Which of the paper's categories it falls in.
+    pub class: RcClass,
+    /// Increment or decrement.
+    pub dir: RcDir,
+    /// How the object flows through the call.
+    pub flow: ObjectFlow,
+    /// For increments: the names accepted as the paired decrement.
+    pub dec_names: Vec<String>,
+    /// Deviation (§5.1.1): increments the refcounter even when the call
+    /// fails and returns an error code (`pm_runtime_get_sync`), so the
+    /// caller must decrement on *every* path.
+    pub inc_on_error: bool,
+    /// Deviation (§5.1.2): may return NULL instead of the object, so
+    /// the result needs a NULL check before any dereference.
+    pub may_return_null: bool,
+    /// For decrements: also releases attached resources when the count
+    /// hits zero, so replacing it with a bare `kfree` leaks (§5.3.3).
+    pub releases_resources: bool,
+}
+
+impl RcApi {
+    /// A plain increment API with the given paired decrements.
+    pub fn inc(
+        name: impl Into<String>,
+        class: RcClass,
+        flow: ObjectFlow,
+        dec_names: &[&str],
+    ) -> RcApi {
+        RcApi {
+            name: name.into(),
+            class,
+            dir: RcDir::Inc,
+            flow,
+            dec_names: dec_names.iter().map(|s| s.to_string()).collect(),
+            inc_on_error: false,
+            may_return_null: false,
+            releases_resources: false,
+        }
+    }
+
+    /// A plain decrement API.
+    pub fn dec(name: impl Into<String>, class: RcClass, flow: ObjectFlow) -> RcApi {
+        RcApi {
+            name: name.into(),
+            class,
+            dir: RcDir::Dec,
+            flow,
+            dec_names: Vec::new(),
+            inc_on_error: false,
+            may_return_null: false,
+            releases_resources: true,
+        }
+    }
+
+    /// Marks the increment as incrementing even on error return (𝒢_E).
+    pub fn with_inc_on_error(mut self) -> RcApi {
+        self.inc_on_error = true;
+        self
+    }
+
+    /// Marks the increment as possibly returning NULL (𝒢_N).
+    pub fn with_may_return_null(mut self) -> RcApi {
+        self.may_return_null = true;
+        self
+    }
+
+    /// Whether the object (with its new reference) is handed back via
+    /// the return value.
+    pub fn returns_object(&self) -> bool {
+        matches!(
+            self.flow,
+            ObjectFlow::Returned | ObjectFlow::ArgAndReturned(_)
+        )
+    }
+
+    /// The argument index carrying the object, if any.
+    pub fn object_arg(&self) -> Option<usize> {
+        match self.flow {
+            ObjectFlow::Arg(i) | ObjectFlow::ArgAndReturned(i) => Some(i),
+            ObjectFlow::Returned => None,
+        }
+    }
+}
+
+/// A macro-defined iteration construct with embedded refcounting — the
+/// paper's *smartloop* (§5.2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmartLoop {
+    /// Macro name, e.g. `for_each_child_of_node`.
+    pub name: String,
+    /// Index of the macro argument that is the iterator object (whose
+    /// refcount is raised each iteration).
+    pub iter_arg: usize,
+    /// The decrement API that must be applied to the iterator when the
+    /// loop is left early.
+    pub dec_name: String,
+    /// The embedded find-like API the macro expands to, if known.
+    pub embedded_api: Option<String>,
+}
+
+impl SmartLoop {
+    /// Creates a smartloop description.
+    pub fn new(
+        name: impl Into<String>,
+        iter_arg: usize,
+        dec_name: impl Into<String>,
+        embedded_api: Option<&str>,
+    ) -> SmartLoop {
+        SmartLoop {
+            name: name.into(),
+            iter_arg,
+            dec_name: dec_name.into(),
+            embedded_api: embedded_api.map(str::to_string),
+        }
+    }
+}
+
+/// Structures whose embedded counters make a containing object
+/// refcounted.
+pub const RC_STRUCTS: &[&str] = &["kref", "kobject", "refcount_t", "atomic_t"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_builder_defaults() {
+        let api = RcApi::inc(
+            "of_node_get",
+            RcClass::Specific,
+            ObjectFlow::ArgAndReturned(0),
+            &["of_node_put"],
+        );
+        assert_eq!(api.dir, RcDir::Inc);
+        assert!(!api.inc_on_error);
+        assert!(api.returns_object());
+        assert_eq!(api.object_arg(), Some(0));
+        assert_eq!(api.dec_names, vec!["of_node_put"]);
+    }
+
+    #[test]
+    fn deviation_flags() {
+        let api = RcApi::inc(
+            "pm_runtime_get_sync",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
+            &["pm_runtime_put"],
+        )
+        .with_inc_on_error();
+        assert!(api.inc_on_error);
+        assert!(!api.returns_object());
+    }
+
+    #[test]
+    fn returned_flow_has_no_arg() {
+        let api = RcApi::inc(
+            "bus_find_device",
+            RcClass::Embedded,
+            ObjectFlow::Returned,
+            &["put_device"],
+        );
+        assert_eq!(api.object_arg(), None);
+        assert!(api.returns_object());
+    }
+}

@@ -1,0 +1,138 @@
+//! Text charts: horizontal bar charts and line-series plots for
+//! rendering the paper's figures in a terminal.
+
+/// Renders a horizontal bar chart.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_report::bar_chart;
+///
+/// let text = bar_chart(
+///     &[("drivers".to_string(), 588.0), ("net".to_string(), 152.0)],
+///     40,
+/// );
+/// assert!(text.contains("drivers"));
+/// assert!(text.contains('█'));
+/// ```
+pub fn bar_chart(data: &[(String, f64)], width: usize) -> String {
+    let max = data.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let label_w = data
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in data {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let bar: String = "█".repeat(bar_len.max(usize::from(*value > 0.0)));
+        out.push_str(&format!("{label:<label_w$} |{bar} {value}\n"));
+    }
+    out
+}
+
+/// Renders an x/y line-series plot as a dot grid, y increasing upward.
+///
+/// Multiple series are drawn with distinct glyphs. Intended for
+/// trend/lifetime figures where the *shape* matters, not pixel
+/// precision.
+pub fn series_plot(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for (x, y) in &all {
+        xmin = xmin.min(*x);
+        xmax = xmax.max(*x);
+        ymin = ymin.min(*y);
+        ymax = ymax.max(*y);
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in pts {
+            let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: {ymin:.0} .. {ymax:.0}\n"));
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: {xmin:.0} .. {xmax:.0}"));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    out.push_str(&format!("   [{}]\n", legend.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let text = bar_chart(&[("a".into(), 100.0), ("b".into(), 50.0)], 20);
+        let lines: Vec<&str> = text.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+    }
+
+    #[test]
+    fn zero_values_have_no_bar() {
+        let text = bar_chart(&[("a".into(), 10.0), ("b".into(), 0.0)], 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1].chars().filter(|&c| c == '█').count(), 0);
+    }
+
+    #[test]
+    fn series_plot_draws_points() {
+        let text = series_plot(&[("bugs", vec![(2005.0, 1.0), (2022.0, 120.0)])], 40, 10);
+        assert!(text.contains('*'));
+        assert!(text.contains("2005"));
+        assert!(text.contains("2022"));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        assert!(series_plot(&[], 10, 5).contains("no data"));
+    }
+
+    #[test]
+    fn multiple_series_glyphs() {
+        let text = series_plot(&[("a", vec![(0.0, 0.0)]), ("b", vec![(1.0, 1.0)])], 20, 5);
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+    }
+}

@@ -1,0 +1,11 @@
+//! # refminer-report
+//!
+//! Terminal rendering for the experiment harness: aligned ASCII tables
+//! (with CSV export) and text charts used to regenerate the paper's
+//! tables and figures.
+
+mod chart;
+mod table;
+
+pub use chart::{bar_chart, series_plot};
+pub use table::{Align, Table};

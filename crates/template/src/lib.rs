@@ -1,0 +1,25 @@
+//! # refminer-template
+//!
+//! The semantic-template language the SOSP '23 refcounting study uses to
+//! describe bugs (§3.2) and anti-patterns (§5): operators 𝒢/𝒫/𝒜/𝒟/ℒ/𝒰
+//! over contexts 𝒮/𝐵/𝐹/𝑀 along a potential execution path.
+//!
+//! Three layers:
+//!
+//! - [`Template`] and friends — the AST of the notation;
+//! - [`parse_template`] — the ASCII text syntax
+//!   (`"F_start -> S_{G_E} -> B_error -> F_end"`);
+//! - [`TemplateMatcher`] — compiles a template to a CPG path query and
+//!   searches function graphs for witnesses.
+//!
+//! [`anti_pattern_templates`] returns the paper's nine anti-patterns
+//! ready-parsed; the checker crate builds its detectors on top of these
+//! with added per-pattern precision (origins, avoidance constraints).
+
+mod ast;
+mod matcher;
+mod parse;
+
+pub use ast::{pretty, Atom, ContextKind, OpSpec, Operator, Subscript, Template};
+pub use matcher::{TemplateMatch, TemplateMatcher};
+pub use parse::{anti_pattern_templates, parse_template, TemplateParseError};

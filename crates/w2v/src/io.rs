@@ -1,0 +1,143 @@
+//! Persistence for trained embeddings: the word2vec text format
+//! (`word v1 v2 ... vD` per line, dimension header), so models train
+//! once and reload across runs/tools.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::model::Word2Vec;
+
+impl Word2Vec {
+    /// Writes the embeddings in the word2vec text format.
+    ///
+    /// The first line is `<vocab_size> <dim>`; each following line is
+    /// the word and its vector components.
+    pub fn write_text(&self, w: &mut dyn Write) -> io::Result<()> {
+        let vocab = self.vocab();
+        writeln!(w, "{} {}", vocab.len(), self.dim())?;
+        for i in 0..vocab.len() {
+            let word = vocab.word(i);
+            write!(w, "{word}")?;
+            for v in self.vector(word).expect("in-vocab word has a vector") {
+                write!(w, " {v}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes to a string (convenience over [`Word2Vec::write_text`]).
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_text(&mut buf).expect("writing to memory");
+        String::from_utf8(buf).expect("text format is UTF-8")
+    }
+
+    /// Reads a model from the word2vec text format.
+    ///
+    /// Word frequencies are not stored in the format; the loaded model
+    /// supports lookup/similarity but not further training.
+    pub fn read_text(r: &mut dyn Read) -> io::Result<Word2Vec> {
+        let mut lines = BufReader::new(r).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty model file"))??;
+        let mut parts = header.split_whitespace();
+        let count: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing vocab size"))?;
+        let dim: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing dimension"))?;
+        let mut words = Vec::with_capacity(count);
+        let mut vectors: Vec<f32> = Vec::with_capacity(count * dim);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let word = parts.next().ok_or_else(|| bad("missing word"))?;
+            words.push(word.to_string());
+            let mut n = 0;
+            for p in parts {
+                let v: f32 = p.parse().map_err(|_| bad("malformed component"))?;
+                vectors.push(v);
+                n += 1;
+            }
+            if n != dim {
+                return Err(bad("wrong vector length"));
+            }
+        }
+        if words.len() != count {
+            return Err(bad("wrong vocabulary size"));
+        }
+        Ok(Word2Vec::from_parts(words, vectors, dim))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("word2vec text: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::W2vConfig;
+
+    fn model() -> Word2Vec {
+        let corpus = "find get put node\nfind put node get\n".repeat(30);
+        Word2Vec::train_text(
+            &corpus,
+            &W2vConfig {
+                dim: 8,
+                epochs: 3,
+                min_count: 1,
+                subsample: 0.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let m = model();
+        let text = m.to_text();
+        let loaded = Word2Vec::read_text(&mut text.as_bytes()).expect("valid");
+        assert_eq!(loaded.vocab().len(), m.vocab().len());
+        for i in 0..m.vocab().len() {
+            let w = m.vocab().word(i);
+            assert_eq!(loaded.vector(w), m.vector(w), "vector mismatch for {w}");
+        }
+        // Similarities survive the round trip.
+        let a = m.similarity("find", "put").unwrap();
+        let b = loaded.similarity("find", "put").unwrap();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn header_shape() {
+        let m = model();
+        let text = m.to_text();
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, format!("{} 8", m.vocab().len()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Word2Vec::read_text(&mut "".as_bytes()).is_err());
+        assert!(Word2Vec::read_text(&mut "x".as_bytes()).is_err());
+        assert!(Word2Vec::read_text(&mut "1 3\nword 0.5 0.5".as_bytes()).is_err());
+        assert!(Word2Vec::read_text(&mut "2 2\nword 0.5 0.5".as_bytes()).is_err());
+        assert!(Word2Vec::read_text(&mut "1 2\nword 0.5 abc".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn loaded_model_supports_most_similar() {
+        let m = model();
+        let loaded = Word2Vec::read_text(&mut m.to_text().as_bytes()).unwrap();
+        let top = loaded.most_similar("find", 2);
+        assert_eq!(top.len(), 2);
+    }
+}

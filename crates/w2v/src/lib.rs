@@ -1,0 +1,19 @@
+//! # refminer-w2v
+//!
+//! A from-scratch word2vec (CBOW with negative sampling) used to
+//! reproduce the paper's Table 3: the semantic similarity between the
+//! key words of refcounting API names ("get", "put", "hold", ...) and
+//! the key words of bug-causing API names ("find", "foreach", "parse",
+//! ...), trained on commit logs (§5.2.2, CBOW per Mikolov et al.).
+//!
+//! Training is deterministic for a given seed (`ChaCha8` RNG), so the
+//! regenerated Table 3 is bit-for-bit reproducible.
+
+mod io;
+mod model;
+mod tokenize;
+mod vocab;
+
+pub use model::{W2vConfig, Word2Vec};
+pub use tokenize::{tokenize, tokenize_lines};
+pub use vocab::Vocab;

@@ -1,0 +1,415 @@
+//! The CBOW word2vec model with negative sampling.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::tokenize::tokenize_lines;
+use crate::vocab::Vocab;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct W2vConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window half-width.
+    pub window: usize,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub learning_rate: f32,
+    /// Minimum word frequency to enter the vocabulary.
+    pub min_count: u64,
+    /// Frequent-word subsampling threshold (0 disables).
+    pub subsample: f64,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        W2vConfig {
+            dim: 64,
+            window: 5,
+            negatives: 5,
+            epochs: 5,
+            learning_rate: 0.05,
+            min_count: 2,
+            subsample: 1e-3,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained CBOW model.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_w2v::{W2vConfig, Word2Vec};
+///
+/// let corpus = "\
+/// fix refcount leak in of_find_node_by_name\n\
+/// add missing of_node_put after of_find_node_by_name\n\
+/// fix refcount leak add missing of_node_put\n";
+/// let cfg = W2vConfig { dim: 16, epochs: 20, min_count: 1, ..Default::default() };
+/// let model = Word2Vec::train_text(corpus, &cfg);
+/// assert!(model.similarity("find", "put").is_some());
+/// ```
+pub struct Word2Vec {
+    vocab: Vocab,
+    /// Input embeddings, row-major `vocab.len() × dim`.
+    syn0: Vec<f32>,
+    dim: usize,
+}
+
+impl Word2Vec {
+    /// Trains on raw text (one sentence per line).
+    pub fn train_text(text: &str, cfg: &W2vConfig) -> Word2Vec {
+        let sentences = tokenize_lines(text);
+        Self::train(&sentences, cfg)
+    }
+
+    /// Trains on pre-tokenized sentences.
+    pub fn train(sentences: &[Vec<String>], cfg: &W2vConfig) -> Word2Vec {
+        let vocab = Vocab::build(sentences, cfg.min_count);
+        let dim = cfg.dim;
+        let n = vocab.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        // Standard word2vec init: inputs uniform in ±0.5/dim, outputs 0.
+        let mut syn0: Vec<f32> = (0..n * dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let mut syn1: Vec<f32> = vec![0.0; n * dim];
+        if n == 0 {
+            return Word2Vec { vocab, syn0, dim };
+        }
+        let neg_table = vocab.negative_table(1_000_000.min(100 * n.max(100)));
+        // Index sentences once.
+        let indexed: Vec<Vec<usize>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|w| vocab.get(w)).collect())
+            .filter(|s: &Vec<usize>| s.len() >= 2)
+            .collect();
+        let total_words: usize = indexed.iter().map(Vec::len).sum();
+        let total_steps = (total_words * cfg.epochs).max(1);
+        let mut step = 0usize;
+        let mut neu1 = vec![0.0f32; dim];
+        let mut neu1e = vec![0.0f32; dim];
+        for _epoch in 0..cfg.epochs {
+            for sentence in &indexed {
+                // Subsample frequent words per epoch.
+                let kept: Vec<usize> = sentence
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        cfg.subsample <= 0.0
+                            || rng.gen::<f64>() < vocab.keep_probability(w, cfg.subsample)
+                    })
+                    .collect();
+                if kept.len() < 2 {
+                    step += sentence.len();
+                    continue;
+                }
+                for (pos, &center) in kept.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = (cfg.learning_rate * (1.0 - progress)).max(cfg.learning_rate * 1e-4);
+                    // Dynamic window, as in the reference implementation.
+                    let b = rng.gen_range(0..cfg.window.max(1));
+                    let lo = pos.saturating_sub(cfg.window - b);
+                    let hi = (pos + cfg.window - b + 1).min(kept.len());
+                    neu1.iter_mut().for_each(|v| *v = 0.0);
+                    neu1e.iter_mut().for_each(|v| *v = 0.0);
+                    let mut cw = 0usize;
+                    for (i, &ctx) in kept[lo..hi].iter().enumerate() {
+                        if lo + i == pos {
+                            continue;
+                        }
+                        for d in 0..dim {
+                            neu1[d] += syn0[ctx * dim + d];
+                        }
+                        cw += 1;
+                    }
+                    if cw == 0 {
+                        continue;
+                    }
+                    let inv = 1.0 / cw as f32;
+                    neu1.iter_mut().for_each(|v| *v *= inv);
+                    // One positive + k negative targets.
+                    for k in 0..=cfg.negatives {
+                        let (target, label) = if k == 0 {
+                            (center, 1.0f32)
+                        } else {
+                            let t = neg_table[rng.gen_range(0..neg_table.len())];
+                            if t == center {
+                                continue;
+                            }
+                            (t, 0.0f32)
+                        };
+                        let row = &syn1[target * dim..(target + 1) * dim];
+                        let dot: f32 = neu1.iter().zip(row).map(|(a, b)| a * b).sum();
+                        let pred = sigmoid(dot);
+                        let g = (label - pred) * lr;
+                        for d in 0..dim {
+                            neu1e[d] += g * syn1[target * dim + d];
+                        }
+                        for d in 0..dim {
+                            syn1[target * dim + d] += g * neu1[d];
+                        }
+                    }
+                    // Propagate the error back to every context word.
+                    for (i, &ctx) in kept[lo..hi].iter().enumerate() {
+                        if lo + i == pos {
+                            continue;
+                        }
+                        for d in 0..dim {
+                            syn0[ctx * dim + d] += neu1e[d];
+                        }
+                    }
+                }
+            }
+        }
+        Word2Vec { vocab, syn0, dim }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rebuilds a model from raw parts (deserialization). Frequencies
+    /// are unknown, so the vocabulary is loaded with unit counts.
+    pub(crate) fn from_parts(words: Vec<String>, syn0: Vec<f32>, dim: usize) -> Word2Vec {
+        assert_eq!(words.len() * dim, syn0.len(), "vector table shape");
+        Word2Vec {
+            vocab: Vocab::from_words(words),
+            syn0,
+            dim,
+        }
+    }
+
+    /// The embedding of a word, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        let i = self.vocab.get(word)?;
+        Some(&self.syn0[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Cosine similarity of two words (`None` if either is OOV).
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        let va = self.vector(a)?;
+        let vb = self.vector(b)?;
+        Some(cosine(va, vb))
+    }
+
+    /// Solves the analogy `a - b + c ≈ ?`, returning the `topn`
+    /// candidates (excluding the query words themselves).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use refminer_w2v::{W2vConfig, Word2Vec};
+    ///
+    /// let corpus = "get put node\nhold release lock\n".repeat(40);
+    /// let m = Word2Vec::train_text(&corpus, &W2vConfig {
+    ///     dim: 16, epochs: 4, min_count: 1, subsample: 0.0,
+    ///     ..Default::default()
+    /// });
+    /// let answers = m.analogy("get", "put", "hold", 2);
+    /// assert!(!answers.is_empty());
+    /// ```
+    pub fn analogy(&self, a: &str, b: &str, c: &str, topn: usize) -> Vec<(String, f32)> {
+        let (Some(va), Some(vb), Some(vc)) = (self.vector(a), self.vector(b), self.vector(c))
+        else {
+            return Vec::new();
+        };
+        let target: Vec<f32> = va
+            .iter()
+            .zip(vb)
+            .zip(vc)
+            .map(|((x, y), z)| x - y + z)
+            .collect();
+        let mut scored: Vec<(usize, f32)> = (0..self.vocab.len())
+            .filter(|&i| {
+                let w = self.vocab.word(i);
+                w != a && w != b && w != c
+            })
+            .map(|i| {
+                let w = &self.syn0[i * self.dim..(i + 1) * self.dim];
+                (i, cosine(&target, w))
+            })
+            .collect();
+        scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+        scored
+            .into_iter()
+            .take(topn)
+            .map(|(i, s)| (self.vocab.word(i).to_string(), s))
+            .collect()
+    }
+
+    /// The `topn` nearest words to `word`, by cosine similarity.
+    pub fn most_similar(&self, word: &str, topn: usize) -> Vec<(String, f32)> {
+        let Some(v) = self.vector(word) else {
+            return Vec::new();
+        };
+        let me = self.vocab.get(word).expect("vector implies index");
+        let mut scored: Vec<(usize, f32)> = (0..self.vocab.len())
+            .filter(|&i| i != me)
+            .map(|i| {
+                let w = &self.syn0[i * self.dim..(i + 1) * self.dim];
+                (i, cosine(v, w))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored
+            .into_iter()
+            .take(topn)
+            .map(|(i, s)| (self.vocab.word(i).to_string(), s))
+            .collect()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> String {
+        // Two tight clusters: (find get put node) co-occur; (lock mutex
+        // spin irq) co-occur; clusters never mix.
+        let mut text = String::new();
+        for _ in 0..60 {
+            text.push_str("find get node put node get find put\n");
+            text.push_str("lock mutex spin irq mutex lock irq spin\n");
+        }
+        text
+    }
+
+    fn cfg() -> W2vConfig {
+        W2vConfig {
+            dim: 24,
+            window: 4,
+            epochs: 12,
+            min_count: 1,
+            subsample: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clusters_separate() {
+        let m = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        let same = m.similarity("find", "get").unwrap();
+        let cross = m.similarity("find", "mutex").unwrap();
+        assert!(
+            same > cross,
+            "within-cluster {same} should exceed cross-cluster {cross}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        let b = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        assert_eq!(a.vector("find").unwrap(), b.vector("find").unwrap());
+    }
+
+    #[test]
+    fn oov_is_none() {
+        let m = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        assert!(m.vector("nonexistent").is_none());
+        assert!(m.similarity("find", "nonexistent").is_none());
+    }
+
+    #[test]
+    fn most_similar_ranks_cluster_first() {
+        let m = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        let top = m.most_similar("find", 3);
+        assert_eq!(top.len(), 3);
+        let names: Vec<&str> = top.iter().map(|(w, _)| w.as_str()).collect();
+        // All three nearest neighbours come from the same cluster.
+        for n in &names {
+            assert!(
+                ["get", "put", "node"].contains(n),
+                "unexpected neighbour {n}, top = {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let m = Word2Vec::train_text(&tiny_corpus(), &cfg());
+        let s = m.similarity("find", "find").unwrap();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let m = Word2Vec::train_text("", &cfg());
+        assert!(m.vocab().is_empty());
+        assert!(m.vector("anything").is_none());
+    }
+}
+
+#[cfg(test)]
+mod analogy_tests {
+    use super::*;
+
+    #[test]
+    fn analogy_excludes_query_words() {
+        let corpus = "find get put node\nlock unlock mutex irq\n".repeat(40);
+        let m = Word2Vec::train_text(
+            &corpus,
+            &W2vConfig {
+                dim: 16,
+                epochs: 4,
+                min_count: 1,
+                subsample: 0.0,
+                ..Default::default()
+            },
+        );
+        let answers = m.analogy("get", "put", "lock", 3);
+        assert_eq!(answers.len(), 3);
+        for (w, _) in &answers {
+            assert!(w != "get" && w != "put" && w != "lock");
+        }
+    }
+
+    #[test]
+    fn analogy_oov_is_empty() {
+        let m = Word2Vec::train_text(
+            "alpha beta\n",
+            &W2vConfig {
+                min_count: 1,
+                ..Default::default()
+            },
+        );
+        assert!(m.analogy("alpha", "missing", "beta", 2).is_empty());
+    }
+}

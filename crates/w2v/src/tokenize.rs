@@ -1,0 +1,85 @@
+//! Tokenization of commit logs and patch text for embedding training.
+
+/// Tokenizes commit-log text into lowercase word tokens.
+///
+/// C identifiers are split on underscores so that API names contribute
+/// their keyword parts (`of_find_node_by_name` → `of find node by
+/// name`), matching how Table 3 compares *keywords* rather than whole
+/// names. `for_each` is fused into the single token `foreach` first,
+/// mirroring the paper's keyword list.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_w2v::tokenize;
+///
+/// let toks = tokenize("Fix refcount leak in of_find_node_by_name()");
+/// assert!(toks.contains(&"refcount".to_string()));
+/// assert!(toks.contains(&"find".to_string()));
+/// let toks = tokenize("for_each_child_of_node(parent, child)");
+/// assert!(toks.contains(&"foreach".to_string()));
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let lowered = text.to_ascii_lowercase().replace("for_each", "foreach");
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in lowered.chars() {
+        if c.is_ascii_alphanumeric() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    // Drop single characters and pure numbers; they carry no keyword
+    // signal and bloat the vocabulary.
+    if tok.len() < 2 || tok.chars().all(|c| c.is_ascii_digit()) {
+        return;
+    }
+    out.push(tok);
+}
+
+/// Tokenizes a multi-line document into sentences (one per line),
+/// dropping empty ones.
+pub fn tokenize_lines(text: &str) -> Vec<Vec<String>> {
+    text.lines()
+        .map(tokenize)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_identifiers() {
+        assert_eq!(tokenize("of_node_put(np)"), vec!["of", "node", "put", "np"]);
+    }
+
+    #[test]
+    fn fuses_for_each() {
+        let toks = tokenize("use for_each_matching_node here");
+        assert!(!toks.contains(&"foreachmatchingnode".to_string()));
+        assert!(toks.contains(&"foreach".to_string()));
+        assert!(toks.contains(&"matching".to_string()));
+    }
+
+    #[test]
+    fn drops_numbers_and_singles() {
+        assert_eq!(tokenize("v5 1 x 42 ab"), vec!["v5", "ab"]);
+    }
+
+    #[test]
+    fn lines_become_sentences() {
+        let s = tokenize_lines("first line\n\nsecond line\n");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], vec!["first", "line"]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Integration umbrella for the `refminer` workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the [`refminer`] facade crate and the per-subsystem
+//! crates it re-exports.
+
+pub use refminer;

@@ -1,0 +1,307 @@
+//! Property-based tests over the core data structures and invariants:
+//! the lexer/parser never panic and preserve ordering invariants, the
+//! template syntax round-trips, path queries respect their contracts,
+//! and generated corpora always parse cleanly.
+
+use proptest::prelude::*;
+
+use refminer::clex::{Lexer, TokenKind};
+use refminer::corpus::{generate_history, generate_tree, HistoryConfig, TreeConfig};
+use refminer::cparse::{parse_str, parse_str_with_errors};
+use refminer::cpg::{Cfg, FunctionGraph, PathQuery, Step};
+use refminer::rcapi::{name_direction, paired_dec_name, ApiKb};
+use refminer::template::parse_template;
+use refminer::w2v::tokenize;
+
+proptest! {
+    /// The lexer never panics and its spans are sorted and
+    /// non-overlapping for any input.
+    #[test]
+    fn lexer_total_and_spans_ordered(src in "[ -~\n\t]{0,400}") {
+        let toks = Lexer::new(&src).tokenize();
+        for w in toks.windows(2) {
+            prop_assert!(w[0].span.start <= w[1].span.start,
+                "spans out of order");
+            prop_assert!(w[0].span.end <= w[1].span.start,
+                "spans overlap");
+        }
+        for t in &toks {
+            prop_assert!(t.span.end as usize <= src.len());
+        }
+    }
+
+    /// Lexing only identifier/number/punct soup loses nothing: the
+    /// concatenated token texts cover every non-whitespace byte.
+    #[test]
+    fn lexer_covers_simple_input(words in proptest::collection::vec("[a-z_][a-z0-9_]{0,8}", 1..20)) {
+        let src = words.join(" ");
+        let toks = Lexer::new(&src).tokenize();
+        prop_assert_eq!(toks.len(), words.len());
+        for (t, w) in toks.iter().zip(&words) {
+            match &t.kind {
+                TokenKind::Ident(s) => prop_assert_eq!(s, w),
+                TokenKind::Keyword(_) => {} // C keywords are fine.
+                other => prop_assert!(false, "unexpected token {:?}", other),
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary printable input, and
+    /// recovery always terminates.
+    #[test]
+    fn parser_total(src in "[ -~\n]{0,400}") {
+        let (_tu, _errs) = parse_str_with_errors("fuzz.c", &src);
+    }
+
+    /// The parser is total on brace/paren/semicolon soup — the worst
+    /// case for recovery logic.
+    #[test]
+    fn parser_total_on_brace_soup(src in "[(){};,a-z=+*<> \n]{0,300}") {
+        let tu = parse_str("soup.c", &src);
+        // Walking the result must also be safe.
+        for f in tu.functions() {
+            let _ = Cfg::build(f);
+        }
+    }
+
+    /// CFG invariants for any parseable function: edges are dual
+    /// (succ/pred agree), the exit has no successors, and entry has no
+    /// predecessors.
+    #[test]
+    fn cfg_edge_duality(body in "[a-z0-9_ =+;(){}<>!&|\n]{0,200}") {
+        let src = format!("int f(int a, int b) {{ {body} }}");
+        let tu = parse_str("t.c", &src);
+        if let Some(f) = tu.function("f") {
+            let cfg = Cfg::build(f);
+            prop_assert!(cfg.succs(cfg.exit).is_empty());
+            prop_assert!(cfg.preds(cfg.entry).is_empty());
+            for n in cfg.node_ids() {
+                for &(s, k) in cfg.succs(n) {
+                    prop_assert!(
+                        cfg.preds(s).contains(&(n, k)),
+                        "missing dual edge {n}->{s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A path-query witness always has exactly one node per step, in
+    /// graph-reachable order.
+    #[test]
+    fn path_query_witness_shape(n_steps in 1usize..4) {
+        let src = "int f(int a) { s1(); s2(); s3(); s4(); return 0; }";
+        let tu = parse_str("t.c", src);
+        let g = FunctionGraph::build(tu.function("f").unwrap());
+        let names = ["s1", "s2", "s3", "s4"];
+        let steps: Vec<Step> = names[..n_steps]
+            .iter()
+            .map(|name| {
+                let facts = &g.facts;
+                Step::new(move |n| facts[n].calls_named(name))
+            })
+            .collect();
+        let witness = PathQuery::new(steps).search_from_entry(&g.cfg);
+        let w = witness.expect("straight-line calls always match");
+        prop_assert_eq!(w.len(), n_steps);
+        for pair in w.windows(2) {
+            prop_assert!(g.cfg.reachable(pair[0], pair[1]));
+        }
+    }
+
+    /// Template text syntax round-trips through Display for any
+    /// composition of atoms the printer can emit.
+    #[test]
+    fn template_round_trip(
+        ops in proptest::collection::vec(
+            proptest::sample::select(vec!["G", "P", "A", "D", "L", "U", "{G_E}", "{G_N}", "{P_H}", "{A_GO}", "{U.D}(p0)", "P(p0)", "D(p0)"]),
+            1..4,
+        )
+    ) {
+        let middle: Vec<String> = ops.iter().map(|o| format!("S_{o}")).collect();
+        let text = format!("F_start -> {} -> F_end", middle.join(" -> "));
+        let t = parse_template(&text).unwrap();
+        let printed = t.to_string();
+        let reparsed = parse_template(&printed).unwrap();
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// Keyword direction and pairing are consistent: a derived paired
+    /// name always classifies as a decrement.
+    #[test]
+    fn paired_name_is_dec(stem in "[a-z]{2,8}", kw in proptest::sample::select(vec!["get", "hold", "grab", "pin", "ref"])) {
+        let inc_name = format!("{stem}_{kw}");
+        prop_assume!(name_direction(&inc_name) == Some(refminer::rcapi::RcDir::Inc));
+        if let Some(dec) = paired_dec_name(&inc_name) {
+            prop_assert_eq!(
+                name_direction(&dec),
+                Some(refminer::rcapi::RcDir::Dec),
+                "paired name {} not a dec", dec
+            );
+        }
+    }
+
+    /// Commit-log tokenization produces lowercase alphanumeric tokens
+    /// of length ≥ 2, never panicking.
+    #[test]
+    fn tokenizer_invariants(text in "[ -~\n]{0,300}") {
+        for tok in tokenize(&text) {
+            prop_assert!(tok.len() >= 2);
+            prop_assert!(tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            prop_assert!(!tok.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    /// Every file of a generated tree parses without recovery errors —
+    /// the corpus generator only emits well-formed C.
+    #[test]
+    fn generated_trees_parse_cleanly(seed in 0u64..50) {
+        let tree = generate_tree(&TreeConfig {
+            seed,
+            scale: 0.02,
+            ..Default::default()
+        });
+        for f in &tree.files {
+            let (_tu, errs) = parse_str_with_errors(&f.path, &f.content);
+            prop_assert!(
+                errs.is_empty(),
+                "parse errors in {}: {:?}",
+                f.path,
+                errs
+            );
+        }
+    }
+
+    /// Tree generation is injective on bug identity: no two manifest
+    /// entries collide on (path, function).
+    #[test]
+    fn manifest_bugs_unique(seed in 0u64..20) {
+        let tree = generate_tree(&TreeConfig {
+            seed,
+            scale: 0.05,
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for b in &tree.manifest.bugs {
+            prop_assert!(
+                seen.insert((b.path.clone(), b.function.clone())),
+                "duplicate bug site {}:{}",
+                b.path,
+                b.function
+            );
+        }
+    }
+
+    /// History generation: Fixes tags always resolve, whatever the
+    /// seed and sizes.
+    #[test]
+    fn history_fixes_tags_resolve(seed in 0u64..20, n_bugs in 10usize..60) {
+        let h = generate_history(&HistoryConfig {
+            seed,
+            n_bugs,
+            n_noise: 10,
+            n_reverts: 2,
+            n_neutral: 20,
+        });
+        let ids: std::collections::HashSet<&str> =
+            h.commits.iter().map(|c| c.id.as_str()).collect();
+        for c in &h.commits {
+            if let Some(t) = c.fixes_tag() {
+                prop_assert!(ids.contains(t));
+            }
+        }
+    }
+
+    /// The KB pairing relation is sound for every seeded inc API: each
+    /// accepted dec is itself a known dec or keyword-dec.
+    #[test]
+    fn kb_pairings_are_decs(_x in 0..1i32) {
+        let kb = ApiKb::builtin();
+        for api in kb.apis().filter(|a| a.dir == refminer::rcapi::RcDir::Inc) {
+            for dec in &api.dec_names {
+                prop_assert!(
+                    kb.is_dec(dec) || name_direction(dec) == Some(refminer::rcapi::RcDir::Dec),
+                    "{} pairs with non-dec {}",
+                    api.name,
+                    dec
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// For any seed, auditing a small generated tree finds every
+    /// injected bug with zero organic false positives — the recall and
+    /// precision invariant of the checker suite.
+    #[test]
+    fn audit_invariant_across_seeds(seed in 0u64..30) {
+        let tree = generate_tree(&TreeConfig {
+            seed,
+            scale: 0.02,
+            include_tricky: false,
+            ..Default::default()
+        });
+        let project = refminer::Project::from_tree(&tree);
+        let report = refminer::audit(&project, &refminer::AuditConfig::default());
+        let t = refminer::dataset::triage(&report.findings, &tree.manifest);
+        prop_assert!(
+            (t.recall(&tree.manifest) - 1.0).abs() < 1e-9,
+            "recall {} at seed {seed}",
+            t.recall(&tree.manifest)
+        );
+        prop_assert!(
+            (t.precision() - 1.0).abs() < 1e-9,
+            "precision {} at seed {seed}",
+            t.precision()
+        );
+    }
+
+    /// Origin analysis invariants: a parameter never loses its Param
+    /// origin unless assigned, and origins at any node are a subset of
+    /// the origins that exist somewhere in the function.
+    #[test]
+    fn origins_params_stable(body in "[a-z_ =;()\n]{0,120}") {
+        let src = format!(
+            "int f(struct device_node *alpha) {{ struct device_node *beta; {body} return 0; }}"
+        );
+        let tu = parse_str("t.c", &src);
+        if let Some(func) = tu.function("f") {
+            let g = FunctionGraph::build(func);
+            // If `alpha` is never an assignment target, it keeps the
+            // Param origin at exit.
+            let reassigned = g.facts.iter().any(|f| {
+                f.assigns.iter().any(|a| {
+                    a.target == refminer::cpg::StoreTarget::Var("alpha".to_string())
+                })
+            });
+            if !reassigned {
+                let at_exit = g.origins.at(&g.cfg, g.cfg.exit, "alpha");
+                prop_assert!(
+                    at_exit.iter().any(|o| matches!(o, refminer::cpg::Origin::Param)),
+                    "alpha lost its Param origin without an assignment"
+                );
+            }
+        }
+    }
+
+    /// word2vec text persistence round-trips for any trained model
+    /// shape.
+    #[test]
+    fn w2v_persistence_round_trip(dim in 2usize..12, seed in 0u64..20) {
+        use refminer::w2v::{W2vConfig, Word2Vec};
+        let corpus = "alpha beta gamma delta\nbeta gamma alpha delta\n".repeat(10);
+        let m = Word2Vec::train_text(&corpus, &W2vConfig {
+            dim,
+            epochs: 2,
+            min_count: 1,
+            subsample: 0.0,
+            seed,
+            ..Default::default()
+        });
+        let text = m.to_text();
+        let loaded = Word2Vec::read_text(&mut text.as_bytes()).unwrap();
+        prop_assert_eq!(loaded.dim(), dim);
+        prop_assert_eq!(loaded.vector("alpha"), m.vector("alpha"));
+    }
+}
