@@ -1,7 +1,8 @@
 //! Per-checker benchmarks: the cost of each of the nine anti-pattern
 //! detectors over the same fixture functions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use refminer_bench::harness::Criterion;
+use refminer_bench::{criterion_group, criterion_main};
 
 use refminer::checkers::{default_checkers, CheckCtx};
 use refminer::cparse::parse_str;

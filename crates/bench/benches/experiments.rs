@@ -2,7 +2,8 @@
 //! artifact from its substrate (scaled-down substrates keep wall time
 //! sane; the computation per element is the real thing).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use refminer_bench::harness::Criterion;
+use refminer_bench::{criterion_group, criterion_main};
 
 use refminer::corpus::{generate_history, generate_tree, HistoryConfig, TreeConfig};
 use refminer::cparse::parse_str;

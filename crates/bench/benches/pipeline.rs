@@ -1,10 +1,11 @@
 //! Stage-by-stage pipeline benchmarks: lexing, parsing, CPG
 //! construction, discovery, and the end-to-end audit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use refminer_bench::harness::{BenchmarkId, Criterion, Throughput};
+use refminer_bench::{criterion_group, criterion_main};
 
 use refminer::clex::{scan_defines, Lexer};
-use refminer::corpus::{generate_tree, TreeConfig};
+use refminer::corpus::{apply_chaos, generate_tree, ChaosConfig, TreeConfig};
 use refminer::cparse::parse_str;
 use refminer::cpg::FunctionGraph;
 use refminer::rcapi::{discover, ApiKb, DiscoverConfig};
@@ -88,12 +89,35 @@ fn bench_audit_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_chaos_audit(c: &mut Criterion) {
+    // The cost of fault isolation: a quarter of the tree corrupted,
+    // audited under the same default limits as the clean runs above.
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.05,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let chaos = apply_chaos(&tree, &ChaosConfig::default());
+    let project = Project::from_sources(chaos.to_sources());
+    let mut g = c.benchmark_group("audit_chaos");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(tree.files.len() as u64));
+    g.bench_function("scale_0.05_ratio_0.25", |b| {
+        b.iter(|| {
+            let report = audit(&project, &AuditConfig::default());
+            (report.findings.len(), report.diagnostics.degraded)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_lexer,
     bench_parser,
     bench_cpg,
     bench_discovery,
-    bench_audit_scaling
+    bench_audit_scaling,
+    bench_chaos_audit
 );
 criterion_main!(benches);

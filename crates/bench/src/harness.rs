@@ -1,0 +1,252 @@
+//! A minimal benchmarking harness with a criterion-shaped API surface
+//! (`Criterion`, `benchmark_group`, `Bencher::iter`, `Throughput`), so
+//! the bench targets read conventionally while building offline.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over enough iterations to fill a fixed measurement window; the
+//! reported figure is mean wall-clock time per iteration. Good enough
+//! to spot order-of-magnitude regressions, which is what the tier-1
+//! suite cares about.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Declared throughput of a benchmark, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (criterion-compatible constructor).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's display form.
+    pub fn from_parameter<T: std::fmt::Display>(p: T) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a name and a parameter.
+    pub fn new<T: std::fmt::Display>(name: &str, p: T) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// The per-benchmark timing driver passed to `iter` closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for a fixed window.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up (also primes caches and the lazy fixtures).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(f());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_WINDOW {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+/// One finished measurement.
+struct Record {
+    name: String,
+    per_iter: Duration,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness: collects measurements, prints a report.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        self.push(name.to_string(), &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn push(&mut self, name: String, b: &Bencher, throughput: Option<Throughput>) {
+        let per_iter = if b.iters > 0 {
+            b.elapsed / (b.iters as u32)
+        } else {
+            Duration::ZERO
+        };
+        self.records.push(Record {
+            name,
+            per_iter,
+            throughput,
+        });
+    }
+
+    /// Prints the collected measurements to stdout.
+    pub fn report(&self) {
+        let width = self
+            .records
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0);
+        for r in &self.records {
+            let rate = match r.throughput {
+                Some(Throughput::Bytes(n)) if !r.per_iter.is_zero() => {
+                    let mbps = n as f64 / r.per_iter.as_secs_f64() / 1.0e6;
+                    format!("  ({mbps:.1} MB/s)")
+                }
+                Some(Throughput::Elements(n)) if !r.per_iter.is_zero() => {
+                    let eps = n as f64 / r.per_iter.as_secs_f64();
+                    format!("  ({eps:.0} elem/s)")
+                }
+                _ => String::new(),
+            };
+            println!("{:<width$}  {:>12}{}", r.name, fmt_duration(r.per_iter), rate);
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput used for the rate column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the fixed measurement
+    /// window makes a sample count irrelevant here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        self.c.push(full, &b, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.0);
+        self.c.push(full, &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1.0e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1.0e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1.0e9)
+    }
+}
+
+/// Groups benchmark functions under one callable, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Entry point running each group then printing the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].per_iter < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(100));
+            g.bench_function("inner", |b| b.iter(|| 2 * 2));
+            g.finish();
+        }
+        assert_eq!(c.records[0].name, "g/inner");
+    }
+}

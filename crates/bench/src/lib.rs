@@ -1,7 +1,11 @@
 //! # refminer-bench
 //!
-//! Criterion benchmarks for the refminer pipeline. Fixtures shared by
-//! the bench targets live here.
+//! Benchmarks for the refminer pipeline, driven by a small
+//! self-contained harness ([`harness`]) so the workspace builds with no
+//! external benchmarking framework. Fixtures shared by the bench
+//! targets live here.
+
+pub mod harness;
 
 use refminer::corpus::{generate_tree, SyntheticTree, TreeConfig};
 

@@ -1,10 +1,10 @@
 //! Findings: what a checker reports.
 
-use serde::{Deserialize, Serialize};
+use refminer_json::{obj, ToJson, Value};
 use std::fmt;
 
 /// The paper's nine anti-patterns (§5.1.3, §5.2.3, §5.3.4, §5.4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AntiPattern {
     /// Return-Error deviation: `G_E` increment followed by an error
     /// block with no paired decrement.
@@ -88,7 +88,7 @@ impl fmt::Display for AntiPattern {
 }
 
 /// The security impact a finding can lead to (Table 4's columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Impact {
     /// Memory leak (CWE-401).
     Leak,
@@ -109,7 +109,7 @@ impl fmt::Display for Impact {
 }
 
 /// One detected anti-pattern instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Which anti-pattern matched.
     pub pattern: AntiPattern,
@@ -136,6 +136,33 @@ impl fmt::Display for Finding {
             "{}:{}: [{}/{}] {} in {}(): {}",
             self.file, self.line, self.pattern, self.impact, self.api, self.function, self.message
         )
+    }
+}
+
+impl ToJson for AntiPattern {
+    fn to_json(&self) -> Value {
+        Value::Str(self.id().to_string())
+    }
+}
+
+impl ToJson for Impact {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Value {
+        obj([
+            ("pattern", self.pattern.to_json()),
+            ("impact", self.impact.to_json()),
+            ("file", self.file.to_json()),
+            ("function", self.function.to_json()),
+            ("line", self.line.to_json()),
+            ("api", self.api.to_json()),
+            ("object", self.object.to_json()),
+            ("message", self.message.to_json()),
+        ])
     }
 }
 

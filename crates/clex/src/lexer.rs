@@ -88,6 +88,26 @@ impl<'a> Lexer<'a> {
         (out, self.errors)
     }
 
+    /// Lexes at most `max_tokens` tokens — the resource guard the audit
+    /// pipeline uses against pathological inputs (macro bombs, binary
+    /// garbage that lexes to endless one-byte tokens). The final `bool`
+    /// reports whether the input was truncated at the cap.
+    pub fn tokenize_limited(mut self, max_tokens: usize) -> (Vec<Token>, Vec<LexError>, bool) {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token() {
+            out.push(tok);
+            if out.len() >= max_tokens {
+                let truncated = {
+                    // Anything left beyond whitespace means we cut off.
+                    self.skip_whitespace();
+                    self.peek().is_some()
+                };
+                return (out, self.errors, truncated);
+            }
+        }
+        (out, self.errors, false)
+    }
+
     /// Errors recovered so far.
     pub fn errors(&self) -> &[LexError] {
         &self.errors
@@ -210,7 +230,13 @@ impl<'a> Lexer<'a> {
                 continue;
             }
 
-            return Some(self.lex_normal(start, line, col));
+            match self.lex_normal(start, line, col) {
+                Some(tok) => return Some(tok),
+                // A stray byte was consumed and recorded; keep scanning
+                // from the next byte (loop, not recursion, so a run of
+                // garbage bytes cannot overflow the stack).
+                None => continue,
+            }
         }
     }
 
@@ -291,33 +317,34 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_normal(&mut self, start: usize, line: u32, col: u32) -> Token {
-        let b = self.peek().expect("caller checked non-empty");
+    /// Lexes one non-directive token. Returns `None` after consuming a
+    /// stray byte (recorded in `errors`) so the caller's loop retries.
+    fn lex_normal(&mut self, start: usize, line: u32, col: u32) -> Option<Token> {
+        let b = self.peek()?;
         // Wide string/char literals must be checked before identifiers,
         // since `L` is also a valid identifier start.
         if (b == b'L' || b == b'u' || b == b'U')
             && matches!(self.peek_at(1), Some(b'"') | Some(b'\''))
         {
             self.bump();
-            let q = self.peek().expect("peeked above");
-            return if q == b'"' {
+            return Some(if self.peek() == Some(b'"') {
                 self.lex_string(start, line, col)
             } else {
                 self.lex_char(start, line, col)
-            };
+            });
         }
         if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
-            return self.lex_ident(start, line, col);
+            return Some(self.lex_ident(start, line, col));
         }
         if b.is_ascii_digit() || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()))
         {
-            return self.lex_number(start, line, col);
+            return Some(self.lex_number(start, line, col));
         }
         if b == b'"' {
-            return self.lex_string(start, line, col);
+            return Some(self.lex_string(start, line, col));
         }
         if b == b'\'' {
-            return self.lex_char(start, line, col);
+            return Some(self.lex_char(start, line, col));
         }
         self.lex_punct(start, line, col)
     }
@@ -484,9 +511,9 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_punct(&mut self, start: usize, line: u32, col: u32) -> Token {
+    fn lex_punct(&mut self, start: usize, line: u32, col: u32) -> Option<Token> {
         use Punct::*;
-        let b = self.bump().expect("caller checked non-empty");
+        let b = self.bump()?;
         let b1 = self.peek();
         let b2 = self.peek_at(1);
         let mut take = |n: usize, p: Punct| {
@@ -577,21 +604,17 @@ impl<'a> Lexer<'a> {
                     line,
                     col,
                 });
-                // Skip and retry: emit the next token instead. Recursion
-                // depth is bounded by the input length.
-                return match self.next_token() {
-                    Some(t) => t,
-                    None => Token {
-                        kind: TokenKind::Punct(Semi),
-                        span: self.span_from(start, line, col),
-                    },
-                };
+                // The byte is already consumed; tell the caller to keep
+                // scanning. (This used to recurse into `next_token`,
+                // which let a long run of garbage bytes overflow the
+                // stack.)
+                return None;
             }
         };
-        Token {
+        Some(Token {
             kind: TokenKind::Punct(p),
             span: self.span_from(start, line, col),
-        }
+        })
     }
 }
 
@@ -740,6 +763,27 @@ mod tests {
         assert_eq!(errs.len(), 1);
         assert_eq!(toks.len(), 3);
         assert_eq!(toks[1].ident(), Some("x"));
+    }
+
+    #[test]
+    fn long_garbage_runs_lex_without_overflow() {
+        // A run of stray bytes used to recurse once per byte; 1 MiB of
+        // them must now lex flat (loop) with one error per byte.
+        let src = "@".repeat(1 << 20);
+        let (toks, errs) = Lexer::new(&src).tokenize_with_errors();
+        assert!(toks.is_empty());
+        assert_eq!(errs.len(), 1 << 20);
+    }
+
+    #[test]
+    fn token_cap_truncates_and_reports() {
+        let src = "a b c d e f g h";
+        let (toks, _errs, truncated) = Lexer::new(src).tokenize_limited(3);
+        assert_eq!(toks.len(), 3);
+        assert!(truncated);
+        let (toks, _errs, truncated) = Lexer::new(src).tokenize_limited(100);
+        assert_eq!(toks.len(), 8);
+        assert!(!truncated);
     }
 
     #[test]

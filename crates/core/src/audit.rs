@@ -1,14 +1,48 @@
 //! The end-to-end audit pipeline: parse → discover → graph → check.
+//!
+//! Every translation unit runs inside a *fault boundary*: resource caps
+//! (file bytes, token count, recursion depth, graph nodes) bound what a
+//! hostile or corrupted file can consume, and `catch_unwind` converts
+//! any panic that still escapes a stage into a structured
+//! [`UnitDiagnostic`] instead of aborting the audit. One bad file can
+//! degrade its own results; it cannot take down the run or perturb the
+//! findings of its healthy siblings.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 use refminer_checkers::{check_unit_with_graphs, AntiPattern, Finding, Impact};
 use refminer_clex::{scan_defines, MacroDef};
-use refminer_cparse::{parse_str, TranslationUnit};
+use refminer_cparse::{parse_str_limited, ParseLimits, TranslationUnit};
 use refminer_cpg::FunctionGraph;
 use refminer_rcapi::{discover, ApiKb, DiscoverConfig};
 
-use crate::project::Project;
+use crate::project::{Project, ScanErrorKind};
+
+/// Resource caps applied to each translation unit.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditLimits {
+    /// Units larger than this many bytes are skipped outright.
+    pub max_file_bytes: usize,
+    /// Token cap per unit; the stream is truncated past it.
+    pub max_tokens: usize,
+    /// Recursion-depth cap for the parser.
+    pub max_parse_depth: u32,
+    /// CFG node cap per function; bigger functions are not analyzed.
+    pub max_graph_nodes: usize,
+}
+
+impl Default for AuditLimits {
+    fn default() -> Self {
+        AuditLimits {
+            max_file_bytes: 8 * 1024 * 1024,
+            max_tokens: 2_000_000,
+            max_parse_depth: 128,
+            max_graph_nodes: 50_000,
+        }
+    }
+}
 
 /// Audit configuration.
 #[derive(Debug, Clone)]
@@ -18,6 +52,8 @@ pub struct AuditConfig {
     pub discover_apis: bool,
     /// Struct-nesting threshold for discovery.
     pub nesting_threshold: usize,
+    /// Per-unit resource caps.
+    pub limits: AuditLimits,
 }
 
 impl Default for AuditConfig {
@@ -25,7 +61,117 @@ impl Default for AuditConfig {
         AuditConfig {
             discover_apis: true,
             nesting_threshold: 3,
+            limits: AuditLimits::default(),
         }
+    }
+}
+
+/// What a single unit's trip through the pipeline looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// Fully analyzed, nothing lost.
+    Ok,
+    /// Analyzed, but part of the input was degraded or dropped.
+    Degraded,
+    /// Not analyzed at all.
+    Skipped,
+}
+
+impl UnitOutcome {
+    /// Stable lower-snake name, used in reports and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnitOutcome::Ok => "ok",
+            UnitOutcome::Degraded => "degraded",
+            UnitOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// The failure taxonomy for per-unit diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UnitErrorKind {
+    /// The file could not be read from disk (scan-time).
+    Io,
+    /// Content was not valid UTF-8 and was decoded lossily (scan-time).
+    NonUtf8,
+    /// The unit exceeded the byte cap and was skipped.
+    Oversize,
+    /// Lexing/parsing panicked; the unit was skipped.
+    LexPanic,
+    /// The lexer recovered from byte-level garbage (stray bytes,
+    /// unterminated comments/strings); some input was dropped.
+    LexNoise,
+    /// The token stream was truncated at the token cap.
+    TokenCap,
+    /// The recursion-depth cap degraded part of the parse.
+    ParseDepth,
+    /// One or more functions exceeded the graph node cap.
+    GraphBlowup,
+    /// Graph construction or checking panicked; the unit's findings
+    /// were dropped.
+    CheckPanic,
+}
+
+impl UnitErrorKind {
+    /// Stable lower-snake name, used in reports and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnitErrorKind::Io => "io",
+            UnitErrorKind::NonUtf8 => "non_utf8",
+            UnitErrorKind::Oversize => "oversize",
+            UnitErrorKind::LexPanic => "lex_panic",
+            UnitErrorKind::LexNoise => "lex_noise",
+            UnitErrorKind::TokenCap => "token_cap",
+            UnitErrorKind::ParseDepth => "parse_depth",
+            UnitErrorKind::GraphBlowup => "graph_blowup",
+            UnitErrorKind::CheckPanic => "check_panic",
+        }
+    }
+}
+
+/// The per-file record of a non-clean trip through the pipeline.
+#[derive(Debug, Clone)]
+pub struct UnitDiagnostic {
+    /// Project-relative path of the unit.
+    pub path: String,
+    /// Overall outcome for the unit.
+    pub outcome: UnitOutcome,
+    /// Everything that went wrong, deduplicated, in taxonomy order.
+    pub errors: Vec<UnitErrorKind>,
+    /// Human-readable detail for the most severe problem.
+    pub detail: String,
+}
+
+/// Aggregated fault-isolation diagnostics for a whole audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditDiagnostics {
+    /// Per-file records for every unit that was *not* clean. Clean
+    /// units are counted in [`AuditDiagnostics::ok`] but get no record.
+    pub units: Vec<UnitDiagnostic>,
+    /// Units that were fully analyzed.
+    pub ok: usize,
+    /// Units analyzed with some loss.
+    pub degraded: usize,
+    /// Units not analyzed at all.
+    pub skipped: usize,
+}
+
+impl AuditDiagnostics {
+    /// `true` when every unit was fully analyzed with nothing lost.
+    pub fn is_clean(&self) -> bool {
+        self.degraded == 0 && self.skipped == 0
+    }
+
+    /// Occurrences of each error kind across all units.
+    pub fn by_kind(&self) -> BTreeMap<UnitErrorKind, usize> {
+        let mut map = BTreeMap::new();
+        for u in &self.units {
+            for k in &u.errors {
+                *map.entry(*k).or_insert(0) += 1;
+            }
+        }
+        map
     }
 }
 
@@ -42,6 +188,8 @@ pub struct AuditReport {
     pub lines: usize,
     /// The knowledge base the checkers ran with (after discovery).
     pub kb: ApiKb,
+    /// Per-file fault-isolation diagnostics.
+    pub diagnostics: AuditDiagnostics,
 }
 
 impl AuditReport {
@@ -76,6 +224,77 @@ impl AuditReport {
     }
 }
 
+// ----------------------------------------------------------------------
+// The fault boundary.
+// ----------------------------------------------------------------------
+
+thread_local! {
+    static IN_BOUNDARY: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that stays quiet for panics caught by a
+/// fault boundary, so a corrupt file does not spray backtraces over the
+/// audit output; panics outside a boundary keep the previous behavior.
+fn install_quiet_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_BOUNDARY.with(|b| b.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs `f` inside the per-unit fault boundary, converting a panic into
+/// `Err(message)`.
+fn fault_boundary<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_panic_hook();
+    IN_BOUNDARY.with(|b| b.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    IN_BOUNDARY.with(|b| b.set(false));
+    result.map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+/// Per-unit bookkeeping threaded through the pipeline stages.
+struct UnitState {
+    path: String,
+    tu: Option<TranslationUnit>,
+    errors: Vec<UnitErrorKind>,
+    detail: String,
+}
+
+impl UnitState {
+    fn push(&mut self, kind: UnitErrorKind, detail: impl Into<String>) {
+        if !self.errors.contains(&kind) {
+            self.errors.push(kind);
+        }
+        if self.detail.is_empty() {
+            self.detail = detail.into();
+        }
+    }
+
+    fn outcome(&self) -> UnitOutcome {
+        if self.tu.is_none() {
+            UnitOutcome::Skipped
+        } else if self.errors.is_empty() {
+            UnitOutcome::Ok
+        } else {
+            UnitOutcome::Degraded
+        }
+    }
+}
+
 /// Runs the full audit over a project.
 ///
 /// # Examples
@@ -98,42 +317,178 @@ impl AuditReport {
 /// )]);
 /// let report = audit(&p, &AuditConfig::default());
 /// assert_eq!(report.findings.len(), 1);
+/// assert!(report.diagnostics.is_clean());
 /// ```
 pub fn audit(project: &Project, config: &AuditConfig) -> AuditReport {
-    // Parse every unit and gather macro definitions.
-    let mut tus: Vec<TranslationUnit> = Vec::new();
+    let limits = &config.limits;
+    let parse_limits = ParseLimits {
+        max_tokens: limits.max_tokens,
+        max_depth: limits.max_parse_depth,
+    };
+
+    // Scan-time problems (unreadable/oversize files never became
+    // units; non-UTF-8 units are in the project, decoded lossily).
+    let mut states: Vec<UnitState> = Vec::with_capacity(project.units().len());
+    let mut scan_skipped: Vec<UnitDiagnostic> = Vec::new();
+    for d in project.scan_diagnostics() {
+        match d.kind {
+            ScanErrorKind::UnreadableFile => scan_skipped.push(UnitDiagnostic {
+                path: d.path.clone(),
+                outcome: UnitOutcome::Skipped,
+                errors: vec![UnitErrorKind::Io],
+                detail: d.detail.clone(),
+            }),
+            ScanErrorKind::Oversize => scan_skipped.push(UnitDiagnostic {
+                path: d.path.clone(),
+                outcome: UnitOutcome::Skipped,
+                errors: vec![UnitErrorKind::Oversize],
+                detail: d.detail.clone(),
+            }),
+            // NonUtf8 attaches to a live unit below; directory-level
+            // problems have no unit to attach to.
+            _ => {}
+        }
+    }
+    let non_utf8: std::collections::BTreeSet<&str> = project
+        .scan_diagnostics()
+        .iter()
+        .filter(|d| d.kind == ScanErrorKind::NonUtf8)
+        .map(|d| d.path.as_str())
+        .collect();
+
+    // Stage 1: lex + parse each unit inside the boundary.
     let mut defines: Vec<MacroDef> = Vec::new();
     let mut lines = 0usize;
     for unit in project.units() {
+        let mut st = UnitState {
+            path: unit.path.clone(),
+            tu: None,
+            errors: Vec::new(),
+            detail: String::new(),
+        };
+        if non_utf8.contains(unit.path.as_str()) {
+            st.push(UnitErrorKind::NonUtf8, "decoded lossily");
+        }
+        if unit.text.len() > limits.max_file_bytes {
+            st.push(
+                UnitErrorKind::Oversize,
+                format!(
+                    "{} bytes exceeds the {}-byte cap",
+                    unit.text.len(),
+                    limits.max_file_bytes
+                ),
+            );
+            states.push(st);
+            continue;
+        }
         lines += unit.text.lines().count();
-        defines.extend(scan_defines(&unit.text));
-        tus.push(parse_str(&unit.path, &unit.text));
+        let parsed = fault_boundary(|| {
+            let defs = scan_defines(&unit.text);
+            let out = parse_str_limited(&unit.path, &unit.text, &parse_limits);
+            (defs, out)
+        });
+        match parsed {
+            Ok((defs, out)) => {
+                defines.extend(defs);
+                if let Some(first) = out.lex_errors.first() {
+                    st.push(
+                        UnitErrorKind::LexNoise,
+                        format!("{} lex error(s), first: {first}", out.lex_errors.len()),
+                    );
+                }
+                if out.truncated {
+                    st.push(
+                        UnitErrorKind::TokenCap,
+                        format!("token stream truncated at {}", parse_limits.max_tokens),
+                    );
+                }
+                if out.depth_capped {
+                    st.push(
+                        UnitErrorKind::ParseDepth,
+                        format!("nesting exceeded depth {}", parse_limits.max_depth),
+                    );
+                }
+                st.tu = Some(out.unit);
+            }
+            Err(msg) => {
+                st.push(UnitErrorKind::LexPanic, format!("parse panicked: {msg}"));
+            }
+        }
+        states.push(st);
     }
 
-    // Knowledge base: builtin, optionally extended by discovery.
+    // Knowledge base: builtin, optionally extended by discovery. The
+    // discovery pass sees all units at once, so it gets its own
+    // boundary: if a degraded unit trips it, fall back to the builtin
+    // KB rather than losing the audit.
+    let tus: Vec<&TranslationUnit> = states.iter().filter_map(|s| s.tu.as_ref()).collect();
     let kb = if config.discover_apis {
-        let d = discover(
-            &tus,
-            &defines,
-            &ApiKb::builtin(),
-            &DiscoverConfig {
-                nesting_threshold: config.nesting_threshold,
-            },
-        );
-        d.into_kb(ApiKb::builtin())
+        let owned: Vec<TranslationUnit> = tus.iter().map(|t| (*t).clone()).collect();
+        let nesting_threshold = config.nesting_threshold;
+        fault_boundary(move || {
+            let d = discover(
+                &owned,
+                &defines,
+                &ApiKb::builtin(),
+                &DiscoverConfig { nesting_threshold },
+            );
+            d.into_kb(ApiKb::builtin())
+        })
+        .unwrap_or_else(|_| ApiKb::builtin())
     } else {
         ApiKb::builtin()
     };
 
-    // Check each unit.
+    // Stage 2: graph + check each unit inside the boundary.
     let mut findings = Vec::new();
     let mut functions = 0usize;
-    for tu in &tus {
-        let graphs = FunctionGraph::build_all(tu);
-        functions += graphs.len();
-        findings.extend(check_unit_with_graphs(tu, &kb, &graphs));
+    for st in &mut states {
+        let Some(tu) = st.tu.as_ref() else { continue };
+        let checked = fault_boundary(|| {
+            let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
+            let fs = check_unit_with_graphs(tu, &kb, &graphs);
+            (graphs.len(), capped, fs)
+        });
+        match checked {
+            Ok((n, capped, fs)) => {
+                functions += n;
+                if let Some(first) = capped.first() {
+                    st.push(UnitErrorKind::GraphBlowup, first.to_string());
+                }
+                findings.extend(fs);
+            }
+            Err(msg) => {
+                st.push(UnitErrorKind::CheckPanic, format!("check panicked: {msg}"));
+            }
+        }
     }
     findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    // Fold the per-unit states into the diagnostics summary.
+    let mut diagnostics = AuditDiagnostics::default();
+    for d in scan_skipped {
+        diagnostics.skipped += 1;
+        diagnostics.units.push(d);
+    }
+    for st in states {
+        let outcome = st.outcome();
+        match outcome {
+            UnitOutcome::Ok => diagnostics.ok += 1,
+            UnitOutcome::Degraded => diagnostics.degraded += 1,
+            UnitOutcome::Skipped => diagnostics.skipped += 1,
+        }
+        if outcome != UnitOutcome::Ok {
+            let mut errors = st.errors;
+            errors.sort();
+            diagnostics.units.push(UnitDiagnostic {
+                path: st.path,
+                outcome,
+                errors,
+                detail: st.detail,
+            });
+        }
+    }
+    diagnostics.units.sort_by(|a, b| a.path.cmp(&b.path));
 
     AuditReport {
         findings,
@@ -141,6 +496,7 @@ pub fn audit(project: &Project, config: &AuditConfig) -> AuditReport {
         functions,
         lines,
         kb,
+        diagnostics,
     }
 }
 
@@ -159,6 +515,8 @@ mod tests {
         let project = Project::from_tree(&tree);
         let report = audit(&project, &AuditConfig::default());
         assert!(report.functions > 50);
+        assert!(report.diagnostics.is_clean());
+        assert_eq!(report.diagnostics.ok, report.files);
         // Every injected bug should be found (recall ≈ 1 on the
         // generated shapes).
         let found = tree
@@ -201,5 +559,93 @@ void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
         let per_impact: usize = report.by_impact().values().sum();
         assert_eq!(per_pattern, report.findings.len());
         assert_eq!(per_impact, report.findings.len());
+    }
+
+    #[test]
+    fn oversize_unit_is_skipped_with_diagnostic() {
+        let big = "int x;\n".repeat(400);
+        let p = Project::from_sources(vec![
+            ("a.c".to_string(), "int f(void) { return 0; }".to_string()),
+            ("big.c".to_string(), big),
+        ]);
+        let config = AuditConfig {
+            limits: AuditLimits {
+                max_file_bytes: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = audit(&p, &config);
+        assert_eq!(report.diagnostics.ok, 1);
+        assert_eq!(report.diagnostics.skipped, 1);
+        let d = &report.diagnostics.units[0];
+        assert_eq!(d.path, "big.c");
+        assert_eq!(d.outcome, UnitOutcome::Skipped);
+        assert_eq!(d.errors, vec![UnitErrorKind::Oversize]);
+    }
+
+    #[test]
+    fn deep_nesting_degrades_one_unit_without_losing_the_other() {
+        let depth = 3000;
+        let bomb = format!(
+            "int f(void) {{ return {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let healthy = r#"
+int probe(void)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        return 0;
+}
+"#
+        .to_string();
+        let p = Project::from_sources(vec![
+            ("bomb.c".to_string(), bomb),
+            ("ok.c".to_string(), healthy),
+        ]);
+        let report = audit(&p, &AuditConfig::default());
+        assert_eq!(report.diagnostics.degraded, 1);
+        assert_eq!(report.diagnostics.ok, 1);
+        let d = &report.diagnostics.units[0];
+        assert_eq!(d.path, "bomb.c");
+        assert!(d.errors.contains(&UnitErrorKind::ParseDepth));
+        // The healthy sibling still yields its finding.
+        assert!(report.findings.iter().any(|f| f.file == "ok.c"));
+    }
+
+    #[test]
+    fn fault_boundary_reports_panics() {
+        let r: Result<(), String> = fault_boundary(|| panic!("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        let ok = fault_boundary(|| 41 + 1);
+        assert_eq!(ok.unwrap(), 42);
+    }
+
+    #[test]
+    fn graph_cap_degrades_unit() {
+        let mut body = String::from("int big(void) {\n");
+        for i in 0..300 {
+            body.push_str(&format!("        if (c{i}) do_thing({i});\n"));
+        }
+        body.push_str("        return 0;\n}\n");
+        let p = Project::from_sources(vec![("big.c".to_string(), body)]);
+        let config = AuditConfig {
+            limits: AuditLimits {
+                max_graph_nodes: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = audit(&p, &config);
+        assert_eq!(report.diagnostics.degraded, 1);
+        assert_eq!(
+            report.diagnostics.units[0].errors,
+            vec![UnitErrorKind::GraphBlowup]
+        );
+        // The over-cap function was not analyzed.
+        assert_eq!(report.functions, 0);
     }
 }

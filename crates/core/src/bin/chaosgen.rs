@@ -1,0 +1,102 @@
+//! The `chaosgen` tool: write a synthetic tree with seeded corruption
+//! to disk, for exercising `refminer` against hostile input.
+//!
+//! ```text
+//! chaosgen [OPTIONS] <OUTDIR>
+//!
+//! OPTIONS:
+//!     --seed <N>      chaos seed (default 0xC4A05)
+//!     --scale <F>     tree scale factor (default 0.05)
+//!     --ratio <F>     fraction of files to corrupt (default 0.25)
+//!     --kinds <K,..>  restrict mutation kinds (names as in chaos.json)
+//!     -h, --help      print this help
+//! ```
+//!
+//! The output directory receives the corrupted tree plus two ground
+//! truth manifests: `manifest.json` (injected bugs) and `chaos.json`
+//! (corrupted files and their mutation kinds).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use refminer::corpus::{apply_chaos, generate_tree, ChaosConfig, MutationKind, TreeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaosgen [--seed N] [--scale F] [--ratio F] [--kinds k1,k2] <OUTDIR>"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0xC4A05;
+    let mut scale: f64 = 0.05;
+    let mut ratio: f64 = 0.25;
+    let mut kinds: Vec<MutationKind> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => usage(),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--ratio" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                ratio = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--kinds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                for name in v.split(',') {
+                    match MutationKind::parse(name) {
+                        Some(k) => kinds.push(k),
+                        None => {
+                            eprintln!("unknown mutation kind `{name}`");
+                            usage();
+                        }
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            other => {
+                if out.is_some() {
+                    usage();
+                }
+                out = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| usage());
+
+    let tree = generate_tree(&TreeConfig {
+        scale,
+        ..Default::default()
+    });
+    let chaos = apply_chaos(&tree, &ChaosConfig { seed, ratio, kinds });
+    // Write the uncorrupted manifest first (for recall checks), then
+    // the corrupted files and the chaos record on top.
+    if let Err(e) = tree.write_to(&out) {
+        eprintln!("chaosgen: cannot write tree to {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = chaos.write_to(&out) {
+        eprintln!("chaosgen: cannot write chaos corpus: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "chaosgen: {} files ({} corrupted) under {}",
+        chaos.files.len(),
+        chaos.records.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -11,15 +11,21 @@
 //!     --csv                    emit findings as CSV
 //!     --no-discovery           skip API/smartloop discovery
 //!     --stats                  print per-pattern/per-impact summaries
+//!     --strict                 exit 3 if any unit was degraded/skipped
+//!     --max-file-bytes <N>     skip files larger than N bytes
 //!     -h, --help               print this help
 //! ```
+//!
+//! Exit codes: 0 no findings, 1 findings, 2 usage/scan error, 3 strict
+//! mode and at least one unit was not fully analyzed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use refminer::checkers::{AntiPattern, Impact};
 use refminer::report::Table;
-use refminer::{audit, AuditConfig, Project};
+use refminer::{audit, AuditConfig, AuditLimits, Project, ScanOptions};
+use refminer_json::{obj, ToJson, Value};
 
 struct Options {
     path: PathBuf,
@@ -29,12 +35,15 @@ struct Options {
     csv: bool,
     discovery: bool,
     stats: bool,
+    strict: bool,
+    max_file_bytes: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: refminer [--pattern P4,P8] [--impact leak,uaf,npd] \
-         [--json|--csv] [--no-discovery] [--stats] <PATH>"
+         [--json|--csv] [--no-discovery] [--stats] [--strict] \
+         [--max-file-bytes N] <PATH>"
     );
     std::process::exit(2);
 }
@@ -63,6 +72,8 @@ fn parse_args() -> Options {
         csv: false,
         discovery: true,
         stats: false,
+        strict: false,
+        max_file_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     let mut path: Option<PathBuf> = None;
@@ -73,6 +84,17 @@ fn parse_args() -> Options {
             "--csv" => opts.csv = true,
             "--no-discovery" => opts.discovery = false,
             "--stats" => opts.stats = true,
+            "--strict" => opts.strict = true,
+            "--max-file-bytes" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<u64>() {
+                    Ok(n) if n > 0 => opts.max_file_bytes = Some(n),
+                    _ => {
+                        eprintln!("--max-file-bytes needs a positive integer, got `{value}`");
+                        usage();
+                    }
+                }
+            }
             "--pattern" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 let parsed: Option<Vec<AntiPattern>> =
@@ -114,21 +136,30 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let project = match Project::scan(&opts.path) {
+    let mut scan_opts = ScanOptions::default();
+    if let Some(n) = opts.max_file_bytes {
+        scan_opts.max_file_bytes = n;
+    }
+    let project = match Project::scan_with(&opts.path, &scan_opts) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("refminer: cannot scan {}: {e}", opts.path.display());
             return ExitCode::from(2);
         }
     };
-    if project.units().is_empty() {
+    if project.units().is_empty() && project.scan_diagnostics().is_empty() {
         eprintln!("refminer: no .c/.h files under {}", opts.path.display());
         return ExitCode::from(2);
+    }
+    let mut limits = AuditLimits::default();
+    if let Some(n) = opts.max_file_bytes {
+        limits.max_file_bytes = n as usize;
     }
     let report = audit(
         &project,
         &AuditConfig {
             discover_apis: opts.discovery,
+            limits,
             ..Default::default()
         },
     );
@@ -150,7 +181,43 @@ fn main() -> ExitCode {
 
     if opts.json {
         for f in &findings {
-            println!("{}", serde_json::to_string(f).expect("findings serialize"));
+            println!("{}", f.to_json());
+        }
+        // A clean run emits findings only; the diagnostics line appears
+        // exactly when something was lost, so its presence is itself
+        // the signal.
+        if !report.diagnostics.is_clean() {
+            let units: Vec<Value> = report
+                .diagnostics
+                .units
+                .iter()
+                .map(|u| {
+                    obj([
+                        ("path", Value::Str(u.path.clone())),
+                        ("outcome", Value::Str(u.outcome.name().to_string())),
+                        (
+                            "errors",
+                            Value::Arr(
+                                u.errors
+                                    .iter()
+                                    .map(|e| Value::Str(e.name().to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("detail", Value::Str(u.detail.clone())),
+                    ])
+                })
+                .collect();
+            let line = obj([(
+                "diagnostics",
+                obj([
+                    ("ok", Value::Num(report.diagnostics.ok as f64)),
+                    ("degraded", Value::Num(report.diagnostics.degraded as f64)),
+                    ("skipped", Value::Num(report.diagnostics.skipped as f64)),
+                    ("units", Value::Arr(units)),
+                ]),
+            )]);
+            println!("{line}");
         }
     } else if opts.csv {
         let mut t = Table::new(vec![
@@ -187,6 +254,30 @@ fn main() -> ExitCode {
             by_pattern.row(vec![p.to_string(), c.to_string()]);
         }
         eprint!("{}", by_pattern.render());
+        let d = &report.diagnostics;
+        eprintln!(
+            "units: {} ok, {} degraded, {} skipped",
+            d.ok, d.degraded, d.skipped
+        );
+        if !d.is_clean() {
+            for (kind, count) in d.by_kind() {
+                eprintln!("  {}: {count}", kind.name());
+            }
+            for u in &d.units {
+                eprintln!("  {} [{}] {}", u.path, u.outcome.name(), u.detail);
+            }
+        }
+    }
+
+    if opts.strict && !report.diagnostics.is_clean() {
+        if !opts.stats {
+            let d = &report.diagnostics;
+            eprintln!(
+                "refminer: strict mode: {} degraded, {} skipped unit(s)",
+                d.degraded, d.skipped
+            );
+        }
+        return ExitCode::from(3);
     }
 
     if findings.is_empty() {

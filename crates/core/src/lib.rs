@@ -23,8 +23,11 @@
 mod audit;
 mod project;
 
-pub use audit::{audit, AuditConfig, AuditReport};
-pub use project::{Project, SourceUnit};
+pub use audit::{
+    audit, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport, UnitDiagnostic, UnitErrorKind,
+    UnitOutcome,
+};
+pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
 pub use refminer_checkers as checkers;
 pub use refminer_checkers::{AntiPattern, Finding, Impact};

@@ -1,6 +1,13 @@
 //! Project loading: a set of C sources to audit, from disk or from a
 //! generated synthetic tree.
+//!
+//! Disk scanning is hardened against hostile trees: unreadable files
+//! and directories become [`ScanDiagnostic`]s instead of aborting the
+//! scan, non-UTF-8 content is decoded lossily (and flagged), oversized
+//! files are skipped under a byte cap, and symlink cycles are broken by
+//! tracking canonical directory identities.
 
+use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -13,6 +20,65 @@ pub struct SourceUnit {
     pub path: String,
     /// File contents.
     pub text: String,
+}
+
+/// Why a path was skipped or flagged during a disk scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanErrorKind {
+    /// A file could not be read; it was skipped.
+    UnreadableFile,
+    /// A directory could not be listed; its subtree was skipped.
+    UnreadableDir,
+    /// File content was not valid UTF-8; it was decoded lossily and
+    /// kept.
+    NonUtf8,
+    /// The file exceeded [`ScanOptions::max_file_bytes`]; it was
+    /// skipped.
+    Oversize,
+    /// A directory was reached twice through symlinks; the repeat visit
+    /// was skipped.
+    SymlinkCycle,
+}
+
+impl ScanErrorKind {
+    /// Stable lower-snake name, used in reports and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScanErrorKind::UnreadableFile => "unreadable_file",
+            ScanErrorKind::UnreadableDir => "unreadable_dir",
+            ScanErrorKind::NonUtf8 => "non_utf8",
+            ScanErrorKind::Oversize => "oversize",
+            ScanErrorKind::SymlinkCycle => "symlink_cycle",
+        }
+    }
+}
+
+/// One problem the scanner recovered from.
+#[derive(Debug, Clone)]
+pub struct ScanDiagnostic {
+    /// The path involved (project-relative where possible).
+    pub path: String,
+    /// What went wrong.
+    pub kind: ScanErrorKind,
+    /// Human-readable detail (e.g. the I/O error text).
+    pub detail: String,
+}
+
+/// Resource limits and behavior switches for [`Project::scan_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Files larger than this many bytes are skipped (and diagnosed).
+    pub max_file_bytes: u64,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            // 8 MiB: far above any real kernel source file, low enough
+            // to bound memory on a hostile tree.
+            max_file_bytes: 8 * 1024 * 1024,
+        }
+    }
 }
 
 /// A set of C sources.
@@ -31,6 +97,7 @@ pub struct SourceUnit {
 #[derive(Debug, Clone, Default)]
 pub struct Project {
     units: Vec<SourceUnit>,
+    scan_diags: Vec<ScanDiagnostic>,
 }
 
 impl Project {
@@ -41,6 +108,7 @@ impl Project {
                 .into_iter()
                 .map(|(path, text)| SourceUnit { path, text })
                 .collect(),
+            scan_diags: Vec::new(),
         }
     }
 
@@ -55,16 +123,84 @@ impl Project {
                     text: f.content.clone(),
                 })
                 .collect(),
+            scan_diags: Vec::new(),
         }
     }
 
-    /// Recursively scans a directory for `.c` and `.h` files.
+    /// Recursively scans a directory for `.c` and `.h` files with
+    /// default [`ScanOptions`].
     pub fn scan(root: &Path) -> io::Result<Project> {
+        Self::scan_with(root, &ScanOptions::default())
+    }
+
+    /// Recursively scans a directory for `.c` and `.h` files.
+    ///
+    /// Only an unreadable *root* is an `Err`; every other problem is
+    /// recorded as a [`ScanDiagnostic`] (see
+    /// [`Project::scan_diagnostics`]) and the scan continues.
+    pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<Project> {
+        // Probe the root first so a missing/unreadable argument is a
+        // hard error rather than a silently empty project.
+        std::fs::read_dir(root)?;
+
         let mut units = Vec::new();
+        let mut diags: Vec<ScanDiagnostic> = Vec::new();
+        let mut seen_dirs: HashSet<PathBuf> = HashSet::new();
         let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+
+        let rel_of = |path: &Path| -> String {
+            path.strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/")
+        };
+
         while let Some(dir) = stack.pop() {
-            for entry in std::fs::read_dir(&dir)? {
-                let entry = entry?;
+            // Symlink-cycle guard: a directory is visited at most once
+            // under its canonical identity.
+            match std::fs::canonicalize(&dir) {
+                Ok(canon) => {
+                    if !seen_dirs.insert(canon) {
+                        diags.push(ScanDiagnostic {
+                            path: rel_of(&dir),
+                            kind: ScanErrorKind::SymlinkCycle,
+                            detail: "directory already visited".to_string(),
+                        });
+                        continue;
+                    }
+                }
+                Err(e) => {
+                    diags.push(ScanDiagnostic {
+                        path: rel_of(&dir),
+                        kind: ScanErrorKind::UnreadableDir,
+                        detail: e.to_string(),
+                    });
+                    continue;
+                }
+            }
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(it) => it,
+                Err(e) => {
+                    diags.push(ScanDiagnostic {
+                        path: rel_of(&dir),
+                        kind: ScanErrorKind::UnreadableDir,
+                        detail: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            for entry in entries {
+                let entry = match entry {
+                    Ok(e) => e,
+                    Err(e) => {
+                        diags.push(ScanDiagnostic {
+                            path: rel_of(&dir),
+                            kind: ScanErrorKind::UnreadableDir,
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                };
                 let path = entry.path();
                 if path.is_dir() {
                     stack.push(path);
@@ -77,22 +213,73 @@ impl Project {
                 if !is_c {
                     continue;
                 }
-                let text = std::fs::read_to_string(&path)?;
-                let rel = path
-                    .strip_prefix(root)
-                    .unwrap_or(&path)
-                    .to_string_lossy()
-                    .replace('\\', "/");
+                let rel = rel_of(&path);
+                match std::fs::metadata(&path) {
+                    Ok(m) if m.len() > opts.max_file_bytes => {
+                        diags.push(ScanDiagnostic {
+                            path: rel,
+                            kind: ScanErrorKind::Oversize,
+                            detail: format!(
+                                "{} bytes exceeds the {}-byte cap",
+                                m.len(),
+                                opts.max_file_bytes
+                            ),
+                        });
+                        continue;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        diags.push(ScanDiagnostic {
+                            path: rel,
+                            kind: ScanErrorKind::UnreadableFile,
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                }
+                let bytes = match std::fs::read(&path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        diags.push(ScanDiagnostic {
+                            path: rel,
+                            kind: ScanErrorKind::UnreadableFile,
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                };
+                let text = match String::from_utf8(bytes) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        let lossy = String::from_utf8_lossy(e.as_bytes()).into_owned();
+                        diags.push(ScanDiagnostic {
+                            path: rel.clone(),
+                            kind: ScanErrorKind::NonUtf8,
+                            detail: "decoded lossily".to_string(),
+                        });
+                        lossy
+                    }
+                };
                 units.push(SourceUnit { path: rel, text });
             }
         }
         units.sort_by(|a, b| a.path.cmp(&b.path));
-        Ok(Project { units })
+        diags.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Project {
+            units,
+            scan_diags: diags,
+        })
     }
 
     /// The files in the project.
     pub fn units(&self) -> &[SourceUnit] {
         &self.units
+    }
+
+    /// Problems recovered from during [`Project::scan_with`]; empty for
+    /// in-memory projects.
+    pub fn scan_diagnostics(&self) -> &[ScanDiagnostic] {
+        &self.scan_diags
     }
 
     /// Total source lines across the project.
@@ -105,6 +292,13 @@ impl Project {
 mod tests {
     use super::*;
     use refminer_corpus::{generate_tree, TreeConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("refminer_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
 
     #[test]
     fn from_tree_mirrors_files() {
@@ -129,6 +323,86 @@ mod tests {
         let p = Project::scan(&dir).expect("scan");
         // manifest.json is ignored; every .c/.h is picked up.
         assert_eq!(p.units().len(), tree.files.len());
+        assert!(p.scan_diagnostics().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let dir = std::env::temp_dir().join("refminer_definitely_missing_root");
+        assert!(Project::scan(&dir).is_err());
+    }
+
+    #[test]
+    fn non_utf8_is_kept_lossily_and_flagged() {
+        let dir = temp_dir("nonutf8");
+        std::fs::write(dir.join("ok.c"), "int f(void) { return 0; }\n").unwrap();
+        std::fs::write(dir.join("bad.c"), b"int g(void) { return 0; } /* \xff\xfe */\n").unwrap();
+        let p = Project::scan(&dir).expect("scan");
+        assert_eq!(p.units().len(), 2);
+        let diags = p.scan_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, ScanErrorKind::NonUtf8);
+        assert_eq!(diags[0].path, "bad.c");
+        let bad = p.units().iter().find(|u| u.path == "bad.c").unwrap();
+        assert!(bad.text.contains('\u{FFFD}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversize_files_are_skipped_and_flagged() {
+        let dir = temp_dir("oversize");
+        std::fs::write(dir.join("small.c"), "int f(void) { return 0; }\n").unwrap();
+        std::fs::write(dir.join("huge.c"), "x".repeat(4096)).unwrap();
+        let opts = ScanOptions {
+            max_file_bytes: 1024,
+        };
+        let p = Project::scan_with(&dir, &opts).expect("scan");
+        assert_eq!(p.units().len(), 1);
+        assert_eq!(p.units()[0].path, "small.c");
+        assert_eq!(p.scan_diagnostics().len(), 1);
+        assert_eq!(p.scan_diagnostics()[0].kind, ScanErrorKind::Oversize);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlink_cycles_do_not_hang_the_scan() {
+        let dir = temp_dir("symcycle");
+        let sub = dir.join("sub");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(sub.join("a.c"), "int f(void) { return 0; }\n").unwrap();
+        // sub/loop -> dir, forming a cycle.
+        std::os::unix::fs::symlink(&dir, sub.join("loop")).unwrap();
+        let p = Project::scan(&dir).expect("scan");
+        assert_eq!(p.units().len(), 1);
+        assert!(p
+            .scan_diagnostics()
+            .iter()
+            .any(|d| d.kind == ScanErrorKind::SymlinkCycle));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unreadable_file_is_diagnosed_not_fatal() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = temp_dir("unreadable");
+        std::fs::write(dir.join("ok.c"), "int f(void) { return 0; }\n").unwrap();
+        let locked = dir.join("locked.c");
+        std::fs::write(&locked, "int g(void) { return 0; }\n").unwrap();
+        std::fs::set_permissions(&locked, std::fs::Permissions::from_mode(0o000)).unwrap();
+        let p = Project::scan(&dir).expect("scan");
+        // Root can still read the file regardless of mode bits; accept
+        // either outcome but require no panic and the readable file in.
+        assert!(p.units().iter().any(|u| u.path == "ok.c"));
+        if p.units().len() == 1 {
+            assert!(p
+                .scan_diagnostics()
+                .iter()
+                .any(|d| d.kind == ScanErrorKind::UnreadableFile));
+        }
+        std::fs::set_permissions(&locked, std::fs::Permissions::from_mode(0o644)).ok();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

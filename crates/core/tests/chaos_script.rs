@@ -1,0 +1,26 @@
+//! Runs the `scripts/chaos.sh` smoke runner against the prebuilt
+//! binaries, so the script stays wired into the test suite.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn chaos_smoke_script_passes() {
+    let script = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scripts/chaos.sh")
+        .canonicalize()
+        .expect("scripts/chaos.sh exists");
+    let out = Command::new("bash")
+        .arg(&script)
+        .env("REFMINER_BIN", env!("CARGO_BIN_EXE_refminer"))
+        .env("CHAOSGEN_BIN", env!("CARGO_BIN_EXE_chaosgen"))
+        .output()
+        .expect("run chaos.sh");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos.sh failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("chaos.sh: PASS"), "stdout:\n{stdout}");
+}

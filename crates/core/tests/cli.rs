@@ -68,7 +68,7 @@ fn json_output_parses() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     let mut count = 0;
     for line in stdout.lines() {
-        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        let v = refminer_json::Value::parse(line).expect("valid JSON line");
         assert!(v.get("pattern").is_some());
         assert!(v.get("file").is_some());
         count += 1;
@@ -109,4 +109,90 @@ fn missing_path_exits_two() {
         .output()
         .expect("run");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn strict_mode_flags_degraded_units() {
+    let dir = write_demo_tree();
+    // Add a depth bomb next to the healthy file.
+    let bomb = format!(
+        "int bomb(void) {{ return {}1{}; }}",
+        "(".repeat(3000),
+        ")".repeat(3000)
+    );
+    std::fs::write(dir.join("drivers/demo/bomb.c"), bomb).expect("write bomb");
+    let out = refminer().arg("--strict").arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(3), "strict + degraded → exit 3");
+    // Without --strict the same tree exits 1 (findings) and the
+    // healthy file's findings are intact.
+    let out = refminer().arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[P4/Leak]"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn strict_mode_passes_on_clean_tree() {
+    let dir = write_demo_tree();
+    let out = refminer().arg("--strict").arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "clean tree keeps findings exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_diagnostics_line_appears_only_when_dirty() {
+    let dir = write_demo_tree();
+    let bomb = format!(
+        "int bomb(void) {{ return {}1{}; }}",
+        "(".repeat(3000),
+        ")".repeat(3000)
+    );
+    std::fs::write(dir.join("drivers/demo/bomb.c"), bomb).expect("write bomb");
+    let out = refminer().arg("--json").arg(&dir).output().expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    let last = refminer_json::Value::parse(lines.last().unwrap()).expect("valid JSON");
+    let diag = last.get("diagnostics").expect("diagnostics line present");
+    let units = diag.get("units").expect("units array");
+    let arr = match units {
+        refminer_json::Value::Arr(a) => a,
+        other => panic!("units not an array: {other:?}"),
+    };
+    assert!(arr.iter().any(|u| {
+        matches!(u.get("path"), Some(refminer_json::Value::Str(p)) if p.ends_with("bomb.c"))
+    }));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn max_file_bytes_skips_oversize_files() {
+    let dir = write_demo_tree();
+    std::fs::write(
+        dir.join("drivers/demo/huge.c"),
+        "int x;\n".repeat(2000),
+    )
+    .expect("write huge");
+    let out = refminer()
+        .args(["--strict", "--max-file-bytes", "4096"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3), "skipped unit trips strict mode");
+    let out = refminer()
+        .args(["--max-file-bytes", "1048576"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1), "under the cap nothing is skipped");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_reports_unit_outcomes() {
+    let dir = write_demo_tree();
+    let out = refminer().arg("--stats").arg(&dir).output().expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("units: 1 ok, 0 degraded, 0 skipped"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,414 @@
+//! Deterministic chaos injection: seeded corruption of synthetic trees.
+//!
+//! The chaos harness answers one question about the audit pipeline:
+//! *does a hostile file stay contained?* Each [`MutationKind`] models a
+//! distinct way real input goes wrong — truncated checkouts, bit rot,
+//! merge-conflict debris, generated nesting bombs, binary files with a
+//! `.c` extension — and [`apply_chaos`] applies them to a seeded subset
+//! of a [`SyntheticTree`], recording exactly which files were harmed so
+//! tests can check the audit's diagnostics against ground truth.
+//!
+//! Everything is deterministic given [`ChaosConfig::seed`]: the same
+//! seed picks the same victims and produces byte-identical corruption.
+
+use refminer_prng::{ChaCha8Rng, Rng, SeedableRng};
+
+use crate::tree::SyntheticTree;
+
+/// One way to corrupt a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MutationKind {
+    /// Cut the file mid-identifier, as in an interrupted checkout.
+    TruncateMidToken,
+    /// Flip random bytes in place (bit rot / bad disk).
+    ByteFlip,
+    /// Open a `/*` comment that never closes, swallowing the tail.
+    UnterminatedComment,
+    /// Open a string literal that never closes.
+    UnterminatedString,
+    /// Append a function whose expression nests thousands deep.
+    DeepNesting,
+    /// Append a macro-heavy flood: a define chain plus a call tree
+    /// nested far past any reasonable depth.
+    MacroBomb,
+    /// Insert a run of NUL bytes mid-file.
+    NulGarbage,
+    /// Insert non-UTF-8 binary garbage mid-file.
+    BinaryGarbage,
+}
+
+impl MutationKind {
+    /// All kinds, in a stable order.
+    pub fn all() -> [MutationKind; 8] {
+        [
+            MutationKind::TruncateMidToken,
+            MutationKind::ByteFlip,
+            MutationKind::UnterminatedComment,
+            MutationKind::UnterminatedString,
+            MutationKind::DeepNesting,
+            MutationKind::MacroBomb,
+            MutationKind::NulGarbage,
+            MutationKind::BinaryGarbage,
+        ]
+    }
+
+    /// Stable lower-snake name, used in manifests and test output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MutationKind::TruncateMidToken => "truncate_mid_token",
+            MutationKind::ByteFlip => "byte_flip",
+            MutationKind::UnterminatedComment => "unterminated_comment",
+            MutationKind::UnterminatedString => "unterminated_string",
+            MutationKind::DeepNesting => "deep_nesting",
+            MutationKind::MacroBomb => "macro_bomb",
+            MutationKind::NulGarbage => "nul_garbage",
+            MutationKind::BinaryGarbage => "binary_garbage",
+        }
+    }
+
+    /// Parses a [`MutationKind::name`] back into the kind.
+    pub fn parse(s: &str) -> Option<MutationKind> {
+        MutationKind::all().into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Chaos parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for victim selection and mutation content.
+    pub seed: u64,
+    /// Fraction of files to corrupt, in `0.0..=1.0`. At least one file
+    /// is corrupted whenever the ratio is positive and files exist.
+    pub ratio: f64,
+    /// Kinds to draw from; empty means all of them.
+    pub kinds: Vec<MutationKind>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            ratio: 0.25,
+            kinds: Vec::new(),
+        }
+    }
+}
+
+/// Ground truth for one corrupted file.
+#[derive(Debug, Clone)]
+pub struct ChaosRecord {
+    /// Tree-relative path of the victim.
+    pub path: String,
+    /// What was done to it.
+    pub kind: MutationKind,
+}
+
+/// A tree after chaos: all files (corrupted ones as raw, possibly
+/// non-UTF-8 bytes) plus the record of what was harmed.
+#[derive(Debug, Clone)]
+pub struct ChaosCorpus {
+    /// Every file of the input tree, in order; corrupted entries carry
+    /// the mutated bytes.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// One record per corrupted file, in path order.
+    pub records: Vec<ChaosRecord>,
+}
+
+impl ChaosCorpus {
+    /// The set of corrupted paths.
+    pub fn mutated_paths(&self) -> std::collections::BTreeSet<&str> {
+        self.records.iter().map(|r| r.path.as_str()).collect()
+    }
+
+    /// In-memory sources with non-UTF-8 bytes decoded lossily — the
+    /// same decode [`Project::scan`] applies on disk.
+    ///
+    /// [`Project::scan`]: https://docs.rs/refminer
+    pub fn to_sources(&self) -> Vec<(String, String)> {
+        self.files
+            .iter()
+            .map(|(p, b)| (p.clone(), String::from_utf8_lossy(b).into_owned()))
+            .collect()
+    }
+
+    /// Writes the corpus to `dir`, raw bytes and all, plus a
+    /// `chaos.json` ground-truth manifest.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        for (path, bytes) in &self.files {
+            let full = dir.join(path);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, bytes)?;
+        }
+        let mut json = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "  {{\"path\": \"{}\", \"kind\": \"{}\"}}",
+                r.path,
+                r.kind.name()
+            ));
+        }
+        json.push_str("\n]\n");
+        std::fs::write(dir.join("chaos.json"), json)
+    }
+}
+
+/// Applies one mutation to a file's bytes, deterministically under
+/// `rng`. Always changes the content.
+pub fn mutate_bytes(content: &[u8], kind: MutationKind, rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let mut out = content.to_vec();
+    // A position inside the middle of the file, clamped for tiny files.
+    let mid = |rng: &mut ChaCha8Rng, len: usize| -> usize {
+        if len < 4 {
+            len / 2
+        } else {
+            rng.gen_range(len / 4..len - len / 4)
+        }
+    };
+    match kind {
+        MutationKind::TruncateMidToken => {
+            let mut cut = mid(rng, out.len());
+            // Walk forward to land inside an identifier/number run so
+            // the cut splits a token, not whitespace.
+            while cut < out.len() && !out[cut].is_ascii_alphanumeric() {
+                cut += 1;
+            }
+            let cut = if cut >= out.len() { out.len() / 2 } else { cut + 1 };
+            out.truncate(cut.max(1));
+        }
+        MutationKind::ByteFlip => {
+            let flips = (out.len() / 200).max(1);
+            for _ in 0..flips {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..out.len());
+                let mask = (rng.gen_range(1u32..256) & 0xFF) as u8;
+                out[i] ^= mask.max(1);
+            }
+        }
+        MutationKind::UnterminatedComment => {
+            let at = mid(rng, out.len());
+            out.truncate(at);
+            out.extend_from_slice(b"\n/* chaos: this comment never closes\n");
+            out.extend_from_slice(b"int leftover(void) { return 1; }\n");
+        }
+        MutationKind::UnterminatedString => {
+            let at = mid(rng, out.len());
+            out.truncate(at);
+            out.extend_from_slice(b"\nstatic const char *chaos = \"never closed;\n");
+        }
+        MutationKind::DeepNesting => {
+            let depth = 4000 + rng.gen_range(0usize..1000);
+            out.extend_from_slice(b"\nint chaos_nest(void)\n{\n        return ");
+            out.extend(std::iter::repeat(b'(').take(depth));
+            out.push(b'1');
+            out.extend(std::iter::repeat(b')').take(depth));
+            out.extend_from_slice(b";\n}\n");
+        }
+        MutationKind::MacroBomb => {
+            let layers = 40 + rng.gen_range(0usize..20);
+            out.extend_from_slice(b"\n#define CHAOS_0(x) ((x) + 1)\n");
+            for i in 1..layers {
+                out.extend_from_slice(
+                    format!("#define CHAOS_{i}(x) CHAOS_{}(CHAOS_{}(x))\n", i - 1, i - 1)
+                        .as_bytes(),
+                );
+            }
+            // The invocation side: a call tree nested past any sane
+            // depth, which is what actually lands on the parser.
+            let depth = 3000 + rng.gen_range(0usize..500);
+            out.extend_from_slice(b"int chaos_macro(void)\n{\n        return ");
+            for _ in 0..depth {
+                out.extend_from_slice(b"CHAOS_1(");
+            }
+            out.push(b'1');
+            out.extend(std::iter::repeat(b')').take(depth));
+            out.extend_from_slice(b";\n}\n");
+        }
+        MutationKind::NulGarbage => {
+            let at = mid(rng, out.len());
+            let run = 16 + rng.gen_range(0usize..64);
+            let nuls = vec![0u8; run];
+            out.splice(at..at, nuls);
+        }
+        MutationKind::BinaryGarbage => {
+            let at = mid(rng, out.len());
+            let run = 64 + rng.gen_range(0usize..192);
+            let garbage: Vec<u8> = (0..run).map(|_| (rng.gen_range(0x80u32..0x100) & 0xFF) as u8).collect();
+            out.splice(at..at, garbage);
+        }
+    }
+    out
+}
+
+/// Corrupts a seeded subset of `tree`'s files.
+///
+/// Victim selection, kind choice, and mutation content all derive from
+/// [`ChaosConfig::seed`], so a given `(tree, config)` pair always
+/// yields a byte-identical [`ChaosCorpus`].
+///
+/// # Examples
+///
+/// ```
+/// use refminer_corpus::{apply_chaos, generate_tree, ChaosConfig, TreeConfig};
+///
+/// let tree = generate_tree(&TreeConfig { scale: 0.02, ..Default::default() });
+/// let chaos = apply_chaos(&tree, &ChaosConfig::default());
+/// assert!(!chaos.records.is_empty());
+/// assert_eq!(chaos.files.len(), tree.files.len());
+/// ```
+pub fn apply_chaos(tree: &SyntheticTree, config: &ChaosConfig) -> ChaosCorpus {
+    let kinds: Vec<MutationKind> = if config.kinds.is_empty() {
+        MutationKind::all().to_vec()
+    } else {
+        config.kinds.clone()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut files = Vec::with_capacity(tree.files.len());
+    let mut records = Vec::new();
+    for f in &tree.files {
+        let hit = config.ratio > 0.0 && rng.gen::<f64>() < config.ratio;
+        if hit {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let bytes = mutate_bytes(f.content.as_bytes(), kind, &mut rng);
+            records.push(ChaosRecord {
+                path: f.path.clone(),
+                kind,
+            });
+            files.push((f.path.clone(), bytes));
+        } else {
+            files.push((f.path.clone(), f.content.clone().into_bytes()));
+        }
+    }
+    // A positive ratio must harm at least one file, or a "chaos" run
+    // silently becomes a clean run.
+    if records.is_empty() && config.ratio > 0.0 {
+        if let Some((path, bytes)) = files.first_mut() {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let mutated = mutate_bytes(bytes, kind, &mut rng);
+            *bytes = mutated;
+            records.push(ChaosRecord {
+                path: path.clone(),
+                kind,
+            });
+        }
+    }
+    records.sort_by(|a, b| a.path.cmp(&b.path));
+    ChaosCorpus { files, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{generate_tree, TreeConfig};
+
+    fn small_tree() -> SyntheticTree {
+        generate_tree(&TreeConfig {
+            scale: 0.02,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let tree = small_tree();
+        let a = apply_chaos(&tree, &ChaosConfig::default());
+        let b = apply_chaos(&tree, &ChaosConfig::default());
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.path, rb.path);
+            assert_eq!(ra.kind, rb.kind);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let tree = small_tree();
+        let a = apply_chaos(&tree, &ChaosConfig::default());
+        let b = apply_chaos(
+            &tree,
+            &ChaosConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.files, b.files);
+    }
+
+    #[test]
+    fn every_mutation_changes_content() {
+        let src = b"int f(void)\n{\n        return some_value + 12345;\n}\n";
+        for kind in MutationKind::all() {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let out = mutate_bytes(src, kind, &mut rng);
+            assert_ne!(out, src.to_vec(), "{} left content unchanged", kind.name());
+        }
+    }
+
+    #[test]
+    fn untouched_files_are_byte_identical() {
+        let tree = small_tree();
+        let chaos = apply_chaos(&tree, &ChaosConfig::default());
+        let mutated = chaos.mutated_paths();
+        for (f, (path, bytes)) in tree.files.iter().zip(&chaos.files) {
+            assert_eq!(&f.path, path);
+            if !mutated.contains(path.as_str()) {
+                assert_eq!(f.content.as_bytes(), &bytes[..], "{path} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_one_hits_everything() {
+        let tree = small_tree();
+        let chaos = apply_chaos(
+            &tree,
+            &ChaosConfig {
+                ratio: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(chaos.records.len(), tree.files.len());
+    }
+
+    #[test]
+    fn positive_ratio_always_harms_something() {
+        let tree = small_tree();
+        let chaos = apply_chaos(
+            &tree,
+            &ChaosConfig {
+                ratio: 0.000001,
+                ..Default::default()
+            },
+        );
+        assert!(!chaos.records.is_empty());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in MutationKind::all() {
+            assert_eq!(MutationKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(MutationKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn restricted_kinds_are_respected() {
+        let tree = small_tree();
+        let chaos = apply_chaos(
+            &tree,
+            &ChaosConfig {
+                ratio: 1.0,
+                kinds: vec![MutationKind::DeepNesting],
+                ..Default::default()
+            },
+        );
+        assert!(chaos.records.iter().all(|r| r.kind == MutationKind::DeepNesting));
+    }
+}

@@ -4,8 +4,7 @@
 //! around a given bug-caused API, plus a *fixed* twin used as clean
 //! filler. The shapes mirror the paper's listings (Listing 1–6).
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use refminer_prng::{ChaCha8Rng, Rng};
 use refminer_rcapi::ApiKb;
 
 /// Deterministic identifier generator.
@@ -523,7 +522,7 @@ pub fn emit_tricky(fn_name: &str, ng: &mut NameGen) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use refminer_prng::SeedableRng;
     use refminer_checkers::{check_unit, AntiPattern};
     use refminer_cparse::parse_str;
 

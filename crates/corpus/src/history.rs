@@ -10,14 +10,12 @@
 //! paper; everything downstream (mining, classification, statistics)
 //! recovers them from the generated *text*, not from hidden labels.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use refminer_prng::{ChaCha8Rng, Rng, SeedableRng};
 
 use crate::subsystems::HISTORICAL_SUBSYSTEM_WEIGHTS;
 
 /// One simulated commit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Commit {
     /// Abbreviated commit hash.
     pub id: String,
@@ -265,7 +263,7 @@ fn module_for(rng: &mut ChaCha8Rng, subsystem: &str) -> String {
 
 fn hex_id(rng: &mut ChaCha8Rng) -> String {
     (0..12)
-        .map(|_| "0123456789abcdef".as_bytes()[rng.gen_range(0..16)] as char)
+        .map(|_| "0123456789abcdef".as_bytes()[rng.gen_range(0..16usize)] as char)
         .collect()
 }
 
@@ -307,7 +305,7 @@ pub fn generate_history(cfg: &HistoryConfig) -> History {
         // cross-major-release spans of Figure 3 (v3.x → v5.x etc.).
         let ancient = fix_year >= 2019 && rng.gen::<f64>() < 0.045;
         let delta = if ancient {
-            fix_year - rng.gen_range(2005..=2007)
+            fix_year - rng.gen_range(2005u32..=2007)
         } else {
             let roll = rng.gen::<f64>();
             if roll < 0.243 {
@@ -443,7 +441,7 @@ pub fn generate_history(cfg: &HistoryConfig) -> History {
     // Wrong-patch + revert pairs (§3.1's false-positive removal).
     // ------------------------------------------------------------------
     for _ in 0..cfg.n_reverts {
-        let year = 2015 + rng.gen_range(0..7);
+        let year = 2015 + rng.gen_range(0u32..7);
         let frac = rng.gen::<f64>();
         let subsystem = "drivers".to_string();
         let module = module_for(&mut rng, &subsystem);

@@ -10,6 +10,10 @@
 //!   planted bug-fix commits, keyword noise, wrong-patch/revert pairs
 //!   and bulk neutral commits; the input for the mining pipeline
 //!   (Figures 1–3, Tables 2–3).
+//! - [`apply_chaos`] — seeded corruption of a generated tree
+//!   (truncation, bit flips, nesting bombs, binary garbage) with a
+//!   ground-truth record of the victims; the input for the audit
+//!   pipeline's fault-isolation tests.
 //!
 //! Both generators are deterministic given their seeds, and both are
 //! *calibrated* to the paper's reported marginals — see DESIGN.md for
@@ -17,11 +21,13 @@
 //! from the generated artifacts (source text, commit text), never from
 //! hidden labels.
 
+mod chaos;
 mod codegen;
 mod history;
 mod subsystems;
 mod tree;
 
+pub use chaos::{apply_chaos, mutate_bytes, ChaosConfig, ChaosCorpus, ChaosRecord, MutationKind};
 pub use codegen::{emit_bug, emit_clean, emit_filler, emit_tricky, NameGen};
 pub use history::{
     generate_history, major_of, version_for, Commit, History, HistoryConfig, PlantedKind,

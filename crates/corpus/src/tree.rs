@@ -1,9 +1,8 @@
 //! Synthetic source-tree assembly: the "latest release" the checkers
 //! audit, with ground truth recorded in a manifest.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use refminer_json::{obj, ToJson, Value};
+use refminer_prng::{ChaCha8Rng, SeedableRng};
 
 use refminer_rcapi::ApiKb;
 
@@ -11,7 +10,7 @@ use crate::codegen::{emit_bug, emit_clean, emit_filler, emit_tricky, NameGen};
 use crate::subsystems::NEW_BUG_PLAN;
 
 /// One injected bug, as ground truth.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectedBug {
     /// File path within the tree.
     pub path: String,
@@ -30,7 +29,7 @@ pub struct InjectedBug {
 }
 
 /// The ground-truth record of a generated tree.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Manifest {
     /// Every injected bug.
     pub bugs: Vec<InjectedBug>,
@@ -39,6 +38,38 @@ pub struct Manifest {
     pub tricky: Vec<(String, String)>,
     /// Number of clean functions emitted (denominator for FP rates).
     pub clean_functions: usize,
+}
+
+impl ToJson for InjectedBug {
+    fn to_json(&self) -> Value {
+        obj([
+            ("path", self.path.to_json()),
+            ("function", self.function.to_json()),
+            ("pattern", self.pattern.to_json()),
+            ("api", self.api.to_json()),
+            ("impact", self.impact.to_json()),
+            ("subsystem", self.subsystem.to_json()),
+            ("module", self.module.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Manifest {
+    fn to_json(&self) -> Value {
+        obj([
+            ("bugs", self.bugs.to_json()),
+            (
+                "tricky",
+                Value::Arr(
+                    self.tricky
+                        .iter()
+                        .map(|(p, f)| Value::Arr(vec![p.to_json(), f.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("clean_functions", self.clean_functions.to_json()),
+        ])
+    }
 }
 
 impl Manifest {
@@ -57,7 +88,7 @@ impl Manifest {
 }
 
 /// One file of the generated tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Tree-relative path.
     pub path: String,
@@ -414,7 +445,7 @@ impl SyntheticTree {
             }
             std::fs::write(full, &f.content)?;
         }
-        let manifest = serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
+        let manifest = self.manifest.to_json().to_string_pretty();
         std::fs::write(dir.join("manifest.json"), manifest)
     }
 

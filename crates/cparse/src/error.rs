@@ -18,6 +18,12 @@ pub enum ParseError {
         /// Where it happened.
         span: Span,
     },
+    /// Nesting exceeded the recursion-depth cap; the offending subtree
+    /// was replaced with a degraded node (reported once per file).
+    TooDeep {
+        /// Where the cap was first hit.
+        span: Span,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -25,6 +31,9 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::Expected { what, span } => write!(f, "{span}: expected `{what}`"),
             ParseError::UnexpectedToken { span } => write!(f, "{span}: unexpected token"),
+            ParseError::TooDeep { span } => {
+                write!(f, "{span}: nesting exceeds the depth cap; subtree degraded")
+            }
         }
     }
 }

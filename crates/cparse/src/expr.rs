@@ -43,7 +43,20 @@ impl Parser {
         };
         let Some(op) = op else { return lhs };
         self.pos += 1;
-        let rhs = self.parse_assignment_expr();
+        // `a = b = c = ...` recurses without passing `parse_unary`, so
+        // the chain carries its own depth charge.
+        let rhs = if self.enter_depth() {
+            let r = self.parse_assignment_expr();
+            self.leave_depth();
+            r
+        } else {
+            let span = self.cur_span();
+            self.bump();
+            Expr {
+                kind: ExprKind::Unknown,
+                span,
+            }
+        };
         let span = lhs.span.join(rhs.span);
         Expr {
             kind: ExprKind::Assign {
@@ -60,14 +73,36 @@ impl Parser {
         if !self.eat_punct(Punct::Question) {
             return cond;
         }
-        // gcc extension `a ?: b`.
+        // gcc extension `a ?: b`. Both arms recurse without passing
+        // `parse_unary`, so `a ? a ? ... : b : b` chains carry their
+        // own depth charge.
         let then = if self.at_punct(Punct::Colon) {
             cond.clone()
+        } else if self.enter_depth() {
+            let t = self.parse_expr();
+            self.leave_depth();
+            t
         } else {
-            self.parse_expr()
+            let span = self.cur_span();
+            self.bump();
+            Expr {
+                kind: ExprKind::Unknown,
+                span,
+            }
         };
         self.expect_punct(Punct::Colon);
-        let els = self.parse_assignment_expr();
+        let els = if self.enter_depth() {
+            let e = self.parse_assignment_expr();
+            self.leave_depth();
+            e
+        } else {
+            let span = self.cur_span();
+            self.bump();
+            Expr {
+                kind: ExprKind::Unknown,
+                span,
+            }
+        };
         let span = cond.span.join(els.span);
         Expr {
             kind: ExprKind::Ternary {
@@ -83,21 +118,31 @@ impl Parser {
     /// minimum binding power to accept.
     fn parse_binary(&mut self, min_bp: u8) -> Expr {
         let mut lhs = self.parse_unary();
+        // The loop builds a left-deep tree with no parser recursion, so
+        // each wrap layer is charged against the depth budget; past the
+        // cap the operand is still consumed but the node is dropped.
+        let mut held = 0usize;
         while let Some((op, bp)) = self.peek_binop() {
             if bp < min_bp {
                 break;
             }
             self.pos += 1;
             let rhs = self.parse_binary(bp + 1);
-            let span = lhs.span.join(rhs.span);
-            lhs = Expr {
-                kind: ExprKind::Binary {
-                    op,
-                    lhs: Box::new(lhs),
-                    rhs: Box::new(rhs),
-                },
-                span,
-            };
+            if self.enter_depth() {
+                held += 1;
+                let span = lhs.span.join(rhs.span);
+                lhs = Expr {
+                    kind: ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    span,
+                };
+            }
+        }
+        for _ in 0..held {
+            self.leave_depth();
         }
         lhs
     }
@@ -131,7 +176,24 @@ impl Parser {
         })
     }
 
+    /// Every expression-grammar cycle passes through here, so this is
+    /// where the recursion-depth guard lives: at the cap, one token is
+    /// consumed (guaranteeing progress) and an `Unknown` node returned.
     fn parse_unary(&mut self) -> Expr {
+        if !self.enter_depth() {
+            let span = self.cur_span();
+            self.bump();
+            return Expr {
+                kind: ExprKind::Unknown,
+                span,
+            };
+        }
+        let e = self.parse_unary_inner();
+        self.leave_depth();
+        e
+    }
+
+    fn parse_unary_inner(&mut self) -> Expr {
         let start = self.cur_span();
         let op = match self.peek().map(|t| &t.kind) {
             Some(TokenKind::Punct(Punct::Star)) => Some(UnOp::Deref),
@@ -335,6 +397,12 @@ impl Parser {
     #[allow(clippy::while_let_loop)] // The match needs the cursor back.
     fn parse_postfix(&mut self) -> Expr {
         let mut e = self.parse_primary();
+        // Like `parse_binary`, this loop nests the AST with no parser
+        // recursion (`f(x)(y)(z)...`, `a.b.c...`), so every wrap layer
+        // is charged against the depth budget. Past the cap the
+        // operand tokens are still consumed — recovery on hostile
+        // input lands long `(`-runs here — but the node is dropped.
+        let mut held = 0usize;
         loop {
             let Some(t) = self.peek() else { break };
             match &t.kind {
@@ -350,66 +418,84 @@ impl Parser {
                         }
                     }
                     self.expect_punct(Punct::RParen);
-                    let span = e.span.join(self.cur_span());
-                    e = Expr {
-                        kind: ExprKind::Call {
-                            callee: Box::new(e),
-                            args,
-                        },
-                        span,
-                    };
+                    if self.enter_depth() {
+                        held += 1;
+                        let span = e.span.join(self.cur_span());
+                        e = Expr {
+                            kind: ExprKind::Call {
+                                callee: Box::new(e),
+                                args,
+                            },
+                            span,
+                        };
+                    }
                 }
                 TokenKind::Punct(Punct::LBracket) => {
                     self.pos += 1;
                     let index = self.parse_expr();
                     self.expect_punct(Punct::RBracket);
-                    let span = e.span.join(self.cur_span());
-                    e = Expr {
-                        kind: ExprKind::Index {
-                            base: Box::new(e),
-                            index: Box::new(index),
-                        },
-                        span,
-                    };
+                    if self.enter_depth() {
+                        held += 1;
+                        let span = e.span.join(self.cur_span());
+                        e = Expr {
+                            kind: ExprKind::Index {
+                                base: Box::new(e),
+                                index: Box::new(index),
+                            },
+                            span,
+                        };
+                    }
                 }
                 TokenKind::Punct(Punct::Dot) | TokenKind::Punct(Punct::Arrow) => {
                     let arrow = t.kind.is_punct(Punct::Arrow);
                     self.pos += 1;
                     let field = self.take_ident().unwrap_or_default();
-                    let span = e.span.join(self.cur_span());
-                    e = Expr {
-                        kind: ExprKind::Member {
-                            base: Box::new(e),
-                            field,
-                            arrow,
-                        },
-                        span,
-                    };
+                    if self.enter_depth() {
+                        held += 1;
+                        let span = e.span.join(self.cur_span());
+                        e = Expr {
+                            kind: ExprKind::Member {
+                                base: Box::new(e),
+                                field,
+                                arrow,
+                            },
+                            span,
+                        };
+                    }
                 }
                 TokenKind::Punct(Punct::Inc) => {
                     self.pos += 1;
-                    let span = e.span.join(self.cur_span());
-                    e = Expr {
-                        kind: ExprKind::Postfix {
-                            op: PostOp::Inc,
-                            operand: Box::new(e),
-                        },
-                        span,
-                    };
+                    if self.enter_depth() {
+                        held += 1;
+                        let span = e.span.join(self.cur_span());
+                        e = Expr {
+                            kind: ExprKind::Postfix {
+                                op: PostOp::Inc,
+                                operand: Box::new(e),
+                            },
+                            span,
+                        };
+                    }
                 }
                 TokenKind::Punct(Punct::Dec) => {
                     self.pos += 1;
-                    let span = e.span.join(self.cur_span());
-                    e = Expr {
-                        kind: ExprKind::Postfix {
-                            op: PostOp::Dec,
-                            operand: Box::new(e),
-                        },
-                        span,
-                    };
+                    if self.enter_depth() {
+                        held += 1;
+                        let span = e.span.join(self.cur_span());
+                        e = Expr {
+                            kind: ExprKind::Postfix {
+                                op: PostOp::Dec,
+                                operand: Box::new(e),
+                            },
+                            span,
+                        };
+                    }
                 }
                 _ => break,
             }
+        }
+        for _ in 0..held {
+            self.leave_depth();
         }
         e
     }
@@ -517,7 +603,21 @@ impl Parser {
     }
 
     /// Parses `{ [.name =] expr, ... }` in expression position.
+    /// Guarded: nested brace lists recurse here without passing through
+    /// `parse_unary`, so the depth cap is checked again.
     fn parse_brace_expr_list(&mut self) -> Vec<(Option<String>, Box<Expr>)> {
+        if !self.enter_depth() {
+            if self.at_punct(Punct::LBrace) {
+                self.skip_balanced(Punct::LBrace, Punct::RBrace);
+            }
+            return Vec::new();
+        }
+        let items = self.parse_brace_expr_list_inner();
+        self.leave_depth();
+        items
+    }
+
+    fn parse_brace_expr_list_inner(&mut self) -> Vec<(Option<String>, Box<Expr>)> {
         self.expect_punct(Punct::LBrace);
         let mut items = Vec::new();
         while !self.at_eof() && !self.at_punct(Punct::RBrace) {

@@ -61,5 +61,5 @@ pub use ast::{
 };
 pub use error::ParseError;
 pub use expr::parse_expr_str;
-pub use parser::{parse_str, parse_str_with_errors};
+pub use parser::{parse_str, parse_str_limited, parse_str_with_errors, ParseLimits, ParseOutcome};
 pub use stmt::parse_stmts_str;

@@ -125,6 +125,48 @@ pub struct Parser {
     pub(crate) pos: usize,
     pub(crate) errors: Vec<ParseError>,
     path: String,
+    depth: u32,
+    max_depth: u32,
+    depth_capped: bool,
+}
+
+/// Resource caps applied while lexing and parsing one unit, sized so a
+/// hostile or machine-generated file degrades instead of exhausting the
+/// stack or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum tokens to lex; the stream is truncated past this point.
+    pub max_tokens: usize,
+    /// Maximum recursion depth across nested expressions, statements,
+    /// initializers, and struct bodies combined.
+    pub max_depth: u32,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_tokens: 2_000_000,
+            max_depth: 128,
+        }
+    }
+}
+
+/// The result of a limit-aware parse: the (possibly degraded) unit plus
+/// what a caller needs to diagnose anything that was lost.
+#[derive(Debug)]
+pub struct ParseOutcome {
+    /// The parsed unit; degraded subtrees appear as `Unknown`/`Empty`
+    /// nodes rather than being dropped silently.
+    pub unit: TranslationUnit,
+    /// Errors the parser recovered from.
+    pub errors: Vec<ParseError>,
+    /// Byte-level errors the lexer recovered from.
+    pub lex_errors: Vec<refminer_clex::LexError>,
+    /// The token stream hit [`ParseLimits::max_tokens`] before the end
+    /// of input.
+    pub truncated: bool,
+    /// Some subtree hit [`ParseLimits::max_depth`] and was degraded.
+    pub depth_capped: bool,
 }
 
 /// Parses a source string into a [`TranslationUnit`], discarding errors.
@@ -134,19 +176,37 @@ pub fn parse_str(path: &str, src: &str) -> TranslationUnit {
 
 /// Parses a source string, returning recovered errors alongside the unit.
 pub fn parse_str_with_errors(path: &str, src: &str) -> (TranslationUnit, Vec<ParseError>) {
+    let out = parse_str_limited(path, src, &ParseLimits::default());
+    (out.unit, out.errors)
+}
+
+/// Parses under explicit resource caps, reporting everything that was
+/// truncated or degraded along the way. This is the entry point the
+/// fault-isolated audit pipeline uses.
+pub fn parse_str_limited(path: &str, src: &str, limits: &ParseLimits) -> ParseOutcome {
     let opts = LexOptions {
         keep_comments: false,
         keep_preprocessor: false,
     };
-    let toks = Lexer::with_options(src, opts).tokenize();
+    let (toks, lex_errors, truncated) =
+        Lexer::with_options(src, opts).tokenize_limited(limits.max_tokens);
     let mut p = Parser {
         toks,
         pos: 0,
         errors: Vec::new(),
         path: path.to_string(),
+        depth: 0,
+        max_depth: limits.max_depth,
+        depth_capped: false,
     };
-    let tu = p.parse_translation_unit();
-    (tu, p.errors)
+    let unit = p.parse_translation_unit();
+    ParseOutcome {
+        unit,
+        errors: p.errors,
+        lex_errors,
+        truncated,
+        depth_capped: p.depth_capped,
+    }
 }
 
 impl Parser {
@@ -158,7 +218,32 @@ impl Parser {
             pos: 0,
             errors: Vec::new(),
             path: String::new(),
+            depth: 0,
+            max_depth: ParseLimits::default().max_depth,
+            depth_capped: false,
         }
+    }
+
+    /// Enters one recursion level. Returns `false` at the depth cap,
+    /// recording [`ParseError::TooDeep`] the first time; callers must
+    /// then consume input and return a degraded node instead of
+    /// recursing.
+    pub(crate) fn enter_depth(&mut self) -> bool {
+        if self.depth >= self.max_depth {
+            if !self.depth_capped {
+                self.depth_capped = true;
+                let span = self.cur_span();
+                self.errors.push(ParseError::TooDeep { span });
+            }
+            return false;
+        }
+        self.depth += 1;
+        true
+    }
+
+    /// Leaves a recursion level entered via [`Parser::enter_depth`].
+    pub(crate) fn leave_depth(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     // ------------------------------------------------------------------
@@ -523,8 +608,21 @@ impl Parser {
         })]
     }
 
-    /// Parses struct fields assuming the cursor is on `{`.
+    /// Parses struct fields assuming the cursor is on `{`. Guarded: at
+    /// the depth cap the body is skipped and no fields are produced.
     fn parse_struct_body(&mut self) -> Vec<Field> {
+        if !self.enter_depth() {
+            if self.at_punct(Punct::LBrace) {
+                self.skip_balanced(Punct::LBrace, Punct::RBrace);
+            }
+            return Vec::new();
+        }
+        let fields = self.parse_struct_body_inner();
+        self.leave_depth();
+        fields
+    }
+
+    fn parse_struct_body_inner(&mut self) -> Vec<Field> {
         self.expect_punct(Punct::LBrace);
         let mut fields = Vec::new();
         while !self.at_eof() && !self.at_punct(Punct::RBrace) {
@@ -944,7 +1042,22 @@ impl Parser {
     }
 
     /// Parses an initializer: expression or braced (designated) list.
+    /// Guarded: at the depth cap the initializer is skipped wholesale.
     pub(crate) fn parse_initializer(&mut self) -> Initializer {
+        if !self.enter_depth() {
+            if self.at_punct(Punct::LBrace) {
+                self.skip_balanced(Punct::LBrace, Punct::RBrace);
+            } else {
+                self.bump();
+            }
+            return Initializer::List(Vec::new());
+        }
+        let init = self.parse_initializer_inner();
+        self.leave_depth();
+        init
+    }
+
+    fn parse_initializer_inner(&mut self) -> Initializer {
         if self.at_punct(Punct::LBrace) {
             self.pos += 1;
             let mut items = Vec::new();

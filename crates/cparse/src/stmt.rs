@@ -26,8 +26,25 @@ impl Parser {
         }
     }
 
-    /// Parses one statement.
+    /// Parses one statement. Every statement-grammar cycle passes
+    /// through here, so the recursion-depth guard lives on this entry:
+    /// at the cap the parser synchronizes past the construct and emits
+    /// an `Empty` statement.
     pub(crate) fn parse_stmt(&mut self) -> Stmt {
+        if !self.enter_depth() {
+            let span = self.cur_span();
+            self.recover_to_sync();
+            return Stmt {
+                kind: StmtKind::Empty,
+                span,
+            };
+        }
+        let s = self.parse_stmt_inner();
+        self.leave_depth();
+        s
+    }
+
+    fn parse_stmt_inner(&mut self) -> Stmt {
         let start = self.cur_span();
         let Some(t) = self.peek() else {
             return Stmt {

@@ -594,3 +594,156 @@ int f(void)
     }
     assert_eq!(calls, vec!["do_thing"]);
 }
+
+// ----------------------------------------------------------------------
+// Depth-cap / resource-limit robustness (fault-isolation guarantees).
+// ----------------------------------------------------------------------
+
+#[test]
+fn deep_parens_degrade_without_overflow() {
+    let depth = 5000;
+    let src = format!("int f(void) {{ return {}1{}; }}", "(".repeat(depth), ")".repeat(depth));
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped, "5000 nested parens must hit the cap");
+    assert!(out
+        .errors
+        .iter()
+        .any(|e| matches!(e, refminer_cparse::ParseError::TooDeep { .. })));
+    assert_eq!(out.unit.functions().count(), 1);
+}
+
+#[test]
+fn deep_unary_chain_degrades_without_overflow() {
+    let src = format!("int f(void) {{ return {}x; }}", "!".repeat(5000));
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+}
+
+#[test]
+fn deep_brace_statements_degrade_without_overflow() {
+    let depth = 5000;
+    let src = format!("int f(void) {{ {} x = 1; {} }}", "{".repeat(depth), "}".repeat(depth));
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+    assert_eq!(out.unit.functions().count(), 1);
+}
+
+#[test]
+fn deep_initializer_braces_degrade_without_overflow() {
+    let depth = 5000;
+    let src = format!("int a = {}1{};", "{".repeat(depth), "}".repeat(depth));
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+}
+
+#[test]
+fn deep_nested_structs_degrade_without_overflow() {
+    let depth = 3000;
+    let src = format!(
+        "struct s {{ {} int leaf; {} }};",
+        "struct {".repeat(depth),
+        "};".repeat(depth)
+    );
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+}
+
+#[test]
+fn token_cap_reports_truncation() {
+    let src = "int a; ".repeat(1000);
+    let limits = refminer_cparse::ParseLimits {
+        max_tokens: 50,
+        ..Default::default()
+    };
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &limits);
+    assert!(out.truncated, "3000-token file under a 50-token cap must truncate");
+    assert!(out.unit.globals().count() <= 50);
+}
+
+#[test]
+fn healthy_code_is_not_flagged_by_limits() {
+    let src = r#"
+static int probe(struct platform_device *pdev)
+{
+        struct device_node *np = pdev->dev.of_node;
+        if (!np)
+                return -ENODEV;
+        return of_device_is_available(np) ? 0 : -ENODEV;
+}
+"#;
+    let out = refminer_cparse::parse_str_limited("t.c", src, &refminer_cparse::ParseLimits::default());
+    assert!(!out.depth_capped);
+    assert!(!out.truncated);
+    assert!(out.lex_errors.is_empty());
+    assert!(out.errors.is_empty());
+}
+
+/// Expression depth, measured without recursion (a recursive helper
+/// would itself overflow on the bug this guards against).
+fn max_expr_depth(unit: &refminer_cparse::TranslationUnit) -> usize {
+    use refminer_cparse::{Expr, ExprKind};
+    fn children(e: &Expr) -> Vec<&Expr> {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                let mut v: Vec<&Expr> = args.iter().collect();
+                v.push(callee);
+                v
+            }
+            ExprKind::Member { base, .. } => vec![base],
+            ExprKind::Index { base, index } => vec![base, index],
+            ExprKind::Unary { operand, .. } | ExprKind::Postfix { operand, .. } => vec![operand],
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                vec![lhs, rhs]
+            }
+            ExprKind::Ternary { cond, then, els } => vec![cond, then, els],
+            ExprKind::Cast { expr, .. } | ExprKind::Sizeof(expr) => vec![expr],
+            ExprKind::Comma(items) => items.iter().collect(),
+            ExprKind::InitList(items) => items.iter().map(|(_, e)| &**e).collect(),
+            _ => Vec::new(),
+        }
+    }
+    let mut deepest = 0;
+    for f in unit.functions() {
+        for s in &f.body.stmts {
+            s.walk_exprs(&mut |e| {
+                let mut stack = vec![(e, 1usize)];
+                while let Some((e, d)) = stack.pop() {
+                    deepest = deepest.max(d);
+                    for c in children(e) {
+                        stack.push((c, d + 1));
+                    }
+                }
+            });
+        }
+    }
+    deepest
+}
+
+#[test]
+fn long_binary_chain_builds_a_bounded_ast() {
+    // `1+1+1+...` nests the AST one level per term with no parser
+    // recursion; the depth cap must still bound the tree so downstream
+    // recursive walkers (and Drop) cannot overflow.
+    let src = format!("int f(void)\n{{\n        return {};\n}}\n", vec!["1"; 6000].join(" + "));
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+    let cap = refminer_cparse::ParseLimits::default().max_depth as usize;
+    assert!(max_expr_depth(&out.unit) <= cap + 1);
+}
+
+#[test]
+fn paren_run_recovery_builds_a_bounded_ast() {
+    // Once the descent caps out, leftover `(` runs land in the postfix
+    // call loop, which wraps iteratively; the wrap layers must also be
+    // charged against the depth budget.
+    let depth = 6000;
+    let src = format!(
+        "int f(void)\n{{\n        return {}1{};\n}}\n",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    assert!(out.depth_capped);
+    let cap = refminer_cparse::ParseLimits::default().max_depth as usize;
+    assert!(max_expr_depth(&out.unit) <= cap + 1);
+}

@@ -48,26 +48,86 @@ pub struct FunctionGraph {
     pub error_nodes: HashSet<NodeId>,
 }
 
+/// A function whose graph was rejected by the node cap before the
+/// expensive analyses ran — the audit layer's defense against
+/// machine-generated functions with pathological control flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphCapExceeded {
+    /// The function that blew the cap.
+    pub function: String,
+    /// How many CFG nodes it produced.
+    pub nodes: usize,
+    /// The cap in force.
+    pub max_nodes: usize,
+}
+
+impl std::fmt::Display for GraphCapExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "function `{}` produced {} CFG nodes (cap {})",
+            self.function, self.nodes, self.max_nodes
+        )
+    }
+}
+
 impl FunctionGraph {
     /// Builds the full graph for one function.
     pub fn build(func: &FunctionDef) -> FunctionGraph {
+        match Self::try_build(func, usize::MAX) {
+            Ok(g) => g,
+            Err(_) => unreachable!("usize::MAX cap cannot be exceeded"),
+        }
+    }
+
+    /// Builds the graph only if the CFG stays under `max_nodes`; the
+    /// per-node analyses (facts, origins, error classification) never
+    /// run on an over-cap function, bounding both time and memory.
+    pub fn try_build(
+        func: &FunctionDef,
+        max_nodes: usize,
+    ) -> Result<FunctionGraph, GraphCapExceeded> {
         let cfg = Cfg::build(func);
+        if cfg.nodes.len() > max_nodes {
+            return Err(GraphCapExceeded {
+                function: func.name.clone(),
+                nodes: cfg.nodes.len(),
+                max_nodes,
+            });
+        }
         let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
         let params: Vec<String> = func.params.iter().filter_map(|p| p.name.clone()).collect();
         let origins = Origins::compute(&cfg, &facts, &params);
         let error_nodes = error_nodes(&cfg, &facts);
-        FunctionGraph {
+        Ok(FunctionGraph {
             func: func.clone(),
             cfg,
             facts,
             origins,
             error_nodes,
-        }
+        })
     }
 
     /// Builds graphs for every function in a translation unit.
     pub fn build_all(tu: &TranslationUnit) -> Vec<FunctionGraph> {
         tu.functions().map(FunctionGraph::build).collect()
+    }
+
+    /// Builds graphs for every function under a node cap, collecting
+    /// the functions that were skipped instead of analyzing them.
+    pub fn build_all_limited(
+        tu: &TranslationUnit,
+        max_nodes: usize,
+    ) -> (Vec<FunctionGraph>, Vec<GraphCapExceeded>) {
+        let mut graphs = Vec::new();
+        let mut skipped = Vec::new();
+        for f in tu.functions() {
+            match Self::try_build(f, max_nodes) {
+                Ok(g) => graphs.push(g),
+                Err(e) => skipped.push(e),
+            }
+        }
+        (graphs, skipped)
     }
 
     /// The function name.
@@ -144,6 +204,22 @@ int f(void)
         );
         let g = FunctionGraph::build(tu.function("f").unwrap());
         assert!(!g.error_nodes.is_empty());
+    }
+
+    #[test]
+    fn node_cap_skips_big_functions_only() {
+        let mut body = String::from("int big(void) {\n");
+        for i in 0..200 {
+            body.push_str(&format!("        if (x{i}) do_thing({i});\n"));
+        }
+        body.push_str("        return 0;\n}\nint small(void) { return 0; }\n");
+        let tu = parse_str("t.c", &body);
+        let (graphs, skipped) = FunctionGraph::build_all_limited(&tu, 50);
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].name(), "small");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].function, "big");
+        assert!(skipped[0].nodes > 50);
     }
 
     #[test]

@@ -24,6 +24,6 @@ mod paths;
 pub use cfg::{Cfg, CfgNode, EdgeKind, NodeId, NodeKind, Payload};
 pub use errorpath::{error_nodes, is_error_label, null_guard_nodes};
 pub use facts::{ArgFact, AssignFact, CallFact, CheckFact, NodeFacts, StoreTarget};
-pub use graph::FunctionGraph;
+pub use graph::{FunctionGraph, GraphCapExceeded};
 pub use origins::{Origin, Origins};
 pub use paths::{PathQuery, Step};

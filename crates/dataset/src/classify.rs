@@ -3,12 +3,11 @@
 
 use refminer_corpus::Commit;
 use refminer_rcapi::{ApiKb, RcDir};
-use serde::{Deserialize, Serialize};
 
 use crate::mine::diff_calls;
 
 /// The Table 2 taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BugKind {
     /// 1.1 — missing decrement, pairable within one function.
     MissingDecIntra,
@@ -48,7 +47,7 @@ impl BugKind {
 }
 
 /// Security impact of a historical bug.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HistImpact {
     /// Memory leak.
     Leak,
@@ -57,7 +56,7 @@ pub enum HistImpact {
 }
 
 /// A classified historical bug.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HistBug {
     /// Fixing commit id.
     pub commit_id: String,

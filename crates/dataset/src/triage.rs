@@ -10,10 +10,9 @@
 
 use refminer_checkers::{AntiPattern, Finding};
 use refminer_corpus::Manifest;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of submitting a patch for a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatchStatus {
     /// Maintainer confirmed and applied the fix.
     Confirmed,
@@ -26,7 +25,7 @@ pub enum PatchStatus {
 }
 
 /// One triaged finding.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TriagedFinding {
     /// The underlying finding.
     pub finding: Finding,

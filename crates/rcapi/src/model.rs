@@ -1,10 +1,9 @@
 //! The refcounting API model: the paper's three API categories (§5) and
 //! their deviation flags (§5.1).
 
-use serde::{Deserialize, Serialize};
 
 /// The paper's API taxonomy (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RcClass {
     /// Operates basic refcounted structures directly
     /// (`refcount_inc`, `kref_put`, `kobject_get`, ...).
@@ -20,7 +19,7 @@ pub enum RcClass {
 }
 
 /// Whether an API increments or decrements the refcounter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RcDir {
     /// Increases the refcounter (the paper's 𝒢 operator).
     Inc,
@@ -29,7 +28,7 @@ pub enum RcDir {
 }
 
 /// Where the refcounted object flows through the API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectFlow {
     /// The object is argument `i` (0-based).
     Arg(usize),
@@ -42,7 +41,7 @@ pub enum ObjectFlow {
 }
 
 /// One refcounting API.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RcApi {
     /// Function name.
     pub name: String,
@@ -132,7 +131,7 @@ impl RcApi {
 
 /// A macro-defined iteration construct with embedded refcounting — the
 /// paper's *smartloop* (§5.2.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmartLoop {
     /// Macro name, e.g. `for_each_child_of_node`.
     pub name: String,

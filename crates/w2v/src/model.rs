@@ -1,7 +1,6 @@
 //! The CBOW word2vec model with negative sampling.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use refminer_prng::{ChaCha8Rng, Rng, SeedableRng};
 
 use crate::tokenize::tokenize_lines;
 use crate::vocab::Vocab;

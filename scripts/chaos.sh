@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Chaos smoke run: generate a corrupted synthetic tree, audit it in
+# strict mode, and check the process degrades instead of crashing.
+#
+# Env:
+#   CHAOSGEN_BIN / REFMINER_BIN  prebuilt binaries; default `cargo run`
+#   CHAOS_SEED                   chaos seed (default 0xC4A05 in chaosgen)
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+outdir="$(mktemp -d "${TMPDIR:-/tmp}/refminer-chaos.XXXXXX")"
+trap 'rm -rf "$outdir"' EXIT
+
+chaosgen() {
+    if [ -n "${CHAOSGEN_BIN:-}" ]; then
+        "$CHAOSGEN_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin chaosgen -- "$@"
+    fi
+}
+
+refminer() {
+    if [ -n "${REFMINER_BIN:-}" ]; then
+        "$REFMINER_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin refminer -- "$@"
+    fi
+}
+
+seed_args=()
+if [ -n "${CHAOS_SEED:-}" ]; then
+    seed_args=(--seed "$CHAOS_SEED")
+fi
+
+chaosgen "${seed_args[@]}" --ratio 0.4 "$outdir" || {
+    echo "chaos.sh: chaosgen failed" >&2
+    exit 1
+}
+
+refminer --strict --stats "$outdir"
+status=$?
+
+# A corrupted tree must end in a controlled exit: findings (1) or a
+# strict-mode diagnostic failure (3). Crashes (codes >= 128) and scan
+# errors (2) mean the fault boundary leaked.
+case "$status" in
+    1|3) echo "chaos.sh: PASS (exit $status)";;
+    *)   echo "chaos.sh: FAIL (exit $status)" >&2; exit 1;;
+esac

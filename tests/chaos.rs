@@ -1,0 +1,271 @@
+//! Chaos-injection integration suite.
+//!
+//! The contract under test: the audit pipeline, fed a tree with seeded
+//! corruption, (1) never panics, (2) contains the damage — uncorrupted
+//! files produce exactly the findings a clean run produces — and
+//! (3) reports per-file diagnostics that point at the corrupted files
+//! and nothing else.
+
+use std::collections::BTreeSet;
+
+use refminer::corpus::{
+    apply_chaos, generate_tree, ChaosConfig, ChaosCorpus, MutationKind, SyntheticTree, TreeConfig,
+};
+use refminer::{audit, AuditConfig, AuditReport, Finding, Project, UnitErrorKind};
+
+fn small_tree() -> SyntheticTree {
+    generate_tree(&TreeConfig {
+        scale: 0.03,
+        include_tricky: false,
+        ..Default::default()
+    })
+}
+
+fn chaos_with(kind: MutationKind, ratio: f64) -> (SyntheticTree, ChaosCorpus) {
+    let tree = small_tree();
+    let chaos = apply_chaos(
+        &tree,
+        &ChaosConfig {
+            ratio,
+            kinds: vec![kind],
+            ..Default::default()
+        },
+    );
+    (tree, chaos)
+}
+
+fn audit_corpus(chaos: &ChaosCorpus, discover: bool) -> AuditReport {
+    let project = Project::from_sources(chaos.to_sources());
+    audit(
+        &project,
+        &AuditConfig {
+            discover_apis: discover,
+            ..Default::default()
+        },
+    )
+}
+
+/// Findings restricted to `paths`, as comparable tuples.
+fn findings_on<'a>(
+    findings: &'a [Finding],
+    paths: &BTreeSet<&str>,
+) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| paths.contains(f.file.as_str())).collect()
+}
+
+// ----------------------------------------------------------------------
+// The acceptance run: every kind at once, seeded.
+// ----------------------------------------------------------------------
+
+#[test]
+fn chaos_tree_audits_without_panic_and_contains_the_damage() {
+    let tree = small_tree();
+    let chaos = apply_chaos(
+        &tree,
+        &ChaosConfig {
+            ratio: 0.3,
+            ..Default::default()
+        },
+    );
+    assert!(!chaos.records.is_empty());
+    let mutated = chaos.mutated_paths();
+    let clean_paths: BTreeSet<&str> = tree
+        .files
+        .iter()
+        .map(|f| f.path.as_str())
+        .filter(|p| !mutated.contains(p))
+        .collect();
+
+    // Clean baseline vs chaos run (discovery off: the KB is
+    // corpus-global by design, so stage isolation is what's asserted).
+    let clean_report = audit(
+        &Project::from_tree(&tree),
+        &AuditConfig {
+            discover_apis: false,
+            ..Default::default()
+        },
+    );
+    let chaos_report = audit_corpus(&chaos, false);
+
+    // (2) Damage containment: findings on uncorrupted files identical.
+    assert_eq!(
+        findings_on(&clean_report.findings, &clean_paths),
+        findings_on(&chaos_report.findings, &clean_paths),
+        "a corrupted sibling changed findings on clean files"
+    );
+
+    // (3) Diagnostics accuracy: every non-clean unit is a mutated file.
+    for d in &chaos_report.diagnostics.units {
+        assert!(
+            mutated.contains(d.path.as_str()),
+            "{} diagnosed [{:?}] but was never mutated",
+            d.path,
+            d.errors
+        );
+    }
+    assert_eq!(
+        chaos_report.diagnostics.ok
+            + chaos_report.diagnostics.degraded
+            + chaos_report.diagnostics.skipped,
+        tree.files.len()
+    );
+}
+
+#[test]
+fn chaos_audit_with_discovery_still_completes() {
+    let tree = small_tree();
+    let chaos = apply_chaos(&tree, &ChaosConfig::default());
+    let report = audit_corpus(&chaos, true);
+    assert_eq!(report.files, tree.files.len());
+    let mutated = chaos.mutated_paths();
+    for d in &report.diagnostics.units {
+        assert!(mutated.contains(d.path.as_str()));
+    }
+}
+
+#[test]
+fn same_seed_gives_identical_audit_results() {
+    let tree = small_tree();
+    let cfg = ChaosConfig {
+        ratio: 0.4,
+        ..Default::default()
+    };
+    let a = audit_corpus(&apply_chaos(&tree, &cfg), false);
+    let b = audit_corpus(&apply_chaos(&tree, &cfg), false);
+    assert_eq!(a.findings, b.findings);
+    let paths = |r: &AuditReport| -> Vec<String> {
+        r.diagnostics.units.iter().map(|u| u.path.clone()).collect()
+    };
+    assert_eq!(paths(&a), paths(&b));
+    assert_eq!(a.diagnostics.degraded, b.diagnostics.degraded);
+    assert_eq!(a.diagnostics.skipped, b.diagnostics.skipped);
+}
+
+// ----------------------------------------------------------------------
+// One test per mutation kind.
+// ----------------------------------------------------------------------
+
+#[test]
+fn kind_truncate_mid_token_survives() {
+    let (tree, chaos) = chaos_with(MutationKind::TruncateMidToken, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.files, tree.files.len());
+}
+
+#[test]
+fn kind_byte_flip_survives() {
+    let (tree, chaos) = chaos_with(MutationKind::ByteFlip, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.files, tree.files.len());
+}
+
+#[test]
+fn kind_unterminated_comment_is_diagnosed() {
+    let (_, chaos) = chaos_with(MutationKind::UnterminatedComment, 1.0);
+    let report = audit_corpus(&chaos, false);
+    // Truncation plus an unterminated construct always leaves the
+    // lexer with something unterminated, whatever context the cut
+    // landed in.
+    assert_eq!(report.diagnostics.degraded, chaos.records.len());
+    assert!(report
+        .diagnostics
+        .units
+        .iter()
+        .all(|u| u.errors.contains(&UnitErrorKind::LexNoise)));
+}
+
+#[test]
+fn kind_unterminated_string_is_diagnosed() {
+    let (_, chaos) = chaos_with(MutationKind::UnterminatedString, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.diagnostics.degraded, chaos.records.len());
+    assert!(report
+        .diagnostics
+        .units
+        .iter()
+        .all(|u| u.errors.contains(&UnitErrorKind::LexNoise)));
+}
+
+#[test]
+fn kind_deep_nesting_hits_the_depth_cap() {
+    let (_, chaos) = chaos_with(MutationKind::DeepNesting, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.diagnostics.degraded, chaos.records.len());
+    assert!(report
+        .diagnostics
+        .units
+        .iter()
+        .all(|u| u.errors.contains(&UnitErrorKind::ParseDepth)));
+}
+
+#[test]
+fn kind_macro_bomb_hits_the_depth_cap() {
+    let (_, chaos) = chaos_with(MutationKind::MacroBomb, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.diagnostics.degraded, chaos.records.len());
+    assert!(report
+        .diagnostics
+        .units
+        .iter()
+        .all(|u| u.errors.contains(&UnitErrorKind::ParseDepth)));
+}
+
+#[test]
+fn kind_nul_garbage_is_diagnosed_or_absorbed() {
+    let (tree, chaos) = chaos_with(MutationKind::NulGarbage, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.files, tree.files.len());
+    // A NUL run landing in code is lexer garbage; landing inside a
+    // comment or string it is absorbed. Most land in code.
+    assert!(report.diagnostics.degraded > 0);
+    let mutated = chaos.mutated_paths();
+    for d in &report.diagnostics.units {
+        assert!(mutated.contains(d.path.as_str()));
+        assert!(d.errors.contains(&UnitErrorKind::LexNoise));
+    }
+}
+
+#[test]
+fn kind_binary_garbage_is_diagnosed_or_absorbed() {
+    let (tree, chaos) = chaos_with(MutationKind::BinaryGarbage, 1.0);
+    let report = audit_corpus(&chaos, false);
+    assert_eq!(report.files, tree.files.len());
+    assert!(report.diagnostics.degraded > 0);
+    let mutated = chaos.mutated_paths();
+    for d in &report.diagnostics.units {
+        assert!(mutated.contains(d.path.as_str()));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Disk round trip: chaos bytes through Project::scan.
+// ----------------------------------------------------------------------
+
+#[test]
+fn chaos_corpus_survives_a_disk_round_trip() {
+    let (tree, chaos) = chaos_with(MutationKind::BinaryGarbage, 1.0);
+    let dir = std::env::temp_dir().join(format!("refminer_chaos_rt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    chaos.write_to(&dir).expect("write chaos corpus");
+    let project = Project::scan(&dir).expect("scan");
+    assert_eq!(project.units().len(), tree.files.len());
+    // Binary garbage must be flagged at scan time…
+    assert!(project
+        .scan_diagnostics()
+        .iter()
+        .any(|d| d.kind == refminer::ScanErrorKind::NonUtf8));
+    // …and carried into the audit diagnostics.
+    let report = audit(
+        &project,
+        &AuditConfig {
+            discover_apis: false,
+            ..Default::default()
+        },
+    );
+    assert!(report
+        .diagnostics
+        .units
+        .iter()
+        .any(|u| u.errors.contains(&UnitErrorKind::NonUtf8)));
+    std::fs::remove_dir_all(&dir).ok();
+}
