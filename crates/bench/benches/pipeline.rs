@@ -9,7 +9,7 @@ use refminer::corpus::{apply_chaos, generate_tree, ChaosConfig, TreeConfig};
 use refminer::cparse::parse_str;
 use refminer::cpg::FunctionGraph;
 use refminer::rcapi::{discover, ApiKb, DiscoverConfig};
-use refminer::{audit, AuditConfig, Project};
+use refminer::{audit, audit_with_cache, AuditCache, AuditConfig, Project};
 use refminer_bench::fixture_file;
 
 fn bench_lexer(c: &mut Criterion) {
@@ -50,6 +50,7 @@ fn bench_discovery(c: &mut Criterion) {
         .iter()
         .map(|f| parse_str(&f.path, &f.content))
         .collect();
+    let tu_refs: Vec<&_> = tus.iter().collect();
     let defines: Vec<_> = tree
         .files
         .iter()
@@ -58,7 +59,7 @@ fn bench_discovery(c: &mut Criterion) {
     c.bench_function("discovery/apis_and_smartloops", |b| {
         b.iter(|| {
             discover(
-                &tus,
+                &tu_refs,
                 &defines,
                 &ApiKb::builtin(),
                 &DiscoverConfig::default(),
@@ -111,6 +112,64 @@ fn bench_chaos_audit(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_audit(c: &mut Criterion) {
+    // Sequential vs work-stealing workers on the same tree. On a
+    // single-core host the two are expected to tie (modulo scheduling
+    // overhead); the jobs=auto row is the one to watch on real metal.
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.1,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    let mut g = c.benchmark_group("audit_parallel");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(tree.files.len() as u64));
+    for (label, jobs) in [("jobs_1", 1usize), ("jobs_auto", 0)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, &jobs| {
+            b.iter(|| {
+                audit(
+                    &project,
+                    &AuditConfig {
+                        jobs,
+                        ..Default::default()
+                    },
+                )
+                .findings
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_replay(c: &mut Criterion) {
+    // The incremental cache's two extremes: a fully warm replay of an
+    // unchanged tree, and the cold run that seeds it.
+    let tree = generate_tree(&TreeConfig {
+        scale: 0.1,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    let cfg = AuditConfig::default();
+    let mut g = c.benchmark_group("audit_cache");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(tree.files.len() as u64));
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut cache = AuditCache::new();
+            audit_with_cache(&project, &cfg, &mut cache).findings.len()
+        })
+    });
+    g.bench_function("warm_replay", |b| {
+        let mut cache = AuditCache::new();
+        audit_with_cache(&project, &cfg, &mut cache);
+        b.iter(|| audit_with_cache(&project, &cfg, &mut cache).findings.len())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_lexer,
@@ -118,6 +177,8 @@ criterion_group!(
     bench_cpg,
     bench_discovery,
     bench_audit_scaling,
-    bench_chaos_audit
+    bench_chaos_audit,
+    bench_parallel_audit,
+    bench_cache_replay
 );
 criterion_main!(benches);

@@ -106,6 +106,32 @@ pub fn dedup_findings(findings: &mut Vec<Finding>) {
     });
 }
 
+/// A fingerprint of the default checker set, for cache keying.
+///
+/// Cached per-unit check results are only valid for the checker set
+/// that produced them. The fingerprint folds in every anti-pattern id
+/// and its semantic template, plus a version counter bumped whenever
+/// checker *logic* changes without the template text moving. Any
+/// difference invalidates previously cached findings.
+pub fn checker_set_fingerprint() -> u64 {
+    // Bump when checker behavior changes in a way the templates don't
+    // capture (new heuristics, changed dedup rules, ...).
+    const CHECKER_LOGIC_VERSION: u64 = 1;
+    let mut h: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(&CHECKER_LOGIC_VERSION.to_le_bytes());
+    for p in crate::finding::AntiPattern::all() {
+        eat(p.id().as_bytes());
+        eat(p.template_text().as_bytes());
+    }
+    h
+}
+
 /// An increment-API call site: the node, the API, and the variable the
 /// acquired reference landed in (if any).
 pub(crate) struct IncSite<'a> {
@@ -195,6 +221,14 @@ int f(struct device *dev)
         assert_eq!(sites[0].object.as_deref(), Some("np"));
         assert_eq!(sites[1].object.as_deref(), Some("dev"));
         assert_eq!(sites[2].object, None);
+    }
+
+    #[test]
+    fn checker_fingerprint_is_stable_and_nonzero() {
+        let a = checker_set_fingerprint();
+        let b = checker_set_fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
     }
 
     #[test]

@@ -139,6 +139,29 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Sorts findings into the canonical report order: stable by
+/// `(file, line)`.
+///
+/// A *stable* sort on exactly this key is load-bearing: findings from
+/// the same line keep the order their checkers emitted them in, so the
+/// parallel audit pipeline — which concatenates per-unit finding lists
+/// in unit index order before sorting — reproduces the sequential
+/// report byte for byte at any worker count.
+pub fn sort_findings_canonical(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+}
+
+/// Merges per-unit finding lists into one canonical report.
+///
+/// Lists must be supplied in unit index order (the order the project
+/// scanner yields units); the result is identical to checking the
+/// units one after another sequentially.
+pub fn merge_unit_findings(per_unit: impl IntoIterator<Item = Vec<Finding>>) -> Vec<Finding> {
+    let mut all: Vec<Finding> = per_unit.into_iter().flatten().collect();
+    sort_findings_canonical(&mut all);
+    all
+}
+
 impl ToJson for AntiPattern {
     fn to_json(&self) -> Value {
         Value::Str(self.id().to_string())
@@ -186,6 +209,35 @@ mod tests {
                 "template for {p} must parse"
             );
         }
+    }
+
+    #[test]
+    fn merge_matches_sequential_order() {
+        let mk = |file: &str, line: u32, api: &str| Finding {
+            pattern: AntiPattern::P4,
+            impact: Impact::Leak,
+            file: file.into(),
+            function: "f".into(),
+            line,
+            api: api.into(),
+            object: None,
+            message: String::new(),
+        };
+        // Two units, the second sorting before the first by file name,
+        // plus same-line findings whose relative order must survive.
+        let unit0 = vec![mk("b.c", 7, "first"), mk("b.c", 7, "second")];
+        let unit1 = vec![mk("a.c", 3, "x")];
+        let merged = merge_unit_findings([unit0.clone(), unit1.clone()]);
+
+        let mut sequential: Vec<Finding> = Vec::new();
+        sequential.extend(unit0);
+        sequential.extend(unit1);
+        sort_findings_canonical(&mut sequential);
+
+        assert_eq!(merged, sequential);
+        assert_eq!(merged[0].file, "a.c");
+        assert_eq!(merged[1].api, "first");
+        assert_eq!(merged[2].api, "second");
     }
 
     #[test]

@@ -29,12 +29,12 @@ mod risk;
 mod summaries;
 
 pub use checker::{
-    check_unit, check_unit_with_checkers, check_unit_with_graphs, dedup_findings, default_checkers,
-    Checker,
+    check_unit, check_unit_with_checkers, check_unit_with_graphs, checker_set_fingerprint,
+    dedup_findings, default_checkers, Checker,
 };
 pub use ctx::CheckCtx;
 pub use deviation::{ReturnErrorChecker, ReturnNullChecker};
-pub use finding::{AntiPattern, Finding, Impact};
+pub use finding::{merge_unit_findings, sort_findings_canonical, AntiPattern, Finding, Impact};
 pub use hidden::{HiddenApiChecker, SmartLoopBreakChecker};
 pub use location::{DirectFreeChecker, ErrorPathChecker, InterUnpairedChecker};
 pub use risk::{EscapeChecker, UadChecker};

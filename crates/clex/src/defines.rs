@@ -96,7 +96,7 @@ impl MacroDef {
         for w in toks.windows(2) {
             if let (TokenKind::Ident(name), kind) = (&w[0].kind, &w[1].kind) {
                 if kind.is_punct(crate::Punct::LParen) {
-                    out.push(name.clone());
+                    out.push(name.to_string());
                 }
             }
         }

@@ -1,8 +1,10 @@
 //! The lexer proper: turns C source text into a token stream.
 
+use std::collections::HashSet;
+
 use crate::error::LexError;
 use crate::keywords::Keyword;
-use crate::token::{PpKind, Punct, Span, Token, TokenKind};
+use crate::token::{PpKind, Punct, Span, Symbol, Token, TokenKind};
 
 /// Configuration for a [`Lexer`].
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +51,9 @@ pub struct Lexer<'a> {
     col: u32,
     opts: LexOptions,
     errors: Vec<LexError>,
+    /// Per-file identifier interner: one allocation per distinct
+    /// spelling; every further occurrence is a refcount bump.
+    interner: HashSet<Symbol>,
 }
 
 impl<'a> Lexer<'a> {
@@ -67,6 +72,19 @@ impl<'a> Lexer<'a> {
             col: 1,
             opts,
             errors: Vec::new(),
+            interner: HashSet::new(),
+        }
+    }
+
+    /// Returns the interned form of `text`, allocating only on the
+    /// first occurrence per file.
+    fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(s) = self.interner.get(text) {
+            s.clone()
+        } else {
+            let s: Symbol = Symbol::from(text);
+            self.interner.insert(s.clone());
+            s
         }
     }
 
@@ -357,10 +375,13 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = &self.text[start..self.pos];
+        // `self.text` is a `&'a str`; copying the reference out lets
+        // the slice outlive the `&mut self` call into the interner.
+        let full: &str = self.text;
+        let text = &full[start..self.pos];
         let kind = match Keyword::from_str(text) {
             Some(k) => TokenKind::Keyword(k),
-            None => TokenKind::Ident(text.to_string()),
+            None => TokenKind::Ident(self.intern(text)),
         };
         Token {
             kind,

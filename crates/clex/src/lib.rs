@@ -36,4 +36,4 @@ pub use defines::{scan_defines, MacroDef};
 pub use error::LexError;
 pub use keywords::Keyword;
 pub use lexer::{LexOptions, Lexer};
-pub use token::{PpKind, Punct, Span, Token, TokenKind};
+pub use token::{PpKind, Punct, Span, Symbol, Token, TokenKind};

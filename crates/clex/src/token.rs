@@ -1,8 +1,20 @@
 //! Token and source-position types produced by the lexer.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::keywords::Keyword;
+
+/// Interned identifier text.
+///
+/// Identifiers repeat heavily in C source (`dev`, `ret`, `np`, type
+/// and field names), so the lexer interns them per file: one
+/// allocation per *distinct* spelling instead of one per token.
+/// Cloning a `Symbol` is a reference-count bump, which also makes
+/// tokens cheap to copy around and safe to share across the audit
+/// pipeline's worker threads. Keywords and punctuators never allocate
+/// at all — they are enums with `&'static str` spellings.
+pub type Symbol = Arc<str>;
 
 /// A half-open byte range into the original source, with 1-based line and
 /// column of the first byte.
@@ -234,8 +246,8 @@ pub enum PpKind {
 /// The payload of a single token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
-    /// An identifier that is not a keyword.
-    Ident(String),
+    /// An identifier that is not a keyword (interned; see [`Symbol`]).
+    Ident(Symbol),
     /// A reserved word of C (plus a few ubiquitous kernel extensions).
     Keyword(Keyword),
     /// An integer literal; the raw text is kept alongside the decoded
@@ -276,7 +288,7 @@ impl TokenKind {
     /// Returns the identifier text if this token is an identifier.
     pub fn ident(&self) -> Option<&str> {
         match self {
-            TokenKind::Ident(s) => Some(s),
+            TokenKind::Ident(s) => Some(&**s),
             _ => None,
         }
     }

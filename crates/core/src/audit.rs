@@ -7,18 +7,33 @@
 //! [`UnitDiagnostic`] instead of aborting the audit. One bad file can
 //! degrade its own results; it cannot take down the run or perturb the
 //! findings of its healthy siblings.
+//!
+//! The per-unit stages (parse, graph+check) fan out across worker
+//! threads (see [`crate::parallel`]) and memoize through a three-layer
+//! content-hash cache (see [`crate::cache`]). Both are exact
+//! optimizations: the report — findings, counters, diagnostics — is
+//! byte-identical at any `jobs` count and any cache temperature,
+//! because per-unit results are merged in unit index order and findings
+//! get one canonical stable sort at the end.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use refminer_checkers::{check_unit_with_graphs, AntiPattern, Finding, Impact};
+use refminer_checkers::{
+    check_unit_with_graphs, sort_findings_canonical, AntiPattern, Finding, Impact,
+};
 use refminer_clex::{scan_defines, MacroDef};
 use refminer_cparse::{parse_str_limited, ParseLimits, TranslationUnit};
 use refminer_cpg::FunctionGraph;
 use refminer_rcapi::{discover, ApiKb, DiscoverConfig};
 
-use crate::project::{Project, ScanErrorKind};
+use crate::cache::{
+    check_config_fingerprint, content_hash, discovery_config_fingerprint, fnv1a, kb_fingerprint,
+    mix, parse_config_fingerprint, AuditCache, CacheStats, CachedError, CheckedUnit, ParsedUnit,
+};
+use crate::parallel::run_indexed;
+use crate::project::{Project, ScanErrorKind, SourceUnit};
 
 /// Resource caps applied to each translation unit.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +69,10 @@ pub struct AuditConfig {
     pub nesting_threshold: usize,
     /// Per-unit resource caps.
     pub limits: AuditLimits,
+    /// Worker threads for the per-unit stages. `0` (the default) means
+    /// one per available hardware thread; `1` runs everything inline on
+    /// the calling thread. The report is identical either way.
+    pub jobs: usize,
 }
 
 impl Default for AuditConfig {
@@ -62,6 +81,7 @@ impl Default for AuditConfig {
             discover_apis: true,
             nesting_threshold: 3,
             limits: AuditLimits::default(),
+            jobs: 0,
         }
     }
 }
@@ -114,6 +134,21 @@ pub enum UnitErrorKind {
 }
 
 impl UnitErrorKind {
+    /// Every kind, in taxonomy order.
+    pub fn all() -> [UnitErrorKind; 9] {
+        use UnitErrorKind::*;
+        [
+            Io, NonUtf8, Oversize, LexPanic, LexNoise, TokenCap, ParseDepth, GraphBlowup,
+            CheckPanic,
+        ]
+    }
+
+    /// Parses the stable name back into the kind (inverse of
+    /// [`UnitErrorKind::name`]); used when loading a persisted cache.
+    pub fn from_name(name: &str) -> Option<UnitErrorKind> {
+        UnitErrorKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Stable lower-snake name, used in reports and JSON output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -190,6 +225,9 @@ pub struct AuditReport {
     pub kb: ApiKb,
     /// Per-file fault-isolation diagnostics.
     pub diagnostics: AuditDiagnostics,
+    /// Cache hit/miss counters for this run (all zeros for the plain
+    /// [`audit`] entry point, which starts from an empty cache).
+    pub cache: CacheStats,
 }
 
 impl AuditReport {
@@ -266,10 +304,11 @@ fn fault_boundary<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     })
 }
 
-/// Per-unit bookkeeping threaded through the pipeline stages.
+/// Per-unit bookkeeping folded together when the report is assembled.
 struct UnitState {
     path: String,
-    tu: Option<TranslationUnit>,
+    /// Whether the unit produced an analyzable AST.
+    analyzed: bool,
     errors: Vec<UnitErrorKind>,
     detail: String,
 }
@@ -285,13 +324,145 @@ impl UnitState {
     }
 
     fn outcome(&self) -> UnitOutcome {
-        if self.tu.is_none() {
+        if !self.analyzed {
             UnitOutcome::Skipped
         } else if self.errors.is_empty() {
             UnitOutcome::Ok
         } else {
             UnitOutcome::Degraded
         }
+    }
+}
+
+/// The parse stage for one unit: byte-cap check, `#define` scan, and
+/// the limited parse, all inside the unit's fault boundary.
+fn parse_unit(unit: &SourceUnit, limits: &AuditLimits, parse_limits: &ParseLimits) -> ParsedUnit {
+    if unit.text.len() > limits.max_file_bytes {
+        return ParsedUnit {
+            tu: None,
+            parsed_ok: false,
+            defines: Vec::new(),
+            errors: vec![CachedError {
+                kind: UnitErrorKind::Oversize,
+                detail: format!(
+                    "{} bytes exceeds the {}-byte cap",
+                    unit.text.len(),
+                    limits.max_file_bytes
+                ),
+            }],
+            // Skipped outright: contributes no lines to the totals.
+            lines: 0,
+        };
+    }
+    let lines = unit.text.lines().count();
+    let parsed = fault_boundary(|| {
+        let defs = scan_defines(&unit.text);
+        let out = parse_str_limited(&unit.path, &unit.text, parse_limits);
+        (defs, out)
+    });
+    match parsed {
+        Ok((defines, out)) => {
+            let mut errors = Vec::new();
+            if let Some(first) = out.lex_errors.first() {
+                errors.push(CachedError {
+                    kind: UnitErrorKind::LexNoise,
+                    detail: format!("{} lex error(s), first: {first}", out.lex_errors.len()),
+                });
+            }
+            if out.truncated {
+                errors.push(CachedError {
+                    kind: UnitErrorKind::TokenCap,
+                    detail: format!("token stream truncated at {}", parse_limits.max_tokens),
+                });
+            }
+            if out.depth_capped {
+                errors.push(CachedError {
+                    kind: UnitErrorKind::ParseDepth,
+                    detail: format!("nesting exceeded depth {}", parse_limits.max_depth),
+                });
+            }
+            ParsedUnit {
+                tu: Some(out.unit),
+                parsed_ok: true,
+                defines,
+                errors,
+                lines,
+            }
+        }
+        Err(msg) => ParsedUnit {
+            tu: None,
+            parsed_ok: false,
+            defines: Vec::new(),
+            errors: vec![CachedError {
+                kind: UnitErrorKind::LexPanic,
+                detail: format!("parse panicked: {msg}"),
+            }],
+            lines,
+        },
+    }
+}
+
+/// The check stage for one unit: graphs + the nine checkers inside the
+/// unit's fault boundary. When the parse-layer entry came from disk (no
+/// retained AST), the unit is re-parsed here first — parsing is
+/// deterministic, so the rehydrated AST is the one the entry describes.
+fn check_one(
+    unit: &SourceUnit,
+    parsed: &ParsedUnit,
+    kb: &ApiKb,
+    limits: &AuditLimits,
+    parse_limits: &ParseLimits,
+) -> CheckedUnit {
+    let rehydrated;
+    let tu: &TranslationUnit = match parsed.tu.as_ref() {
+        Some(tu) => tu,
+        None => {
+            match fault_boundary(|| parse_str_limited(&unit.path, &unit.text, parse_limits).unit) {
+                Ok(tu) => {
+                    rehydrated = tu;
+                    &rehydrated
+                }
+                Err(msg) => {
+                    return CheckedUnit {
+                        findings: Vec::new(),
+                        functions: 0,
+                        errors: vec![CachedError {
+                            kind: UnitErrorKind::CheckPanic,
+                            detail: format!("check panicked: {msg}"),
+                        }],
+                    }
+                }
+            }
+        }
+    };
+    let checked = fault_boundary(|| {
+        let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
+        let fs = check_unit_with_graphs(tu, kb, &graphs);
+        (graphs.len(), capped, fs)
+    });
+    match checked {
+        Ok((functions, capped, findings)) => {
+            let mut errors = Vec::new();
+            if let Some(first) = capped.first() {
+                errors.push(CachedError {
+                    kind: UnitErrorKind::GraphBlowup,
+                    detail: first.to_string(),
+                });
+            }
+            CheckedUnit {
+                findings,
+                functions,
+                errors,
+            }
+        }
+        Err(msg) => CheckedUnit {
+            findings: Vec::new(),
+            functions: 0,
+            errors: vec![CachedError {
+                kind: UnitErrorKind::CheckPanic,
+                detail: format!("check panicked: {msg}"),
+            }],
+        },
     }
 }
 
@@ -320,15 +491,32 @@ impl UnitState {
 /// assert!(report.diagnostics.is_clean());
 /// ```
 pub fn audit(project: &Project, config: &AuditConfig) -> AuditReport {
+    audit_with_cache(project, config, &mut AuditCache::new())
+}
+
+/// Runs the full audit through an explicit [`AuditCache`].
+///
+/// The first run over a tree populates the cache; later runs through
+/// the *same* cache skip every stage whose inputs are unchanged. The
+/// report is byte-identical to [`audit`]'s — caching only changes which
+/// work executes, never its result — and [`AuditReport::cache`] records
+/// this run's hits and misses.
+pub fn audit_with_cache(
+    project: &Project,
+    config: &AuditConfig,
+    cache: &mut AuditCache,
+) -> AuditReport {
+    cache.reset_stats();
     let limits = &config.limits;
     let parse_limits = ParseLimits {
         max_tokens: limits.max_tokens,
         max_depth: limits.max_parse_depth,
     };
+    let units = project.units();
+    let n = units.len();
 
     // Scan-time problems (unreadable/oversize files never became
     // units; non-UTF-8 units are in the project, decoded lossily).
-    let mut states: Vec<UnitState> = Vec::with_capacity(project.units().len());
     let mut scan_skipped: Vec<UnitDiagnostic> = Vec::new();
     for d in project.scan_diagnostics() {
         match d.kind {
@@ -356,121 +544,136 @@ pub fn audit(project: &Project, config: &AuditConfig) -> AuditReport {
         .map(|d| d.path.as_str())
         .collect();
 
-    // Stage 1: lex + parse each unit inside the boundary.
-    let mut defines: Vec<MacroDef> = Vec::new();
-    let mut lines = 0usize;
-    for unit in project.units() {
-        let mut st = UnitState {
-            path: unit.path.clone(),
-            tu: None,
-            errors: Vec::new(),
-            detail: String::new(),
-        };
-        if non_utf8.contains(unit.path.as_str()) {
-            st.push(UnitErrorKind::NonUtf8, "decoded lossily");
-        }
-        if unit.text.len() > limits.max_file_bytes {
-            st.push(
-                UnitErrorKind::Oversize,
-                format!(
-                    "{} bytes exceeds the {}-byte cap",
-                    unit.text.len(),
-                    limits.max_file_bytes
-                ),
-            );
-            states.push(st);
-            continue;
-        }
-        lines += unit.text.lines().count();
-        let parsed = fault_boundary(|| {
-            let defs = scan_defines(&unit.text);
-            let out = parse_str_limited(&unit.path, &unit.text, &parse_limits);
-            (defs, out)
-        });
-        match parsed {
-            Ok((defs, out)) => {
-                defines.extend(defs);
-                if let Some(first) = out.lex_errors.first() {
-                    st.push(
-                        UnitErrorKind::LexNoise,
-                        format!("{} lex error(s), first: {first}", out.lex_errors.len()),
-                    );
-                }
-                if out.truncated {
-                    st.push(
-                        UnitErrorKind::TokenCap,
-                        format!("token stream truncated at {}", parse_limits.max_tokens),
-                    );
-                }
-                if out.depth_capped {
-                    st.push(
-                        UnitErrorKind::ParseDepth,
-                        format!("nesting exceeded depth {}", parse_limits.max_depth),
-                    );
-                }
-                st.tu = Some(out.unit);
+    // Per-unit cache keys: content hash mixed with the parse-stage
+    // configuration. Hashing is pure per-unit work, so it fans out too.
+    let parse_cfg = parse_config_fingerprint(config);
+    let unit_keys: Vec<u64> =
+        run_indexed(units, config.jobs, |_, u| mix(content_hash(&u.text), parse_cfg));
+
+    // Tree fingerprint: every unit's path and key, plus the discovery
+    // configuration. Known before any parsing, which lets the parse
+    // stage decide up front whether ASTs must be materialized for a
+    // discovery re-run.
+    let mut tree_fp = discovery_config_fingerprint(config);
+    for (u, k) in units.iter().zip(&unit_keys) {
+        tree_fp = mix(tree_fp, fnv1a(u.path.as_bytes()));
+        tree_fp = mix(tree_fp, *k);
+    }
+    let discovery_pending = config.discover_apis && !cache.discovery_contains(tree_fp);
+
+    // Stage 1: lex + parse, work-stealing across workers, each unit
+    // inside its own fault boundary. A cached entry is reusable unless
+    // it lacks a retained AST (disk-loaded) while a discovery re-run is
+    // about to need one.
+    let mut parsed: Vec<Option<Arc<ParsedUnit>>> = (0..n).map(|_| None).collect();
+    let mut parse_todo: Vec<usize> = Vec::new();
+    for i in 0..n {
+        match cache.parse_peek(unit_keys[i]) {
+            Some(p) if !(discovery_pending && p.parsed_ok && p.tu.is_none()) => {
+                parsed[i] = cache.parse_get(unit_keys[i]);
             }
-            Err(msg) => {
-                st.push(UnitErrorKind::LexPanic, format!("parse panicked: {msg}"));
-            }
+            _ => parse_todo.push(i),
         }
-        states.push(st);
+    }
+    let parsed_new = run_indexed(&parse_todo, config.jobs, |_, &i| {
+        parse_unit(&units[i], limits, &parse_limits)
+    });
+    for (&i, p) in parse_todo.iter().zip(parsed_new) {
+        parsed[i] = Some(cache.parse_put(unit_keys[i], p));
     }
 
     // Knowledge base: builtin, optionally extended by discovery. The
     // discovery pass sees all units at once, so it gets its own
     // boundary: if a degraded unit trips it, fall back to the builtin
     // KB rather than losing the audit.
-    let tus: Vec<&TranslationUnit> = states.iter().filter_map(|s| s.tu.as_ref()).collect();
-    let kb = if config.discover_apis {
-        let owned: Vec<TranslationUnit> = tus.iter().map(|t| (*t).clone()).collect();
+    let kb: Arc<ApiKb> = if !config.discover_apis {
+        Arc::new(ApiKb::builtin())
+    } else if let Some(kb) = cache.discovery_get(tree_fp) {
+        kb
+    } else {
+        let tus: Vec<&TranslationUnit> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref()?.tu.as_ref())
+            .collect();
+        let defines: Vec<MacroDef> = parsed
+            .iter()
+            .flat_map(|p| p.as_ref().unwrap().defines.iter().cloned())
+            .collect();
         let nesting_threshold = config.nesting_threshold;
-        fault_boundary(move || {
+        let discovered = fault_boundary(|| {
             let d = discover(
-                &owned,
+                &tus,
                 &defines,
                 &ApiKb::builtin(),
                 &DiscoverConfig { nesting_threshold },
             );
             d.into_kb(ApiKb::builtin())
         })
-        .unwrap_or_else(|_| ApiKb::builtin())
-    } else {
-        ApiKb::builtin()
+        .unwrap_or_else(|_| ApiKb::builtin());
+        cache.discovery_put(tree_fp, discovered)
     };
 
-    // Stage 2: graph + check each unit inside the boundary.
-    let mut findings = Vec::new();
-    let mut functions = 0usize;
-    for st in &mut states {
-        let Some(tu) = st.tu.as_ref() else { continue };
-        let checked = fault_boundary(|| {
-            let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
-            let fs = check_unit_with_graphs(tu, &kb, &graphs);
-            (graphs.len(), capped, fs)
-        });
-        match checked {
-            Ok((n, capped, fs)) => {
-                functions += n;
-                if let Some(first) = capped.first() {
-                    st.push(UnitErrorKind::GraphBlowup, first.to_string());
-                }
-                findings.extend(fs);
-            }
-            Err(msg) => {
-                st.push(UnitErrorKind::CheckPanic, format!("check panicked: {msg}"));
-            }
+    // Stage 2: graph + check, keyed additionally by the KB fingerprint
+    // — a changed KB (say, a newly discovered API) re-checks everything,
+    // as any unit might call it.
+    let kb_fp = mix(kb_fingerprint(&kb), check_config_fingerprint(config));
+    let mut checked: Vec<Option<Arc<CheckedUnit>>> = (0..n).map(|_| None).collect();
+    let mut check_todo: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if !parsed[i].as_ref().unwrap().parsed_ok {
+            continue;
+        }
+        match cache.check_get(unit_keys[i], kb_fp) {
+            Some(c) => checked[i] = Some(c),
+            None => check_todo.push(i),
         }
     }
-    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    let checked_new = run_indexed(&check_todo, config.jobs, |_, &i| {
+        check_one(
+            &units[i],
+            parsed[i].as_ref().unwrap(),
+            &kb,
+            limits,
+            &parse_limits,
+        )
+    });
+    for (&i, c) in check_todo.iter().zip(checked_new) {
+        checked[i] = Some(cache.check_put(unit_keys[i], kb_fp, c));
+    }
 
-    // Fold the per-unit states into the diagnostics summary.
+    // Merge, in unit index order, exactly as the sequential pipeline
+    // would have: findings concatenated then canonically sorted, error
+    // details taking the first-recorded value per unit.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut functions = 0usize;
+    let mut lines = 0usize;
     let mut diagnostics = AuditDiagnostics::default();
     for d in scan_skipped {
         diagnostics.skipped += 1;
         diagnostics.units.push(d);
     }
-    for st in states {
+    for i in 0..n {
+        let p = parsed[i].as_ref().unwrap();
+        lines += p.lines;
+        let mut st = UnitState {
+            path: units[i].path.clone(),
+            analyzed: p.parsed_ok,
+            errors: Vec::new(),
+            detail: String::new(),
+        };
+        if non_utf8.contains(units[i].path.as_str()) {
+            st.push(UnitErrorKind::NonUtf8, "decoded lossily");
+        }
+        for e in &p.errors {
+            st.push(e.kind, e.detail.clone());
+        }
+        if let Some(c) = &checked[i] {
+            functions += c.functions;
+            findings.extend(c.findings.iter().cloned());
+            for e in &c.errors {
+                st.push(e.kind, e.detail.clone());
+            }
+        }
         let outcome = st.outcome();
         match outcome {
             UnitOutcome::Ok => diagnostics.ok += 1,
@@ -488,15 +691,17 @@ pub fn audit(project: &Project, config: &AuditConfig) -> AuditReport {
             });
         }
     }
+    sort_findings_canonical(&mut findings);
     diagnostics.units.sort_by(|a, b| a.path.cmp(&b.path));
 
     AuditReport {
         findings,
-        files: project.units().len(),
+        files: n,
         functions,
         lines,
-        kb,
+        kb: (*kb).clone(),
         diagnostics,
+        cache: cache.stats,
     }
 }
 

@@ -1,0 +1,277 @@
+//! The `benchpipe` tool: measure the audit pipeline's parallel speedup
+//! and incremental-cache behavior on a synthetic tree, and write the
+//! numbers to a JSON report.
+//!
+//! ```text
+//! benchpipe [OPTIONS]
+//!
+//! OPTIONS:
+//!     --scale <F>   tree scale factor (default 1.0, ~350 files)
+//!     --jobs <N>    parallel worker count (default: one per CPU)
+//!     --edits <N>   files edited for the incremental run (default 1)
+//!     --reps <N>    repetitions per configuration, best kept (default 3)
+//!     --out <FILE>  JSON report path (default BENCH_pipeline.json)
+//!     --check       enforce the speedup gates (exit 1 on failure)
+//!     -h, --help    print this help
+//! ```
+//!
+//! Four configurations run against the same tree:
+//!
+//! 1. `cold_jobs1` — empty cache, one worker: the historical baseline.
+//! 2. `cold_jobsN` — empty cache, `--jobs` workers: parallel speedup.
+//! 3. `warm` — the cache from run 2, unchanged tree: pure cache replay.
+//! 4. `incremental` — `--edits` files mutated, warm cache: only the
+//!    edited units re-run.
+//!
+//! With `--check`, the warm run must be ≥5× faster than cold at the
+//! same job count, and the incremental run must re-parse exactly the
+//! edited units. The ≥2× parallel gate only applies on machines with
+//! at least four hardware threads — below that the scheduler has
+//! nothing to win.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use refminer::corpus::{generate_tree, next_revision, TreeConfig};
+use refminer::parallel::effective_jobs;
+use refminer::{audit_with_cache, AuditCache, AuditConfig, AuditReport, Project};
+use refminer_json::{obj, ToJson, Value};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchpipe [--scale F] [--jobs N] [--edits N] [--reps N] [--out FILE] [--check]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    scale: f64,
+    jobs: usize,
+    edits: usize,
+    reps: usize,
+    out: PathBuf,
+    check: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: 1.0,
+        jobs: 0,
+        edits: 1,
+        reps: 3,
+        out: PathBuf::from("BENCH_pipeline.json"),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("benchpipe: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--scale" => match num("--scale").parse() {
+                Ok(v) => opts.scale = v,
+                Err(_) => usage(),
+            },
+            "--jobs" => match num("--jobs").parse() {
+                Ok(v) => opts.jobs = v,
+                Err(_) => usage(),
+            },
+            "--edits" => match num("--edits").parse() {
+                Ok(v) => opts.edits = v,
+                Err(_) => usage(),
+            },
+            "--reps" => match num("--reps").parse::<usize>() {
+                Ok(v) if v > 0 => opts.reps = v,
+                _ => usage(),
+            },
+            "--out" => opts.out = PathBuf::from(num("--out")),
+            "--check" => opts.check = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("benchpipe: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+/// One timed configuration: best-of-`reps` wall time plus the report
+/// of the final repetition.
+struct Measured {
+    secs: f64,
+    report: AuditReport,
+}
+
+fn measure(
+    reps: usize,
+    project: &Project,
+    config: &AuditConfig,
+    mut cache_for_rep: impl FnMut() -> AuditCache,
+) -> (Measured, AuditCache) {
+    let mut best = f64::INFINITY;
+    let mut last: Option<(AuditReport, AuditCache)> = None;
+    for _ in 0..reps {
+        let mut cache = cache_for_rep();
+        let t = Instant::now();
+        let report = audit_with_cache(project, config, &mut cache);
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some((report, cache));
+    }
+    let (report, cache) = last.expect("reps > 0");
+    (Measured { secs: best, report }, cache)
+}
+
+fn run_json(name: &str, m: &Measured, files: usize) -> (String, Value) {
+    (
+        name.to_string(),
+        obj([
+            ("secs", m.secs.to_json()),
+            ("units_per_sec", (files as f64 / m.secs.max(1e-9)).to_json()),
+            ("findings", m.report.findings.len().to_json()),
+            ("cache", m.report.cache.to_json()),
+        ]),
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let jobs = effective_jobs(opts.jobs).max(2);
+    let cores = effective_jobs(0);
+
+    let tree = generate_tree(&TreeConfig {
+        scale: opts.scale,
+        bugs_per_file: 1,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let files = tree.files.len();
+    let project = Project::from_tree(&tree);
+    eprintln!("benchpipe: {} files, jobs={jobs}, cores={cores}, reps={}", files, opts.reps);
+
+    let seq_cfg = AuditConfig {
+        discover_apis: true,
+        jobs: 1,
+        ..Default::default()
+    };
+    let par_cfg = AuditConfig {
+        jobs,
+        ..seq_cfg.clone()
+    };
+
+    // 1. Cold, one worker: fresh cache every repetition.
+    let (cold_seq, _) = measure(opts.reps, &project, &seq_cfg, AuditCache::new);
+    // 2. Cold, N workers.
+    let (cold_par, warm_cache) = measure(opts.reps, &project, &par_cfg, AuditCache::new);
+    // 3. Warm: replay the cache from run 2 against the unchanged tree.
+    let mut warm_cache = warm_cache;
+    let (warm, warm_cache) = {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..opts.reps {
+            let t = Instant::now();
+            report = Some(audit_with_cache(&project, &par_cfg, &mut warm_cache));
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (
+            Measured {
+                secs: best,
+                report: report.expect("reps > 0"),
+            },
+            warm_cache,
+        )
+    };
+    // 4. Incremental: edit `--edits` files, reuse the warm cache.
+    let (rev, edited) = next_revision(&tree, 0xBE7C4, opts.edits);
+    let rev_project = Project::from_tree(&rev);
+    let mut incr_cache = warm_cache;
+    let t = Instant::now();
+    let incr_report = audit_with_cache(&rev_project, &par_cfg, &mut incr_cache);
+    let incremental = Measured {
+        secs: t.elapsed().as_secs_f64(),
+        report: incr_report,
+    };
+
+    // Sanity: the numbers are only worth reporting if the outputs agree.
+    if cold_seq.report.findings != cold_par.report.findings
+        || cold_par.report.findings != warm.report.findings
+    {
+        eprintln!("benchpipe: FAIL: findings diverged between configurations");
+        return ExitCode::FAILURE;
+    }
+
+    let speedup_parallel = cold_seq.secs / cold_par.secs.max(1e-9);
+    let speedup_warm = cold_par.secs / warm.secs.max(1e-9);
+    let warm_hit_rate = warm.report.cache.hit_rate();
+
+    let report = obj([
+        ("files", files.to_json()),
+        ("lines", cold_seq.report.lines.to_json()),
+        ("jobs", jobs.to_json()),
+        ("cores", cores.to_json()),
+        ("reps", opts.reps.to_json()),
+        ("edits", edited.len().to_json()),
+        (
+            "runs",
+            Value::Obj(vec![
+                run_json("cold_jobs1", &cold_seq, files),
+                run_json(&format!("cold_jobs{jobs}"), &cold_par, files),
+                run_json("warm", &warm, files),
+                run_json("incremental", &incremental, files),
+            ]),
+        ),
+        ("speedup_parallel", speedup_parallel.to_json()),
+        ("speedup_warm", speedup_warm.to_json()),
+        ("warm_hit_rate", warm_hit_rate.to_json()),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, format!("{}\n", report.to_string_pretty())) {
+        eprintln!("benchpipe: cannot write {}: {e}", opts.out.display());
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "benchpipe: cold x1 {:.3}s | cold x{jobs} {:.3}s ({speedup_parallel:.2}x) | \
+         warm {:.4}s ({speedup_warm:.1}x, {:.0}% hits) | incremental {:.4}s",
+        cold_seq.secs,
+        cold_par.secs,
+        warm.secs,
+        warm_hit_rate * 100.0,
+        incremental.secs,
+    );
+    println!("{}", opts.out.display());
+
+    if opts.check {
+        let mut failed = false;
+        if warm.report.cache.parse_misses != 0 || warm.report.cache.check_misses != 0 {
+            eprintln!("benchpipe: FAIL: warm run recomputed cached units");
+            failed = true;
+        }
+        if speedup_warm < 5.0 {
+            eprintln!("benchpipe: FAIL: warm speedup {speedup_warm:.2}x < 5x");
+            failed = true;
+        }
+        if incremental.report.cache.parse_misses != edited.len() {
+            eprintln!(
+                "benchpipe: FAIL: incremental run re-parsed {} units, expected {}",
+                incremental.report.cache.parse_misses,
+                edited.len()
+            );
+            failed = true;
+        }
+        if cores >= 4 && jobs >= 4 && speedup_parallel < 2.0 {
+            eprintln!("benchpipe: FAIL: parallel speedup {speedup_parallel:.2}x < 2x on {cores} cores");
+            failed = true;
+        } else if cores < 4 {
+            eprintln!("benchpipe: note: {cores} core(s) — parallel gate not applicable");
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("benchpipe: CHECK PASS");
+    }
+    ExitCode::SUCCESS
+}

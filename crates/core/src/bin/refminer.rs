@@ -13,6 +13,8 @@
 //!     --stats                  print per-pattern/per-impact summaries
 //!     --strict                 exit 3 if any unit was degraded/skipped
 //!     --max-file-bytes <N>     skip files larger than N bytes
+//!     --jobs <N>               worker threads (0 = one per CPU, default)
+//!     --cache-dir <DIR>        persist per-unit results across runs
 //!     -h, --help               print this help
 //! ```
 //!
@@ -24,7 +26,7 @@ use std::process::ExitCode;
 
 use refminer::checkers::{AntiPattern, Impact};
 use refminer::report::Table;
-use refminer::{audit, AuditConfig, AuditLimits, Project, ScanOptions};
+use refminer::{audit_with_cache, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions};
 use refminer_json::{obj, ToJson, Value};
 
 struct Options {
@@ -37,13 +39,15 @@ struct Options {
     stats: bool,
     strict: bool,
     max_file_bytes: Option<u64>,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: refminer [--pattern P4,P8] [--impact leak,uaf,npd] \
          [--json|--csv] [--no-discovery] [--stats] [--strict] \
-         [--max-file-bytes N] <PATH>"
+         [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
     );
     std::process::exit(2);
 }
@@ -74,6 +78,8 @@ fn parse_args() -> Options {
         stats: false,
         strict: false,
         max_file_bytes: None,
+        jobs: 0,
+        cache_dir: None,
     };
     let mut args = std::env::args().skip(1);
     let mut path: Option<PathBuf> = None;
@@ -85,6 +91,20 @@ fn parse_args() -> Options {
             "--no-discovery" => opts.discovery = false,
             "--stats" => opts.stats = true,
             "--strict" => opts.strict = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<usize>() {
+                    Ok(n) => opts.jobs = n,
+                    Err(_) => {
+                        eprintln!("--jobs needs a non-negative integer, got `{value}`");
+                        usage();
+                    }
+                }
+            }
+            "--cache-dir" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                opts.cache_dir = Some(PathBuf::from(value));
+            }
             "--max-file-bytes" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 match value.parse::<u64>() {
@@ -155,14 +175,25 @@ fn main() -> ExitCode {
     if let Some(n) = opts.max_file_bytes {
         limits.max_file_bytes = n as usize;
     }
-    let report = audit(
+    let mut cache = match &opts.cache_dir {
+        Some(dir) => AuditCache::with_dir(dir),
+        None => AuditCache::new(),
+    };
+    let report = audit_with_cache(
         &project,
         &AuditConfig {
             discover_apis: opts.discovery,
             limits,
+            jobs: opts.jobs,
             ..Default::default()
         },
+        &mut cache,
     );
+    if opts.cache_dir.is_some() {
+        if let Err(e) = cache.save() {
+            eprintln!("refminer: warning: could not write cache: {e}");
+        }
+    }
     let findings: Vec<_> = report
         .findings
         .iter()
@@ -258,6 +289,13 @@ fn main() -> ExitCode {
         eprintln!(
             "units: {} ok, {} degraded, {} skipped",
             d.ok, d.degraded, d.skipped
+        );
+        let c = &report.cache;
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), hit rate {:.0}%",
+            c.parse_hits + c.check_hits,
+            c.parse_misses + c.check_misses,
+            c.hit_rate() * 100.0
         );
         if !d.is_clean() {
             for (kind, count) in d.by_kind() {

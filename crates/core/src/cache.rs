@@ -1,0 +1,861 @@
+//! The incremental audit cache: content-hashed per-unit results.
+//!
+//! Re-auditing a tree where little or nothing changed is the common
+//! case for a checker that runs on every commit. The pipeline's unit
+//! work is pure — the same file text under the same configuration and
+//! knowledge base always produces the same parse, the same graphs and
+//! the same findings — so results are memoizable by content hash alone;
+//! no timestamps, no filesystem metadata.
+//!
+//! Three layers, because the stages have different invalidation scopes:
+//!
+//! - **Parse layer** — keyed by `(content hash, parse limits)`. Holds
+//!   the unit's macro defines, line count, parse-stage diagnostics and
+//!   (in memory) the parsed [`TranslationUnit`] itself.
+//! - **Discovery layer** — keyed by a *tree fingerprint* folding every
+//!   unit's key, so touching any file re-runs cross-unit API discovery.
+//!   Holds the resulting [`ApiKb`].
+//! - **Check layer** — keyed by `(unit key, KB fingerprint)`. Holds the
+//!   unit's findings, function count and check-stage diagnostics.
+//!   Editing one file changes only that file's unit key, so exactly one
+//!   entry invalidates; a KB change (new discovered API) invalidates
+//!   every unit, as it must — any unit might call the new API.
+//!
+//! With [`AuditCache::with_dir`] the check and discovery layers persist
+//! across processes as JSON (ASTs are not serialized; the parse layer
+//! persists its *metadata* only). A fully-warm disk cache therefore
+//! still skips lexing, parsing and checking outright. The trade-off: a
+//! disk-warm run that *does* need discovery re-run (one file changed)
+//! must re-parse units whose ASTs were not kept in memory.
+//!
+//! Keys fold in every configuration input that can change the stage's
+//! output — resource limits, the nesting threshold, the checker-set
+//! fingerprint, the builtin-KB fingerprint — so a stale cache can be
+//! *unused*, never *wrong*.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use refminer_checkers::{checker_set_fingerprint, AntiPattern, Finding, Impact};
+use refminer_clex::MacroDef;
+use refminer_cparse::TranslationUnit;
+use refminer_json::{obj, ToJson, Value};
+use refminer_rcapi::{ApiKb, ObjectFlow, RcApi, RcClass, RcDir, SmartLoop};
+
+use crate::audit::{AuditConfig, UnitErrorKind};
+
+// ----------------------------------------------------------------------
+// Hashing and fingerprints.
+// ----------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice. Fast, dependency-free, and stable across
+/// platforms and runs — exactly what cache keys need (`DefaultHasher`
+/// makes no cross-version guarantee).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content hash of a source file's text.
+pub fn content_hash(text: &str) -> u64 {
+    fnv1a(text.as_bytes())
+}
+
+/// Folds another word into an FNV-1a state; used to mix content hashes
+/// with configuration fingerprints.
+pub fn mix(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of the parse-stage configuration.
+pub fn parse_config_fingerprint(config: &AuditConfig) -> u64 {
+    let l = &config.limits;
+    let mut h = FNV_OFFSET;
+    h = mix(h, l.max_file_bytes as u64);
+    h = mix(h, l.max_tokens as u64);
+    h = mix(h, l.max_parse_depth as u64);
+    h
+}
+
+/// Fingerprint of the check-stage configuration.
+pub fn check_config_fingerprint(config: &AuditConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, config.limits.max_graph_nodes as u64);
+    h = mix(h, checker_set_fingerprint());
+    h
+}
+
+/// Fingerprint of the discovery configuration, including the builtin
+/// seed KB so a binary with a different seed never reuses old results.
+pub fn discovery_config_fingerprint(config: &AuditConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, config.nesting_threshold as u64);
+    h = mix(h, kb_fingerprint(&ApiKb::builtin()));
+    h
+}
+
+/// Deterministic fingerprint of a knowledge base: APIs and smartloops
+/// serialized in sorted-name order, hashed. Two KBs with equal content
+/// fingerprint identically regardless of hash-map iteration order.
+pub fn kb_fingerprint(kb: &ApiKb) -> u64 {
+    fnv1a(kb_to_json(kb).to_string().as_bytes())
+}
+
+// ----------------------------------------------------------------------
+// Cached per-unit results.
+// ----------------------------------------------------------------------
+
+/// One diagnostic recorded by a cached stage, in push order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedError {
+    /// The taxonomy kind.
+    pub kind: UnitErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// The parse stage's result for one unit.
+#[derive(Debug, Clone)]
+pub struct ParsedUnit {
+    /// The parsed AST. `None` when parsing failed (panic/oversize) —
+    /// see [`ParsedUnit::parsed_ok`] — or when the entry was loaded
+    /// from disk, where ASTs are not persisted.
+    pub tu: Option<TranslationUnit>,
+    /// Whether parsing produced a usable (possibly degraded) AST. When
+    /// `true` but [`ParsedUnit::tu`] is `None`, re-parsing the same
+    /// text reproduces it.
+    pub parsed_ok: bool,
+    /// `#define`s scanned from the unit, for smartloop discovery.
+    pub defines: Vec<MacroDef>,
+    /// Parse-stage diagnostics in the order they were recorded.
+    pub errors: Vec<CachedError>,
+    /// Source lines in the unit (0 for oversize-skipped units, which
+    /// never count toward the audit's line total).
+    pub lines: usize,
+}
+
+/// The check stage's result for one unit.
+#[derive(Debug, Clone, Default)]
+pub struct CheckedUnit {
+    /// Findings from this unit, in checker emission order.
+    pub findings: Vec<Finding>,
+    /// Functions analyzed.
+    pub functions: usize,
+    /// Check-stage diagnostics in the order they were recorded.
+    pub errors: Vec<CachedError>,
+}
+
+/// Hit/miss counters for one audit run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Units whose parse-stage result was served from cache.
+    pub parse_hits: usize,
+    /// Units that were lexed and parsed this run.
+    pub parse_misses: usize,
+    /// Units whose findings were served from cache.
+    pub check_hits: usize,
+    /// Units that were graphed and checked this run.
+    pub check_misses: usize,
+    /// Cross-unit discovery passes served from cache (0 or 1 per run).
+    pub discovery_hits: usize,
+    /// Cross-unit discovery passes executed this run (0 or 1).
+    pub discovery_misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of per-unit lookups served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.parse_hits + self.check_hits;
+        let total = hits + self.parse_misses + self.check_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Value {
+        obj([
+            ("parse_hits", self.parse_hits.to_json()),
+            ("parse_misses", self.parse_misses.to_json()),
+            ("check_hits", self.check_hits.to_json()),
+            ("check_misses", self.check_misses.to_json()),
+            ("discovery_hits", self.discovery_hits.to_json()),
+            ("discovery_misses", self.discovery_misses.to_json()),
+            ("hit_rate", self.hit_rate().to_json()),
+        ])
+    }
+}
+
+// ----------------------------------------------------------------------
+// The cache proper.
+// ----------------------------------------------------------------------
+
+/// The three-layer audit cache. See the module docs for the layering
+/// and invalidation rules.
+#[derive(Debug, Default)]
+pub struct AuditCache {
+    parse: HashMap<u64, Arc<ParsedUnit>>,
+    check: HashMap<(u64, u64), Arc<CheckedUnit>>,
+    discovery: HashMap<u64, Arc<ApiKb>>,
+    /// Counters for the current (or most recent) audit run; reset by
+    /// each `audit_with_cache` call.
+    pub stats: CacheStats,
+    dir: Option<PathBuf>,
+}
+
+/// File name of the persisted cache inside `--cache-dir`.
+pub const CACHE_FILE: &str = "audit-cache.json";
+
+/// On-disk format version; bump on any incompatible change. A file
+/// with a different version is ignored wholesale.
+const CACHE_VERSION: u64 = 1;
+
+impl AuditCache {
+    /// An empty, memory-only cache.
+    pub fn new() -> AuditCache {
+        AuditCache::default()
+    }
+
+    /// A cache persisted under `dir`, pre-loaded from
+    /// `dir/audit-cache.json` when that file exists and parses. A
+    /// missing, malformed or version-mismatched file yields an empty
+    /// cache — persistence failures degrade to cold runs, never to
+    /// errors.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> AuditCache {
+        let dir = dir.into();
+        let mut cache = AuditCache::new();
+        if let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE)) {
+            if let Ok(v) = Value::parse(&text) {
+                cache.load_from(&v);
+            }
+        }
+        cache.dir = Some(dir);
+        cache
+    }
+
+    /// Resets the per-run hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Parse-layer lookup without touching the stats; used when the
+    /// caller may decline the hit (a disk-loaded entry carries no AST,
+    /// which is not enough when discovery must re-run).
+    pub(crate) fn parse_peek(&self, key: u64) -> Option<Arc<ParsedUnit>> {
+        self.parse.get(&key).cloned()
+    }
+
+    /// Parse-layer lookup; counts a hit.
+    pub(crate) fn parse_get(&mut self, key: u64) -> Option<Arc<ParsedUnit>> {
+        let hit = self.parse.get(&key).cloned();
+        if hit.is_some() {
+            self.stats.parse_hits += 1;
+        }
+        hit
+    }
+
+    /// Parse-layer insert; counts the miss that required it.
+    pub(crate) fn parse_put(&mut self, key: u64, unit: ParsedUnit) -> Arc<ParsedUnit> {
+        self.stats.parse_misses += 1;
+        let arc = Arc::new(unit);
+        self.parse.insert(key, arc.clone());
+        arc
+    }
+
+    /// Check-layer lookup; counts a hit.
+    pub(crate) fn check_get(&mut self, unit_key: u64, kb_fp: u64) -> Option<Arc<CheckedUnit>> {
+        let hit = self.check.get(&(unit_key, kb_fp)).cloned();
+        if hit.is_some() {
+            self.stats.check_hits += 1;
+        }
+        hit
+    }
+
+    /// Check-layer insert; counts the miss that required it.
+    pub(crate) fn check_put(
+        &mut self,
+        unit_key: u64,
+        kb_fp: u64,
+        unit: CheckedUnit,
+    ) -> Arc<CheckedUnit> {
+        self.stats.check_misses += 1;
+        let arc = Arc::new(unit);
+        self.check.insert((unit_key, kb_fp), arc.clone());
+        arc
+    }
+
+    /// Discovery-layer lookup; counts a hit.
+    pub(crate) fn discovery_get(&mut self, tree_fp: u64) -> Option<Arc<ApiKb>> {
+        let hit = self.discovery.get(&tree_fp).cloned();
+        if hit.is_some() {
+            self.stats.discovery_hits += 1;
+        }
+        hit
+    }
+
+    /// Discovery-layer insert; counts the miss that required it.
+    pub(crate) fn discovery_put(&mut self, tree_fp: u64, kb: ApiKb) -> Arc<ApiKb> {
+        self.stats.discovery_misses += 1;
+        let arc = Arc::new(kb);
+        self.discovery.insert(tree_fp, arc.clone());
+        arc
+    }
+
+    /// Whether the discovery layer already holds this tree fingerprint
+    /// (no stats side effect).
+    pub(crate) fn discovery_contains(&self, tree_fp: u64) -> bool {
+        self.discovery.contains_key(&tree_fp)
+    }
+
+    /// Entries per layer: `(parse, check, discovery)`.
+    pub fn len(&self) -> (usize, usize, usize) {
+        (self.parse.len(), self.check.len(), self.discovery.len())
+    }
+
+    /// Whether all layers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.parse.is_empty() && self.check.is_empty() && self.discovery.is_empty()
+    }
+
+    /// Writes the persistable layers to `dir/audit-cache.json`. A
+    /// no-op for memory-only caches.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut parse: Vec<(u64, &Arc<ParsedUnit>)> =
+            self.parse.iter().map(|(k, v)| (*k, v)).collect();
+        parse.sort_by_key(|(k, _)| *k);
+        let mut check: Vec<(&(u64, u64), &Arc<CheckedUnit>)> = self.check.iter().collect();
+        check.sort_by_key(|(k, _)| **k);
+        let mut disc: Vec<(u64, &Arc<ApiKb>)> =
+            self.discovery.iter().map(|(k, v)| (*k, v)).collect();
+        disc.sort_by_key(|(k, _)| *k);
+
+        let doc = obj([
+            ("version", CACHE_VERSION.to_json()),
+            (
+                "parse",
+                Value::Arr(
+                    parse
+                        .iter()
+                        .map(|(k, p)| {
+                            obj([
+                                ("key", hex(*k)),
+                                ("parsed_ok", p.parsed_ok.to_json()),
+                                ("lines", p.lines.to_json()),
+                                ("errors", errors_to_json(&p.errors)),
+                                (
+                                    "defines",
+                                    Value::Arr(p.defines.iter().map(macro_to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "check",
+                Value::Arr(
+                    check
+                        .iter()
+                        .map(|((uk, kb), c)| {
+                            obj([
+                                ("unit", hex(*uk)),
+                                ("kb", hex(*kb)),
+                                ("functions", c.functions.to_json()),
+                                ("findings", c.findings.to_json()),
+                                ("errors", errors_to_json(&c.errors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "discovery",
+                Value::Arr(
+                    disc.iter()
+                        .map(|(k, kb)| obj([("tree", hex(*k)), ("kb", kb_to_json(kb))]))
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(dir.join(CACHE_FILE), doc.to_string())
+    }
+
+    /// Merges a parsed cache file into the in-memory maps, skipping
+    /// anything malformed.
+    fn load_from(&mut self, v: &Value) {
+        if v.get("version").and_then(Value::as_u64) != Some(CACHE_VERSION) {
+            return;
+        }
+        for entry in v.get("parse").and_then(Value::as_array).unwrap_or(&[]) {
+            let Some(key) = entry.get("key").and_then(unhex) else {
+                continue;
+            };
+            let Some(parsed_ok) = entry.get("parsed_ok").and_then(Value::as_bool) else {
+                continue;
+            };
+            let lines = entry.get("lines").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let Some(errors) = entry.get("errors").map(errors_from_json) else {
+                continue;
+            };
+            let defines: Option<Vec<MacroDef>> = entry
+                .get("defines")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(macro_from_json).collect());
+            let Some(defines) = defines else { continue };
+            self.parse.insert(
+                key,
+                Arc::new(ParsedUnit {
+                    tu: None,
+                    parsed_ok,
+                    defines,
+                    errors,
+                    lines,
+                }),
+            );
+        }
+        for entry in v.get("check").and_then(Value::as_array).unwrap_or(&[]) {
+            let (Some(uk), Some(kb)) = (
+                entry.get("unit").and_then(unhex),
+                entry.get("kb").and_then(unhex),
+            ) else {
+                continue;
+            };
+            let functions = entry.get("functions").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let findings: Option<Vec<Finding>> = entry
+                .get("findings")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().map(finding_from_json).collect::<Option<_>>())
+                .unwrap_or(Some(Vec::new()));
+            let Some(findings) = findings else { continue };
+            let Some(errors) = entry.get("errors").map(errors_from_json) else {
+                continue;
+            };
+            self.check.insert(
+                (uk, kb),
+                Arc::new(CheckedUnit {
+                    findings,
+                    functions,
+                    errors,
+                }),
+            );
+        }
+        for entry in v.get("discovery").and_then(Value::as_array).unwrap_or(&[]) {
+            let Some(tree) = entry.get("tree").and_then(unhex) else {
+                continue;
+            };
+            let Some(kb) = entry.get("kb").and_then(kb_from_json) else {
+                continue;
+            };
+            self.discovery.insert(tree, Arc::new(kb));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// JSON (de)serialization helpers.
+// ----------------------------------------------------------------------
+//
+// `refminer-json` stores numbers as f64, which cannot represent every
+// u64; keys are therefore written as fixed-width hex strings.
+
+fn hex(k: u64) -> Value {
+    Value::Str(format!("{k:016x}"))
+}
+
+fn unhex(v: &Value) -> Option<u64> {
+    u64::from_str_radix(v.as_str()?, 16).ok()
+}
+
+fn errors_to_json(errors: &[CachedError]) -> Value {
+    Value::Arr(
+        errors
+            .iter()
+            .map(|e| {
+                obj([
+                    ("kind", Value::Str(e.kind.name().to_string())),
+                    ("detail", e.detail.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn errors_from_json(v: &Value) -> Vec<CachedError> {
+    v.as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|e| {
+            Some(CachedError {
+                kind: UnitErrorKind::from_name(e.get("kind")?.as_str()?)?,
+                detail: e.get("detail")?.as_str()?.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn macro_to_json(m: &MacroDef) -> Value {
+    obj([
+        ("name", m.name.to_json()),
+        (
+            "params",
+            match &m.params {
+                Some(ps) => ps.to_json(),
+                None => Value::Null,
+            },
+        ),
+        ("body", m.body.to_json()),
+        ("line", m.line.to_json()),
+    ])
+}
+
+fn macro_from_json(v: &Value) -> Option<MacroDef> {
+    let params = match v.get("params")? {
+        Value::Null => None,
+        arr => Some(
+            arr.as_array()?
+                .iter()
+                .map(|p| p.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+    };
+    Some(MacroDef {
+        name: v.get("name")?.as_str()?.to_string(),
+        params,
+        body: v.get("body")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u64()? as u32,
+    })
+}
+
+fn finding_from_json(v: &Value) -> Option<Finding> {
+    let pattern = v.get("pattern")?.as_str()?;
+    let pattern = AntiPattern::all().into_iter().find(|p| p.id() == pattern)?;
+    let impact = match v.get("impact")?.as_str()? {
+        "Leak" => Impact::Leak,
+        "UAF" => Impact::Uaf,
+        "NPD" => Impact::Npd,
+        _ => return None,
+    };
+    Some(Finding {
+        pattern,
+        impact,
+        file: v.get("file")?.as_str()?.to_string(),
+        function: v.get("function")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u64()? as u32,
+        api: v.get("api")?.as_str()?.to_string(),
+        object: match v.get("object")? {
+            Value::Null => None,
+            s => Some(s.as_str()?.to_string()),
+        },
+        message: v.get("message")?.as_str()?.to_string(),
+    })
+}
+
+fn flow_to_json(flow: ObjectFlow) -> Value {
+    Value::Str(match flow {
+        ObjectFlow::Arg(i) => format!("arg:{i}"),
+        ObjectFlow::Returned => "ret".to_string(),
+        ObjectFlow::ArgAndReturned(i) => format!("argret:{i}"),
+    })
+}
+
+fn flow_from_json(v: &Value) -> Option<ObjectFlow> {
+    let s = v.as_str()?;
+    if s == "ret" {
+        return Some(ObjectFlow::Returned);
+    }
+    if let Some(i) = s.strip_prefix("arg:") {
+        return Some(ObjectFlow::Arg(i.parse().ok()?));
+    }
+    if let Some(i) = s.strip_prefix("argret:") {
+        return Some(ObjectFlow::ArgAndReturned(i.parse().ok()?));
+    }
+    None
+}
+
+fn api_to_json(api: &RcApi) -> Value {
+    obj([
+        ("name", api.name.to_json()),
+        (
+            "class",
+            Value::Str(
+                match api.class {
+                    RcClass::General => "general",
+                    RcClass::Specific => "specific",
+                    RcClass::Embedded => "embedded",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "dir",
+            Value::Str(
+                match api.dir {
+                    RcDir::Inc => "inc",
+                    RcDir::Dec => "dec",
+                }
+                .to_string(),
+            ),
+        ),
+        ("flow", flow_to_json(api.flow)),
+        ("dec_names", api.dec_names.to_json()),
+        ("inc_on_error", api.inc_on_error.to_json()),
+        ("may_return_null", api.may_return_null.to_json()),
+        ("releases_resources", api.releases_resources.to_json()),
+    ])
+}
+
+fn api_from_json(v: &Value) -> Option<RcApi> {
+    Some(RcApi {
+        name: v.get("name")?.as_str()?.to_string(),
+        class: match v.get("class")?.as_str()? {
+            "general" => RcClass::General,
+            "specific" => RcClass::Specific,
+            "embedded" => RcClass::Embedded,
+            _ => return None,
+        },
+        dir: match v.get("dir")?.as_str()? {
+            "inc" => RcDir::Inc,
+            "dec" => RcDir::Dec,
+            _ => return None,
+        },
+        flow: flow_from_json(v.get("flow")?)?,
+        dec_names: v
+            .get("dec_names")?
+            .as_array()?
+            .iter()
+            .map(|d| d.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?,
+        inc_on_error: v.get("inc_on_error")?.as_bool()?,
+        may_return_null: v.get("may_return_null")?.as_bool()?,
+        releases_resources: v.get("releases_resources")?.as_bool()?,
+    })
+}
+
+fn loop_to_json(sl: &SmartLoop) -> Value {
+    obj([
+        ("name", sl.name.to_json()),
+        ("iter_arg", sl.iter_arg.to_json()),
+        ("dec_name", sl.dec_name.to_json()),
+        (
+            "embedded_api",
+            match &sl.embedded_api {
+                Some(a) => a.to_json(),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn loop_from_json(v: &Value) -> Option<SmartLoop> {
+    Some(SmartLoop {
+        name: v.get("name")?.as_str()?.to_string(),
+        iter_arg: v.get("iter_arg")?.as_u64()? as usize,
+        dec_name: v.get("dec_name")?.as_str()?.to_string(),
+        embedded_api: match v.get("embedded_api")? {
+            Value::Null => None,
+            s => Some(s.as_str()?.to_string()),
+        },
+    })
+}
+
+/// Serializes a knowledge base with APIs and smartloops in sorted-name
+/// order, so equal KBs serialize (and fingerprint) identically.
+pub fn kb_to_json(kb: &ApiKb) -> Value {
+    let mut apis: Vec<&RcApi> = kb.apis().collect();
+    apis.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut loops: Vec<&SmartLoop> = kb.smartloops().collect();
+    loops.sort_by(|a, b| a.name.cmp(&b.name));
+    obj([
+        ("apis", Value::Arr(apis.into_iter().map(api_to_json).collect())),
+        (
+            "loops",
+            Value::Arr(loops.into_iter().map(loop_to_json).collect()),
+        ),
+    ])
+}
+
+/// Rebuilds a knowledge base from [`kb_to_json`] output. Returns `None`
+/// if any member is malformed (a partially-loaded KB would silently
+/// change findings — all or nothing).
+pub fn kb_from_json(v: &Value) -> Option<ApiKb> {
+    let mut kb = ApiKb::new();
+    for a in v.get("apis")?.as_array()? {
+        kb.insert(api_from_json(a)?);
+    }
+    for l in v.get("loops")?.as_array()? {
+        kb.insert_loop(loop_from_json(l)?);
+    }
+    Some(kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn content_hash_is_sensitive() {
+        let a = content_hash("int x;\n");
+        assert_eq!(a, content_hash("int x;\n"));
+        assert_ne!(a, content_hash("int x; \n"));
+        assert_ne!(mix(a, 1), mix(a, 2));
+    }
+
+    #[test]
+    fn kb_fingerprint_ignores_insertion_order() {
+        let mut a = ApiKb::new();
+        let mut b = ApiKb::new();
+        let x = RcApi::dec("x_put", RcClass::Specific, ObjectFlow::Arg(0));
+        let y = RcApi::dec("y_put", RcClass::Specific, ObjectFlow::Arg(0));
+        a.insert(x.clone());
+        a.insert(y.clone());
+        b.insert(y);
+        b.insert(x);
+        assert_eq!(kb_fingerprint(&a), kb_fingerprint(&b));
+        assert_ne!(kb_fingerprint(&a), kb_fingerprint(&ApiKb::new()));
+    }
+
+    #[test]
+    fn kb_round_trips_through_json() {
+        let kb = ApiKb::builtin();
+        let back = kb_from_json(&kb_to_json(&kb)).expect("round trip");
+        assert_eq!(kb_fingerprint(&kb), kb_fingerprint(&back));
+        assert_eq!(back.len(), kb.len());
+        assert!(back.get("pm_runtime_get_sync").unwrap().inc_on_error);
+        assert_eq!(
+            back.smartloop("for_each_child_of_node").unwrap().iter_arg,
+            1
+        );
+    }
+
+    #[test]
+    fn finding_round_trips_through_json() {
+        let f = Finding {
+            pattern: AntiPattern::P2,
+            impact: Impact::Npd,
+            file: "drivers/a/a.c".into(),
+            function: "probe".into(),
+            line: 12,
+            api: "mdesc_grab".into(),
+            object: None,
+            message: "deref without NULL check".into(),
+        };
+        assert_eq!(finding_from_json(&f.to_json()), Some(f));
+    }
+
+    #[test]
+    fn macro_round_trips_through_json() {
+        let m = MacroDef {
+            name: "for_each_w".into(),
+            params: Some(vec!["w".into()]),
+            body: "for (w = w_first(); w; w = w_next(w))".into(),
+            line: 3,
+        };
+        assert_eq!(macro_from_json(&macro_to_json(&m)), Some(m));
+        let obj_like = MacroDef {
+            name: "N".into(),
+            params: None,
+            body: "4".into(),
+            line: 1,
+        };
+        assert_eq!(macro_from_json(&macro_to_json(&obj_like)), Some(obj_like));
+    }
+
+    #[test]
+    fn persists_and_reloads_check_and_discovery_layers() {
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("persists_and_reloads")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cache = AuditCache::with_dir(&dir);
+        assert!(cache.is_empty());
+        cache.check_put(
+            7,
+            9,
+            CheckedUnit {
+                findings: Vec::new(),
+                functions: 4,
+                errors: vec![CachedError {
+                    kind: UnitErrorKind::GraphBlowup,
+                    detail: "big() exceeded cap".into(),
+                }],
+            },
+        );
+        cache.discovery_put(11, ApiKb::builtin());
+        cache.parse_put(
+            5,
+            ParsedUnit {
+                tu: None,
+                parsed_ok: true,
+                defines: Vec::new(),
+                errors: Vec::new(),
+                lines: 40,
+            },
+        );
+        cache.save().expect("save");
+
+        let mut reloaded = AuditCache::with_dir(&dir);
+        let c = reloaded.check_get(7, 9).expect("check entry");
+        assert_eq!(c.functions, 4);
+        assert_eq!(c.errors[0].kind, UnitErrorKind::GraphBlowup);
+        let kb = reloaded.discovery_get(11).expect("discovery entry");
+        assert_eq!(kb_fingerprint(&kb), kb_fingerprint(&ApiKb::builtin()));
+        let p = reloaded.parse_get(5).expect("parse entry");
+        assert!(p.parsed_ok);
+        assert!(p.tu.is_none(), "ASTs must not round-trip through disk");
+        assert_eq!(p.lines, 40);
+        assert_eq!(reloaded.stats.check_hits, 1);
+        assert_eq!(reloaded.stats.parse_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_cache_file_is_ignored() {
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("malformed_cache_file")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), "{not json").unwrap();
+        let cache = AuditCache::with_dir(&dir);
+        assert!(cache.is_empty());
+        // Wrong version: also ignored.
+        std::fs::write(dir.join(CACHE_FILE), r#"{"version":999}"#).unwrap();
+        let cache = AuditCache::with_dir(&dir);
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,12 +21,16 @@
 //! ```
 
 mod audit;
+mod cache;
+pub mod parallel;
 mod project;
 
 pub use audit::{
-    audit, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport, UnitDiagnostic, UnitErrorKind,
-    UnitOutcome,
+    audit, audit_with_cache, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport,
+    UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
+pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, CACHE_FILE};
+pub use parallel::{effective_jobs, run_indexed};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
 pub use refminer_checkers as checkers;

@@ -1,0 +1,222 @@
+//! A work-stealing scheduler for per-unit pipeline stages.
+//!
+//! The audit pipeline is embarrassingly parallel *between* units: each
+//! translation unit lexes, parses, graphs and checks independently, and
+//! only the cross-unit discovery pass needs everything at once. This
+//! module fans a per-unit stage across worker threads while keeping the
+//! result order — and therefore the final report — byte-identical to a
+//! sequential run.
+//!
+//! Design:
+//!
+//! - **Scoped threads, no pool.** Workers are spawned with
+//!   [`std::thread::scope`] per stage, so the work closure may borrow
+//!   the units, the knowledge base and the limits without `Arc`-wrapping
+//!   any of them. Stages are long (whole files), so per-stage spawn cost
+//!   is noise.
+//! - **Work stealing.** Every worker owns a deque seeded with a
+//!   contiguous chunk of unit indices. An owner pops from the front; an
+//!   idle worker steals from the *back* of the longest victim queue.
+//!   Contiguous seeding keeps the common case (balanced trees) touching
+//!   each lock only at its own queue; stealing handles the pathological
+//!   tree where one directory holds all the big files.
+//! - **Deterministic merge.** Workers tag each result with its input
+//!   index; the caller sorts the combined output by index. Scheduling
+//!   order can vary freely between runs and job counts — result order
+//!   cannot.
+//!
+//! Fault isolation composes with this scheduler rather than living in
+//! it: the audit wraps each unit's work in its own `catch_unwind`
+//! boundary *inside* the work closure, so a panicking unit degrades
+//! itself without taking down its worker thread.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Resolves a `--jobs` request to a concrete worker count.
+///
+/// `0` means "auto": one worker per available hardware thread. Any
+/// other value is taken as-is.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs `work` over every element of `items` across `jobs` workers,
+/// returning the results in input order.
+///
+/// `jobs` is resolved through [`effective_jobs`] and clamped to the
+/// item count. With one worker (or zero/one items) the work runs inline
+/// on the calling thread — no threads, no locks — which keeps `--jobs 1`
+/// an exact replica of the historical sequential pipeline.
+///
+/// The work closure receives `(index, &item)` so it can key caches or
+/// diagnostics off the original position.
+///
+/// # Examples
+///
+/// ```
+/// use refminer::parallel::run_indexed;
+///
+/// let items = vec![3u32, 1, 4, 1, 5];
+/// let doubled = run_indexed(&items, 4, |_, x| x * 2);
+/// assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+/// ```
+pub fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+
+    // Seed each worker's deque with a contiguous slice of indices.
+    let queues: Vec<Mutex<VecDeque<usize>>> = split_chunks(items.len(), jobs)
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
+
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|me| {
+                let queues = &queues;
+                let work = &work;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    while let Some(i) = next_index(queues, me) {
+                        out.push((i, work(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            // A panic here means one escaped the per-unit fault
+            // boundary inside `work`; propagate it rather than lose it.
+            tagged.extend(h.join().expect("audit worker panicked"));
+        }
+    });
+
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `0..n` into `jobs` contiguous chunks, front-loading the
+/// remainder so sizes differ by at most one.
+fn split_chunks(n: usize, jobs: usize) -> Vec<VecDeque<usize>> {
+    let base = n / jobs;
+    let extra = n % jobs;
+    let mut start = 0;
+    (0..jobs)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let q: VecDeque<usize> = (start..start + len).collect();
+            start += len;
+            q
+        })
+        .collect()
+}
+
+/// Pops the next index for worker `me`: own queue front first, then a
+/// steal from the back of the fullest victim. Returns `None` only when
+/// every queue is empty — no work is ever added after seeding, so an
+/// all-empty sweep is a stable termination condition.
+fn next_index(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    // Pick the victim with the most remaining work to halve the largest
+    // backlog; sizes are read unlocked-then-relocked, so a stale read
+    // costs at most a failed steal and another sweep.
+    loop {
+        let victim = queues
+            .iter()
+            .enumerate()
+            .filter(|(w, _)| *w != me)
+            .map(|(w, q)| (w, q.lock().unwrap().len()))
+            .max_by_key(|(_, len)| *len)
+            .filter(|(_, len)| *len > 0)
+            .map(|(w, _)| w)?;
+        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+        // Lost the race for that victim's last item; sweep again.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn auto_jobs_is_positive() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(7), 7);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_indexed(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(run_indexed(&[9u32], 8, |_, x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn order_matches_sequential_at_any_job_count() {
+        let items: Vec<usize> = (0..101).collect();
+        let sequential = run_indexed(&items, 1, |i, x| i * 1000 + x);
+        for jobs in [2, 3, 8, 64] {
+            let parallel = run_indexed(&items, jobs, |i, x| i * 1000 + x);
+            assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let n = 257;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        run_indexed(&items, 8, |i, _| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_work() {
+        // One "heavy" item per chunk boundary would serialize without
+        // stealing; with it, the run completes and order still holds.
+        let items: Vec<u64> = (0..32).map(|i| if i == 0 { 400 } else { 1 }).collect();
+        let spins = run_indexed(&items, 4, |_, &ms| {
+            // Busy-wait proportional to the item weight.
+            let mut acc = 0u64;
+            for _ in 0..ms * 1000 {
+                acc = acc.wrapping_add(1);
+            }
+            acc
+        });
+        assert_eq!(spins.len(), items.len());
+    }
+
+    #[test]
+    fn chunks_cover_range_without_overlap() {
+        for (n, jobs) in [(10, 3), (3, 8), (0, 2), (16, 4)] {
+            let chunks = split_chunks(n, jobs);
+            let mut all: Vec<usize> = chunks.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} jobs={jobs}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Runs the `scripts/bench.sh` smoke runner against the prebuilt
+//! binary, so the benchmark script and its speedup gates stay wired
+//! into the test suite.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn bench_smoke_script_passes() {
+    let script = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scripts/bench.sh")
+        .canonicalize()
+        .expect("scripts/bench.sh exists");
+    let out_file = std::env::temp_dir().join(format!(
+        "refminer_bench_smoke_{}.json",
+        std::process::id()
+    ));
+    let out = Command::new("bash")
+        .arg(&script)
+        .env("BENCHPIPE_BIN", env!("CARGO_BIN_EXE_benchpipe"))
+        // A small tree keeps the smoke run fast; the gates scale down
+        // with it (warm replay wins by orders of magnitude regardless).
+        .env("BENCH_SCALE", "0.2")
+        .env("BENCH_OUT", &out_file)
+        .output()
+        .expect("run bench.sh");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "bench.sh failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("bench.sh: PASS"), "stdout:\n{stdout}");
+
+    // The report must exist and carry the gate inputs.
+    let report = std::fs::read_to_string(&out_file).expect("report written");
+    let v = refminer_json::Value::parse(&report).expect("valid JSON report");
+    assert!(v.get("speedup_warm").is_some());
+    assert!(v.get("speedup_parallel").is_some());
+    assert!(v.get("runs").is_some());
+    std::fs::remove_file(&out_file).ok();
+}

@@ -196,3 +196,60 @@ fn stats_reports_unit_outcomes() {
     assert!(stderr.contains("units: 1 ok, 0 degraded, 0 skipped"), "stderr: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn jobs_flag_output_is_byte_identical() {
+    let dir = write_demo_tree();
+    let seq = refminer()
+        .args(["--json", "--jobs", "1"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    let par = refminer()
+        .args(["--json", "--jobs", "8"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(seq.status.code(), par.status.code());
+    assert_eq!(seq.stdout, par.stdout, "--jobs 8 changed the JSON bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_jobs_value_exits_two() {
+    let dir = write_demo_tree();
+    let out = refminer()
+        .args(["--jobs", "many"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_dir_warm_run_is_byte_identical_and_hits() {
+    let dir = write_demo_tree();
+    let cache_dir = dir.join(".refminer-cache");
+    let run = || {
+        refminer()
+            .args(["--json", "--stats", "--cache-dir"])
+            .arg(&cache_dir)
+            .arg(&dir)
+            .output()
+            .expect("run")
+    };
+    let cold = run();
+    assert!(
+        cache_dir.join(refminer::CACHE_FILE).is_file(),
+        "cache file persisted"
+    );
+    let warm = run();
+    assert_eq!(cold.stdout, warm.stdout, "warm cache changed the JSON bytes");
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        stderr.contains("hit rate 100%"),
+        "warm run should be all hits: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -36,4 +36,6 @@ pub use subsystems::{
     plan_by_subsystem, plan_total, PlanRow, HISTORICAL_SUBSYSTEM_WEIGHTS, NEW_BUG_PLAN,
     SUBSYSTEM_KLOC,
 };
-pub use tree::{generate_tree, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig};
+pub use tree::{
+    generate_tree, next_revision, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig,
+};

@@ -2,7 +2,7 @@
 //! audit, with ground truth recorded in a manifest.
 
 use refminer_json::{obj, ToJson, Value};
-use refminer_prng::{ChaCha8Rng, SeedableRng};
+use refminer_prng::{ChaCha8Rng, Rng, SeedableRng};
 
 use refminer_rcapi::ApiKb;
 
@@ -310,6 +310,65 @@ pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
     SyntheticTree { files, manifest }
 }
 
+/// Produces the next revision of a tree: `edits` distinct `.c` files,
+/// chosen deterministically from `seed`, each gain one appended
+/// finding-neutral helper function. Every other file is byte-identical
+/// to the base revision.
+///
+/// This is the fixture for incremental re-audit tests: a revision
+/// changes exactly the returned paths' content hashes, and because the
+/// appended helpers are clean the finding set of the tree is unchanged.
+/// Returns the edited tree and the edited paths in tree order.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_corpus::{generate_tree, next_revision, TreeConfig};
+///
+/// let base = generate_tree(&TreeConfig { scale: 0.05, ..Default::default() });
+/// let (rev, edited) = next_revision(&base, 7, 2);
+/// assert_eq!(edited.len(), 2);
+/// assert_eq!(rev.files.len(), base.files.len());
+/// ```
+pub fn next_revision(
+    base: &SyntheticTree,
+    seed: u64,
+    edits: usize,
+) -> (SyntheticTree, Vec<String>) {
+    let mut tree = base.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ng = NameGen::new(ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15));
+    let candidates: Vec<usize> = tree
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.path.ends_with(".c"))
+        .map(|(i, _)| i)
+        .collect();
+    let edits = edits.min(candidates.len());
+    let mut chosen: Vec<usize> = Vec::new();
+    while chosen.len() < edits {
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        if !chosen.contains(&i) {
+            chosen.push(i);
+        }
+    }
+    // Tree order so the edit pass (and the NameGen stream) is
+    // independent of the draw order above.
+    chosen.sort_unstable();
+    let mut edited = Vec::new();
+    for i in chosen {
+        let fn_name = ng.ident("rev_helper");
+        let src = emit_filler(&fn_name, &mut ng);
+        let file = &mut tree.files[i];
+        file.content.push('\n');
+        file.content.push_str(&src);
+        tree.manifest.clean_functions += 1;
+        edited.push(file.path.clone());
+    }
+    (tree, edited)
+}
+
 /// Emits the vendor module: custom refcounting wrappers implemented on
 /// `kref`, a custom find-like API and a custom smartloop macro — all
 /// unknown to the builtin knowledge base — plus six bugs using them.
@@ -608,6 +667,53 @@ mod tests {
         });
         assert!(tree.manifest.bugs.len() < 150);
         assert!(!tree.manifest.bugs.is_empty());
+    }
+
+    #[test]
+    fn next_revision_edits_exactly_the_named_files() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let (rev, edited) = next_revision(&base, 42, 3);
+        assert_eq!(edited.len(), 3);
+        assert_eq!(rev.files.len(), base.files.len());
+        for (a, b) in base.files.iter().zip(&rev.files) {
+            assert_eq!(a.path, b.path);
+            if edited.contains(&a.path) {
+                assert_ne!(a.content, b.content, "{} should have changed", a.path);
+                assert!(b.content.starts_with(&a.content), "edits are appends");
+            } else {
+                assert_eq!(a.content, b.content, "{} should be untouched", a.path);
+            }
+        }
+        assert_eq!(rev.manifest.bugs, base.manifest.bugs);
+        assert_eq!(rev.manifest.clean_functions, base.manifest.clean_functions + 3);
+    }
+
+    #[test]
+    fn next_revision_is_deterministic_and_seed_sensitive() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let (a, ea) = next_revision(&base, 7, 2);
+        let (b, eb) = next_revision(&base, 7, 2);
+        assert_eq!(ea, eb);
+        assert!(a.files.iter().zip(&b.files).all(|(x, y)| x.content == y.content));
+        let (_, ec) = next_revision(&base, 8, 2);
+        assert_ne!(ea, ec, "different seeds pick different files");
+    }
+
+    #[test]
+    fn next_revision_clamps_to_available_files() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.02,
+            ..Default::default()
+        });
+        let c_files = base.files.iter().filter(|f| f.path.ends_with(".c")).count();
+        let (_, edited) = next_revision(&base, 1, usize::MAX);
+        assert_eq!(edited.len(), c_files);
     }
 
     #[test]

@@ -329,7 +329,7 @@ impl Parser {
                     }
                     let tyish = name.ends_with("_t")
                         || matches!(
-                            name.as_str(),
+                            &**name,
                             "u8" | "u16"
                                 | "u32"
                                 | "u64"
@@ -510,7 +510,7 @@ impl Parser {
         };
         match &t.kind {
             TokenKind::Ident(name) => {
-                let name = name.clone();
+                let name = name.to_string();
                 self.pos += 1;
                 Expr {
                     kind: ExprKind::Ident(name),

@@ -317,7 +317,7 @@ impl Parser {
     pub(crate) fn take_ident(&mut self) -> Option<String> {
         if let Some(t) = self.peek() {
             if let TokenKind::Ident(s) = &t.kind {
-                let s = s.clone();
+                let s = s.to_string();
                 self.pos += 1;
                 return Some(s);
             }
@@ -507,7 +507,7 @@ impl Parser {
         let mut tag: Option<String> = None;
         if let Some(t) = self.peek_at(off) {
             if let TokenKind::Ident(s) = &t.kind {
-                tag = Some(s.clone());
+                tag = Some(s.to_string());
                 off += 1;
             }
         }
@@ -550,7 +550,7 @@ impl Parser {
         let mut tag: Option<String> = None;
         if let Some(t) = self.peek_at(off) {
             if let TokenKind::Ident(s) = &t.kind {
-                tag = Some(s.clone());
+                tag = Some(s.to_string());
                 off += 1;
             }
         }
@@ -585,7 +585,7 @@ impl Parser {
                     }
                 }
                 TokenKind::Ident(s) if depth == 1 => {
-                    variants.push(s.clone());
+                    variants.push(s.to_string());
                     self.pos += 1;
                     // Skip an optional `= value` part.
                     while let Some(t) = self.peek() {
@@ -739,7 +739,7 @@ impl Parser {
         for t in &self.toks {
             if t.span.start >= group.start && t.span.end <= group.end {
                 if let TokenKind::Ident(s) = &t.kind {
-                    name = s.clone();
+                    name = s.to_string();
                 }
             }
         }
@@ -828,7 +828,7 @@ impl Parser {
                     // kernel type word, ends in `_t`, or is followed by
                     // another identifier or `*`+ident.
                     let is_known =
-                        KNOWN_TYPE_WORDS.contains(&name.as_str()) || name.ends_with("_t");
+                        KNOWN_TYPE_WORDS.contains(&&**name) || name.ends_with("_t");
                     let next_suggests_type = match self.peek_at(1).map(|t| &t.kind) {
                         Some(TokenKind::Ident(_)) => true,
                         Some(TokenKind::Punct(Punct::Star)) => {
@@ -841,7 +841,7 @@ impl Parser {
                         _ => false,
                     };
                     if is_known || next_suggests_type {
-                        words.push(name.clone());
+                        words.push(name.to_string());
                         saw_type = true;
                         self.pos += 1;
                     } else {

@@ -217,7 +217,7 @@ impl Parser {
                     kind: StmtKind::Decl(decls),
                 }
             }
-            TokenKind::Ident(name) if matches!(name.as_str(), "asm" | "__asm__" | "__asm") => {
+            TokenKind::Ident(name) if matches!(&**name, "asm" | "__asm__" | "__asm") => {
                 // Inline assembly: skip qualifiers and the balanced
                 // operand group; the analyses treat it as opaque.
                 self.pos += 1;
@@ -243,7 +243,7 @@ impl Parser {
                     .peek_at(1)
                     .is_some_and(|t| t.kind.is_punct(Punct::Colon))
                 {
-                    let label = name.clone();
+                    let label = name.to_string();
                     self.pos += 2;
                     return Stmt {
                         span: start.join(self.cur_span()),

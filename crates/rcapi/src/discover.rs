@@ -76,12 +76,16 @@ impl Default for DiscoverConfig {
 /// void widget_get(struct widget *w) { kref_get(&w->refs); }
 /// void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
 /// "#);
-/// let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+/// let d = discover(&[&tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
 /// assert!(d.rc_structs.contains("widget"));
 /// assert!(d.apis.iter().any(|a| a.name == "widget_get" && a.dir == RcDir::Inc));
 /// ```
+///
+/// Units are taken by reference (`&[&TranslationUnit]`) so the audit
+/// pipeline can run the cross-unit pass over ASTs it already holds —
+/// no wholesale cloning of every parsed unit.
 pub fn discover(
-    tus: &[TranslationUnit],
+    tus: &[&TranslationUnit],
     defines: &[MacroDef],
     seed: &ApiKb,
     config: &DiscoverConfig,
@@ -103,7 +107,7 @@ pub fn discover(
 
 /// Finds struct tags that embed a refcounter, directly or through up to
 /// `threshold` levels of (by-value) struct nesting.
-pub fn discover_rc_structs(tus: &[TranslationUnit], threshold: usize) -> BTreeSet<String> {
+pub fn discover_rc_structs(tus: &[&TranslationUnit], threshold: usize) -> BTreeSet<String> {
     // tag → by-value member struct tags.
     let mut embeds: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut marked: BTreeSet<String> = BTreeSet::new();
@@ -149,7 +153,7 @@ pub fn discover_rc_structs(tus: &[TranslationUnit], threshold: usize) -> BTreeSe
 
 /// Finds functions that wrap refcounting operations.
 fn discover_apis(
-    tus: &[TranslationUnit],
+    tus: &[&TranslationUnit],
     seed: &ApiKb,
     rc_structs: &BTreeSet<String>,
 ) -> Vec<RcApi> {
@@ -352,7 +356,7 @@ struct unrelated { int x; };
 struct ptr_only { struct kobject *remote; };
 "#,
         );
-        let rc = discover_rc_structs(&[tu], 3);
+        let rc = discover_rc_structs(&[&tu], 3);
         assert!(rc.contains("kobj_holder"));
         assert!(rc.contains("device_node"));
         assert!(!rc.contains("unrelated"));
@@ -371,10 +375,10 @@ struct l2 { struct l1 inner; };
 struct l3 { struct l2 inner; };
 "#,
         );
-        let rc = discover_rc_structs(std::slice::from_ref(&tu), 1);
+        let rc = discover_rc_structs(&[&tu], 1);
         assert!(rc.contains("l1"));
         assert!(!rc.contains("l3"));
-        let rc = discover_rc_structs(&[tu], 5);
+        let rc = discover_rc_structs(&[&tu], 5);
         assert!(rc.contains("l3"));
     }
 
@@ -395,7 +399,7 @@ void widget_put(struct widget *w)
 }
 "#,
         );
-        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let d = discover(&[&tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
         let get = d.apis.iter().find(|a| a.name == "widget_get").unwrap();
         assert_eq!(get.dir, RcDir::Inc);
         assert_eq!(get.class, RcClass::Specific);
@@ -421,7 +425,7 @@ struct widget *widget_find(const char *name)
 }
 "#,
         );
-        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let d = discover(&[&tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
         let find = d.apis.iter().find(|a| a.name == "widget_find").unwrap();
         assert_eq!(find.class, RcClass::Embedded);
         assert!(find.returns_object());
@@ -442,7 +446,7 @@ int my_pm_get_sync(struct device *dev)
 }
 "#,
         );
-        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let d = discover(&[&tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
         let api = d.apis.iter().find(|a| a.name == "my_pm_get_sync").unwrap();
         assert!(api.inc_on_error);
     }
@@ -489,7 +493,7 @@ struct widget { struct kref refs; };
 void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
 "#,
         );
-        let d = discover(&[tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
+        let d = discover(&[&tu], &[], &ApiKb::builtin(), &DiscoverConfig::default());
         let kb = d.into_kb(ApiKb::builtin());
         assert!(kb.is_dec("widget_put"));
     }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pipeline benchmark smoke run: audit a synthetic tree cold/warm and at
+# jobs in {1, N}, write BENCH_pipeline.json, and enforce the speedup
+# gates (warm >= 5x always; parallel >= 2x only on machines with at
+# least four hardware threads).
+#
+# Env:
+#   BENCHPIPE_BIN   prebuilt binary; default `cargo run --release`
+#   BENCH_SCALE     tree scale factor (default 1.0, ~350 files)
+#   BENCH_JOBS      worker count for the parallel runs (default: CPUs)
+#   BENCH_OUT       report path (default BENCH_pipeline.json)
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+out="${BENCH_OUT:-$here/BENCH_pipeline.json}"
+
+benchpipe() {
+    if [ -n "${BENCHPIPE_BIN:-}" ]; then
+        "$BENCHPIPE_BIN" "$@"
+    else
+        cargo run --quiet --release --manifest-path "$here/Cargo.toml" \
+            -p refminer --bin benchpipe -- "$@"
+    fi
+}
+
+args=(--check --out "$out" --scale "${BENCH_SCALE:-1.0}")
+if [ -n "${BENCH_JOBS:-}" ]; then
+    args+=(--jobs "$BENCH_JOBS")
+fi
+
+if benchpipe "${args[@]}"; then
+    echo "bench.sh: PASS ($out)"
+else
+    echo "bench.sh: FAIL" >&2
+    exit 1
+fi

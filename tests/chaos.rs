@@ -142,6 +142,97 @@ fn same_seed_gives_identical_audit_results() {
 }
 
 // ----------------------------------------------------------------------
+// The same contract under the parallel scheduler (--jobs 4): a unit
+// that panics mid-parse or mid-check must degrade itself inside its
+// worker thread, never escape and take the scheduler down.
+// ----------------------------------------------------------------------
+
+fn audit_corpus_jobs(chaos: &ChaosCorpus, discover: bool, jobs: usize) -> AuditReport {
+    let project = Project::from_sources(chaos.to_sources());
+    audit(
+        &project,
+        &AuditConfig {
+            discover_apis: discover,
+            jobs,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn parallel_chaos_audit_never_panics_and_matches_sequential() {
+    let tree = small_tree();
+    let chaos = apply_chaos(
+        &tree,
+        &ChaosConfig {
+            ratio: 0.4,
+            ..Default::default()
+        },
+    );
+    assert!(!chaos.records.is_empty());
+    // If a panic escaped a worker, audit() itself would panic and the
+    // test harness would report it — completing is half the assertion.
+    let seq = audit_corpus_jobs(&chaos, false, 1);
+    let par = audit_corpus_jobs(&chaos, false, 4);
+    assert_eq!(seq.findings, par.findings, "findings diverged at --jobs 4");
+    let paths = |r: &AuditReport| -> Vec<String> {
+        r.diagnostics.units.iter().map(|u| u.path.clone()).collect()
+    };
+    assert_eq!(paths(&seq), paths(&par));
+    assert_eq!(seq.diagnostics.degraded, par.diagnostics.degraded);
+    assert_eq!(seq.diagnostics.skipped, par.diagnostics.skipped);
+}
+
+#[test]
+fn parallel_chaos_diagnostics_name_only_mutated_files() {
+    let tree = small_tree();
+    for kind in [
+        MutationKind::TruncateMidToken,
+        MutationKind::DeepNesting,
+        MutationKind::BinaryGarbage,
+    ] {
+        let chaos = apply_chaos(
+            &tree,
+            &ChaosConfig {
+                ratio: 0.5,
+                kinds: vec![kind],
+                ..Default::default()
+            },
+        );
+        let report = audit_corpus_jobs(&chaos, false, 4);
+        assert_eq!(report.files, tree.files.len());
+        let mutated = chaos.mutated_paths();
+        for d in &report.diagnostics.units {
+            assert!(
+                mutated.contains(d.path.as_str()),
+                "{:?}: {} diagnosed [{:?}] but was never mutated",
+                kind,
+                d.path,
+                d.errors
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_chaos_with_discovery_contains_the_damage() {
+    let tree = small_tree();
+    let chaos = apply_chaos(
+        &tree,
+        &ChaosConfig {
+            ratio: 0.3,
+            ..Default::default()
+        },
+    );
+    let report = audit_corpus_jobs(&chaos, true, 4);
+    assert_eq!(report.files, tree.files.len());
+    let mutated = chaos.mutated_paths();
+    for d in &report.diagnostics.units {
+        assert!(mutated.contains(d.path.as_str()));
+    }
+}
+
+// ----------------------------------------------------------------------
 // One test per mutation kind.
 // ----------------------------------------------------------------------
 

@@ -1,0 +1,193 @@
+//! Integration suite for the parallel audit pipeline and the
+//! content-hash incremental cache.
+//!
+//! The contract under test: (1) the `--json` report is byte-identical
+//! at any job count, (2) a warm cached run reproduces the cold run's
+//! findings exactly — in memory and across a disk round trip — and
+//! (3) editing one file invalidates exactly that unit's cache entries.
+
+use refminer::corpus::{generate_tree, next_revision, SyntheticTree, TreeConfig};
+use refminer::{
+    audit, audit_with_cache, AuditCache, AuditConfig, AuditReport, Project,
+};
+use refminer_json::ToJson;
+
+fn small_tree() -> SyntheticTree {
+    generate_tree(&TreeConfig {
+        scale: 0.04,
+        ..Default::default()
+    })
+}
+
+fn config(jobs: usize, discover: bool) -> AuditConfig {
+    AuditConfig {
+        jobs,
+        discover_apis: discover,
+        ..Default::default()
+    }
+}
+
+/// The exact bytes `refminer --json` prints for a report.
+fn json_lines(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Determinism across job counts.
+// ----------------------------------------------------------------------
+
+#[test]
+fn jobs_1_and_jobs_8_produce_byte_identical_json() {
+    let tree = small_tree();
+    let project = Project::from_tree(&tree);
+    for discover in [false, true] {
+        let seq = audit(&project, &config(1, discover));
+        let par = audit(&project, &config(8, discover));
+        assert_eq!(
+            json_lines(&seq),
+            json_lines(&par),
+            "JSON diverged at --jobs 8 (discover={discover})"
+        );
+        assert_eq!(seq.files, par.files);
+        assert_eq!(seq.lines, par.lines);
+        assert_eq!(seq.functions, par.functions);
+        let paths = |r: &AuditReport| -> Vec<String> {
+            r.diagnostics.units.iter().map(|u| u.path.clone()).collect()
+        };
+        assert_eq!(paths(&seq), paths(&par));
+    }
+}
+
+#[test]
+fn auto_jobs_matches_sequential() {
+    let tree = small_tree();
+    let project = Project::from_tree(&tree);
+    let seq = audit(&project, &config(1, false));
+    let auto = audit(&project, &config(0, false));
+    assert_eq!(json_lines(&seq), json_lines(&auto));
+}
+
+// ----------------------------------------------------------------------
+// Warm cache reproduces cold results.
+// ----------------------------------------------------------------------
+
+#[test]
+fn warm_in_memory_run_reproduces_cold_findings() {
+    let tree = small_tree();
+    let project = Project::from_tree(&tree);
+    let cfg = config(4, true);
+    let mut cache = AuditCache::new();
+
+    let cold = audit_with_cache(&project, &cfg, &mut cache);
+    assert_eq!(cold.cache.parse_hits, 0, "cold run cannot hit");
+    assert!(cold.cache.parse_misses > 0);
+
+    let warm = audit_with_cache(&project, &cfg, &mut cache);
+    assert_eq!(json_lines(&cold), json_lines(&warm));
+    assert_eq!(cold.functions, warm.functions);
+    assert_eq!(cold.lines, warm.lines);
+    assert_eq!(warm.cache.parse_misses, 0, "warm run must not re-parse");
+    assert_eq!(warm.cache.check_misses, 0, "warm run must not re-check");
+    assert_eq!(warm.cache.parse_hits, tree.files.len());
+    assert_eq!(warm.cache.discovery_hits, 1);
+}
+
+#[test]
+fn warm_disk_run_reproduces_cold_findings() {
+    let tree = small_tree();
+    let project = Project::from_tree(&tree);
+    let cfg = config(2, true);
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_cache_rt_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cold_cache = AuditCache::with_dir(&dir);
+    let cold = audit_with_cache(&project, &cfg, &mut cold_cache);
+    cold_cache.save().expect("persist cache");
+
+    // A fresh process would construct a new cache from the same dir.
+    let mut warm_cache = AuditCache::with_dir(&dir);
+    let warm = audit_with_cache(&project, &cfg, &mut warm_cache);
+    assert_eq!(json_lines(&cold), json_lines(&warm));
+    assert_eq!(cold.functions, warm.functions);
+    assert_eq!(
+        warm.cache.check_misses, 0,
+        "disk-warm run must not re-check: {:?}",
+        warm.cache
+    );
+    assert_eq!(warm.cache.discovery_hits, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----------------------------------------------------------------------
+// Incremental invalidation.
+// ----------------------------------------------------------------------
+
+#[test]
+fn editing_one_file_invalidates_exactly_that_unit() {
+    let base = small_tree();
+    let (rev, edited) = next_revision(&base, 11, 1);
+    assert_eq!(edited.len(), 1);
+
+    // Discovery off: the KB is tree-global, so a single-file edit
+    // re-runs discovery by design; the per-unit layers are what this
+    // test isolates.
+    let cfg = config(4, false);
+    let mut cache = AuditCache::new();
+    let cold = audit_with_cache(&Project::from_tree(&base), &cfg, &mut cache);
+
+    let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
+    assert_eq!(incr.cache.parse_misses, 1, "exactly the edited unit re-parses");
+    assert_eq!(incr.cache.check_misses, 1, "exactly the edited unit re-checks");
+    assert_eq!(incr.cache.parse_hits, base.files.len() - 1);
+
+    // The appended helper is clean, so findings are unchanged.
+    assert_eq!(json_lines(&cold), json_lines(&incr));
+
+    // And a from-scratch audit of the revision agrees with the
+    // incremental one.
+    let scratch = audit(&Project::from_tree(&rev), &cfg);
+    assert_eq!(json_lines(&scratch), json_lines(&incr));
+    assert_eq!(scratch.functions, incr.functions);
+    assert_eq!(scratch.lines, incr.lines);
+}
+
+#[test]
+fn editing_one_file_reruns_discovery_but_not_clean_units() {
+    let base = small_tree();
+    let (rev, _) = next_revision(&base, 3, 1);
+    let cfg = config(2, true);
+    let mut cache = AuditCache::new();
+    audit_with_cache(&Project::from_tree(&base), &cfg, &mut cache);
+
+    let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
+    // The tree fingerprint changed, so discovery re-runs…
+    assert_eq!(incr.cache.discovery_misses, 1);
+    // …but only the edited unit re-parses.
+    assert_eq!(incr.cache.parse_misses, 1);
+
+    let scratch = audit(&Project::from_tree(&rev), &cfg);
+    assert_eq!(json_lines(&scratch), json_lines(&incr));
+}
+
+#[test]
+fn config_change_invalidates_check_layer_not_parse_layer() {
+    let tree = small_tree();
+    let project = Project::from_tree(&tree);
+    let mut cache = AuditCache::new();
+    audit_with_cache(&project, &config(2, false), &mut cache);
+
+    // Same parse limits, different KB (discovery on) → parse entries
+    // stay valid, check entries key on the new KB fingerprint.
+    let second = audit_with_cache(&project, &config(2, true), &mut cache);
+    assert_eq!(second.cache.parse_misses, 0, "parse layer survives");
+    assert!(second.cache.check_misses > 0, "check layer re-keys on the KB");
+}

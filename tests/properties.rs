@@ -75,7 +75,7 @@ fn lexer_covers_simple_input() {
         assert_eq!(toks.len(), words.len());
         for (t, w) in toks.iter().zip(&words) {
             match &t.kind {
-                TokenKind::Ident(s) => assert_eq!(s, w),
+                TokenKind::Ident(s) => assert_eq!(&**s, w.as_str()),
                 TokenKind::Keyword(_) => {} // C keywords are fine.
                 other => panic!("unexpected token {other:?}"),
             }
