@@ -23,6 +23,7 @@ fn bench_each_checker(c: &mut Criterion) {
     let graphs: Vec<Vec<FunctionGraph>> = tus.iter().map(FunctionGraph::build_all).collect();
     let kb = ApiKb::builtin();
 
+    let db = refminer_checkers::ProgramDb::empty();
     let mut g = c.benchmark_group("checker");
     for checker in default_checkers() {
         g.bench_function(checker.pattern().id(), |b| {
@@ -36,7 +37,7 @@ fn bench_each_checker(c: &mut Criterion) {
                             kb: &kb,
                             unit: tu,
                             all_graphs: gs,
-                            helpers: Default::default(),
+                            program: &db,
                         };
                         findings += checker.check(&ctx).len();
                     }

@@ -2,6 +2,7 @@
 
 use refminer_cparse::TranslationUnit;
 use refminer_cpg::{FunctionGraph, NodeId, StoreTarget};
+use refminer_progdb::ProgramDb;
 use refminer_rcapi::{ApiKb, RcApi};
 
 use crate::ctx::CheckCtx;
@@ -66,13 +67,30 @@ pub fn check_unit_with_graphs(
 }
 
 /// Runs an explicit checker subset (ablation studies, custom configs).
+///
+/// Helper effects resolve against a unit-local [`ProgramDb`], so the
+/// result is the single-unit view of the whole-program pipeline.
 pub fn check_unit_with_checkers(
     unit: &TranslationUnit,
     kb: &ApiKb,
     graphs: &[FunctionGraph],
     checkers: &[Box<dyn Checker>],
 ) -> Vec<Finding> {
-    let helpers = crate::summaries::HelperSummaries::compute(graphs, kb);
+    let globals: Vec<String> = unit.globals().map(|g| g.name.clone()).collect();
+    let program = ProgramDb::local(&unit.path, graphs, &globals, kb);
+    check_unit_with_program(unit, kb, graphs, checkers, &program)
+}
+
+/// Runs checkers over one unit against an externally built
+/// [`ProgramDb`] — the phase-2 entry point of the whole-program audit,
+/// where the database merges summaries from every unit in the tree.
+pub fn check_unit_with_program(
+    unit: &TranslationUnit,
+    kb: &ApiKb,
+    graphs: &[FunctionGraph],
+    checkers: &[Box<dyn Checker>],
+    program: &ProgramDb,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     for graph in graphs {
         let ctx = CheckCtx {
@@ -81,7 +99,7 @@ pub fn check_unit_with_checkers(
             kb,
             unit,
             all_graphs: graphs,
-            helpers: helpers.clone(),
+            program,
         };
         for checker in checkers {
             out.extend(checker.check(&ctx));
@@ -116,7 +134,9 @@ pub fn dedup_findings(findings: &mut Vec<Finding>) {
 pub fn checker_set_fingerprint() -> u64 {
     // Bump when checker behavior changes in a way the templates don't
     // capture (new heuristics, changed dedup rules, ...).
-    const CHECKER_LOGIC_VERSION: u64 = 1;
+    // v2: helper summaries resolve through the linkage-aware ProgramDb
+    // (cross-unit release/store/consumer refinements).
+    const CHECKER_LOGIC_VERSION: u64 = 2;
     let mut h: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -208,13 +228,14 @@ int f(struct device *dev)
         );
         let graphs = FunctionGraph::build_all(&tu);
         let kb = ApiKb::builtin();
+        let db = ProgramDb::empty();
         let ctx = CheckCtx {
             file: "t.c",
             graph: &graphs[0],
             kb: &kb,
             unit: &tu,
             all_graphs: &graphs,
-            helpers: Default::default(),
+            program: &db,
         };
         let sites = inc_sites(&ctx);
         assert_eq!(sites.len(), 3);

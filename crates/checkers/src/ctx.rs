@@ -2,9 +2,8 @@
 
 use refminer_cparse::TranslationUnit;
 use refminer_cpg::{FunctionGraph, NodeId, StoreTarget};
+use refminer_progdb::ProgramDb;
 use refminer_rcapi::{ApiKb, RcApi};
-
-use crate::summaries::HelperSummaries;
 
 /// Everything a checker sees for one function.
 pub struct CheckCtx<'a> {
@@ -18,8 +17,10 @@ pub struct CheckCtx<'a> {
     pub unit: &'a TranslationUnit,
     /// Graphs of all functions in the unit (for inter-paired lookups).
     pub all_graphs: &'a [FunctionGraph],
-    /// Effect summaries for same-unit helper functions.
-    pub helpers: HelperSummaries,
+    /// The program-wide function-summary database. Helper effects
+    /// resolve through it under linkage rules: same-unit definitions
+    /// first, external definitions tree-wide in whole-program audits.
+    pub program: &'a ProgramDb,
 }
 
 impl<'a> CheckCtx<'a> {
@@ -31,10 +32,11 @@ impl<'a> CheckCtx<'a> {
         let accepted = self.kb.accepted_decs(&inc.name);
         facts.calls.iter().any(|c| {
             if !accepted.iter().any(|d| d == &c.name) && !self.kb.is_dec(&c.name) {
-                // Not a refcounting API by name: maybe a same-unit
-                // helper whose summary says it releases the object.
+                // Not a refcounting API by name: maybe a helper whose
+                // summary says it releases the object.
                 return c.args.iter().enumerate().any(|(i, a)| {
-                    a.root.as_deref() == Some(obj) && self.helpers.call_releases(&c.name, i)
+                    a.root.as_deref() == Some(obj)
+                        && self.program.call_releases(self.file, &c.name, i)
                 });
             }
             // Any decrement on the object variable (or an alias of the
@@ -71,7 +73,7 @@ impl<'a> CheckCtx<'a> {
     /// transfers ownership out of the function.
     pub fn escapes_object(&self, n: NodeId, obj: &str) -> bool {
         let globals: Vec<&str> = self.unit.globals().map(|g| g.name.as_str()).collect();
-        self.graph.facts[n].assigns.iter().any(|a| {
+        let direct = self.graph.facts[n].assigns.iter().any(|a| {
             if a.rhs_root.as_deref() != Some(obj) {
                 return false;
             }
@@ -80,7 +82,18 @@ impl<'a> CheckCtx<'a> {
                 StoreTarget::Var(v) => globals.contains(&v.as_str()),
                 StoreTarget::Other => false,
             }
-        })
+        });
+        // A call into another unit whose summary stores the argument in
+        // a long-lived location escapes the object just as surely as a
+        // local field store. Same-unit helpers keep the pre-refactor
+        // behavior (their stores were never counted as escapes).
+        direct
+            || self.graph.facts[n].calls.iter().any(|c| {
+                c.args.iter().enumerate().any(|(i, a)| {
+                    a.root.as_deref() == Some(obj)
+                        && self.program.cross_unit_stores(self.file, &c.name, i)
+                })
+            })
     }
 
     /// Whether node `n` overwrites `obj` with a fresh value (the old
@@ -98,9 +111,23 @@ impl<'a> CheckCtx<'a> {
     /// patterns like `foo_register(np)`).
     pub fn passes_to_consumer(&self, n: NodeId, obj: &str) -> bool {
         self.graph.facts[n].calls.iter().any(|c| {
-            self.kb.get(&c.name).is_none()
-                && consumer_name(&c.name)
-                && c.args.iter().any(|a| a.root.as_deref() == Some(obj))
+            if self.kb.get(&c.name).is_some() || !consumer_name(&c.name) {
+                return false;
+            }
+            c.args.iter().enumerate().any(|(i, a)| {
+                if a.root.as_deref() != Some(obj) {
+                    return false;
+                }
+                // When the consumer-named callee is *defined* in another
+                // unit, its summary settles the question: it consumes the
+                // reference only if it actually releases or stores the
+                // argument. Undefined or same-unit callees keep the
+                // conservative name-based suppression.
+                match self.program.cross_unit_summary(self.file, &c.name) {
+                    Some(s) => s.releases.contains(&i) || s.stores.contains(&i),
+                    None => true,
+                }
+            })
         })
     }
 }
@@ -129,11 +156,13 @@ impl<'a> CheckCtx<'a> {
 }
 
 impl<'a> CheckCtx<'a> {
-    /// Whether node `n` calls a same-unit helper that releases `obj`.
+    /// Whether node `n` calls a helper that releases `obj` (resolved
+    /// through the program database under linkage rules).
     pub fn helper_releases(&self, n: NodeId, obj: &str) -> bool {
         self.graph.facts[n].calls.iter().any(|c| {
             c.args.iter().enumerate().any(|(i, a)| {
-                a.root.as_deref() == Some(obj) && self.helpers.call_releases(&c.name, i)
+                a.root.as_deref() == Some(obj)
+                    && self.program.call_releases(self.file, &c.name, i)
             })
         })
     }
@@ -172,13 +201,14 @@ int f(void)
 }
 "#);
         let kb = ApiKb::builtin();
+        let db = ProgramDb::empty();
         let ctx = CheckCtx {
             file: "t.c",
             graph: &graphs[0],
             kb: &kb,
             unit: &tu,
             all_graphs: &graphs,
-            helpers: Default::default(),
+            program: &db,
         };
         let inc = kb.get("of_find_node_by_name").unwrap();
         let put = ctx.graph.nodes_calling("of_node_put")[0];
@@ -196,13 +226,14 @@ int f(struct device_node *np)
 }
 "#);
         let kb = ApiKb::builtin();
+        let db = ProgramDb::empty();
         let ctx = CheckCtx {
             file: "t.c",
             graph: &graphs[0],
             kb: &kb,
             unit: &tu,
             all_graphs: &graphs,
-            helpers: Default::default(),
+            program: &db,
         };
         let store = ctx
             .graph
@@ -223,13 +254,14 @@ int f(struct device_node *np)
 }
 "#);
         let kb = ApiKb::builtin();
+        let db = ProgramDb::empty();
         let ctx = CheckCtx {
             file: "t.c",
             graph: &graphs[0],
             kb: &kb,
             unit: &tu,
             all_graphs: &graphs,
-            helpers: Default::default(),
+            program: &db,
         };
         let call = ctx.graph.nodes_calling("snd_soc_register_card")[0];
         assert!(ctx.passes_to_consumer(call, "np"));

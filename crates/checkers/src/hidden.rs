@@ -299,6 +299,7 @@ mod tests {
         let tu = parse_str("t.c", src);
         let graphs = FunctionGraph::build_all(&tu);
         let kb = ApiKb::builtin();
+        let db = refminer_progdb::ProgramDb::empty();
         let mut out = Vec::new();
         for graph in &graphs {
             let ctx = CheckCtx {
@@ -307,7 +308,7 @@ mod tests {
                 kb: &kb,
                 unit: &tu,
                 all_graphs: &graphs,
-                helpers: Default::default(),
+                program: &db,
             };
             out.extend(checker.check(&ctx));
         }

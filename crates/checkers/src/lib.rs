@@ -26,16 +26,17 @@ mod finding;
 mod hidden;
 mod location;
 mod risk;
-mod summaries;
 
 pub use checker::{
-    check_unit, check_unit_with_checkers, check_unit_with_graphs, checker_set_fingerprint,
-    dedup_findings, default_checkers, Checker,
+    check_unit, check_unit_with_checkers, check_unit_with_graphs, check_unit_with_program,
+    checker_set_fingerprint, dedup_findings, default_checkers, Checker,
 };
 pub use ctx::CheckCtx;
 pub use deviation::{ReturnErrorChecker, ReturnNullChecker};
 pub use finding::{merge_unit_findings, sort_findings_canonical, AntiPattern, Finding, Impact};
 pub use hidden::{HiddenApiChecker, SmartLoopBreakChecker};
 pub use location::{DirectFreeChecker, ErrorPathChecker, InterUnpairedChecker};
+// Helper-effect summaries live in `refminer-progdb` now; re-exported so
+// downstream code keeps one import path for checker-facing types.
+pub use refminer_progdb::{CallSite, FnExport, FnSummary, ProgramDb, UnitExports};
 pub use risk::{EscapeChecker, UadChecker};
-pub use summaries::{FnSummary, HelperSummaries};

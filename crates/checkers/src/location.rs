@@ -144,7 +144,7 @@ impl Checker for InterUnpairedChecker {
                 kb: ctx.kb,
                 unit: ctx.unit,
                 all_graphs: ctx.all_graphs,
-                helpers: ctx.helpers.clone(),
+                program: ctx.program,
             };
             for site in inc_sites(&top_ctx) {
                 // Only references that survive the ⊤ function matter:
@@ -187,14 +187,20 @@ impl Checker for InterUnpairedChecker {
                     continue;
                 }
                 // Paired in ⊥ by API name (the object variable differs
-                // across functions, so match on accepted dec names).
+                // across functions, so match on accepted dec names) —
+                // or through a helper defined in another unit whose
+                // summary releases one of the bottom call's arguments.
                 let accepted = ctx.kb.accepted_decs(&site.api.name);
                 let paired_in_bottom = bottom.is_some_and(|b| {
                     b.cfg.node_ids().any(|n| {
-                        b.facts[n]
-                            .calls
-                            .iter()
-                            .any(|c| accepted.iter().any(|d| d == &c.name))
+                        b.facts[n].calls.iter().any(|c| {
+                            accepted.iter().any(|d| d == &c.name)
+                                || ctx.program.cross_unit_release(
+                                    ctx.file,
+                                    &c.name,
+                                    c.args.len(),
+                                )
+                        })
                     })
                 });
                 if paired_in_bottom {
@@ -331,6 +337,7 @@ mod tests {
         let tu = parse_str("t.c", src);
         let graphs = FunctionGraph::build_all(&tu);
         let kb = ApiKb::builtin();
+        let db = refminer_progdb::ProgramDb::empty();
         let mut out = Vec::new();
         for graph in &graphs {
             let ctx = CheckCtx {
@@ -339,7 +346,7 @@ mod tests {
                 kb: &kb,
                 unit: &tu,
                 all_graphs: &graphs,
-                helpers: Default::default(),
+                program: &db,
             };
             out.extend(checker.check(&ctx));
         }

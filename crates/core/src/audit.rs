@@ -1,4 +1,16 @@
-//! The end-to-end audit pipeline: parse → discover → graph → check.
+//! The end-to-end two-phase whole-program audit.
+//!
+//! **Phase 1** fans out per unit: parse, then *export* — each unit's
+//! function-effect digest ([`refminer_checkers::UnitExports`]) and its
+//! per-unit discovery facts. At the phase barrier the per-unit facts
+//! merge, in unit index order, into the knowledge base and the global
+//! [`ProgramDb`] — the function-summary database every checker resolves
+//! helper calls through, under linkage rules (`static` helpers stay
+//! unit-local; external definitions resolve tree-wide).
+//!
+//! **Phase 2** fans out graph + check per unit, every unit consuming
+//! the same merged database — so an `of_node_put` wrapper defined in
+//! `a.c` pairs an acquisition in `b.c`.
 //!
 //! Every translation unit runs inside a *fault boundary*: resource caps
 //! (file bytes, token count, recursion depth, graph nodes) bound what a
@@ -8,31 +20,34 @@
 //! degrade its own results; it cannot take down the run or perturb the
 //! findings of its healthy siblings.
 //!
-//! The per-unit stages (parse, graph+check) fan out across worker
-//! threads (see [`crate::parallel`]) and memoize through a three-layer
-//! content-hash cache (see [`crate::cache`]). Both are exact
-//! optimizations: the report — findings, counters, diagnostics — is
-//! byte-identical at any `jobs` count and any cache temperature,
-//! because per-unit results are merged in unit index order and findings
-//! get one canonical stable sort at the end.
+//! Both phases memoize through the four-layer content-hash cache (see
+//! [`crate::cache`]) and fan out across worker threads (see
+//! [`crate::parallel`]). Both are exact optimizations: the report —
+//! findings, counters, diagnostics — is byte-identical at any `jobs`
+//! count and any cache temperature, because per-unit results are merged
+//! in unit index order and findings get one canonical stable sort at
+//! the end. Phase wall times are reported out of band and never enter
+//! any cached or serialized result.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
 use refminer_checkers::{
-    check_unit_with_graphs, sort_findings_canonical, AntiPattern, Finding, Impact,
+    check_unit_with_program, default_checkers, sort_findings_canonical, AntiPattern, Finding,
+    Impact, ProgramDb, UnitExports,
 };
 use refminer_clex::{scan_defines, MacroDef};
 use refminer_cparse::{parse_str_limited, ParseLimits, TranslationUnit};
 use refminer_cpg::FunctionGraph;
-use refminer_rcapi::{discover, ApiKb, DiscoverConfig};
+use refminer_rcapi::{discover_unit, merge_discoveries, ApiKb, DiscoverConfig, UnitDiscovery};
 
 use crate::cache::{
-    check_config_fingerprint, content_hash, discovery_config_fingerprint, fnv1a, kb_fingerprint,
-    mix, parse_config_fingerprint, AuditCache, CacheStats, CachedError, CheckedUnit, ParsedUnit,
+    check_config_fingerprint, content_hash, discovery_config_fingerprint,
+    export_config_fingerprint, fnv1a, kb_fingerprint, mix, parse_config_fingerprint, AuditCache,
+    CacheStats, CachedError, CheckedUnit, ExportedUnit, ParsedUnit,
 };
-use crate::parallel::run_indexed;
+use crate::parallel::{run_indexed, run_indexed_timed};
 use crate::project::{Project, ScanErrorKind, SourceUnit};
 
 /// Resource caps applied to each translation unit.
@@ -73,6 +88,11 @@ pub struct AuditConfig {
     /// one per available hardware thread; `1` runs everything inline on
     /// the calling thread. The report is identical either way.
     pub jobs: usize,
+    /// Whether helper-effect summaries resolve across translation
+    /// units (external linkage tree-wide). `false` restricts every
+    /// lookup to the unit's own definitions, reproducing the
+    /// pre-whole-program pipeline.
+    pub whole_program: bool,
 }
 
 impl Default for AuditConfig {
@@ -82,6 +102,7 @@ impl Default for AuditConfig {
             nesting_threshold: 3,
             limits: AuditLimits::default(),
             jobs: 0,
+            whole_program: true,
         }
     }
 }
@@ -228,6 +249,12 @@ pub struct AuditReport {
     /// Cache hit/miss counters for this run (all zeros for the plain
     /// [`audit`] entry point, which starts from an empty cache).
     pub cache: CacheStats,
+    /// Wall-clock seconds of phase 1 (parse + export fan-out, plus the
+    /// barrier merge into KB and program database). Timing only — it
+    /// never influences findings, keys or any serialized result.
+    pub phase1_secs: f64,
+    /// Wall-clock seconds of phase 2 (the graph + check fan-out).
+    pub phase2_secs: f64,
 }
 
 impl AuditReport {
@@ -402,14 +429,61 @@ fn parse_unit(unit: &SourceUnit, limits: &AuditLimits, parse_limits: &ParseLimit
     }
 }
 
-/// The check stage for one unit: graphs + the nine checkers inside the
-/// unit's fault boundary. When the parse-layer entry came from disk (no
-/// retained AST), the unit is re-parsed here first — parsing is
-/// deterministic, so the rehydrated AST is the one the entry describes.
+/// The phase-1 export stage for one unit: build graphs, read off the
+/// function-effect exports and the per-unit discovery facts, all inside
+/// the unit's fault boundary. Units that did not parse — and units
+/// whose extraction faults — contribute an empty digest under their own
+/// path, so unit indexing in the merged database never shifts.
+fn export_one(
+    unit: &SourceUnit,
+    parsed: &ParsedUnit,
+    limits: &AuditLimits,
+    parse_limits: &ParseLimits,
+) -> ExportedUnit {
+    let empty = || ExportedUnit {
+        exports: UnitExports {
+            path: unit.path.clone(),
+            fns: Vec::new(),
+        },
+        discovery: UnitDiscovery::default(),
+    };
+    if !parsed.parsed_ok {
+        return empty();
+    }
+    let rehydrated;
+    let tu: &TranslationUnit = match parsed.tu.as_ref() {
+        Some(tu) => tu,
+        None => {
+            match fault_boundary(|| parse_str_limited(&unit.path, &unit.text, parse_limits).unit) {
+                Ok(tu) => {
+                    rehydrated = tu;
+                    &rehydrated
+                }
+                Err(_) => return empty(),
+            }
+        }
+    };
+    fault_boundary(|| {
+        let (graphs, _capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
+        let globals: Vec<String> = tu.globals().map(|g| g.name.clone()).collect();
+        ExportedUnit {
+            exports: UnitExports::extract(&unit.path, &graphs, &globals),
+            discovery: discover_unit(tu, &ApiKb::builtin()),
+        }
+    })
+    .unwrap_or_else(|_| empty())
+}
+
+/// The phase-2 check stage for one unit: graphs + the nine checkers
+/// against the merged program database, inside the unit's fault
+/// boundary. When the parse-layer entry came from disk (no retained
+/// AST), the unit is re-parsed here first — parsing is deterministic,
+/// so the rehydrated AST is the one the entry describes.
 fn check_one(
     unit: &SourceUnit,
     parsed: &ParsedUnit,
     kb: &ApiKb,
+    program: &ProgramDb,
     limits: &AuditLimits,
     parse_limits: &ParseLimits,
 ) -> CheckedUnit {
@@ -437,7 +511,7 @@ fn check_one(
     };
     let checked = fault_boundary(|| {
         let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
-        let fs = check_unit_with_graphs(tu, kb, &graphs);
+        let fs = check_unit_with_program(tu, kb, &graphs, &default_checkers(), program);
         (graphs.len(), capped, fs)
     });
     match checked {
@@ -551,28 +625,28 @@ pub fn audit_with_cache(
         run_indexed(units, config.jobs, |_, u| mix(content_hash(&u.text), parse_cfg));
 
     // Tree fingerprint: every unit's path and key, plus the discovery
-    // configuration. Known before any parsing, which lets the parse
-    // stage decide up front whether ASTs must be materialized for a
-    // discovery re-run.
+    // configuration; keys the whole-tree discovery *merge*.
     let mut tree_fp = discovery_config_fingerprint(config);
     for (u, k) in units.iter().zip(&unit_keys) {
         tree_fp = mix(tree_fp, fnv1a(u.path.as_bytes()));
         tree_fp = mix(tree_fp, *k);
     }
-    let discovery_pending = config.discover_apis && !cache.discovery_contains(tree_fp);
 
-    // Stage 1: lex + parse, work-stealing across workers, each unit
-    // inside its own fault boundary. A cached entry is reusable unless
-    // it lacks a retained AST (disk-loaded) while a discovery re-run is
-    // about to need one.
+    // ------------------------------------------------------------------
+    // Phase 1: per-unit parse + export fan-outs, then the barrier merge.
+    // ------------------------------------------------------------------
+    let phase1_start = std::time::Instant::now();
+
+    // Parse: lex + parse, work-stealing across workers, each unit
+    // inside its own fault boundary. Disk-loaded entries (no retained
+    // AST) are full hits — no later stage needs a tree-wide AST pass
+    // anymore; export-stage misses rehydrate their own unit on demand.
     let mut parsed: Vec<Option<Arc<ParsedUnit>>> = (0..n).map(|_| None).collect();
     let mut parse_todo: Vec<usize> = Vec::new();
     for i in 0..n {
-        match cache.parse_peek(unit_keys[i]) {
-            Some(p) if !(discovery_pending && p.parsed_ok && p.tu.is_none()) => {
-                parsed[i] = cache.parse_get(unit_keys[i]);
-            }
-            _ => parse_todo.push(i),
+        match cache.parse_get(unit_keys[i]) {
+            Some(p) => parsed[i] = Some(p),
+            None => parse_todo.push(i),
         }
     }
     let parsed_new = run_indexed(&parse_todo, config.jobs, |_, &i| {
@@ -582,18 +656,37 @@ pub fn audit_with_cache(
         parsed[i] = Some(cache.parse_put(unit_keys[i], p));
     }
 
-    // Knowledge base: builtin, optionally extended by discovery. The
-    // discovery pass sees all units at once, so it gets its own
-    // boundary: if a degraded unit trips it, fall back to the builtin
-    // KB rather than losing the audit.
+    // Export: each unit's function-effect digest and discovery facts,
+    // keyed by `(unit key, export config)` so editing one file
+    // re-exports exactly that file.
+    let export_cfg = export_config_fingerprint(config);
+    let mut exported: Vec<Option<Arc<ExportedUnit>>> = (0..n).map(|_| None).collect();
+    let mut export_todo: Vec<usize> = Vec::new();
+    for i in 0..n {
+        match cache.export_get(mix(unit_keys[i], export_cfg)) {
+            Some(e) => exported[i] = Some(e),
+            None => export_todo.push(i),
+        }
+    }
+    let exported_new = run_indexed(&export_todo, config.jobs, |_, &i| {
+        export_one(&units[i], parsed[i].as_ref().unwrap(), limits, &parse_limits)
+    });
+    for (&i, e) in export_todo.iter().zip(exported_new) {
+        exported[i] = Some(cache.export_put(mix(unit_keys[i], export_cfg), e));
+    }
+
+    // Barrier: merge per-unit discovery facts into the knowledge base.
+    // The merge folds cached digests — no AST is touched — and runs in
+    // its own fault boundary: if a degraded unit trips it, fall back to
+    // the builtin KB rather than losing the audit.
     let kb: Arc<ApiKb> = if !config.discover_apis {
         Arc::new(ApiKb::builtin())
     } else if let Some(kb) = cache.discovery_get(tree_fp) {
         kb
     } else {
-        let tus: Vec<&TranslationUnit> = parsed
+        let discs: Vec<&UnitDiscovery> = exported
             .iter()
-            .filter_map(|p| p.as_ref()?.tu.as_ref())
+            .map(|e| &e.as_ref().unwrap().discovery)
             .collect();
         let defines: Vec<MacroDef> = parsed
             .iter()
@@ -601,8 +694,8 @@ pub fn audit_with_cache(
             .collect();
         let nesting_threshold = config.nesting_threshold;
         let discovered = fault_boundary(|| {
-            let d = discover(
-                &tus,
+            let d = merge_discoveries(
+                &discs,
                 &defines,
                 &ApiKb::builtin(),
                 &DiscoverConfig { nesting_threshold },
@@ -613,9 +706,25 @@ pub fn audit_with_cache(
         cache.discovery_put(tree_fp, discovered)
     };
 
-    // Stage 2: graph + check, keyed additionally by the KB fingerprint
-    // — a changed KB (say, a newly discovered API) re-checks everything,
-    // as any unit might call it.
+    // Barrier: merge per-unit exports into the program database, in
+    // unit index order. Checkers resolve helper effects through it
+    // under linkage rules in phase 2.
+    let export_refs: Vec<&UnitExports> = exported
+        .iter()
+        .map(|e| &e.as_ref().unwrap().exports)
+        .collect();
+    let program = ProgramDb::build(&export_refs, &kb, config.whole_program);
+    let phase1_secs = phase1_start.elapsed().as_secs_f64();
+
+    // ------------------------------------------------------------------
+    // Phase 2: graph + check fan-out against the merged database.
+    // ------------------------------------------------------------------
+    // Keyed by the KB fingerprint — a changed KB (say, a newly
+    // discovered API) re-checks everything, as any unit might call it —
+    // mixed with the unit's *summary-deps* fingerprint, which folds the
+    // resolution and summary of every helper the unit calls. Editing a
+    // helper's defining file therefore re-checks exactly that file and
+    // the units whose calls resolve into it.
     let kb_fp = mix(kb_fingerprint(&kb), check_config_fingerprint(config));
     let mut checked: Vec<Option<Arc<CheckedUnit>>> = (0..n).map(|_| None).collect();
     let mut check_todo: Vec<usize> = Vec::new();
@@ -623,22 +732,25 @@ pub fn audit_with_cache(
         if !parsed[i].as_ref().unwrap().parsed_ok {
             continue;
         }
-        match cache.check_get(unit_keys[i], kb_fp) {
+        let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
+        match cache.check_get(unit_keys[i], deps_fp) {
             Some(c) => checked[i] = Some(c),
             None => check_todo.push(i),
         }
     }
-    let checked_new = run_indexed(&check_todo, config.jobs, |_, &i| {
+    let (checked_new, phase2_secs) = run_indexed_timed(&check_todo, config.jobs, |_, &i| {
         check_one(
             &units[i],
             parsed[i].as_ref().unwrap(),
             &kb,
+            &program,
             limits,
             &parse_limits,
         )
     });
     for (&i, c) in check_todo.iter().zip(checked_new) {
-        checked[i] = Some(cache.check_put(unit_keys[i], kb_fp, c));
+        let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
+        checked[i] = Some(cache.check_put(unit_keys[i], deps_fp, c));
     }
 
     // Merge, in unit index order, exactly as the sequential pipeline
@@ -702,6 +814,8 @@ pub fn audit_with_cache(
         kb: (*kb).clone(),
         diagnostics,
         cache: cache.stats,
+        phase1_secs,
+        phase2_secs,
     }
 }
 

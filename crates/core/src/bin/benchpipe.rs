@@ -132,6 +132,8 @@ fn run_json(name: &str, m: &Measured, files: usize) -> (String, Value) {
         obj([
             ("secs", m.secs.to_json()),
             ("units_per_sec", (files as f64 / m.secs.max(1e-9)).to_json()),
+            ("phase1_secs", m.report.phase1_secs.to_json()),
+            ("phase2_secs", m.report.phase2_secs.to_json()),
             ("findings", m.report.findings.len().to_json()),
             ("cache", m.report.cache.to_json()),
         ]),
@@ -207,8 +209,12 @@ fn main() -> ExitCode {
     let speedup_parallel = cold_seq.secs / cold_par.secs.max(1e-9);
     let speedup_warm = cold_par.secs / warm.secs.max(1e-9);
     let warm_hit_rate = warm.report.cache.hit_rate();
+    let summary_hit_rate = warm.report.cache.export_hit_rate();
 
     let report = obj([
+        // Schema 2: per-run phase1/phase2 wall times and the summary
+        // (function-export) cache hit rate joined the report.
+        ("schema", 2.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
         ("jobs", jobs.to_json()),
@@ -227,6 +233,9 @@ fn main() -> ExitCode {
         ("speedup_parallel", speedup_parallel.to_json()),
         ("speedup_warm", speedup_warm.to_json()),
         ("warm_hit_rate", warm_hit_rate.to_json()),
+        ("summary_hit_rate", summary_hit_rate.to_json()),
+        ("cold_phase1_secs", cold_par.report.phase1_secs.to_json()),
+        ("cold_phase2_secs", cold_par.report.phase2_secs.to_json()),
     ]);
     if let Err(e) = std::fs::write(&opts.out, format!("{}\n", report.to_string_pretty())) {
         eprintln!("benchpipe: cannot write {}: {e}", opts.out.display());
@@ -241,6 +250,13 @@ fn main() -> ExitCode {
         warm.secs,
         warm_hit_rate * 100.0,
         incremental.secs,
+    );
+    eprintln!(
+        "benchpipe: cold phases {:.3}s parse+export + {:.3}s check | \
+         summary cache {:.0}% hits when warm",
+        cold_par.report.phase1_secs,
+        cold_par.report.phase2_secs,
+        summary_hit_rate * 100.0,
     );
     println!("{}", opts.out.display());
 

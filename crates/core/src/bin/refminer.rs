@@ -297,6 +297,16 @@ fn main() -> ExitCode {
             c.parse_misses + c.check_misses,
             c.hit_rate() * 100.0
         );
+        eprintln!(
+            "summary cache: {} hit(s), {} miss(es), hit rate {:.0}%",
+            c.export_hits,
+            c.export_misses,
+            c.export_hit_rate() * 100.0
+        );
+        eprintln!(
+            "phases: {:.3}s parse+export, {:.3}s check",
+            report.phase1_secs, report.phase2_secs
+        );
         if !d.is_clean() {
             for (kind, count) in d.by_kind() {
                 eprintln!("  {}: {count}", kind.name());

@@ -7,19 +7,28 @@
 //! the same findings — so results are memoizable by content hash alone;
 //! no timestamps, no filesystem metadata.
 //!
-//! Three layers, because the stages have different invalidation scopes:
+//! Four layers, because the stages have different invalidation scopes:
 //!
 //! - **Parse layer** — keyed by `(content hash, parse limits)`. Holds
 //!   the unit's macro defines, line count, parse-stage diagnostics and
 //!   (in memory) the parsed [`TranslationUnit`] itself.
+//! - **Export layer** — keyed by `(unit key, export config)`. Holds the
+//!   unit's phase-1 digest: its function-effect exports
+//!   ([`UnitExports`]) and its per-unit discovery facts
+//!   ([`UnitDiscovery`]). Both are whole-tree-independent, so editing
+//!   one file re-exports exactly that file.
 //! - **Discovery layer** — keyed by a *tree fingerprint* folding every
-//!   unit's key, so touching any file re-runs cross-unit API discovery.
-//!   Holds the resulting [`ApiKb`].
-//! - **Check layer** — keyed by `(unit key, KB fingerprint)`. Holds the
-//!   unit's findings, function count and check-stage diagnostics.
-//!   Editing one file changes only that file's unit key, so exactly one
-//!   entry invalidates; a KB change (new discovered API) invalidates
-//!   every unit, as it must — any unit might call the new API.
+//!   unit's key, so touching any file re-runs the cross-unit discovery
+//!   *merge* (cheap — it folds cached per-unit facts, no ASTs). Holds
+//!   the resulting [`ApiKb`].
+//! - **Check layer** — keyed by `(unit key, mix(KB fingerprint,
+//!   summary-deps fingerprint))`. Holds the unit's findings, function
+//!   count and check-stage diagnostics. Editing one file changes that
+//!   file's unit key *and* the deps fingerprint of every unit whose
+//!   helper calls resolve into it — so a changed helper in `a.c`
+//!   re-checks precisely `a.c` and its cross-unit callers, nothing
+//!   else. A KB change (new discovered API) still invalidates every
+//!   unit, as it must — any unit might call the new API.
 //!
 //! With [`AuditCache::with_dir`] the check and discovery layers persist
 //! across processes as JSON (ASTs are not serialized; the parse layer
@@ -41,7 +50,8 @@ use refminer_checkers::{checker_set_fingerprint, AntiPattern, Finding, Impact};
 use refminer_clex::MacroDef;
 use refminer_cparse::TranslationUnit;
 use refminer_json::{obj, ToJson, Value};
-use refminer_rcapi::{ApiKb, ObjectFlow, RcApi, RcClass, RcDir, SmartLoop};
+use refminer_progdb::{CallSite, FnExport, UnitExports};
+use refminer_rcapi::{ApiKb, ObjectFlow, RcApi, RcClass, RcDir, SmartLoop, StructFact, UnitDiscovery};
 
 use crate::audit::{AuditConfig, UnitErrorKind};
 
@@ -95,6 +105,22 @@ pub fn check_config_fingerprint(config: &AuditConfig) -> u64 {
     let mut h = FNV_OFFSET;
     h = mix(h, config.limits.max_graph_nodes as u64);
     h = mix(h, checker_set_fingerprint());
+    h = mix(h, config.whole_program as u64);
+    h
+}
+
+/// On-format version of the export layer; bump when the extraction
+/// logic changes what a [`UnitExports`] or [`UnitDiscovery`] contains.
+const EXPORT_VERSION: u64 = 1;
+
+/// Fingerprint of the export-stage (phase 1) configuration. Folds the
+/// builtin seed KB because per-unit discovery classifies against it,
+/// and the graph cap because exports are read off built graphs.
+pub fn export_config_fingerprint(config: &AuditConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, EXPORT_VERSION);
+    h = mix(h, config.limits.max_graph_nodes as u64);
+    h = mix(h, kb_fingerprint(&ApiKb::builtin()));
     h
 }
 
@@ -147,6 +173,16 @@ pub struct ParsedUnit {
     pub lines: usize,
 }
 
+/// The export stage's (phase 1) result for one unit: everything the
+/// whole-program merge needs, with no AST attached.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExportedUnit {
+    /// Function-effect exports for the program database.
+    pub exports: UnitExports,
+    /// Per-unit discovery facts for the cross-unit merge.
+    pub discovery: UnitDiscovery,
+}
+
 /// The check stage's result for one unit.
 #[derive(Debug, Clone, Default)]
 pub struct CheckedUnit {
@@ -173,6 +209,10 @@ pub struct CacheStats {
     pub discovery_hits: usize,
     /// Cross-unit discovery passes executed this run (0 or 1).
     pub discovery_misses: usize,
+    /// Units whose phase-1 summary exports were served from cache.
+    pub export_hits: usize,
+    /// Units whose summary exports were extracted this run.
+    pub export_misses: usize,
 }
 
 impl CacheStats {
@@ -186,6 +226,18 @@ impl CacheStats {
             hits as f64 / total as f64
         }
     }
+
+    /// Fraction of summary-export lookups served from cache, in
+    /// `[0, 1]`. Kept separate from [`CacheStats::hit_rate`] so the
+    /// historical parse+check rate is comparable across versions.
+    pub fn export_hit_rate(&self) -> f64 {
+        let total = self.export_hits + self.export_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.export_hits as f64 / total as f64
+        }
+    }
 }
 
 impl ToJson for CacheStats {
@@ -197,7 +249,10 @@ impl ToJson for CacheStats {
             ("check_misses", self.check_misses.to_json()),
             ("discovery_hits", self.discovery_hits.to_json()),
             ("discovery_misses", self.discovery_misses.to_json()),
+            ("export_hits", self.export_hits.to_json()),
+            ("export_misses", self.export_misses.to_json()),
             ("hit_rate", self.hit_rate().to_json()),
+            ("export_hit_rate", self.export_hit_rate().to_json()),
         ])
     }
 }
@@ -206,11 +261,12 @@ impl ToJson for CacheStats {
 // The cache proper.
 // ----------------------------------------------------------------------
 
-/// The three-layer audit cache. See the module docs for the layering
+/// The four-layer audit cache. See the module docs for the layering
 /// and invalidation rules.
 #[derive(Debug, Default)]
 pub struct AuditCache {
     parse: HashMap<u64, Arc<ParsedUnit>>,
+    export: HashMap<u64, Arc<ExportedUnit>>,
     check: HashMap<(u64, u64), Arc<CheckedUnit>>,
     discovery: HashMap<u64, Arc<ApiKb>>,
     /// Counters for the current (or most recent) audit run; reset by
@@ -224,7 +280,7 @@ pub const CACHE_FILE: &str = "audit-cache.json";
 
 /// On-disk format version; bump on any incompatible change. A file
 /// with a different version is ignored wholesale.
-const CACHE_VERSION: u64 = 1;
+const CACHE_VERSION: u64 = 2;
 
 impl AuditCache {
     /// An empty, memory-only cache.
@@ -254,13 +310,6 @@ impl AuditCache {
         self.stats = CacheStats::default();
     }
 
-    /// Parse-layer lookup without touching the stats; used when the
-    /// caller may decline the hit (a disk-loaded entry carries no AST,
-    /// which is not enough when discovery must re-run).
-    pub(crate) fn parse_peek(&self, key: u64) -> Option<Arc<ParsedUnit>> {
-        self.parse.get(&key).cloned()
-    }
-
     /// Parse-layer lookup; counts a hit.
     pub(crate) fn parse_get(&mut self, key: u64) -> Option<Arc<ParsedUnit>> {
         let hit = self.parse.get(&key).cloned();
@@ -275,6 +324,23 @@ impl AuditCache {
         self.stats.parse_misses += 1;
         let arc = Arc::new(unit);
         self.parse.insert(key, arc.clone());
+        arc
+    }
+
+    /// Export-layer lookup; counts a hit.
+    pub(crate) fn export_get(&mut self, key: u64) -> Option<Arc<ExportedUnit>> {
+        let hit = self.export.get(&key).cloned();
+        if hit.is_some() {
+            self.stats.export_hits += 1;
+        }
+        hit
+    }
+
+    /// Export-layer insert; counts the miss that required it.
+    pub(crate) fn export_put(&mut self, key: u64, unit: ExportedUnit) -> Arc<ExportedUnit> {
+        self.stats.export_misses += 1;
+        let arc = Arc::new(unit);
+        self.export.insert(key, arc.clone());
         arc
     }
 
@@ -317,20 +383,22 @@ impl AuditCache {
         arc
     }
 
-    /// Whether the discovery layer already holds this tree fingerprint
-    /// (no stats side effect).
-    pub(crate) fn discovery_contains(&self, tree_fp: u64) -> bool {
-        self.discovery.contains_key(&tree_fp)
-    }
-
-    /// Entries per layer: `(parse, check, discovery)`.
-    pub fn len(&self) -> (usize, usize, usize) {
-        (self.parse.len(), self.check.len(), self.discovery.len())
+    /// Entries per layer: `(parse, export, check, discovery)`.
+    pub fn len(&self) -> (usize, usize, usize, usize) {
+        (
+            self.parse.len(),
+            self.export.len(),
+            self.check.len(),
+            self.discovery.len(),
+        )
     }
 
     /// Whether all layers are empty.
     pub fn is_empty(&self) -> bool {
-        self.parse.is_empty() && self.check.is_empty() && self.discovery.is_empty()
+        self.parse.is_empty()
+            && self.export.is_empty()
+            && self.check.is_empty()
+            && self.discovery.is_empty()
     }
 
     /// Writes the persistable layers to `dir/audit-cache.json`. A
@@ -343,6 +411,9 @@ impl AuditCache {
         let mut parse: Vec<(u64, &Arc<ParsedUnit>)> =
             self.parse.iter().map(|(k, v)| (*k, v)).collect();
         parse.sort_by_key(|(k, _)| *k);
+        let mut export: Vec<(u64, &Arc<ExportedUnit>)> =
+            self.export.iter().map(|(k, v)| (*k, v)).collect();
+        export.sort_by_key(|(k, _)| *k);
         let mut check: Vec<(&(u64, u64), &Arc<CheckedUnit>)> = self.check.iter().collect();
         check.sort_by_key(|(k, _)| **k);
         let mut disc: Vec<(u64, &Arc<ApiKb>)> =
@@ -366,6 +437,21 @@ impl AuditCache {
                                     "defines",
                                     Value::Arr(p.defines.iter().map(macro_to_json).collect()),
                                 ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "export",
+                Value::Arr(
+                    export
+                        .iter()
+                        .map(|(k, e)| {
+                            obj([
+                                ("key", hex(*k)),
+                                ("exports", unit_exports_to_json(&e.exports)),
+                                ("discovery", unit_discovery_to_json(&e.discovery)),
                             ])
                         })
                         .collect(),
@@ -432,6 +518,20 @@ impl AuditCache {
                     lines,
                 }),
             );
+        }
+        for entry in v.get("export").and_then(Value::as_array).unwrap_or(&[]) {
+            let Some(key) = entry.get("key").and_then(unhex) else {
+                continue;
+            };
+            let Some(exports) = entry.get("exports").and_then(unit_exports_from_json) else {
+                continue;
+            };
+            let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json)
+            else {
+                continue;
+            };
+            self.export
+                .insert(key, Arc::new(ExportedUnit { exports, discovery }));
         }
         for entry in v.get("check").and_then(Value::as_array).unwrap_or(&[]) {
             let (Some(uk), Some(kb)) = (
@@ -651,6 +751,155 @@ fn api_from_json(v: &Value) -> Option<RcApi> {
     })
 }
 
+fn indices_to_json(v: &[usize]) -> Value {
+    Value::Arr(v.iter().map(|i| i.to_json()).collect())
+}
+
+fn indices_from_json(v: &Value) -> Option<Vec<usize>> {
+    v.as_array()?
+        .iter()
+        .map(|i| i.as_u64().map(|i| i as usize))
+        .collect()
+}
+
+fn call_site_to_json(c: &CallSite) -> Value {
+    obj([
+        ("callee", c.callee.to_json()),
+        (
+            "args",
+            Value::Arr(
+                c.args
+                    .iter()
+                    .map(|a| match a {
+                        Some(i) => i.to_json(),
+                        None => Value::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn call_site_from_json(v: &Value) -> Option<CallSite> {
+    let args: Option<Vec<Option<usize>>> = v
+        .get("args")?
+        .as_array()?
+        .iter()
+        .map(|a| match a {
+            Value::Null => Some(None),
+            n => n.as_u64().map(|i| Some(i as usize)),
+        })
+        .collect();
+    Some(CallSite {
+        callee: v.get("callee")?.as_str()?.to_string(),
+        args: args?,
+    })
+}
+
+fn unit_exports_to_json(u: &UnitExports) -> Value {
+    obj([
+        ("path", u.path.to_json()),
+        (
+            "fns",
+            Value::Arr(
+                u.fns
+                    .iter()
+                    .map(|f| {
+                        obj([
+                            ("name", f.name.to_json()),
+                            ("is_static", f.is_static.to_json()),
+                            (
+                                "calls",
+                                Value::Arr(f.calls.iter().map(call_site_to_json).collect()),
+                            ),
+                            ("stores", indices_to_json(&f.stores)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn unit_exports_from_json(v: &Value) -> Option<UnitExports> {
+    let fns: Option<Vec<FnExport>> = v
+        .get("fns")?
+        .as_array()?
+        .iter()
+        .map(|f| {
+            Some(FnExport {
+                name: f.get("name")?.as_str()?.to_string(),
+                is_static: f.get("is_static")?.as_bool()?,
+                calls: f
+                    .get("calls")?
+                    .as_array()?
+                    .iter()
+                    .map(call_site_from_json)
+                    .collect::<Option<_>>()?,
+                stores: indices_from_json(f.get("stores")?)?,
+            })
+        })
+        .collect();
+    Some(UnitExports {
+        path: v.get("path")?.as_str()?.to_string(),
+        fns: fns?,
+    })
+}
+
+fn unit_discovery_to_json(d: &UnitDiscovery) -> Value {
+    obj([
+        (
+            "structs",
+            Value::Arr(
+                d.structs
+                    .iter()
+                    .map(|s| {
+                        obj([
+                            ("tag", s.tag.to_json()),
+                            ("direct", s.direct.to_json()),
+                            ("embeds", s.embeds.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "apis",
+            Value::Arr(d.apis.iter().map(api_to_json).collect()),
+        ),
+    ])
+}
+
+fn unit_discovery_from_json(v: &Value) -> Option<UnitDiscovery> {
+    let structs: Option<Vec<StructFact>> = v
+        .get("structs")?
+        .as_array()?
+        .iter()
+        .map(|s| {
+            Some(StructFact {
+                tag: s.get("tag")?.as_str()?.to_string(),
+                direct: s.get("direct")?.as_bool()?,
+                embeds: s
+                    .get("embeds")?
+                    .as_array()?
+                    .iter()
+                    .map(|e| e.as_str().map(str::to_string))
+                    .collect::<Option<_>>()?,
+            })
+        })
+        .collect();
+    let apis: Option<Vec<RcApi>> = v
+        .get("apis")?
+        .as_array()?
+        .iter()
+        .map(api_from_json)
+        .collect();
+    Some(UnitDiscovery {
+        structs: structs?,
+        apis: apis?,
+    })
+}
+
 fn loop_to_json(sl: &SmartLoop) -> Value {
     obj([
         ("name", sl.name.to_json()),
@@ -838,6 +1087,74 @@ mod tests {
         assert_eq!(reloaded.stats.parse_hits, 1);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_layer_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("export_round_trip")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let exported = ExportedUnit {
+            exports: UnitExports {
+                path: "drivers/a/a.c".into(),
+                fns: vec![FnExport {
+                    name: "helper_put".into(),
+                    is_static: false,
+                    calls: vec![CallSite {
+                        callee: "of_node_put".into(),
+                        args: vec![Some(0), None],
+                    }],
+                    stores: vec![1],
+                }],
+            },
+            discovery: UnitDiscovery {
+                structs: vec![StructFact {
+                    tag: "widget".into(),
+                    direct: true,
+                    embeds: vec!["inner".into()],
+                }],
+                apis: vec![RcApi::dec(
+                    "widget_put",
+                    RcClass::Specific,
+                    ObjectFlow::Arg(0),
+                )],
+            },
+        };
+
+        let mut cache = AuditCache::with_dir(&dir);
+        cache.export_put(13, exported.clone());
+        cache.save().expect("save");
+
+        let mut reloaded = AuditCache::with_dir(&dir);
+        let e = reloaded.export_get(13).expect("export entry");
+        assert_eq!(*e, exported);
+        assert_eq!(reloaded.stats.export_hits, 1);
+        assert!(reloaded.export_get(14).is_none());
+        assert_eq!(reloaded.stats.export_misses, 0, "a miss is counted on put");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_config_fingerprint_differs_from_check() {
+        let config = AuditConfig::default();
+        assert_ne!(
+            export_config_fingerprint(&config),
+            check_config_fingerprint(&config)
+        );
+        let single_unit = AuditConfig {
+            whole_program: false,
+            ..AuditConfig::default()
+        };
+        assert_ne!(
+            check_config_fingerprint(&config),
+            check_config_fingerprint(&single_unit),
+            "whole-program mode must key the check layer"
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub use audit::{
     audit, audit_with_cache, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport,
     UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
-pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, CACHE_FILE};
-pub use parallel::{effective_jobs, run_indexed};
+pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, ExportedUnit, CACHE_FILE};
+pub use parallel::{effective_jobs, run_indexed, run_indexed_timed};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
 pub use refminer_checkers as checkers;
@@ -40,6 +40,8 @@ pub use refminer_corpus as corpus;
 pub use refminer_cparse as cparse;
 pub use refminer_cpg as cpg;
 pub use refminer_dataset as dataset;
+pub use refminer_progdb as progdb;
+pub use refminer_progdb::ProgramDb;
 pub use refminer_rcapi as rcapi;
 pub use refminer_rcapi::ApiKb;
 pub use refminer_report as report;

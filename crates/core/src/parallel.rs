@@ -110,6 +110,21 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`run_indexed`], additionally returning the stage's wall-clock
+/// duration in seconds. The two-phase audit uses this to report how
+/// long each fan-out took without the timing influencing any cached or
+/// serialized result — findings stay byte-identical at any job count.
+pub fn run_indexed_timed<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<R>, f64)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = std::time::Instant::now();
+    let out = run_indexed(items, jobs, work);
+    (out, start.elapsed().as_secs_f64())
+}
+
 /// Splits `0..n` into `jobs` contiguous chunks, front-loading the
 /// remainder so sizes differ by at most one.
 fn split_chunks(n: usize, jobs: usize) -> Vec<VecDeque<usize>> {
@@ -208,6 +223,14 @@ mod tests {
             acc
         });
         assert_eq!(spins.len(), items.len());
+    }
+
+    #[test]
+    fn timed_variant_preserves_results_and_reports_elapsed() {
+        let items: Vec<usize> = (0..40).collect();
+        let (out, secs) = run_indexed_timed(&items, 4, |i, x| i + x);
+        assert_eq!(out, run_indexed(&items, 1, |i, x| i + x));
+        assert!(secs >= 0.0 && secs.is_finite());
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct InjectedBug {
     pub subsystem: String,
     /// Module within the subsystem.
     pub module: String,
+    /// Whether the bug only manifests under whole-program analysis:
+    /// the helper whose summary decides the verdict is defined in a
+    /// *different* translation unit than the buggy caller.
+    pub inter_unit: bool,
 }
 
 /// The ground-truth record of a generated tree.
@@ -50,6 +54,7 @@ impl ToJson for InjectedBug {
             ("impact", self.impact.to_json()),
             ("subsystem", self.subsystem.to_json()),
             ("module", self.module.to_json()),
+            ("inter_unit", self.inter_unit.to_json()),
         ])
     }
 }
@@ -124,6 +129,12 @@ pub struct TreeConfig {
     /// discovery (§6.1) can classify — the substrate for the discovery
     /// ablation. Off by default so Table 4's totals stay the paper's.
     pub include_vendor: bool,
+    /// Whether to add the *crossunit* module: helper definitions and
+    /// their buggy callers split across translation units, so the
+    /// verdicts hinge on cross-unit summary resolution. The injected
+    /// bugs are tagged `inter_unit: true` in the manifest. Off by
+    /// default so Table 4's totals stay the paper's.
+    pub cross_unit: bool,
 }
 
 impl Default for TreeConfig {
@@ -135,6 +146,7 @@ impl Default for TreeConfig {
             clean_per_file: 3,
             include_tricky: true,
             include_vendor: false,
+            cross_unit: false,
         }
     }
 }
@@ -266,6 +278,7 @@ pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
                     impact: impact.to_string(),
                     subsystem: subsystem.to_string(),
                     module: module.to_string(),
+                    inter_unit: false,
                 });
             }
             // Clean twins and neutral filler.
@@ -287,6 +300,10 @@ pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
 
     if cfg.include_vendor {
         emit_vendor_module(&mut files, &mut manifest);
+    }
+
+    if cfg.cross_unit {
+        emit_cross_unit_module(&mut files, &mut manifest, cfg.scale);
     }
 
     if cfg.include_tricky {
@@ -474,7 +491,154 @@ static void vendor_flush(struct vendor_widget *w)
             impact: impact.to_string(),
             subsystem: "drivers".to_string(),
             module: "vendor".to_string(),
+            inter_unit: false,
         });
+    }
+}
+
+/// Emits the crossunit module: helper/caller file pairs under
+/// `drivers/crossunit/` in which every helper the callers lean on is
+/// defined in the *other* translation unit. A per-unit pipeline sees
+/// only opaque call sites; the whole-program summary database resolves
+/// the helper bodies, which both *reveals* the injected P4/P6 bugs
+/// (cross-unit escapes and pass-to-consumer summaries) and *suppresses*
+/// the clean shapes (cross-unit releases). Manifest entries for these
+/// bugs carry `inter_unit: true` so evaluations can split single-unit
+/// from cross-unit recall.
+fn emit_cross_unit_module(files: &mut Vec<SourceFile>, manifest: &mut Manifest, scale: f64) {
+    let pairs = ((4.0 * scale).round() as usize).max(1);
+    for i in 0..pairs {
+        let core_path = format!("drivers/crossunit/xu{i}_core.c");
+        files.push(SourceFile {
+            path: format!("drivers/crossunit/xu{i}_helpers.c"),
+            content: format!(
+                r#"// SPDX-License-Identifier: GPL-2.0
+// drivers/crossunit: helper library for module xu{i}. The callers
+// live in xu{i}_core.c; only whole-program summaries connect these
+// bodies to their call sites.
+#include <linux/of.h>
+
+struct xu{i}_priv {{
+        struct device_node *node;
+        int ready;
+}};
+
+void xu{i}_stash_node(struct xu{i}_priv *p, void *cookie)
+{{
+        p->node = cookie;
+}}
+
+void xu{i}_put_inner(struct device_node *np)
+{{
+        of_node_put(np);
+}}
+
+void xu{i}_teardown(struct device_node *np)
+{{
+        xu{i}_put_inner(np);
+}}
+
+void xu{i}_register_stats(struct device_node *np)
+{{
+        update_counter(np->name);
+}}
+"#
+            ),
+        });
+        files.push(SourceFile {
+            path: core_path.clone(),
+            content: format!(
+                r#"// SPDX-License-Identifier: GPL-2.0
+// drivers/crossunit: module xu{i}. Every xu{i}_* helper called below
+// is defined in xu{i}_helpers.c.
+#include <linux/of.h>
+
+struct xu{i}_priv {{
+        struct device_node *node;
+        int ready;
+}};
+
+static int xu{i}_probe(struct platform_device *pdev)
+{{
+        struct xu{i}_priv *priv = devm_kzalloc(&pdev->dev, sizeof(*priv), GFP_KERNEL);
+        struct device_node *np;
+
+        if (!priv)
+                return -ENOMEM;
+        np = of_node_get(pdev->dev.of_node);
+        xu{i}_stash_node(priv, np);
+        return 0;
+}}
+
+static int xu{i}_remove(struct platform_device *pdev)
+{{
+        struct xu{i}_priv *priv = platform_get_drvdata(pdev);
+
+        priv->ready = 0;
+        return 0;
+}}
+
+static void xu{i}_collect(void)
+{{
+        struct device_node *np = of_find_node_by_name(NULL, "xu{i}");
+
+        if (!np)
+                return;
+        xu{i}_register_stats(np);
+}}
+
+static void xu{i}_shutdown_path(void)
+{{
+        struct device_node *np = of_find_node_by_name(NULL, "xu{i}");
+
+        if (!np)
+                return;
+        xu{i}_teardown(np);
+}}
+
+static int xu{i}_open(struct platform_device *pdev)
+{{
+        struct xu{i}_priv *priv = platform_get_drvdata(pdev);
+        struct device_node *np = of_node_get(pdev->dev.of_node);
+
+        if (!np)
+                return -ENODEV;
+        xu{i}_stash_node(priv, np);
+        return 0;
+}}
+
+static void xu{i}_release(struct platform_device *pdev)
+{{
+        struct xu{i}_priv *priv = platform_get_drvdata(pdev);
+
+        xu{i}_teardown(priv->node);
+}}
+
+static const struct platform_driver xu{i}_driver = {{
+        .probe = xu{i}_probe,
+        .remove = xu{i}_remove,
+}};
+"#
+            ),
+        });
+        for (function, pattern, api) in [
+            (format!("xu{i}_probe"), 6u8, "of_node_get"),
+            (format!("xu{i}_collect"), 4, "of_find_node_by_name"),
+        ] {
+            manifest.bugs.push(InjectedBug {
+                path: core_path.clone(),
+                function,
+                pattern,
+                api: api.to_string(),
+                impact: "Leak".to_string(),
+                subsystem: "drivers".to_string(),
+                module: "crossunit".to_string(),
+                inter_unit: true,
+            });
+        }
+        // shutdown_path/open/release plus the four helpers are clean by
+        // construction — any finding on them is a false positive.
+        manifest.clean_functions += 7;
     }
 }
 
@@ -714,6 +878,45 @@ mod tests {
         let c_files = base.files.iter().filter(|f| f.path.ends_with(".c")).count();
         let (_, edited) = next_revision(&base, 1, usize::MAX);
         assert_eq!(edited.len(), c_files);
+    }
+
+    #[test]
+    fn cross_unit_knob_adds_tagged_pairs() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.25,
+            ..Default::default()
+        });
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.25,
+            cross_unit: true,
+            ..Default::default()
+        });
+        // 4.0 * 0.25 rounds to one helper/caller pair → two files.
+        assert_eq!(tree.files.len(), base.files.len() + 2);
+        let tagged: Vec<_> = tree.manifest.bugs.iter().filter(|b| b.inter_unit).collect();
+        assert_eq!(tagged.len(), 2);
+        assert!(tagged
+            .iter()
+            .all(|b| b.path.starts_with("drivers/crossunit/") && b.module == "crossunit"));
+        assert!(tagged.iter().any(|b| b.pattern == 6));
+        assert!(tagged.iter().any(|b| b.pattern == 4));
+        // The helper definitions live in a different file than every
+        // tagged bug — that is the point of the module.
+        assert!(tree
+            .files
+            .iter()
+            .any(|f| f.path == "drivers/crossunit/xu0_helpers.c"));
+        assert_eq!(
+            tree.manifest.clean_functions,
+            base.manifest.clean_functions + 7
+        );
+    }
+
+    #[test]
+    fn default_tree_has_no_cross_unit_material() {
+        let tree = generate_tree(&TreeConfig::default());
+        assert!(tree.manifest.bugs.iter().all(|b| !b.inter_unit));
+        assert!(!tree.files.iter().any(|f| f.path.contains("crossunit")));
     }
 
     #[test]

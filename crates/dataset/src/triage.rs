@@ -302,6 +302,7 @@ mod tests {
             impact: "Leak".into(),
             subsystem: "drivers".into(),
             module: "clk".into(),
+            inter_unit: false,
         });
         let findings = vec![
             fake_finding(
@@ -340,6 +341,7 @@ mod tests {
                 impact: "UAF".into(),
                 subsystem: "net".into(),
                 module: "ipv4".into(),
+                inter_unit: false,
             });
             findings.push(fake_finding(&f, &func, AntiPattern::P8, Impact::Uaf));
         }
@@ -370,6 +372,7 @@ mod tests {
             impact: "Leak".into(),
             subsystem: "sound".into(),
             module: "soc".into(),
+            inter_unit: false,
         });
         let findings = vec![fake_finding(
             "sound/soc/u.c",

@@ -1,0 +1,726 @@
+//! # refminer-progdb
+//!
+//! The whole-program function-summary database behind the two-phase
+//! audit. Phase 1 extracts a [`UnitExports`] per translation unit — for
+//! every function definition, which refcounting effects it applies to
+//! which of its parameters (directly, through calls, or by storing them
+//! into long-lived locations). The exports are pure data: no ASTs, no
+//! graphs, so they serialize into the incremental cache. A barrier then
+//! merges all exports into a [`ProgramDb`], resolving calls under
+//! **linkage-aware identity**: a `static` helper is visible only inside
+//! its own unit, while an external definition is visible tree-wide (the
+//! first external definition in unit order wins, mirroring the one-
+//! definition rule). Phase 2 checkers query the db through `CheckCtx`,
+//! so `InterUnpairedChecker` and `HiddenApiChecker` resolve helpers
+//! defined anywhere in the tree.
+//!
+//! The effect propagation replicates what the old per-unit
+//! `HelperSummaries` fixpoint computed — a knowledge-base match on the
+//! callee name always shadows helper resolution, release/acquire
+//! effects flow from callee parameters to caller parameters through the
+//! argument map — and extends it with a `stores` effect (the callee
+//! parks the parameter in a field, out-parameter, or global) used for
+//! cross-unit escape reasoning.
+
+use std::collections::HashMap;
+
+use refminer_cpg::{FunctionGraph, StoreTarget};
+use refminer_rcapi::{ApiKb, RcDir};
+
+/// The refcounting effects one function applies to its parameters.
+///
+/// Each vector holds 0-based parameter indices; `releases`/`acquires`
+/// mean the function decrements/increments the refcounter of that
+/// argument on some path, `stores` means it parks the argument in a
+/// long-lived location (field, out-parameter or global), i.e. the
+/// reference escapes into the callee.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Parameters whose refcounter the function decrements.
+    pub releases: Vec<usize>,
+    /// Parameters whose refcounter the function increments.
+    pub acquires: Vec<usize>,
+    /// Parameters the function stores into a long-lived location.
+    pub stores: Vec<usize>,
+}
+
+/// One call made by a function, reduced to what summary propagation
+/// needs: the callee name and, per argument position, which caller
+/// parameter (if any) the argument is rooted in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name.
+    pub callee: String,
+    /// `args[i]` is the caller parameter index the `i`-th argument is
+    /// rooted in, or `None` for literals, locals, and globals.
+    pub args: Vec<Option<usize>>,
+}
+
+/// The exportable digest of one function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnExport {
+    /// Function name.
+    pub name: String,
+    /// Whether the definition is `static` (unit-local linkage).
+    pub is_static: bool,
+    /// Every direct call, in CFG-node order.
+    pub calls: Vec<CallSite>,
+    /// Parameters stored directly into long-lived locations.
+    pub stores: Vec<usize>,
+}
+
+/// All function exports of one translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitExports {
+    /// Unit path (the identity used for linkage scoping).
+    pub path: String,
+    /// One export per function definition, in source order.
+    pub fns: Vec<FnExport>,
+}
+
+fn push_unique(v: &mut Vec<usize>, idx: usize) {
+    if !v.contains(&idx) {
+        v.push(idx);
+    }
+}
+
+impl UnitExports {
+    /// Extracts the exports of one unit from its function graphs.
+    ///
+    /// `globals` are the unit's global variable names; a store into one
+    /// of them counts as an escape (mirroring the checkers' notion of
+    /// "escapes to a long-lived location").
+    pub fn extract(path: &str, graphs: &[FunctionGraph], globals: &[String]) -> UnitExports {
+        let fns = graphs
+            .iter()
+            .map(|g| {
+                let params: Vec<Option<&str>> =
+                    g.func.params.iter().map(|p| p.name.as_deref()).collect();
+                let param_index = |root: Option<&str>| -> Option<usize> {
+                    let root = root?;
+                    params.iter().position(|p| *p == Some(root))
+                };
+                let mut calls = Vec::new();
+                let mut stores = Vec::new();
+                for n in g.cfg.node_ids() {
+                    for call in &g.facts[n].calls {
+                        calls.push(CallSite {
+                            callee: call.name.clone(),
+                            args: call
+                                .args
+                                .iter()
+                                .map(|a| param_index(a.root.as_deref()))
+                                .collect(),
+                        });
+                    }
+                    for assign in &g.facts[n].assigns {
+                        let Some(idx) = param_index(assign.rhs_root.as_deref()) else {
+                            continue;
+                        };
+                        let escapes = match &assign.target {
+                            StoreTarget::Field { .. } | StoreTarget::Indirect(_) => true,
+                            StoreTarget::Var(v) => globals.iter().any(|name| name == v),
+                            StoreTarget::Other => false,
+                        };
+                        if escapes {
+                            push_unique(&mut stores, idx);
+                        }
+                    }
+                }
+                FnExport {
+                    name: g.name().to_string(),
+                    is_static: g.func.is_static,
+                    calls,
+                    stores,
+                }
+            })
+            .collect();
+        UnitExports {
+            path: path.to_string(),
+            fns,
+        }
+    }
+}
+
+struct FnInfo {
+    is_static: bool,
+    unit: usize,
+}
+
+/// The merged whole-program view: every function's effect summary,
+/// resolvable by `(unit, name)` under C linkage rules.
+#[derive(Default)]
+pub struct ProgramDb {
+    fns: Vec<FnInfo>,
+    summaries: Vec<FnSummary>,
+    /// Per unit: first definition of each name (file-scope lookup).
+    by_unit: Vec<HashMap<String, usize>>,
+    /// First non-`static` definition of each name, in unit order.
+    extern_first: HashMap<String, usize>,
+    unit_of_path: HashMap<String, usize>,
+    /// Per unit: sorted, deduplicated callee names (for fingerprints).
+    unit_callees: Vec<Vec<String>>,
+    whole_program: bool,
+}
+
+fn resolve(
+    by_unit: &[HashMap<String, usize>],
+    extern_first: &HashMap<String, usize>,
+    whole_program: bool,
+    unit: usize,
+    name: &str,
+) -> Option<usize> {
+    if let Some(&id) = by_unit[unit].get(name) {
+        return Some(id);
+    }
+    if whole_program {
+        extern_first.get(name).copied()
+    } else {
+        None
+    }
+}
+
+impl ProgramDb {
+    /// An empty database: every lookup misses. The neutral element for
+    /// tests and for callers with no program context.
+    pub fn empty() -> ProgramDb {
+        ProgramDb::default()
+    }
+
+    /// Builds the database for a single unit (no cross-unit
+    /// resolution) — the shape `check_unit` uses when auditing one
+    /// translation unit in isolation.
+    pub fn local(path: &str, graphs: &[FunctionGraph], globals: &[String], kb: &ApiKb) -> ProgramDb {
+        let exports = UnitExports::extract(path, graphs, globals);
+        ProgramDb::build(&[&exports], kb, false)
+    }
+
+    /// Merges per-unit exports into the whole-program database.
+    ///
+    /// `units` must be in a deterministic order (the audit uses unit
+    /// index order); external resolution picks the first external
+    /// definition in that order. With `whole_program == false` every
+    /// lookup stays unit-local, reproducing the pre-refactor per-unit
+    /// behavior exactly.
+    pub fn build(units: &[&UnitExports], kb: &ApiKb, whole_program: bool) -> ProgramDb {
+        let mut fns = Vec::new();
+        let mut by_unit = Vec::with_capacity(units.len());
+        let mut extern_first: HashMap<String, usize> = HashMap::new();
+        let mut unit_of_path = HashMap::new();
+        let mut unit_callees = Vec::with_capacity(units.len());
+        for (ui, unit) in units.iter().enumerate() {
+            unit_of_path.entry(unit.path.clone()).or_insert(ui);
+            let mut map: HashMap<String, usize> = HashMap::new();
+            for f in &unit.fns {
+                let id = fns.len();
+                fns.push(FnInfo {
+                    is_static: f.is_static,
+                    unit: ui,
+                });
+                map.entry(f.name.clone()).or_insert(id);
+                if !f.is_static {
+                    extern_first.entry(f.name.clone()).or_insert(id);
+                }
+            }
+            by_unit.push(map);
+            let mut names: Vec<String> = unit
+                .fns
+                .iter()
+                .flat_map(|f| f.calls.iter().map(|c| c.callee.clone()))
+                .collect();
+            names.sort();
+            names.dedup();
+            unit_callees.push(names);
+        }
+
+        // Effect fixpoint. A knowledge-base match on the callee name
+        // always shadows helper resolution; summaries are read from the
+        // current state, so effects propagate through helper chains
+        // across rounds (and within a round, in definition order).
+        let mut summaries = vec![FnSummary::default(); fns.len()];
+        for _round in 0..8 {
+            let mut changed = false;
+            let mut id = 0;
+            for (ui, unit) in units.iter().enumerate() {
+                for f in &unit.fns {
+                    let mut summary = FnSummary {
+                        stores: f.stores.clone(),
+                        ..FnSummary::default()
+                    };
+                    for call in &f.calls {
+                        if let Some(api) = kb.get(&call.callee) {
+                            if let Some(obj) = api.object_arg() {
+                                if let Some(idx) = call.args.get(obj).copied().flatten() {
+                                    match api.dir {
+                                        RcDir::Dec => push_unique(&mut summary.releases, idx),
+                                        RcDir::Inc => push_unique(&mut summary.acquires, idx),
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        let Some(callee_id) =
+                            resolve(&by_unit, &extern_first, whole_program, ui, &call.callee)
+                        else {
+                            continue;
+                        };
+                        let callee = summaries[callee_id].clone();
+                        for &rel in &callee.releases {
+                            if let Some(idx) = call.args.get(rel).copied().flatten() {
+                                push_unique(&mut summary.releases, idx);
+                            }
+                        }
+                        for &acq in &callee.acquires {
+                            if let Some(idx) = call.args.get(acq).copied().flatten() {
+                                push_unique(&mut summary.acquires, idx);
+                            }
+                        }
+                        for &st in &callee.stores {
+                            if let Some(idx) = call.args.get(st).copied().flatten() {
+                                push_unique(&mut summary.stores, idx);
+                            }
+                        }
+                    }
+                    if summaries[id] != summary {
+                        summaries[id] = summary;
+                        changed = true;
+                    }
+                    id += 1;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        ProgramDb {
+            fns,
+            summaries,
+            by_unit,
+            extern_first,
+            unit_of_path,
+            unit_callees,
+            whole_program,
+        }
+    }
+
+    fn resolve_from(&self, file: &str, name: &str) -> Option<usize> {
+        let ui = *self.unit_of_path.get(file)?;
+        resolve(
+            &self.by_unit,
+            &self.extern_first,
+            self.whole_program,
+            ui,
+            name,
+        )
+    }
+
+    /// The summary of `name` as visible from `file`, or `None` if the
+    /// name does not resolve to a definition from there.
+    pub fn summary_of(&self, file: &str, name: &str) -> Option<&FnSummary> {
+        self.resolve_from(file, name).map(|id| &self.summaries[id])
+    }
+
+    /// Whether calling `callee` from `file` releases a reference held
+    /// by argument `arg`.
+    pub fn call_releases(&self, file: &str, callee: &str, arg: usize) -> bool {
+        self.summary_of(file, callee)
+            .is_some_and(|s| s.releases.contains(&arg))
+    }
+
+    /// The summary of `callee` *only if* it resolves to a definition in
+    /// a different unit than `file` — the gate for every behavior
+    /// refinement that must leave single-unit results untouched.
+    pub fn cross_unit_summary(&self, file: &str, callee: &str) -> Option<&FnSummary> {
+        let ui = *self.unit_of_path.get(file)?;
+        let id = resolve(
+            &self.by_unit,
+            &self.extern_first,
+            self.whole_program,
+            ui,
+            callee,
+        )?;
+        if self.fns[id].unit == ui {
+            return None;
+        }
+        Some(&self.summaries[id])
+    }
+
+    /// Whether `callee`, defined in a *different* unit than `file`,
+    /// stores argument `arg` into a long-lived location.
+    pub fn cross_unit_stores(&self, file: &str, callee: &str, arg: usize) -> bool {
+        self.cross_unit_summary(file, callee)
+            .is_some_and(|s| s.stores.contains(&arg))
+    }
+
+    /// Whether `callee`, defined in a *different* unit than `file`,
+    /// releases any of its first `nargs` parameters.
+    pub fn cross_unit_release(&self, file: &str, callee: &str, nargs: usize) -> bool {
+        self.cross_unit_summary(file, callee)
+            .is_some_and(|s| s.releases.iter().any(|&j| j < nargs))
+    }
+
+    /// A fingerprint of everything `file`'s checking consumes from
+    /// *other* parts of the database: for each distinct callee name,
+    /// where it resolves to and what its merged summary says. Editing a
+    /// helper's unit changes this value for exactly the units that call
+    /// it, which is what keys their check-layer invalidation.
+    pub fn deps_fingerprint(&self, file: &str) -> u64 {
+        let Some(&ui) = self.unit_of_path.get(file) else {
+            return 0;
+        };
+        let mut h = FNV_OFFSET;
+        for name in &self.unit_callees[ui] {
+            h = mix(h, fnv1a(name.as_bytes()));
+            match resolve(&self.by_unit, &self.extern_first, self.whole_program, ui, name) {
+                Some(id) => {
+                    let info = &self.fns[id];
+                    let def_unit = self
+                        .unit_of_path
+                        .iter()
+                        .find(|(_, &u)| u == info.unit)
+                        .map(|(p, _)| p.as_str())
+                        .unwrap_or("");
+                    h = mix(h, fnv1a(def_unit.as_bytes()));
+                    h = mix(h, info.is_static as u64 + 1);
+                    let s = &self.summaries[id];
+                    for part in [&s.releases, &s.acquires, &s.stores] {
+                        h = mix(h, part.len() as u64 + 1);
+                        for &idx in part.iter() {
+                            h = mix(h, idx as u64 + 1);
+                        }
+                    }
+                }
+                None => h = mix(h, 0),
+            }
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn mix(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_cparse::parse_str;
+
+    fn exports(path: &str, src: &str) -> UnitExports {
+        let tu = parse_str(path, src);
+        let graphs = FunctionGraph::build_all(&tu);
+        let globals: Vec<String> = tu.globals().map(|g| g.name.clone()).collect();
+        UnitExports::extract(path, &graphs, &globals)
+    }
+
+    fn local_db(src: &str) -> ProgramDb {
+        let ex = exports("t.c", src);
+        ProgramDb::build(&[&ex], &ApiKb::builtin(), false)
+    }
+
+    #[test]
+    fn direct_release_summarized() {
+        let db = local_db(
+            r#"
+static void foo_cleanup(struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        assert_eq!(
+            db.summary_of("t.c", "foo_cleanup").unwrap().releases,
+            vec![0]
+        );
+        assert!(db.call_releases("t.c", "foo_cleanup", 0));
+        assert!(!db.call_releases("t.c", "foo_cleanup", 1));
+    }
+
+    #[test]
+    fn transitive_release_through_helper() {
+        let db = local_db(
+            r#"
+static void inner(struct device_node *np)
+{
+        of_node_put(np);
+}
+static void outer(struct device_node *np)
+{
+        inner(np);
+}
+"#,
+        );
+        assert!(db.call_releases("t.c", "inner", 0));
+        assert!(db.call_releases("t.c", "outer", 0));
+    }
+
+    #[test]
+    fn acquire_summarized() {
+        let db = local_db(
+            r#"
+static void pin_node(struct device_node *np)
+{
+        of_node_get(np);
+}
+"#,
+        );
+        assert_eq!(db.summary_of("t.c", "pin_node").unwrap().acquires, vec![0]);
+        assert!(!db.call_releases("t.c", "pin_node", 0));
+    }
+
+    #[test]
+    fn unrelated_helper_has_empty_summary() {
+        let db = local_db(
+            r#"
+static int helper(struct device_node *np)
+{
+        return np->flags;
+}
+"#,
+        );
+        assert_eq!(
+            db.summary_of("t.c", "helper").unwrap(),
+            &FnSummary::default()
+        );
+    }
+
+    #[test]
+    fn second_parameter_tracked() {
+        let db = local_db(
+            r#"
+static void detach(struct device *dev, struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        assert_eq!(db.summary_of("t.c", "detach").unwrap().releases, vec![1]);
+        assert!(db.call_releases("t.c", "detach", 1));
+        assert!(!db.call_releases("t.c", "detach", 0));
+    }
+
+    #[test]
+    fn static_helpers_with_same_name_do_not_collide() {
+        // The latent HelperSummaries bug: summaries keyed by bare name
+        // attached unit A's effects to unit B's same-named static.
+        let a = exports(
+            "a.c",
+            r#"
+static void foo_put(struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        let b = exports(
+            "b.c",
+            r#"
+static void foo_put(struct device_node *np)
+{
+        np->flags = 0;
+}
+"#,
+        );
+        for whole_program in [false, true] {
+            let db = ProgramDb::build(&[&a, &b], &ApiKb::builtin(), whole_program);
+            assert!(db.call_releases("a.c", "foo_put", 0));
+            assert!(
+                !db.call_releases("b.c", "foo_put", 0),
+                "b.c's static foo_put must keep its own (empty) summary \
+                 (whole_program={whole_program})"
+            );
+        }
+    }
+
+    #[test]
+    fn extern_helper_resolves_cross_unit_only_in_whole_program_mode() {
+        let helpers = exports(
+            "helpers.c",
+            r#"
+void lib_release(struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        let caller = exports(
+            "caller.c",
+            r#"
+static void drop(struct device_node *np)
+{
+        lib_release(np);
+}
+"#,
+        );
+        let on = ProgramDb::build(&[&helpers, &caller], &ApiKb::builtin(), true);
+        assert!(on.call_releases("caller.c", "lib_release", 0));
+        assert!(on.call_releases("caller.c", "drop", 0), "transitive");
+        let off = ProgramDb::build(&[&helpers, &caller], &ApiKb::builtin(), false);
+        assert!(!off.call_releases("caller.c", "lib_release", 0));
+        assert!(!off.call_releases("caller.c", "drop", 0));
+    }
+
+    #[test]
+    fn same_unit_definition_shadows_external_one() {
+        let lib = exports(
+            "lib.c",
+            r#"
+void reap(struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        let own = exports(
+            "own.c",
+            r#"
+static void reap(struct device_node *np)
+{
+        np->flags = 0;
+}
+static void use_it(struct device_node *np)
+{
+        reap(np);
+}
+"#,
+        );
+        let db = ProgramDb::build(&[&lib, &own], &ApiKb::builtin(), true);
+        assert!(!db.call_releases("own.c", "reap", 0));
+        assert!(!db.call_releases("own.c", "use_it", 0));
+        assert!(db.call_releases("lib.c", "reap", 0));
+    }
+
+    #[test]
+    fn stores_tracked_directly_and_transitively() {
+        let helpers = exports(
+            "helpers.c",
+            r#"
+void stash(struct priv *p, void *cookie)
+{
+        p->node = cookie;
+}
+void stash_via(struct priv *p, void *cookie)
+{
+        stash(p, cookie);
+}
+"#,
+        );
+        let caller = exports(
+            "caller.c",
+            r#"
+static void keep(struct priv *p, struct device_node *np)
+{
+        stash(p, np);
+}
+"#,
+        );
+        let db = ProgramDb::build(&[&helpers, &caller], &ApiKb::builtin(), true);
+        assert_eq!(db.summary_of("helpers.c", "stash").unwrap().stores, vec![1]);
+        assert_eq!(
+            db.summary_of("helpers.c", "stash_via").unwrap().stores,
+            vec![1]
+        );
+        // Cross-unit view from the caller: argument 1 escapes.
+        assert!(db.cross_unit_stores("caller.c", "stash", 1));
+        assert!(!db.cross_unit_stores("caller.c", "stash", 0));
+        // Same-unit resolution is never reported as cross-unit.
+        assert!(!db.cross_unit_stores("helpers.c", "stash", 1));
+    }
+
+    #[test]
+    fn cross_unit_release_respects_arity() {
+        let helpers = exports(
+            "helpers.c",
+            r#"
+void teardown(struct device *dev, struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        let caller = exports("caller.c", "static void f(void) { }\n");
+        let db = ProgramDb::build(&[&helpers, &caller], &ApiKb::builtin(), true);
+        assert!(db.cross_unit_release("caller.c", "teardown", 2));
+        assert!(!db.cross_unit_release("caller.c", "teardown", 1));
+        assert!(!db.cross_unit_release("helpers.c", "teardown", 2));
+    }
+
+    #[test]
+    fn deps_fingerprint_tracks_helper_summary_changes() {
+        let caller_src = r#"
+static void drop(struct device_node *np)
+{
+        lib_release(np);
+}
+"#;
+        let releasing = exports(
+            "helpers.c",
+            "void lib_release(struct device_node *np) { of_node_put(np); }\n",
+        );
+        let inert = exports(
+            "helpers.c",
+            "void lib_release(struct device_node *np) { np->flags = 0; }\n",
+        );
+        let caller = exports("caller.c", caller_src);
+        let db1 = ProgramDb::build(&[&releasing, &caller], &ApiKb::builtin(), true);
+        let db2 = ProgramDb::build(&[&inert, &caller], &ApiKb::builtin(), true);
+        let db3 = ProgramDb::build(&[&releasing, &caller], &ApiKb::builtin(), true);
+        assert_ne!(
+            db1.deps_fingerprint("caller.c"),
+            db2.deps_fingerprint("caller.c"),
+            "dependent unit's fingerprint must follow the helper's summary"
+        );
+        assert_eq!(
+            db1.deps_fingerprint("caller.c"),
+            db3.deps_fingerprint("caller.c"),
+            "identical inputs yield identical fingerprints"
+        );
+        assert_ne!(db1.deps_fingerprint("caller.c"), 0);
+    }
+
+    #[test]
+    fn kb_names_shadow_helper_definitions() {
+        // A unit defining its own `of_node_put` does not override the
+        // knowledge base: the KB branch wins, exactly like the old
+        // HelperSummaries fixpoint.
+        let db = local_db(
+            r#"
+void of_node_put(struct device_node *np)
+{
+        np->flags = 0;
+}
+static void drop(struct device_node *np)
+{
+        of_node_put(np);
+}
+"#,
+        );
+        assert!(db.call_releases("t.c", "drop", 0));
+    }
+
+    #[test]
+    fn empty_db_misses_everything() {
+        let db = ProgramDb::empty();
+        assert!(!db.call_releases("t.c", "anything", 0));
+        assert!(db.summary_of("t.c", "anything").is_none());
+        assert_eq!(db.deps_fingerprint("t.c"), 0);
+    }
+}

@@ -60,6 +60,123 @@ impl Default for DiscoverConfig {
     }
 }
 
+/// One struct declaration's refcounting-relevant shape, as seen in a
+/// single unit: whether it embeds a known refcounter by value, and
+/// which other struct tags it embeds by value. These are the raw inputs
+/// the cross-unit nesting propagation folds together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructFact {
+    /// The struct tag.
+    pub tag: String,
+    /// Embeds one of [`RC_STRUCTS`] by value.
+    pub direct: bool,
+    /// By-value member struct tags (from non-refcounter fields).
+    pub embeds: Vec<String>,
+}
+
+/// The per-unit slice of discovery: serializable facts that
+/// [`merge_discoveries`] folds into a whole-program [`Discovery`]
+/// without re-touching any AST.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitDiscovery {
+    /// Struct shapes declared in the unit.
+    pub structs: Vec<StructFact>,
+    /// APIs classified from this unit's function definitions.
+    pub apis: Vec<RcApi>,
+}
+
+/// Extracts the discovery facts of one translation unit.
+///
+/// Classification only consults the *seed* knowledge base, so the
+/// result is independent of every other unit — the property that lets
+/// the audit cache it per unit and merge later.
+pub fn discover_unit(tu: &TranslationUnit, seed: &ApiKb) -> UnitDiscovery {
+    let mut structs = Vec::new();
+    for s in tu.structs() {
+        let Some(tag) = &s.name else { continue };
+        let mut direct = false;
+        let mut embeds = Vec::new();
+        for f in &s.fields {
+            if f.ty.is_pointer() {
+                // A *pointer* to a refcounted object does not make
+                // the containing object refcounted.
+                continue;
+            }
+            let base = f.ty.base.as_str();
+            if RC_STRUCTS
+                .iter()
+                .any(|rc| base == *rc || base == format!("struct {rc}").as_str())
+            {
+                direct = true;
+            } else if let Some(member_tag) = f.ty.struct_tag() {
+                embeds.push(member_tag.to_string());
+            }
+        }
+        structs.push(StructFact {
+            tag: tag.clone(),
+            direct,
+            embeds,
+        });
+    }
+    // `classify_function` uses the rc-struct set only inside
+    // `returns_rc_ptr || ret.is_pointer()`, where the first disjunct
+    // implies the second — so classifying against the empty set is
+    // exactly equivalent and keeps the unit pass self-contained.
+    let empty = BTreeSet::new();
+    let mut apis = Vec::new();
+    for f in tu.functions() {
+        if seed.get(&f.name).is_some() {
+            continue;
+        }
+        if let Some(api) = classify_function(f, seed, &empty) {
+            apis.push(api);
+        }
+    }
+    UnitDiscovery { structs, apis }
+}
+
+/// Folds per-unit discovery facts into the whole-program [`Discovery`].
+///
+/// `units` must be in a deterministic order (the audit uses unit index
+/// order); the output is identical to running [`discover`] over the
+/// same units' ASTs.
+pub fn merge_discoveries(
+    units: &[&UnitDiscovery],
+    defines: &[MacroDef],
+    seed: &ApiKb,
+    config: &DiscoverConfig,
+) -> Discovery {
+    // tag → by-value member struct tags, concatenated in unit order.
+    let mut embeds: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut marked: BTreeSet<String> = BTreeSet::new();
+    for unit in units {
+        for s in &unit.structs {
+            if s.direct {
+                marked.insert(s.tag.clone());
+            }
+            if !s.embeds.is_empty() {
+                embeds
+                    .entry(s.tag.clone())
+                    .or_default()
+                    .extend(s.embeds.iter().cloned());
+            }
+        }
+    }
+    propagate_nesting(&embeds, &mut marked, config.nesting_threshold);
+    let apis: Vec<RcApi> = units.iter().flat_map(|u| u.apis.iter().cloned()).collect();
+    // Smartloop discovery may reference freshly discovered APIs too.
+    let mut extended = seed.clone();
+    for api in &apis {
+        extended.insert(api.clone());
+    }
+    let smartloops = discover_smartloops(defines, &extended);
+    Discovery {
+        rc_structs: marked,
+        apis,
+        smartloops,
+    }
+}
+
 /// Runs discovery over parsed translation units and raw macro defines.
 ///
 /// `seed` supplies the general APIs used to recognize wrappers; pass
@@ -83,26 +200,18 @@ impl Default for DiscoverConfig {
 ///
 /// Units are taken by reference (`&[&TranslationUnit]`) so the audit
 /// pipeline can run the cross-unit pass over ASTs it already holds —
-/// no wholesale cloning of every parsed unit.
+/// no wholesale cloning of every parsed unit. This is now a thin
+/// composition of [`discover_unit`] + [`merge_discoveries`], the split
+/// the two-phase audit uses to cache the unit pass.
 pub fn discover(
     tus: &[&TranslationUnit],
     defines: &[MacroDef],
     seed: &ApiKb,
     config: &DiscoverConfig,
 ) -> Discovery {
-    let rc_structs = discover_rc_structs(tus, config.nesting_threshold);
-    let apis = discover_apis(tus, seed, &rc_structs);
-    // Smartloop discovery may reference freshly discovered APIs too.
-    let mut extended = seed.clone();
-    for api in &apis {
-        extended.insert(api.clone());
-    }
-    let smartloops = discover_smartloops(defines, &extended);
-    Discovery {
-        rc_structs,
-        apis,
-        smartloops,
-    }
+    let units: Vec<UnitDiscovery> = tus.iter().map(|tu| discover_unit(tu, seed)).collect();
+    let refs: Vec<&UnitDiscovery> = units.iter().collect();
+    merge_discoveries(&refs, defines, seed, config)
 }
 
 /// Finds struct tags that embed a refcounter, directly or through up to
@@ -135,10 +244,20 @@ pub fn discover_rc_structs(tus: &[&TranslationUnit], threshold: usize) -> BTreeS
             }
         }
     }
-    // Propagate through nesting, bounded by the threshold.
+    propagate_nesting(&embeds, &mut marked, threshold);
+    marked
+}
+
+/// Propagates refcounted-ness through by-value nesting, bounded by the
+/// threshold.
+fn propagate_nesting(
+    embeds: &BTreeMap<String, Vec<String>>,
+    marked: &mut BTreeSet<String>,
+    threshold: usize,
+) {
     for _ in 0..threshold {
         let mut added = Vec::new();
-        for (tag, members) in &embeds {
+        for (tag, members) in embeds {
             if !marked.contains(tag) && members.iter().any(|m| marked.contains(m)) {
                 added.push(tag.clone());
             }
@@ -148,27 +267,6 @@ pub fn discover_rc_structs(tus: &[&TranslationUnit], threshold: usize) -> BTreeS
         }
         marked.extend(added);
     }
-    marked
-}
-
-/// Finds functions that wrap refcounting operations.
-fn discover_apis(
-    tus: &[&TranslationUnit],
-    seed: &ApiKb,
-    rc_structs: &BTreeSet<String>,
-) -> Vec<RcApi> {
-    let mut out = Vec::new();
-    for tu in tus {
-        for f in tu.functions() {
-            if seed.get(&f.name).is_some() {
-                continue;
-            }
-            if let Some(api) = classify_function(f, seed, rc_structs) {
-                out.push(api);
-            }
-        }
-    }
-    out
 }
 
 /// Direct calls in a function body, with their first-argument root.
@@ -482,6 +580,35 @@ int my_pm_get_sync(struct device *dev)
         let defines = scan_defines(src);
         let loops = discover_smartloops(&defines, &ApiKb::builtin());
         assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn per_unit_discovery_merges_like_the_global_pass() {
+        // The structs span units (the nested member lives in another
+        // file than the refcounter), so the merge must fold struct
+        // facts across units before propagating.
+        let header = parse_str(
+            "w.h",
+            r#"
+struct widget { struct kref refs; };
+struct widget_holder { struct widget w; };
+"#,
+        );
+        let code = parse_str(
+            "w.c",
+            r#"
+void widget_put(struct widget *w) { kref_put(&w->refs, widget_free); }
+"#,
+        );
+        let seed = ApiKb::builtin();
+        let cfg = DiscoverConfig::default();
+        let global = discover(&[&header, &code], &[], &seed, &cfg);
+        let units = [discover_unit(&header, &seed), discover_unit(&code, &seed)];
+        let merged = merge_discoveries(&[&units[0], &units[1]], &[], &seed, &cfg);
+        assert_eq!(merged.rc_structs, global.rc_structs);
+        assert_eq!(merged.apis, global.apis);
+        assert!(merged.rc_structs.contains("widget_holder"));
+        assert!(merged.apis.iter().any(|a| a.name == "widget_put"));
     }
 
     #[test]

@@ -23,7 +23,10 @@ mod kb;
 mod keywords;
 mod model;
 
-pub use discover::{discover, discover_rc_structs, discover_smartloops, DiscoverConfig, Discovery};
+pub use discover::{
+    discover, discover_rc_structs, discover_smartloops, discover_unit, merge_discoveries,
+    DiscoverConfig, Discovery, StructFact, UnitDiscovery,
+};
 pub use kb::ApiKb;
 pub use keywords::{
     is_findlike_name, name_direction, name_words, paired_dec_name, BUG_API_WORDS, DEC_WORDS,

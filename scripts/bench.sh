@@ -28,9 +28,16 @@ if [ -n "${BENCH_JOBS:-}" ]; then
     args+=(--jobs "$BENCH_JOBS")
 fi
 
-if benchpipe "${args[@]}"; then
-    echo "bench.sh: PASS ($out)"
-else
+if ! benchpipe "${args[@]}"; then
     echo "bench.sh: FAIL" >&2
     exit 1
 fi
+
+# Surface the schema-2 phase split and summary-cache hit rate from the
+# report; the keys appear exactly once at the top level.
+top_key() {
+    sed -n "s/^ *\"$1\": *\([0-9.eE+-]*\),*$/\1/p" "$out" | head -n 1
+}
+echo "bench.sh: cold phases $(top_key cold_phase1_secs)s parse+export + $(top_key cold_phase2_secs)s check"
+echo "bench.sh: warm summary-cache hit rate $(top_key summary_hit_rate)"
+echo "bench.sh: PASS ($out)"

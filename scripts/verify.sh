@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-shot release gate: build → test → chaos → bench, fail fast, and
+# end with a single "verify.sh: PASS" or "verify.sh: FAIL (<step>)"
+# verdict line.
+#
+# Env:
+#   VERIFY_SKIP     space-separated step names to skip
+#                   (any of: build test chaos bench)
+#   CHAOSGEN_BIN / REFMINER_BIN / BENCHPIPE_BIN, BENCH_SCALE / BENCH_JOBS
+#   / BENCH_OUT — forwarded to the underlying scripts, so a harness can
+#   point every step at prebuilt binaries.
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+
+skipped() {
+    case " ${VERIFY_SKIP:-} " in
+        *" $1 "*) return 0 ;;
+        *) return 1 ;;
+    esac
+}
+
+step() {
+    name="$1"
+    shift
+    if skipped "$name"; then
+        echo "verify.sh: [$name] skipped"
+        return 0
+    fi
+    echo "verify.sh: [$name] running"
+    if "$@"; then
+        echo "verify.sh: [$name] ok"
+    else
+        echo "verify.sh: FAIL ($name)" >&2
+        exit 1
+    fi
+}
+
+step build cargo build --release --quiet --manifest-path "$here/Cargo.toml" --workspace
+step test cargo test --quiet --manifest-path "$here/Cargo.toml" --workspace
+step chaos bash "$here/scripts/chaos.sh"
+step bench bash "$here/scripts/bench.sh"
+
+echo "verify.sh: PASS"

@@ -178,6 +178,161 @@ fn editing_one_file_reruns_discovery_but_not_clean_units() {
     assert_eq!(json_lines(&scratch), json_lines(&incr));
 }
 
+// ----------------------------------------------------------------------
+// Whole-program analysis on the cross-unit corpus.
+// ----------------------------------------------------------------------
+
+fn cross_tree() -> SyntheticTree {
+    generate_tree(&TreeConfig {
+        scale: 0.04,
+        cross_unit: true,
+        ..Default::default()
+    })
+}
+
+fn pattern_num(p: refminer::AntiPattern) -> u8 {
+    refminer::AntiPattern::all()
+        .iter()
+        .position(|&q| q == p)
+        .unwrap() as u8
+        + 1
+}
+
+#[test]
+fn whole_program_mode_finds_cross_unit_ground_truth_without_new_fps() {
+    let tree = cross_tree();
+    let project = Project::from_tree(&tree);
+    let inter: Vec<_> = tree.manifest.bugs.iter().filter(|b| b.inter_unit).collect();
+    assert!(!inter.is_empty(), "cross_unit tree must tag bugs");
+
+    let whole = audit(&project, &config(4, true));
+    let per_unit = audit(
+        &project,
+        &AuditConfig {
+            whole_program: false,
+            ..config(4, true)
+        },
+    );
+
+    // Every tagged ground-truth bug is found under whole-program
+    // analysis; none of them is visible to the per-unit pipeline.
+    for b in &inter {
+        let hit = |r: &AuditReport| {
+            r.findings.iter().any(|f| {
+                f.file == b.path && f.function == b.function && pattern_num(f.pattern) == b.pattern
+            })
+        };
+        assert!(hit(&whole), "missed cross-unit bug: {b:?}");
+        assert!(!hit(&per_unit), "per-unit mode cannot see: {b:?}");
+    }
+
+    // Zero false positives: every whole-program finding inside the
+    // cross-unit module is ground truth…
+    for f in whole
+        .findings
+        .iter()
+        .filter(|f| f.file.starts_with("drivers/crossunit/"))
+    {
+        assert!(
+            tree.manifest
+                .matches(&f.file, &f.function, pattern_num(f.pattern)),
+            "false positive: {f:?}"
+        );
+    }
+    // …and outside it the two modes agree byte for byte, so the merged
+    // database changes nothing on single-unit ground truth.
+    let outside = |r: &AuditReport| -> Vec<String> {
+        r.findings
+            .iter()
+            .filter(|f| !f.file.starts_with("drivers/crossunit/"))
+            .map(|f| f.to_json().to_string())
+            .collect()
+    };
+    assert_eq!(outside(&whole), outside(&per_unit));
+}
+
+#[test]
+fn cross_unit_tree_is_deterministic_across_jobs_and_cache_temperature() {
+    let tree = cross_tree();
+    let project = Project::from_tree(&tree);
+    let seq = audit(&project, &config(1, true));
+    let par = audit(&project, &config(8, true));
+    assert_eq!(json_lines(&seq), json_lines(&par));
+
+    let mut cache = AuditCache::new();
+    let cold = audit_with_cache(&project, &config(4, true), &mut cache);
+    let warm = audit_with_cache(&project, &config(4, true), &mut cache);
+    assert_eq!(json_lines(&seq), json_lines(&cold));
+    assert_eq!(json_lines(&cold), json_lines(&warm));
+    assert_eq!(warm.cache.check_misses, 0);
+    assert_eq!(warm.cache.export_misses, 0, "summary layer must be warm");
+    assert_eq!(warm.cache.export_hits, tree.files.len());
+}
+
+#[test]
+fn helper_summary_change_rechecks_exactly_the_dependent_units() {
+    let base = cross_tree();
+    // Discovery off: a stable KB isolates the export/check layers.
+    let cfg = config(4, false);
+    let mut cache = AuditCache::new();
+    audit_with_cache(&Project::from_tree(&base), &cfg, &mut cache);
+
+    // Semantic edit: xu0_teardown stops releasing its argument. The
+    // helpers unit re-parses and re-exports; the core unit re-checks
+    // because its dependency fingerprint follows the helper summary —
+    // and nothing else in the tree is touched.
+    let mut rev = base.clone();
+    let helpers = rev
+        .files
+        .iter_mut()
+        .find(|f| f.path == "drivers/crossunit/xu0_helpers.c")
+        .expect("helpers unit exists");
+    helpers.content = helpers.content.replace("xu0_put_inner(np);", "np->name = 0;");
+
+    let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
+    assert_eq!(incr.cache.parse_misses, 1, "only the helpers unit re-parses");
+    assert_eq!(incr.cache.export_misses, 1, "only the helpers unit re-exports");
+    assert_eq!(
+        incr.cache.check_misses, 2,
+        "the helpers unit and its dependent core unit re-check"
+    );
+    assert_eq!(incr.cache.check_hits, base.files.len() - 2);
+
+    // The incremental result agrees with a from-scratch audit of the
+    // revision — which now reports the broken teardown's fallout.
+    let scratch = audit(&Project::from_tree(&rev), &cfg);
+    assert_eq!(json_lines(&scratch), json_lines(&incr));
+}
+
+#[test]
+fn summary_neutral_helper_edit_rechecks_only_the_edited_unit() {
+    let base = cross_tree();
+    let cfg = config(4, false);
+    let mut cache = AuditCache::new();
+    let cold = audit_with_cache(&Project::from_tree(&base), &cfg, &mut cache);
+
+    // Appending a new helper changes the file's content hash but no
+    // existing summary, so dependent units stay cached.
+    let mut rev = base.clone();
+    let helpers = rev
+        .files
+        .iter_mut()
+        .find(|f| f.path == "drivers/crossunit/xu0_helpers.c")
+        .expect("helpers unit exists");
+    helpers
+        .content
+        .push_str("\nint xu0_noop(void)\n{\n        return 0;\n}\n");
+
+    let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
+    assert_eq!(incr.cache.parse_misses, 1);
+    assert_eq!(incr.cache.export_misses, 1);
+    assert_eq!(
+        incr.cache.check_misses, 1,
+        "no summary changed, so no dependent re-checks"
+    );
+    assert_eq!(json_lines(&cold), json_lines(&incr));
+}
+
 #[test]
 fn config_change_invalidates_check_layer_not_parse_layer() {
     let tree = small_tree();
