@@ -115,12 +115,7 @@ impl Criterion {
 
     /// Prints the collected measurements to stdout.
     pub fn report(&self) {
-        let width = self
-            .records
-            .iter()
-            .map(|r| r.name.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.records.iter().map(|r| r.name.len()).max().unwrap_or(0);
         for r in &self.records {
             let rate = match r.throughput {
                 Some(Throughput::Bytes(n)) if !r.per_iter.is_zero() => {
@@ -133,7 +128,12 @@ impl Criterion {
                 }
                 _ => String::new(),
             };
-            println!("{:<width$}  {:>12}{}", r.name, fmt_duration(r.per_iter), rate);
+            println!(
+                "{:<width$}  {:>12}{}",
+                r.name,
+                fmt_duration(r.per_iter),
+                rate
+            );
         }
     }
 }

@@ -12,6 +12,9 @@ use crate::finding::Finding;
 pub trait Checker {
     /// The anti-pattern this checker detects.
     fn pattern(&self) -> crate::finding::AntiPattern;
+    /// Stable checker name, recorded in each finding's `checkers` list
+    /// (and combined when the report layer merges same-site findings).
+    fn name(&self) -> &'static str;
     /// Runs the checker on one function.
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding>;
 }
@@ -29,6 +32,16 @@ pub fn default_checkers() -> Vec<Box<dyn Checker>> {
         Box::new(crate::risk::UadChecker),
         Box::new(crate::risk::EscapeChecker),
     ]
+}
+
+/// The default checker set restricted to a subset of anti-patterns —
+/// the `--only-pattern` audit scope. Order is preserved, so a filtered
+/// run emits findings in the same relative order as a full run.
+pub fn checkers_for_patterns(patterns: &[crate::finding::AntiPattern]) -> Vec<Box<dyn Checker>> {
+    default_checkers()
+        .into_iter()
+        .filter(|c| patterns.contains(&c.pattern()))
+        .collect()
 }
 
 /// Runs every checker over every function of a translation unit.
@@ -102,7 +115,13 @@ pub fn check_unit_with_program(
             program,
         };
         for checker in checkers {
-            out.extend(checker.check(&ctx));
+            let mut found = checker.check(&ctx);
+            for f in &mut found {
+                if f.checkers.is_empty() {
+                    f.checkers.push(checker.name().to_string());
+                }
+            }
+            out.extend(found);
         }
     }
     dedup_findings(&mut out);
@@ -136,7 +155,9 @@ pub fn checker_set_fingerprint() -> u64 {
     // capture (new heuristics, changed dedup rules, ...).
     // v2: helper summaries resolve through the linkage-aware ProgramDb
     // (cross-unit release/store/consumer refinements).
-    const CHECKER_LOGIC_VERSION: u64 = 2;
+    // v3: findings carry feasibility verdicts and checker lists; the
+    // path-feasibility engine classifies every path-based witness.
+    const CHECKER_LOGIC_VERSION: u64 = 3;
     let mut h: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -264,6 +285,8 @@ int f(struct device *dev)
             api: "x".into(),
             object: None,
             message: String::new(),
+            feasibility: refminer_cpg::Feasibility::Assumed,
+            checkers: Vec::new(),
         };
         let mut v = vec![f.clone(), f.clone()];
         dedup_findings(&mut v);

@@ -161,8 +161,7 @@ impl<'a> CheckCtx<'a> {
     pub fn helper_releases(&self, n: NodeId, obj: &str) -> bool {
         self.graph.facts[n].calls.iter().any(|c| {
             c.args.iter().enumerate().any(|(i, a)| {
-                a.root.as_deref() == Some(obj)
-                    && self.program.call_releases(self.file, &c.name, i)
+                a.root.as_deref() == Some(obj) && self.program.call_releases(self.file, &c.name, i)
             })
         })
     }

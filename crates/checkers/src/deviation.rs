@@ -19,6 +19,10 @@ impl Checker for ReturnErrorChecker {
         AntiPattern::P1
     }
 
+    fn name(&self) -> &'static str {
+        "ReturnErrorChecker"
+    }
+
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
         let mut out = Vec::new();
         for site in inc_sites(ctx) {
@@ -57,6 +61,8 @@ impl Checker for ReturnErrorChecker {
                          path returns without the paired decrement",
                         site.api.name
                     ),
+                    feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
+                    checkers: Vec::new(),
                 });
             }
         }
@@ -74,6 +80,10 @@ pub struct ReturnNullChecker;
 impl Checker for ReturnNullChecker {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::P2
+    }
+
+    fn name(&self) -> &'static str {
+        "ReturnNullChecker"
     }
 
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
@@ -119,6 +129,8 @@ impl Checker for ReturnNullChecker {
                         "result of {} may be NULL but is dereferenced without a check",
                         site.api.name
                     ),
+                    feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
+                    checkers: Vec::new(),
                 });
             }
         }

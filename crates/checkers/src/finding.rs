@@ -1,5 +1,6 @@
 //! Findings: what a checker reports.
 
+use refminer_cpg::Feasibility;
 use refminer_json::{obj, ToJson, Value};
 use std::fmt;
 
@@ -127,6 +128,12 @@ pub struct Finding {
     pub object: Option<String>,
     /// Human-readable explanation.
     pub message: String,
+    /// Path-feasibility verdict for the witnessing path. `Infeasible`
+    /// findings are suppressed by default in the audit report.
+    pub feasibility: Feasibility,
+    /// The checkers that reported this site; more than one after the
+    /// report layer merges same-(file, line, family) findings.
+    pub checkers: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -162,6 +169,37 @@ pub fn merge_unit_findings(per_unit: impl IntoIterator<Item = Vec<Finding>>) -> 
     all
 }
 
+/// Report-layer dedup: collapses findings that name the same
+/// `(file, line, root-cause family)` site into one, with the checker
+/// lists combined.
+///
+/// Input must already be in canonical order ([`sort_findings_canonical`]
+/// groups same-site findings adjacently and fixes their relative order),
+/// so the merge is deterministic at any worker count: the first finding
+/// of each group survives, absorbing the others' checkers in encounter
+/// order and keeping the most credible feasibility verdict.
+pub fn merge_duplicate_findings(findings: &mut Vec<Finding>) {
+    let mut out: Vec<Finding> = Vec::with_capacity(findings.len());
+    for f in findings.drain(..) {
+        match out.last_mut() {
+            Some(prev)
+                if prev.file == f.file
+                    && prev.line == f.line
+                    && prev.pattern.root_cause() == f.pattern.root_cause() =>
+            {
+                for c in f.checkers {
+                    if !prev.checkers.contains(&c) {
+                        prev.checkers.push(c);
+                    }
+                }
+                prev.feasibility = prev.feasibility.max(f.feasibility);
+            }
+            _ => out.push(f),
+        }
+    }
+    *findings = out;
+}
+
 impl ToJson for AntiPattern {
     fn to_json(&self) -> Value {
         Value::Str(self.id().to_string())
@@ -185,6 +223,11 @@ impl ToJson for Finding {
             ("api", self.api.to_json()),
             ("object", self.object.to_json()),
             ("message", self.message.to_json()),
+            (
+                "feasibility",
+                Value::Str(self.feasibility.name().to_string()),
+            ),
+            ("checkers", self.checkers.to_json()),
         ])
     }
 }
@@ -222,6 +265,8 @@ mod tests {
             api: api.into(),
             object: None,
             message: String::new(),
+            feasibility: Feasibility::Assumed,
+            checkers: Vec::new(),
         };
         // Two units, the second sorting before the first by file name,
         // plus same-line findings whose relative order must survive.
@@ -251,10 +296,60 @@ mod tests {
             api: "of_find_node_by_name".into(),
             object: Some("np".into()),
             message: "reference never released".into(),
+            feasibility: Feasibility::Assumed,
+            checkers: vec!["HiddenApiChecker".into()],
         };
         let s = f.to_string();
         assert!(s.contains("drivers/soc/foo.c:42"));
         assert!(s.contains("[P4/Leak]"));
         assert!(s.contains("foo_probe"));
+        let json = f.to_json().to_string();
+        assert!(json.contains("\"feasibility\":\"assumed\""));
+        assert!(json.contains("HiddenApiChecker"));
+    }
+
+    #[test]
+    fn merge_collapses_same_site_same_family() {
+        let mk = |pattern: AntiPattern, line: u32, checker: &str| Finding {
+            pattern,
+            impact: Impact::Leak,
+            file: "a.c".into(),
+            function: "f".into(),
+            line,
+            api: "get_thing".into(),
+            object: None,
+            message: String::new(),
+            feasibility: Feasibility::Assumed,
+            checkers: vec![checker.into()],
+        };
+        // P5 and P7 share the "overlooked location" family at line 9;
+        // P1 at the same line is a different family and must survive.
+        let mut v = vec![
+            mk(AntiPattern::P1, 9, "ReturnErrorChecker"),
+            mk(AntiPattern::P5, 9, "ErrorPathChecker"),
+            mk(AntiPattern::P7, 9, "DirectFreeChecker"),
+            mk(AntiPattern::P5, 11, "ErrorPathChecker"),
+        ];
+        let mut expect_feas = v.clone();
+        expect_feas[2].feasibility = Feasibility::Proven;
+        sort_findings_canonical(&mut v);
+        merge_duplicate_findings(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].pattern, AntiPattern::P1);
+        assert_eq!(v[1].pattern, AntiPattern::P5);
+        assert_eq!(
+            v[1].checkers,
+            vec![
+                "ErrorPathChecker".to_string(),
+                "DirectFreeChecker".to_string()
+            ]
+        );
+        assert_eq!(v[2].line, 11);
+        assert_eq!(v[2].checkers, vec!["ErrorPathChecker".to_string()]);
+
+        // The merged finding keeps the most credible verdict.
+        sort_findings_canonical(&mut expect_feas);
+        merge_duplicate_findings(&mut expect_feas);
+        assert_eq!(expect_feas[1].feasibility, Feasibility::Proven);
     }
 }

@@ -20,6 +20,10 @@ impl Checker for SmartLoopBreakChecker {
         AntiPattern::P3
     }
 
+    fn name(&self) -> &'static str {
+        "SmartLoopBreakChecker"
+    }
+
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
         let mut out = Vec::new();
         let graph = ctx.graph;
@@ -92,6 +96,8 @@ impl Checker for SmartLoopBreakChecker {
                              reference unpaired; add {}({iter_var}) before leaving",
                             sl.dec_name
                         ),
+                        feasibility: graph.feas.classify(&q, &graph.cfg, head),
+                        checkers: Vec::new(),
                     });
                 }
             }
@@ -116,6 +122,10 @@ pub struct HiddenApiChecker;
 impl Checker for HiddenApiChecker {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::P4
+    }
+
+    fn name(&self) -> &'static str {
+        "HiddenApiChecker"
     }
 
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
@@ -160,6 +170,10 @@ impl Checker for HiddenApiChecker {
                                     "reference returned by {} is discarded",
                                     site.api.name
                                 ),
+                                // A discarded result leaks on every
+                                // path; no path constraint applies.
+                                feasibility: refminer_cpg::Feasibility::Assumed,
+                                checkers: Vec::new(),
                             });
                         }
                     }
@@ -207,6 +221,8 @@ impl Checker for HiddenApiChecker {
                                      never released",
                                     site.api.name
                                 ),
+                                feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
+                                checkers: Vec::new(),
                             });
                         }
                     }
@@ -245,6 +261,10 @@ impl Checker for HiddenApiChecker {
                              function only borrows; take a reference first",
                             site.api.name
                         ),
+                        // Structural (origin-based) shape: the drop
+                        // happens wherever the call executes.
+                        feasibility: refminer_cpg::Feasibility::Assumed,
+                        checkers: Vec::new(),
                     });
                 }
             }

@@ -29,13 +29,18 @@ mod risk;
 
 pub use checker::{
     check_unit, check_unit_with_checkers, check_unit_with_graphs, check_unit_with_program,
-    checker_set_fingerprint, dedup_findings, default_checkers, Checker,
+    checker_set_fingerprint, checkers_for_patterns, dedup_findings, default_checkers, Checker,
 };
 pub use ctx::CheckCtx;
 pub use deviation::{ReturnErrorChecker, ReturnNullChecker};
-pub use finding::{merge_unit_findings, sort_findings_canonical, AntiPattern, Finding, Impact};
+pub use finding::{
+    merge_duplicate_findings, merge_unit_findings, sort_findings_canonical, AntiPattern, Finding,
+    Impact,
+};
+// The feasibility verdict each finding carries (see `refminer-cpg`).
 pub use hidden::{HiddenApiChecker, SmartLoopBreakChecker};
 pub use location::{DirectFreeChecker, ErrorPathChecker, InterUnpairedChecker};
+pub use refminer_cpg::Feasibility;
 // Helper-effect summaries live in `refminer-progdb` now; re-exported so
 // downstream code keeps one import path for checker-facing types.
 pub use refminer_progdb::{CallSite, FnExport, FnSummary, ProgramDb, UnitExports};

@@ -19,6 +19,10 @@ impl Checker for ErrorPathChecker {
         AntiPattern::P5
     }
 
+    fn name(&self) -> &'static str {
+        "ErrorPathChecker"
+    }
+
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
         let mut out = Vec::new();
         let graph = ctx.graph;
@@ -71,6 +75,8 @@ impl Checker for ErrorPathChecker {
                             .cloned()
                             .unwrap_or_else(|| "paired decrement".into())
                     ),
+                    feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
+                    checkers: Vec::new(),
                 });
             }
         }
@@ -114,6 +120,10 @@ const NAME_PAIRS: &[(&str, &str)] = &[
 impl Checker for InterUnpairedChecker {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::P6
+    }
+
+    fn name(&self) -> &'static str {
+        "InterUnpairedChecker"
     }
 
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
@@ -195,11 +205,9 @@ impl Checker for InterUnpairedChecker {
                     b.cfg.node_ids().any(|n| {
                         b.facts[n].calls.iter().any(|c| {
                             accepted.iter().any(|d| d == &c.name)
-                                || ctx.program.cross_unit_release(
-                                    ctx.file,
-                                    &c.name,
-                                    c.args.len(),
-                                )
+                                || ctx
+                                    .program
+                                    .cross_unit_release(ctx.file, &c.name, c.args.len())
                         })
                     })
                 });
@@ -219,6 +227,10 @@ impl Checker for InterUnpairedChecker {
                          {bottom_name}() never releases it",
                         site.api.name
                     ),
+                    // Cross-function pairing has no single witness path
+                    // to test against the intra-function constraints.
+                    feasibility: refminer_cpg::Feasibility::Assumed,
+                    checkers: Vec::new(),
                 });
             }
         }
@@ -274,6 +286,10 @@ impl Checker for DirectFreeChecker {
         AntiPattern::P7
     }
 
+    fn name(&self) -> &'static str {
+        "DirectFreeChecker"
+    }
+
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
         const FREE_FNS: &[&str] = &["kfree", "kvfree", "kfree_sensitive", "vfree"];
         let mut out = Vec::new();
@@ -319,6 +335,10 @@ impl Checker for DirectFreeChecker {
                              release callback and leaks attached resources",
                             call.name
                         ),
+                        // The free itself is the witness — no path
+                        // condition to refute.
+                        feasibility: refminer_cpg::Feasibility::Assumed,
+                        checkers: Vec::new(),
                     });
                 }
             }

@@ -21,6 +21,10 @@ impl Checker for UadChecker {
         AntiPattern::P8
     }
 
+    fn name(&self) -> &'static str {
+        "UadChecker"
+    }
+
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
         let mut out = Vec::new();
         let graph = ctx.graph;
@@ -76,6 +80,8 @@ impl Checker for UadChecker {
                              the last reference",
                             call.name
                         ),
+                        feasibility: graph.feas.classify(&q, &graph.cfg, n),
+                        checkers: Vec::new(),
                     });
                 }
             }
@@ -95,6 +101,10 @@ pub struct EscapeChecker;
 impl Checker for EscapeChecker {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::P9
+    }
+
+    fn name(&self) -> &'static str {
+        "EscapeChecker"
     }
 
     fn check(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
@@ -182,6 +192,10 @@ impl Checker for EscapeChecker {
                         "borrowed reference {src} escapes through a long-lived \
                          store without an increment around the escape point"
                     ),
+                    // A single-statement structural match; the escape
+                    // happens wherever the store executes.
+                    feasibility: refminer_cpg::Feasibility::Assumed,
+                    checkers: Vec::new(),
                 });
             }
         }

@@ -34,8 +34,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
 use refminer_checkers::{
-    check_unit_with_program, default_checkers, sort_findings_canonical, AntiPattern, Finding,
-    Impact, ProgramDb, UnitExports,
+    check_unit_with_program, checkers_for_patterns, default_checkers, merge_duplicate_findings,
+    sort_findings_canonical, AntiPattern, Feasibility, Finding, Impact, ProgramDb, UnitExports,
 };
 use refminer_clex::{scan_defines, MacroDef};
 use refminer_cparse::{parse_str_limited, ParseLimits, TranslationUnit};
@@ -93,6 +93,22 @@ pub struct AuditConfig {
     /// lookup to the unit's own definitions, reproducing the
     /// pre-whole-program pipeline.
     pub whole_program: bool,
+    /// Whether the path-feasibility engine's `Infeasible` verdicts
+    /// suppress findings in the report (the default). `false` keeps
+    /// every finding, tagged — the pre-feasibility behavior.
+    ///
+    /// Deliberately *not* part of the check-stage cache key: verdicts
+    /// are always computed and cached with the findings; suppression is
+    /// a post-cache report-layer filter, so both modes share entries.
+    pub feasibility: bool,
+    /// Restrict the run to a subset of anti-patterns (`--only-pattern`).
+    /// `None` runs all nine.
+    pub only_patterns: Option<Vec<AntiPattern>>,
+    /// Restrict checking to units under this path prefix
+    /// (`--subsystem drivers/net`). `None` checks everything. Filtered
+    /// units still parse and export — phase 1 is whole-tree — but skip
+    /// the check stage.
+    pub subsystem: Option<String>,
 }
 
 impl Default for AuditConfig {
@@ -103,6 +119,9 @@ impl Default for AuditConfig {
             limits: AuditLimits::default(),
             jobs: 0,
             whole_program: true,
+            feasibility: true,
+            only_patterns: None,
+            subsystem: None,
         }
     }
 }
@@ -159,7 +178,14 @@ impl UnitErrorKind {
     pub fn all() -> [UnitErrorKind; 9] {
         use UnitErrorKind::*;
         [
-            Io, NonUtf8, Oversize, LexPanic, LexNoise, TokenCap, ParseDepth, GraphBlowup,
+            Io,
+            NonUtf8,
+            Oversize,
+            LexPanic,
+            LexNoise,
+            TokenCap,
+            ParseDepth,
+            GraphBlowup,
             CheckPanic,
         ]
     }
@@ -486,6 +512,7 @@ fn check_one(
     program: &ProgramDb,
     limits: &AuditLimits,
     parse_limits: &ParseLimits,
+    only_patterns: Option<&[AntiPattern]>,
 ) -> CheckedUnit {
     let rehydrated;
     let tu: &TranslationUnit = match parsed.tu.as_ref() {
@@ -511,7 +538,11 @@ fn check_one(
     };
     let checked = fault_boundary(|| {
         let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
-        let fs = check_unit_with_program(tu, kb, &graphs, &default_checkers(), program);
+        let checkers = match only_patterns {
+            Some(ps) => checkers_for_patterns(ps),
+            None => default_checkers(),
+        };
+        let fs = check_unit_with_program(tu, kb, &graphs, &checkers, program);
         (graphs.len(), capped, fs)
     });
     match checked {
@@ -621,8 +652,9 @@ pub fn audit_with_cache(
     // Per-unit cache keys: content hash mixed with the parse-stage
     // configuration. Hashing is pure per-unit work, so it fans out too.
     let parse_cfg = parse_config_fingerprint(config);
-    let unit_keys: Vec<u64> =
-        run_indexed(units, config.jobs, |_, u| mix(content_hash(&u.text), parse_cfg));
+    let unit_keys: Vec<u64> = run_indexed(units, config.jobs, |_, u| {
+        mix(content_hash(&u.text), parse_cfg)
+    });
 
     // Tree fingerprint: every unit's path and key, plus the discovery
     // configuration; keys the whole-tree discovery *merge*.
@@ -669,7 +701,12 @@ pub fn audit_with_cache(
         }
     }
     let exported_new = run_indexed(&export_todo, config.jobs, |_, &i| {
-        export_one(&units[i], parsed[i].as_ref().unwrap(), limits, &parse_limits)
+        export_one(
+            &units[i],
+            parsed[i].as_ref().unwrap(),
+            limits,
+            &parse_limits,
+        )
     });
     for (&i, e) in export_todo.iter().zip(exported_new) {
         exported[i] = Some(cache.export_put(mix(unit_keys[i], export_cfg), e));
@@ -726,11 +763,18 @@ pub fn audit_with_cache(
     // helper's defining file therefore re-checks exactly that file and
     // the units whose calls resolve into it.
     let kb_fp = mix(kb_fingerprint(&kb), check_config_fingerprint(config));
+    let subsystem = config.subsystem.as_deref().map(|s| s.trim_end_matches('/'));
     let mut checked: Vec<Option<Arc<CheckedUnit>>> = (0..n).map(|_| None).collect();
     let mut check_todo: Vec<usize> = Vec::new();
     for i in 0..n {
         if !parsed[i].as_ref().unwrap().parsed_ok {
             continue;
+        }
+        if let Some(prefix) = subsystem {
+            let path = units[i].path.as_str();
+            if path != prefix && !path.starts_with(&format!("{prefix}/")) {
+                continue;
+            }
         }
         let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
         match cache.check_get(unit_keys[i], deps_fp) {
@@ -738,6 +782,7 @@ pub fn audit_with_cache(
             None => check_todo.push(i),
         }
     }
+    let only_patterns = config.only_patterns.as_deref();
     let (checked_new, phase2_secs) = run_indexed_timed(&check_todo, config.jobs, |_, &i| {
         check_one(
             &units[i],
@@ -746,6 +791,7 @@ pub fn audit_with_cache(
             &program,
             limits,
             &parse_limits,
+            only_patterns,
         )
     });
     for (&i, c) in check_todo.iter().zip(checked_new) {
@@ -804,6 +850,14 @@ pub fn audit_with_cache(
         }
     }
     sort_findings_canonical(&mut findings);
+    // Report-layer filters, after the canonical sort so the result is
+    // deterministic at any worker count: suppress paths the feasibility
+    // engine proved unreachable, then collapse same-site findings of
+    // one root-cause family into a single record.
+    if config.feasibility {
+        findings.retain(|f| f.feasibility != Feasibility::Infeasible);
+    }
+    merge_duplicate_findings(&mut findings);
     diagnostics.units.sort_by(|a, b| a.path.cmp(&b.path));
 
     AuditReport {

@@ -6,13 +6,17 @@
 //! benchpipe [OPTIONS]
 //!
 //! OPTIONS:
-//!     --scale <F>   tree scale factor (default 1.0, ~350 files)
-//!     --jobs <N>    parallel worker count (default: one per CPU)
-//!     --edits <N>   files edited for the incremental run (default 1)
-//!     --reps <N>    repetitions per configuration, best kept (default 3)
-//!     --out <FILE>  JSON report path (default BENCH_pipeline.json)
-//!     --check       enforce the speedup gates (exit 1 on failure)
-//!     -h, --help    print this help
+//!     --scale <F>    tree scale factor (default 1.0, ~350 files)
+//!     --jobs <N>     parallel worker count (default: one per CPU)
+//!     --edits <N>    files edited for the incremental run (default 1)
+//!     --reps <N>     repetitions per configuration, best kept (default 3)
+//!     --out <FILE>   JSON report path (default BENCH_pipeline.json)
+//!     --check        enforce the speedup gates (exit 1 on failure)
+//!     --eval         precision/recall mode: score feasibility on vs off
+//!                    against an FP-trap tree (default out BENCH_eval.json)
+//!     --baseline <F> with --eval --check: minimum acceptable total F1
+//!                    for the feasibility-on run
+//!     -h, --help     print this help
 //! ```
 //!
 //! Four configurations run against the same tree:
@@ -35,12 +39,13 @@ use std::time::Instant;
 
 use refminer::corpus::{generate_tree, next_revision, TreeConfig};
 use refminer::parallel::effective_jobs;
-use refminer::{audit_with_cache, AuditCache, AuditConfig, AuditReport, Project};
+use refminer::{audit_with_cache, evaluate, AuditCache, AuditConfig, AuditReport, Project};
 use refminer_json::{obj, ToJson, Value};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: benchpipe [--scale F] [--jobs N] [--edits N] [--reps N] [--out FILE] [--check]"
+        "usage: benchpipe [--scale F] [--jobs N] [--edits N] [--reps N] [--out FILE] [--check] \
+         [--eval [--baseline F]]"
     );
     std::process::exit(2);
 }
@@ -50,8 +55,10 @@ struct Options {
     jobs: usize,
     edits: usize,
     reps: usize,
-    out: PathBuf,
+    out: Option<PathBuf>,
     check: bool,
+    eval: bool,
+    baseline: Option<f64>,
 }
 
 fn parse_args() -> Options {
@@ -60,8 +67,10 @@ fn parse_args() -> Options {
         jobs: 0,
         edits: 1,
         reps: 3,
-        out: PathBuf::from("BENCH_pipeline.json"),
+        out: None,
         check: false,
+        eval: false,
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,8 +97,13 @@ fn parse_args() -> Options {
                 Ok(v) if v > 0 => opts.reps = v,
                 _ => usage(),
             },
-            "--out" => opts.out = PathBuf::from(num("--out")),
+            "--out" => opts.out = Some(PathBuf::from(num("--out"))),
             "--check" => opts.check = true,
+            "--eval" => opts.eval = true,
+            "--baseline" => match num("--baseline").parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => opts.baseline = Some(v),
+                _ => usage(),
+            },
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("benchpipe: unknown argument {other}");
@@ -142,6 +156,13 @@ fn run_json(name: &str, m: &Measured, files: usize) -> (String, Value) {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.eval {
+        return run_eval(&opts);
+    }
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
     let jobs = effective_jobs(opts.jobs).max(2);
     let cores = effective_jobs(0);
 
@@ -153,7 +174,10 @@ fn main() -> ExitCode {
     });
     let files = tree.files.len();
     let project = Project::from_tree(&tree);
-    eprintln!("benchpipe: {} files, jobs={jobs}, cores={cores}, reps={}", files, opts.reps);
+    eprintln!(
+        "benchpipe: {} files, jobs={jobs}, cores={cores}, reps={}",
+        files, opts.reps
+    );
 
     let seq_cfg = AuditConfig {
         discover_apis: true,
@@ -237,8 +261,8 @@ fn main() -> ExitCode {
         ("cold_phase1_secs", cold_par.report.phase1_secs.to_json()),
         ("cold_phase2_secs", cold_par.report.phase2_secs.to_json()),
     ]);
-    if let Err(e) = std::fs::write(&opts.out, format!("{}\n", report.to_string_pretty())) {
-        eprintln!("benchpipe: cannot write {}: {e}", opts.out.display());
+    if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
+        eprintln!("benchpipe: cannot write {}: {e}", out.display());
         return ExitCode::from(2);
     }
 
@@ -258,7 +282,7 @@ fn main() -> ExitCode {
         cold_par.report.phase2_secs,
         summary_hit_rate * 100.0,
     );
-    println!("{}", opts.out.display());
+    println!("{}", out.display());
 
     if opts.check {
         let mut failed = false;
@@ -279,7 +303,9 @@ fn main() -> ExitCode {
             failed = true;
         }
         if cores >= 4 && jobs >= 4 && speedup_parallel < 2.0 {
-            eprintln!("benchpipe: FAIL: parallel speedup {speedup_parallel:.2}x < 2x on {cores} cores");
+            eprintln!(
+                "benchpipe: FAIL: parallel speedup {speedup_parallel:.2}x < 2x on {cores} cores"
+            );
             failed = true;
         } else if cores < 4 {
             eprintln!("benchpipe: note: {cores} core(s) — parallel gate not applicable");
@@ -288,6 +314,138 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("benchpipe: CHECK PASS");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--eval`: generate an FP-trap tree, audit it with the feasibility
+/// engine off and on, score both against the ground-truth manifest,
+/// and (with `--check`) enforce that feasibility pruning strictly
+/// improves precision on at least two anti-patterns with zero recall
+/// loss — and that the total F1 stays at or above `--baseline`.
+fn run_eval(opts: &Options) -> ExitCode {
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_eval.json"));
+    let jobs = effective_jobs(opts.jobs);
+    let tree = generate_tree(&TreeConfig {
+        scale: opts.scale,
+        fp_traps: true,
+        include_tricky: false,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    eprintln!(
+        "benchpipe: eval on {} files ({} bugs, {} traps), jobs={jobs}",
+        tree.files.len(),
+        tree.manifest.bugs.len(),
+        tree.manifest.fp_traps.len()
+    );
+
+    let on_cfg = AuditConfig {
+        jobs,
+        ..Default::default()
+    };
+    let off_cfg = AuditConfig {
+        feasibility: false,
+        ..on_cfg.clone()
+    };
+    let off_report = audit_with_cache(&project, &off_cfg, &mut AuditCache::new());
+    let on_report = audit_with_cache(&project, &on_cfg, &mut AuditCache::new());
+    let off = evaluate(&off_report.findings, &tree.manifest);
+    let on = evaluate(&on_report.findings, &tree.manifest);
+
+    // Per-pattern comparison. A pattern with a row only in the `off`
+    // run had nothing but false positives there, all of which the
+    // feasibility pass suppressed — Counts::default() scores that as
+    // the perfect 1.0/1.0.
+    let mut improved = 0usize;
+    let mut recall_lost = false;
+    let mut patterns: Vec<_> = off.rows.iter().map(|r| r.pattern).collect();
+    for row in &on.rows {
+        if !patterns.contains(&row.pattern) {
+            patterns.push(row.pattern);
+        }
+    }
+    patterns.sort();
+    for p in &patterns {
+        let find = |rows: &[refminer::EvalRow]| {
+            rows.iter()
+                .find(|r| r.pattern == *p)
+                .map(|r| r.counts)
+                .unwrap_or_default()
+        };
+        let (a, b) = (find(&off.rows), find(&on.rows));
+        if b.recall() < a.recall() {
+            recall_lost = true;
+        }
+        if b.precision() > a.precision() && b.recall() >= a.recall() {
+            improved += 1;
+        }
+    }
+
+    let report = obj([
+        ("schema", 1.to_json()),
+        ("files", tree.files.len().to_json()),
+        ("bugs", tree.manifest.bugs.len().to_json()),
+        ("fp_traps", tree.manifest.fp_traps.len().to_json()),
+        ("feasibility_off", off.to_json()),
+        ("feasibility_on", on.to_json()),
+        ("patterns_improved", improved.to_json()),
+        ("recall_lost", recall_lost.to_json()),
+        ("f1_off", off.totals.f1().to_json()),
+        ("f1_on", on.totals.f1().to_json()),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
+        eprintln!("benchpipe: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "benchpipe: feasibility off P {:.3} R {:.3} F1 {:.3} ({} trap hits) | \
+         on P {:.3} R {:.3} F1 {:.3} ({} trap hits) | {} pattern(s) improved",
+        off.totals.precision(),
+        off.totals.recall(),
+        off.totals.f1(),
+        off.trap_hits,
+        on.totals.precision(),
+        on.totals.recall(),
+        on.totals.f1(),
+        on.trap_hits,
+        improved,
+    );
+    println!("{}", out.display());
+
+    if opts.check {
+        let mut failed = false;
+        if off.trap_hits == 0 {
+            eprintln!("benchpipe: FAIL: the baseline run hit no FP traps — nothing to prune");
+            failed = true;
+        }
+        if recall_lost {
+            eprintln!("benchpipe: FAIL: feasibility pruning lost recall");
+            failed = true;
+        }
+        if improved < 2 {
+            eprintln!(
+                "benchpipe: FAIL: precision improved on {improved} pattern(s), expected >= 2"
+            );
+            failed = true;
+        }
+        if let Some(baseline) = opts.baseline {
+            if on.totals.f1() < baseline {
+                eprintln!(
+                    "benchpipe: FAIL: total F1 {:.4} below committed baseline {baseline:.4}",
+                    on.totals.f1()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("benchpipe: EVAL CHECK PASS");
     }
     ExitCode::SUCCESS
 }

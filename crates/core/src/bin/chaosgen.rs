@@ -22,9 +22,7 @@ use std::process::ExitCode;
 use refminer::corpus::{apply_chaos, generate_tree, ChaosConfig, MutationKind, TreeConfig};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: chaosgen [--seed N] [--scale F] [--ratio F] [--kinds k1,k2] <OUTDIR>"
-    );
+    eprintln!("usage: chaosgen [--seed N] [--scale F] [--ratio F] [--kinds k1,k2] <OUTDIR>");
     std::process::exit(2);
 }
 

@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! refminer [OPTIONS] <PATH>
+//! refminer eval [OPTIONS] <PATH>     score the audit against <PATH>/manifest.json
 //!
 //! OPTIONS:
-//!     --pattern <P1..P9>[,..]  only report these anti-patterns
+//!     --pattern <P1..P9>[,..]  only report these anti-patterns (report filter)
+//!     --only-pattern <P1..>[,..] only *run* these patterns' checkers
+//!     --subsystem <PREFIX>     only audit units under this path prefix
 //!     --impact <leak|uaf|npd>  only report these impacts
-//!     --json                   emit findings as JSON lines
+//!     --no-feasibility         keep findings on infeasible paths
+//!     --json                   emit findings (or the eval report) as JSON
 //!     --csv                    emit findings as CSV
 //!     --no-discovery           skip API/smartloop discovery
 //!     --stats                  print per-pattern/per-impact summaries
@@ -18,6 +22,10 @@
 //!     -h, --help               print this help
 //! ```
 //!
+//! `--pattern` filters the report after the fact; `--only-pattern`
+//! narrows which checkers run at all (and keys the result cache, so
+//! narrowed runs never poison full-run entries).
+//!
 //! Exit codes: 0 no findings, 1 findings, 2 usage/scan error, 3 strict
 //! mode and at least one unit was not fully analyzed.
 
@@ -25,14 +33,21 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use refminer::checkers::{AntiPattern, Impact};
+use refminer::corpus::Manifest;
 use refminer::report::Table;
-use refminer::{audit_with_cache, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions};
+use refminer::{
+    audit_with_cache, evaluate, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions,
+};
 use refminer_json::{obj, ToJson, Value};
 
 struct Options {
+    eval: bool,
     path: PathBuf,
     patterns: Option<Vec<AntiPattern>>,
+    only_patterns: Option<Vec<AntiPattern>>,
+    subsystem: Option<String>,
     impacts: Option<Vec<Impact>>,
+    feasibility: bool,
     json: bool,
     csv: bool,
     discovery: bool,
@@ -45,7 +60,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: refminer [--pattern P4,P8] [--impact leak,uaf,npd] \
+        "usage: refminer [eval] [--pattern P4,P8] [--only-pattern P4,P8] \
+         [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
          [--json|--csv] [--no-discovery] [--stats] [--strict] \
          [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
     );
@@ -69,9 +85,13 @@ fn parse_impact(s: &str) -> Option<Impact> {
 
 fn parse_args() -> Options {
     let mut opts = Options {
+        eval: false,
         path: PathBuf::new(),
         patterns: None,
+        only_patterns: None,
+        subsystem: None,
         impacts: None,
+        feasibility: true,
         json: false,
         csv: false,
         discovery: true,
@@ -81,7 +101,12 @@ fn parse_args() -> Options {
         jobs: 0,
         cache_dir: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("eval") {
+        opts.eval = true;
+        args.next();
+    }
+    let mut args = args;
     let mut path: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -89,6 +114,7 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--no-discovery" => opts.discovery = false,
+            "--no-feasibility" => opts.feasibility = false,
             "--stats" => opts.stats = true,
             "--strict" => opts.strict = true,
             "--jobs" => {
@@ -126,6 +152,22 @@ fn parse_args() -> Options {
                         usage();
                     }
                 }
+            }
+            "--only-pattern" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let parsed: Option<Vec<AntiPattern>> =
+                    value.split(',').map(parse_pattern).collect();
+                match parsed {
+                    Some(v) if !v.is_empty() => opts.only_patterns = Some(v),
+                    _ => {
+                        eprintln!("unknown anti-pattern in `{value}`");
+                        usage();
+                    }
+                }
+            }
+            "--subsystem" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                opts.subsystem = Some(value);
             }
             "--impact" => {
                 let value = args.next().unwrap_or_else(|| usage());
@@ -185,6 +227,9 @@ fn main() -> ExitCode {
             discover_apis: opts.discovery,
             limits,
             jobs: opts.jobs,
+            feasibility: opts.feasibility,
+            only_patterns: opts.only_patterns.clone(),
+            subsystem: opts.subsystem.clone(),
             ..Default::default()
         },
         &mut cache,
@@ -193,6 +238,9 @@ fn main() -> ExitCode {
         if let Err(e) = cache.save() {
             eprintln!("refminer: warning: could not write cache: {e}");
         }
+    }
+    if opts.eval {
+        return run_eval(&opts, &report.findings);
     }
     let findings: Vec<_> = report
         .findings
@@ -333,4 +381,69 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// `refminer eval <DIR>`: score the audit's findings against the
+/// ground-truth manifest the corpus generator wrote next to the tree.
+fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
+    let manifest_path = opts.path.join("manifest.json");
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("refminer: cannot read {}: {e}", manifest_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = match Value::parse(&text)
+        .ok()
+        .as_ref()
+        .and_then(Manifest::from_json)
+    {
+        Some(m) => m,
+        None => {
+            eprintln!(
+                "refminer: {} is not a valid manifest",
+                manifest_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let eval = evaluate(findings, &manifest);
+    if opts.json {
+        println!("{}", eval.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let mut t = Table::new(vec![
+        "pattern",
+        "tp",
+        "fp",
+        "fn",
+        "precision",
+        "recall",
+        "f1",
+    ])
+    .numeric();
+    for row in &eval.rows {
+        t.row(vec![
+            row.pattern.id().to_string(),
+            row.counts.tp.to_string(),
+            row.counts.fp.to_string(),
+            row.counts.missed.to_string(),
+            format!("{:.3}", row.counts.precision()),
+            format!("{:.3}", row.counts.recall()),
+            format!("{:.3}", row.counts.f1()),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        eval.totals.tp.to_string(),
+        eval.totals.fp.to_string(),
+        eval.totals.missed.to_string(),
+        format!("{:.3}", eval.totals.precision()),
+        format!("{:.3}", eval.totals.recall()),
+        format!("{:.3}", eval.totals.f1()),
+    ]);
+    print!("{}", t.render());
+    println!("trap hits: {}", eval.trap_hits);
+    ExitCode::SUCCESS
 }

@@ -51,7 +51,9 @@ use refminer_clex::MacroDef;
 use refminer_cparse::TranslationUnit;
 use refminer_json::{obj, ToJson, Value};
 use refminer_progdb::{CallSite, FnExport, UnitExports};
-use refminer_rcapi::{ApiKb, ObjectFlow, RcApi, RcClass, RcDir, SmartLoop, StructFact, UnitDiscovery};
+use refminer_rcapi::{
+    ApiKb, ObjectFlow, RcApi, RcClass, RcDir, SmartLoop, StructFact, UnitDiscovery,
+};
 
 use crate::audit::{AuditConfig, UnitErrorKind};
 
@@ -101,11 +103,34 @@ pub fn parse_config_fingerprint(config: &AuditConfig) -> u64 {
 }
 
 /// Fingerprint of the check-stage configuration.
+///
+/// `--only-pattern` and `--subsystem` scope what the check stage
+/// produces, so both key the layer — a filtered run never poisons (or
+/// reuses) full-run entries. The `feasibility` suppression flag is
+/// deliberately absent: verdicts are always computed and cached with
+/// the findings, and suppression happens post-cache in the report
+/// layer, so both modes share the same entries.
 pub fn check_config_fingerprint(config: &AuditConfig) -> u64 {
     let mut h = FNV_OFFSET;
     h = mix(h, config.limits.max_graph_nodes as u64);
     h = mix(h, checker_set_fingerprint());
     h = mix(h, config.whole_program as u64);
+    match &config.only_patterns {
+        None => h = mix(h, 0),
+        Some(ps) => {
+            h = mix(h, 1);
+            for p in ps {
+                h = mix(h, fnv1a(p.id().as_bytes()));
+            }
+        }
+    }
+    match &config.subsystem {
+        None => h = mix(h, 0),
+        Some(s) => {
+            h = mix(h, 1);
+            h = mix(h, fnv1a(s.as_bytes()));
+        }
+    }
     h
 }
 
@@ -280,7 +305,8 @@ pub const CACHE_FILE: &str = "audit-cache.json";
 
 /// On-disk format version; bump on any incompatible change. A file
 /// with a different version is ignored wholesale.
-const CACHE_VERSION: u64 = 2;
+/// v3: findings carry `feasibility` and `checkers` fields.
+const CACHE_VERSION: u64 = 3;
 
 impl AuditCache {
     /// An empty, memory-only cache.
@@ -526,8 +552,7 @@ impl AuditCache {
             let Some(exports) = entry.get("exports").and_then(unit_exports_from_json) else {
                 continue;
             };
-            let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json)
-            else {
+            let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json) else {
                 continue;
             };
             self.export
@@ -667,6 +692,13 @@ fn finding_from_json(v: &Value) -> Option<Finding> {
             s => Some(s.as_str()?.to_string()),
         },
         message: v.get("message")?.as_str()?.to_string(),
+        feasibility: refminer_checkers::Feasibility::from_name(v.get("feasibility")?.as_str()?)?,
+        checkers: v
+            .get("checkers")?
+            .as_array()?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string))
+            .collect::<Option<_>>()?,
     })
 }
 
@@ -863,10 +895,7 @@ fn unit_discovery_to_json(d: &UnitDiscovery) -> Value {
                     .collect(),
             ),
         ),
-        (
-            "apis",
-            Value::Arr(d.apis.iter().map(api_to_json).collect()),
-        ),
+        ("apis", Value::Arr(d.apis.iter().map(api_to_json).collect())),
     ])
 }
 
@@ -935,7 +964,10 @@ pub fn kb_to_json(kb: &ApiKb) -> Value {
     let mut loops: Vec<&SmartLoop> = kb.smartloops().collect();
     loops.sort_by(|a, b| a.name.cmp(&b.name));
     obj([
-        ("apis", Value::Arr(apis.into_iter().map(api_to_json).collect())),
+        (
+            "apis",
+            Value::Arr(apis.into_iter().map(api_to_json).collect()),
+        ),
         (
             "loops",
             Value::Arr(loops.into_iter().map(loop_to_json).collect()),
@@ -1015,6 +1047,8 @@ mod tests {
             api: "mdesc_grab".into(),
             object: None,
             message: "deref without NULL check".into(),
+            feasibility: refminer_checkers::Feasibility::Proven,
+            checkers: vec!["ReturnNullChecker".into()],
         };
         assert_eq!(finding_from_json(&f.to_json()), Some(f));
     }

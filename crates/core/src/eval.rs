@@ -1,0 +1,368 @@
+//! Ground-truth evaluation: scoring an audit against a corpus
+//! manifest (the Table 4/5 analog for the synthetic tree).
+//!
+//! The corpus manifest records every injected bug as
+//! `(path, function, pattern)` and — when the tree was generated with
+//! FP traps — every deliberate non-bug. Scoring is per anti-pattern:
+//!
+//! - **TP** — an injected bug matched by at least one finding in the
+//!   same file and function whose checker set covers the bug's pattern.
+//! - **FN** — an injected bug no finding matches.
+//! - **FP** — a finding that matches no injected bug, attributed to the
+//!   finding's own pattern.
+//!
+//! Matching goes through the finding's `checkers` list rather than its
+//! pattern alone: the report layer merges same-site findings of one
+//! root-cause family, so a P7 bug caught by both `DirectFreeChecker`
+//! and `ErrorPathChecker` surfaces as a single P5-labelled finding
+//! whose checker list still names `DirectFreeChecker`.
+
+use std::collections::BTreeMap;
+
+use refminer_checkers::{AntiPattern, Finding};
+use refminer_corpus::Manifest;
+use refminer_json::{obj, ToJson, Value};
+
+/// TP/FP/FN counts with the derived metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Injected bugs matched by at least one finding.
+    pub tp: usize,
+    /// Findings matching no injected bug.
+    pub fp: usize,
+    /// Injected bugs no finding matched.
+    pub missed: usize,
+}
+
+impl Counts {
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when nothing was injected.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.missed == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.missed) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl ToJson for Counts {
+    fn to_json(&self) -> Value {
+        obj([
+            ("tp", self.tp.to_json()),
+            ("fp", self.fp.to_json()),
+            ("fn", self.missed.to_json()),
+            ("precision", self.precision().to_json()),
+            ("recall", self.recall().to_json()),
+            ("f1", self.f1().to_json()),
+        ])
+    }
+}
+
+/// Per-anti-pattern scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalRow {
+    /// The anti-pattern the row scores.
+    pub pattern: AntiPattern,
+    /// The counts and metrics.
+    pub counts: Counts,
+}
+
+/// A scored audit.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// One row per anti-pattern with any activity (a bug injected or a
+    /// finding reported), in P1..P9 order.
+    pub rows: Vec<EvalRow>,
+    /// Counts summed over all patterns.
+    pub totals: Counts,
+    /// Findings landing on a manifest-recorded FP trap (`bug: false`).
+    /// A subset of the FP count; nonzero means the feasibility traps
+    /// are biting.
+    pub trap_hits: usize,
+}
+
+impl ToJson for EvalReport {
+    fn to_json(&self) -> Value {
+        obj([
+            (
+                "per_pattern",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            obj([
+                                ("pattern", r.pattern.to_json()),
+                                ("tp", r.counts.tp.to_json()),
+                                ("fp", r.counts.fp.to_json()),
+                                ("fn", r.counts.missed.to_json()),
+                                ("precision", r.counts.precision().to_json()),
+                                ("recall", r.counts.recall().to_json()),
+                                ("f1", r.counts.f1().to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("totals", self.totals.to_json()),
+            ("trap_hits", self.trap_hits.to_json()),
+        ])
+    }
+}
+
+/// The checker that owns each manifest pattern number.
+fn checker_name_for(pattern: u8) -> &'static str {
+    match pattern {
+        1 => "ReturnErrorChecker",
+        2 => "ReturnNullChecker",
+        3 => "SmartLoopBreakChecker",
+        4 => "HiddenApiChecker",
+        5 => "ErrorPathChecker",
+        6 => "InterUnpairedChecker",
+        7 => "DirectFreeChecker",
+        8 => "UadChecker",
+        9 => "EscapeChecker",
+        _ => "",
+    }
+}
+
+/// The manifest pattern number of an [`AntiPattern`].
+fn pattern_num(p: AntiPattern) -> u8 {
+    AntiPattern::all()
+        .into_iter()
+        .position(|q| q == p)
+        .map(|i| i as u8 + 1)
+        .unwrap_or(0)
+}
+
+/// Whether `finding` claims the bug: same file and function, and the
+/// bug's pattern is covered by the finding's checker list (or equals
+/// the finding's own pattern, for findings predating checker stamping).
+fn finding_claims(finding: &Finding, path: &str, function: &str, pattern: u8) -> bool {
+    finding.file == path
+        && finding.function == function
+        && (pattern_num(finding.pattern) == pattern
+            || finding
+                .checkers
+                .iter()
+                .any(|c| c == checker_name_for(pattern)))
+}
+
+/// Scores `findings` against the manifest's ground truth. See the
+/// module docs for the matching rules.
+pub fn evaluate(findings: &[Finding], manifest: &Manifest) -> EvalReport {
+    let mut per: BTreeMap<AntiPattern, Counts> = BTreeMap::new();
+
+    for bug in &manifest.bugs {
+        let Some(pattern) = AntiPattern::all().get(bug.pattern as usize - 1).copied() else {
+            continue;
+        };
+        let hit = findings
+            .iter()
+            .any(|f| finding_claims(f, &bug.path, &bug.function, bug.pattern));
+        let counts = per.entry(pattern).or_default();
+        if hit {
+            counts.tp += 1;
+        } else {
+            counts.missed += 1;
+        }
+    }
+
+    let mut trap_hits = 0usize;
+    for f in findings {
+        let claims_some_bug = manifest
+            .bugs
+            .iter()
+            .any(|b| finding_claims(f, &b.path, &b.function, b.pattern));
+        if claims_some_bug {
+            continue;
+        }
+        per.entry(f.pattern).or_default().fp += 1;
+        if manifest
+            .fp_traps
+            .iter()
+            .any(|t| t.path == f.file && t.function == f.function)
+        {
+            trap_hits += 1;
+        }
+    }
+
+    let mut totals = Counts::default();
+    let rows: Vec<EvalRow> = per
+        .into_iter()
+        .map(|(pattern, counts)| {
+            totals.tp += counts.tp;
+            totals.fp += counts.fp;
+            totals.missed += counts.missed;
+            EvalRow { pattern, counts }
+        })
+        .collect();
+
+    EvalReport {
+        rows,
+        totals,
+        trap_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_checkers::{Feasibility, Impact};
+    use refminer_corpus::{FpTrap, InjectedBug};
+
+    fn bug(path: &str, function: &str, pattern: u8) -> InjectedBug {
+        InjectedBug {
+            path: path.into(),
+            function: function.into(),
+            pattern,
+            api: "x".into(),
+            impact: "Leak".into(),
+            subsystem: "drivers".into(),
+            module: "m".into(),
+            inter_unit: false,
+        }
+    }
+
+    fn finding(path: &str, function: &str, pattern: AntiPattern, checkers: &[&str]) -> Finding {
+        Finding {
+            pattern,
+            impact: Impact::Leak,
+            file: path.into(),
+            function: function.into(),
+            line: 1,
+            api: "x".into(),
+            object: None,
+            message: String::new(),
+            feasibility: Feasibility::Assumed,
+            checkers: checkers.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn scores_tp_fp_fn_per_pattern() {
+        let mut manifest = Manifest::default();
+        manifest.bugs.push(bug("a.c", "f1", 1));
+        manifest.bugs.push(bug("a.c", "f2", 1));
+        manifest.bugs.push(bug("b.c", "g", 5));
+        let findings = vec![
+            finding("a.c", "f1", AntiPattern::P1, &["ReturnErrorChecker"]),
+            finding("c.c", "h", AntiPattern::P1, &["ReturnErrorChecker"]),
+            finding("b.c", "g", AntiPattern::P5, &["ErrorPathChecker"]),
+        ];
+        let report = evaluate(&findings, &manifest);
+        let p1 = report
+            .rows
+            .iter()
+            .find(|r| r.pattern == AntiPattern::P1)
+            .unwrap();
+        assert_eq!(
+            p1.counts,
+            Counts {
+                tp: 1,
+                fp: 1,
+                missed: 1
+            }
+        );
+        assert!((p1.counts.precision() - 0.5).abs() < 1e-9);
+        assert!((p1.counts.recall() - 0.5).abs() < 1e-9);
+        let p5 = report
+            .rows
+            .iter()
+            .find(|r| r.pattern == AntiPattern::P5)
+            .unwrap();
+        assert_eq!(
+            p5.counts,
+            Counts {
+                tp: 1,
+                fp: 0,
+                missed: 0
+            }
+        );
+        assert_eq!(
+            report.totals,
+            Counts {
+                tp: 2,
+                fp: 1,
+                missed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn merged_findings_claim_through_checker_list() {
+        // A P7 bug surfaced inside a finding the merge relabelled P5:
+        // the checker list still claims it.
+        let mut manifest = Manifest::default();
+        manifest.bugs.push(bug("a.c", "f", 7));
+        let findings = vec![finding(
+            "a.c",
+            "f",
+            AntiPattern::P5,
+            &["ErrorPathChecker", "DirectFreeChecker"],
+        )];
+        let report = evaluate(&findings, &manifest);
+        assert_eq!(
+            report.totals,
+            Counts {
+                tp: 1,
+                fp: 0,
+                missed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn trap_hits_are_counted() {
+        let mut manifest = Manifest::default();
+        manifest.fp_traps.push(FpTrap {
+            path: "t.c".into(),
+            function: "trap".into(),
+            pattern: 1,
+            kind: "correlated_branch".into(),
+        });
+        let findings = vec![finding(
+            "t.c",
+            "trap",
+            AntiPattern::P1,
+            &["ReturnErrorChecker"],
+        )];
+        let report = evaluate(&findings, &manifest);
+        assert_eq!(report.totals.fp, 1);
+        assert_eq!(report.trap_hits, 1);
+    }
+
+    #[test]
+    fn report_serializes_metrics() {
+        let mut manifest = Manifest::default();
+        manifest.bugs.push(bug("a.c", "f", 1));
+        let findings = vec![finding(
+            "a.c",
+            "f",
+            AntiPattern::P1,
+            &["ReturnErrorChecker"],
+        )];
+        let json = evaluate(&findings, &manifest).to_json().to_string();
+        assert!(json.contains("\"per_pattern\""));
+        assert!(json.contains("\"precision\":1"));
+        assert!(json.contains("\"trap_hits\":0"));
+    }
+}

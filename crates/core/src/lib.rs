@@ -22,6 +22,7 @@
 
 mod audit;
 mod cache;
+mod eval;
 pub mod parallel;
 mod project;
 
@@ -30,6 +31,7 @@ pub use audit::{
     UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
 pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, ExportedUnit, CACHE_FILE};
+pub use eval::{evaluate, Counts, EvalReport, EvalRow};
 pub use parallel::{effective_jobs, run_indexed, run_indexed_timed};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 

@@ -337,7 +337,11 @@ mod tests {
     fn non_utf8_is_kept_lossily_and_flagged() {
         let dir = temp_dir("nonutf8");
         std::fs::write(dir.join("ok.c"), "int f(void) { return 0; }\n").unwrap();
-        std::fs::write(dir.join("bad.c"), b"int g(void) { return 0; } /* \xff\xfe */\n").unwrap();
+        std::fs::write(
+            dir.join("bad.c"),
+            b"int g(void) { return 0; } /* \xff\xfe */\n",
+        )
+        .unwrap();
         let p = Project::scan(&dir).expect("scan");
         assert_eq!(p.units().len(), 2);
         let diags = p.scan_diagnostics();

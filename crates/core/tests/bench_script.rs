@@ -11,8 +11,10 @@ fn bench_smoke_script_passes() {
         .join("../../scripts/bench.sh")
         .canonicalize()
         .expect("scripts/bench.sh exists");
-    let out_file = std::env::temp_dir().join(format!(
-        "refminer_bench_smoke_{}.json",
+    let out_file =
+        std::env::temp_dir().join(format!("refminer_bench_smoke_{}.json", std::process::id()));
+    let eval_file = std::env::temp_dir().join(format!(
+        "refminer_bench_smoke_eval_{}.json",
         std::process::id()
     ));
     let out = Command::new("bash")
@@ -22,6 +24,7 @@ fn bench_smoke_script_passes() {
         // with it (warm replay wins by orders of magnitude regardless).
         .env("BENCH_SCALE", "0.2")
         .env("BENCH_OUT", &out_file)
+        .env("BENCH_EVAL_OUT", &eval_file)
         .output()
         .expect("run bench.sh");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -53,5 +56,21 @@ fn bench_smoke_script_passes() {
         stdout.contains("summary-cache hit rate"),
         "stdout:\n{stdout}"
     );
+
+    // The precision/recall eval gate ran and wrote its report.
+    let eval = std::fs::read_to_string(&eval_file).expect("eval report written");
+    let e = refminer_json::Value::parse(&eval).expect("valid eval report");
+    assert!(e.get("feasibility_off").is_some());
+    assert!(e.get("feasibility_on").is_some());
+    assert_eq!(e.get("recall_lost").and_then(|b| b.as_bool()), Some(false));
+    assert!(
+        e.get("patterns_improved")
+            .and_then(|n| n.as_u64())
+            .unwrap_or(0)
+            >= 2,
+        "eval gate inputs missing:\n{eval}"
+    );
+    assert!(stdout.contains("bench.sh: eval F1"), "stdout:\n{stdout}");
     std::fs::remove_file(&out_file).ok();
+    std::fs::remove_file(&eval_file).ok();
 }

@@ -168,11 +168,7 @@ fn json_diagnostics_line_appears_only_when_dirty() {
 #[test]
 fn max_file_bytes_skips_oversize_files() {
     let dir = write_demo_tree();
-    std::fs::write(
-        dir.join("drivers/demo/huge.c"),
-        "int x;\n".repeat(2000),
-    )
-    .expect("write huge");
+    std::fs::write(dir.join("drivers/demo/huge.c"), "int x;\n".repeat(2000)).expect("write huge");
     let out = refminer()
         .args(["--strict", "--max-file-bytes", "4096"])
         .arg(&dir)
@@ -184,7 +180,11 @@ fn max_file_bytes_skips_oversize_files() {
         .arg(&dir)
         .output()
         .expect("run");
-    assert_eq!(out.status.code(), Some(1), "under the cap nothing is skipped");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "under the cap nothing is skipped"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -193,7 +193,10 @@ fn stats_reports_unit_outcomes() {
     let dir = write_demo_tree();
     let out = refminer().arg("--stats").arg(&dir).output().expect("run");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("units: 1 ok, 0 degraded, 0 skipped"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("units: 1 ok, 0 degraded, 0 skipped"),
+        "stderr: {stderr}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -227,6 +230,201 @@ fn bad_jobs_value_exits_two() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn write_fp_trap_tree(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_eval_test_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tree = refminer::corpus::generate_tree(&refminer::corpus::TreeConfig {
+        scale: 0.1,
+        include_tricky: false,
+        fp_traps: true,
+        ..Default::default()
+    });
+    tree.write_to(&dir).expect("write tree");
+    dir
+}
+
+/// Per-pattern (precision, recall) map from an eval report's JSON.
+fn metrics(v: &refminer_json::Value) -> Vec<(String, f64, f64)> {
+    v.get("per_pattern")
+        .and_then(|p| p.as_array())
+        .expect("per_pattern array")
+        .iter()
+        .map(|row| {
+            (
+                row.get("pattern")
+                    .and_then(|p| p.as_str())
+                    .unwrap()
+                    .to_string(),
+                row.get("precision").and_then(|p| p.as_f64()).unwrap(),
+                row.get("recall").and_then(|r| r.as_f64()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn eval_feasibility_improves_precision_without_recall_loss() {
+    let dir = write_fp_trap_tree("gate");
+    let run = |extra: &[&str]| {
+        let out = refminer()
+            .arg("eval")
+            .args(extra)
+            .arg("--json")
+            .arg(&dir)
+            .output()
+            .expect("run");
+        assert_eq!(out.status.code(), Some(0), "eval exits 0");
+        refminer_json::Value::parse(String::from_utf8_lossy(&out.stdout).trim())
+            .expect("eval report is JSON")
+    };
+    let on = run(&[]);
+    let off = run(&["--no-feasibility"]);
+
+    let off_traps = off.get("trap_hits").and_then(|t| t.as_u64()).unwrap();
+    let on_traps = on.get("trap_hits").and_then(|t| t.as_u64()).unwrap();
+    assert!(
+        off_traps >= 2,
+        "baseline must hit the FP traps, got {off_traps}"
+    );
+    assert_eq!(on_traps, 0, "feasibility must suppress every trap hit");
+
+    // Strictly better precision on >= 2 patterns, recall never worse.
+    // A pattern absent from the feasibility-on report lost all its
+    // (false-positive-only) findings: precision went to 1.0.
+    let on_rows = metrics(&on);
+    let mut improved = 0;
+    for (pattern, off_p, off_r) in metrics(&off) {
+        let (on_p, on_r) = on_rows
+            .iter()
+            .find(|(p, _, _)| *p == pattern)
+            .map(|(_, p, r)| (*p, *r))
+            .unwrap_or((1.0, 1.0));
+        assert!(on_r >= off_r, "{pattern}: recall dropped {off_r} -> {on_r}");
+        if on_p > off_p {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved >= 2,
+        "precision improved on {improved} pattern(s), expected >= 2"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn feasibility_json_is_byte_identical_across_jobs_and_cache() {
+    let dir = write_fp_trap_tree("bytes");
+    let cache_dir = dir.join(".refminer-cache");
+    let run = |jobs: &str, cached: bool| {
+        let mut cmd = refminer();
+        cmd.args(["--json", "--jobs", jobs]);
+        if cached {
+            cmd.arg("--cache-dir").arg(&cache_dir);
+        }
+        cmd.arg(&dir).output().expect("run")
+    };
+    let seq = run("1", false);
+    let par = run("8", false);
+    assert_eq!(seq.stdout, par.stdout, "--jobs 8 changed the JSON bytes");
+    let cold = run("8", true);
+    let warm = run("8", true);
+    assert_eq!(seq.stdout, cold.stdout, "cold cache changed the JSON bytes");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm cache changed the JSON bytes"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn only_pattern_runs_a_checker_subset() {
+    let dir = write_demo_tree();
+    let out = refminer()
+        .args(["--only-pattern", "P8"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P8"), "stdout: {stdout}");
+    assert!(
+        !stdout.contains("P4"),
+        "P4 checker should not have run: {stdout}"
+    );
+    let out = refminer()
+        .args(["--only-pattern", "P0"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bad pattern id is a usage error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn subsystem_filter_narrows_the_audit() {
+    let dir = write_demo_tree();
+    let hit = refminer()
+        .args(["--subsystem", "drivers/demo"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(hit.status.code(), Some(1), "prefix matches → findings");
+    let miss = refminer()
+        .args(["--subsystem", "sound"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(miss.status.code(), Some(0), "prefix misses → clean exit");
+    assert!(miss.stdout.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_feasibility_restores_infeasible_findings() {
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_nofeas_test_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("drivers/demo")).expect("mkdir");
+    // The correlated branch: `ret` is proven zero at the `if`, so the
+    // error return cannot execute and the P1 report is a false alarm.
+    std::fs::write(
+        dir.join("drivers/demo/corr.c"),
+        r#"
+int corr_probe(struct device *dev)
+{
+        int ret = pm_runtime_get_sync(dev);
+        ret = 0;
+        if (ret)
+                return ret;
+        pm_runtime_put(dev);
+        return 0;
+}
+"#,
+    )
+    .expect("write corr");
+    let on = refminer().arg(&dir).output().expect("run");
+    assert_eq!(on.status.code(), Some(0), "infeasible finding suppressed");
+    let off = refminer()
+        .arg("--no-feasibility")
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(off.status.code(), Some(1), "--no-feasibility restores it");
+    let stdout = String::from_utf8_lossy(&off.stdout);
+    assert!(stdout.contains("P1"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cache_dir_warm_run_is_byte_identical_and_hits() {
     let dir = write_demo_tree();
@@ -245,7 +443,10 @@ fn cache_dir_warm_run_is_byte_identical_and_hits() {
         "cache file persisted"
     );
     let warm = run();
-    assert_eq!(cold.stdout, warm.stdout, "warm cache changed the JSON bytes");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm cache changed the JSON bytes"
+    );
     let stderr = String::from_utf8_lossy(&warm.stderr);
     assert!(
         stderr.contains("hit rate 100%"),

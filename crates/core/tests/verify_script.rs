@@ -1,7 +1,8 @@
 //! Runs the `scripts/verify.sh` release gate against prebuilt binaries,
-//! so the one-shot build → test → chaos → bench chain stays wired into
-//! the test suite. The build and test steps are skipped because this
-//! test already runs under them — re-entering cargo here would recurse.
+//! so the one-shot fmt → clippy → build → test → chaos → bench chain
+//! stays wired into the test suite. The cargo-based steps (fmt, clippy,
+//! build, test) are skipped because this test already runs under
+//! cargo — re-entering it here would recurse.
 
 use std::path::Path;
 use std::process::Command;
@@ -15,18 +16,21 @@ fn script() -> std::path::PathBuf {
 
 #[test]
 fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
-    let out_file = std::env::temp_dir().join(format!(
-        "refminer_verify_smoke_{}.json",
+    let out_file =
+        std::env::temp_dir().join(format!("refminer_verify_smoke_{}.json", std::process::id()));
+    let eval_file = std::env::temp_dir().join(format!(
+        "refminer_verify_smoke_eval_{}.json",
         std::process::id()
     ));
     let out = Command::new("bash")
         .arg(script())
-        .env("VERIFY_SKIP", "build test")
+        .env("VERIFY_SKIP", "fmt clippy build test")
         .env("REFMINER_BIN", env!("CARGO_BIN_EXE_refminer"))
         .env("CHAOSGEN_BIN", env!("CARGO_BIN_EXE_chaosgen"))
         .env("BENCHPIPE_BIN", env!("CARGO_BIN_EXE_benchpipe"))
         .env("BENCH_SCALE", "0.2")
         .env("BENCH_OUT", &out_file)
+        .env("BENCH_EVAL_OUT", &eval_file)
         .output()
         .expect("run verify.sh");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -35,28 +39,52 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
         out.status.success(),
         "verify.sh failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
-    assert!(stdout.contains("verify.sh: [build] skipped"), "stdout:\n{stdout}");
-    assert!(stdout.contains("verify.sh: [test] skipped"), "stdout:\n{stdout}");
-    assert!(stdout.contains("verify.sh: [chaos] ok"), "stdout:\n{stdout}");
-    assert!(stdout.contains("verify.sh: [bench] ok"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("verify.sh: [fmt] skipped"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verify.sh: [clippy] skipped"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verify.sh: [build] skipped"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verify.sh: [test] skipped"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verify.sh: [chaos] ok"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verify.sh: [bench] ok"),
+        "stdout:\n{stdout}"
+    );
     assert!(
         stdout.trim_end().ends_with("verify.sh: PASS"),
         "the verdict must be the last line\nstdout:\n{stdout}"
     );
     std::fs::remove_file(&out_file).ok();
+    std::fs::remove_file(&eval_file).ok();
 }
 
 #[test]
 fn verify_script_fails_fast_with_the_step_name() {
     let out = Command::new("bash")
         .arg(script())
-        .env("VERIFY_SKIP", "build test chaos")
+        .env("VERIFY_SKIP", "fmt clippy build test chaos")
         .env("BENCHPIPE_BIN", "/bin/false")
         .output()
         .expect("run verify.sh");
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(!out.status.success(), "a failing step must fail the gate");
-    assert!(stderr.contains("verify.sh: FAIL (bench)"), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("verify.sh: FAIL (bench)"),
+        "stderr:\n{stderr}"
+    );
     assert!(!stdout.contains("verify.sh: PASS"), "stdout:\n{stdout}");
 }

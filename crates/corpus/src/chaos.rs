@@ -177,7 +177,11 @@ pub fn mutate_bytes(content: &[u8], kind: MutationKind, rng: &mut ChaCha8Rng) ->
             while cut < out.len() && !out[cut].is_ascii_alphanumeric() {
                 cut += 1;
             }
-            let cut = if cut >= out.len() { out.len() / 2 } else { cut + 1 };
+            let cut = if cut >= out.len() {
+                out.len() / 2
+            } else {
+                cut + 1
+            };
             out.truncate(cut.max(1));
         }
         MutationKind::ByteFlip => {
@@ -205,9 +209,9 @@ pub fn mutate_bytes(content: &[u8], kind: MutationKind, rng: &mut ChaCha8Rng) ->
         MutationKind::DeepNesting => {
             let depth = 4000 + rng.gen_range(0usize..1000);
             out.extend_from_slice(b"\nint chaos_nest(void)\n{\n        return ");
-            out.extend(std::iter::repeat(b'(').take(depth));
+            out.extend(std::iter::repeat_n(b'(', depth));
             out.push(b'1');
-            out.extend(std::iter::repeat(b')').take(depth));
+            out.extend(std::iter::repeat_n(b')', depth));
             out.extend_from_slice(b";\n}\n");
         }
         MutationKind::MacroBomb => {
@@ -227,7 +231,7 @@ pub fn mutate_bytes(content: &[u8], kind: MutationKind, rng: &mut ChaCha8Rng) ->
                 out.extend_from_slice(b"CHAOS_1(");
             }
             out.push(b'1');
-            out.extend(std::iter::repeat(b')').take(depth));
+            out.extend(std::iter::repeat_n(b')', depth));
             out.extend_from_slice(b";\n}\n");
         }
         MutationKind::NulGarbage => {
@@ -239,7 +243,9 @@ pub fn mutate_bytes(content: &[u8], kind: MutationKind, rng: &mut ChaCha8Rng) ->
         MutationKind::BinaryGarbage => {
             let at = mid(rng, out.len());
             let run = 64 + rng.gen_range(0usize..192);
-            let garbage: Vec<u8> = (0..run).map(|_| (rng.gen_range(0x80u32..0x100) & 0xFF) as u8).collect();
+            let garbage: Vec<u8> = (0..run)
+                .map(|_| (rng.gen_range(0x80u32..0x100) & 0xFF) as u8)
+                .collect();
             out.splice(at..at, garbage);
         }
     }
@@ -409,6 +415,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(chaos.records.iter().all(|r| r.kind == MutationKind::DeepNesting));
+        assert!(chaos
+            .records
+            .iter()
+            .all(|r| r.kind == MutationKind::DeepNesting));
     }
 }

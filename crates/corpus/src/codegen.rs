@@ -272,7 +272,7 @@ pub fn emit_filler(fn_name: &str, ng: &mut NameGen) -> String {
          \treturn val ^ {mask};\n\
          }}\n"
     );
-    if fn_name.len() % 3 == 0 {
+    if fn_name.len().is_multiple_of(3) {
         format!(
             "#ifdef CONFIG_{}\n{body}#endif\n",
             fn_name.to_ascii_uppercase()
@@ -522,9 +522,9 @@ pub fn emit_tricky(fn_name: &str, ng: &mut NameGen) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use refminer_prng::SeedableRng;
     use refminer_checkers::{check_unit, AntiPattern};
     use refminer_cparse::parse_str;
+    use refminer_prng::SeedableRng;
 
     fn ng() -> NameGen {
         NameGen::new(ChaCha8Rng::seed_from_u64(7))

@@ -37,5 +37,6 @@ pub use subsystems::{
     SUBSYSTEM_KLOC,
 };
 pub use tree::{
-    generate_tree, next_revision, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig,
+    generate_tree, next_revision, FpTrap, InjectedBug, Manifest, SourceFile, SyntheticTree,
+    TreeConfig,
 };

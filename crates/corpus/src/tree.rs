@@ -32,6 +32,24 @@ pub struct InjectedBug {
     pub inter_unit: bool,
 }
 
+/// A deterministic non-bug the checkers are *expected* to flag unless
+/// they reason about path feasibility: a correlated cleanup branch, a
+/// flag-guarded put, a re-checked error code. Recorded in the manifest
+/// with `bug: false` so evaluations count any finding on it as a false
+/// positive by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpTrap {
+    /// File path within the tree.
+    pub path: String,
+    /// Function the trap lives in.
+    pub function: String,
+    /// The anti-pattern the trap baits (1..=9).
+    pub pattern: u8,
+    /// Trap family (`correlated_branch`, `flag_guard`, `recheck`,
+    /// `const_guard`).
+    pub kind: String,
+}
+
 /// The ground-truth record of a generated tree.
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -42,6 +60,9 @@ pub struct Manifest {
     pub tricky: Vec<(String, String)>,
     /// Number of clean functions emitted (denominator for FP rates).
     pub clean_functions: usize,
+    /// False-positive traps (see [`FpTrap`]); empty unless the tree was
+    /// generated with [`TreeConfig::fp_traps`].
+    pub fp_traps: Vec<FpTrap>,
 }
 
 impl ToJson for InjectedBug {
@@ -55,6 +76,18 @@ impl ToJson for InjectedBug {
             ("subsystem", self.subsystem.to_json()),
             ("module", self.module.to_json()),
             ("inter_unit", self.inter_unit.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FpTrap {
+    fn to_json(&self) -> Value {
+        obj([
+            ("path", self.path.to_json()),
+            ("function", self.function.to_json()),
+            ("pattern", self.pattern.to_json()),
+            ("kind", self.kind.to_json()),
+            ("bug", false.to_json()),
         ])
     }
 }
@@ -73,6 +106,7 @@ impl ToJson for Manifest {
                 ),
             ),
             ("clean_functions", self.clean_functions.to_json()),
+            ("fp_traps", self.fp_traps.to_json()),
         ])
     }
 }
@@ -89,6 +123,64 @@ impl Manifest {
     /// Whether a (path, function) pair is one of the tricky snippets.
     pub fn is_tricky(&self, path: &str, function: &str) -> bool {
         self.tricky.iter().any(|(p, f)| p == path && f == function)
+    }
+
+    /// Parses the JSON written by [`SyntheticTree::write_to`] back into
+    /// a manifest. Returns `None` on any malformed member — a partially
+    /// loaded ground truth would silently skew evaluation scores.
+    pub fn from_json(v: &Value) -> Option<Manifest> {
+        let bugs = v
+            .get("bugs")?
+            .as_array()?
+            .iter()
+            .map(|b| {
+                Some(InjectedBug {
+                    path: b.get("path")?.as_str()?.to_string(),
+                    function: b.get("function")?.as_str()?.to_string(),
+                    pattern: b.get("pattern")?.as_u64()? as u8,
+                    api: b.get("api")?.as_str()?.to_string(),
+                    impact: b.get("impact")?.as_str()?.to_string(),
+                    subsystem: b.get("subsystem")?.as_str()?.to_string(),
+                    module: b.get("module")?.as_str()?.to_string(),
+                    inter_unit: b.get("inter_unit")?.as_bool()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let tricky = v
+            .get("tricky")?
+            .as_array()?
+            .iter()
+            .map(|t| {
+                let pair = t.as_array()?;
+                Some((
+                    pair.first()?.as_str()?.to_string(),
+                    pair.get(1)?.as_str()?.to_string(),
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let clean_functions = v.get("clean_functions")?.as_u64()? as usize;
+        // Absent in manifests written before the knob existed.
+        let fp_traps = match v.get("fp_traps") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()?
+                .iter()
+                .map(|t| {
+                    Some(FpTrap {
+                        path: t.get("path")?.as_str()?.to_string(),
+                        function: t.get("function")?.as_str()?.to_string(),
+                        pattern: t.get("pattern")?.as_u64()? as u8,
+                        kind: t.get("kind")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        };
+        Some(Manifest {
+            bugs,
+            tricky,
+            clean_functions,
+            fp_traps,
+        })
     }
 }
 
@@ -135,6 +227,13 @@ pub struct TreeConfig {
     /// bugs are tagged `inter_unit: true` in the manifest. Off by
     /// default so Table 4's totals stay the paper's.
     pub cross_unit: bool,
+    /// Whether to add the *fptrap* module: deterministic non-bug
+    /// functions whose anti-pattern shapes only come apart under
+    /// path-feasibility reasoning — correlated cleanup branches,
+    /// flag-guarded puts, re-checked error codes, constant-false debug
+    /// guards. Recorded in [`Manifest::fp_traps`] with `bug: false`.
+    /// Off by default so Table 4's totals stay the paper's.
+    pub fp_traps: bool,
 }
 
 impl Default for TreeConfig {
@@ -147,6 +246,7 @@ impl Default for TreeConfig {
             include_tricky: true,
             include_vendor: false,
             cross_unit: false,
+            fp_traps: false,
         }
     }
 }
@@ -304,6 +404,10 @@ pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
 
     if cfg.cross_unit {
         emit_cross_unit_module(&mut files, &mut manifest, cfg.scale);
+    }
+
+    if cfg.fp_traps {
+        emit_fp_trap_module(&mut files, &mut manifest);
     }
 
     if cfg.include_tricky {
@@ -642,6 +746,119 @@ static const struct platform_driver xu{i}_driver = {{
     }
 }
 
+/// Emits the fptrap module: five deterministic non-bug functions whose
+/// control flow *looks* like an anti-pattern but whose "bad" path is
+/// unreachable — a correlated error branch tested after the code zeroes
+/// it, a constant flag guarding the put, an error code re-checked after
+/// it was proven zero, and a deref behind a constant-false debug guard.
+/// A checker without path-feasibility reasoning flags every one of
+/// them; the manifest records them with `bug: false` so evaluations
+/// count those findings as false positives.
+fn emit_fp_trap_module(files: &mut Vec<SourceFile>, manifest: &mut Manifest) {
+    let path = "drivers/fptrap/fptrap_unit1.c".to_string();
+    files.push(SourceFile {
+        path: path.clone(),
+        content: r#"// SPDX-License-Identifier: GPL-2.0
+// drivers/fptrap: feasibility traps. Every function here is correct;
+// the anti-pattern path each one exhibits cannot execute.
+#include <linux/of.h>
+
+static int fptrap_corr_ret(struct device *dev)
+{
+        int ret = pm_runtime_get_sync(dev);
+
+        ret = 0;
+        if (ret)
+                return ret;
+        pm_runtime_put(dev);
+        return 0;
+}
+
+static int fptrap_corr_err(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_path("/soc");
+        int err;
+
+        if (!np)
+                return -ENODEV;
+        err = 0;
+        if (err)
+                goto fail;
+        of_node_put(np);
+        return 0;
+fail:
+        disable_hw();
+        return err;
+}
+
+static int fptrap_flag_guard(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_path("/chosen");
+        int cleanup = 1;
+        int ret;
+
+        if (!np)
+                return -ENODEV;
+        ret = setup_hw(np);
+        if (ret) {
+                if (cleanup)
+                        of_node_put(np);
+                return ret;
+        }
+        of_node_put(np);
+        return 0;
+}
+
+static int fptrap_recheck(struct device *unused)
+{
+        struct device_node *np = of_find_node_by_path("/firmware");
+        int ret;
+
+        if (!np)
+                return -ENODEV;
+        ret = start_hw(np);
+        if (ret) {
+                of_node_put(np);
+                return ret;
+        }
+        enable_hw(np);
+        if (ret)
+                goto err;
+        of_node_put(np);
+        return 0;
+err:
+        stop_hw();
+        return ret;
+}
+
+static void fptrap_uad_guard(struct sock *sk)
+{
+        int debug = 0;
+
+        sock_put(sk);
+        if (debug)
+                log_state(sk->sk_err);
+}
+"#
+        .to_string(),
+    });
+    for (function, pattern, kind) in [
+        ("fptrap_corr_ret", 1u8, "correlated_branch"),
+        ("fptrap_corr_err", 5, "correlated_branch"),
+        ("fptrap_flag_guard", 5, "flag_guard"),
+        ("fptrap_recheck", 5, "recheck"),
+        ("fptrap_uad_guard", 8, "const_guard"),
+    ] {
+        manifest.fp_traps.push(FpTrap {
+            path: path.clone(),
+            function: function.to_string(),
+            pattern,
+            kind: kind.to_string(),
+        });
+    }
+    manifest.clean_functions += 5;
+}
+
 /// Rotates clean-twin shapes for variety.
 fn clean_shape_for(i: usize, salt: usize) -> (u8, &'static str) {
     const SHAPES: &[(u8, &str)] = &[
@@ -852,7 +1069,10 @@ mod tests {
             }
         }
         assert_eq!(rev.manifest.bugs, base.manifest.bugs);
-        assert_eq!(rev.manifest.clean_functions, base.manifest.clean_functions + 3);
+        assert_eq!(
+            rev.manifest.clean_functions,
+            base.manifest.clean_functions + 3
+        );
     }
 
     #[test]
@@ -864,7 +1084,11 @@ mod tests {
         let (a, ea) = next_revision(&base, 7, 2);
         let (b, eb) = next_revision(&base, 7, 2);
         assert_eq!(ea, eb);
-        assert!(a.files.iter().zip(&b.files).all(|(x, y)| x.content == y.content));
+        assert!(a
+            .files
+            .iter()
+            .zip(&b.files)
+            .all(|(x, y)| x.content == y.content));
         let (_, ec) = next_revision(&base, 8, 2);
         assert_ne!(ea, ec, "different seeds pick different files");
     }
@@ -917,6 +1141,62 @@ mod tests {
         let tree = generate_tree(&TreeConfig::default());
         assert!(tree.manifest.bugs.iter().all(|b| !b.inter_unit));
         assert!(!tree.files.iter().any(|f| f.path.contains("crossunit")));
+    }
+
+    #[test]
+    fn fp_trap_knob_adds_tagged_non_bugs() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.05,
+            fp_traps: true,
+            ..Default::default()
+        });
+        assert_eq!(tree.files.len(), base.files.len() + 1);
+        assert_eq!(tree.manifest.fp_traps.len(), 5);
+        assert_eq!(
+            tree.manifest.clean_functions,
+            base.manifest.clean_functions + 5
+        );
+        // Traps are non-bugs: the bug list is untouched.
+        assert_eq!(tree.manifest.bugs, base.manifest.bugs);
+        assert!(tree
+            .manifest
+            .fp_traps
+            .iter()
+            .all(|t| t.path.starts_with("drivers/fptrap/")));
+        // At least two distinct anti-patterns are baited.
+        let mut patterns: Vec<u8> = tree.manifest.fp_traps.iter().map(|t| t.pattern).collect();
+        patterns.sort_unstable();
+        patterns.dedup();
+        assert!(patterns.len() >= 2, "traps must bait >= 2 patterns");
+    }
+
+    #[test]
+    fn default_tree_has_no_fp_traps() {
+        let tree = generate_tree(&TreeConfig::default());
+        assert!(tree.manifest.fp_traps.is_empty());
+        assert!(!tree.files.iter().any(|f| f.path.contains("fptrap")));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.05,
+            fp_traps: true,
+            cross_unit: true,
+            ..Default::default()
+        });
+        let json = tree.manifest.to_json();
+        // Trap records carry the explicit `bug: false` marker.
+        assert!(json.to_string().contains("\"bug\":false"));
+        let back = Manifest::from_json(&json).expect("round trip");
+        assert_eq!(back.bugs, tree.manifest.bugs);
+        assert_eq!(back.tricky, tree.manifest.tricky);
+        assert_eq!(back.clean_functions, tree.manifest.clean_functions);
+        assert_eq!(back.fp_traps, tree.manifest.fp_traps);
     }
 
     #[test]

@@ -827,8 +827,7 @@ impl Parser {
                     // Heuristic: `ident` is a type when it is a known
                     // kernel type word, ends in `_t`, or is followed by
                     // another identifier or `*`+ident.
-                    let is_known =
-                        KNOWN_TYPE_WORDS.contains(&&**name) || name.ends_with("_t");
+                    let is_known = KNOWN_TYPE_WORDS.contains(&&**name) || name.ends_with("_t");
                     let next_suggests_type = match self.peek_at(1).map(|t| &t.kind) {
                         Some(TokenKind::Ident(_)) => true,
                         Some(TokenKind::Punct(Punct::Star)) => {

@@ -602,8 +602,13 @@ int f(void)
 #[test]
 fn deep_parens_degrade_without_overflow() {
     let depth = 5000;
-    let src = format!("int f(void) {{ return {}1{}; }}", "(".repeat(depth), ")".repeat(depth));
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let src = format!(
+        "int f(void) {{ return {}1{}; }}",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped, "5000 nested parens must hit the cap");
     assert!(out
         .errors
@@ -615,15 +620,21 @@ fn deep_parens_degrade_without_overflow() {
 #[test]
 fn deep_unary_chain_degrades_without_overflow() {
     let src = format!("int f(void) {{ return {}x; }}", "!".repeat(5000));
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
 }
 
 #[test]
 fn deep_brace_statements_degrade_without_overflow() {
     let depth = 5000;
-    let src = format!("int f(void) {{ {} x = 1; {} }}", "{".repeat(depth), "}".repeat(depth));
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let src = format!(
+        "int f(void) {{ {} x = 1; {} }}",
+        "{".repeat(depth),
+        "}".repeat(depth)
+    );
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
     assert_eq!(out.unit.functions().count(), 1);
 }
@@ -632,7 +643,8 @@ fn deep_brace_statements_degrade_without_overflow() {
 fn deep_initializer_braces_degrade_without_overflow() {
     let depth = 5000;
     let src = format!("int a = {}1{};", "{".repeat(depth), "}".repeat(depth));
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
 }
 
@@ -644,7 +656,8 @@ fn deep_nested_structs_degrade_without_overflow() {
         "struct {".repeat(depth),
         "};".repeat(depth)
     );
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
 }
 
@@ -656,7 +669,10 @@ fn token_cap_reports_truncation() {
         ..Default::default()
     };
     let out = refminer_cparse::parse_str_limited("t.c", &src, &limits);
-    assert!(out.truncated, "3000-token file under a 50-token cap must truncate");
+    assert!(
+        out.truncated,
+        "3000-token file under a 50-token cap must truncate"
+    );
     assert!(out.unit.globals().count() <= 50);
 }
 
@@ -671,7 +687,8 @@ static int probe(struct platform_device *pdev)
         return of_device_is_available(np) ? 0 : -ENODEV;
 }
 "#;
-    let out = refminer_cparse::parse_str_limited("t.c", src, &refminer_cparse::ParseLimits::default());
+    let out =
+        refminer_cparse::parse_str_limited("t.c", src, &refminer_cparse::ParseLimits::default());
     assert!(!out.depth_capped);
     assert!(!out.truncated);
     assert!(out.lex_errors.is_empty());
@@ -724,8 +741,12 @@ fn long_binary_chain_builds_a_bounded_ast() {
     // `1+1+1+...` nests the AST one level per term with no parser
     // recursion; the depth cap must still bound the tree so downstream
     // recursive walkers (and Drop) cannot overflow.
-    let src = format!("int f(void)\n{{\n        return {};\n}}\n", vec!["1"; 6000].join(" + "));
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let src = format!(
+        "int f(void)\n{{\n        return {};\n}}\n",
+        vec!["1"; 6000].join(" + ")
+    );
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
     let cap = refminer_cparse::ParseLimits::default().max_depth as usize;
     assert!(max_expr_depth(&out.unit) <= cap + 1);
@@ -742,7 +763,8 @@ fn paren_run_recovery_builds_a_bounded_ast() {
         "(".repeat(depth),
         ")".repeat(depth)
     );
-    let out = refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
+    let out =
+        refminer_cparse::parse_str_limited("t.c", &src, &refminer_cparse::ParseLimits::default());
     assert!(out.depth_capped);
     let cap = refminer_cparse::ParseLimits::default().max_depth as usize;
     assert!(max_expr_depth(&out.unit) <= cap + 1);

@@ -248,4 +248,117 @@ mod tests {
             assert!(!errs.contains(&i));
         }
     }
+
+    #[test]
+    fn nested_goto_chain_into_shared_label() {
+        // The staged-teardown idiom: a later failure jumps to `err_b`,
+        // which falls through into the shared `err_a` tail. Every stage
+        // of the chain is error-handling code.
+        let (cfg, facts, errs) = analyze(
+            "ret = do_a(); if (ret) goto err_a; \
+             ret = do_b(); if (ret) goto err_b; \
+             return 0; \
+             err_b: undo_b(np); \
+             err_a: undo_a(np); return ret;",
+        );
+        let undo_b = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("undo_b"))
+            .unwrap();
+        let undo_a = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("undo_a"))
+            .unwrap();
+        assert!(errs.contains(&undo_b), "first chain stage marked");
+        assert!(errs.contains(&undo_a), "shared tail label marked");
+        // The success return before the labels stays clean.
+        let ok_ret = cfg
+            .node_ids()
+            .find(|&i| facts[i].is_return && facts[i].returns_var.is_none())
+            .unwrap();
+        assert!(!errs.contains(&ok_ret));
+    }
+
+    #[test]
+    fn is_err_or_null_guard_marked() {
+        let (cfg, facts, errs) = analyze(
+            "np = find_thing(); if (IS_ERR_OR_NULL(np)) return -EINVAL; \
+             use_thing(np); return 0;",
+        );
+        let bail = cfg
+            .node_ids()
+            .find(|&i| facts[i].is_return && facts[i].returns_error)
+            .unwrap();
+        assert!(
+            errs.contains(&bail),
+            "IS_ERR_OR_NULL bailout is an error block"
+        );
+        // And it counts as a NULL guard of `np` for the checkers'
+        // acquisition-failed exclusion.
+        let guards = null_guard_nodes(&cfg, &facts, "np");
+        assert!(guards.contains(&bail));
+        let use_node = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("use_thing"))
+            .unwrap();
+        assert!(!errs.contains(&use_node));
+    }
+
+    #[test]
+    fn early_return_einval_without_label() {
+        // Argument validation with no cleanup label at all.
+        let (cfg, facts, errs) = analyze("if (!dev) return -EINVAL; do_work(dev); return 0;");
+        let bail = cfg
+            .node_ids()
+            .find(|&i| facts[i].is_return && facts[i].returns_error)
+            .unwrap();
+        assert!(
+            errs.contains(&bail),
+            "label-less early return is an error block"
+        );
+        let work = cfg
+            .node_ids()
+            .find(|&i| facts[i].calls_named("do_work"))
+            .unwrap();
+        assert!(!errs.contains(&work));
+    }
+
+    #[test]
+    fn error_shapes_keep_stable_feasibility_tags() {
+        // Genuine error paths through each shape must never be tagged
+        // Infeasible, and the tag must be deterministic across
+        // recomputation (findings cache on it).
+        use crate::feasibility::{FeasAnalysis, Feasibility};
+        use crate::paths::{PathQuery, Step};
+        let bodies = [
+            // Nested goto chain into a shared label.
+            "get_thing(np); ret = do_a(dev); if (ret) goto err_b; \
+             put_thing(np); return 0; err_b: undo_b(np); err_a: return ret;",
+            // IS_ERR_OR_NULL guard.
+            "get_thing(np); if (IS_ERR_OR_NULL(np)) return -EINVAL; \
+             ret = do_a(dev); if (ret) return ret; put_thing(np); return 0;",
+            // Early return without a label.
+            "get_thing(np); if (!dev) return -EINVAL; \
+             ret = do_a(dev); if (ret) return ret; put_thing(np); return 0;",
+        ];
+        for body in bodies {
+            let (cfg, facts, _) = analyze(body);
+            let q = PathQuery::new(vec![
+                Step::new(|n| facts[n].calls_named("get_thing")),
+                Step::new(|n| n == cfg.exit).avoiding(|n| facts[n].calls_named("put_thing")),
+            ]);
+            assert!(
+                q.search_from_entry(&cfg).is_some(),
+                "leaky path exists: {body}"
+            );
+            let first = FeasAnalysis::compute(&cfg, &facts).classify(&q, &cfg, cfg.entry);
+            let second = FeasAnalysis::compute(&cfg, &facts).classify(&q, &cfg, cfg.entry);
+            assert_ne!(
+                first,
+                Feasibility::Infeasible,
+                "real error path pruned: {body}"
+            );
+            assert_eq!(first, second, "feasibility tag unstable: {body}");
+        }
+    }
 }

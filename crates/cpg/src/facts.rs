@@ -282,7 +282,7 @@ fn is_error_value(e: &Expr) -> bool {
 }
 
 /// Whether a variable name conventionally holds an error code.
-fn errish_name(name: &str) -> bool {
+pub(crate) fn errish_name(name: &str) -> bool {
     matches!(
         name,
         "ret" | "err" | "error" | "rc" | "status" | "res" | "result" | "retval" | "rv"

@@ -1,0 +1,601 @@
+//! Path-feasibility constraint analysis.
+//!
+//! The path-query engine enumerates *syntactic* paths; this module asks
+//! whether the branch conditions along them can hold simultaneously.
+//! It tracks, flow-sensitively per function, a small abstract value for
+//! each scalar variable — known integer constant (`ret = 0`, `flag =
+//! 1`, `p = NULL`), known nonzero, or unknown — refined by the
+//! NULL/error checks on branch edges, and from the fixpoint derives the
+//! set of **infeasible branch edges**: edges whose condition contradicts
+//! everything that can reach them (`if (ret) goto err;` after `ret =
+//! 0`, a re-test of an already-decided error code, a constant-folded
+//! flag guard).
+//!
+//! Checkers keep their existing unpruned queries for *detection* and
+//! call [`FeasAnalysis::classify`] afterwards: a witness that survives
+//! the pruned re-search is [`Feasibility::Proven`] (the path exists even
+//! under active adversarial pruning) or [`Feasibility::Assumed`] (the
+//! analysis had no constraints to prune with); a witness that only
+//! exists through an infeasible edge is [`Feasibility::Infeasible`] and
+//! is suppressed by default in the audit report.
+//!
+//! The lattice is deliberately conservative: any construct it does not
+//! model (address-taken variables, compound assignments, non-constant
+//! right-hand sides, merges of differing constants) degrades to
+//! *unknown*, which can only ever cause a finding to be kept, never
+//! suppressed.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use refminer_cparse::{AssignOp, Expr, ExprKind, Initializer, UnOp};
+
+use crate::cfg::{Cfg, EdgeKind, NodeId, NodeKind, Payload};
+use crate::facts::{errish_name, CheckFact, NodeFacts};
+use crate::paths::PathQuery;
+
+/// The feasibility verdict attached to a checker finding.
+///
+/// Ordered by certainty: `Infeasible < Assumed < Proven`, so merged
+/// findings keep the most credible verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Feasibility {
+    /// The bug-witnessing path requires an infeasible branch edge; the
+    /// finding is a false path and is suppressed by default.
+    Infeasible,
+    /// No feasibility constraints applied to this function (or the
+    /// finding is structural, not path-based); the verdict stands on
+    /// the syntactic path alone.
+    #[default]
+    Assumed,
+    /// The witnessing path survived active pruning: the function had
+    /// infeasible edges and the path needs none of them.
+    Proven,
+}
+
+impl Feasibility {
+    /// Stable lowercase name, used in JSON and cache files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Feasibility::Infeasible => "infeasible",
+            Feasibility::Assumed => "assumed",
+            Feasibility::Proven => "proven",
+        }
+    }
+
+    /// Parses a [`name`](Feasibility::name) back.
+    pub fn from_name(s: &str) -> Option<Feasibility> {
+        match s {
+            "infeasible" => Some(Feasibility::Infeasible),
+            "assumed" => Some(Feasibility::Assumed),
+            "proven" => Some(Feasibility::Proven),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Abstract value of one scalar variable at one program point.
+/// `NULL` is folded into `Int(0)`, matching C's null-pointer constant,
+/// so pointer guards and integer flags share one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Known to hold exactly this value.
+    Int(i64),
+    /// Known nonzero (valid pointer, set flag, error code), value
+    /// unknown.
+    NonZero,
+}
+
+impl AbsVal {
+    fn is_nonzero(self) -> bool {
+        !matches!(self, AbsVal::Int(0))
+    }
+}
+
+/// Join two known values; `None` means unknown (drop the entry).
+fn join_val(a: AbsVal, b: AbsVal) -> Option<AbsVal> {
+    match (a, b) {
+        _ if a == b => Some(a),
+        (AbsVal::Int(x), AbsVal::Int(y)) if x != 0 && y != 0 => Some(AbsVal::NonZero),
+        (AbsVal::Int(x), AbsVal::NonZero) | (AbsVal::NonZero, AbsVal::Int(x)) if x != 0 => {
+            Some(AbsVal::NonZero)
+        }
+        _ => None,
+    }
+}
+
+/// A per-point environment; absent variables are unknown.
+type Env = BTreeMap<String, AbsVal>;
+
+/// Join `b` into `a`, returning whether `a` changed.
+fn join_env(a: &mut Env, b: &Env) -> bool {
+    let mut changed = false;
+    let keys: Vec<String> = a.keys().cloned().collect();
+    for k in keys {
+        let av = a[&k];
+        match b.get(&k).and_then(|&bv| join_val(av, bv)) {
+            Some(v) => {
+                if v != av {
+                    a.insert(k, v);
+                    changed = true;
+                }
+            }
+            None => {
+                a.remove(&k);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// One write observed in a node, in evaluation order: the variable and
+/// its value if it is a recognizable constant.
+fn collect_writes(e: &Expr, out: &mut Vec<(String, Option<i64>)>) {
+    e.walk(&mut |sub| match &sub.kind {
+        ExprKind::Assign { op, lhs, rhs } => {
+            if let ExprKind::Ident(v) = &lhs.kind {
+                let val = if *op == AssignOp::Assign {
+                    const_of(rhs)
+                } else {
+                    None
+                };
+                out.push((v.clone(), val));
+            }
+        }
+        ExprKind::Unary {
+            op: UnOp::AddrOf | UnOp::PreInc | UnOp::PreDec,
+            operand,
+        } => {
+            // `&v` may alias a write through the pointer; `++v`/`--v`
+            // change the value. Both degrade the variable to unknown.
+            if let ExprKind::Ident(v) = &operand.kind {
+                out.push((v.clone(), None));
+            }
+        }
+        _ => {}
+    });
+}
+
+/// The integer constant an expression evaluates to, if statically
+/// obvious: literals, `NULL`, negated literals, casts thereof.
+fn const_of(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::Ident(name) if name == "NULL" => Some(0),
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => const_of(operand).map(|v| -v),
+        ExprKind::Cast { expr, .. } => const_of(expr),
+        _ => None,
+    }
+}
+
+/// All writes performed by a CFG node, in order.
+fn node_writes(kind: &NodeKind) -> Vec<(String, Option<i64>)> {
+    let mut out = Vec::new();
+    match kind {
+        NodeKind::Stmt(Payload::Expr(e)) | NodeKind::Cond(e) => collect_writes(e, &mut out),
+        NodeKind::Stmt(Payload::Decl(decls)) => {
+            for d in decls {
+                if let Some(Initializer::Expr(init)) = &d.init {
+                    collect_writes(init, &mut out);
+                    out.push((d.name.clone(), const_of(init)));
+                }
+            }
+        }
+        NodeKind::Stmt(Payload::Return(Some(e))) => collect_writes(e, &mut out),
+        NodeKind::MacroLoopHead { args, .. } => {
+            // The macro rebinds its iteration variable(s) every trip.
+            for a in args {
+                if let ExprKind::Ident(v) = &a.kind {
+                    out.push((v.clone(), None));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Applies a node's writes to an environment.
+fn transfer(env: &mut Env, writes: &[(String, Option<i64>)]) {
+    for (v, val) in writes {
+        match val {
+            Some(k) => {
+                env.insert(v.clone(), AbsVal::Int(*k));
+            }
+            None => {
+                env.remove(v);
+            }
+        }
+    }
+}
+
+/// Whether a check's error-code reading should be trusted for variable
+/// `v`: `IS_ERR(p)` also emits `ErrOnTrue(p)`, but an error pointer is
+/// not an integer comparison, so those variables are excluded.
+fn errptr_vars(checks: &[CheckFact]) -> HashSet<&str> {
+    checks
+        .iter()
+        .filter_map(|c| match c {
+            CheckFact::ErrPtrOnTrue(v) => Some(v.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Refines an environment with what a branch edge asserts. Overwrites:
+/// if the edge contradicts the incoming value it is infeasible anyway
+/// and the refined environment only flows into dead territory.
+fn refine_edge(env: &mut Env, checks: &[CheckFact], kind: EdgeKind) {
+    let on_true = match kind {
+        EdgeKind::True => true,
+        EdgeKind::False => false,
+        _ => return,
+    };
+    let errptr = errptr_vars(checks);
+    for c in checks {
+        match c {
+            CheckFact::NullOnTrue(v) => {
+                let val = if on_true {
+                    AbsVal::Int(0)
+                } else {
+                    AbsVal::NonZero
+                };
+                env.insert(v.clone(), val);
+            }
+            CheckFact::NonNullOnTrue(v) => {
+                let val = if on_true {
+                    AbsVal::NonZero
+                } else {
+                    AbsVal::Int(0)
+                };
+                env.insert(v.clone(), val);
+            }
+            CheckFact::OkOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
+                let val = if on_true {
+                    AbsVal::Int(0)
+                } else {
+                    AbsVal::NonZero
+                };
+                env.insert(v.clone(), val);
+            }
+            // True branch: nonzero for both `if (ret)` and `ret < 0`.
+            // The false branch of `ret < 0` only means non-negative,
+            // which this domain cannot express.
+            CheckFact::ErrOnTrue(v)
+                if on_true && errish_name(v) && !errptr.contains(v.as_str()) =>
+            {
+                env.insert(v.clone(), AbsVal::NonZero);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether a branch edge contradicts the environment at its condition.
+/// Only contradictions every source shape of the check agrees on are
+/// reported (e.g. `ErrOnTrue` may come from `if (ret)` or `ret < 0`;
+/// both are false exactly when `ret == 0`).
+fn edge_contradicts(env: &Env, checks: &[CheckFact], kind: EdgeKind) -> bool {
+    let on_true = match kind {
+        EdgeKind::True => true,
+        EdgeKind::False => false,
+        _ => return false,
+    };
+    let errptr = errptr_vars(checks);
+    checks.iter().any(|c| match c {
+        CheckFact::NullOnTrue(v) => env.get(v).is_some_and(|&val| {
+            if on_true {
+                val.is_nonzero()
+            } else {
+                val == AbsVal::Int(0)
+            }
+        }),
+        CheckFact::NonNullOnTrue(v) => env.get(v).is_some_and(|&val| {
+            if on_true {
+                val == AbsVal::Int(0)
+            } else {
+                val.is_nonzero()
+            }
+        }),
+        CheckFact::OkOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
+            env.get(v).is_some_and(|&val| {
+                if on_true {
+                    val.is_nonzero()
+                } else {
+                    val == AbsVal::Int(0)
+                }
+            })
+        }
+        CheckFact::ErrOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
+            env.get(v).is_some_and(|&val| {
+                if on_true {
+                    val == AbsVal::Int(0)
+                } else {
+                    matches!(val, AbsVal::Int(k) if k < 0)
+                }
+            })
+        }
+        _ => false,
+    })
+}
+
+/// The per-function feasibility analysis result: the set of branch
+/// edges no execution can take.
+///
+/// # Examples
+///
+/// ```
+/// use refminer_cparse::parse_str;
+/// use refminer_cpg::{FeasAnalysis, NodeFacts, Cfg};
+///
+/// let tu = parse_str(
+///     "t.c",
+///     "int f(void) { int ret = 0; if (ret) return -1; return 0; }",
+/// );
+/// let cfg = Cfg::build(tu.function("f").unwrap());
+/// let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
+/// let feas = FeasAnalysis::compute(&cfg, &facts);
+/// assert!(feas.active()); // the `if (ret)` true edge is dead
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeasAnalysis {
+    infeasible: HashSet<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl FeasAnalysis {
+    /// Runs the forward constant/guard analysis to its fixpoint and
+    /// collects contradicted branch edges. Deterministic: the fixpoint
+    /// of a monotone system is unique, and the contradiction pass is a
+    /// plain scan in node order.
+    pub fn compute(cfg: &Cfg, facts: &[NodeFacts]) -> FeasAnalysis {
+        let n = cfg.nodes.len();
+        let writes: Vec<Vec<(String, Option<i64>)>> =
+            cfg.nodes.iter().map(|nd| node_writes(&nd.kind)).collect();
+        let mut env_in: Vec<Option<Env>> = vec![None; n];
+        env_in[cfg.entry] = Some(Env::new());
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut queued = vec![false; n];
+        queue.push_back(cfg.entry);
+        queued[cfg.entry] = true;
+        // Each (node, variable) ascends a 3-step chain, so the true
+        // bound is tiny; the budget is a defensive backstop that, if
+        // ever hit, abandons pruning rather than over-pruning.
+        let mut budget = (n + 1) * 64;
+        while let Some(node) = queue.pop_front() {
+            queued[node] = false;
+            if budget == 0 {
+                return FeasAnalysis::default();
+            }
+            budget -= 1;
+            let mut out = env_in[node].clone().unwrap_or_default();
+            transfer(&mut out, &writes[node]);
+            for &(succ, kind) in cfg.succs(node) {
+                let mut e = out.clone();
+                refine_edge(&mut e, &facts[node].checks, kind);
+                let changed = match &mut env_in[succ] {
+                    Some(cur) => join_env(cur, &e),
+                    slot @ None => {
+                        *slot = Some(e);
+                        true
+                    }
+                };
+                if changed && !queued[succ] {
+                    queued[succ] = true;
+                    queue.push_back(succ);
+                }
+            }
+        }
+        let mut infeasible = HashSet::new();
+        for node in cfg.node_ids() {
+            if facts[node].checks.is_empty() {
+                continue;
+            }
+            let Some(env) = &env_in[node] else { continue };
+            let mut out = env.clone();
+            transfer(&mut out, &writes[node]);
+            for &(succ, kind) in cfg.succs(node) {
+                if edge_contradicts(&out, &facts[node].checks, kind) {
+                    infeasible.insert((node, succ, kind));
+                }
+            }
+        }
+        FeasAnalysis { infeasible }
+    }
+
+    /// Whether taking this edge contradicts the constraints that reach
+    /// it.
+    pub fn infeasible_edge(&self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        self.infeasible.contains(&(from, to, kind))
+    }
+
+    /// Whether the analysis found any infeasible edge in this function
+    /// — i.e. whether pruning is *active* here.
+    pub fn active(&self) -> bool {
+        !self.infeasible.is_empty()
+    }
+
+    /// Number of infeasible edges found.
+    pub fn infeasible_count(&self) -> usize {
+        self.infeasible.len()
+    }
+
+    /// Classifies a query whose **unpruned** search already produced a
+    /// witness: re-run it with infeasible edges vetoed and report
+    /// whether the witness survives.
+    pub fn classify(&self, q: &PathQuery, cfg: &Cfg, start: NodeId) -> Feasibility {
+        if !self.active() {
+            return Feasibility::Assumed;
+        }
+        let veto = |f: NodeId, t: NodeId, k: EdgeKind| self.infeasible_edge(f, t, k);
+        if q.search_with_veto(cfg, start, &veto).is_some() {
+            Feasibility::Proven
+        } else {
+            Feasibility::Infeasible
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::Step;
+    use refminer_cparse::parse_str;
+
+    fn build(body: &str) -> (Cfg, Vec<NodeFacts>, FeasAnalysis) {
+        let src =
+            format!("int f(struct device *dev) {{ struct device_node *np; int ret; {body} }}");
+        let tu = parse_str("t.c", &src);
+        let cfg = Cfg::build(tu.function("f").unwrap());
+        let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
+        let feas = FeasAnalysis::compute(&cfg, &facts);
+        (cfg, facts, feas)
+    }
+
+    fn leak_query<'a>(facts: &'a [NodeFacts], exit: NodeId, put: &'a str) -> PathQuery<'a> {
+        PathQuery::new(vec![
+            Step::new(move |n| facts[n].calls_named("get_thing")),
+            Step::new(move |n| n == exit).avoiding(move |n| facts[n].calls_named(put)),
+        ])
+    }
+
+    #[test]
+    fn correlated_error_branch_is_infeasible() {
+        // `ret = 0; if (ret) goto err;` — the classic correlated
+        // cleanup false path.
+        let (cfg, facts, feas) = build(
+            "get_thing(np); ret = 0; if (ret) goto err; \
+             put_thing(np); return 0; err: return -EINVAL;",
+        );
+        assert!(feas.active());
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some(), "syntactic path exists");
+        assert_eq!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn real_error_branch_stays_feasible() {
+        let (cfg, facts, feas) = build(
+            "get_thing(np); ret = do_thing(dev); if (ret) goto err; \
+             put_thing(np); return 0; err: return ret;",
+        );
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some());
+        // `ret` came from a call: unknown, so the leaky path stands.
+        assert_ne!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn rechecked_error_code_is_infeasible() {
+        // After `if (ret) return ret;` falls through, ret == 0, so the
+        // second test cannot take its true branch.
+        let (cfg, facts, feas) = build(
+            "ret = do_thing(dev); if (ret) return ret; get_thing(np); \
+             if (ret) goto err; put_thing(np); return 0; err: return ret;",
+        );
+        assert!(feas.active());
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some());
+        assert_eq!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn constant_flag_guard_is_infeasible() {
+        let (cfg, facts, feas) = build(
+            "int on = 1; get_thing(np); if (!on) goto skip; \
+             put_thing(np); skip: return 0;",
+        );
+        assert!(feas.active());
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some());
+        assert_eq!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn repeated_null_guard_is_infeasible() {
+        let (_cfg, _facts, feas) = build(
+            "np = find_thing(dev); if (!np) return -ENODEV; \
+             if (!np) return -EBUSY; return 0;",
+        );
+        // The second `!np` true edge contradicts the first guard's
+        // fall-through.
+        assert!(feas.active());
+    }
+
+    #[test]
+    fn loop_reassignment_defeats_constancy() {
+        // `ret` changes inside the loop, so the test is genuinely
+        // two-valued and nothing is pruned.
+        let (_cfg, _facts, feas) =
+            build("ret = 0; while (dev) { if (ret) break; ret = do_thing(dev); } return ret;");
+        assert!(!feas.active());
+    }
+
+    #[test]
+    fn address_taken_variable_is_unknown() {
+        let (_cfg, _facts, feas) =
+            build("ret = 0; probe_thing(&ret); if (ret) return ret; return 0;");
+        assert!(!feas.active());
+    }
+
+    #[test]
+    fn merge_of_distinct_constants_is_unknown() {
+        let (_cfg, _facts, feas) =
+            build("if (dev) ret = 0; else ret = 1; if (ret) return -EINVAL; return 0;");
+        assert!(!feas.active());
+    }
+
+    #[test]
+    fn surviving_query_is_proven() {
+        // Function has one dead branch, but the leak path does not
+        // need it: classification upgrades to Proven.
+        let (cfg, facts, feas) = build(
+            "int on = 1; if (!on) return 0; get_thing(np); \
+             if (ret < 0) return ret; put_thing(np); return 0;",
+        );
+        assert!(feas.active());
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some());
+        assert_eq!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Proven);
+    }
+
+    #[test]
+    fn no_constraints_means_assumed() {
+        let (cfg, facts, feas) =
+            build("get_thing(np); if (ret < 0) return ret; put_thing(np); return 0;");
+        assert!(!feas.active());
+        let q = leak_query(&facts, cfg.exit, "put_thing");
+        assert!(q.search_from_entry(&cfg).is_some());
+        assert_eq!(feas.classify(&q, &cfg, cfg.entry), Feasibility::Assumed);
+    }
+
+    #[test]
+    fn is_err_pointer_checks_are_not_folded() {
+        // IS_ERR(p) emits ErrOnTrue(p), but p = NULL does not make
+        // IS_ERR's edges prunable in the integer domain.
+        let (_cfg, _facts, feas) = build("np = NULL; if (IS_ERR(np)) return -EINVAL; return 0;");
+        assert!(!feas.active());
+    }
+
+    #[test]
+    fn feasibility_names_round_trip() {
+        for f in [
+            Feasibility::Infeasible,
+            Feasibility::Assumed,
+            Feasibility::Proven,
+        ] {
+            assert_eq!(Feasibility::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Feasibility::from_name("bogus"), None);
+        assert!(Feasibility::Infeasible < Feasibility::Assumed);
+        assert!(Feasibility::Assumed < Feasibility::Proven);
+    }
+}

@@ -7,6 +7,7 @@ use refminer_cparse::{FunctionDef, TranslationUnit};
 use crate::cfg::{Cfg, NodeId};
 use crate::errorpath::error_nodes;
 use crate::facts::NodeFacts;
+use crate::feasibility::FeasAnalysis;
 use crate::origins::Origins;
 
 /// A per-function *code property graph*: the CFG enriched with node
@@ -46,6 +47,9 @@ pub struct FunctionGraph {
     pub origins: Origins,
     /// Nodes classified as error-handling blocks (`B_error`).
     pub error_nodes: HashSet<NodeId>,
+    /// Path-feasibility constraints: infeasible branch edges derived
+    /// from constant/guard tracking.
+    pub feas: FeasAnalysis,
 }
 
 /// A function whose graph was rejected by the node cap before the
@@ -99,12 +103,14 @@ impl FunctionGraph {
         let params: Vec<String> = func.params.iter().filter_map(|p| p.name.clone()).collect();
         let origins = Origins::compute(&cfg, &facts, &params);
         let error_nodes = error_nodes(&cfg, &facts);
+        let feas = FeasAnalysis::compute(&cfg, &facts);
         Ok(FunctionGraph {
             func: func.clone(),
             cfg,
             facts,
             origins,
             error_nodes,
+            feas,
         })
     }
 

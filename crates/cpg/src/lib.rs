@@ -17,6 +17,7 @@
 mod cfg;
 mod errorpath;
 mod facts;
+mod feasibility;
 mod graph;
 mod origins;
 mod paths;
@@ -24,6 +25,7 @@ mod paths;
 pub use cfg::{Cfg, CfgNode, EdgeKind, NodeId, NodeKind, Payload};
 pub use errorpath::{error_nodes, is_error_label, null_guard_nodes};
 pub use facts::{ArgFact, AssignFact, CallFact, CheckFact, NodeFacts, StoreTarget};
+pub use feasibility::{FeasAnalysis, Feasibility};
 pub use graph::{FunctionGraph, GraphCapExceeded};
 pub use origins::{Origin, Origins};
 pub use paths::{PathQuery, Step};

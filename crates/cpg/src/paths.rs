@@ -84,6 +84,28 @@ impl<'a> PathQuery<'a> {
     /// visits each (node, step) state at most once, so runtime is
     /// `O(steps × edges)`.
     pub fn search(&self, cfg: &Cfg, start: NodeId) -> Option<Vec<NodeId>> {
+        self.search_inner(cfg, start, None)
+    }
+
+    /// [`search`](PathQuery::search) with an additional query-wide edge
+    /// veto: an edge for which `veto` returns true is never traversed,
+    /// on any step. Used by the feasibility engine to re-run a query
+    /// with infeasible branch edges removed.
+    pub fn search_with_veto(
+        &self,
+        cfg: &Cfg,
+        start: NodeId,
+        veto: &dyn Fn(NodeId, NodeId, EdgeKind) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        self.search_inner(cfg, start, Some(veto))
+    }
+
+    fn search_inner(
+        &self,
+        cfg: &Cfg,
+        start: NodeId,
+        veto: Option<&dyn Fn(NodeId, NodeId, EdgeKind) -> bool>,
+    ) -> Option<Vec<NodeId>> {
         if self.steps.is_empty() {
             return Some(Vec::new());
         }
@@ -118,6 +140,9 @@ impl<'a> PathQuery<'a> {
             for &(succ, kind) in cfg.succs(node) {
                 if kind == EdgeKind::Back && !self.follow_back_edges {
                     continue;
+                }
+                if veto.is_some_and(|v| v(node, succ, kind)) {
+                    continue; // Edge vetoed query-wide (infeasible).
                 }
                 // Decide the successor's step index. Avoidance is
                 // checked first and wins over matching.

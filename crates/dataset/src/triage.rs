@@ -288,6 +288,8 @@ mod tests {
             api: "x".into(),
             object: None,
             message: String::new(),
+            feasibility: refminer_checkers::Feasibility::Assumed,
+            checkers: Vec::new(),
         }
     }
 

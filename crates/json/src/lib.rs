@@ -55,7 +55,11 @@ pub struct ParseJsonError {
 
 impl fmt::Display for ParseJsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -134,14 +138,8 @@ impl Value {
         }
     }
 
-    /// Compact serialization (no whitespace).
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        write_value(self, &mut out);
-        out
-    }
-
-    /// Pretty serialization with two-space indentation.
+    /// Pretty serialization with two-space indentation. The compact
+    /// form (no whitespace) is `Display`, i.e. `to_string()`.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
         write_value_pretty(self, &mut out, 0);
@@ -151,7 +149,9 @@ impl Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        write_value(self, &mut out);
+        f.write_str(&out)
     }
 }
 

@@ -211,8 +211,8 @@ impl ChaCha8Rng {
             Self::quarter_round(&mut work, 2, 7, 8, 13);
             Self::quarter_round(&mut work, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.block[i] = work[i].wrapping_add(self.state[i]);
+        for (i, w) in work.iter().enumerate() {
+            self.block[i] = w.wrapping_add(self.state[i]);
         }
         // 64-bit block counter in words 12/13.
         let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);

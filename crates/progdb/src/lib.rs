@@ -190,7 +190,12 @@ impl ProgramDb {
     /// Builds the database for a single unit (no cross-unit
     /// resolution) — the shape `check_unit` uses when auditing one
     /// translation unit in isolation.
-    pub fn local(path: &str, graphs: &[FunctionGraph], globals: &[String], kb: &ApiKb) -> ProgramDb {
+    pub fn local(
+        path: &str,
+        graphs: &[FunctionGraph],
+        globals: &[String],
+        kb: &ApiKb,
+    ) -> ProgramDb {
         let exports = UnitExports::extract(path, graphs, globals);
         ProgramDb::build(&[&exports], kb, false)
     }
@@ -372,7 +377,13 @@ impl ProgramDb {
         let mut h = FNV_OFFSET;
         for name in &self.unit_callees[ui] {
             h = mix(h, fnv1a(name.as_bytes()));
-            match resolve(&self.by_unit, &self.extern_first, self.whole_program, ui, name) {
+            match resolve(
+                &self.by_unit,
+                &self.extern_first,
+                self.whole_program,
+                ui,
+                name,
+            ) {
                 Some(id) => {
                     let info = &self.fns[id];
                     let def_unit = self

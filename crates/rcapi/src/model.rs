@@ -1,7 +1,6 @@
 //! The refcounting API model: the paper's three API categories (§5) and
 //! their deviation flags (§5.1).
 
-
 /// The paper's API taxonomy (§5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RcClass {

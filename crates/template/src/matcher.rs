@@ -3,7 +3,9 @@
 
 use std::collections::BTreeSet;
 
-use refminer_cpg::{FunctionGraph, NodeId, NodeKind, PathQuery, Payload, Step, StoreTarget};
+use refminer_cpg::{
+    Feasibility, FunctionGraph, NodeId, NodeKind, PathQuery, Payload, Step, StoreTarget,
+};
 use refminer_rcapi::{ApiKb, RcClass, RcDir};
 
 use crate::ast::{Atom, ContextKind, OpSpec, Operator, Subscript, Template};
@@ -16,6 +18,9 @@ pub struct TemplateMatch {
     /// The variable bound to each template parameter, in
     /// [`Template::params`] order.
     pub bindings: Vec<(String, String)>,
+    /// Whether the witnessing path survives the graph's path-feasibility
+    /// constraints (correlated branches, constant flags, NULL guards).
+    pub feasibility: Feasibility,
 }
 
 /// Matches templates against function graphs using an API knowledge
@@ -95,9 +100,11 @@ impl<'kb> TemplateMatcher<'kb> {
             .collect();
         let query = PathQuery::new(steps);
         let witness = query.search_from_entry(&graph.cfg)?;
+        let feasibility = graph.feas.classify(&query, &graph.cfg, graph.cfg.entry);
         Some(TemplateMatch {
             witness,
             bindings: bindings.to_vec(),
+            feasibility,
         })
     }
 
@@ -306,6 +313,31 @@ int probe(struct device *dev)
         let t = parse_template("F_start -> S_{G_E} -> B_error -> F_end").unwrap();
         let matches = TemplateMatcher::new(&kb).find(&t, &g);
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn correlated_branch_match_is_tagged_infeasible() {
+        // `ret` is constant 0 at the test, so the error block is
+        // unreachable: the match survives structurally but carries an
+        // Infeasible verdict.
+        let g = graph(
+            r#"
+int probe(struct device *dev)
+{
+        int ret = pm_runtime_get_sync(dev);
+        ret = 0;
+        if (ret)
+                return ret;
+        pm_runtime_put(dev);
+        return 0;
+}
+"#,
+        );
+        let kb = ApiKb::builtin();
+        let t = parse_template("F_start -> S_{G_E} -> B_error -> F_end").unwrap();
+        let matches = TemplateMatcher::new(&kb).find(&t, &g);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].feasibility, Feasibility::Infeasible);
     }
 
     #[test]

@@ -109,11 +109,10 @@ impl Vocab {
         let mut cum = (self.counts[0] as f64).powf(pow) / norm;
         for t in 0..size {
             table.push(i);
-            if (t as f64 + 1.0) / size as f64 > cum
-                && i + 1 < self.len() {
-                    i += 1;
-                    cum += (self.counts[i] as f64).powf(pow) / norm;
-                }
+            if (t as f64 + 1.0) / size as f64 > cum && i + 1 < self.len() {
+                i += 1;
+                cum += (self.counts[i] as f64).powf(pow) / norm;
+            }
         }
         table
     }

@@ -4,15 +4,29 @@
 # gates (warm >= 5x always; parallel >= 2x only on machines with at
 # least four hardware threads).
 #
+# A second run in `--eval` mode scores the checkers against an FP-trap
+# tree and regresses the corpus F1 against the committed baseline
+# below: the run fails unless feasibility pruning still improves
+# precision on >= 2 anti-patterns with zero recall loss and the total
+# F1 stays at or above the baseline.
+#
 # Env:
-#   BENCHPIPE_BIN   prebuilt binary; default `cargo run --release`
-#   BENCH_SCALE     tree scale factor (default 1.0, ~350 files)
-#   BENCH_JOBS      worker count for the parallel runs (default: CPUs)
-#   BENCH_OUT       report path (default BENCH_pipeline.json)
+#   BENCHPIPE_BIN    prebuilt binary; default `cargo run --release`
+#   BENCH_SCALE      tree scale factor (default 1.0, ~350 files)
+#   BENCH_JOBS       worker count for the parallel runs (default: CPUs)
+#   BENCH_OUT        report path (default BENCH_pipeline.json)
+#   BENCH_EVAL_SCALE eval-tree scale factor (default 0.2)
+#   BENCH_EVAL_OUT   eval report path (default BENCH_eval.json)
 set -u
 
 here="$(cd "$(dirname "$0")/.." && pwd)"
 out="${BENCH_OUT:-$here/BENCH_pipeline.json}"
+eval_out="${BENCH_EVAL_OUT:-$here/BENCH_eval.json}"
+
+# Committed baseline: total F1 of the feasibility-on run on the
+# default eval tree. Update deliberately, never to paper over a
+# regression.
+eval_f1_baseline=0.99
 
 benchpipe() {
     if [ -n "${BENCHPIPE_BIN:-}" ]; then
@@ -40,4 +54,19 @@ top_key() {
 }
 echo "bench.sh: cold phases $(top_key cold_phase1_secs)s parse+export + $(top_key cold_phase2_secs)s check"
 echo "bench.sh: warm summary-cache hit rate $(top_key summary_hit_rate)"
-echo "bench.sh: PASS ($out)"
+
+# Precision/recall regression gate against the committed F1 baseline.
+eval_args=(--eval --check --baseline "$eval_f1_baseline" \
+    --out "$eval_out" --scale "${BENCH_EVAL_SCALE:-0.2}")
+if [ -n "${BENCH_JOBS:-}" ]; then
+    eval_args+=(--jobs "$BENCH_JOBS")
+fi
+if ! benchpipe "${eval_args[@]}"; then
+    echo "bench.sh: FAIL (eval gate)" >&2
+    exit 1
+fi
+eval_top_key() {
+    sed -n "s/^ *\"$1\": *\([0-9.eE+-]*\),*$/\1/p" "$eval_out" | head -n 1
+}
+echo "bench.sh: eval F1 $(eval_top_key f1_off) -> $(eval_top_key f1_on) with feasibility, $(eval_top_key patterns_improved) pattern(s) improved"
+echo "bench.sh: PASS ($out, $eval_out)"

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# One-shot release gate: build → test → chaos → bench, fail fast, and
-# end with a single "verify.sh: PASS" or "verify.sh: FAIL (<step>)"
-# verdict line.
+# One-shot release gate: fmt → clippy → build → test → chaos → bench,
+# fail fast, and end with a single "verify.sh: PASS" or
+# "verify.sh: FAIL (<step>)" verdict line.
 #
 # Env:
 #   VERIFY_SKIP     space-separated step names to skip
-#                   (any of: build test chaos bench)
+#                   (any of: fmt clippy build test chaos bench)
 #   CHAOSGEN_BIN / REFMINER_BIN / BENCHPIPE_BIN, BENCH_SCALE / BENCH_JOBS
 #   / BENCH_OUT — forwarded to the underlying scripts, so a harness can
 #   point every step at prebuilt binaries.
@@ -36,6 +36,8 @@ step() {
     fi
 }
 
+step fmt cargo fmt --all --check --manifest-path "$here/Cargo.toml"
+step clippy cargo clippy --all-targets --quiet --manifest-path "$here/Cargo.toml" -- -D warnings
 step build cargo build --release --quiet --manifest-path "$here/Cargo.toml" --workspace
 step test cargo test --quiet --manifest-path "$here/Cargo.toml" --workspace
 step chaos bash "$here/scripts/chaos.sh"

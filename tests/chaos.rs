@@ -46,11 +46,11 @@ fn audit_corpus(chaos: &ChaosCorpus, discover: bool) -> AuditReport {
 }
 
 /// Findings restricted to `paths`, as comparable tuples.
-fn findings_on<'a>(
-    findings: &'a [Finding],
-    paths: &BTreeSet<&str>,
-) -> Vec<&'a Finding> {
-    findings.iter().filter(|f| paths.contains(f.file.as_str())).collect()
+fn findings_on<'a>(findings: &'a [Finding], paths: &BTreeSet<&str>) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| paths.contains(f.file.as_str()))
+        .collect()
 }
 
 // ----------------------------------------------------------------------

@@ -7,9 +7,7 @@
 //! (3) editing one file invalidates exactly that unit's cache entries.
 
 use refminer::corpus::{generate_tree, next_revision, SyntheticTree, TreeConfig};
-use refminer::{
-    audit, audit_with_cache, AuditCache, AuditConfig, AuditReport, Project,
-};
+use refminer::{audit, audit_with_cache, AuditCache, AuditConfig, AuditReport, Project};
 use refminer_json::ToJson;
 
 fn small_tree() -> SyntheticTree {
@@ -145,8 +143,14 @@ fn editing_one_file_invalidates_exactly_that_unit() {
     let cold = audit_with_cache(&Project::from_tree(&base), &cfg, &mut cache);
 
     let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
-    assert_eq!(incr.cache.parse_misses, 1, "exactly the edited unit re-parses");
-    assert_eq!(incr.cache.check_misses, 1, "exactly the edited unit re-checks");
+    assert_eq!(
+        incr.cache.parse_misses, 1,
+        "exactly the edited unit re-parses"
+    );
+    assert_eq!(
+        incr.cache.check_misses, 1,
+        "exactly the edited unit re-checks"
+    );
     assert_eq!(incr.cache.parse_hits, base.files.len() - 1);
 
     // The appended helper is clean, so findings are unchanged.
@@ -287,11 +291,19 @@ fn helper_summary_change_rechecks_exactly_the_dependent_units() {
         .iter_mut()
         .find(|f| f.path == "drivers/crossunit/xu0_helpers.c")
         .expect("helpers unit exists");
-    helpers.content = helpers.content.replace("xu0_put_inner(np);", "np->name = 0;");
+    helpers.content = helpers
+        .content
+        .replace("xu0_put_inner(np);", "np->name = 0;");
 
     let incr = audit_with_cache(&Project::from_tree(&rev), &cfg, &mut cache);
-    assert_eq!(incr.cache.parse_misses, 1, "only the helpers unit re-parses");
-    assert_eq!(incr.cache.export_misses, 1, "only the helpers unit re-exports");
+    assert_eq!(
+        incr.cache.parse_misses, 1,
+        "only the helpers unit re-parses"
+    );
+    assert_eq!(
+        incr.cache.export_misses, 1,
+        "only the helpers unit re-exports"
+    );
     assert_eq!(
         incr.cache.check_misses, 2,
         "the helpers unit and its dependent core unit re-check"
@@ -344,5 +356,8 @@ fn config_change_invalidates_check_layer_not_parse_layer() {
     // stay valid, check entries key on the new KB fingerprint.
     let second = audit_with_cache(&project, &config(2, true), &mut cache);
     assert_eq!(second.cache.parse_misses, 0, "parse layer survives");
-    assert!(second.cache.check_misses > 0, "check layer re-keys on the KB");
+    assert!(
+        second.cache.check_misses > 0,
+        "check layer re-keys on the KB"
+    );
 }

@@ -169,7 +169,18 @@ fn path_query_witness_shape() {
 #[test]
 fn template_round_trip() {
     const OPS: [&str; 13] = [
-        "G", "P", "A", "D", "L", "U", "{G_E}", "{G_N}", "{P_H}", "{A_GO}", "{U.D}(p0)", "P(p0)",
+        "G",
+        "P",
+        "A",
+        "D",
+        "L",
+        "U",
+        "{G_E}",
+        "{G_N}",
+        "{P_H}",
+        "{A_GO}",
+        "{U.D}(p0)",
+        "P(p0)",
         "D(p0)",
     ];
     let mut rng = ChaCha8Rng::seed_from_u64(0x7e41);
