@@ -1,0 +1,49 @@
+use refminer_cpg::{Cfg, FeasAnalysis, Feasibility, NodeFacts, PathQuery, Step};
+use refminer_cparse::parse_str;
+
+fn build(body: &str) -> (Cfg, Vec<NodeFacts>, FeasAnalysis) {
+    let src = format!("int f(struct device *dev) {{ struct device_node *np; int ret; {body} }}");
+    let tu = parse_str("t.c", &src);
+    let cfg = Cfg::build(tu.function("f").unwrap());
+    let facts: Vec<NodeFacts> = cfg.nodes.iter().map(NodeFacts::of).collect();
+    let feas = FeasAnalysis::compute(&cfg, &facts);
+    (cfg, facts, feas)
+}
+
+#[test]
+fn disjunction_true_edge_is_not_pruned() {
+    // np is known non-NULL after the guard, but `!np || ret < 0` can
+    // still be true via ret < 0 — the goto err edge is feasible and the
+    // leak is real.
+    let (cfg, facts, feas) = build(
+        "np = find_thing(dev); if (!np) return -ENODEV; \
+         get_thing(np); ret = do_thing(dev); \
+         if (!np || ret < 0) goto err; \
+         put_thing(np); return 0; err: return ret;",
+    );
+    let q = PathQuery::new(vec![
+        Step::new(|n| facts[n].calls_named("get_thing")),
+        Step::new(|n| n == cfg.exit).avoiding(|n| facts[n].calls_named("put_thing")),
+    ]);
+    assert!(q.search_from_entry(&cfg).is_some(), "leaky path exists");
+    let v = feas.classify(&q, &cfg, cfg.entry);
+    eprintln!("verdict = {v:?}, active = {}", feas.active());
+    assert_ne!(v, Feasibility::Infeasible, "real leak wrongly suppressed");
+}
+
+#[test]
+fn postfix_increment_defeats_constancy() {
+    // ret++ makes ret == 1 at the test; the error path is real.
+    let (cfg, facts, feas) = build(
+        "get_thing(np); ret = 0; ret++; if (ret) goto err; \
+         put_thing(np); return 0; err: return -EINVAL;",
+    );
+    let q = PathQuery::new(vec![
+        Step::new(|n| facts[n].calls_named("get_thing")),
+        Step::new(|n| n == cfg.exit).avoiding(|n| facts[n].calls_named("put_thing")),
+    ]);
+    assert!(q.search_from_entry(&cfg).is_some(), "leaky path exists");
+    let v = feas.classify(&q, &cfg, cfg.entry);
+    eprintln!("verdict = {v:?}, active = {}", feas.active());
+    assert_ne!(v, Feasibility::Infeasible, "real leak wrongly suppressed");
+}
