@@ -38,6 +38,7 @@ fn bench_each_checker(c: &mut Criterion) {
                             unit: tu,
                             all_graphs: gs,
                             program: &db,
+                            trace: refminer_trace::TraceHandle::disabled(),
                         };
                         findings += checker.check(&ctx).len();
                     }

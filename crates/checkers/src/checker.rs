@@ -104,6 +104,29 @@ pub fn check_unit_with_program(
     checkers: &[Box<dyn Checker>],
     program: &ProgramDb,
 ) -> Vec<Finding> {
+    check_unit_with_program_traced(
+        unit,
+        kb,
+        graphs,
+        checkers,
+        program,
+        &refminer_trace::TraceHandle::disabled(),
+    )
+}
+
+/// Like [`check_unit_with_program`], attributing the wall time each
+/// checker spends on this unit to a `checker.{name}.us` trace counter.
+/// With a disabled handle the timing collapses to a no-op, and the
+/// findings are identical either way — tracing only observes.
+pub fn check_unit_with_program_traced(
+    unit: &TranslationUnit,
+    kb: &ApiKb,
+    graphs: &[FunctionGraph],
+    checkers: &[Box<dyn Checker>],
+    program: &ProgramDb,
+    trace: &refminer_trace::TraceHandle,
+) -> Vec<Finding> {
+    let timing = trace.is_enabled();
     let mut out = Vec::new();
     for graph in graphs {
         let ctx = CheckCtx {
@@ -113,9 +136,17 @@ pub fn check_unit_with_program(
             unit,
             all_graphs: graphs,
             program,
+            trace: trace.clone(),
         };
         for checker in checkers {
+            let start = timing.then(std::time::Instant::now);
             let mut found = checker.check(&ctx);
+            if let Some(start) = start {
+                // Clamp to at least 1µs so even trivially fast checkers
+                // show up in the per-checker table.
+                let us = start.elapsed().as_micros().clamp(1, u64::MAX as u128) as u64;
+                trace.add(&format!("checker.{}.us", checker.name()), us);
+            }
             for f in &mut found {
                 if f.checkers.is_empty() {
                     f.checkers.push(checker.name().to_string());
@@ -257,6 +288,7 @@ int f(struct device *dev)
             unit: &tu,
             all_graphs: &graphs,
             program: &db,
+            trace: refminer_trace::TraceHandle::disabled(),
         };
         let sites = inc_sites(&ctx);
         assert_eq!(sites.len(), 3);

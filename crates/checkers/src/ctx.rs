@@ -4,6 +4,7 @@ use refminer_cparse::TranslationUnit;
 use refminer_cpg::{FunctionGraph, NodeId, StoreTarget};
 use refminer_progdb::ProgramDb;
 use refminer_rcapi::{ApiKb, RcApi};
+use refminer_trace::TraceHandle;
 
 /// Everything a checker sees for one function.
 pub struct CheckCtx<'a> {
@@ -21,6 +22,10 @@ pub struct CheckCtx<'a> {
     /// resolve through it under linkage rules: same-unit definitions
     /// first, external definitions tree-wide in whole-program audits.
     pub program: &'a ProgramDb,
+    /// Span handle for the trace recorder. Disabled outside traced
+    /// audits; checkers may use it for fine-grained counters but must
+    /// never let it influence findings.
+    pub trace: TraceHandle,
 }
 
 impl<'a> CheckCtx<'a> {
@@ -208,6 +213,7 @@ int f(void)
             unit: &tu,
             all_graphs: &graphs,
             program: &db,
+            trace: TraceHandle::disabled(),
         };
         let inc = kb.get("of_find_node_by_name").unwrap();
         let put = ctx.graph.nodes_calling("of_node_put")[0];
@@ -233,6 +239,7 @@ int f(struct device_node *np)
             unit: &tu,
             all_graphs: &graphs,
             program: &db,
+            trace: TraceHandle::disabled(),
         };
         let store = ctx
             .graph
@@ -261,6 +268,7 @@ int f(struct device_node *np)
             unit: &tu,
             all_graphs: &graphs,
             program: &db,
+            trace: TraceHandle::disabled(),
         };
         let call = ctx.graph.nodes_calling("snd_soc_register_card")[0];
         assert!(ctx.passes_to_consumer(call, "np"));

@@ -159,6 +159,7 @@ mod tests {
                 unit: &tu,
                 all_graphs: &graphs,
                 program: &db,
+                trace: refminer_trace::TraceHandle::disabled(),
             };
             out.extend(checker.check(&ctx));
         }

@@ -29,7 +29,8 @@ mod risk;
 
 pub use checker::{
     check_unit, check_unit_with_checkers, check_unit_with_graphs, check_unit_with_program,
-    checker_set_fingerprint, checkers_for_patterns, dedup_findings, default_checkers, Checker,
+    check_unit_with_program_traced, checker_set_fingerprint, checkers_for_patterns, dedup_findings,
+    default_checkers, Checker,
 };
 pub use ctx::CheckCtx;
 pub use deviation::{ReturnErrorChecker, ReturnNullChecker};

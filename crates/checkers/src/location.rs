@@ -155,6 +155,7 @@ impl Checker for InterUnpairedChecker {
                 unit: ctx.unit,
                 all_graphs: ctx.all_graphs,
                 program: ctx.program,
+                trace: ctx.trace.clone(),
             };
             for site in inc_sites(&top_ctx) {
                 // Only references that survive the ⊤ function matter:
@@ -367,6 +368,7 @@ mod tests {
                 unit: &tu,
                 all_graphs: &graphs,
                 program: &db,
+                trace: refminer_trace::TraceHandle::disabled(),
             };
             out.extend(checker.check(&ctx));
         }

@@ -224,6 +224,7 @@ mod tests {
                 unit: &tu,
                 all_graphs: &graphs,
                 program: &db,
+                trace: refminer_trace::TraceHandle::disabled(),
             };
             out.extend(checker.check(&ctx));
         }

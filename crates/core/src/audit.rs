@@ -29,25 +29,28 @@
 //! the end. Phase wall times are reported out of band and never enter
 //! any cached or serialized result.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use refminer_checkers::{
-    check_unit_with_program, checkers_for_patterns, default_checkers, merge_duplicate_findings,
-    sort_findings_canonical, AntiPattern, Feasibility, Finding, Impact, ProgramDb, UnitExports,
+    check_unit_with_program_traced, checkers_for_patterns, default_checkers,
+    merge_duplicate_findings, sort_findings_canonical, AntiPattern, Feasibility, Finding, Impact,
+    ProgramDb, UnitExports,
 };
 use refminer_clex::{scan_defines, MacroDef};
 use refminer_cparse::{parse_str_limited, ParseLimits, TranslationUnit};
 use refminer_cpg::FunctionGraph;
 use refminer_rcapi::{discover_unit, merge_discoveries, ApiKb, DiscoverConfig, UnitDiscovery};
+use refminer_trace::TraceHandle;
 
 use crate::cache::{
     check_config_fingerprint, content_hash, discovery_config_fingerprint,
     export_config_fingerprint, fnv1a, kb_fingerprint, mix, parse_config_fingerprint, AuditCache,
     CacheStats, CachedError, CheckedUnit, ExportedUnit, ParsedUnit,
 };
-use crate::parallel::{run_indexed, run_indexed_timed};
+use crate::parallel::run_indexed_traced;
 use crate::project::{Project, ScanErrorKind, SourceUnit};
 
 /// Resource caps applied to each translation unit.
@@ -465,6 +468,7 @@ fn export_one(
     parsed: &ParsedUnit,
     limits: &AuditLimits,
     parse_limits: &ParseLimits,
+    trace: &TraceHandle,
 ) -> ExportedUnit {
     let empty = || ExportedUnit {
         exports: UnitExports {
@@ -489,15 +493,24 @@ fn export_one(
             }
         }
     };
-    fault_boundary(|| {
-        let (graphs, _capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
+    let start = Instant::now();
+    let exported = fault_boundary(|| {
+        let (graphs, _capped, feas) =
+            FunctionGraph::build_all_limited_timed(tu, limits.max_graph_nodes);
         let globals: Vec<String> = tu.globals().map(|g| g.name.clone()).collect();
-        ExportedUnit {
+        let out = ExportedUnit {
             exports: UnitExports::extract(&unit.path, &graphs, &globals),
             discovery: discover_unit(tu, &ApiKb::builtin()),
+        };
+        (out, feas)
+    });
+    match exported {
+        Ok((out, feas)) => {
+            trace.record_span("feasibility", Some(&unit.path), start, feas);
+            out
         }
-    })
-    .unwrap_or_else(|_| empty())
+        Err(_) => empty(),
+    }
 }
 
 /// The phase-2 check stage for one unit: graphs + the nine checkers
@@ -505,6 +518,7 @@ fn export_one(
 /// boundary. When the parse-layer entry came from disk (no retained
 /// AST), the unit is re-parsed here first — parsing is deterministic,
 /// so the rehydrated AST is the one the entry describes.
+#[allow(clippy::too_many_arguments)]
 fn check_one(
     unit: &SourceUnit,
     parsed: &ParsedUnit,
@@ -513,6 +527,7 @@ fn check_one(
     limits: &AuditLimits,
     parse_limits: &ParseLimits,
     only_patterns: Option<&[AntiPattern]>,
+    trace: &TraceHandle,
 ) -> CheckedUnit {
     let rehydrated;
     let tu: &TranslationUnit = match parsed.tu.as_ref() {
@@ -536,17 +551,20 @@ fn check_one(
             }
         }
     };
+    let start = Instant::now();
     let checked = fault_boundary(|| {
-        let (graphs, capped) = FunctionGraph::build_all_limited(tu, limits.max_graph_nodes);
+        let (graphs, capped, feas) =
+            FunctionGraph::build_all_limited_timed(tu, limits.max_graph_nodes);
         let checkers = match only_patterns {
             Some(ps) => checkers_for_patterns(ps),
             None => default_checkers(),
         };
-        let fs = check_unit_with_program(tu, kb, &graphs, &checkers, program);
-        (graphs.len(), capped, fs)
+        let fs = check_unit_with_program_traced(tu, kb, &graphs, &checkers, program, trace);
+        (graphs.len(), capped, fs, feas)
     });
     match checked {
-        Ok((functions, capped, findings)) => {
+        Ok((functions, capped, findings, feas)) => {
+            trace.record_span("feasibility", Some(&unit.path), start, feas);
             let mut errors = Vec::new();
             if let Some(first) = capped.first() {
                 errors.push(CachedError {
@@ -611,6 +629,26 @@ pub fn audit_with_cache(
     config: &AuditConfig,
     cache: &mut AuditCache,
 ) -> AuditReport {
+    audit_traced(project, config, cache, &TraceHandle::disabled())
+}
+
+/// Runs the full audit, recording structured spans and counters into a
+/// [`TraceHandle`] — the `refminer audit --trace` entry point.
+///
+/// Tracing is strictly observational: the report (findings, counters,
+/// diagnostics) is byte-identical whether the handle records or is
+/// disabled, at any `jobs` count and any cache temperature. Every
+/// pipeline stage opens a span (`hash`, `parse`, `export`, `merge.kb`,
+/// `merge.progdb`, `check`, `report`), per-unit work opens
+/// `{stage}.unit` spans, the feasibility fixpoint's share of graph
+/// construction lands in `feasibility` spans, and cache traffic,
+/// scheduler steals, per-checker time and limit trips land in counters.
+pub fn audit_traced(
+    project: &Project,
+    config: &AuditConfig,
+    cache: &mut AuditCache,
+    trace: &TraceHandle,
+) -> AuditReport {
     cache.reset_stats();
     let limits = &config.limits;
     let parse_limits = ParseLimits {
@@ -652,9 +690,11 @@ pub fn audit_with_cache(
     // Per-unit cache keys: content hash mixed with the parse-stage
     // configuration. Hashing is pure per-unit work, so it fans out too.
     let parse_cfg = parse_config_fingerprint(config);
-    let unit_keys: Vec<u64> = run_indexed(units, config.jobs, |_, u| {
+    let hash_span = trace.span("hash");
+    let unit_keys: Vec<u64> = run_indexed_traced(units, config.jobs, trace, "hash", |_, u| {
         mix(content_hash(&u.text), parse_cfg)
     });
+    drop(hash_span);
 
     // Tree fingerprint: every unit's path and key, plus the discovery
     // configuration; keys the whole-tree discovery *merge*.
@@ -673,6 +713,7 @@ pub fn audit_with_cache(
     // inside its own fault boundary. Disk-loaded entries (no retained
     // AST) are full hits — no later stage needs a tree-wide AST pass
     // anymore; export-stage misses rehydrate their own unit on demand.
+    let parse_span = trace.span("parse");
     let mut parsed: Vec<Option<Arc<ParsedUnit>>> = (0..n).map(|_| None).collect();
     let mut parse_todo: Vec<usize> = Vec::new();
     for i in 0..n {
@@ -681,17 +722,20 @@ pub fn audit_with_cache(
             None => parse_todo.push(i),
         }
     }
-    let parsed_new = run_indexed(&parse_todo, config.jobs, |_, &i| {
+    let parsed_new = run_indexed_traced(&parse_todo, config.jobs, trace, "parse", |_, &i| {
+        let _unit_span = trace.unit_span("parse.unit", &units[i].path);
         parse_unit(&units[i], limits, &parse_limits)
     });
     for (&i, p) in parse_todo.iter().zip(parsed_new) {
         parsed[i] = Some(cache.parse_put(unit_keys[i], p));
     }
+    drop(parse_span);
 
     // Export: each unit's function-effect digest and discovery facts,
     // keyed by `(unit key, export config)` so editing one file
     // re-exports exactly that file.
     let export_cfg = export_config_fingerprint(config);
+    let export_span = trace.span("export");
     let mut exported: Vec<Option<Arc<ExportedUnit>>> = (0..n).map(|_| None).collect();
     let mut export_todo: Vec<usize> = Vec::new();
     for i in 0..n {
@@ -700,22 +744,26 @@ pub fn audit_with_cache(
             None => export_todo.push(i),
         }
     }
-    let exported_new = run_indexed(&export_todo, config.jobs, |_, &i| {
+    let exported_new = run_indexed_traced(&export_todo, config.jobs, trace, "export", |_, &i| {
+        let _unit_span = trace.unit_span("export.unit", &units[i].path);
         export_one(
             &units[i],
             parsed[i].as_ref().unwrap(),
             limits,
             &parse_limits,
+            trace,
         )
     });
     for (&i, e) in export_todo.iter().zip(exported_new) {
         exported[i] = Some(cache.export_put(mix(unit_keys[i], export_cfg), e));
     }
+    drop(export_span);
 
     // Barrier: merge per-unit discovery facts into the knowledge base.
     // The merge folds cached digests — no AST is touched — and runs in
     // its own fault boundary: if a degraded unit trips it, fall back to
     // the builtin KB rather than losing the audit.
+    let merge_kb_span = trace.span("merge.kb");
     let kb: Arc<ApiKb> = if !config.discover_apis {
         Arc::new(ApiKb::builtin())
     } else if let Some(kb) = cache.discovery_get(tree_fp) {
@@ -742,15 +790,18 @@ pub fn audit_with_cache(
         .unwrap_or_else(|_| ApiKb::builtin());
         cache.discovery_put(tree_fp, discovered)
     };
+    drop(merge_kb_span);
 
     // Barrier: merge per-unit exports into the program database, in
     // unit index order. Checkers resolve helper effects through it
     // under linkage rules in phase 2.
+    let merge_db_span = trace.span("merge.progdb");
     let export_refs: Vec<&UnitExports> = exported
         .iter()
         .map(|e| &e.as_ref().unwrap().exports)
         .collect();
     let program = ProgramDb::build(&export_refs, &kb, config.whole_program);
+    drop(merge_db_span);
     let phase1_secs = phase1_start.elapsed().as_secs_f64();
 
     // ------------------------------------------------------------------
@@ -764,8 +815,10 @@ pub fn audit_with_cache(
     // the units whose calls resolve into it.
     let kb_fp = mix(kb_fingerprint(&kb), check_config_fingerprint(config));
     let subsystem = config.subsystem.as_deref().map(|s| s.trim_end_matches('/'));
+    let check_span = trace.span("check");
     let mut checked: Vec<Option<Arc<CheckedUnit>>> = (0..n).map(|_| None).collect();
     let mut check_todo: Vec<usize> = Vec::new();
+    let mut check_keys: HashSet<(u64, u64)> = HashSet::new();
     for i in 0..n {
         if !parsed[i].as_ref().unwrap().parsed_ok {
             continue;
@@ -777,13 +830,16 @@ pub fn audit_with_cache(
             }
         }
         let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
+        check_keys.insert((unit_keys[i], deps_fp));
         match cache.check_get(unit_keys[i], deps_fp) {
             Some(c) => checked[i] = Some(c),
             None => check_todo.push(i),
         }
     }
     let only_patterns = config.only_patterns.as_deref();
-    let (checked_new, phase2_secs) = run_indexed_timed(&check_todo, config.jobs, |_, &i| {
+    let phase2_start = Instant::now();
+    let checked_new = run_indexed_traced(&check_todo, config.jobs, trace, "check", |_, &i| {
+        let _unit_span = trace.unit_span("check.unit", &units[i].path);
         check_one(
             &units[i],
             parsed[i].as_ref().unwrap(),
@@ -792,16 +848,20 @@ pub fn audit_with_cache(
             limits,
             &parse_limits,
             only_patterns,
+            trace,
         )
     });
+    let phase2_secs = phase2_start.elapsed().as_secs_f64();
     for (&i, c) in check_todo.iter().zip(checked_new) {
         let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
         checked[i] = Some(cache.check_put(unit_keys[i], deps_fp, c));
     }
+    drop(check_span);
 
     // Merge, in unit index order, exactly as the sequential pipeline
     // would have: findings concatenated then canonically sorted, error
     // details taking the first-recorded value per unit.
+    let report_span = trace.span("report");
     let mut findings: Vec<Finding> = Vec::new();
     let mut functions = 0usize;
     let mut lines = 0usize;
@@ -859,6 +919,37 @@ pub fn audit_with_cache(
     }
     merge_duplicate_findings(&mut findings);
     diagnostics.units.sort_by(|a, b| a.path.cmp(&b.path));
+    drop(report_span);
+
+    if trace.is_enabled() {
+        trace.add("units.total", n as u64);
+        let s = &cache.stats;
+        for (name, value) in [
+            ("cache.parse.hit", s.parse_hits),
+            ("cache.parse.miss", s.parse_misses),
+            ("cache.export.hit", s.export_hits),
+            ("cache.export.miss", s.export_misses),
+            ("cache.check.hit", s.check_hits),
+            ("cache.check.miss", s.check_misses),
+            ("cache.discovery.hit", s.discovery_hits),
+            ("cache.discovery.miss", s.discovery_misses),
+        ] {
+            trace.add(name, value as u64);
+        }
+        // Stale entries: leftovers from earlier trees/configs that no
+        // key produced this run could ever address.
+        let parse_keys: HashSet<u64> = unit_keys.iter().copied().collect();
+        let export_keys: HashSet<u64> = unit_keys.iter().map(|&k| mix(k, export_cfg)).collect();
+        let stale = cache.stale_counts(&parse_keys, &export_keys, &check_keys, tree_fp);
+        trace.add("cache.parse.stale", stale.parse as u64);
+        trace.add("cache.export.stale", stale.export as u64);
+        trace.add("cache.check.stale", stale.check as u64);
+        trace.add("cache.discovery.stale", stale.discovery as u64);
+        // Limit trips, keyed by the diagnostic taxonomy.
+        for (kind, count) in diagnostics.by_kind() {
+            trace.add(&format!("limit.{}", kind.name()), count as u64);
+        }
+    }
 
     AuditReport {
         findings,

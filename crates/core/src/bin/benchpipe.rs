@@ -39,7 +39,10 @@ use std::time::Instant;
 
 use refminer::corpus::{generate_tree, next_revision, TreeConfig};
 use refminer::parallel::effective_jobs;
-use refminer::{audit_with_cache, evaluate, AuditCache, AuditConfig, AuditReport, Project};
+use refminer::{
+    audit_traced, audit_with_cache, evaluate, AuditCache, AuditConfig, AuditReport, Project,
+    TraceHandle, TraceSummary,
+};
 use refminer_json::{obj, ToJson, Value};
 
 fn usage() -> ! {
@@ -115,10 +118,27 @@ fn parse_args() -> Options {
 }
 
 /// One timed configuration: best-of-`reps` wall time plus the report
-/// of the final repetition.
+/// and trace summary of the final repetition.
 struct Measured {
     secs: f64,
     report: AuditReport,
+    summary: TraceSummary,
+}
+
+/// Runs one traced audit, returning the report and the trace summary.
+/// Recording is observation-only, so every configuration is measured
+/// under the same (negligible) instrumentation cost.
+fn traced_run(project: &Project, config: &AuditConfig, cache: &mut AuditCache) -> Measured {
+    let trace = TraceHandle::recording();
+    let t = Instant::now();
+    let report = audit_traced(project, config, cache, &trace);
+    let secs = t.elapsed().as_secs_f64();
+    let summary = trace.finish().map(|log| log.summary(0)).unwrap_or_default();
+    Measured {
+        secs,
+        report,
+        summary,
+    }
 }
 
 fn measure(
@@ -128,16 +148,31 @@ fn measure(
     mut cache_for_rep: impl FnMut() -> AuditCache,
 ) -> (Measured, AuditCache) {
     let mut best = f64::INFINITY;
-    let mut last: Option<(AuditReport, AuditCache)> = None;
+    let mut last: Option<(Measured, AuditCache)> = None;
     for _ in 0..reps {
         let mut cache = cache_for_rep();
-        let t = Instant::now();
-        let report = audit_with_cache(project, config, &mut cache);
-        best = best.min(t.elapsed().as_secs_f64());
-        last = Some((report, cache));
+        let m = traced_run(project, config, &mut cache);
+        best = best.min(m.secs);
+        last = Some((m, cache));
     }
-    let (report, cache) = last.expect("reps > 0");
-    (Measured { secs: best, report }, cache)
+    let (mut m, cache) = last.expect("reps > 0");
+    m.secs = best;
+    (m, cache)
+}
+
+/// Per-stage wall times read off the run's trace summary (schema 3).
+fn stage_json(s: &TraceSummary) -> Value {
+    let sec = |stage: &str| (s.stage_total_us(stage) as f64 / 1e6).to_json();
+    let merge = (s.stage_total_us("merge.kb") + s.stage_total_us("merge.progdb")) as f64 / 1e6;
+    obj([
+        ("hash_secs", sec("hash")),
+        ("parse_secs", sec("parse")),
+        ("export_secs", sec("export")),
+        ("merge_secs", merge.to_json()),
+        ("check_secs", sec("check")),
+        ("report_secs", sec("report")),
+        ("feasibility_secs", sec("feasibility")),
+    ])
 }
 
 fn run_json(name: &str, m: &Measured, files: usize) -> (String, Value) {
@@ -148,6 +183,7 @@ fn run_json(name: &str, m: &Measured, files: usize) -> (String, Value) {
             ("units_per_sec", (files as f64 / m.secs.max(1e-9)).to_json()),
             ("phase1_secs", m.report.phase1_secs.to_json()),
             ("phase2_secs", m.report.phase2_secs.to_json()),
+            ("stages", stage_json(&m.summary)),
             ("findings", m.report.findings.len().to_json()),
             ("cache", m.report.cache.to_json()),
         ]),
@@ -195,32 +231,23 @@ fn main() -> ExitCode {
     let (cold_par, warm_cache) = measure(opts.reps, &project, &par_cfg, AuditCache::new);
     // 3. Warm: replay the cache from run 2 against the unchanged tree.
     let mut warm_cache = warm_cache;
-    let (warm, warm_cache) = {
+    let warm = {
         let mut best = f64::INFINITY;
-        let mut report = None;
+        let mut last = None;
         for _ in 0..opts.reps {
-            let t = Instant::now();
-            report = Some(audit_with_cache(&project, &par_cfg, &mut warm_cache));
-            best = best.min(t.elapsed().as_secs_f64());
+            let m = traced_run(&project, &par_cfg, &mut warm_cache);
+            best = best.min(m.secs);
+            last = Some(m);
         }
-        (
-            Measured {
-                secs: best,
-                report: report.expect("reps > 0"),
-            },
-            warm_cache,
-        )
+        let mut m = last.expect("reps > 0");
+        m.secs = best;
+        m
     };
     // 4. Incremental: edit `--edits` files, reuse the warm cache.
     let (rev, edited) = next_revision(&tree, 0xBE7C4, opts.edits);
     let rev_project = Project::from_tree(&rev);
     let mut incr_cache = warm_cache;
-    let t = Instant::now();
-    let incr_report = audit_with_cache(&rev_project, &par_cfg, &mut incr_cache);
-    let incremental = Measured {
-        secs: t.elapsed().as_secs_f64(),
-        report: incr_report,
-    };
+    let incremental = traced_run(&rev_project, &par_cfg, &mut incr_cache);
 
     // Sanity: the numbers are only worth reporting if the outputs agree.
     if cold_seq.report.findings != cold_par.report.findings
@@ -236,9 +263,11 @@ fn main() -> ExitCode {
     let summary_hit_rate = warm.report.cache.export_hit_rate();
 
     let report = obj([
-        // Schema 2: per-run phase1/phase2 wall times and the summary
-        // (function-export) cache hit rate joined the report.
-        ("schema", 2.to_json()),
+        // Schema 3: per-run and top-level per-stage wall times, read off
+        // the structured trace. Schema 2 added per-run phase1/phase2
+        // times and the summary-cache hit rate; every schema-2 key is
+        // unchanged.
+        ("schema", 3.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
         ("jobs", jobs.to_json()),
@@ -260,6 +289,25 @@ fn main() -> ExitCode {
         ("summary_hit_rate", summary_hit_rate.to_json()),
         ("cold_phase1_secs", cold_par.report.phase1_secs.to_json()),
         ("cold_phase2_secs", cold_par.report.phase2_secs.to_json()),
+        (
+            "cold_parse_secs",
+            (cold_par.summary.stage_total_us("parse") as f64 / 1e6).to_json(),
+        ),
+        (
+            "cold_export_secs",
+            (cold_par.summary.stage_total_us("export") as f64 / 1e6).to_json(),
+        ),
+        (
+            "cold_merge_secs",
+            ((cold_par.summary.stage_total_us("merge.kb")
+                + cold_par.summary.stage_total_us("merge.progdb")) as f64
+                / 1e6)
+                .to_json(),
+        ),
+        (
+            "cold_check_secs",
+            (cold_par.summary.stage_total_us("check") as f64 / 1e6).to_json(),
+        ),
     ]);
     if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
         eprintln!("benchpipe: cannot write {}: {e}", out.display());

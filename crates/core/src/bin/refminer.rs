@@ -14,7 +14,11 @@
 //!     --json                   emit findings (or the eval report) as JSON
 //!     --csv                    emit findings as CSV
 //!     --no-discovery           skip API/smartloop discovery
-//!     --stats                  print per-pattern/per-impact summaries
+//!     --stats                  print per-pattern/per-impact summaries, plus
+//!                              the trace summary (per-stage times, slowest
+//!                              units, per-checker time, cache hit rates)
+//!     --trace <FILE>           write a structured span/counter log (JSON
+//!                              lines) covering every pipeline stage
 //!     --strict                 exit 3 if any unit was degraded/skipped
 //!     --max-file-bytes <N>     skip files larger than N bytes
 //!     --jobs <N>               worker threads (0 = one per CPU, default)
@@ -36,7 +40,7 @@ use refminer::checkers::{AntiPattern, Impact};
 use refminer::corpus::Manifest;
 use refminer::report::Table;
 use refminer::{
-    audit_with_cache, evaluate, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions,
+    audit_traced, evaluate, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions, TraceHandle,
 };
 use refminer_json::{obj, ToJson, Value};
 
@@ -53,6 +57,7 @@ struct Options {
     discovery: bool,
     stats: bool,
     strict: bool,
+    trace: Option<PathBuf>,
     max_file_bytes: Option<u64>,
     jobs: usize,
     cache_dir: Option<PathBuf>,
@@ -62,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: refminer [eval] [--pattern P4,P8] [--only-pattern P4,P8] \
          [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
-         [--json|--csv] [--no-discovery] [--stats] [--strict] \
+         [--json|--csv] [--no-discovery] [--stats] [--strict] [--trace FILE] \
          [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
     );
     std::process::exit(2);
@@ -97,6 +102,7 @@ fn parse_args() -> Options {
         discovery: true,
         stats: false,
         strict: false,
+        trace: None,
         max_file_bytes: None,
         jobs: 0,
         cache_dir: None,
@@ -130,6 +136,10 @@ fn parse_args() -> Options {
             "--cache-dir" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 opts.cache_dir = Some(PathBuf::from(value));
+            }
+            "--trace" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                opts.trace = Some(PathBuf::from(value));
             }
             "--max-file-bytes" => {
                 let value = args.next().unwrap_or_else(|| usage());
@@ -198,10 +208,18 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    // Recording is observation-only (findings are byte-identical either
+    // way), so `--stats` alone also gets the full trace summary.
+    let trace = if opts.trace.is_some() || opts.stats {
+        TraceHandle::recording()
+    } else {
+        TraceHandle::disabled()
+    };
     let mut scan_opts = ScanOptions::default();
     if let Some(n) = opts.max_file_bytes {
         scan_opts.max_file_bytes = n;
     }
+    let scan_span = trace.span("scan");
     let project = match Project::scan_with(&opts.path, &scan_opts) {
         Ok(p) => p,
         Err(e) => {
@@ -213,15 +231,18 @@ fn main() -> ExitCode {
         eprintln!("refminer: no .c/.h files under {}", opts.path.display());
         return ExitCode::from(2);
     }
+    drop(scan_span);
     let mut limits = AuditLimits::default();
     if let Some(n) = opts.max_file_bytes {
         limits.max_file_bytes = n as usize;
     }
+    let cache_span = trace.span("cache.load");
     let mut cache = match &opts.cache_dir {
         Some(dir) => AuditCache::with_dir(dir),
         None => AuditCache::new(),
     };
-    let report = audit_with_cache(
+    drop(cache_span);
+    let report = audit_traced(
         &project,
         &AuditConfig {
             discover_apis: opts.discovery,
@@ -233,14 +254,21 @@ fn main() -> ExitCode {
             ..Default::default()
         },
         &mut cache,
+        &trace,
     );
     if opts.cache_dir.is_some() {
+        let save_span = trace.span("cache.save");
         if let Err(e) = cache.save() {
             eprintln!("refminer: warning: could not write cache: {e}");
         }
+        drop(save_span);
     }
     if opts.eval {
-        return run_eval(&opts, &report.findings);
+        let eval_span = trace.span("eval");
+        let code = run_eval(&opts, &report.findings);
+        drop(eval_span);
+        finish_trace(&opts, &trace);
+        return code;
     }
     let findings: Vec<_> = report
         .findings
@@ -365,6 +393,8 @@ fn main() -> ExitCode {
         }
     }
 
+    finish_trace(&opts, &trace);
+
     if opts.strict && !report.diagnostics.is_clean() {
         if !opts.stats {
             let d = &report.diagnostics;
@@ -380,6 +410,22 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// Drains the trace recorder: writes the JSON-lines span log to the
+/// `--trace` file (if requested) and, under `--stats`, prints the
+/// rendered summary — per-stage wall times, slowest units, per-checker
+/// time and cache/scheduler counters — to stderr.
+fn finish_trace(opts: &Options, trace: &TraceHandle) {
+    let Some(log) = trace.finish() else { return };
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+            eprintln!("refminer: warning: could not write trace: {e}");
+        }
+    }
+    if opts.stats {
+        eprint!("{}", log.summary(10).render_text());
     }
 }
 

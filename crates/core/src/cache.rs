@@ -42,7 +42,7 @@
 //! fingerprint, the builtin-KB fingerprint — so a stale cache can be
 //! *unused*, never *wrong*.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -282,6 +282,21 @@ impl ToJson for CacheStats {
     }
 }
 
+/// Per-layer counts of cache entries the current run cannot address
+/// (see [`AuditCache::stale_counts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStaleCounts {
+    /// Parse-layer entries keyed by content no current unit has.
+    pub parse: usize,
+    /// Export-layer entries keyed by content no current unit has.
+    pub export: usize,
+    /// Check-layer entries whose `(unit, deps)` key no current unit
+    /// resolves to — superseded by edits to the unit or its helpers.
+    pub check: usize,
+    /// Discovery entries for trees other than the current one.
+    pub discovery: usize,
+}
+
 // ----------------------------------------------------------------------
 // The cache proper.
 // ----------------------------------------------------------------------
@@ -509,7 +524,55 @@ impl AuditCache {
                 ),
             ),
         ]);
-        std::fs::write(dir.join(CACHE_FILE), doc.to_string())
+        // Atomic replace: write a temp file in the same directory and
+        // rename it over the live cache, so an interrupted or
+        // concurrent save leaves either the old or the new file on
+        // disk — never a truncated one. The temp name is unique per
+        // process *and* per save, so concurrent saves (even in-process)
+        // race only at the (atomic) rename.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}.{seq}", std::process::id()));
+        let text = doc.to_string();
+        if let Err(e) = std::fs::write(&tmp, &text) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, dir.join(CACHE_FILE)).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Counts entries that this run could never address — leftovers
+    /// whose key no current unit produces. Observability only (the
+    /// `cache.*.stale` trace counters); stale entries are already
+    /// unreachable by construction, so nothing consults this on the
+    /// hot path.
+    pub fn stale_counts(
+        &self,
+        parse_keys: &HashSet<u64>,
+        export_keys: &HashSet<u64>,
+        check_keys: &HashSet<(u64, u64)>,
+        tree_fp: u64,
+    ) -> CacheStaleCounts {
+        CacheStaleCounts {
+            parse: self
+                .parse
+                .keys()
+                .filter(|k| !parse_keys.contains(k))
+                .count(),
+            export: self
+                .export
+                .keys()
+                .filter(|k| !export_keys.contains(k))
+                .count(),
+            check: self
+                .check
+                .keys()
+                .filter(|k| !check_keys.contains(k))
+                .count(),
+            discovery: self.discovery.keys().filter(|&&k| k != tree_fp).count(),
+        }
     }
 
     /// Merges a parsed cache file into the in-memory maps, skipping
@@ -1189,6 +1252,56 @@ mod tests {
             check_config_fingerprint(&single_unit),
             "whole-program mode must key the check layer"
         );
+    }
+
+    #[test]
+    fn interrupted_save_leaves_old_or_new_cache_never_garbage() {
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("interrupted_save")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entry = |lines: usize| ParsedUnit {
+            tu: None,
+            parsed_ok: true,
+            defines: Vec::new(),
+            errors: Vec::new(),
+            lines,
+        };
+
+        // A first successful save: the old, valid generation.
+        let mut cache = AuditCache::with_dir(&dir);
+        cache.parse_put(1, entry(11));
+        cache.save().unwrap();
+        let old = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        assert!(AuditCache::with_dir(&dir).parse_get(1).is_some());
+
+        // A writer killed mid-write leaves only a truncated temp file;
+        // the live cache file is untouched, so readers still get the
+        // complete old generation — never a garbage prefix.
+        let killed = dir.join(format!("{CACHE_FILE}.tmp.{}.999", std::process::id()));
+        std::fs::write(&killed, &old[..old.len() / 2]).unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap(), old);
+        assert!(AuditCache::with_dir(&dir).parse_get(1).is_some());
+        std::fs::remove_file(&killed).unwrap();
+
+        // The next completed save atomically publishes the new
+        // generation and leaves no temp debris behind.
+        let mut cache = AuditCache::with_dir(&dir);
+        cache.parse_get(1);
+        cache.parse_put(2, entry(22));
+        cache.save().unwrap();
+        let mut reloaded = AuditCache::with_dir(&dir);
+        assert!(reloaded.parse_get(1).is_some());
+        assert!(reloaded.parse_get(2).is_some());
+        let debris: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+            .filter(|n| n != CACHE_FILE)
+            .collect();
+        assert_eq!(debris, Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

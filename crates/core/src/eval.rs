@@ -350,6 +350,122 @@ mod tests {
         assert_eq!(report.trap_hits, 1);
     }
 
+    /// Parses the report back out of its JSON text, so assertions see
+    /// exactly what `refminer eval --json` consumers see.
+    fn json_round_trip(report: &EvalReport) -> Value {
+        Value::parse(&report.to_json().to_string()).expect("eval report is valid JSON")
+    }
+
+    fn totals_metric(v: &Value, key: &str) -> f64 {
+        v.get("totals")
+            .and_then(|t| t.get(key))
+            .and_then(|m| m.as_f64())
+            .unwrap_or_else(|| panic!("totals.{key} missing"))
+    }
+
+    #[test]
+    fn empty_manifest_and_no_findings_score_perfect() {
+        // Nothing injected, nothing reported: both denominators are
+        // empty, and the convention is 1.0, not NaN or 0/0 panic.
+        let report = evaluate(&[], &Manifest::default());
+        assert!(report.rows.is_empty());
+        assert_eq!(report.totals, Counts::default());
+        let v = json_round_trip(&report);
+        let rows = v
+            .get("per_pattern")
+            .and_then(|p| p.as_array())
+            .expect("per_pattern array");
+        assert!(rows.is_empty(), "no activity → no per-pattern rows");
+        assert_eq!(totals_metric(&v, "precision"), 1.0);
+        assert_eq!(totals_metric(&v, "recall"), 1.0);
+        assert_eq!(totals_metric(&v, "f1"), 1.0);
+        assert_eq!(
+            v.get("trap_hits").and_then(|t| t.as_u64()),
+            Some(0),
+            "no traps, no hits"
+        );
+    }
+
+    #[test]
+    fn zero_finding_audit_keeps_precision_but_loses_recall() {
+        // A silent audit against a real manifest: precision stays 1.0
+        // (nothing wrong was reported), recall collapses to 0.
+        let mut manifest = Manifest::default();
+        manifest.bugs.push(bug("a.c", "f", 1));
+        manifest.bugs.push(bug("b.c", "g", 5));
+        let report = evaluate(&[], &manifest);
+        let v = json_round_trip(&report);
+        assert_eq!(totals_metric(&v, "precision"), 1.0);
+        assert_eq!(totals_metric(&v, "recall"), 0.0);
+        assert_eq!(totals_metric(&v, "f1"), 0.0);
+        let rows = v
+            .get("per_pattern")
+            .and_then(|p| p.as_array())
+            .expect("per_pattern array");
+        assert_eq!(rows.len(), 2, "each missed pattern still gets a row");
+        for row in rows {
+            assert_eq!(row.get("tp").and_then(|n| n.as_u64()), Some(0));
+            assert_eq!(row.get("fn").and_then(|n| n.as_u64()), Some(1));
+            assert_eq!(row.get("precision").and_then(|p| p.as_f64()), Some(1.0));
+            assert_eq!(row.get("recall").and_then(|r| r.as_f64()), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn trap_only_manifest_scores_clean_audit_perfect() {
+        // A manifest holding only `bug: false` FP traps injects zero
+        // bugs; an audit that stays silent is perfect on both axes.
+        let mut manifest = Manifest::default();
+        manifest.fp_traps.push(FpTrap {
+            path: "t.c".into(),
+            function: "trap".into(),
+            pattern: 1,
+            kind: "correlated_branch".into(),
+        });
+        let report = evaluate(&[], &manifest);
+        assert!(report.rows.is_empty());
+        let v = json_round_trip(&report);
+        assert_eq!(totals_metric(&v, "precision"), 1.0);
+        assert_eq!(totals_metric(&v, "recall"), 1.0);
+        assert_eq!(v.get("trap_hits").and_then(|t| t.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn trap_only_manifest_charges_trap_findings_as_fp() {
+        // Same trap-only manifest, but the audit bites: the finding is
+        // an FP *and* a trap hit, precision drops to 0, while recall
+        // stays 1.0 because nothing injected was missed.
+        let mut manifest = Manifest::default();
+        manifest.fp_traps.push(FpTrap {
+            path: "t.c".into(),
+            function: "trap".into(),
+            pattern: 1,
+            kind: "correlated_branch".into(),
+        });
+        let findings = vec![finding(
+            "t.c",
+            "trap",
+            AntiPattern::P1,
+            &["ReturnErrorChecker"],
+        )];
+        let v = json_round_trip(&evaluate(&findings, &manifest));
+        assert_eq!(totals_metric(&v, "precision"), 0.0);
+        assert_eq!(totals_metric(&v, "recall"), 1.0);
+        assert_eq!(totals_metric(&v, "f1"), 0.0);
+        assert_eq!(v.get("trap_hits").and_then(|t| t.as_u64()), Some(1));
+        let rows = v
+            .get("per_pattern")
+            .and_then(|p| p.as_array())
+            .expect("per_pattern array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("fp").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(
+            rows[0].get("recall").and_then(|r| r.as_f64()),
+            Some(1.0),
+            "nothing injected → per-pattern recall stays 1.0"
+        );
+    }
+
     #[test]
     fn report_serializes_metrics() {
         let mut manifest = Manifest::default();

@@ -27,12 +27,12 @@ pub mod parallel;
 mod project;
 
 pub use audit::{
-    audit, audit_with_cache, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport,
+    audit, audit_traced, audit_with_cache, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport,
     UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
 pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, ExportedUnit, CACHE_FILE};
 pub use eval::{evaluate, Counts, EvalReport, EvalRow};
-pub use parallel::{effective_jobs, run_indexed, run_indexed_timed};
+pub use parallel::{effective_jobs, run_indexed, run_indexed_timed, run_indexed_traced};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
 pub use refminer_checkers as checkers;
@@ -48,4 +48,6 @@ pub use refminer_rcapi as rcapi;
 pub use refminer_rcapi::ApiKb;
 pub use refminer_report as report;
 pub use refminer_template as template;
+pub use refminer_trace as trace;
+pub use refminer_trace::{TraceHandle, TraceLog, TraceSummary};
 pub use refminer_w2v as w2v;

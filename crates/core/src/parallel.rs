@@ -33,6 +33,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use refminer_trace::TraceHandle;
+
 /// Resolves a `--jobs` request to a concrete worker count.
 ///
 /// `0` means "auto": one worker per available hardware thread. Any
@@ -73,9 +75,32 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_indexed_traced(items, jobs, &TraceHandle::disabled(), "", work)
+}
+
+/// Like [`run_indexed`], reporting scheduler behavior to a trace
+/// recorder: the number of cross-worker steals lands in a
+/// `{stage}.steals` counter and the worker count in `{stage}.workers`.
+/// Scheduling is observation-only — a disabled handle, or any handle at
+/// all, never changes which items run where or the output order.
+pub fn run_indexed_traced<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    trace: &TraceHandle,
+    stage: &str,
+    work: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let jobs = effective_jobs(jobs).min(items.len());
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    if trace.is_enabled() && !stage.is_empty() {
+        trace.add(&format!("{stage}.workers"), jobs as u64);
     }
 
     // Seed each worker's deque with a contiguous slice of indices.
@@ -85,6 +110,7 @@ where
         .collect();
 
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut steals = 0u64;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|me| {
@@ -92,19 +118,26 @@ where
                 let work = &work;
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
-                    while let Some(i) = next_index(queues, me) {
+                    let mut stolen = 0u64;
+                    while let Some((i, was_steal)) = next_index(queues, me) {
+                        stolen += u64::from(was_steal);
                         out.push((i, work(i, &items[i])));
                     }
-                    out
+                    (out, stolen)
                 })
             })
             .collect();
         for h in handles {
             // A panic here means one escaped the per-unit fault
             // boundary inside `work`; propagate it rather than lose it.
-            tagged.extend(h.join().expect("audit worker panicked"));
+            let (out, stolen) = h.join().expect("audit worker panicked");
+            tagged.extend(out);
+            steals += stolen;
         }
     });
+    if !stage.is_empty() {
+        trace.add(&format!("{stage}.steals"), steals);
+    }
 
     tagged.sort_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -144,10 +177,11 @@ fn split_chunks(n: usize, jobs: usize) -> Vec<VecDeque<usize>> {
 /// Pops the next index for worker `me`: own queue front first, then a
 /// steal from the back of the fullest victim. Returns `None` only when
 /// every queue is empty — no work is ever added after seeding, so an
-/// all-empty sweep is a stable termination condition.
-fn next_index(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// all-empty sweep is a stable termination condition. The flag reports
+/// whether the pop was a cross-worker steal, for the trace counters.
+fn next_index(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
     if let Some(i) = queues[me].lock().unwrap().pop_front() {
-        return Some(i);
+        return Some((i, false));
     }
     // Pick the victim with the most remaining work to halve the largest
     // backlog; sizes are read unlocked-then-relocked, so a stale read
@@ -162,7 +196,7 @@ fn next_index(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
             .filter(|(_, len)| *len > 0)
             .map(|(w, _)| w)?;
         if let Some(i) = queues[victim].lock().unwrap().pop_back() {
-            return Some(i);
+            return Some((i, true));
         }
         // Lost the race for that victim's last item; sweep again.
     }
@@ -231,6 +265,26 @@ mod tests {
         let (out, secs) = run_indexed_timed(&items, 4, |i, x| i + x);
         assert_eq!(out, run_indexed(&items, 1, |i, x| i + x));
         assert!(secs >= 0.0 && secs.is_finite());
+    }
+
+    #[test]
+    fn traced_variant_counts_steals_without_changing_results() {
+        // Item 0 is heavy enough that worker 0 is still busy on it while
+        // the other workers drain their own chunks and come stealing.
+        let items: Vec<u64> = (0..32).map(|i| if i == 0 { 20_000 } else { 1 }).collect();
+        let trace = TraceHandle::recording();
+        let out = run_indexed_traced(&items, 4, &trace, "stage", |_, &ms| {
+            let mut acc = 0u64;
+            for _ in 0..ms * 1000 {
+                acc = acc.wrapping_add(1);
+            }
+            acc
+        });
+        assert_eq!(out, run_indexed(&items, 1, |_, &ms| ms * 1000));
+        let log = trace.finish().unwrap();
+        assert_eq!(log.counters.get("stage.workers"), Some(&4));
+        // The heavy item serializes worker 0; the others must steal.
+        assert!(log.counters.get("stage.steals").copied().unwrap_or(0) > 0);
     }
 
     #[test]

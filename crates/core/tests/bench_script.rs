@@ -41,17 +41,27 @@ fn bench_smoke_script_passes() {
     assert!(v.get("speedup_warm").is_some());
     assert!(v.get("speedup_parallel").is_some());
     assert!(v.get("runs").is_some());
-    // Schema 2: phase wall times and the summary-cache hit rate.
-    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(2.0));
+    // Schema 3: phase wall times, the summary-cache hit rate, and the
+    // per-stage breakdown from the trace recorder (schema-2 keys kept).
+    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(3.0));
     assert!(v.get("summary_hit_rate").is_some());
     assert!(v.get("cold_phase1_secs").is_some());
     assert!(v.get("cold_phase2_secs").is_some());
+    assert!(v.get("cold_parse_secs").is_some());
+    assert!(v.get("cold_check_secs").is_some());
     let warm = v
         .get("runs")
         .and_then(|r| r.get("warm"))
         .expect("warm run present");
     assert!(warm.get("phase1_secs").is_some());
     assert!(warm.get("phase2_secs").is_some());
+    let stages = warm.get("stages").expect("per-run stage breakdown");
+    for stage in ["parse", "export", "merge", "check", "report"] {
+        assert!(
+            stages.get(&format!("{stage}_secs")).is_some(),
+            "missing stage {stage}: {stages}"
+        );
+    }
     assert!(
         stdout.contains("summary-cache hit rate"),
         "stdout:\n{stdout}"

@@ -316,6 +316,51 @@ fn eval_feasibility_improves_precision_without_recall_loss() {
 }
 
 #[test]
+fn eval_empty_manifest_and_clean_tree_score_perfect() {
+    // The degenerate eval: no bugs injected, no findings reported.
+    // Both metric denominators are empty and the conventions say 1.0,
+    // asserted through the same JSON the scoreboard scripts consume.
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_eval_empty_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("drivers/clean")).expect("mkdir");
+    std::fs::write(
+        dir.join("drivers/clean/clean.c"),
+        "int add(int a, int b)\n{\n        return a + b;\n}\n",
+    )
+    .expect("write clean");
+    std::fs::write(
+        dir.join("manifest.json"),
+        r#"{"bugs":[],"tricky":[],"clean_functions":1,"fp_traps":[]}"#,
+    )
+    .expect("manifest");
+    let out = refminer()
+        .arg("eval")
+        .arg("--json")
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0), "eval exits 0");
+    let v = refminer_json::Value::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("eval report is JSON");
+    assert!(
+        v.get("per_pattern")
+            .and_then(|p| p.as_array())
+            .expect("per_pattern array")
+            .is_empty(),
+        "no activity → no rows"
+    );
+    let totals = v.get("totals").expect("totals");
+    assert_eq!(totals.get("precision").and_then(|p| p.as_f64()), Some(1.0));
+    assert_eq!(totals.get("recall").and_then(|r| r.as_f64()), Some(1.0));
+    assert_eq!(v.get("trap_hits").and_then(|t| t.as_u64()), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn feasibility_json_is_byte_identical_across_jobs_and_cache() {
     let dir = write_fp_trap_tree("bytes");
     let cache_dir = dir.join(".refminer-cache");

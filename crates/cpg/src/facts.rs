@@ -295,7 +295,7 @@ pub(crate) fn errish_name(name: &str) -> bool {
 ///
 /// `polarity` is true when the expression's truth selects the True CFG
 /// edge; `!` flips it.
-fn extract_checks(e: &Expr, polarity: bool, out: &mut Vec<CheckFact>) {
+pub(crate) fn extract_checks(e: &Expr, polarity: bool, out: &mut Vec<CheckFact>) {
     match &e.kind {
         ExprKind::Unary {
             op: UnOp::Not,

@@ -27,10 +27,10 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use refminer_cparse::{AssignOp, Expr, ExprKind, Initializer, UnOp};
+use refminer_cparse::{AssignOp, BinOp, Expr, ExprKind, Initializer, UnOp};
 
 use crate::cfg::{Cfg, EdgeKind, NodeId, NodeKind, Payload};
-use crate::facts::{errish_name, CheckFact, NodeFacts};
+use crate::facts::{errish_name, extract_checks, CheckFact, NodeFacts};
 use crate::paths::PathQuery;
 
 /// The feasibility verdict attached to a checker finding.
@@ -151,9 +151,11 @@ fn collect_writes(e: &Expr, out: &mut Vec<(String, Option<i64>)>) {
         ExprKind::Unary {
             op: UnOp::AddrOf | UnOp::PreInc | UnOp::PreDec,
             operand,
-        } => {
+        }
+        | ExprKind::Postfix { operand, .. } => {
             // `&v` may alias a write through the pointer; `++v`/`--v`
-            // change the value. Both degrade the variable to unknown.
+            // and `v++`/`v--` change the value. All degrade the
+            // variable to unknown.
             if let ExprKind::Ident(v) = &operand.kind {
                 out.push((v.clone(), None));
             }
@@ -231,76 +233,71 @@ fn errptr_vars(checks: &[CheckFact]) -> HashSet<&str> {
         .collect()
 }
 
-/// Refines an environment with what a branch edge asserts. Overwrites:
-/// if the edge contradicts the incoming value it is infeasible anyway
-/// and the refined environment only flows into dead territory.
-fn refine_edge(env: &mut Env, checks: &[CheckFact], kind: EdgeKind) {
-    let on_true = match kind {
-        EdgeKind::True => true,
-        EdgeKind::False => false,
-        _ => return,
-    };
-    let errptr = errptr_vars(checks);
-    for c in checks {
-        match c {
-            CheckFact::NullOnTrue(v) => {
-                let val = if on_true {
-                    AbsVal::Int(0)
-                } else {
-                    AbsVal::NonZero
-                };
-                env.insert(v.clone(), val);
-            }
-            CheckFact::NonNullOnTrue(v) => {
-                let val = if on_true {
-                    AbsVal::NonZero
-                } else {
-                    AbsVal::Int(0)
-                };
-                env.insert(v.clone(), val);
-            }
-            CheckFact::OkOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
-                let val = if on_true {
-                    AbsVal::Int(0)
-                } else {
-                    AbsVal::NonZero
-                };
-                env.insert(v.clone(), val);
-            }
-            // True branch: nonzero for both `if (ret)` and `ret < 0`.
-            // The false branch of `ret < 0` only means non-negative,
-            // which this domain cannot express.
-            CheckFact::ErrOnTrue(v)
-                if on_true && errish_name(v) && !errptr.contains(v.as_str()) =>
-            {
-                env.insert(v.clone(), AbsVal::NonZero);
-            }
-            _ => {}
-        }
+/// The truth value a branch edge asserts for its condition; edges that
+/// are not branch outcomes carry no constraint.
+fn edge_truth(kind: EdgeKind) -> Option<bool> {
+    match kind {
+        EdgeKind::True => Some(true),
+        EdgeKind::False => Some(false),
+        _ => None,
     }
 }
 
-/// Whether a branch edge contradicts the environment at its condition.
-/// Only contradictions every source shape of the check agrees on are
-/// reported (e.g. `ErrOnTrue` may come from `if (ret)` or `ret < 0`;
-/// both are false exactly when `ret == 0`).
-fn edge_contradicts(env: &Env, checks: &[CheckFact], kind: EdgeKind) -> bool {
-    let on_true = match kind {
-        EdgeKind::True => true,
-        EdgeKind::False => false,
-        _ => return false,
-    };
-    let errptr = errptr_vars(checks);
-    checks.iter().any(|c| match c {
+/// Refines an environment with what one atomic check asserts when its
+/// literal has the given truth value. Overwrites: if the edge
+/// contradicts the incoming value it is infeasible anyway and the
+/// refined environment only flows into dead territory.
+fn fact_refine(env: &mut Env, c: &CheckFact, errptr: &HashSet<&str>, truth: bool) {
+    match c {
+        CheckFact::NullOnTrue(v) => {
+            let val = if truth {
+                AbsVal::Int(0)
+            } else {
+                AbsVal::NonZero
+            };
+            env.insert(v.clone(), val);
+        }
+        CheckFact::NonNullOnTrue(v) => {
+            let val = if truth {
+                AbsVal::NonZero
+            } else {
+                AbsVal::Int(0)
+            };
+            env.insert(v.clone(), val);
+        }
+        CheckFact::OkOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
+            let val = if truth {
+                AbsVal::Int(0)
+            } else {
+                AbsVal::NonZero
+            };
+            env.insert(v.clone(), val);
+        }
+        // True branch: nonzero for both `if (ret)` and `ret < 0`. The
+        // false branch of `ret < 0` only means non-negative, which this
+        // domain cannot express.
+        CheckFact::ErrOnTrue(v) if truth && errish_name(v) && !errptr.contains(v.as_str()) => {
+            env.insert(v.clone(), AbsVal::NonZero);
+        }
+        _ => {}
+    }
+}
+
+/// Whether the environment proves one atomic check's literal cannot
+/// have the given truth value. Only contradictions every source shape
+/// of the check agrees on are reported (e.g. `ErrOnTrue` may come from
+/// `if (ret)` or `ret < 0`; both are false exactly when `ret == 0`).
+fn fact_contradicts(env: &Env, c: &CheckFact, errptr: &HashSet<&str>, truth: bool) -> bool {
+    match c {
         CheckFact::NullOnTrue(v) => env.get(v).is_some_and(|&val| {
-            if on_true {
+            if truth {
                 val.is_nonzero()
             } else {
                 val == AbsVal::Int(0)
             }
         }),
         CheckFact::NonNullOnTrue(v) => env.get(v).is_some_and(|&val| {
-            if on_true {
+            if truth {
                 val == AbsVal::Int(0)
             } else {
                 val.is_nonzero()
@@ -308,7 +305,7 @@ fn edge_contradicts(env: &Env, checks: &[CheckFact], kind: EdgeKind) -> bool {
         }),
         CheckFact::OkOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
             env.get(v).is_some_and(|&val| {
-                if on_true {
+                if truth {
                     val.is_nonzero()
                 } else {
                     val == AbsVal::Int(0)
@@ -317,7 +314,7 @@ fn edge_contradicts(env: &Env, checks: &[CheckFact], kind: EdgeKind) -> bool {
         }
         CheckFact::ErrOnTrue(v) if errish_name(v) && !errptr.contains(v.as_str()) => {
             env.get(v).is_some_and(|&val| {
-                if on_true {
+                if truth {
                     val == AbsVal::Int(0)
                 } else {
                     matches!(val, AbsVal::Int(k) if k < 0)
@@ -325,7 +322,138 @@ fn edge_contradicts(env: &Env, checks: &[CheckFact], kind: EdgeKind) -> bool {
             })
         }
         _ => false,
-    })
+    }
+}
+
+/// Connective structure of one condition node's checks.
+///
+/// The flat [`NodeFacts::checks`] list loses whether facts were joined
+/// by `&&` or `||`. Treating `||`-joined facts as conjuncts prunes
+/// feasible edges — e.g. the true edge of `if (!np || ret < 0)` when
+/// `np` is known non-NULL but `ret` is unknown — so the feasibility
+/// pass rebuilds the connective tree from the condition expression.
+enum CondChecks {
+    /// One atomic comparison; the facts are consistent readings of the
+    /// same literal (`truth` means the literal holds).
+    Leaf(Vec<CheckFact>),
+    /// `||` — true iff at least one child is.
+    AnyOf(Vec<CondChecks>),
+    /// `&&` — true iff every child is.
+    AllOf(Vec<CondChecks>),
+}
+
+/// Builds the connective tree for a condition expression. `negated`
+/// tracks an odd number of enclosing `!`s; De Morgan pushes the
+/// negation through connectives and [`extract_checks`]' polarity
+/// absorbs it at the leaves.
+fn cond_tree(e: &Expr, negated: bool) -> CondChecks {
+    match &e.kind {
+        ExprKind::Unary {
+            op: UnOp::Not,
+            operand,
+        } if cond_connective(operand) => cond_tree(operand, !negated),
+        ExprKind::Binary { op, lhs, rhs } if matches!(op, BinOp::And | BinOp::Or) => {
+            let kids = vec![cond_tree(lhs, negated), cond_tree(rhs, negated)];
+            if (*op == BinOp::Or) != negated {
+                CondChecks::AnyOf(kids)
+            } else {
+                CondChecks::AllOf(kids)
+            }
+        }
+        ExprKind::Call { callee, args }
+            if matches!(callee.as_ident(), Some("likely") | Some("unlikely")) =>
+        {
+            match args.first() {
+                Some(a) => cond_tree(a, negated),
+                None => CondChecks::Leaf(Vec::new()),
+            }
+        }
+        _ => {
+            let mut facts = Vec::new();
+            extract_checks(e, !negated, &mut facts);
+            CondChecks::Leaf(facts)
+        }
+    }
+}
+
+/// Whether an expression is a connective the tree builder splits on;
+/// `!` over anything else is left to `extract_checks`.
+fn cond_connective(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Binary { op, .. } => matches!(op, BinOp::And | BinOp::Or),
+        ExprKind::Unary {
+            op: UnOp::Not,
+            operand,
+        } => cond_connective(operand),
+        ExprKind::Call { callee, args } => {
+            matches!(callee.as_ident(), Some("likely") | Some("unlikely"))
+                && args.first().is_some_and(cond_connective)
+        }
+        _ => false,
+    }
+}
+
+impl CondChecks {
+    /// Whether the environment proves this formula cannot have the
+    /// given truth value.
+    fn contradicted(&self, env: &Env, errptr: &HashSet<&str>, truth: bool) -> bool {
+        match self {
+            CondChecks::Leaf(facts) => facts
+                .iter()
+                .any(|f| fact_contradicts(env, f, errptr, truth)),
+            CondChecks::AnyOf(kids) => {
+                if truth {
+                    // All disjuncts must be individually impossible.
+                    !kids.is_empty() && kids.iter().all(|k| k.contradicted(env, errptr, true))
+                } else {
+                    // Some disjunct is provably true.
+                    kids.iter().any(|k| k.contradicted(env, errptr, false))
+                }
+            }
+            CondChecks::AllOf(kids) => {
+                if truth {
+                    kids.iter().any(|k| k.contradicted(env, errptr, true))
+                } else {
+                    !kids.is_empty() && kids.iter().all(|k| k.contradicted(env, errptr, false))
+                }
+            }
+        }
+    }
+
+    /// Refines `env` with what taking an edge of the given truth
+    /// asserts about this formula.
+    fn refine(&self, env: &mut Env, errptr: &HashSet<&str>, truth: bool) {
+        match self {
+            CondChecks::Leaf(facts) => {
+                for f in facts {
+                    fact_refine(env, f, errptr, truth);
+                }
+            }
+            CondChecks::AnyOf(kids) if !truth => {
+                // `!(a || b)` — every disjunct is false.
+                for k in kids {
+                    k.refine(env, errptr, false);
+                }
+            }
+            CondChecks::AllOf(kids) if truth => {
+                // `a && b` — every conjunct is true.
+                for k in kids {
+                    k.refine(env, errptr, true);
+                }
+            }
+            // A true disjunction (or false conjunction) pins nothing
+            // down by itself — unless the environment already rules
+            // out every child but one.
+            CondChecks::AnyOf(kids) | CondChecks::AllOf(kids) => {
+                let open: Vec<usize> = (0..kids.len())
+                    .filter(|&i| !kids[i].contradicted(env, errptr, truth))
+                    .collect();
+                if let [only] = open[..] {
+                    kids[only].refine(env, errptr, truth);
+                }
+            }
+        }
+    }
 }
 
 /// The per-function feasibility analysis result: the set of branch
@@ -360,6 +488,17 @@ impl FeasAnalysis {
         let n = cfg.nodes.len();
         let writes: Vec<Vec<(String, Option<i64>)>> =
             cfg.nodes.iter().map(|nd| node_writes(&nd.kind)).collect();
+        // Connective trees for condition nodes: the flat check lists in
+        // `facts` lose `&&`/`||` structure, which pruning must respect.
+        let trees: Vec<Option<CondChecks>> = cfg
+            .nodes
+            .iter()
+            .map(|nd| match &nd.kind {
+                NodeKind::Cond(e) => Some(cond_tree(e, false)),
+                _ => None,
+            })
+            .collect();
+        let errptrs: Vec<HashSet<&str>> = facts.iter().map(|f| errptr_vars(&f.checks)).collect();
         let mut env_in: Vec<Option<Env>> = vec![None; n];
         env_in[cfg.entry] = Some(Env::new());
         let mut queue: VecDeque<NodeId> = VecDeque::new();
@@ -380,7 +519,9 @@ impl FeasAnalysis {
             transfer(&mut out, &writes[node]);
             for &(succ, kind) in cfg.succs(node) {
                 let mut e = out.clone();
-                refine_edge(&mut e, &facts[node].checks, kind);
+                if let (Some(tree), Some(truth)) = (&trees[node], edge_truth(kind)) {
+                    tree.refine(&mut e, &errptrs[node], truth);
+                }
                 let changed = match &mut env_in[succ] {
                     Some(cur) => join_env(cur, &e),
                     slot @ None => {
@@ -399,12 +540,15 @@ impl FeasAnalysis {
             if facts[node].checks.is_empty() {
                 continue;
             }
+            let Some(tree) = &trees[node] else { continue };
             let Some(env) = &env_in[node] else { continue };
             let mut out = env.clone();
             transfer(&mut out, &writes[node]);
             for &(succ, kind) in cfg.succs(node) {
-                if edge_contradicts(&out, &facts[node].checks, kind) {
-                    infeasible.insert((node, succ, kind));
+                if let Some(truth) = edge_truth(kind) {
+                    if tree.contradicted(&out, &errptrs[node], truth) {
+                        infeasible.insert((node, succ, kind));
+                    }
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! The assembled per-function code property graph.
 
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 use refminer_cparse::{FunctionDef, TranslationUnit};
 
@@ -91,6 +92,18 @@ impl FunctionGraph {
         func: &FunctionDef,
         max_nodes: usize,
     ) -> Result<FunctionGraph, GraphCapExceeded> {
+        let mut sink = Duration::ZERO;
+        Self::try_build_timed(func, max_nodes, &mut sink)
+    }
+
+    /// Like [`FunctionGraph::try_build`], additionally accumulating
+    /// the wall time the feasibility fixpoint took into `feas_time`.
+    /// Observability only: the timing never influences the graph.
+    pub fn try_build_timed(
+        func: &FunctionDef,
+        max_nodes: usize,
+        feas_time: &mut Duration,
+    ) -> Result<FunctionGraph, GraphCapExceeded> {
         let cfg = Cfg::build(func);
         if cfg.nodes.len() > max_nodes {
             return Err(GraphCapExceeded {
@@ -103,7 +116,9 @@ impl FunctionGraph {
         let params: Vec<String> = func.params.iter().filter_map(|p| p.name.clone()).collect();
         let origins = Origins::compute(&cfg, &facts, &params);
         let error_nodes = error_nodes(&cfg, &facts);
+        let feas_start = Instant::now();
         let feas = FeasAnalysis::compute(&cfg, &facts);
+        *feas_time += feas_start.elapsed();
         Ok(FunctionGraph {
             func: func.clone(),
             cfg,
@@ -125,15 +140,27 @@ impl FunctionGraph {
         tu: &TranslationUnit,
         max_nodes: usize,
     ) -> (Vec<FunctionGraph>, Vec<GraphCapExceeded>) {
+        let (graphs, skipped, _) = Self::build_all_limited_timed(tu, max_nodes);
+        (graphs, skipped)
+    }
+
+    /// Like [`FunctionGraph::build_all_limited`], additionally
+    /// returning the unit's total feasibility-fixpoint wall time, for
+    /// the audit pipeline's `feasibility` trace spans.
+    pub fn build_all_limited_timed(
+        tu: &TranslationUnit,
+        max_nodes: usize,
+    ) -> (Vec<FunctionGraph>, Vec<GraphCapExceeded>, Duration) {
         let mut graphs = Vec::new();
         let mut skipped = Vec::new();
+        let mut feas_time = Duration::ZERO;
         for f in tu.functions() {
-            match Self::try_build(f, max_nodes) {
+            match Self::try_build_timed(f, max_nodes, &mut feas_time) {
                 Ok(g) => graphs.push(g),
                 Err(e) => skipped.push(e),
             }
         }
-        (graphs, skipped)
+        (graphs, skipped, feas_time)
     }
 
     /// The function name.

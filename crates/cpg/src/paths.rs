@@ -106,6 +106,12 @@ impl<'a> PathQuery<'a> {
         start: NodeId,
         veto: Option<&dyn Fn(NodeId, NodeId, EdgeKind) -> bool>,
     ) -> Option<Vec<NodeId>> {
+        // A start node outside the CFG can only come from a malformed
+        // caller-built query; report "no path" instead of indexing out
+        // of bounds.
+        if start >= cfg.nodes.len() {
+            return None;
+        }
         if self.steps.is_empty() {
             return Some(Vec::new());
         }
@@ -309,6 +315,18 @@ mod tests {
         let (cfg, _facts) = build("return 0;");
         let q = PathQuery::new(Vec::new());
         assert_eq!(q.search_from_entry(&cfg), Some(Vec::new()));
+    }
+
+    #[test]
+    fn out_of_range_start_finds_nothing() {
+        // Regression: this used to index out of bounds instead of
+        // returning None.
+        let (cfg, _facts) = build("return 0;");
+        let q = PathQuery::new(vec![Step::new(|_| true)]);
+        assert_eq!(q.search(&cfg, cfg.nodes.len()), None);
+        assert_eq!(q.search(&cfg, usize::MAX), None);
+        let empty = PathQuery::new(Vec::new());
+        assert_eq!(empty.search(&cfg, cfg.nodes.len() + 7), None);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Trace smoke run: audit a small generated tree with `--trace` and check
+# the span log is well-formed JSON lines covering every pipeline stage.
+#
+# Env:
+#   CHAOSGEN_BIN / REFMINER_BIN  prebuilt binaries; default `cargo run`
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+outdir="$(mktemp -d "${TMPDIR:-/tmp}/refminer-trace.XXXXXX")"
+trap 'rm -rf "$outdir"' EXIT
+
+chaosgen() {
+    if [ -n "${CHAOSGEN_BIN:-}" ]; then
+        "$CHAOSGEN_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin chaosgen -- "$@"
+    fi
+}
+
+refminer() {
+    if [ -n "${REFMINER_BIN:-}" ]; then
+        "$REFMINER_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin refminer -- "$@"
+    fi
+}
+
+tree="$outdir/tree"
+trace="$outdir/trace.jsonl"
+cache="$outdir/cache"
+
+# An uncorrupted tree: the smoke run exercises tracing, not the fault
+# boundary (chaos.sh owns that).
+chaosgen --ratio 0 "$tree" || {
+    echo "trace_smoke.sh: chaosgen failed" >&2
+    exit 1
+}
+
+refminer --json --stats --trace "$trace" --cache-dir "$cache" "$tree" > /dev/null
+status=$?
+case "$status" in
+    0|1) ;;
+    *) echo "trace_smoke.sh: FAIL (audit exit $status)" >&2; exit 1;;
+esac
+
+if [ ! -s "$trace" ]; then
+    echo "trace_smoke.sh: FAIL (no trace written)" >&2
+    exit 1
+fi
+
+# Well-formed JSON lines: every line is one object tagged with a type,
+# and line 1 is the meta record.
+if grep -qv '^{"type":.*}$' "$trace"; then
+    echo "trace_smoke.sh: FAIL (malformed trace line)" >&2
+    grep -v '^{"type":.*}$' "$trace" | head -3 >&2
+    exit 1
+fi
+if ! head -1 "$trace" | grep -q '^{"type":"meta"'; then
+    echo "trace_smoke.sh: FAIL (first line is not the meta record)" >&2
+    exit 1
+fi
+
+# Every pipeline stage left spans: CLI-level scan/cache, the audit's
+# sequential stages, the per-unit fan-out, and feasibility.
+for stage in scan cache.load cache.save hash parse parse.unit export \
+    export.unit merge.kb merge.progdb check check.unit feasibility report; do
+    if ! grep -q "\"stage\":\"$stage\"" "$trace"; then
+        echo "trace_smoke.sh: FAIL (stage $stage missing from trace)" >&2
+        exit 1
+    fi
+done
+
+# The cold cached run records a miss counter per unit.
+if ! grep -q '"name":"cache.parse.miss"' "$trace"; then
+    echo "trace_smoke.sh: FAIL (cache counters missing)" >&2
+    exit 1
+fi
+
+spans=$(grep -c '"type":"span"' "$trace")
+echo "trace_smoke.sh: PASS ($spans spans)"
