@@ -50,6 +50,7 @@ use crate::cache::{
     export_config_fingerprint, fnv1a, kb_fingerprint, mix, parse_config_fingerprint, AuditCache,
     CacheStats, CachedError, CheckedUnit, ExportedUnit, ParsedUnit,
 };
+use crate::cancel::{CancelToken, Cancelled};
 use crate::parallel::run_indexed_traced;
 use crate::project::{Project, ScanErrorKind, SourceUnit};
 
@@ -649,7 +650,30 @@ pub fn audit_traced(
     cache: &mut AuditCache,
     trace: &TraceHandle,
 ) -> AuditReport {
+    audit_cancellable(project, config, cache, trace, &CancelToken::never())
+        .expect("a never-cancelled audit cannot be cancelled")
+}
+
+/// Runs the full audit under a [`CancelToken`] — the daemon entry
+/// point, where every request carries a deadline.
+///
+/// The token is polled cooperatively at *unit boundaries*: once per
+/// unit inside each fan-out stage and once between stages. A tripped
+/// token makes in-flight workers return cheap placeholders, and the
+/// pipeline bails at the next boundary — crucially **before** the
+/// stage's cache-put loop, so placeholders never pollute any cache
+/// layer. A cancelled audit therefore costs at most one unit's worth
+/// of residual work per worker and leaves the cache exactly as
+/// consistent as it found it.
+pub fn audit_cancellable(
+    project: &Project,
+    config: &AuditConfig,
+    cache: &mut AuditCache,
+    trace: &TraceHandle,
+    cancel: &CancelToken,
+) -> Result<AuditReport, Cancelled> {
     cache.reset_stats();
+    cancel.check()?;
     let limits = &config.limits;
     let parse_limits = ParseLimits {
         max_tokens: limits.max_tokens,
@@ -692,9 +716,13 @@ pub fn audit_traced(
     let parse_cfg = parse_config_fingerprint(config);
     let hash_span = trace.span("hash");
     let unit_keys: Vec<u64> = run_indexed_traced(units, config.jobs, trace, "hash", |_, u| {
+        if cancel.is_cancelled() {
+            return 0;
+        }
         mix(content_hash(&u.text), parse_cfg)
     });
     drop(hash_span);
+    cancel.check()?;
 
     // Tree fingerprint: every unit's path and key, plus the discovery
     // configuration; keys the whole-tree discovery *merge*.
@@ -723,9 +751,15 @@ pub fn audit_traced(
         }
     }
     let parsed_new = run_indexed_traced(&parse_todo, config.jobs, trace, "parse", |_, &i| {
+        if cancel.is_cancelled() {
+            return cancelled_parse_placeholder();
+        }
         let _unit_span = trace.unit_span("parse.unit", &units[i].path);
         parse_unit(&units[i], limits, &parse_limits)
     });
+    // Bail *before* the put loop: a tripped token means some results
+    // are placeholders, and none of them may enter the cache.
+    cancel.check()?;
     for (&i, p) in parse_todo.iter().zip(parsed_new) {
         parsed[i] = Some(cache.parse_put(unit_keys[i], p));
     }
@@ -745,6 +779,15 @@ pub fn audit_traced(
         }
     }
     let exported_new = run_indexed_traced(&export_todo, config.jobs, trace, "export", |_, &i| {
+        if cancel.is_cancelled() {
+            return ExportedUnit {
+                exports: UnitExports {
+                    path: units[i].path.clone(),
+                    fns: Vec::new(),
+                },
+                discovery: UnitDiscovery::default(),
+            };
+        }
         let _unit_span = trace.unit_span("export.unit", &units[i].path);
         export_one(
             &units[i],
@@ -754,6 +797,7 @@ pub fn audit_traced(
             trace,
         )
     });
+    cancel.check()?;
     for (&i, e) in export_todo.iter().zip(exported_new) {
         exported[i] = Some(cache.export_put(mix(unit_keys[i], export_cfg), e));
     }
@@ -763,6 +807,7 @@ pub fn audit_traced(
     // The merge folds cached digests — no AST is touched — and runs in
     // its own fault boundary: if a degraded unit trips it, fall back to
     // the builtin KB rather than losing the audit.
+    cancel.check()?;
     let merge_kb_span = trace.span("merge.kb");
     let kb: Arc<ApiKb> = if !config.discover_apis {
         Arc::new(ApiKb::builtin())
@@ -839,6 +884,13 @@ pub fn audit_traced(
     let only_patterns = config.only_patterns.as_deref();
     let phase2_start = Instant::now();
     let checked_new = run_indexed_traced(&check_todo, config.jobs, trace, "check", |_, &i| {
+        if cancel.is_cancelled() {
+            return CheckedUnit {
+                findings: Vec::new(),
+                functions: 0,
+                errors: Vec::new(),
+            };
+        }
         let _unit_span = trace.unit_span("check.unit", &units[i].path);
         check_one(
             &units[i],
@@ -852,6 +904,7 @@ pub fn audit_traced(
         )
     });
     let phase2_secs = phase2_start.elapsed().as_secs_f64();
+    cancel.check()?;
     for (&i, c) in check_todo.iter().zip(checked_new) {
         let deps_fp = mix(kb_fp, program.deps_fingerprint(&units[i].path));
         checked[i] = Some(cache.check_put(unit_keys[i], deps_fp, c));
@@ -861,6 +914,7 @@ pub fn audit_traced(
     // Merge, in unit index order, exactly as the sequential pipeline
     // would have: findings concatenated then canonically sorted, error
     // details taking the first-recorded value per unit.
+    cancel.check()?;
     let report_span = trace.span("report");
     let mut findings: Vec<Finding> = Vec::new();
     let mut functions = 0usize;
@@ -951,7 +1005,7 @@ pub fn audit_traced(
         }
     }
 
-    AuditReport {
+    Ok(AuditReport {
         findings,
         files: n,
         functions,
@@ -961,6 +1015,19 @@ pub fn audit_traced(
         cache: cache.stats,
         phase1_secs,
         phase2_secs,
+    })
+}
+
+/// The cheap stand-in a parse worker returns after observing a tripped
+/// token mid-fan-out. Never cached, never reported — the pipeline bails
+/// at the next boundary before either could happen.
+fn cancelled_parse_placeholder() -> ParsedUnit {
+    ParsedUnit {
+        tu: None,
+        parsed_ok: false,
+        defines: Vec::new(),
+        errors: Vec::new(),
+        lines: 0,
     }
 }
 
@@ -995,6 +1062,42 @@ mod tests {
             })
             .count();
         assert_eq!(found, tree.manifest.bugs.len(), "missed bugs");
+    }
+
+    #[test]
+    fn cancelled_audit_leaves_cache_unpolluted() {
+        use crate::cancel::{CancelReason, CancelToken};
+
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.03,
+            include_tricky: false,
+            ..Default::default()
+        });
+        let project = Project::from_tree(&tree);
+        let cfg = AuditConfig::default();
+        let trace = TraceHandle::disabled();
+
+        // Pre-cancelled: the audit must bail without persisting any of
+        // the placeholder results its workers produce.
+        let mut cache = AuditCache::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = audit_cancellable(&project, &cfg, &mut cache, &trace, &token).unwrap_err();
+        assert_eq!(err.reason, CancelReason::Explicit);
+        assert!(cache.is_empty(), "cancelled audit polluted the cache");
+
+        // Same for a deadline that has already passed.
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = audit_cancellable(&project, &cfg, &mut cache, &trace, &token).unwrap_err();
+        assert_eq!(err.reason, CancelReason::DeadlineExceeded);
+        assert!(cache.is_empty());
+
+        // The untouched cache then behaves exactly like a fresh one:
+        // the follow-up audit runs fully cold and matches a clean run.
+        let after = audit_with_cache(&project, &cfg, &mut cache);
+        let clean = audit_with_cache(&project, &cfg, &mut AuditCache::new());
+        assert_eq!(after.findings, clean.findings);
+        assert_eq!(after.cache.parse_hits, 0, "cache was not cold");
     }
 
     #[test]

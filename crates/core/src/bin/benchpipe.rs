@@ -31,7 +31,11 @@
 //! same job count, and the incremental run must re-parse exactly the
 //! edited units. The ≥2× parallel gate only applies on machines with
 //! at least four hardware threads — below that the scheduler has
-//! nothing to win.
+//! nothing to win, and the report says so explicitly: `parallel_gate`
+//! is `"enforced"` or `"skipped"`, and a skipped gate prints `SKIP`
+//! rather than silently passing. On a single-core host the parallel
+//! configuration is not measured at all (worker counts clamp to the
+//! available parallelism, so it would be the sequential run again).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -199,7 +203,11 @@ fn main() -> ExitCode {
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
-    let jobs = effective_jobs(opts.jobs).max(2);
+    // `effective_jobs` clamps to the available parallelism, so on a
+    // single-core host this resolves to 1 and the "parallel"
+    // configuration collapses into the sequential one (and is skipped
+    // below rather than measured twice).
+    let jobs = effective_jobs(opts.jobs);
     let cores = effective_jobs(0);
 
     let tree = generate_tree(&TreeConfig {
@@ -226,10 +234,17 @@ fn main() -> ExitCode {
     };
 
     // 1. Cold, one worker: fresh cache every repetition.
-    let (cold_seq, _) = measure(opts.reps, &project, &seq_cfg, AuditCache::new);
-    // 2. Cold, N workers.
-    let (cold_par, warm_cache) = measure(opts.reps, &project, &par_cfg, AuditCache::new);
-    // 3. Warm: replay the cache from run 2 against the unchanged tree.
+    let (cold_seq, seq_cache) = measure(opts.reps, &project, &seq_cfg, AuditCache::new);
+    // 2. Cold, N workers — skipped when only one worker is available,
+    //    where it would just repeat run 1.
+    let (cold_par, warm_cache) = if jobs >= 2 {
+        let (m, cache) = measure(opts.reps, &project, &par_cfg, AuditCache::new);
+        (Some(m), cache)
+    } else {
+        (None, seq_cache)
+    };
+    // 3. Warm: replay the cache from run 2 (or run 1) against the
+    //    unchanged tree.
     let mut warm_cache = warm_cache;
     let warm = {
         let mut best = f64::INFINITY;
@@ -250,63 +265,71 @@ fn main() -> ExitCode {
     let incremental = traced_run(&rev_project, &par_cfg, &mut incr_cache);
 
     // Sanity: the numbers are only worth reporting if the outputs agree.
-    if cold_seq.report.findings != cold_par.report.findings
-        || cold_par.report.findings != warm.report.findings
+    let cold_ref = cold_par.as_ref().unwrap_or(&cold_seq);
+    if cold_seq.report.findings != cold_ref.report.findings
+        || cold_ref.report.findings != warm.report.findings
     {
         eprintln!("benchpipe: FAIL: findings diverged between configurations");
         return ExitCode::FAILURE;
     }
 
-    let speedup_parallel = cold_seq.secs / cold_par.secs.max(1e-9);
-    let speedup_warm = cold_par.secs / warm.secs.max(1e-9);
+    let speedup_parallel = cold_seq.secs / cold_ref.secs.max(1e-9);
+    let speedup_warm = cold_ref.secs / warm.secs.max(1e-9);
     let warm_hit_rate = warm.report.cache.hit_rate();
     let summary_hit_rate = warm.report.cache.export_hit_rate();
 
+    // The gate is enforced only where the scheduler has room to win;
+    // everywhere else the report (and the `--check` output) says SKIP
+    // explicitly instead of letting the gate pass vacuously.
+    let gate_enforced = cores >= 4 && jobs >= 4;
+    let parallel_gate = if gate_enforced { "enforced" } else { "skipped" };
+
+    let mut runs = vec![run_json("cold_jobs1", &cold_seq, files)];
+    if let Some(m) = &cold_par {
+        runs.push(run_json(&format!("cold_jobs{jobs}"), m, files));
+    }
+    runs.push(run_json("warm", &warm, files));
+    runs.push(run_json("incremental", &incremental, files));
+
     let report = obj([
-        // Schema 3: per-run and top-level per-stage wall times, read off
-        // the structured trace. Schema 2 added per-run phase1/phase2
-        // times and the summary-cache hit rate; every schema-2 key is
-        // unchanged.
-        ("schema", 3.to_json()),
+        // Schema 4: worker counts clamp to the available parallelism,
+        // the single-worker host drops the duplicate cold_jobsN run,
+        // and `parallel_gate` records whether the >=2x gate was
+        // enforced or skipped. Schema 3 added per-run and top-level
+        // per-stage wall times; every schema-3 key is unchanged.
+        ("schema", 4.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
         ("jobs", jobs.to_json()),
         ("cores", cores.to_json()),
         ("reps", opts.reps.to_json()),
         ("edits", edited.len().to_json()),
-        (
-            "runs",
-            Value::Obj(vec![
-                run_json("cold_jobs1", &cold_seq, files),
-                run_json(&format!("cold_jobs{jobs}"), &cold_par, files),
-                run_json("warm", &warm, files),
-                run_json("incremental", &incremental, files),
-            ]),
-        ),
+        ("runs", Value::Obj(runs)),
         ("speedup_parallel", speedup_parallel.to_json()),
+        ("parallel_gate", parallel_gate.to_json()),
         ("speedup_warm", speedup_warm.to_json()),
         ("warm_hit_rate", warm_hit_rate.to_json()),
         ("summary_hit_rate", summary_hit_rate.to_json()),
-        ("cold_phase1_secs", cold_par.report.phase1_secs.to_json()),
-        ("cold_phase2_secs", cold_par.report.phase2_secs.to_json()),
+        ("cold_phase1_secs", cold_ref.report.phase1_secs.to_json()),
+        ("cold_phase2_secs", cold_ref.report.phase2_secs.to_json()),
         (
             "cold_parse_secs",
-            (cold_par.summary.stage_total_us("parse") as f64 / 1e6).to_json(),
+            (cold_ref.summary.stage_total_us("parse") as f64 / 1e6).to_json(),
         ),
         (
             "cold_export_secs",
-            (cold_par.summary.stage_total_us("export") as f64 / 1e6).to_json(),
+            (cold_ref.summary.stage_total_us("export") as f64 / 1e6).to_json(),
         ),
         (
             "cold_merge_secs",
-            ((cold_par.summary.stage_total_us("merge.kb")
-                + cold_par.summary.stage_total_us("merge.progdb")) as f64
+            ((cold_ref.summary.stage_total_us("merge.kb")
+                + cold_ref.summary.stage_total_us("merge.progdb")) as f64
                 / 1e6)
                 .to_json(),
         ),
         (
             "cold_check_secs",
-            (cold_par.summary.stage_total_us("check") as f64 / 1e6).to_json(),
+            (cold_ref.summary.stage_total_us("check") as f64 / 1e6).to_json(),
         ),
     ]);
     if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
@@ -318,7 +341,7 @@ fn main() -> ExitCode {
         "benchpipe: cold x1 {:.3}s | cold x{jobs} {:.3}s ({speedup_parallel:.2}x) | \
          warm {:.4}s ({speedup_warm:.1}x, {:.0}% hits) | incremental {:.4}s",
         cold_seq.secs,
-        cold_par.secs,
+        cold_ref.secs,
         warm.secs,
         warm_hit_rate * 100.0,
         incremental.secs,
@@ -326,8 +349,8 @@ fn main() -> ExitCode {
     eprintln!(
         "benchpipe: cold phases {:.3}s parse+export + {:.3}s check | \
          summary cache {:.0}% hits when warm",
-        cold_par.report.phase1_secs,
-        cold_par.report.phase2_secs,
+        cold_ref.report.phase1_secs,
+        cold_ref.report.phase2_secs,
         summary_hit_rate * 100.0,
     );
     println!("{}", out.display());
@@ -350,13 +373,18 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
-        if cores >= 4 && jobs >= 4 && speedup_parallel < 2.0 {
+        if gate_enforced {
+            if speedup_parallel < 2.0 {
+                eprintln!(
+                    "benchpipe: FAIL: parallel speedup {speedup_parallel:.2}x < 2x on {cores} cores"
+                );
+                failed = true;
+            }
+        } else {
             eprintln!(
-                "benchpipe: FAIL: parallel speedup {speedup_parallel:.2}x < 2x on {cores} cores"
+                "benchpipe: SKIP: parallel >=2x gate needs cores >= 4 and jobs >= 4 \
+                 (cores={cores}, jobs={jobs})"
             );
-            failed = true;
-        } else if cores < 4 {
-            eprintln!("benchpipe: note: {cores} core(s) — parallel gate not applicable");
         }
         if failed {
             return ExitCode::FAILURE;

@@ -4,6 +4,8 @@
 //! ```text
 //! refminer [OPTIONS] <PATH>
 //! refminer eval [OPTIONS] <PATH>     score the audit against <PATH>/manifest.json
+//! refminer serve [OPTIONS] <PATH>    resident audit daemon (JSON-RPC over TCP/Unix socket)
+//! refminer rpc <TARGET> <METHOD> …   one RPC against a running daemon
 //!
 //! OPTIONS:
 //!     --pattern <P1..P9>[,..]  only report these anti-patterns (report filter)
@@ -39,10 +41,15 @@ use std::process::ExitCode;
 use refminer::checkers::{AntiPattern, Impact};
 use refminer::corpus::Manifest;
 use refminer::report::Table;
+use refminer::serve::protocol::{encode_request, Method, QueryFilter, Request};
+use refminer::serve::{
+    render_diagnostics_line, render_finding_line, rpc_roundtrip, run_serve, ServeConfig,
+    ServeOptions, WatchOptions,
+};
 use refminer::{
     audit_traced, evaluate, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions, TraceHandle,
 };
-use refminer_json::{obj, ToJson, Value};
+use refminer_json::{ToJson, Value};
 
 struct Options {
     eval: bool,
@@ -207,6 +214,11 @@ fn parse_args() -> Options {
 }
 
 fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => return serve_main(),
+        Some("rpc") => return rpc_main(),
+        _ => {}
+    }
     let opts = parse_args();
     // Recording is observation-only (findings are byte-identical either
     // way), so `--stats` alone also gets the full trace summary.
@@ -287,43 +299,15 @@ fn main() -> ExitCode {
         .collect();
 
     if opts.json {
+        // The daemon's `query` responses reuse these exact renderers,
+        // so its output can be diffed byte-for-byte against this path.
         for f in &findings {
-            println!("{}", f.to_json());
+            println!("{}", render_finding_line(f));
         }
         // A clean run emits findings only; the diagnostics line appears
         // exactly when something was lost, so its presence is itself
         // the signal.
-        if !report.diagnostics.is_clean() {
-            let units: Vec<Value> = report
-                .diagnostics
-                .units
-                .iter()
-                .map(|u| {
-                    obj([
-                        ("path", Value::Str(u.path.clone())),
-                        ("outcome", Value::Str(u.outcome.name().to_string())),
-                        (
-                            "errors",
-                            Value::Arr(
-                                u.errors
-                                    .iter()
-                                    .map(|e| Value::Str(e.name().to_string()))
-                                    .collect(),
-                            ),
-                        ),
-                        ("detail", Value::Str(u.detail.clone())),
-                    ])
-                })
-                .collect();
-            let line = obj([(
-                "diagnostics",
-                obj([
-                    ("ok", Value::Num(report.diagnostics.ok as f64)),
-                    ("degraded", Value::Num(report.diagnostics.degraded as f64)),
-                    ("skipped", Value::Num(report.diagnostics.skipped as f64)),
-                    ("units", Value::Arr(units)),
-                ]),
-            )]);
+        if let Some(line) = render_diagnostics_line(&report.diagnostics) {
             println!("{line}");
         }
     } else if opts.csv {
@@ -427,6 +411,200 @@ fn finish_trace(opts: &Options, trace: &TraceHandle) {
     if opts.stats {
         eprint!("{}", log.summary(10).render_text());
     }
+}
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: refminer serve [--listen ADDR] [--socket PATH] [--cache-dir DIR] \
+         [--jobs N] [--watch] [--poll-ms N] [--debounce-ms N] [--queue N] \
+         [--deadline-ms N] [--inject-delay-ms N] [--no-discovery] [--trace FILE] <PATH>"
+    );
+    std::process::exit(2);
+}
+
+/// `refminer serve <DIR>`: the resident audit daemon. Prints
+/// `listening on <addr>` once bound; stops on a `shutdown` RPC.
+fn serve_main() -> ExitCode {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut socket: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut jobs: usize = 0;
+    let mut watch = false;
+    let mut poll_ms: u64 = 300;
+    let mut debounce_ms: u64 = 150;
+    let mut queue: usize = 8;
+    let mut deadline_ms: u64 = 30_000;
+    let mut inject_delay_ms: u64 = 0;
+    let mut discovery = true;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            let value = args.next().unwrap_or_else(|| serve_usage());
+            value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} needs a non-negative integer, got `{value}`");
+                serve_usage();
+            })
+        };
+        match arg.as_str() {
+            "-h" | "--help" => serve_usage(),
+            "--listen" => listen = args.next().unwrap_or_else(|| serve_usage()),
+            "--socket" => {
+                socket = Some(PathBuf::from(args.next().unwrap_or_else(|| serve_usage())))
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| serve_usage())))
+            }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| serve_usage())))
+            }
+            "--jobs" => jobs = num("--jobs") as usize,
+            "--watch" => watch = true,
+            "--poll-ms" => poll_ms = num("--poll-ms"),
+            "--debounce-ms" => debounce_ms = num("--debounce-ms"),
+            "--queue" => queue = num("--queue").max(1) as usize,
+            "--deadline-ms" => deadline_ms = num("--deadline-ms").max(1),
+            "--inject-delay-ms" => inject_delay_ms = num("--inject-delay-ms"),
+            "--no-discovery" => discovery = false,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                serve_usage();
+            }
+            other => {
+                if root.is_some() {
+                    serve_usage();
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| serve_usage());
+
+    let mut cfg = ServeConfig::new(root);
+    cfg.audit.jobs = jobs;
+    cfg.audit.discover_apis = discovery;
+    cfg.cache_dir = cache_dir;
+    cfg.queue_capacity = queue;
+    cfg.default_deadline_ms = deadline_ms;
+    cfg.inject_audit_delay_ms = inject_delay_ms;
+    if trace_path.is_some() {
+        cfg.trace = TraceHandle::recording();
+    }
+    let opts = ServeOptions {
+        listen,
+        socket,
+        watch: watch.then(|| WatchOptions {
+            poll_ms,
+            debounce_ms,
+            ..Default::default()
+        }),
+        trace_path,
+    };
+    match run_serve(cfg, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("refminer serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn rpc_usage() -> ! {
+    eprintln!(
+        "usage: refminer rpc <TARGET> <METHOD> [ARGS]\n\
+         TARGET: host:port or unix:/path/to.sock\n\
+         METHODS:\n\
+           audit [--deadline-ms N]\n\
+           reaudit [--deadline-ms N] <FILE>...\n\
+           query [--subsystem S] [--pattern P] [--verdict V]\n\
+           status\n\
+           shutdown"
+    );
+    std::process::exit(2);
+}
+
+/// `refminer rpc <TARGET> <METHOD>`: one request against a running
+/// daemon. `query` prints the finding lines raw (diffable against the
+/// one-shot `--json` output); other methods print the result object.
+/// Exit 0 on success, 1 on an RPC error response, 2 on usage/transport
+/// problems.
+fn rpc_main() -> ExitCode {
+    let mut args = std::env::args().skip(2);
+    let target = args.next().unwrap_or_else(|| rpc_usage());
+    let method_name = args.next().unwrap_or_else(|| rpc_usage());
+    let mut deadline_ms: Option<u64> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut filter = QueryFilter::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deadline-ms" => {
+                let value = args.next().unwrap_or_else(|| rpc_usage());
+                match value.parse::<u64>() {
+                    Ok(n) => deadline_ms = Some(n),
+                    Err(_) => rpc_usage(),
+                }
+            }
+            "--subsystem" => filter.subsystem = Some(args.next().unwrap_or_else(|| rpc_usage())),
+            "--pattern" => filter.pattern = Some(args.next().unwrap_or_else(|| rpc_usage())),
+            "--verdict" => filter.verdict = Some(args.next().unwrap_or_else(|| rpc_usage())),
+            other if other.starts_with('-') => rpc_usage(),
+            other => files.push(other.to_string()),
+        }
+    }
+    let method = match method_name.as_str() {
+        "audit" => Method::Audit,
+        "reaudit" => {
+            if files.is_empty() {
+                rpc_usage();
+            }
+            Method::Reaudit { files }
+        }
+        "query" => Method::Query(filter.clone()),
+        "status" => Method::Status,
+        "shutdown" => Method::Shutdown,
+        _ => rpc_usage(),
+    };
+    let is_query = matches!(method, Method::Query(_));
+    let request = Request {
+        id: 1,
+        method,
+        deadline_ms,
+    };
+    let line = match rpc_roundtrip(&target, &encode_request(&request)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("refminer rpc: {target}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Ok(response) = Value::parse(&line) else {
+        eprintln!("refminer rpc: malformed response: {line}");
+        return ExitCode::from(2);
+    };
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        println!("{line}");
+        return ExitCode::from(1);
+    }
+    let result = response.get("result").cloned().unwrap_or(Value::Null);
+    if is_query {
+        // Raw finding lines plus the diagnostics line: the same bytes
+        // the one-shot CLI's `--json` mode prints.
+        if let Some(lines) = result.get("lines").and_then(Value::as_array) {
+            for l in lines {
+                if let Some(s) = l.as_str() {
+                    println!("{s}");
+                }
+            }
+        }
+        if let Some(d) = result.get("diagnostics").and_then(Value::as_str) {
+            println!("{d}");
+        }
+    } else {
+        println!("{result}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// `refminer eval <DIR>`: score the audit's findings against the

@@ -301,6 +301,24 @@ pub struct CacheStaleCounts {
 // The cache proper.
 // ----------------------------------------------------------------------
 
+/// What loading the persisted cache file found, for observability: a
+/// corrupt file heals silently (the run goes cold), but daemons and
+/// strict callers want to know it happened.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CacheLoadOutcome {
+    /// No cache file existed (or the cache is memory-only).
+    #[default]
+    Empty,
+    /// The file parsed and its entries were loaded.
+    Loaded,
+    /// The file was malformed or version-mismatched; it was renamed
+    /// aside to the contained path and the cache rebuilt cold.
+    Quarantined(PathBuf),
+    /// The file could not be read at all (I/O error); the cache
+    /// rebuilt cold and the file was left in place.
+    ReadFailed(String),
+}
+
 /// The four-layer audit cache. See the module docs for the layering
 /// and invalidation rules.
 #[derive(Debug, Default)]
@@ -313,10 +331,15 @@ pub struct AuditCache {
     /// each `audit_with_cache` call.
     pub stats: CacheStats,
     dir: Option<PathBuf>,
+    load_outcome: CacheLoadOutcome,
 }
 
 /// File name of the persisted cache inside `--cache-dir`.
 pub const CACHE_FILE: &str = "audit-cache.json";
+
+/// Suffix appended to [`CACHE_FILE`] when a corrupt cache is
+/// quarantined — renamed aside for post-mortem instead of deleted.
+pub const QUARANTINE_SUFFIX: &str = ".corrupt";
 
 /// On-disk format version; bump on any incompatible change. A file
 /// with a different version is ignored wholesale.
@@ -331,19 +354,59 @@ impl AuditCache {
 
     /// A cache persisted under `dir`, pre-loaded from
     /// `dir/audit-cache.json` when that file exists and parses. A
-    /// missing, malformed or version-mismatched file yields an empty
-    /// cache — persistence failures degrade to cold runs, never to
-    /// errors.
+    /// missing file yields an empty cache; a *corrupt* file (truncated,
+    /// bit-flipped, or from an incompatible version) is **quarantined**
+    /// — renamed aside to `audit-cache.json.corrupt` for post-mortem —
+    /// and the cache rebuilds cold. Persistence failures degrade to
+    /// cold runs, never to errors; [`AuditCache::load_outcome`] reports
+    /// what happened.
     pub fn with_dir(dir: impl Into<PathBuf>) -> AuditCache {
         let dir = dir.into();
         let mut cache = AuditCache::new();
-        if let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE)) {
-            if let Ok(v) = Value::parse(&text) {
-                cache.load_from(&v);
+        let file = dir.join(CACHE_FILE);
+        match refminer_faultio::read_to_string(&file) {
+            Ok(text) => {
+                let loaded = Value::parse(&text)
+                    .ok()
+                    .map(|v| cache.load_from(&v))
+                    .unwrap_or(false);
+                if loaded {
+                    cache.load_outcome = CacheLoadOutcome::Loaded;
+                } else {
+                    // Corrupt: quarantine it so the broken generation is
+                    // preserved as evidence and can never be re-read as
+                    // live state. A failed rename leaves the file for
+                    // the next atomic save to overwrite.
+                    let aside = dir.join(format!("{CACHE_FILE}{QUARANTINE_SUFFIX}"));
+                    let _ = refminer_faultio::rename(&file, &aside);
+                    cache.clear_layers();
+                    cache.load_outcome = CacheLoadOutcome::Quarantined(aside);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                cache.load_outcome = CacheLoadOutcome::Empty;
+            }
+            Err(e) => {
+                cache.load_outcome = CacheLoadOutcome::ReadFailed(e.to_string());
             }
         }
         cache.dir = Some(dir);
         cache
+    }
+
+    /// What loading the persisted file found; `Empty` for memory-only
+    /// caches.
+    pub fn load_outcome(&self) -> &CacheLoadOutcome {
+        &self.load_outcome
+    }
+
+    /// Drops every in-memory layer (quarantine rebuilds cold even if a
+    /// malformed prefix half-loaded).
+    fn clear_layers(&mut self) {
+        self.parse.clear();
+        self.export.clear();
+        self.check.clear();
+        self.discovery.clear();
     }
 
     /// Resets the per-run hit/miss counters.
@@ -448,7 +511,7 @@ impl AuditCache {
         let Some(dir) = &self.dir else {
             return Ok(());
         };
-        std::fs::create_dir_all(dir)?;
+        refminer_faultio::create_dir_all(dir)?;
         let mut parse: Vec<(u64, &Arc<ParsedUnit>)> =
             self.parse.iter().map(|(k, v)| (*k, v)).collect();
         parse.sort_by_key(|(k, _)| *k);
@@ -534,11 +597,14 @@ impl AuditCache {
         let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}.{seq}", std::process::id()));
         let text = doc.to_string();
-        if let Err(e) = std::fs::write(&tmp, &text) {
+        // Writes and the publishing rename go through the fault seam,
+        // so an injected torn write or rename failure exercises exactly
+        // the states a mid-save kill leaves behind.
+        if let Err(e) = refminer_faultio::write(&tmp, &text) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
         }
-        std::fs::rename(&tmp, dir.join(CACHE_FILE)).inspect_err(|_| {
+        refminer_faultio::rename(&tmp, dir.join(CACHE_FILE)).inspect_err(|_| {
             let _ = std::fs::remove_file(&tmp);
         })
     }
@@ -576,10 +642,11 @@ impl AuditCache {
     }
 
     /// Merges a parsed cache file into the in-memory maps, skipping
-    /// anything malformed.
-    fn load_from(&mut self, v: &Value) {
+    /// anything malformed. Returns `false` — quarantine the file — when
+    /// the version tag is missing or incompatible.
+    fn load_from(&mut self, v: &Value) -> bool {
         if v.get("version").and_then(Value::as_u64) != Some(CACHE_VERSION) {
-            return;
+            return false;
         }
         for entry in v.get("parse").and_then(Value::as_array).unwrap_or(&[]) {
             let Some(key) = entry.get("key").and_then(unhex) else {
@@ -656,6 +723,7 @@ impl AuditCache {
             };
             self.discovery.insert(tree, Arc::new(kb));
         }
+        true
     }
 }
 
@@ -1320,6 +1388,86 @@ mod tests {
         std::fs::write(dir.join(CACHE_FILE), r#"{"version":999}"#).unwrap();
         let cache = AuditCache::with_dir(&dir);
         assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_warm_cache_is_quarantined_and_rebuilds_cold() {
+        use crate::{audit_with_cache, AuditConfig, Project};
+
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash("quarantine_regression")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Warm the cache with a real audit over a buggy source so the
+        // post-quarantine rebuild has findings to compare against.
+        let p = Project::from_sources(vec![(
+            "drivers/q/q.c".to_string(),
+            r#"
+struct widget { struct kref refs; };
+int widget_probe(struct widget *w)
+{
+        kref_get(&w->refs);
+        if (!w)
+                return -EINVAL;
+        return 0;
+}
+"#
+            .to_string(),
+        )]);
+        let cfg = AuditConfig::default();
+        let baseline = {
+            let mut cache = AuditCache::with_dir(&dir);
+            let report = audit_with_cache(&p, &cfg, &mut cache);
+            cache.save().unwrap();
+            report
+        };
+
+        let live = dir.join(CACHE_FILE);
+        let aside = dir.join(format!("{CACHE_FILE}{QUARANTINE_SUFFIX}"));
+        let good = std::fs::read(&live).unwrap();
+
+        // Corruption one: a single bit flip on the opening brace
+        // (0x7b -> 0x5b, '{' -> '['), structurally valid-looking JSON
+        // of the wrong shape.
+        let mut flipped = good.clone();
+        assert_eq!(flipped[0], b'{');
+        flipped[0] ^= 0x20;
+        std::fs::write(&live, &flipped).unwrap();
+        let mut cache = AuditCache::with_dir(&dir);
+        assert_eq!(
+            cache.load_outcome(),
+            &CacheLoadOutcome::Quarantined(aside.clone())
+        );
+        assert!(cache.is_empty(), "quarantine must rebuild cold");
+        // Moved aside intact (evidence), not copied and not deleted.
+        assert_eq!(std::fs::read(&aside).unwrap(), flipped);
+        assert!(!live.exists(), "the corrupt generation must not stay live");
+        let rebuilt = audit_with_cache(&p, &cfg, &mut cache);
+        assert_eq!(rebuilt.findings, baseline.findings);
+        assert!(rebuilt.cache.parse_misses > 0, "rebuild must be cold");
+        cache.save().unwrap();
+        assert_eq!(
+            AuditCache::with_dir(&dir).load_outcome(),
+            &CacheLoadOutcome::Loaded
+        );
+
+        // Corruption two: truncate the (healed) file mid-way, as a
+        // crash during a non-atomic copy would.
+        let healed = std::fs::read(&live).unwrap();
+        std::fs::write(&live, &healed[..healed.len() / 2]).unwrap();
+        let mut cache = AuditCache::with_dir(&dir);
+        assert!(
+            matches!(cache.load_outcome(), CacheLoadOutcome::Quarantined(p) if *p == aside),
+            "truncated cache must quarantine, got {:?}",
+            cache.load_outcome()
+        );
+        assert!(cache.is_empty());
+        let rebuilt = audit_with_cache(&p, &cfg, &mut cache);
+        assert_eq!(rebuilt.findings, baseline.findings);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,161 @@
+//! Cooperative cancellation for long-running audits.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle combining an explicit
+//! cancel flag with an optional wall-clock deadline. The audit pipeline
+//! polls it at *unit boundaries* — once per unit inside each fan-out
+//! stage and once between stages — so a cancelled audit stops within
+//! one unit's worth of work without ever tearing a unit in half.
+//!
+//! Cancellation is also *cache-safe*: the pipeline checks the token
+//! **before** each cache-put loop, so the cheap placeholder results
+//! produced by workers that observed cancellation mid-fan-out are
+//! discarded, never persisted. A cancelled audit leaves every cache
+//! layer exactly as consistent as it found it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an audit stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The deadline attached to the token passed.
+    DeadlineExceeded,
+}
+
+impl CancelReason {
+    /// Stable lower-snake name, used in RPC error payloads.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CancelReason::Explicit => "cancelled",
+            CancelReason::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+/// The error a cancellable audit returns when it stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// What triggered the stop.
+    pub reason: CancelReason,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            CancelReason::Explicit => write!(f, "audit cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "audit deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A clonable cancel handle: an explicit flag plus an optional deadline.
+///
+/// Cloning shares the flag — cancelling any clone cancels them all. The
+/// deadline is fixed at construction and carried by value.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that can be cancelled explicitly but has no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that never cancels — the plain-audit entry points use it.
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that trips once `deadline` passes (and can still be
+    /// cancelled explicitly before then).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Convenience: a deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Trips the explicit flag on this token and every clone of it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (flag set or deadline passed).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Poll point: `Ok(())` while live, the reason once tripped. The
+    /// explicit flag wins over the deadline when both have tripped.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.flag.load(Ordering::Acquire) {
+            return Err(Cancelled {
+                reason: CancelReason::Explicit,
+            });
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(Cancelled {
+                    reason: CancelReason::DeadlineExceeded,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_trips_every_clone() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check().unwrap_err().reason, CancelReason::Explicit,);
+    }
+
+    #[test]
+    fn past_deadline_trips_with_deadline_reason() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            t.check().unwrap_err().reason,
+            CancelReason::DeadlineExceeded,
+        );
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        t.cancel();
+        assert_eq!(t.check().unwrap_err().reason, CancelReason::Explicit);
+    }
+
+    #[test]
+    fn future_deadline_is_live() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+}

@@ -22,15 +22,21 @@
 
 mod audit;
 mod cache;
+pub mod cancel;
 mod eval;
 pub mod parallel;
 mod project;
+pub mod serve;
 
 pub use audit::{
-    audit, audit_traced, audit_with_cache, AuditConfig, AuditDiagnostics, AuditLimits, AuditReport,
-    UnitDiagnostic, UnitErrorKind, UnitOutcome,
+    audit, audit_cancellable, audit_traced, audit_with_cache, AuditConfig, AuditDiagnostics,
+    AuditLimits, AuditReport, UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
-pub use cache::{content_hash, kb_fingerprint, AuditCache, CacheStats, ExportedUnit, CACHE_FILE};
+pub use cache::{
+    content_hash, kb_fingerprint, AuditCache, CacheLoadOutcome, CacheStats, ExportedUnit,
+    CACHE_FILE, QUARANTINE_SUFFIX,
+};
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use eval::{evaluate, Counts, EvalReport, EvalRow};
 pub use parallel::{effective_jobs, run_indexed, run_indexed_timed, run_indexed_traced};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};

@@ -38,14 +38,20 @@ use refminer_trace::TraceHandle;
 /// Resolves a `--jobs` request to a concrete worker count.
 ///
 /// `0` means "auto": one worker per available hardware thread. Any
-/// other value is taken as-is.
+/// other value is clamped to the available parallelism — more workers
+/// than cores is pure oversubscription for this CPU-bound pipeline
+/// (the stages do no blocking I/O), and on small hosts the extra
+/// context switching measurably *slows* the audit. The report is
+/// byte-identical at any worker count, so the clamp is invisible
+/// except in wall time.
 pub fn effective_jobs(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        available
     } else {
-        requested
+        requested.min(available)
     }
 }
 
@@ -95,7 +101,27 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let jobs = effective_jobs(jobs).min(items.len());
+    run_indexed_exact(items, effective_jobs(jobs), trace, stage, work)
+}
+
+/// The scheduler proper, taking the worker count literally (no
+/// `effective_jobs` resolution beyond the item-count clamp). Kept
+/// separate so scheduler tests can exercise real multi-worker runs
+/// even on single-core hosts, where [`effective_jobs`] would clamp
+/// them to an inline run.
+fn run_indexed_exact<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    trace: &TraceHandle,
+    stage: &str,
+    work: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
     }
@@ -210,7 +236,16 @@ mod tests {
     #[test]
     fn auto_jobs_is_positive() {
         assert!(effective_jobs(0) >= 1);
-        assert_eq!(effective_jobs(7), 7);
+    }
+
+    #[test]
+    fn requested_jobs_clamp_to_available_parallelism() {
+        let available = effective_jobs(0);
+        // Never oversubscribe: a request beyond the core count resolves
+        // to the core count; a request within it is honored.
+        assert_eq!(effective_jobs(available + 7), available);
+        assert_eq!(effective_jobs(1), 1);
+        assert_eq!(effective_jobs(available), available);
     }
 
     #[test]
@@ -225,7 +260,12 @@ mod tests {
         let items: Vec<usize> = (0..101).collect();
         let sequential = run_indexed(&items, 1, |i, x| i * 1000 + x);
         for jobs in [2, 3, 8, 64] {
-            let parallel = run_indexed(&items, jobs, |i, x| i * 1000 + x);
+            // Exercise the scheduler with literal worker counts so the
+            // determinism claim is tested with real threads regardless
+            // of how many cores the host has.
+            let parallel = run_indexed_exact(&items, jobs, &TraceHandle::disabled(), "", |i, x| {
+                i * 1000 + x
+            });
             assert_eq!(parallel, sequential, "jobs={jobs}");
         }
     }
@@ -235,7 +275,7 @@ mod tests {
         let n = 257;
         let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         let items: Vec<usize> = (0..n).collect();
-        run_indexed(&items, 8, |i, _| {
+        run_indexed_exact(&items, 8, &TraceHandle::disabled(), "", |i, _| {
             counters[i].fetch_add(1, Ordering::SeqCst);
         });
         for (i, c) in counters.iter().enumerate() {
@@ -248,7 +288,7 @@ mod tests {
         // One "heavy" item per chunk boundary would serialize without
         // stealing; with it, the run completes and order still holds.
         let items: Vec<u64> = (0..32).map(|i| if i == 0 { 400 } else { 1 }).collect();
-        let spins = run_indexed(&items, 4, |_, &ms| {
+        let spins = run_indexed_exact(&items, 4, &TraceHandle::disabled(), "", |_, &ms| {
             // Busy-wait proportional to the item weight.
             let mut acc = 0u64;
             for _ in 0..ms * 1000 {
@@ -271,9 +311,12 @@ mod tests {
     fn traced_variant_counts_steals_without_changing_results() {
         // Item 0 is heavy enough that worker 0 is still busy on it while
         // the other workers drain their own chunks and come stealing.
+        // Run the scheduler proper with a literal worker count so this
+        // exercises real threads even on a single-core host, where
+        // `effective_jobs` would clamp 4 down to an inline run.
         let items: Vec<u64> = (0..32).map(|i| if i == 0 { 20_000 } else { 1 }).collect();
         let trace = TraceHandle::recording();
-        let out = run_indexed_traced(&items, 4, &trace, "stage", |_, &ms| {
+        let out = run_indexed_exact(&items, 4, &trace, "stage", |_, &ms| {
             let mut acc = 0u64;
             for _ in 0..ms * 1000 {
                 acc = acc.wrapping_add(1);

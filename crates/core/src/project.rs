@@ -140,8 +140,10 @@ impl Project {
     /// [`Project::scan_diagnostics`]) and the scan continues.
     pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<Project> {
         // Probe the root first so a missing/unreadable argument is a
-        // hard error rather than a silently empty project.
-        std::fs::read_dir(root)?;
+        // hard error rather than a silently empty project. Scan
+        // syscalls go through the fault-injection seam so a chaos
+        // harness can flake them deterministically.
+        refminer_faultio::read_dir(root)?;
 
         let mut units = Vec::new();
         let mut diags: Vec<ScanDiagnostic> = Vec::new();
@@ -178,7 +180,7 @@ impl Project {
                     continue;
                 }
             }
-            let entries = match std::fs::read_dir(&dir) {
+            let entries = match refminer_faultio::read_dir(&dir) {
                 Ok(it) => it,
                 Err(e) => {
                     diags.push(ScanDiagnostic {
@@ -214,7 +216,7 @@ impl Project {
                     continue;
                 }
                 let rel = rel_of(&path);
-                match std::fs::metadata(&path) {
+                match refminer_faultio::metadata(&path) {
                     Ok(m) if m.len() > opts.max_file_bytes => {
                         diags.push(ScanDiagnostic {
                             path: rel,
@@ -237,7 +239,7 @@ impl Project {
                         continue;
                     }
                 }
-                let bytes = match std::fs::read(&path) {
+                let bytes = match refminer_faultio::read(&path) {
                     Ok(b) => b,
                     Err(e) => {
                         diags.push(ScanDiagnostic {

@@ -1,0 +1,360 @@
+//! The daemon's wire protocol: line-delimited JSON-RPC.
+//!
+//! One request per line, one response per line, over TCP or a Unix
+//! socket. Requests carry an `id` the response echoes, a `method`, and
+//! an optional `params` object:
+//!
+//! ```text
+//! {"id":1,"method":"audit","params":{"deadline_ms":5000}}
+//! {"id":2,"method":"reaudit","params":{"files":["drivers/a/a.c"]}}
+//! {"id":3,"method":"query","params":{"subsystem":"drivers","pattern":"P1"}}
+//! {"id":4,"method":"status"}
+//! {"id":5,"method":"shutdown"}
+//! ```
+//!
+//! Responses are `{"id":N,"ok":true,"result":{…}}` on success and
+//! `{"id":N,"ok":false,"error":{"kind":"…","message":"…"}}` on
+//! failure. The error `kind` is machine-matchable: backpressure sheds
+//! as `overloaded`, a missed deadline as `deadline_exceeded` — clients
+//! are expected to branch on it, not parse prose.
+
+use refminer_json::{obj, ToJson, Value};
+
+/// Deadline applied to audit/reaudit requests that don't set one.
+pub const DEFAULT_DEADLINE_MS: u64 = 30_000;
+
+/// Filter parameters for the `query` method. All fields optional;
+/// empty means "everything in the snapshot".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryFilter {
+    /// Path-prefix filter, e.g. `drivers/net`.
+    pub subsystem: Option<String>,
+    /// Anti-pattern id filter, e.g. `P1`.
+    pub pattern: Option<String>,
+    /// Feasibility verdict filter: `infeasible`, `assumed` or `proven`.
+    pub verdict: Option<String>,
+}
+
+impl QueryFilter {
+    /// `true` when no filter is set (the full-snapshot query).
+    pub fn is_empty(&self) -> bool {
+        self.subsystem.is_none() && self.pattern.is_none() && self.verdict.is_none()
+    }
+}
+
+/// A decoded request method with its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// Re-audit the whole tree.
+    Audit,
+    /// Re-audit after changes to the named files (project-relative).
+    Reaudit {
+        /// The changed files the client knows about.
+        files: Vec<String>,
+    },
+    /// Read findings from the current snapshot.
+    Query(QueryFilter),
+    /// Daemon health and counters.
+    Status,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The method and its parameters.
+    pub method: Method,
+    /// Per-request deadline override for audit/reaudit.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Machine-matchable failure categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The bounded request queue is full; the request was shed. Retry
+    /// later — the daemon is deliberately not buffering unbounded work.
+    Overloaded,
+    /// The request's deadline passed before its audit finished.
+    DeadlineExceeded,
+    /// The request's audit was cancelled (e.g. daemon shutdown).
+    Cancelled,
+    /// The request line did not decode, or a parameter was invalid.
+    BadRequest,
+    /// The audit itself failed (e.g. the tree became unscannable).
+    Internal,
+    /// The daemon is stopping and accepts no new audit work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Stable lower-snake name on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Internal => "internal",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// One response line, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with a method-specific result object.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// The method-specific payload.
+        result: Value,
+    },
+    /// Failure with a machine-matchable kind.
+    Err {
+        /// Echo of the request id.
+        id: u64,
+        /// The failure category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Success constructor.
+    pub fn ok(id: u64, result: Value) -> Response {
+        Response::Ok { id, result }
+    }
+
+    /// Failure constructor.
+    pub fn err(id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Err {
+            id,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok { .. })
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok { id, result } => obj([
+                ("id", id.to_json()),
+                ("ok", true.into()),
+                ("result", result.clone()),
+            ])
+            .to_string(),
+            Response::Err { id, kind, message } => obj([
+                ("id", id.to_json()),
+                ("ok", false.into()),
+                (
+                    "error",
+                    obj([
+                        ("kind", kind.name().into()),
+                        ("message", message.as_str().into()),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        }
+    }
+}
+
+/// Decodes one request line. Errors are human-readable and become
+/// `bad_request` responses.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Value::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let id = v.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let method = v
+        .get("method")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `method`".to_string())?;
+    let params = v.get("params");
+    let get_str = |key: &str| -> Option<String> {
+        params
+            .and_then(|p| p.get(key))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    let deadline_ms = params
+        .and_then(|p| p.get("deadline_ms"))
+        .and_then(Value::as_u64);
+    let method = match method {
+        "audit" => Method::Audit,
+        "reaudit" => {
+            let files = params
+                .and_then(|p| p.get("files"))
+                .and_then(Value::as_array)
+                .ok_or_else(|| "reaudit needs a `files` array".to_string())?
+                .iter()
+                .map(|f| {
+                    f.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "`files` entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<String>, String>>()?;
+            if files.is_empty() {
+                return Err("reaudit needs at least one file".to_string());
+            }
+            Method::Reaudit { files }
+        }
+        "query" => Method::Query(QueryFilter {
+            subsystem: get_str("subsystem"),
+            pattern: get_str("pattern"),
+            verdict: get_str("verdict"),
+        }),
+        "status" => Method::Status,
+        "shutdown" => Method::Shutdown,
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    Ok(Request {
+        id,
+        method,
+        deadline_ms,
+    })
+}
+
+/// Encodes a request as one wire line (no trailing newline) — the
+/// client-side inverse of [`parse_request`].
+pub fn encode_request(req: &Request) -> String {
+    let mut params: Vec<(String, Value)> = Vec::new();
+    let method = match &req.method {
+        Method::Audit => "audit",
+        Method::Reaudit { files } => {
+            params.push(("files".to_string(), files.to_json()));
+            "reaudit"
+        }
+        Method::Query(f) => {
+            if let Some(s) = &f.subsystem {
+                params.push(("subsystem".to_string(), s.as_str().into()));
+            }
+            if let Some(p) = &f.pattern {
+                params.push(("pattern".to_string(), p.as_str().into()));
+            }
+            if let Some(vd) = &f.verdict {
+                params.push(("verdict".to_string(), vd.as_str().into()));
+            }
+            "query"
+        }
+        Method::Status => "status",
+        Method::Shutdown => "shutdown",
+    };
+    if let Some(d) = req.deadline_ms {
+        params.push(("deadline_ms".to_string(), d.to_json()));
+    }
+    let mut members = vec![
+        ("id".to_string(), req.id.to_json()),
+        ("method".to_string(), method.into()),
+    ];
+    if !params.is_empty() {
+        members.push(("params".to_string(), Value::Obj(params)));
+    }
+    Value::Obj(members).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_requests() {
+        let r = parse_request(r#"{"id":7,"method":"status"}"#).unwrap();
+        assert_eq!(r.id, 7);
+        assert_eq!(r.method, Method::Status);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_params() {
+        let r = parse_request(
+            r#"{"id":1,"method":"reaudit","params":{"files":["a.c","b.c"],"deadline_ms":250}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.method,
+            Method::Reaudit {
+                files: vec!["a.c".to_string(), "b.c".to_string()]
+            }
+        );
+        assert_eq!(r.deadline_ms, Some(250));
+
+        let q = parse_request(r#"{"id":2,"method":"query","params":{"pattern":"P1"}}"#).unwrap();
+        match q.method {
+            Method::Query(f) => {
+                assert_eq!(f.pattern.as_deref(), Some("P1"));
+                assert!(!f.is_empty());
+            }
+            other => panic!("unexpected method {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("{not json").is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"fly"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"reaudit"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"reaudit","params":{"files":[]}}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"reaudit","params":{"files":[3]}}"#).is_err());
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let reqs = [
+            Request {
+                id: 1,
+                method: Method::Audit,
+                deadline_ms: Some(100),
+            },
+            Request {
+                id: 2,
+                method: Method::Reaudit {
+                    files: vec!["x.c".to_string()],
+                },
+                deadline_ms: None,
+            },
+            Request {
+                id: 3,
+                method: Method::Query(QueryFilter {
+                    subsystem: Some("drivers".to_string()),
+                    pattern: None,
+                    verdict: Some("assumed".to_string()),
+                }),
+                deadline_ms: None,
+            },
+            Request {
+                id: 4,
+                method: Method::Shutdown,
+                deadline_ms: None,
+            },
+        ];
+        for r in reqs {
+            assert_eq!(parse_request(&encode_request(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_serialize_stably() {
+        let ok = Response::ok(3, obj([("revision", 1u64.to_json())]));
+        assert_eq!(
+            ok.to_line(),
+            r#"{"id":3,"ok":true,"result":{"revision":1}}"#
+        );
+        let err = Response::err(4, ErrorKind::Overloaded, "queue full");
+        assert_eq!(
+            err.to_line(),
+            r#"{"id":4,"ok":false,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+        assert!(ok.is_ok());
+        assert!(!err.is_ok());
+    }
+}

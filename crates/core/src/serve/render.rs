@@ -1,0 +1,54 @@
+//! The one JSONL rendering used by both the one-shot CLI (`--json`)
+//! and the daemon's snapshots.
+//!
+//! Byte-identity between `refminer --json <tree>` and `refminer rpc …
+//! query` is a hard guarantee the fault-injection soak asserts; it
+//! holds because both paths call these functions — there is no second
+//! serializer to drift.
+
+use refminer_checkers::Finding;
+use refminer_json::{obj, ToJson, Value};
+
+use crate::audit::{AuditDiagnostics, UnitDiagnostic};
+
+/// One finding as its JSONL line (no trailing newline).
+pub fn render_finding_line(f: &Finding) -> String {
+    f.to_json().to_string()
+}
+
+/// One unit diagnostic as a JSON object value.
+pub fn render_unit_diagnostic(u: &UnitDiagnostic) -> Value {
+    obj([
+        ("path", Value::Str(u.path.clone())),
+        ("outcome", Value::Str(u.outcome.name().to_string())),
+        (
+            "errors",
+            Value::Arr(
+                u.errors
+                    .iter()
+                    .map(|e| Value::Str(e.name().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("detail", Value::Str(u.detail.clone())),
+    ])
+}
+
+/// The trailing diagnostics line, present exactly when the audit was
+/// not clean — its presence is itself the signal.
+pub fn render_diagnostics_line(d: &AuditDiagnostics) -> Option<String> {
+    if d.is_clean() {
+        return None;
+    }
+    let units: Vec<Value> = d.units.iter().map(render_unit_diagnostic).collect();
+    let line = obj([(
+        "diagnostics",
+        obj([
+            ("ok", Value::Num(d.ok as f64)),
+            ("degraded", Value::Num(d.degraded as f64)),
+            ("skipped", Value::Num(d.skipped as f64)),
+            ("units", Value::Arr(units)),
+        ]),
+    )]);
+    Some(line.to_string())
+}

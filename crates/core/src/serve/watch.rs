@@ -1,0 +1,188 @@
+//! `--watch`: re-audit when the tree changes.
+//!
+//! A polling watcher (no OS-specific notify APIs, keeping the
+//! workspace dependency-free) fingerprints the tree — every entry's
+//! path, size and mtime — and, when the fingerprint moves, *debounces*
+//! until it holds still before enqueueing one whole-tree re-audit
+//! through the engine's normal bounded queue. Per-unit cache
+//! invalidation makes that re-audit cost proportional to what actually
+//! changed.
+//!
+//! Robustness: fingerprinting goes through the fault-injection seam,
+//! and a transient scan error backs off exponentially (capped) instead
+//! of spinning; a full queue just means the change is picked up on the
+//! next poll. Neither can wedge the watcher.
+
+use std::path::Path;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use super::engine::EngineHandle;
+
+/// Watcher tuning.
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// How often the tree is fingerprinted.
+    pub poll_ms: u64,
+    /// How long the fingerprint must hold still after a change before
+    /// a re-audit is enqueued (absorbs multi-file save bursts).
+    pub debounce_ms: u64,
+    /// Backoff cap for transient fingerprint errors.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            poll_ms: 300,
+            debounce_ms: 150,
+            max_backoff_ms: 5_000,
+        }
+    }
+}
+
+/// Spawns the watcher thread; it exits when the engine stops.
+pub(super) fn spawn(handle: EngineHandle, opts: WatchOptions) -> JoinHandle<()> {
+    std::thread::spawn(move || watch_loop(handle, opts))
+}
+
+fn watch_loop(handle: EngineHandle, opts: WatchOptions) {
+    let root = handle.root();
+    let poll = Duration::from_millis(opts.poll_ms.max(1));
+    let mut backoff = Duration::from_millis(opts.poll_ms.max(1));
+    let mut last: Option<u64> = None;
+    while !handle.is_stopped() {
+        match fingerprint_tree(&root) {
+            Err(_) => {
+                // Transient (possibly injected) scan fault: back off,
+                // bounded, and keep the previous fingerprint.
+                handle.note_scan_retry();
+                sleep_unless_stopped(&handle, backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(opts.max_backoff_ms.max(1)));
+                continue;
+            }
+            Ok(fp) => {
+                backoff = Duration::from_millis(opts.poll_ms.max(1));
+                match last {
+                    None => last = Some(fp),
+                    Some(prev) if prev != fp => {
+                        // Debounce: wait for the fingerprint to settle
+                        // so one save burst becomes one re-audit.
+                        let mut settled = fp;
+                        loop {
+                            sleep_unless_stopped(&handle, Duration::from_millis(opts.debounce_ms));
+                            if handle.is_stopped() {
+                                return;
+                            }
+                            match fingerprint_tree(&root) {
+                                Ok(next) if next == settled => break,
+                                Ok(next) => settled = next,
+                                Err(_) => {
+                                    handle.note_scan_retry();
+                                    break;
+                                }
+                            }
+                        }
+                        last = Some(settled);
+                        handle.enqueue_watch_audit();
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        sleep_unless_stopped(&handle, poll);
+    }
+}
+
+/// Sleeps in short slices so shutdown isn't delayed by a poll period.
+fn sleep_unless_stopped(handle: &EngineHandle, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !handle.is_stopped() {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// Order-independent-free fingerprint of the tree: a hash over every
+/// entry's path, size and mtime, walked in sorted order through the
+/// fault-injection seam.
+fn fingerprint_tree(root: &Path) -> std::io::Result<u64> {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<std::path::PathBuf> = Vec::new();
+        for entry in refminer_faultio::read_dir(&dir)? {
+            entries.push(entry?.path());
+        }
+        entries.sort();
+        for path in entries {
+            let meta = refminer_faultio::metadata(&path)?;
+            h = fnv_str(h, &path.to_string_lossy());
+            if meta.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            h = fnv_u64(h, meta.len());
+            let mtime = meta
+                .modified()
+                .ok()
+                .and_then(|m| m.duration_since(SystemTime::UNIX_EPOCH).ok())
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            h = fnv_u64(h, mtime);
+        }
+    }
+    Ok(h)
+}
+
+fn fnv_str(mut h: u64, s: &str) -> u64 {
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("refminer-watch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_changes() {
+        let dir = temp_dir("fp");
+        std::fs::write(dir.join("a.c"), "int a;\n").unwrap();
+        let fp1 = fingerprint_tree(&dir).unwrap();
+        assert_eq!(fp1, fingerprint_tree(&dir).unwrap());
+        // Adding a file moves the fingerprint; size is part of it, so
+        // even same-mtime rewrites of different length register.
+        std::fs::write(dir.join("b.c"), "int b;\n").unwrap();
+        let fp2 = fingerprint_tree(&dir).unwrap();
+        assert_ne!(fp1, fp2);
+        std::fs::write(dir.join("b.c"), "int bbbb;\n").unwrap();
+        assert_ne!(fp2, fingerprint_tree(&dir).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_errors_on_missing_root() {
+        assert!(fingerprint_tree(Path::new("/nonexistent/refminer-watch")).is_err());
+    }
+}

@@ -41,9 +41,25 @@ fn bench_smoke_script_passes() {
     assert!(v.get("speedup_warm").is_some());
     assert!(v.get("speedup_parallel").is_some());
     assert!(v.get("runs").is_some());
-    // Schema 3: phase wall times, the summary-cache hit rate, and the
-    // per-stage breakdown from the trace recorder (schema-2 keys kept).
-    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(3.0));
+    // Schema 4: worker counts clamp to the available parallelism and
+    // the report states whether the >=2x parallel gate was enforced or
+    // skipped — a skipped gate must be visible, not a silent pass.
+    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(4.0));
+    let gate = v
+        .get("parallel_gate")
+        .and_then(|g| g.as_str())
+        .expect("parallel_gate present");
+    assert!(
+        gate == "enforced" || gate == "skipped",
+        "unexpected parallel_gate {gate:?}"
+    );
+    let cores = v.get("cores").and_then(|c| c.as_u64()).expect("cores");
+    let jobs = v.get("jobs").and_then(|c| c.as_u64()).expect("jobs");
+    assert_eq!(
+        gate == "enforced",
+        cores >= 4 && jobs >= 4,
+        "gate state must match the host: cores={cores} jobs={jobs}"
+    );
     assert!(v.get("summary_hit_rate").is_some());
     assert!(v.get("cold_phase1_secs").is_some());
     assert!(v.get("cold_phase2_secs").is_some());

@@ -1,8 +1,8 @@
 //! Runs the `scripts/verify.sh` release gate against prebuilt binaries,
-//! so the one-shot fmt → clippy → build → test → chaos → trace → bench
-//! chain stays wired into the test suite. The cargo-based steps (fmt,
-//! clippy, build, test) are skipped because this test already runs
-//! under cargo — re-entering it here would recurse.
+//! so the one-shot fmt → clippy → build → test → chaos → trace → serve
+//! → bench chain stays wired into the test suite. The cargo-based
+//! steps (fmt, clippy, build, test) are skipped because this test
+//! already runs under cargo — re-entering it here would recurse.
 
 use std::path::Path;
 use std::process::Command;
@@ -64,6 +64,10 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
         "stdout:\n{stdout}"
     );
     assert!(
+        stdout.contains("verify.sh: [serve] ok"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
         stdout.contains("verify.sh: [bench] ok"),
         "stdout:\n{stdout}"
     );
@@ -79,7 +83,7 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
 fn verify_script_fails_fast_with_the_step_name() {
     let out = Command::new("bash")
         .arg(script())
-        .env("VERIFY_SKIP", "fmt clippy build test chaos trace")
+        .env("VERIFY_SKIP", "fmt clippy build test chaos trace serve")
         .env("BENCHPIPE_BIN", "/bin/false")
         .output()
         .expect("run verify.sh");

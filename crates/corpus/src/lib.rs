@@ -14,6 +14,9 @@
 //!   (truncation, bit flips, nesting bombs, binary garbage) with a
 //!   ground-truth record of the victims; the input for the audit
 //!   pipeline's fault-isolation tests.
+//! - [`generate_workload`] — a seeded stream of daemon client
+//!   operations (query/status/audit/reaudit mixes); the input for the
+//!   `refminer serve` concurrency and robustness tests.
 //!
 //! Both generators are deterministic given their seeds, and both are
 //! *calibrated* to the paper's reported marginals — see DESIGN.md for
@@ -26,6 +29,7 @@ mod codegen;
 mod history;
 mod subsystems;
 mod tree;
+mod workload;
 
 pub use chaos::{apply_chaos, mutate_bytes, ChaosConfig, ChaosCorpus, ChaosRecord, MutationKind};
 pub use codegen::{emit_bug, emit_clean, emit_filler, emit_tricky, NameGen};
@@ -40,3 +44,4 @@ pub use tree::{
     generate_tree, next_revision, FpTrap, InjectedBug, Manifest, SourceFile, SyntheticTree,
     TreeConfig,
 };
+pub use workload::{generate_workload, WorkloadConfig, WorkloadOp};

@@ -1,0 +1,156 @@
+//! Deterministic client workloads for the `refminer serve` daemon.
+//!
+//! The serve robustness tests need many clients hammering the daemon
+//! with *interleaved* but *reproducible* operation streams: mostly
+//! cheap reads (`query`, `status`) with occasional whole-tree audits
+//! and targeted re-audits mixed in. This module generates those
+//! streams the same way the tree and history generators work — a
+//! seeded [`ChaCha8Rng`], so the same seed yields the same op
+//! sequence on every run and every host.
+//!
+//! The ops are deliberately abstract (no wire format): the serve
+//! protocol lives above this crate, and the tests render each op
+//! through the protocol's own encoder so there is no second request
+//! serializer to drift.
+
+use refminer_prng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// One client operation against the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Re-audit the whole tree.
+    Audit,
+    /// Re-audit the named files (paths relative to the served root).
+    Reaudit(Vec<String>),
+    /// Read findings from the current snapshot, optionally filtered by
+    /// subsystem prefix and/or anti-pattern id (`"P1"`..`"P9"`).
+    Query {
+        subsystem: Option<String>,
+        pattern: Option<String>,
+    },
+    /// Read the daemon's counters.
+    Status,
+}
+
+/// Workload shape knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// RNG seed; same seed, same ops.
+    pub seed: u64,
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// File paths `Reaudit` may name (relative to the served root).
+    /// With no files, re-audits degrade to whole-tree audits.
+    pub files: Vec<String>,
+    /// Subsystem prefixes `Query` may filter by.
+    pub subsystems: Vec<String>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x5E4E,
+            ops: 32,
+            files: Vec::new(),
+            subsystems: Vec::new(),
+        }
+    }
+}
+
+/// Generates a deterministic op sequence: roughly 60% queries, 20%
+/// status reads, 10% targeted re-audits, 10% whole-tree audits — the
+/// read-heavy mix a finding dashboard would produce, with enough
+/// writes to keep snapshots churning under the readers.
+pub fn generate_workload(cfg: &WorkloadConfig) -> Vec<WorkloadOp> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    (0..cfg.ops)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0..=5 => WorkloadOp::Query {
+                subsystem: pick(&mut rng, &cfg.subsystems, 2),
+                pattern: if rng.gen_range(0..3u32) == 0 {
+                    Some(format!("P{}", rng.gen_range(1..=9u32)))
+                } else {
+                    None
+                },
+            },
+            6 | 7 => WorkloadOp::Status,
+            8 if !cfg.files.is_empty() => {
+                let n = rng.gen_range(1..=cfg.files.len().min(3));
+                let mut files: Vec<String> = (0..n)
+                    .map(|_| cfg.files[rng.gen_range(0..cfg.files.len())].clone())
+                    .collect();
+                files.dedup();
+                WorkloadOp::Reaudit(files)
+            }
+            _ => WorkloadOp::Audit,
+        })
+        .collect()
+}
+
+/// Picks from `pool` with probability `1/odds` (else `None`).
+fn pick(rng: &mut ChaCha8Rng, pool: &[String], odds: u32) -> Option<String> {
+    if pool.is_empty() || rng.gen_range(0..odds) != 0 {
+        return None;
+    }
+    Some(pool[rng.gen_range(0..pool.len())].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            seed: 7,
+            ops: 200,
+            files: vec!["a/a.c".into(), "b/b.c".into()],
+            subsystems: vec!["drivers".into(), "net".into()],
+        }
+    }
+
+    #[test]
+    fn same_seed_same_ops() {
+        assert_eq!(generate_workload(&cfg()), generate_workload(&cfg()));
+        let other = WorkloadConfig { seed: 8, ..cfg() };
+        assert_ne!(generate_workload(&cfg()), generate_workload(&other));
+    }
+
+    #[test]
+    fn mix_covers_every_op_kind_and_is_read_heavy() {
+        let ops = generate_workload(&cfg());
+        assert_eq!(ops.len(), 200);
+        let queries = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Query { .. }))
+            .count();
+        let audits = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Audit))
+            .count();
+        let reaudits = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Reaudit(_)))
+            .count();
+        let status = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Status))
+            .count();
+        assert!(queries > audits + reaudits, "workload must be read-heavy");
+        assert!(audits > 0 && reaudits > 0 && status > 0);
+        for op in &ops {
+            if let WorkloadOp::Reaudit(files) = op {
+                assert!(!files.is_empty(), "reaudit must name files");
+            }
+        }
+    }
+
+    #[test]
+    fn no_files_means_no_targeted_reaudits() {
+        let ops = generate_workload(&WorkloadConfig {
+            files: Vec::new(),
+            ops: 100,
+            ..cfg()
+        });
+        assert!(ops.iter().all(|o| !matches!(o, WorkloadOp::Reaudit(_))));
+    }
+}

@@ -159,6 +159,19 @@ impl TraceHandle {
         }
     }
 
+    /// Raises a named counter to at least `n` — a high-water mark
+    /// rather than a running total. Used for gauges sampled over time,
+    /// e.g. the audit daemon's request-queue depth.
+    pub fn add_max(&self, counter: &str, n: u64) {
+        if let Some(rec) = &self.inner {
+            let mut counters = rec.counters.lock().unwrap();
+            let entry = counters.entry(counter.to_string()).or_insert(0);
+            if n > *entry {
+                *entry = n;
+            }
+        }
+    }
+
     /// Snapshots everything recorded so far. Returns `None` on a
     /// disabled handle.
     pub fn finish(&self) -> Option<TraceLog> {
@@ -536,6 +549,19 @@ mod tests {
         // Zero adds do not materialize a counter.
         assert!(!log.counters.contains_key("zeroes"));
         assert_eq!(log.peak_in_flight, 1);
+    }
+
+    #[test]
+    fn add_max_keeps_high_water() {
+        let t = TraceHandle::recording();
+        t.add_max("queue.depth.peak", 3);
+        t.add_max("queue.depth.peak", 1);
+        t.add_max("queue.depth.peak", 7);
+        t.add_max("queue.depth.peak", 5);
+        let log = t.finish().unwrap();
+        assert_eq!(log.counters.get("queue.depth.peak"), Some(&7));
+        // Inert on a disabled handle, like every other operation.
+        TraceHandle::disabled().add_max("x", 9);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 # Pipeline benchmark smoke run: audit a synthetic tree cold/warm and at
 # jobs in {1, N}, write BENCH_pipeline.json, and enforce the speedup
 # gates (warm >= 5x always; parallel >= 2x only on machines with at
-# least four hardware threads).
+# least four hardware threads — below that benchpipe prints an explicit
+# SKIP and records parallel_gate="skipped" in the report).
 #
 # A second run in `--eval` mode scores the checkers against an FP-trap
 # tree and regresses the corpus F1 against the committed baseline

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # One-shot release gate: fmt → clippy → build → test → chaos → trace →
-# bench, fail fast, and end with a single "verify.sh: PASS" or
+# serve → bench, fail fast, and end with a single "verify.sh: PASS" or
 # "verify.sh: FAIL (<step>)" verdict line.
 #
 # Env:
 #   VERIFY_SKIP     space-separated step names to skip
-#                   (any of: fmt clippy build test chaos trace bench)
+#                   (any of: fmt clippy build test chaos trace serve bench)
 #   CHAOSGEN_BIN / REFMINER_BIN / BENCHPIPE_BIN, BENCH_SCALE / BENCH_JOBS
 #   / BENCH_OUT — forwarded to the underlying scripts, so a harness can
 #   point every step at prebuilt binaries.
@@ -42,6 +42,7 @@ step build cargo build --release --quiet --manifest-path "$here/Cargo.toml" --wo
 step test cargo test --quiet --manifest-path "$here/Cargo.toml" --workspace
 step chaos bash "$here/scripts/chaos.sh"
 step trace bash "$here/scripts/trace_smoke.sh"
+step serve bash "$here/scripts/serve_smoke.sh"
 step bench bash "$here/scripts/bench.sh"
 
 echo "verify.sh: PASS"
