@@ -7,6 +7,9 @@
 //!
 //! OPTIONS:
 //!     --scale <F>    tree scale factor (default 1.0, ~350 files)
+//!     --big          kernel-scale mode: replicate the tree into a
+//!                    ~10k-file / ~1 MLoC corpus (see --replicas)
+//!     --replicas <N> replica count for --big (default 100)
 //!     --jobs <N>     parallel worker count (default: one per CPU)
 //!     --edits <N>    files edited for the incremental run (default 1)
 //!     --reps <N>     repetitions per configuration, best kept (default 3)
@@ -19,29 +22,41 @@
 //!     -h, --help     print this help
 //! ```
 //!
-//! Four configurations run against the same tree:
+//! The report (schema 5) records, against one tree:
 //!
-//! 1. `cold_jobs1` — empty cache, one worker: the historical baseline.
-//! 2. `cold_jobsN` — empty cache, `--jobs` workers: parallel speedup.
-//! 3. `warm` — the cache from run 2, unchanged tree: pure cache replay.
-//! 4. `incremental` — `--edits` files mutated, warm cache: only the
+//! 1. `scaling` — a cold/warm wall-time curve over the worker-count
+//!    ladder {1, 2, 4, `--jobs`} clamped to the available parallelism.
+//!    The `cold_jobs1` / `cold_jobsN` / `warm` runs are the curve's end
+//!    points; a single-core host measures only the `jobs=1` rung.
+//! 2. `incremental` — `--edits` files mutated, warm cache: only the
 //!    edited units re-run.
+//! 3. `cold_barrier_secs` / `streaming_speedup` — the same cold
+//!    parallel run with the streaming phase-1→phase-2 handoff disabled,
+//!    so the overlap's win over the classic full-barrier pipeline is a
+//!    recorded number, not a claim.
+//! 4. `warm_load_*` — the warm cache serialized once, then loaded back
+//!    both ways: the binary container (validate + index, payloads
+//!    lazy) versus the JSON-era document (full parse). This is the
+//!    cache-format comparison: identical content, both formats.
 //!
 //! With `--check`, the warm run must be ≥5× faster than cold at the
 //! same job count, and the incremental run must re-parse exactly the
-//! edited units. The ≥2× parallel gate only applies on machines with
-//! at least four hardware threads — below that the scheduler has
-//! nothing to win, and the report says so explicitly: `parallel_gate`
-//! is `"enforced"` or `"skipped"`, and a skipped gate prints `SKIP`
-//! rather than silently passing. On a single-core host the parallel
-//! configuration is not measured at all (worker counts clamp to the
-//! available parallelism, so it would be the sequential run again).
+//! edited units. Host-dependent gates say SKIP explicitly rather than
+//! silently passing, and the report records each one as `"enforced"`
+//! or `"skipped"`: the ≥2× parallel gate and the streaming-beats-
+//! barrier gate need at least four hardware threads; the binary-load
+//! ≥3× gate needs a tree big enough (≥1000 files) for load time to
+//! dominate constant costs. On a single-core host the parallel
+//! configurations are not measured at all (worker counts clamp to the
+//! available parallelism, so they would be the sequential run again).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use refminer::corpus::{generate_tree, next_revision, TreeConfig};
+use refminer::corpus::{
+    generate_big_tree, generate_tree, next_revision, BigTreeConfig, TreeConfig,
+};
 use refminer::parallel::effective_jobs;
 use refminer::{
     audit_traced, audit_with_cache, evaluate, AuditCache, AuditConfig, AuditReport, Project,
@@ -51,14 +66,16 @@ use refminer_json::{obj, ToJson, Value};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: benchpipe [--scale F] [--jobs N] [--edits N] [--reps N] [--out FILE] [--check] \
-         [--eval [--baseline F]]"
+        "usage: benchpipe [--scale F] [--big [--replicas N]] [--jobs N] [--edits N] [--reps N] \
+         [--out FILE] [--check] [--eval [--baseline F]]"
     );
     std::process::exit(2);
 }
 
 struct Options {
     scale: f64,
+    big: bool,
+    replicas: usize,
     jobs: usize,
     edits: usize,
     reps: usize,
@@ -71,6 +88,8 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         scale: 1.0,
+        big: false,
+        replicas: 100,
         jobs: 0,
         edits: 1,
         reps: 3,
@@ -91,6 +110,11 @@ fn parse_args() -> Options {
             "--scale" => match num("--scale").parse() {
                 Ok(v) => opts.scale = v,
                 Err(_) => usage(),
+            },
+            "--big" => opts.big = true,
+            "--replicas" => match num("--replicas").parse::<usize>() {
+                Ok(v) if v > 0 => opts.replicas = v,
+                _ => usage(),
             },
             "--jobs" => match num("--jobs").parse() {
                 Ok(v) => opts.jobs = v,
@@ -210,65 +234,148 @@ fn main() -> ExitCode {
     let jobs = effective_jobs(opts.jobs);
     let cores = effective_jobs(0);
 
-    let tree = generate_tree(&TreeConfig {
-        scale: opts.scale,
-        bugs_per_file: 1,
-        include_tricky: false,
-        ..Default::default()
-    });
+    let tree = if opts.big {
+        generate_big_tree(&BigTreeConfig {
+            replicas: opts.replicas,
+            scale: opts.scale,
+            ..Default::default()
+        })
+    } else {
+        generate_tree(&TreeConfig {
+            scale: opts.scale,
+            bugs_per_file: 1,
+            include_tricky: false,
+            ..Default::default()
+        })
+    };
     let files = tree.files.len();
     let project = Project::from_tree(&tree);
     eprintln!(
-        "benchpipe: {} files, jobs={jobs}, cores={cores}, reps={}",
-        files, opts.reps
+        "benchpipe: {} files ({} lines), jobs={jobs}, cores={cores}, reps={}{}",
+        files,
+        tree.total_lines(),
+        opts.reps,
+        if opts.big { " [big]" } else { "" },
     );
 
-    let seq_cfg = AuditConfig {
+    // Big trees drop retained ASTs right after parse: no cache layer
+    // ever persists them, and holding ~1 MLoC of ASTs in memory would
+    // swamp what the benchmark is trying to measure.
+    let base_cfg = AuditConfig {
         discover_apis: true,
-        jobs: 1,
+        retain_asts: !opts.big,
         ..Default::default()
     };
-    let par_cfg = AuditConfig {
-        jobs,
-        ..seq_cfg.clone()
+    let cfg_at = |j: usize| AuditConfig {
+        jobs: j,
+        ..base_cfg.clone()
     };
 
-    // 1. Cold, one worker: fresh cache every repetition.
-    let (cold_seq, seq_cache) = measure(opts.reps, &project, &seq_cfg, AuditCache::new);
-    // 2. Cold, N workers — skipped when only one worker is available,
-    //    where it would just repeat run 1.
-    let (cold_par, warm_cache) = if jobs >= 2 {
-        let (m, cache) = measure(opts.reps, &project, &par_cfg, AuditCache::new);
-        (Some(m), cache)
-    } else {
-        (None, seq_cache)
-    };
-    // 3. Warm: replay the cache from run 2 (or run 1) against the
-    //    unchanged tree.
-    let mut warm_cache = warm_cache;
-    let warm = {
-        let mut best = f64::INFINITY;
-        let mut last = None;
-        for _ in 0..opts.reps {
-            let m = traced_run(&project, &par_cfg, &mut warm_cache);
-            best = best.min(m.secs);
-            last = Some(m);
-        }
-        let mut m = last.expect("reps > 0");
-        m.secs = best;
-        m
-    };
-    // 4. Incremental: edit `--edits` files, reuse the warm cache.
+    // The worker-count ladder {1, 2, 4, N}, clamped to the host so no
+    // rung is oversubscription noise. A single-core host measures only
+    // the sequential rung.
+    let mut ladder: Vec<usize> = [1usize, 2, 4, jobs]
+        .into_iter()
+        .filter(|&j| j <= cores)
+        .collect();
+    ladder.sort_unstable();
+    ladder.dedup();
+
+    struct Rung {
+        jobs: usize,
+        cold: Measured,
+        warm: Measured,
+    }
+    let mut rungs: Vec<Rung> = Vec::new();
+    let mut rung_caches: Vec<AuditCache> = Vec::new();
+    for &j in &ladder {
+        let cfg = cfg_at(j);
+        let (cold, mut cache) = measure(opts.reps, &project, &cfg, AuditCache::new);
+        let warm = {
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..opts.reps {
+                let m = traced_run(&project, &cfg, &mut cache);
+                best = best.min(m.secs);
+                last = Some(m);
+            }
+            let mut m = last.expect("reps > 0");
+            m.secs = best;
+            m
+        };
+        rungs.push(Rung {
+            jobs: j,
+            cold,
+            warm,
+        });
+        rung_caches.push(cache);
+    }
+    let jobs_idx = ladder
+        .iter()
+        .position(|&j| j == jobs)
+        .expect("jobs rung is on the ladder");
+    let cold_seq = &rungs[0].cold;
+    let cold_par = (jobs >= 2).then(|| &rungs[jobs_idx].cold);
+    let warm = &rungs[jobs_idx].warm;
+
+    // Streaming vs. barrier: the identical cold parallel audit with the
+    // overlapped phase-1→phase-2 handoff switched off. Pointless with a
+    // single worker, where both paths are the sequential pipeline.
+    let cold_barrier = (jobs >= 2).then(|| {
+        let barrier_cfg = AuditConfig {
+            streaming: false,
+            ..cfg_at(jobs)
+        };
+        measure(opts.reps, &project, &barrier_cfg, AuditCache::new).0
+    });
+
+    // Binary vs. JSON cache load on identical content: serialize the
+    // warm cache both ways, then time loading each back into an empty
+    // cache. The binary load validates the checksum and indexes entry
+    // frames (payloads decode lazily, on first use); the JSON load is
+    // the JSON-era full document parse.
+    let warm_cache = &rung_caches[jobs_idx];
+    let t = Instant::now();
+    let bin_bytes = warm_cache.to_bytes();
+    let save_binary_secs = t.elapsed().as_secs_f64();
+    let json_text = warm_cache.to_json_doc().to_string_pretty();
+    let mut warm_load_binary_secs = f64::INFINITY;
+    for _ in 0..opts.reps {
+        let bytes = bin_bytes.clone();
+        let mut fresh = AuditCache::new();
+        let t = Instant::now();
+        let ok = fresh.load_bytes(bytes);
+        warm_load_binary_secs = warm_load_binary_secs.min(t.elapsed().as_secs_f64());
+        assert!(ok, "benchpipe: binary cache round-trip failed to load");
+    }
+    let mut warm_load_json_secs = f64::INFINITY;
+    for _ in 0..opts.reps {
+        let mut fresh = AuditCache::new();
+        let t = Instant::now();
+        let doc = Value::parse(&json_text).expect("benchpipe: JSON cache dump is valid");
+        let ok = fresh.load_json_doc(&doc);
+        warm_load_json_secs = warm_load_json_secs.min(t.elapsed().as_secs_f64());
+        assert!(ok, "benchpipe: JSON cache round-trip failed to load");
+    }
+    let warm_load_speedup = warm_load_json_secs / warm_load_binary_secs.max(1e-9);
+
+    // Incremental: edit `--edits` files, reuse the warm cache.
     let (rev, edited) = next_revision(&tree, 0xBE7C4, opts.edits);
     let rev_project = Project::from_tree(&rev);
-    let mut incr_cache = warm_cache;
-    let incremental = traced_run(&rev_project, &par_cfg, &mut incr_cache);
+    let mut incr_cache = rung_caches.swap_remove(jobs_idx);
+    let incremental = traced_run(&rev_project, &cfg_at(jobs), &mut incr_cache);
 
-    // Sanity: the numbers are only worth reporting if the outputs agree.
-    let cold_ref = cold_par.as_ref().unwrap_or(&cold_seq);
-    if cold_seq.report.findings != cold_ref.report.findings
-        || cold_ref.report.findings != warm.report.findings
-    {
+    // Sanity: the numbers are only worth reporting if the outputs agree
+    // across every rung, both schedulers, and cold vs. warm.
+    let cold_ref = cold_par.unwrap_or(cold_seq);
+    let mut diverged = rungs.iter().any(|r| {
+        r.cold.report.findings != cold_seq.report.findings
+            || r.warm.report.findings != cold_seq.report.findings
+    });
+    if let Some(b) = &cold_barrier {
+        diverged |= b.report.findings != cold_seq.report.findings;
+    }
+    if diverged {
         eprintln!("benchpipe: FAIL: findings diverged between configurations");
         return ExitCode::FAILURE;
     }
@@ -277,27 +384,53 @@ fn main() -> ExitCode {
     let speedup_warm = cold_ref.secs / warm.secs.max(1e-9);
     let warm_hit_rate = warm.report.cache.hit_rate();
     let summary_hit_rate = warm.report.cache.export_hit_rate();
+    let streaming_speedup = cold_barrier
+        .as_ref()
+        .map(|b| b.secs / cold_ref.secs.max(1e-9));
 
-    // The gate is enforced only where the scheduler has room to win;
+    // Gates are enforced only where they have room to mean something;
     // everywhere else the report (and the `--check` output) says SKIP
     // explicitly instead of letting the gate pass vacuously.
     let gate_enforced = cores >= 4 && jobs >= 4;
     let parallel_gate = if gate_enforced { "enforced" } else { "skipped" };
+    let streaming_gate = parallel_gate;
+    let load_gate_enforced = files >= 1000;
+    let warm_load_gate = if load_gate_enforced {
+        "enforced"
+    } else {
+        "skipped"
+    };
 
-    let mut runs = vec![run_json("cold_jobs1", &cold_seq, files)];
-    if let Some(m) = &cold_par {
+    let mut runs = vec![run_json("cold_jobs1", cold_seq, files)];
+    if let Some(m) = cold_par {
         runs.push(run_json(&format!("cold_jobs{jobs}"), m, files));
     }
-    runs.push(run_json("warm", &warm, files));
+    if let Some(m) = &cold_barrier {
+        runs.push(run_json("cold_barrier", m, files));
+    }
+    runs.push(run_json("warm", warm, files));
     runs.push(run_json("incremental", &incremental, files));
 
-    let report = obj([
-        // Schema 4: worker counts clamp to the available parallelism,
-        // the single-worker host drops the duplicate cold_jobsN run,
-        // and `parallel_gate` records whether the >=2x gate was
-        // enforced or skipped. Schema 3 added per-run and top-level
-        // per-stage wall times; every schema-3 key is unchanged.
-        ("schema", 4.to_json()),
+    let scaling = Value::Arr(
+        rungs
+            .iter()
+            .map(|r| {
+                obj([
+                    ("jobs", r.jobs.to_json()),
+                    ("cold_secs", r.cold.secs.to_json()),
+                    ("warm_secs", r.warm.secs.to_json()),
+                ])
+            })
+            .collect(),
+    );
+
+    let mut report_fields = vec![
+        // Schema 5: the `scaling` worker-count curve, the streaming-vs-
+        // barrier cold comparison, the binary-vs-JSON warm-load
+        // comparison, and `--big` kernel-scale trees. Every schema-4
+        // key is unchanged.
+        ("schema", 5.to_json()),
+        ("big", opts.big.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
         ("jobs", jobs.to_json()),
@@ -331,7 +464,29 @@ fn main() -> ExitCode {
             "cold_check_secs",
             (cold_ref.summary.stage_total_us("check") as f64 / 1e6).to_json(),
         ),
-    ]);
+        ("scaling", scaling),
+        ("streaming_gate", streaming_gate.to_json()),
+        ("cache_binary_bytes", bin_bytes.len().to_json()),
+        ("cache_json_bytes", json_text.len().to_json()),
+        ("save_binary_secs", save_binary_secs.to_json()),
+        ("warm_load_binary_secs", warm_load_binary_secs.to_json()),
+        ("warm_load_json_secs", warm_load_json_secs.to_json()),
+        ("warm_load_speedup", warm_load_speedup.to_json()),
+        ("warm_load_gate", warm_load_gate.to_json()),
+    ];
+    if opts.big {
+        report_fields.push(("replicas", opts.replicas.to_json()));
+    }
+    if let (Some(b), Some(s)) = (&cold_barrier, streaming_speedup) {
+        report_fields.push(("cold_barrier_secs", b.secs.to_json()));
+        report_fields.push(("streaming_speedup", s.to_json()));
+    }
+    let report = Value::Obj(
+        report_fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
     if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
         eprintln!("benchpipe: cannot write {}: {e}", out.display());
         return ExitCode::from(2);
@@ -347,11 +502,25 @@ fn main() -> ExitCode {
         incremental.secs,
     );
     eprintln!(
-        "benchpipe: cold phases {:.3}s parse+export + {:.3}s check | \
+        "benchpipe: cold phases {:.3}s parse + {:.3}s export+check | \
          summary cache {:.0}% hits when warm",
         cold_ref.report.phase1_secs,
         cold_ref.report.phase2_secs,
         summary_hit_rate * 100.0,
+    );
+    if let (Some(b), Some(s)) = (&cold_barrier, streaming_speedup) {
+        eprintln!(
+            "benchpipe: streaming {:.3}s vs barrier {:.3}s cold ({s:.2}x)",
+            cold_ref.secs, b.secs,
+        );
+    }
+    eprintln!(
+        "benchpipe: warm cache load binary {:.4}s ({} KB) vs JSON {:.4}s ({} KB): \
+         {warm_load_speedup:.1}x",
+        warm_load_binary_secs,
+        bin_bytes.len() / 1024,
+        warm_load_json_secs,
+        json_text.len() / 1024,
     );
     println!("{}", out.display());
 
@@ -380,10 +549,34 @@ fn main() -> ExitCode {
                 );
                 failed = true;
             }
+            match streaming_speedup {
+                Some(s) if s < 1.0 => {
+                    eprintln!(
+                        "benchpipe: FAIL: streaming cold path {s:.2}x vs barrier — \
+                         the overlap must not lose"
+                    );
+                    failed = true;
+                }
+                _ => {}
+            }
         } else {
             eprintln!(
-                "benchpipe: SKIP: parallel >=2x gate needs cores >= 4 and jobs >= 4 \
-                 (cores={cores}, jobs={jobs})"
+                "benchpipe: SKIP: parallel >=2x and streaming-beats-barrier gates need \
+                 cores >= 4 and jobs >= 4 (cores={cores}, jobs={jobs})"
+            );
+        }
+        if load_gate_enforced {
+            if warm_load_speedup < 3.0 {
+                eprintln!(
+                    "benchpipe: FAIL: binary cache load {warm_load_speedup:.2}x vs JSON, \
+                     expected >= 3x on {files} files"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "benchpipe: SKIP: binary >=3x load gate needs >= 1000 files \
+                 (files={files}; use --big)"
             );
         }
         if failed {

@@ -364,7 +364,7 @@ fn main() -> ExitCode {
             c.export_hit_rate() * 100.0
         );
         eprintln!(
-            "phases: {:.3}s parse+export, {:.3}s check",
+            "phases: {:.3}s parse, {:.3}s export+check",
             report.phase1_secs, report.phase2_secs
         );
         if !d.is_clean() {

@@ -9,14 +9,19 @@
 //!
 //! Four layers, because the stages have different invalidation scopes:
 //!
-//! - **Parse layer** — keyed by `(content hash, parse limits)`. Holds
-//!   the unit's macro defines, line count, parse-stage diagnostics and
-//!   (in memory) the parsed [`TranslationUnit`] itself.
+//! - **Parse layer** — keyed by `(content hash, parse limits, seed-KB
+//!   fingerprint)`. Holds the unit's macro defines, line count,
+//!   parse-stage diagnostics, per-unit discovery facts
+//!   ([`UnitDiscovery`]), defined symbols, called names, and (in
+//!   memory) the parsed [`TranslationUnit`] itself. Discovery and the
+//!   symbol/call digests live here — not in the export layer — so the
+//!   cross-unit KB merge and the streaming scheduler's dependency graph
+//!   are available the moment parsing ends, before any graphs are
+//!   built.
 //! - **Export layer** — keyed by `(unit key, export config)`. Holds the
-//!   unit's phase-1 digest: its function-effect exports
-//!   ([`UnitExports`]) and its per-unit discovery facts
-//!   ([`UnitDiscovery`]). Both are whole-tree-independent, so editing
-//!   one file re-exports exactly that file.
+//!   unit's function-effect exports ([`UnitExports`]), which are
+//!   whole-tree-independent, so editing one file re-exports exactly
+//!   that file.
 //! - **Discovery layer** — keyed by a *tree fingerprint* folding every
 //!   unit's key, so touching any file re-runs the cross-unit discovery
 //!   *merge* (cheap — it folds cached per-unit facts, no ASTs). Holds
@@ -30,17 +35,35 @@
 //!   else. A KB change (new discovered API) still invalidates every
 //!   unit, as it must — any unit might call the new API.
 //!
-//! With [`AuditCache::with_dir`] the check and discovery layers persist
-//! across processes as JSON (ASTs are not serialized; the parse layer
-//! persists its *metadata* only). A fully-warm disk cache therefore
-//! still skips lexing, parsing and checking outright. The trade-off: a
-//! disk-warm run that *does* need discovery re-run (one file changed)
-//! must re-parse units whose ASTs were not kept in memory.
+//! # Persistence: `audit-cache.bin`
+//!
+//! With [`AuditCache::with_dir`] the layers persist across processes in
+//! a length-prefixed binary container (ASTs are never serialized; the
+//! parse layer persists its *metadata* only):
+//!
+//! ```text
+//! magic "RFMCACHE" · version u64 · checksum u64   (24-byte header)
+//! body: 4 sections (parse, export, check, discovery), each
+//!       count u64, then per entry: key u64 [+ kb u64 for check],
+//!       payload-length u64, payload bytes (see crate::binfmt)
+//! ```
+//!
+//! The checksum is FNV-1a over the body. Loading validates the header
+//! and walks the section *framing* only — payload bytes are indexed,
+//! not decoded — so a warm start costs one read plus O(entries) pointer
+//! arithmetic, and each entry deserializes lazily on first use
+//! ([`Slot`]). Saving copies still-undecoded payloads byte-for-byte
+//! from the loaded buffer, so a warm save doesn't re-encode what it
+//! never touched. The same atomic temp-file + rename publish and
+//! quarantine-on-corruption self-healing as the JSON era apply, through
+//! the same `refminer-faultio` seams.
 //!
 //! Keys fold in every configuration input that can change the stage's
 //! output — resource limits, the nesting threshold, the checker-set
 //! fingerprint, the builtin-KB fingerprint — so a stale cache can be
-//! *unused*, never *wrong*.
+//! *unused*, never *wrong*. The same holds one level down: a corrupt
+//! payload (possible only past a checksum collision) fails to decode
+//! and degrades to a cache miss.
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -56,6 +79,7 @@ use refminer_rcapi::{
 };
 
 use crate::audit::{AuditConfig, UnitErrorKind};
+use crate::binfmt;
 
 // ----------------------------------------------------------------------
 // Hashing and fingerprints.
@@ -92,13 +116,24 @@ pub fn mix(h: u64, word: u64) -> u64 {
     h
 }
 
-/// Fingerprint of the parse-stage configuration.
+/// On-format version of the parse layer; bump when parse-time
+/// extraction changes what a [`ParsedUnit`] carries.
+/// v2: parse entries hold per-unit discovery, defined symbols and
+/// called names (moved out of the export layer so the KB merge and the
+/// streaming scheduler's dependency graph need no graphs).
+const PARSE_VERSION: u64 = 2;
+
+/// Fingerprint of the parse-stage configuration. Folds the builtin
+/// seed KB because per-unit discovery (now computed at parse time)
+/// classifies against it.
 pub fn parse_config_fingerprint(config: &AuditConfig) -> u64 {
     let l = &config.limits;
     let mut h = FNV_OFFSET;
+    h = mix(h, PARSE_VERSION);
     h = mix(h, l.max_file_bytes as u64);
     h = mix(h, l.max_tokens as u64);
     h = mix(h, l.max_parse_depth as u64);
+    h = mix(h, kb_fingerprint(&ApiKb::builtin()));
     h
 }
 
@@ -135,12 +170,13 @@ pub fn check_config_fingerprint(config: &AuditConfig) -> u64 {
 }
 
 /// On-format version of the export layer; bump when the extraction
-/// logic changes what a [`UnitExports`] or [`UnitDiscovery`] contains.
-const EXPORT_VERSION: u64 = 1;
+/// logic changes what a [`UnitExports`] contains.
+/// v2: discovery facts moved to the parse layer; export entries are
+/// function-effect exports only.
+const EXPORT_VERSION: u64 = 2;
 
 /// Fingerprint of the export-stage (phase 1) configuration. Folds the
-/// builtin seed KB because per-unit discovery classifies against it,
-/// and the graph cap because exports are read off built graphs.
+/// graph cap because exports are read off built graphs.
 pub fn export_config_fingerprint(config: &AuditConfig) -> u64 {
     let mut h = FNV_OFFSET;
     h = mix(h, EXPORT_VERSION);
@@ -196,16 +232,14 @@ pub struct ParsedUnit {
     /// Source lines in the unit (0 for oversize-skipped units, which
     /// never count toward the audit's line total).
     pub lines: usize,
-}
-
-/// The export stage's (phase 1) result for one unit: everything the
-/// whole-program merge needs, with no AST attached.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ExportedUnit {
-    /// Function-effect exports for the program database.
-    pub exports: UnitExports,
-    /// Per-unit discovery facts for the cross-unit merge.
+    /// Per-unit discovery facts for the cross-unit KB merge.
     pub discovery: UnitDiscovery,
+    /// `(name, is_static)` of every function *defined* in the unit, in
+    /// source order — the supply side of the dependency graph.
+    pub syms: Vec<(String, bool)>,
+    /// Names *called* anywhere in the unit, sorted and deduplicated —
+    /// the demand side of the dependency graph.
+    pub called: Vec<String>,
 }
 
 /// The check stage's result for one unit.
@@ -298,6 +332,74 @@ pub struct CacheStaleCounts {
 }
 
 // ----------------------------------------------------------------------
+// Lazy slots.
+// ----------------------------------------------------------------------
+
+/// One cache entry: either decoded ([`Slot::Mem`]) or still a byte
+/// range into the loaded file ([`Slot::Disk`]). Disk slots decode on
+/// first lookup and memoize; a save copies their bytes verbatim.
+#[derive(Debug)]
+enum Slot<T> {
+    Mem(Arc<T>),
+    Disk { off: usize, len: usize },
+}
+
+impl<T> Clone for Slot<T> {
+    fn clone(&self) -> Slot<T> {
+        match self {
+            Slot::Mem(v) => Slot::Mem(v.clone()),
+            Slot::Disk { off, len } => Slot::Disk {
+                off: *off,
+                len: *len,
+            },
+        }
+    }
+}
+
+/// Looks `key` up in a slot map, decoding and memoizing a disk slot on
+/// first touch. A payload that fails to decode (checksum-collision
+/// territory) is dropped — the lookup becomes a miss, never a wrong
+/// answer.
+fn slot_get<K: Eq + std::hash::Hash + Copy, T>(
+    map: &mut HashMap<K, Slot<T>>,
+    raw: &Option<Arc<Vec<u8>>>,
+    key: K,
+    decode: impl Fn(&[u8]) -> Option<T>,
+) -> Option<Arc<T>> {
+    let (off, len) = match map.get(&key)? {
+        Slot::Mem(v) => return Some(v.clone()),
+        Slot::Disk { off, len } => (*off, *len),
+    };
+    let bytes = raw.as_ref()?;
+    match decode(&bytes[off..off + len]) {
+        Some(v) => {
+            let arc = Arc::new(v);
+            map.insert(key, Slot::Mem(arc.clone()));
+            Some(arc)
+        }
+        None => {
+            map.remove(&key);
+            None
+        }
+    }
+}
+
+/// Decodes a slot without touching the map (for `&self` serializers).
+fn slot_peek<'a, T: Clone>(
+    slot: &'a Slot<T>,
+    raw: &Option<Arc<Vec<u8>>>,
+    decode: impl Fn(&[u8]) -> Option<T>,
+) -> Option<std::borrow::Cow<'a, T>> {
+    match slot {
+        Slot::Mem(v) => Some(std::borrow::Cow::Borrowed(&**v)),
+        Slot::Disk { off, len } => {
+            let bytes = raw.as_ref()?;
+            decode(&bytes[*off..*off + *len]).map(std::borrow::Cow::Owned)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // The cache proper.
 // ----------------------------------------------------------------------
 
@@ -309,7 +411,7 @@ pub enum CacheLoadOutcome {
     /// No cache file existed (or the cache is memory-only).
     #[default]
     Empty,
-    /// The file parsed and its entries were loaded.
+    /// The file validated and its entries were indexed.
     Loaded,
     /// The file was malformed or version-mismatched; it was renamed
     /// aside to the contained path and the cache rebuilt cold.
@@ -323,10 +425,12 @@ pub enum CacheLoadOutcome {
 /// and invalidation rules.
 #[derive(Debug, Default)]
 pub struct AuditCache {
-    parse: HashMap<u64, Arc<ParsedUnit>>,
-    export: HashMap<u64, Arc<ExportedUnit>>,
-    check: HashMap<(u64, u64), Arc<CheckedUnit>>,
-    discovery: HashMap<u64, Arc<ApiKb>>,
+    parse: HashMap<u64, Slot<ParsedUnit>>,
+    export: HashMap<u64, Slot<UnitExports>>,
+    check: HashMap<(u64, u64), Slot<CheckedUnit>>,
+    discovery: HashMap<u64, Slot<ApiKb>>,
+    /// The loaded cache file, backing every `Slot::Disk` byte range.
+    raw: Option<Arc<Vec<u8>>>,
     /// Counters for the current (or most recent) audit run; reset by
     /// each `audit_with_cache` call.
     pub stats: CacheStats,
@@ -335,7 +439,7 @@ pub struct AuditCache {
 }
 
 /// File name of the persisted cache inside `--cache-dir`.
-pub const CACHE_FILE: &str = "audit-cache.json";
+pub const CACHE_FILE: &str = "audit-cache.bin";
 
 /// Suffix appended to [`CACHE_FILE`] when a corrupt cache is
 /// quarantined — renamed aside for post-mortem instead of deleted.
@@ -343,8 +447,15 @@ pub const QUARANTINE_SUFFIX: &str = ".corrupt";
 
 /// On-disk format version; bump on any incompatible change. A file
 /// with a different version is ignored wholesale.
-/// v3: findings carry `feasibility` and `checkers` fields.
-const CACHE_VERSION: u64 = 3;
+/// v4: binary container replaces the JSON document; parse entries
+/// carry discovery/syms/called; export entries are exports-only.
+const CACHE_VERSION: u64 = 4;
+
+/// First bytes of every cache file; anything else is not ours.
+const MAGIC: [u8; 8] = *b"RFMCACHE";
+
+/// Header = magic + version + checksum.
+const HEADER_LEN: usize = 24;
 
 impl AuditCache {
     /// An empty, memory-only cache.
@@ -353,10 +464,10 @@ impl AuditCache {
     }
 
     /// A cache persisted under `dir`, pre-loaded from
-    /// `dir/audit-cache.json` when that file exists and parses. A
+    /// `dir/audit-cache.bin` when that file exists and validates. A
     /// missing file yields an empty cache; a *corrupt* file (truncated,
     /// bit-flipped, or from an incompatible version) is **quarantined**
-    /// — renamed aside to `audit-cache.json.corrupt` for post-mortem —
+    /// — renamed aside to `audit-cache.bin.corrupt` for post-mortem —
     /// and the cache rebuilds cold. Persistence failures degrade to
     /// cold runs, never to errors; [`AuditCache::load_outcome`] reports
     /// what happened.
@@ -364,13 +475,9 @@ impl AuditCache {
         let dir = dir.into();
         let mut cache = AuditCache::new();
         let file = dir.join(CACHE_FILE);
-        match refminer_faultio::read_to_string(&file) {
-            Ok(text) => {
-                let loaded = Value::parse(&text)
-                    .ok()
-                    .map(|v| cache.load_from(&v))
-                    .unwrap_or(false);
-                if loaded {
+        match refminer_faultio::read(&file) {
+            Ok(bytes) => {
+                if cache.load_bytes(bytes) {
                     cache.load_outcome = CacheLoadOutcome::Loaded;
                 } else {
                     // Corrupt: quarantine it so the broken generation is
@@ -407,6 +514,7 @@ impl AuditCache {
         self.export.clear();
         self.check.clear();
         self.discovery.clear();
+        self.raw = None;
     }
 
     /// Resets the per-run hit/miss counters.
@@ -416,7 +524,7 @@ impl AuditCache {
 
     /// Parse-layer lookup; counts a hit.
     pub(crate) fn parse_get(&mut self, key: u64) -> Option<Arc<ParsedUnit>> {
-        let hit = self.parse.get(&key).cloned();
+        let hit = slot_get(&mut self.parse, &self.raw, key, binfmt::decode_parsed);
         if hit.is_some() {
             self.stats.parse_hits += 1;
         }
@@ -427,13 +535,13 @@ impl AuditCache {
     pub(crate) fn parse_put(&mut self, key: u64, unit: ParsedUnit) -> Arc<ParsedUnit> {
         self.stats.parse_misses += 1;
         let arc = Arc::new(unit);
-        self.parse.insert(key, arc.clone());
+        self.parse.insert(key, Slot::Mem(arc.clone()));
         arc
     }
 
     /// Export-layer lookup; counts a hit.
-    pub(crate) fn export_get(&mut self, key: u64) -> Option<Arc<ExportedUnit>> {
-        let hit = self.export.get(&key).cloned();
+    pub(crate) fn export_get(&mut self, key: u64) -> Option<Arc<UnitExports>> {
+        let hit = slot_get(&mut self.export, &self.raw, key, binfmt::decode_exports);
         if hit.is_some() {
             self.stats.export_hits += 1;
         }
@@ -441,16 +549,28 @@ impl AuditCache {
     }
 
     /// Export-layer insert; counts the miss that required it.
-    pub(crate) fn export_put(&mut self, key: u64, unit: ExportedUnit) -> Arc<ExportedUnit> {
+    pub(crate) fn export_put(&mut self, key: u64, unit: UnitExports) -> Arc<UnitExports> {
         self.stats.export_misses += 1;
         let arc = Arc::new(unit);
-        self.export.insert(key, arc.clone());
+        self.export.insert(key, Slot::Mem(arc.clone()));
         arc
+    }
+
+    /// Export-layer insert of an already-shared digest (the streaming
+    /// scheduler hands exports back as `Arc`s); counts the miss.
+    pub(crate) fn export_put_arc(&mut self, key: u64, unit: Arc<UnitExports>) {
+        self.stats.export_misses += 1;
+        self.export.insert(key, Slot::Mem(unit));
     }
 
     /// Check-layer lookup; counts a hit.
     pub(crate) fn check_get(&mut self, unit_key: u64, kb_fp: u64) -> Option<Arc<CheckedUnit>> {
-        let hit = self.check.get(&(unit_key, kb_fp)).cloned();
+        let hit = slot_get(
+            &mut self.check,
+            &self.raw,
+            (unit_key, kb_fp),
+            binfmt::decode_checked,
+        );
         if hit.is_some() {
             self.stats.check_hits += 1;
         }
@@ -466,13 +586,29 @@ impl AuditCache {
     ) -> Arc<CheckedUnit> {
         self.stats.check_misses += 1;
         let arc = Arc::new(unit);
-        self.check.insert((unit_key, kb_fp), arc.clone());
+        self.check.insert((unit_key, kb_fp), Slot::Mem(arc.clone()));
         arc
+    }
+
+    /// An immutable snapshot of the check layer that worker threads can
+    /// probe concurrently while the streaming scheduler runs. Cheap:
+    /// clones the slot map (Arcs and byte ranges), not the payloads.
+    pub(crate) fn check_snapshot(&self) -> CheckSnapshot {
+        CheckSnapshot {
+            map: self.check.clone(),
+            raw: self.raw.clone(),
+        }
+    }
+
+    /// Re-inserts a snapshot hit as a decoded entry (no stat counting —
+    /// the caller accounts hits when it takes them from the snapshot).
+    pub(crate) fn check_memoize(&mut self, unit_key: u64, kb_fp: u64, unit: Arc<CheckedUnit>) {
+        self.check.insert((unit_key, kb_fp), Slot::Mem(unit));
     }
 
     /// Discovery-layer lookup; counts a hit.
     pub(crate) fn discovery_get(&mut self, tree_fp: u64) -> Option<Arc<ApiKb>> {
-        let hit = self.discovery.get(&tree_fp).cloned();
+        let hit = slot_get(&mut self.discovery, &self.raw, tree_fp, binfmt::decode_kb);
         if hit.is_some() {
             self.stats.discovery_hits += 1;
         }
@@ -483,7 +619,7 @@ impl AuditCache {
     pub(crate) fn discovery_put(&mut self, tree_fp: u64, kb: ApiKb) -> Arc<ApiKb> {
         self.stats.discovery_misses += 1;
         let arc = Arc::new(kb);
-        self.discovery.insert(tree_fp, arc.clone());
+        self.discovery.insert(tree_fp, Slot::Mem(arc.clone()));
         arc
     }
 
@@ -503,110 +639,6 @@ impl AuditCache {
             && self.export.is_empty()
             && self.check.is_empty()
             && self.discovery.is_empty()
-    }
-
-    /// Writes the persistable layers to `dir/audit-cache.json`. A
-    /// no-op for memory-only caches.
-    pub fn save(&self) -> std::io::Result<()> {
-        let Some(dir) = &self.dir else {
-            return Ok(());
-        };
-        refminer_faultio::create_dir_all(dir)?;
-        let mut parse: Vec<(u64, &Arc<ParsedUnit>)> =
-            self.parse.iter().map(|(k, v)| (*k, v)).collect();
-        parse.sort_by_key(|(k, _)| *k);
-        let mut export: Vec<(u64, &Arc<ExportedUnit>)> =
-            self.export.iter().map(|(k, v)| (*k, v)).collect();
-        export.sort_by_key(|(k, _)| *k);
-        let mut check: Vec<(&(u64, u64), &Arc<CheckedUnit>)> = self.check.iter().collect();
-        check.sort_by_key(|(k, _)| **k);
-        let mut disc: Vec<(u64, &Arc<ApiKb>)> =
-            self.discovery.iter().map(|(k, v)| (*k, v)).collect();
-        disc.sort_by_key(|(k, _)| *k);
-
-        let doc = obj([
-            ("version", CACHE_VERSION.to_json()),
-            (
-                "parse",
-                Value::Arr(
-                    parse
-                        .iter()
-                        .map(|(k, p)| {
-                            obj([
-                                ("key", hex(*k)),
-                                ("parsed_ok", p.parsed_ok.to_json()),
-                                ("lines", p.lines.to_json()),
-                                ("errors", errors_to_json(&p.errors)),
-                                (
-                                    "defines",
-                                    Value::Arr(p.defines.iter().map(macro_to_json).collect()),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "export",
-                Value::Arr(
-                    export
-                        .iter()
-                        .map(|(k, e)| {
-                            obj([
-                                ("key", hex(*k)),
-                                ("exports", unit_exports_to_json(&e.exports)),
-                                ("discovery", unit_discovery_to_json(&e.discovery)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "check",
-                Value::Arr(
-                    check
-                        .iter()
-                        .map(|((uk, kb), c)| {
-                            obj([
-                                ("unit", hex(*uk)),
-                                ("kb", hex(*kb)),
-                                ("functions", c.functions.to_json()),
-                                ("findings", c.findings.to_json()),
-                                ("errors", errors_to_json(&c.errors)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "discovery",
-                Value::Arr(
-                    disc.iter()
-                        .map(|(k, kb)| obj([("tree", hex(*k)), ("kb", kb_to_json(kb))]))
-                        .collect(),
-                ),
-            ),
-        ]);
-        // Atomic replace: write a temp file in the same directory and
-        // rename it over the live cache, so an interrupted or
-        // concurrent save leaves either the old or the new file on
-        // disk — never a truncated one. The temp name is unique per
-        // process *and* per save, so concurrent saves (even in-process)
-        // race only at the (atomic) rename.
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}.{seq}", std::process::id()));
-        let text = doc.to_string();
-        // Writes and the publishing rename go through the fault seam,
-        // so an injected torn write or rename failure exercises exactly
-        // the states a mid-save kill leaves behind.
-        if let Err(e) = refminer_faultio::write(&tmp, &text) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e);
-        }
-        refminer_faultio::rename(&tmp, dir.join(CACHE_FILE)).inspect_err(|_| {
-            let _ = std::fs::remove_file(&tmp);
-        })
     }
 
     /// Counts entries that this run could never address — leftovers
@@ -641,10 +673,303 @@ impl AuditCache {
         }
     }
 
-    /// Merges a parsed cache file into the in-memory maps, skipping
-    /// anything malformed. Returns `false` — quarantine the file — when
-    /// the version tag is missing or incompatible.
-    fn load_from(&mut self, v: &Value) -> bool {
+    // ------------------------------------------------------------------
+    // Binary persistence.
+    // ------------------------------------------------------------------
+
+    /// Serializes every layer into the binary container. Entries are
+    /// written in sorted key order, so equal caches produce equal
+    /// files; still-undecoded disk slots are copied byte-for-byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+
+        let mut parse: Vec<(u64, &Slot<ParsedUnit>)> =
+            self.parse.iter().map(|(k, v)| (*k, v)).collect();
+        parse.sort_by_key(|(k, _)| *k);
+        binfmt::put_u64(&mut body, parse.len() as u64);
+        for (k, slot) in parse {
+            binfmt::put_u64(&mut body, k);
+            self.put_payload(&mut body, slot, binfmt::encode_parsed);
+        }
+
+        let mut export: Vec<(u64, &Slot<UnitExports>)> =
+            self.export.iter().map(|(k, v)| (*k, v)).collect();
+        export.sort_by_key(|(k, _)| *k);
+        binfmt::put_u64(&mut body, export.len() as u64);
+        for (k, slot) in export {
+            binfmt::put_u64(&mut body, k);
+            self.put_payload(&mut body, slot, binfmt::encode_exports);
+        }
+
+        let mut check: Vec<(&(u64, u64), &Slot<CheckedUnit>)> = self.check.iter().collect();
+        check.sort_by_key(|(k, _)| **k);
+        binfmt::put_u64(&mut body, check.len() as u64);
+        for ((uk, kb), slot) in check {
+            binfmt::put_u64(&mut body, *uk);
+            binfmt::put_u64(&mut body, *kb);
+            self.put_payload(&mut body, slot, binfmt::encode_checked);
+        }
+
+        let mut disc: Vec<(u64, &Slot<ApiKb>)> =
+            self.discovery.iter().map(|(k, v)| (*k, v)).collect();
+        disc.sort_by_key(|(k, _)| *k);
+        binfmt::put_u64(&mut body, disc.len() as u64);
+        for (k, slot) in disc {
+            binfmt::put_u64(&mut body, k);
+            self.put_payload(&mut body, slot, binfmt::encode_kb);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        out.extend_from_slice(&MAGIC);
+        binfmt::put_u64(&mut out, CACHE_VERSION);
+        binfmt::put_u64(&mut out, fnv1a(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Writes one length-prefixed payload: decoded slots re-encode,
+    /// disk slots copy their raw bytes (same version, same layout).
+    fn put_payload<T>(
+        &self,
+        body: &mut Vec<u8>,
+        slot: &Slot<T>,
+        encode: impl Fn(&mut Vec<u8>, &T),
+    ) {
+        match slot {
+            Slot::Mem(v) => {
+                let at = body.len();
+                binfmt::put_u64(body, 0); // placeholder
+                encode(body, v);
+                let len = (body.len() - at - 8) as u64;
+                body[at..at + 8].copy_from_slice(&len.to_le_bytes());
+            }
+            Slot::Disk { off, len } => {
+                let raw = self.raw.as_ref().expect("disk slot without backing file");
+                binfmt::put_u64(body, *len as u64);
+                body.extend_from_slice(&raw[*off..*off + *len]);
+            }
+        }
+    }
+
+    /// Validates a cache file and indexes its entries as lazy disk
+    /// slots — payloads are *not* decoded here. Returns `false` (caller
+    /// quarantines) on a bad magic, a version mismatch, a checksum
+    /// mismatch, or malformed framing.
+    pub fn load_bytes(&mut self, bytes: Vec<u8>) -> bool {
+        if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+            return false;
+        }
+        let version = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if version != CACHE_VERSION {
+            return false;
+        }
+        let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        if fnv1a(&bytes[HEADER_LEN..]) != checksum {
+            return false;
+        }
+
+        // Walk the framing, recording byte ranges. Any structural
+        // violation rejects the whole file.
+        let mut parse = Vec::new();
+        let mut export = Vec::new();
+        let mut check = Vec::new();
+        let mut disc = Vec::new();
+        let ok = (|| {
+            let mut d = binfmt::Dec::new(&bytes);
+            d.skip(HEADER_LEN)?;
+            for _ in 0..d.u64()? {
+                let key = d.u64()?;
+                let len = d.u64()? as usize;
+                let off = d.pos();
+                d.skip(len)?;
+                parse.push((key, off, len));
+            }
+            for _ in 0..d.u64()? {
+                let key = d.u64()?;
+                let len = d.u64()? as usize;
+                let off = d.pos();
+                d.skip(len)?;
+                export.push((key, off, len));
+            }
+            for _ in 0..d.u64()? {
+                let uk = d.u64()?;
+                let kb = d.u64()?;
+                let len = d.u64()? as usize;
+                let off = d.pos();
+                d.skip(len)?;
+                check.push(((uk, kb), off, len));
+            }
+            for _ in 0..d.u64()? {
+                let key = d.u64()?;
+                let len = d.u64()? as usize;
+                let off = d.pos();
+                d.skip(len)?;
+                disc.push((key, off, len));
+            }
+            d.is_done().then_some(())
+        })()
+        .is_some();
+        if !ok {
+            return false;
+        }
+
+        for (k, off, len) in parse {
+            self.parse.insert(k, Slot::Disk { off, len });
+        }
+        for (k, off, len) in export {
+            self.export.insert(k, Slot::Disk { off, len });
+        }
+        for (k, off, len) in check {
+            self.check.insert(k, Slot::Disk { off, len });
+        }
+        for (k, off, len) in disc {
+            self.discovery.insert(k, Slot::Disk { off, len });
+        }
+        self.raw = Some(Arc::new(bytes));
+        true
+    }
+
+    /// Writes the persistable layers to `dir/audit-cache.bin`. A
+    /// no-op for memory-only caches.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        refminer_faultio::create_dir_all(dir)?;
+        let bytes = self.to_bytes();
+        // Atomic replace: write a temp file in the same directory and
+        // rename it over the live cache, so an interrupted or
+        // concurrent save leaves either the old or the new file on
+        // disk — never a truncated one. The temp name is unique per
+        // process *and* per save, so concurrent saves (even in-process)
+        // race only at the (atomic) rename.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}.{seq}", std::process::id()));
+        // Writes and the publishing rename go through the fault seam,
+        // so an injected torn write or rename failure exercises exactly
+        // the states a mid-save kill leaves behind.
+        if let Err(e) = refminer_faultio::write(&tmp, &bytes) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        refminer_faultio::rename(&tmp, dir.join(CACHE_FILE)).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // JSON interchange (kept for the bench baseline and debugging).
+    // ------------------------------------------------------------------
+
+    /// Serializes every layer as the JSON-era cache document. This is
+    /// no longer the persistence format — it exists so benchpipe can
+    /// measure binary-vs-JSON load honestly on identical content, and
+    /// as a human-readable dump. Disk slots are decoded transiently.
+    pub fn to_json_doc(&self) -> Value {
+        let mut parse: Vec<(u64, &Slot<ParsedUnit>)> =
+            self.parse.iter().map(|(k, v)| (*k, v)).collect();
+        parse.sort_by_key(|(k, _)| *k);
+        let mut export: Vec<(u64, &Slot<UnitExports>)> =
+            self.export.iter().map(|(k, v)| (*k, v)).collect();
+        export.sort_by_key(|(k, _)| *k);
+        let mut check: Vec<(&(u64, u64), &Slot<CheckedUnit>)> = self.check.iter().collect();
+        check.sort_by_key(|(k, _)| **k);
+        let mut disc: Vec<(u64, &Slot<ApiKb>)> =
+            self.discovery.iter().map(|(k, v)| (*k, v)).collect();
+        disc.sort_by_key(|(k, _)| *k);
+
+        obj([
+            ("version", CACHE_VERSION.to_json()),
+            (
+                "parse",
+                Value::Arr(
+                    parse
+                        .iter()
+                        .filter_map(|(k, slot)| {
+                            let p = slot_peek(slot, &self.raw, binfmt::decode_parsed)?;
+                            Some(obj([
+                                ("key", hex(*k)),
+                                ("parsed_ok", p.parsed_ok.to_json()),
+                                ("lines", p.lines.to_json()),
+                                ("errors", errors_to_json(&p.errors)),
+                                (
+                                    "defines",
+                                    Value::Arr(p.defines.iter().map(macro_to_json).collect()),
+                                ),
+                                ("discovery", unit_discovery_to_json(&p.discovery)),
+                                (
+                                    "syms",
+                                    Value::Arr(
+                                        p.syms
+                                            .iter()
+                                            .map(|(n, s)| {
+                                                obj([
+                                                    ("name", n.to_json()),
+                                                    ("static", s.to_json()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                ("called", p.called.to_json()),
+                            ]))
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "export",
+                Value::Arr(
+                    export
+                        .iter()
+                        .filter_map(|(k, slot)| {
+                            let e = slot_peek(slot, &self.raw, binfmt::decode_exports)?;
+                            Some(obj([
+                                ("key", hex(*k)),
+                                ("exports", unit_exports_to_json(&e)),
+                            ]))
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "check",
+                Value::Arr(
+                    check
+                        .iter()
+                        .filter_map(|((uk, kb), slot)| {
+                            let c = slot_peek(slot, &self.raw, binfmt::decode_checked)?;
+                            Some(obj([
+                                ("unit", hex(*uk)),
+                                ("kb", hex(*kb)),
+                                ("functions", c.functions.to_json()),
+                                ("findings", c.findings.to_json()),
+                                ("errors", errors_to_json(&c.errors)),
+                            ]))
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "discovery",
+                Value::Arr(
+                    disc.iter()
+                        .filter_map(|(k, slot)| {
+                            let kb = slot_peek(slot, &self.raw, binfmt::decode_kb)?;
+                            Some(obj([("tree", hex(*k)), ("kb", kb_to_json(&kb))]))
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Merges a JSON cache document into the in-memory maps, skipping
+    /// anything malformed. Returns `false` when the version tag is
+    /// missing or incompatible. The JSON-era counterpart of
+    /// [`AuditCache::load_bytes`], kept for the bench baseline.
+    pub fn load_json_doc(&mut self, v: &Value) -> bool {
         if v.get("version").and_then(Value::as_u64) != Some(CACHE_VERSION) {
             return false;
         }
@@ -664,15 +989,46 @@ impl AuditCache {
                 .and_then(Value::as_array)
                 .map(|a| a.iter().filter_map(macro_from_json).collect());
             let Some(defines) = defines else { continue };
+            let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json) else {
+                continue;
+            };
+            let syms: Option<Vec<(String, bool)>> = entry
+                .get("syms")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .map(|s| {
+                            Some((
+                                s.get("name")?.as_str()?.to_string(),
+                                s.get("static")?.as_bool()?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or(None);
+            let Some(syms) = syms else { continue };
+            let called: Option<Vec<String>> = entry
+                .get("called")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .map(|c| c.as_str().map(str::to_string))
+                        .collect::<Option<_>>()
+                })
+                .unwrap_or(None);
+            let Some(called) = called else { continue };
             self.parse.insert(
                 key,
-                Arc::new(ParsedUnit {
+                Slot::Mem(Arc::new(ParsedUnit {
                     tu: None,
                     parsed_ok,
                     defines,
                     errors,
                     lines,
-                }),
+                    discovery,
+                    syms,
+                    called,
+                })),
             );
         }
         for entry in v.get("export").and_then(Value::as_array).unwrap_or(&[]) {
@@ -682,11 +1038,7 @@ impl AuditCache {
             let Some(exports) = entry.get("exports").and_then(unit_exports_from_json) else {
                 continue;
             };
-            let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json) else {
-                continue;
-            };
-            self.export
-                .insert(key, Arc::new(ExportedUnit { exports, discovery }));
+            self.export.insert(key, Slot::Mem(Arc::new(exports)));
         }
         for entry in v.get("check").and_then(Value::as_array).unwrap_or(&[]) {
             let (Some(uk), Some(kb)) = (
@@ -707,11 +1059,11 @@ impl AuditCache {
             };
             self.check.insert(
                 (uk, kb),
-                Arc::new(CheckedUnit {
+                Slot::Mem(Arc::new(CheckedUnit {
                     findings,
                     functions,
                     errors,
-                }),
+                })),
             );
         }
         for entry in v.get("discovery").and_then(Value::as_array).unwrap_or(&[]) {
@@ -721,9 +1073,30 @@ impl AuditCache {
             let Some(kb) = entry.get("kb").and_then(kb_from_json) else {
                 continue;
             };
-            self.discovery.insert(tree, Arc::new(kb));
+            self.discovery.insert(tree, Slot::Mem(Arc::new(kb)));
         }
         true
+    }
+}
+
+/// A point-in-time, thread-shareable view of the check layer. Workers
+/// in the streaming scheduler probe it without locking the cache;
+/// `get` decodes disk slots transiently (the owning cache memoizes via
+/// [`AuditCache::check_memoize`] when the caller reports the hit).
+pub(crate) struct CheckSnapshot {
+    map: HashMap<(u64, u64), Slot<CheckedUnit>>,
+    raw: Option<Arc<Vec<u8>>>,
+}
+
+impl CheckSnapshot {
+    pub(crate) fn get(&self, unit_key: u64, kb_fp: u64) -> Option<Arc<CheckedUnit>> {
+        match self.map.get(&(unit_key, kb_fp))? {
+            Slot::Mem(v) => Some(v.clone()),
+            Slot::Disk { off, len } => {
+                let bytes = self.raw.as_ref()?;
+                binfmt::decode_checked(&bytes[*off..*off + *len]).map(Arc::new)
+            }
+        }
     }
 }
 
@@ -1124,6 +1497,29 @@ pub fn kb_from_json(v: &Value) -> Option<ApiKb> {
 mod tests {
     use super::*;
 
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "refminer-cache-test-{}-{:x}",
+            std::process::id(),
+            content_hash(tag)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn parsed(lines: usize) -> ParsedUnit {
+        ParsedUnit {
+            tu: None,
+            parsed_ok: true,
+            defines: Vec::new(),
+            errors: Vec::new(),
+            lines,
+            discovery: UnitDiscovery::default(),
+            syms: Vec::new(),
+            called: Vec::new(),
+        }
+    }
+
     #[test]
     fn fnv_vectors() {
         // Published FNV-1a test vectors.
@@ -1203,13 +1599,8 @@ mod tests {
     }
 
     #[test]
-    fn persists_and_reloads_check_and_discovery_layers() {
-        let dir = std::env::temp_dir().join(format!(
-            "refminer-cache-test-{}-{:x}",
-            std::process::id(),
-            content_hash("persists_and_reloads")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn persists_and_reloads_all_layers() {
+        let dir = test_dir("persists_and_reloads");
 
         let mut cache = AuditCache::with_dir(&dir);
         assert!(cache.is_empty());
@@ -1226,45 +1617,18 @@ mod tests {
             },
         );
         cache.discovery_put(11, ApiKb::builtin());
-        cache.parse_put(
-            5,
-            ParsedUnit {
-                tu: None,
-                parsed_ok: true,
-                defines: Vec::new(),
-                errors: Vec::new(),
-                lines: 40,
-            },
-        );
-        cache.save().expect("save");
-
-        let mut reloaded = AuditCache::with_dir(&dir);
-        let c = reloaded.check_get(7, 9).expect("check entry");
-        assert_eq!(c.functions, 4);
-        assert_eq!(c.errors[0].kind, UnitErrorKind::GraphBlowup);
-        let kb = reloaded.discovery_get(11).expect("discovery entry");
-        assert_eq!(kb_fingerprint(&kb), kb_fingerprint(&ApiKb::builtin()));
-        let p = reloaded.parse_get(5).expect("parse entry");
-        assert!(p.parsed_ok);
-        assert!(p.tu.is_none(), "ASTs must not round-trip through disk");
-        assert_eq!(p.lines, 40);
-        assert_eq!(reloaded.stats.check_hits, 1);
-        assert_eq!(reloaded.stats.parse_hits, 1);
-
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn export_layer_round_trips_through_disk() {
-        let dir = std::env::temp_dir().join(format!(
-            "refminer-cache-test-{}-{:x}",
-            std::process::id(),
-            content_hash("export_round_trip")
+        let mut p = parsed(40);
+        p.discovery.apis.push(RcApi::dec(
+            "widget_put",
+            RcClass::Specific,
+            ObjectFlow::Arg(0),
         ));
-        let _ = std::fs::remove_dir_all(&dir);
-
-        let exported = ExportedUnit {
-            exports: UnitExports {
+        p.syms = vec![("probe".into(), true)];
+        p.called = vec!["of_node_put".into()];
+        cache.parse_put(5, p);
+        cache.export_put(
+            13,
+            UnitExports {
                 path: "drivers/a/a.c".into(),
                 fns: vec![FnExport {
                     name: "helper_put".into(),
@@ -1276,27 +1640,27 @@ mod tests {
                     stores: vec![1],
                 }],
             },
-            discovery: UnitDiscovery {
-                structs: vec![StructFact {
-                    tag: "widget".into(),
-                    direct: true,
-                    embeds: vec!["inner".into()],
-                }],
-                apis: vec![RcApi::dec(
-                    "widget_put",
-                    RcClass::Specific,
-                    ObjectFlow::Arg(0),
-                )],
-            },
-        };
-
-        let mut cache = AuditCache::with_dir(&dir);
-        cache.export_put(13, exported.clone());
+        );
         cache.save().expect("save");
 
         let mut reloaded = AuditCache::with_dir(&dir);
+        assert_eq!(reloaded.load_outcome(), &CacheLoadOutcome::Loaded);
+        let c = reloaded.check_get(7, 9).expect("check entry");
+        assert_eq!(c.functions, 4);
+        assert_eq!(c.errors[0].kind, UnitErrorKind::GraphBlowup);
+        let kb = reloaded.discovery_get(11).expect("discovery entry");
+        assert_eq!(kb_fingerprint(&kb), kb_fingerprint(&ApiKb::builtin()));
+        let p = reloaded.parse_get(5).expect("parse entry");
+        assert!(p.parsed_ok);
+        assert!(p.tu.is_none(), "ASTs must not round-trip through disk");
+        assert_eq!(p.lines, 40);
+        assert_eq!(p.discovery.apis[0].name, "widget_put");
+        assert_eq!(p.syms, vec![("probe".to_string(), true)]);
+        assert_eq!(p.called, vec!["of_node_put".to_string()]);
         let e = reloaded.export_get(13).expect("export entry");
-        assert_eq!(*e, exported);
+        assert_eq!(e.fns[0].calls[0].callee, "of_node_put");
+        assert_eq!(reloaded.stats.check_hits, 1);
+        assert_eq!(reloaded.stats.parse_hits, 1);
         assert_eq!(reloaded.stats.export_hits, 1);
         assert!(reloaded.export_get(14).is_none());
         assert_eq!(reloaded.stats.export_misses, 0, "a miss is counted on put");
@@ -1311,6 +1675,10 @@ mod tests {
             export_config_fingerprint(&config),
             check_config_fingerprint(&config)
         );
+        assert_ne!(
+            export_config_fingerprint(&config),
+            parse_config_fingerprint(&config)
+        );
         let single_unit = AuditConfig {
             whole_program: false,
             ..AuditConfig::default()
@@ -1323,26 +1691,259 @@ mod tests {
     }
 
     #[test]
-    fn interrupted_save_leaves_old_or_new_cache_never_garbage() {
-        let dir = std::env::temp_dir().join(format!(
-            "refminer-cache-test-{}-{:x}",
-            std::process::id(),
-            content_hash("interrupted_save")
-        ));
+    fn binary_file_round_trips_and_resaves_byte_identically() {
+        // A reloaded cache whose disk slots were never decoded must
+        // re-serialize to the exact same bytes (raw-slice copy), and
+        // one that *was* fully decoded must too (deterministic codec).
+        let mut cache = AuditCache::new();
+        cache.parse_put(1, parsed(10));
+        cache.parse_put(2, parsed(20));
+        cache.check_put(3, 4, CheckedUnit::default());
+        cache.discovery_put(5, ApiKb::builtin());
+        let bytes = cache.to_bytes();
+
+        let mut lazy = AuditCache::new();
+        assert!(lazy.load_bytes(bytes.clone()));
+        assert_eq!(lazy.len(), (2, 0, 1, 1));
+        assert_eq!(lazy.to_bytes(), bytes, "undecoded resave is a byte copy");
+
+        lazy.parse_get(1);
+        lazy.parse_get(2);
+        lazy.check_get(3, 4);
+        lazy.discovery_get(5);
+        assert_eq!(lazy.to_bytes(), bytes, "decoded resave re-encodes equal");
+    }
+
+    #[test]
+    fn json_doc_carries_the_same_content_as_the_binary() {
+        let mut cache = AuditCache::new();
+        let mut p = parsed(17);
+        p.syms = vec![("f".into(), false)];
+        p.called = vec!["g".into()];
+        cache.parse_put(1, p);
+        cache.export_put(
+            2,
+            UnitExports {
+                path: "a.c".into(),
+                fns: Vec::new(),
+            },
+        );
+        cache.discovery_put(3, ApiKb::builtin());
+
+        let doc = cache.to_json_doc();
+        let mut back = AuditCache::new();
+        assert!(back.load_json_doc(&doc));
+        assert_eq!(back.to_bytes(), cache.to_bytes());
+    }
+
+    #[test]
+    fn old_version_is_rejected_as_cold_never_wrong() {
+        let dir = test_dir("version_bump");
+        let mut cache = AuditCache::with_dir(&dir);
+        cache.parse_put(1, parsed(10));
+        cache.save().unwrap();
+
+        // Rewind the version field. The checksum covers the body only,
+        // so the file still checksums clean — rejection must come from
+        // the version gate alone.
+        let live = dir.join(CACHE_FILE);
+        let mut bytes = std::fs::read(&live).unwrap();
+        bytes[8..16].copy_from_slice(&(CACHE_VERSION - 1).to_le_bytes());
+        std::fs::write(&live, &bytes).unwrap();
+
+        let mut old = AuditCache::with_dir(&dir);
+        assert!(
+            matches!(old.load_outcome(), CacheLoadOutcome::Quarantined(_)),
+            "old version must go cold, got {:?}",
+            old.load_outcome()
+        );
+        assert!(old.is_empty());
+        assert!(old.parse_get(1).is_none());
         let _ = std::fs::remove_dir_all(&dir);
-        let entry = |lines: usize| ParsedUnit {
-            tu: None,
-            parsed_ok: true,
-            defines: Vec::new(),
-            errors: Vec::new(),
-            lines,
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        // FNV-1a's per-byte step is a bijection of the running state,
+        // so any single-byte change to the body always changes the
+        // checksum; header damage trips the magic/version/checksum
+        // gates directly. Flip every byte (capped stride for speed) and
+        // require a cold load each time.
+        let mut cache = AuditCache::new();
+        cache.parse_put(1, parsed(10));
+        cache.check_put(2, 3, CheckedUnit::default());
+        let bytes = cache.to_bytes();
+        for i in 0..bytes.len() {
+            let mut dented = bytes.clone();
+            dented[i] ^= 0x20;
+            let mut c = AuditCache::new();
+            assert!(!c.load_bytes(dented), "byte {i} flip must reject");
+        }
+        // Truncations: every proper prefix must reject too.
+        for cut in 0..bytes.len() {
+            let mut c = AuditCache::new();
+            assert!(!c.load_bytes(bytes[..cut].to_vec()), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn seeded_cache_states_round_trip() {
+        // A deterministic mini-fuzzer: derive pseudo-random cache
+        // states from a seed and require encode→load→re-encode byte
+        // stability for each.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
         };
+        for round in 0..8 {
+            let mut cache = AuditCache::new();
+            for e in 0..(next() % 5) {
+                let mut p = parsed((next() % 1000) as usize);
+                p.parsed_ok = next() % 2 == 0;
+                for s in 0..(next() % 4) {
+                    p.syms
+                        .push((format!("fn_{round}_{e}_{s}"), next() % 2 == 0));
+                    p.called.push(format!("callee_{}", next() % 7));
+                }
+                if next() % 2 == 0 {
+                    p.errors.push(CachedError {
+                        kind: UnitErrorKind::all()
+                            [(next() % UnitErrorKind::all().len() as u64) as usize],
+                        detail: format!("detail {}", next()),
+                    });
+                }
+                cache.parse_put(next(), p);
+            }
+            for _ in 0..(next() % 4) {
+                let mut fns = Vec::new();
+                for f in 0..(next() % 3) {
+                    fns.push(FnExport {
+                        name: format!("exp_{f}"),
+                        is_static: next() % 2 == 0,
+                        calls: vec![CallSite {
+                            callee: format!("c_{}", next() % 5),
+                            args: vec![None, Some((next() % 4) as usize)],
+                        }],
+                        stores: vec![(next() % 3) as usize],
+                    });
+                }
+                cache.export_put(
+                    next(),
+                    UnitExports {
+                        path: format!("p{}.c", next() % 9),
+                        fns,
+                    },
+                );
+            }
+            for _ in 0..(next() % 4) {
+                let mut findings = Vec::new();
+                if next() % 2 == 0 {
+                    findings.push(Finding {
+                        pattern: AntiPattern::all()
+                            [(next() % AntiPattern::all().len() as u64) as usize],
+                        impact: [Impact::Leak, Impact::Uaf, Impact::Npd][(next() % 3) as usize],
+                        file: format!("f{}.c", next() % 3),
+                        function: format!("fn{}", next() % 3),
+                        line: (next() % 500) as u32,
+                        api: "of_node_get".into(),
+                        object: (next() % 2 == 0).then(|| "obj".to_string()),
+                        message: format!("m {}", next() % 100),
+                        feasibility: [
+                            refminer_checkers::Feasibility::Infeasible,
+                            refminer_checkers::Feasibility::Assumed,
+                            refminer_checkers::Feasibility::Proven,
+                        ][(next() % 3) as usize],
+                        checkers: vec!["C".into()],
+                    });
+                }
+                cache.check_put(
+                    next(),
+                    next(),
+                    CheckedUnit {
+                        findings,
+                        functions: (next() % 40) as usize,
+                        errors: Vec::new(),
+                    },
+                );
+            }
+            let bytes = cache.to_bytes();
+            let mut back = AuditCache::new();
+            assert!(back.load_bytes(bytes.clone()), "round {round} must load");
+            assert_eq!(back.len(), cache.len(), "round {round} entry counts");
+            assert_eq!(back.to_bytes(), bytes, "round {round} byte stability");
+            // And through the JSON doc as well.
+            let mut via_json = AuditCache::new();
+            assert!(via_json.load_json_doc(&cache.to_json_doc()));
+            assert_eq!(via_json.to_bytes(), bytes, "round {round} via JSON");
+        }
+    }
+
+    #[test]
+    fn torn_payload_degrades_to_a_miss_not_a_wrong_answer() {
+        // Corrupt one payload *and* fix up the checksum, simulating the
+        // checksum-collision worst case: the framing loads, but the
+        // poisoned entry must fail decode and vanish — a miss — while
+        // its neighbors stay servable.
+        let mut cache = AuditCache::new();
+        cache.parse_put(1, parsed(10));
+        cache.parse_put(2, parsed(20));
+        let mut bytes = cache.to_bytes();
+        // Body layout: count u64 | key=1 u64 | len u64 | payload ...
+        // The first payload byte is `parsed_ok`; any value > 1 cannot
+        // decode as a bool.
+        let first_payload = HEADER_LEN + 8 + 8 + 8;
+        bytes[first_payload] = 7;
+        let sum = fnv1a(&bytes[HEADER_LEN..]);
+        bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+
+        let mut c = AuditCache::new();
+        assert!(c.load_bytes(bytes));
+        assert_eq!(c.len().0, 2);
+        assert!(c.parse_get(1).is_none(), "poisoned entry must miss");
+        assert_eq!(c.len().0, 1, "poisoned entry is dropped");
+        assert_eq!(c.parse_get(2).expect("neighbor survives").lines, 20);
+        assert_eq!(c.stats.parse_hits, 1);
+    }
+
+    #[test]
+    fn check_snapshot_serves_disk_and_mem_slots() {
+        let mut cache = AuditCache::new();
+        cache.check_put(
+            1,
+            2,
+            CheckedUnit {
+                findings: Vec::new(),
+                functions: 6,
+                errors: Vec::new(),
+            },
+        );
+        let bytes = cache.to_bytes();
+        let mut reloaded = AuditCache::new();
+        assert!(reloaded.load_bytes(bytes));
+        let snap = reloaded.check_snapshot();
+        assert_eq!(snap.get(1, 2).expect("disk slot").functions, 6);
+        assert!(snap.get(9, 9).is_none());
+        // Memoizing a snapshot hit keeps the layer servable without
+        // counting a duplicate hit.
+        let arc = snap.get(1, 2).unwrap();
+        reloaded.check_memoize(1, 2, arc);
+        assert_eq!(reloaded.stats.check_hits, 0);
+        assert_eq!(reloaded.check_get(1, 2).unwrap().functions, 6);
+        assert_eq!(reloaded.stats.check_hits, 1);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_old_or_new_cache_never_garbage() {
+        let dir = test_dir("interrupted_save");
 
         // A first successful save: the old, valid generation.
         let mut cache = AuditCache::with_dir(&dir);
-        cache.parse_put(1, entry(11));
+        cache.parse_put(1, parsed(11));
         cache.save().unwrap();
-        let old = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        let old = std::fs::read(dir.join(CACHE_FILE)).unwrap();
         assert!(AuditCache::with_dir(&dir).parse_get(1).is_some());
 
         // A writer killed mid-write leaves only a truncated temp file;
@@ -1350,7 +1951,7 @@ mod tests {
         // complete old generation — never a garbage prefix.
         let killed = dir.join(format!("{CACHE_FILE}.tmp.{}.999", std::process::id()));
         std::fs::write(&killed, &old[..old.len() / 2]).unwrap();
-        assert_eq!(std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap(), old);
+        assert_eq!(std::fs::read(dir.join(CACHE_FILE)).unwrap(), old);
         assert!(AuditCache::with_dir(&dir).parse_get(1).is_some());
         std::fs::remove_file(&killed).unwrap();
 
@@ -1358,7 +1959,7 @@ mod tests {
         // generation and leaves no temp debris behind.
         let mut cache = AuditCache::with_dir(&dir);
         cache.parse_get(1);
-        cache.parse_put(2, entry(22));
+        cache.parse_put(2, parsed(22));
         cache.save().unwrap();
         let mut reloaded = AuditCache::with_dir(&dir);
         assert!(reloaded.parse_get(1).is_some());
@@ -1374,18 +1975,16 @@ mod tests {
 
     #[test]
     fn malformed_cache_file_is_ignored() {
-        let dir = std::env::temp_dir().join(format!(
-            "refminer-cache-test-{}-{:x}",
-            std::process::id(),
-            content_hash("malformed_cache_file")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = test_dir("malformed_cache_file");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(CACHE_FILE), "{not json").unwrap();
+        // Not even our magic (e.g. a leftover JSON-era cache).
+        std::fs::write(dir.join(CACHE_FILE), "{\"version\":3}").unwrap();
         let cache = AuditCache::with_dir(&dir);
         assert!(cache.is_empty());
-        // Wrong version: also ignored.
-        std::fs::write(dir.join(CACHE_FILE), r#"{"version":999}"#).unwrap();
+        // Right magic, garbage after it.
+        let mut junk = MAGIC.to_vec();
+        junk.extend_from_slice(&[0xab; 40]);
+        std::fs::write(dir.join(CACHE_FILE), &junk).unwrap();
         let cache = AuditCache::with_dir(&dir);
         assert!(cache.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
@@ -1395,12 +1994,7 @@ mod tests {
     fn corrupt_warm_cache_is_quarantined_and_rebuilds_cold() {
         use crate::{audit_with_cache, AuditConfig, Project};
 
-        let dir = std::env::temp_dir().join(format!(
-            "refminer-cache-test-{}-{:x}",
-            std::process::id(),
-            content_hash("quarantine_regression")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = test_dir("quarantine_regression");
 
         // Warm the cache with a real audit over a buggy source so the
         // post-quarantine rebuild has findings to compare against.
@@ -1430,11 +2024,9 @@ int widget_probe(struct widget *w)
         let aside = dir.join(format!("{CACHE_FILE}{QUARANTINE_SUFFIX}"));
         let good = std::fs::read(&live).unwrap();
 
-        // Corruption one: a single bit flip on the opening brace
-        // (0x7b -> 0x5b, '{' -> '['), structurally valid-looking JSON
-        // of the wrong shape.
+        // Corruption one: a single bit flip in the magic.
         let mut flipped = good.clone();
-        assert_eq!(flipped[0], b'{');
+        assert_eq!(flipped[0], b'R');
         flipped[0] ^= 0x20;
         std::fs::write(&live, &flipped).unwrap();
         let mut cache = AuditCache::with_dir(&dir);

@@ -21,20 +21,22 @@
 //! ```
 
 mod audit;
+mod binfmt;
 mod cache;
 pub mod cancel;
 mod eval;
 pub mod parallel;
 mod project;
 pub mod serve;
+mod stream;
 
 pub use audit::{
     audit, audit_cancellable, audit_traced, audit_with_cache, AuditConfig, AuditDiagnostics,
     AuditLimits, AuditReport, UnitDiagnostic, UnitErrorKind, UnitOutcome,
 };
 pub use cache::{
-    content_hash, kb_fingerprint, AuditCache, CacheLoadOutcome, CacheStats, ExportedUnit,
-    CACHE_FILE, QUARANTINE_SUFFIX,
+    content_hash, kb_fingerprint, AuditCache, CacheLoadOutcome, CacheStats, CACHE_FILE,
+    QUARANTINE_SUFFIX,
 };
 pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use eval::{evaluate, Counts, EvalReport, EvalRow};

@@ -1,0 +1,457 @@
+//! The streaming phase-1→phase-2 handoff.
+//!
+//! The barrier pipeline exports *every* unit, merges the program
+//! database, then checks every unit — so the fastest check waits for
+//! the slowest export. This module replaces the barrier with a
+//! dependency-aware scheduler: a unit becomes checkable the moment the
+//! function-effect exports of its *resolution closure* (itself plus
+//! every unit its calls could resolve into, transitively) are merged,
+//! so export and check work overlap on the worker pool instead of
+//! serializing.
+//!
+//! # Why a per-closure database is exact
+//!
+//! Checkers resolve helper effects through a [`ProgramDb`]. Resolution
+//! picks the unit's own definition first, else the first external
+//! definition in ascending unit order; summaries then run to their
+//! least fixed point (the round cap was removed for exactly this
+//! property). For a unit set *closed under resolution* and kept in
+//! ascending unit order, both the resolution choices and the fixpoint
+//! iterates are therefore identical to the global database's — any
+//! closed subset converges to the same summaries, the same
+//! `deps_fingerprint`, and byte-identical findings. The closure here is
+//! computed from the *AST-level* symbol/call digests captured at parse
+//! time, which over-approximate the export-level call facts (a faulted
+//! export loses calls, never gains them), so the closure is always
+//! closed under what the database will actually resolve.
+//!
+//! Units with very wide closures (hub callees defined in dozens of
+//! units, or closures past a size cap) degrade to the *full* set: they
+//! wait for the last export and share one global database — exactly
+//! the barrier pipeline, scoped to only the units that need it.
+//!
+//! Cache discipline matches the barrier path: workers only *read* the
+//! cache (through a lock-free [`CheckSnapshot`]); every insert happens
+//! on the calling thread after the pool joins — and after the
+//! cancellation check — so a cancelled streaming audit leaves the
+//! cache untouched, placeholders and all.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use refminer_checkers::{AntiPattern, ProgramDb, UnitExports};
+use refminer_cparse::ParseLimits;
+use refminer_rcapi::ApiKb;
+use refminer_trace::TraceHandle;
+
+use crate::audit::{check_one, export_one, AuditLimits};
+use crate::cache::{mix, CheckSnapshot, CheckedUnit, ParsedUnit};
+use crate::cancel::CancelToken;
+use crate::project::SourceUnit;
+
+/// A unit's resolution closure: the unit indices whose exports its
+/// checks can observe, or `All` when the closure degenerated to the
+/// whole tree (hub callee or size cap).
+#[derive(Debug, Clone)]
+enum Closure {
+    Units(Vec<usize>),
+    All,
+}
+
+/// Closure size past which a unit degrades to the shared global
+/// database — bounding per-check database builds.
+const MAX_CLOSURE: usize = 256;
+
+/// Definer count past which a callee name is treated as a hub: any
+/// caller degrades to the global database rather than pulling dozens
+/// of units into its closure.
+const MAX_DEFINERS: usize = 32;
+
+/// How one scheduled check resolved.
+pub(crate) enum CheckOutcome {
+    /// Served from the snapshot; the caller memoizes it and counts the
+    /// hit.
+    Hit(Arc<CheckedUnit>),
+    /// Computed fresh; the caller inserts it and counts the miss.
+    Miss(CheckedUnit),
+}
+
+/// Everything the scheduler needs, borrowed from the audit.
+pub(crate) struct StreamInput<'a> {
+    pub units: &'a [SourceUnit],
+    pub unit_keys: &'a [u64],
+    pub parsed: &'a [Option<Arc<ParsedUnit>>],
+    /// Per-unit export slots; cache hits pre-filled by the caller.
+    pub exported: Vec<Option<Arc<UnitExports>>>,
+    /// Unit indices whose exports must be computed.
+    pub export_todo: &'a [usize],
+    /// Units eligible for checking (parsed and inside the subsystem
+    /// filter).
+    pub check_todo: &'a [usize],
+    pub kb: &'a ApiKb,
+    /// `mix(kb_fingerprint, check_config_fingerprint)` — the first half
+    /// of every check key.
+    pub kb_fp: u64,
+    pub snapshot: CheckSnapshot,
+    pub whole_program: bool,
+    pub limits: &'a AuditLimits,
+    pub parse_limits: &'a ParseLimits,
+    pub only_patterns: Option<&'a [AntiPattern]>,
+    pub jobs: usize,
+    pub trace: &'a TraceHandle,
+    pub cancel: &'a CancelToken,
+}
+
+/// What the scheduler hands back for the caller to commit.
+pub(crate) struct StreamResult {
+    /// Every unit's exports (cache hits and fresh ones).
+    pub exported: Vec<Option<Arc<UnitExports>>>,
+    /// Indices of `export_todo` exports actually computed (for cache
+    /// insertion); equals `export_todo` unless cancelled.
+    pub new_exports: Vec<usize>,
+    /// `(unit, deps_fp, outcome)` per scheduled check that ran.
+    pub checks: Vec<(usize, u64, CheckOutcome)>,
+    /// Time from scheduler start until the last export landed — the
+    /// boundary the trace uses to present the overlapped window as
+    /// sequential "export" then "check" stages. Timing only.
+    pub exports_done: Duration,
+}
+
+/// Computes each check-eligible unit's resolution closure from the
+/// parse-layer symbol digests.
+///
+/// Edges go from a caller to **every** unit holding a non-`static`
+/// AST-level definition of a called name, not just the one resolution
+/// will pick: the database resolves over *exports*, and a unit whose
+/// export stage faulted contributes no functions, shifting resolution
+/// to a later definer — which the conservative edge set already
+/// contains. Own-unit (static) resolution needs no edge: a unit is
+/// always in its own closure.
+fn closures(
+    n: usize,
+    parsed: &[Option<Arc<ParsedUnit>>],
+    check_todo: &[usize],
+    whole_program: bool,
+) -> Vec<Option<Closure>> {
+    let mut out: Vec<Option<Closure>> = vec![None; n];
+    if !whole_program {
+        // Single-unit resolution: every closure is the unit itself.
+        for &i in check_todo {
+            out[i] = Some(Closure::Units(vec![i]));
+        }
+        return out;
+    }
+
+    // Name -> units with a non-static definition, in unit order.
+    let mut definers: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, p) in parsed.iter().enumerate() {
+        for (name, is_static) in &p.as_ref().unwrap().syms {
+            if !is_static {
+                definers.entry(name.as_str()).or_default().push(i);
+            }
+        }
+    }
+
+    for &i in check_todo {
+        let mut seen: Vec<usize> = vec![i];
+        let mut frontier: Vec<usize> = vec![i];
+        let mut all = false;
+        'grow: while let Some(j) = frontier.pop() {
+            for name in &parsed[j].as_ref().unwrap().called {
+                let Some(defs) = definers.get(name.as_str()) else {
+                    continue;
+                };
+                if defs.len() > MAX_DEFINERS {
+                    all = true;
+                    break 'grow;
+                }
+                for &d in defs {
+                    if !seen.contains(&d) {
+                        if seen.len() >= MAX_CLOSURE {
+                            all = true;
+                            break 'grow;
+                        }
+                        seen.push(d);
+                        frontier.push(d);
+                    }
+                }
+            }
+        }
+        out[i] = Some(if all {
+            Closure::All
+        } else {
+            seen.sort_unstable();
+            Closure::Units(seen)
+        });
+    }
+    out
+}
+
+enum Task {
+    Export(usize),
+    /// Check with a closed unit subset (exports cloned at dispatch).
+    Check(usize, Vec<Arc<UnitExports>>, Vec<usize>),
+    /// Check against the shared global database.
+    CheckAll(usize, Arc<ProgramDb>),
+    /// Build the global database, then re-enter the queue.
+    BuildFull,
+}
+
+struct State {
+    t0: Instant,
+    /// Set when the last pending export lands.
+    exports_done: Option<Duration>,
+    exported: Vec<Option<Arc<UnitExports>>>,
+    /// Pending export unit indices (popped LIFO; order is a scheduling
+    /// detail, results are index-merged).
+    export_tasks: Vec<usize>,
+    /// Check-ready units with closed closures.
+    ready: Vec<usize>,
+    /// Units whose closure is `All`, waiting for the last export.
+    all_waiting: Vec<usize>,
+    /// Per-unit count of closure members whose exports are missing.
+    remaining: HashMap<usize, usize>,
+    /// Export index -> eligible units waiting on it.
+    dependents: HashMap<usize, Vec<usize>>,
+    exports_left: usize,
+    full_db: Option<Arc<ProgramDb>>,
+    full_db_building: bool,
+    in_flight: usize,
+    new_exports: Vec<usize>,
+    checks: Vec<(usize, u64, CheckOutcome)>,
+    cancelled: bool,
+}
+
+impl State {
+    fn idle_done(&self) -> bool {
+        self.cancelled
+            || (self.in_flight == 0
+                && self.export_tasks.is_empty()
+                && self.ready.is_empty()
+                && self.all_waiting.is_empty())
+    }
+}
+
+/// Runs the overlapped export/check phase. Returns with no cache
+/// mutation performed; the caller commits results (or discards them on
+/// cancellation).
+pub(crate) fn run(mut input: StreamInput<'_>) -> StreamResult {
+    let n = input.units.len();
+    let closures = closures(n, input.parsed, input.check_todo, input.whole_program);
+    let exported = std::mem::take(&mut input.exported);
+
+    let t0 = Instant::now();
+    let mut state = State {
+        t0,
+        exports_done: None,
+        export_tasks: input.export_todo.to_vec(),
+        ready: Vec::new(),
+        all_waiting: Vec::new(),
+        remaining: HashMap::new(),
+        dependents: HashMap::new(),
+        exports_left: input.export_todo.len(),
+        full_db: None,
+        full_db_building: false,
+        in_flight: 0,
+        new_exports: Vec::new(),
+        checks: Vec::with_capacity(input.check_todo.len()),
+        cancelled: false,
+        exported,
+    };
+
+    for &i in input.check_todo {
+        match closures[i].as_ref().unwrap() {
+            Closure::All => state.all_waiting.push(i),
+            Closure::Units(members) => {
+                let missing: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| state.exported[m].is_none())
+                    .collect();
+                if missing.is_empty() {
+                    state.ready.push(i);
+                } else {
+                    state.remaining.insert(i, missing.len());
+                    for m in missing {
+                        state.dependents.entry(m).or_default().push(i);
+                    }
+                }
+            }
+        }
+    }
+    let shared = (Mutex::new(state), Condvar::new());
+    let workers = input
+        .jobs
+        .max(1)
+        .min(input.export_todo.len() + input.check_todo.len())
+        .max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker(&input, &closures, &shared));
+        }
+    });
+
+    let state = shared.0.into_inner().unwrap();
+    StreamResult {
+        exported: state.exported,
+        new_exports: state.new_exports,
+        checks: state.checks,
+        exports_done: state.exports_done.unwrap_or_else(|| t0.elapsed()),
+    }
+}
+
+fn worker(input: &StreamInput<'_>, closures: &[Option<Closure>], shared: &(Mutex<State>, Condvar)) {
+    let (lock, cvar) = shared;
+    loop {
+        let task = {
+            let mut st = lock.lock().unwrap();
+            loop {
+                if input.cancel.is_cancelled() {
+                    st.cancelled = true;
+                }
+                if st.cancelled {
+                    cvar.notify_all();
+                    return;
+                }
+                // Checks first: they retire dependency state and keep
+                // the pipeline draining toward the report.
+                if let Some(i) = st.ready.pop() {
+                    st.in_flight += 1;
+                    match closures[i].as_ref().unwrap() {
+                        Closure::Units(members) => {
+                            let exports: Vec<Arc<UnitExports>> = members
+                                .iter()
+                                .map(|&m| st.exported[m].clone().expect("closure complete"))
+                                .collect();
+                            break Task::Check(i, exports, members.clone());
+                        }
+                        Closure::All => {
+                            let db = st.full_db.clone().expect("promoted before db");
+                            break Task::CheckAll(i, db);
+                        }
+                    }
+                }
+                if let Some(i) = st.export_tasks.pop() {
+                    st.in_flight += 1;
+                    break Task::Export(i);
+                }
+                if st.exports_left == 0
+                    && !st.all_waiting.is_empty()
+                    && st.full_db.is_none()
+                    && !st.full_db_building
+                {
+                    st.full_db_building = true;
+                    st.in_flight += 1;
+                    break Task::BuildFull;
+                }
+                if st.idle_done() {
+                    cvar.notify_all();
+                    return;
+                }
+                st = cvar.wait(st).unwrap();
+            }
+        };
+
+        match task {
+            Task::Export(i) => {
+                let result = if input.cancel.is_cancelled() {
+                    UnitExports {
+                        path: input.units[i].path.clone(),
+                        fns: Vec::new(),
+                    }
+                } else {
+                    let _span = input.trace.unit_span("export.unit", &input.units[i].path);
+                    export_one(
+                        &input.units[i],
+                        input.parsed[i].as_ref().unwrap(),
+                        input.limits,
+                        input.parse_limits,
+                        input.trace,
+                    )
+                };
+                let mut st = lock.lock().unwrap();
+                st.exported[i] = Some(Arc::new(result));
+                st.new_exports.push(i);
+                st.exports_left -= 1;
+                if st.exports_left == 0 {
+                    st.exports_done = Some(st.t0.elapsed());
+                }
+                if let Some(deps) = st.dependents.remove(&i) {
+                    for d in deps {
+                        let left = st.remaining.get_mut(&d).expect("tracked dependent");
+                        *left -= 1;
+                        if *left == 0 {
+                            st.remaining.remove(&d);
+                            st.ready.push(d);
+                        }
+                    }
+                }
+                st.in_flight -= 1;
+                cvar.notify_all();
+            }
+            Task::BuildFull => {
+                // Snapshot the complete export set under the lock, build
+                // the database outside it.
+                let refs: Vec<Arc<UnitExports>> = {
+                    let st = lock.lock().unwrap();
+                    st.exported
+                        .iter()
+                        .map(|e| e.clone().expect("all exports done"))
+                        .collect()
+                };
+                let borrowed: Vec<&UnitExports> = refs.iter().map(|a| a.as_ref()).collect();
+                let db = Arc::new(ProgramDb::build(&borrowed, input.kb, input.whole_program));
+                let mut st = lock.lock().unwrap();
+                st.full_db = Some(db);
+                st.full_db_building = false;
+                let parked = std::mem::take(&mut st.all_waiting);
+                st.ready.extend(parked);
+                st.in_flight -= 1;
+                cvar.notify_all();
+            }
+            Task::Check(i, exports, _members) => {
+                let borrowed: Vec<&UnitExports> = exports.iter().map(|a| a.as_ref()).collect();
+                let db = ProgramDb::build(&borrowed, input.kb, input.whole_program);
+                run_check(input, i, &db, shared);
+            }
+            Task::CheckAll(i, db) => {
+                run_check(input, i, &db, shared);
+            }
+        }
+    }
+}
+
+/// Computes one unit's deps fingerprint against `db`, serves it from
+/// the snapshot when possible, and records the outcome.
+fn run_check(input: &StreamInput<'_>, i: usize, db: &ProgramDb, shared: &(Mutex<State>, Condvar)) {
+    let (lock, cvar) = shared;
+    let deps_fp = mix(input.kb_fp, db.deps_fingerprint(&input.units[i].path));
+    let outcome = match input.snapshot.get(input.unit_keys[i], deps_fp) {
+        Some(hit) => CheckOutcome::Hit(hit),
+        None => {
+            let fresh = if input.cancel.is_cancelled() {
+                CheckedUnit::default()
+            } else {
+                let _span = input.trace.unit_span("check.unit", &input.units[i].path);
+                check_one(
+                    &input.units[i],
+                    input.parsed[i].as_ref().unwrap(),
+                    input.kb,
+                    db,
+                    input.limits,
+                    input.parse_limits,
+                    input.only_patterns,
+                    input.trace,
+                )
+            };
+            CheckOutcome::Miss(fresh)
+        }
+    };
+    let mut st = lock.lock().unwrap();
+    st.checks.push((i, deps_fp, outcome));
+    st.in_flight -= 1;
+    // The last export may have retired while this check ran; if the
+    // full-db gate is now open the wake-up below lets a worker take it.
+    cvar.notify_all();
+}

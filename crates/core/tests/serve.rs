@@ -496,11 +496,26 @@ fn kill_restart_with_corrupt_cache_recovers_byte_identical() {
     }
     drop(d); // SIGKILL — no graceful shutdown, no final save.
 
-    // Whatever the kill left behind, make it strictly worse: a
-    // mid-write torn prefix where the live cache file should be.
+    // If any save survived the torn-write faults, it must be the
+    // binary container — the JSON-era `audit-cache.json` is gone.
     let live = cache_dir.join(refminer::CACHE_FILE);
+    assert!(
+        refminer::CACHE_FILE.ends_with(".bin"),
+        "cache file is the binary container"
+    );
+    if let Ok(bytes) = std::fs::read(&live) {
+        assert!(
+            bytes.is_empty() || bytes.len() < 8 || bytes.starts_with(b"RFMCACHE"),
+            "persisted cache is not the binary container"
+        );
+    }
+
+    // Whatever the kill left behind, make it strictly worse: a
+    // mid-write torn prefix of a *binary* cache where the live file
+    // should be — the magic is valid, the rest is cut mid-header, so
+    // only the checksum/framing validation can reject it.
     std::fs::create_dir_all(&cache_dir).ok();
-    std::fs::write(&live, b"{\"version\":3,\"parse\":[[12,").expect("plant torn cache");
+    std::fs::write(&live, b"RFMCACHE\x04\x00\x00").expect("plant torn cache");
 
     // Round two: no faults. The daemon must quarantine the torn file,
     // rebuild cold, and serve the exact one-shot bytes.
@@ -528,6 +543,63 @@ fn kill_restart_with_corrupt_cache_recovers_byte_identical() {
         expected,
         "post-recovery query diverged from one-shot"
     );
+    d.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_restart_reloads_binary_cache_and_bit_flips_quarantine() {
+    let dir = write_demo_tree("reload");
+    let expected = one_shot_json(&dir);
+    let cache_dir = dir.join(".serve-cache");
+    let cache_args = ["--cache-dir", cache_dir.to_str().unwrap()];
+    let quarantined = cache_dir.join(format!(
+        "{}{}",
+        refminer::CACHE_FILE,
+        refminer::QUARANTINE_SUFFIX
+    ));
+
+    // Round one persists the binary cache.
+    let d = Daemon::start(&dir, &cache_args, &[]);
+    d.wait_for_revision(1, Duration::from_secs(30));
+    d.shutdown();
+    let live = cache_dir.join(refminer::CACHE_FILE);
+    let bytes = std::fs::read(&live).expect("cache persisted");
+    assert!(
+        bytes.starts_with(b"RFMCACHE"),
+        "persisted cache is not the binary container"
+    );
+
+    // Round two warm-loads it: no quarantine, identical bytes served.
+    let d = Daemon::start(&dir, &cache_args, &[]);
+    d.wait_for_revision(1, Duration::from_secs(30));
+    assert_eq!(
+        d.status().get("cache_quarantined").and_then(Value::as_u64),
+        Some(0),
+        "clean cache must not be quarantined"
+    );
+    assert!(!quarantined.exists());
+    let v = d.rpc(&query_request(1, QueryFilter::default()));
+    assert_eq!(joined_lines(v.get("result").expect("result")), expected);
+    d.shutdown();
+
+    // One flipped body byte: the checksum must reject the whole file,
+    // quarantine it, and the cold rebuild must serve the same bytes.
+    let mut bytes = std::fs::read(&live).expect("cache still present");
+    assert!(bytes.len() > 24, "container has a body to corrupt");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&live, &bytes).expect("plant bit flip");
+    let d = Daemon::start(&dir, &cache_args, &[]);
+    d.wait_for_revision(1, Duration::from_secs(30));
+    assert_eq!(
+        d.status().get("cache_quarantined").and_then(Value::as_u64),
+        Some(1),
+        "bit-flipped cache must be quarantined"
+    );
+    assert!(quarantined.exists(), "flipped file kept for post-mortem");
+    let v = d.rpc(&query_request(2, QueryFilter::default()));
+    assert_eq!(joined_lines(v.get("result").expect("result")), expected);
     d.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -41,7 +41,7 @@ pub use subsystems::{
     SUBSYSTEM_KLOC,
 };
 pub use tree::{
-    generate_tree, next_revision, FpTrap, InjectedBug, Manifest, SourceFile, SyntheticTree,
-    TreeConfig,
+    generate_big_tree, generate_tree, next_revision, BigTreeConfig, FpTrap, InjectedBug, Manifest,
+    SourceFile, SyntheticTree, TreeConfig,
 };
 pub use workload::{generate_workload, WorkloadConfig, WorkloadOp};

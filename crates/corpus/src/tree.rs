@@ -988,9 +988,177 @@ void put_device(struct device *dev)
 }
 "#;
 
+/// Parameters for [`generate_big_tree`]: a kernel-scale tree stamped
+/// out of deterministic replicas of the Table 5 plan.
+///
+/// Each replica is a full [`generate_tree`] run with a seed derived
+/// from `seed` and the replica index, so every replica's identifiers,
+/// file contents, and content hashes differ while the bug *mix* (and
+/// therefore the per-replica ground truth) stays the paper's. Replica
+/// files are nested one directory deeper (`drivers/gpu/r17/...`) so
+/// paths never collide, and the three shared preamble files
+/// (`include/linux/of.h`, `include/linux/kref.h`,
+/// `drivers/base/core.c`) appear exactly once.
+#[derive(Debug, Clone)]
+pub struct BigTreeConfig {
+    /// RNG seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Number of replicas stamped out. At `scale: 1.0` each replica is
+    /// roughly a hundred files, so ~100 replicas ≈ 10k files / ~1 MLoC.
+    pub replicas: usize,
+    /// Scale within each replica (forwarded to [`TreeConfig::scale`]).
+    pub scale: f64,
+}
+
+impl Default for BigTreeConfig {
+    fn default() -> Self {
+        BigTreeConfig {
+            seed: 0xb16_c0de,
+            replicas: 100,
+            scale: 1.0,
+        }
+    }
+}
+
+/// The preamble files every [`generate_tree`] run emits verbatim; kept
+/// once in the big tree rather than per replica.
+const SHARED_PREAMBLE: [&str; 3] = [
+    "include/linux/of.h",
+    "include/linux/kref.h",
+    "drivers/base/core.c",
+];
+
+/// Nests a replica's file one directory deeper, keyed by the replica
+/// index: `drivers/gpu/gpu_unit1.c` → `drivers/gpu/r17/gpu_unit1.c`.
+/// The subsystem/module prefix is preserved so grouped reporting and
+/// `--subsystem` trims behave exactly as on the base tree.
+fn replica_path(path: &str, replica: usize) -> String {
+    match path.rfind('/') {
+        Some(i) => format!("{}/r{}/{}", &path[..i], replica, &path[i + 1..]),
+        None => format!("r{replica}/{path}"),
+    }
+}
+
+/// Generates a kernel-scale synthetic tree: `cfg.replicas` independent
+/// stampings of the Table 5 plan, merged into one tree with one
+/// combined ground-truth manifest. Deterministic given `cfg`.
+pub fn generate_big_tree(cfg: &BigTreeConfig) -> SyntheticTree {
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut manifest = Manifest::default();
+    for r in 0..cfg.replicas {
+        let replica_cfg = TreeConfig {
+            seed: cfg
+                .seed
+                .wrapping_add((r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            scale: cfg.scale,
+            ..TreeConfig::default()
+        };
+        let tree = generate_tree(&replica_cfg);
+        for f in tree.files {
+            if SHARED_PREAMBLE.contains(&f.path.as_str()) {
+                if r == 0 {
+                    files.push(f);
+                }
+                continue;
+            }
+            files.push(SourceFile {
+                path: replica_path(&f.path, r),
+                content: f.content,
+            });
+        }
+        manifest
+            .bugs
+            .extend(tree.manifest.bugs.into_iter().map(|mut b| {
+                b.path = replica_path(&b.path, r);
+                b
+            }));
+        manifest.tricky.extend(
+            tree.manifest
+                .tricky
+                .into_iter()
+                .map(|(path, func)| (replica_path(&path, r), func)),
+        );
+        manifest.clean_functions += tree.manifest.clean_functions;
+        manifest
+            .fp_traps
+            .extend(tree.manifest.fp_traps.into_iter().map(|mut t| {
+                t.path = replica_path(&t.path, r);
+                t
+            }));
+    }
+    SyntheticTree { files, manifest }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn big_tree_is_deterministic_and_collision_free() {
+        let cfg = BigTreeConfig {
+            seed: 0xfeed,
+            replicas: 3,
+            scale: 0.05,
+        };
+        let a = generate_big_tree(&cfg);
+        let b = generate_big_tree(&cfg);
+        assert_eq!(a.files.len(), b.files.len());
+        for (fa, fb) in a.files.iter().zip(&b.files) {
+            assert_eq!(fa.path, fb.path);
+            assert_eq!(fa.content, fb.content);
+        }
+        assert_eq!(a.manifest.bugs.len(), b.manifest.bugs.len());
+
+        let paths: HashSet<&str> = a.files.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths.len(), a.files.len(), "replica paths collide");
+        for shared in SHARED_PREAMBLE {
+            assert!(paths.contains(shared));
+        }
+    }
+
+    #[test]
+    fn big_tree_scales_ground_truth_with_replicas() {
+        let one = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..TreeConfig::default()
+        });
+        let big = generate_big_tree(&BigTreeConfig {
+            seed: 0xfeed,
+            replicas: 4,
+            scale: 0.05,
+        });
+        assert_eq!(big.manifest.bugs.len(), 4 * one.manifest.bugs.len());
+        assert_eq!(big.manifest.tricky.len(), 4 * one.manifest.tricky.len());
+        assert_eq!(
+            big.manifest.clean_functions,
+            4 * one.manifest.clean_functions
+        );
+        // Replica files nest one level deeper; every manifest path
+        // names a real file.
+        let paths: HashSet<&str> = big.files.iter().map(|f| f.path.as_str()).collect();
+        for bug in &big.manifest.bugs {
+            assert!(paths.contains(bug.path.as_str()), "missing {}", bug.path);
+            assert!(bug.path.contains("/r"), "path not replica-nested");
+        }
+        // Replicas use distinct identifier streams, so their contents
+        // (and content hashes) differ.
+        let unit0: Vec<&SourceFile> = big
+            .files
+            .iter()
+            .filter(|f| f.path.ends_with("_unit0.c") && f.path.contains("/r0/"))
+            .collect();
+        let unit1: Vec<&SourceFile> = big
+            .files
+            .iter()
+            .filter(|f| f.path.ends_with("_unit0.c") && f.path.contains("/r1/"))
+            .collect();
+        assert!(!unit0.is_empty() && unit0.len() == unit1.len());
+        assert!(unit0
+            .iter()
+            .zip(&unit1)
+            .all(|(a, b)| a.content != b.content));
+    }
 
     #[test]
     fn full_scale_matches_plan_total() {

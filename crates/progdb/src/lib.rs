@@ -241,9 +241,17 @@ impl ProgramDb {
         // Effect fixpoint. A knowledge-base match on the callee name
         // always shadows helper resolution; summaries are read from the
         // current state, so effects propagate through helper chains
-        // across rounds (and within a round, in definition order).
+        // across rounds (and within a round, in definition order). Each
+        // round recomputes every summary fresh from a state that only
+        // grows, so iterates are monotone over a finite domain (arg
+        // indices of the function's own calls): the loop terminates at
+        // the least fixed point without an arbitrary round cap. Running
+        // to the true fixpoint also makes the result independent of
+        // which *other* units are in the database — any subset of units
+        // closed under call resolution converges to the same summaries,
+        // which the streaming scheduler's per-closure databases rely on.
         let mut summaries = vec![FnSummary::default(); fns.len()];
-        for _round in 0..8 {
+        loop {
             let mut changed = false;
             let mut id = 0;
             for (ui, unit) in units.iter().enumerate() {

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Pipeline benchmark smoke run: audit a synthetic tree cold/warm and at
-# jobs in {1, N}, write BENCH_pipeline.json, and enforce the speedup
-# gates (warm >= 5x always; parallel >= 2x only on machines with at
-# least four hardware threads — below that benchpipe prints an explicit
-# SKIP and records parallel_gate="skipped" in the report).
+# Pipeline benchmark smoke run: audit a synthetic tree cold/warm over
+# the {1, 2, 4, N} worker ladder, write BENCH_pipeline.json (schema 5),
+# and enforce the speedup gates (warm >= 5x always; parallel >= 2x and
+# streaming-beats-barrier only on machines with at least four hardware
+# threads; binary cache load >= 3x vs JSON only on >= 1000-file trees —
+# everywhere else benchpipe prints an explicit SKIP and records the
+# gate as "skipped" in the report).
 #
 # A second run in `--eval` mode scores the checkers against an FP-trap
 # tree and regresses the corpus F1 against the committed baseline
 # below: the run fails unless feasibility pruning still improves
 # precision on >= 2 anti-patterns with zero recall loss and the total
 # F1 stays at or above the baseline.
+#
+# With BENCH_BIG=1, a third run audits the kernel-scale replicated
+# corpus (~10k files / ~1 MLoC with the default replica count). At that
+# size the binary >= 3x load gate is always enforced, and on >= 4-core
+# hosts so is the streaming-beats-barrier cold-path gate.
 #
 # Env:
 #   BENCHPIPE_BIN    prebuilt binary; default `cargo run --release`
@@ -18,6 +25,10 @@
 #   BENCH_OUT        report path (default BENCH_pipeline.json)
 #   BENCH_EVAL_SCALE eval-tree scale factor (default 0.2)
 #   BENCH_EVAL_OUT   eval report path (default BENCH_eval.json)
+#   BENCH_BIG        1 = also run the kernel-scale corpus gates
+#   BENCH_REPLICAS   replica count for the big run (default 100)
+#   BENCH_BIG_OUT    big-run report path (default BENCH_OUT, i.e. the
+#                    big run's numbers replace the smoke run's)
 set -u
 
 here="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,13 +59,15 @@ if ! benchpipe "${args[@]}"; then
     exit 1
 fi
 
-# Surface the schema-2 phase split and summary-cache hit rate from the
-# report; the keys appear exactly once at the top level.
+# Surface the phase split, cache hit rate, and the schema-5 format
+# comparison from the report; the keys appear exactly once at the top
+# level.
 top_key() {
     sed -n "s/^ *\"$1\": *\([0-9.eE+-]*\),*$/\1/p" "$out" | head -n 1
 }
-echo "bench.sh: cold phases $(top_key cold_phase1_secs)s parse+export + $(top_key cold_phase2_secs)s check"
+echo "bench.sh: cold phases $(top_key cold_phase1_secs)s parse + $(top_key cold_phase2_secs)s export+check"
 echo "bench.sh: warm summary-cache hit rate $(top_key summary_hit_rate)"
+echo "bench.sh: binary-vs-JSON warm cache load $(top_key warm_load_speedup)x"
 
 # Precision/recall regression gate against the committed F1 baseline.
 eval_args=(--eval --check --baseline "$eval_f1_baseline" \
@@ -70,4 +83,27 @@ eval_top_key() {
     sed -n "s/^ *\"$1\": *\([0-9.eE+-]*\),*$/\1/p" "$eval_out" | head -n 1
 }
 echo "bench.sh: eval F1 $(eval_top_key f1_off) -> $(eval_top_key f1_on) with feasibility, $(eval_top_key patterns_improved) pattern(s) improved"
+
+# Kernel-scale corpus gates: the ~10k-file replicated tree, where the
+# binary >= 3x load gate always applies (and the streaming cold-path
+# gate applies on >= 4-core hosts). One rep — a cold MLoC audit per
+# ladder rung is the expensive part, and the gates compare medians of
+# seconds, not microseconds.
+if [ "${BENCH_BIG:-0}" = "1" ]; then
+    big_out="${BENCH_BIG_OUT:-$out}"
+    big_args=(--big --replicas "${BENCH_REPLICAS:-100}" --reps 1 \
+        --check --out "$big_out")
+    if [ -n "${BENCH_JOBS:-}" ]; then
+        big_args+=(--jobs "$BENCH_JOBS")
+    fi
+    if ! benchpipe "${big_args[@]}"; then
+        echo "bench.sh: FAIL (big-corpus gate)" >&2
+        exit 1
+    fi
+    big_key() {
+        sed -n "s/^ *\"$1\": *\([0-9.eE+-]*\),*$/\1/p" "$big_out" | head -n 1
+    }
+    echo "bench.sh: big corpus $(big_key files) files, binary-vs-JSON load $(big_key warm_load_speedup)x"
+fi
+
 echo "bench.sh: PASS ($out, $eval_out)"

@@ -105,17 +105,18 @@ wait "$daemon_pid" 2>/dev/null
 wait "$rpc_bg" 2>/dev/null
 daemon_pid=""
 
-# Make the crash strictly worse than reality: plant a torn prefix
-# where the live cache file should be.
+# Make the crash strictly worse than reality: plant a torn prefix of
+# a binary cache — a valid magic, then garbage cut mid-header — where
+# the live cache file should be.
 mkdir -p "$cache"
-printf '{"version":3,"parse":[[12,' > "$cache/audit-cache.json"
+printf 'RFMCACHE\004\000\000' > "$cache/audit-cache.bin"
 
 # Round two: clean environment. The daemon must quarantine the torn
 # cache, rebuild cold, and serve the exact one-shot bytes.
 start_daemon "$outdir/serve2.log" ""
 wait_revision 1
 
-[ -f "$cache/audit-cache.json.corrupt" ] || fail "torn cache not quarantined"
+[ -f "$cache/audit-cache.bin.corrupt" ] || fail "torn cache not quarantined"
 refminer rpc "$addr" status | grep -q '"cache_quarantined":1' \
     || fail "quarantine not reported in status"
 refminer rpc "$addr" query > "$outdir/query2.jsonl" || fail "query rpc (round two)"

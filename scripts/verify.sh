@@ -5,10 +5,14 @@
 #
 # Env:
 #   VERIFY_SKIP     space-separated step names to skip
-#                   (any of: fmt clippy build test chaos trace serve bench)
+#                   (any of: fmt clippy build test chaos trace serve bench
+#                   bigbench)
+#   VERIFY_BIG      1 = add a kernel-scale corpus smoke (benchpipe --big
+#                   gates on a ~10k-file / ~1 MLoC tree; minutes, not
+#                   seconds, so off by default)
 #   CHAOSGEN_BIN / REFMINER_BIN / BENCHPIPE_BIN, BENCH_SCALE / BENCH_JOBS
-#   / BENCH_OUT — forwarded to the underlying scripts, so a harness can
-#   point every step at prebuilt binaries.
+#   / BENCH_OUT / BENCH_REPLICAS — forwarded to the underlying scripts,
+#   so a harness can point every step at prebuilt binaries.
 set -u
 
 here="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,5 +48,16 @@ step chaos bash "$here/scripts/chaos.sh"
 step trace bash "$here/scripts/trace_smoke.sh"
 step serve bash "$here/scripts/serve_smoke.sh"
 step bench bash "$here/scripts/bench.sh"
+if [ "${VERIFY_BIG:-0}" = "1" ]; then
+    # The big-corpus smoke: bench.sh with its big mode on, the small
+    # smoke/eval trees scaled down so the added cost is the big run
+    # itself. The big report goes to a scratch path so the committed
+    # BENCH_pipeline.json is only ever updated deliberately.
+    big_out="${BENCH_BIG_OUT:-$(mktemp "${TMPDIR:-/tmp}/refminer-bigbench.XXXXXX.json")}"
+    step bigbench env BENCH_BIG=1 BENCH_BIG_OUT="$big_out" \
+        BENCH_SCALE="${BENCH_SCALE:-0.2}" BENCH_EVAL_SCALE=0.1 \
+        BENCH_REPLICAS="${BENCH_REPLICAS:-100}" \
+        bash "$here/scripts/bench.sh"
+fi
 
 echo "verify.sh: PASS"
