@@ -126,7 +126,6 @@ pub fn check_unit_with_program_traced(
     program: &ProgramDb,
     trace: &refminer_trace::TraceHandle,
 ) -> Vec<Finding> {
-    let timing = trace.is_enabled();
     let mut out = Vec::new();
     for graph in graphs {
         let ctx = CheckCtx {
@@ -138,28 +137,51 @@ pub fn check_unit_with_program_traced(
             program,
             trace: trace.clone(),
         };
-        for checker in checkers {
-            let start = timing.then(std::time::Instant::now);
-            let mut found = checker.check(&ctx);
-            if let Some(start) = start {
-                // Clamp to at least 1µs so even trivially fast checkers
-                // show up in the per-checker table.
-                let us = start.elapsed().as_micros().clamp(1, u64::MAX as u128) as u64;
-                trace.add(&format!("checker.{}.us", checker.name()), us);
-            }
-            for f in &mut found {
-                if f.checkers.is_empty() {
-                    f.checkers.push(checker.name().to_string());
-                }
-            }
-            out.extend(found);
-        }
+        out.extend(run_checkers_on_graph(&ctx, checkers));
     }
     dedup_findings(&mut out);
     out
 }
 
-/// Removes duplicate findings (same pattern, function, line, api).
+/// Runs the template checkers over one function graph, attributing
+/// per-checker wall time to `checker.{name}.us` trace counters and
+/// stamping each finding with its checker name and the template engine
+/// id. The shared inner loop of both [`check_unit_with_program_traced`]
+/// and the engine-layer `TemplateEngine`.
+pub(crate) fn run_checkers_on_graph(
+    ctx: &CheckCtx<'_>,
+    checkers: &[Box<dyn Checker>],
+) -> Vec<Finding> {
+    let timing = ctx.trace.is_enabled();
+    let mut out = Vec::new();
+    for checker in checkers {
+        let start = timing.then(std::time::Instant::now);
+        let mut found = checker.check(ctx);
+        if let Some(start) = start {
+            // Clamp to at least 1µs so even trivially fast checkers
+            // show up in the per-checker table.
+            let us = start.elapsed().as_micros().clamp(1, u64::MAX as u128) as u64;
+            ctx.trace.add(&format!("checker.{}.us", checker.name()), us);
+        }
+        for f in &mut found {
+            if f.checkers.is_empty() {
+                f.checkers.push(checker.name().to_string());
+            }
+            f.add_engine(crate::finding::EngineId::Template);
+        }
+        out.extend(found);
+    }
+    out
+}
+
+/// Collapses duplicate findings (same pattern, file, line, api) into
+/// one, combining their checker and engine attributions and keeping
+/// the most credible feasibility verdict.
+///
+/// The sort key excludes checker and engine names, so when the two
+/// engines flag the same site the finding emitted first (engines run
+/// in template-then-delta order) survives and absorbs the other's
+/// attribution — the within-unit half of cross-validation.
 pub fn dedup_findings(findings: &mut Vec<Finding>) {
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.pattern, a.api.as_str()).cmp(&(
@@ -169,9 +191,29 @@ pub fn dedup_findings(findings: &mut Vec<Finding>) {
             b.api.as_str(),
         ))
     });
-    findings.dedup_by(|a, b| {
-        a.pattern == b.pattern && a.file == b.file && a.line == b.line && a.api == b.api
-    });
+    let mut out: Vec<Finding> = Vec::with_capacity(findings.len());
+    for f in findings.drain(..) {
+        match out.last_mut() {
+            Some(prev)
+                if prev.pattern == f.pattern
+                    && prev.file == f.file
+                    && prev.line == f.line
+                    && prev.api == f.api =>
+            {
+                for c in f.checkers {
+                    if !prev.checkers.contains(&c) {
+                        prev.checkers.push(c);
+                    }
+                }
+                for e in f.engines {
+                    prev.add_engine(e);
+                }
+                prev.feasibility = prev.feasibility.max(f.feasibility);
+            }
+            _ => out.push(f),
+        }
+    }
+    *findings = out;
 }
 
 /// A fingerprint of the default checker set, for cache keying.
@@ -188,7 +230,9 @@ pub fn checker_set_fingerprint() -> u64 {
     // (cross-unit release/store/consumer refinements).
     // v3: findings carry feasibility verdicts and checker lists; the
     // path-feasibility engine classifies every path-based witness.
-    const CHECKER_LOGIC_VERSION: u64 = 3;
+    // v4: findings carry engine attributions; the within-unit dedup
+    // unions checker/engine lists instead of dropping duplicates.
+    const CHECKER_LOGIC_VERSION: u64 = 4;
     let mut h: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -205,9 +249,12 @@ pub fn checker_set_fingerprint() -> u64 {
 }
 
 /// An increment-API call site: the node, the API, and the variable the
-/// acquired reference landed in (if any).
-pub(crate) struct IncSite<'a> {
+/// acquired reference landed in (if any). Shared between the template
+/// checkers and the delta engine's seed enumeration.
+pub struct IncSite<'a> {
+    /// The CFG node performing the increment call.
     pub node: NodeId,
+    /// The increment API called.
     pub api: &'a RcApi,
     /// The object variable holding the new reference. `None` when the
     /// returned reference was discarded.
@@ -216,7 +263,7 @@ pub(crate) struct IncSite<'a> {
 
 /// Finds every increment-API call site in a function, with the object
 /// variable the reference flows into.
-pub(crate) fn inc_sites<'a>(ctx: &'a CheckCtx<'_>) -> Vec<IncSite<'a>> {
+pub fn inc_sites<'a>(ctx: &'a CheckCtx<'_>) -> Vec<IncSite<'a>> {
     let mut out = Vec::new();
     for n in ctx.graph.cfg.node_ids() {
         let facts = &ctx.graph.facts[n];
@@ -252,7 +299,7 @@ pub(crate) fn inc_sites<'a>(ctx: &'a CheckCtx<'_>) -> Vec<IncSite<'a>> {
 }
 
 /// Whether any node in the function pairs the increment `api` on `obj`.
-pub(crate) fn has_any_paired_dec(ctx: &CheckCtx<'_>, api: &RcApi, obj: &str) -> bool {
+pub fn has_any_paired_dec(ctx: &CheckCtx<'_>, api: &RcApi, obj: &str) -> bool {
     ctx.graph
         .cfg
         .node_ids()
@@ -319,9 +366,40 @@ int f(struct device *dev)
             message: String::new(),
             feasibility: refminer_cpg::Feasibility::Assumed,
             checkers: Vec::new(),
+            engines: Vec::new(),
         };
         let mut v = vec![f.clone(), f.clone()];
         dedup_findings(&mut v);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn dedup_unions_checker_and_engine_attribution() {
+        use crate::finding::{AntiPattern, Confidence, EngineId, Impact};
+        let mk = |checker: &str, engine: EngineId| Finding {
+            pattern: AntiPattern::P5,
+            impact: Impact::Leak,
+            file: "a.c".into(),
+            function: "f".into(),
+            line: 3,
+            api: "x".into(),
+            object: None,
+            message: String::new(),
+            feasibility: refminer_cpg::Feasibility::Assumed,
+            checkers: vec![checker.into()],
+            engines: vec![engine],
+        };
+        let mut v = vec![
+            mk("ErrorPathChecker", EngineId::Template),
+            mk("DeltaEngine", EngineId::Delta),
+        ];
+        dedup_findings(&mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v[0].checkers,
+            vec!["ErrorPathChecker".to_string(), "DeltaEngine".to_string()]
+        );
+        assert_eq!(v[0].engines, vec![EngineId::Template, EngineId::Delta]);
+        assert_eq!(v[0].confidence(), Confidence::Corroborated);
     }
 }

@@ -63,6 +63,7 @@ impl Checker for ReturnErrorChecker {
                     ),
                     feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
                     checkers: Vec::new(),
+                    engines: Vec::new(),
                 });
             }
         }
@@ -131,6 +132,7 @@ impl Checker for ReturnNullChecker {
                     ),
                     feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
                     checkers: Vec::new(),
+                    engines: Vec::new(),
                 });
             }
         }

@@ -1,0 +1,254 @@
+//! The analysis-engine substrate: the trait boundary both the template
+//! checkers and the ownership-delta dataflow engine sit behind.
+//!
+//! Phase 2 of the audit no longer hardwires the template checkers: it
+//! builds a list of [`AnalysisEngine`]s and hands every function graph
+//! to each of them through the shared [`CheckCtx`]. Engines stamp the
+//! findings they produce with their [`EngineId`]; the within-unit dedup
+//! and the report-layer merge union those stamps, so a site flagged by
+//! both engines independently surfaces once, `Corroborated`.
+//!
+//! The feasibility pass lives on the substrate too: every engine
+//! classifies its witness paths through `graph.feas` (reachable via
+//! the ctx), and the report layer suppresses `Infeasible` findings
+//! uniformly — an engine cannot opt out of the pruning.
+
+use crate::checker::{run_checkers_on_graph, Checker};
+use crate::ctx::CheckCtx;
+use crate::finding::{EngineId, Finding};
+
+/// One analysis engine: a strategy producing findings for a single
+/// function, given the shared [`CheckCtx`] substrate (graphs, API
+/// knowledge base, program database, feasibility engine, trace).
+/// Engine instances are cheap; each audit worker builds its own list,
+/// so the trait carries no thread-safety bound (mirroring [`Checker`]).
+pub trait AnalysisEngine {
+    /// The engine's identity, stamped into every finding it produces.
+    fn id(&self) -> EngineId;
+
+    /// Stable engine name (`"template"`, `"delta"`), used in trace
+    /// counters and reports.
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// Runs the engine over one function.
+    fn analyze(&self, ctx: &CheckCtx<'_>) -> Vec<Finding>;
+}
+
+/// The template engine: the paper's nine anti-pattern checkers behind
+/// the [`AnalysisEngine`] trait. Owns its checker set so `--only`
+/// scoping composes (a filtered set is just a smaller engine).
+pub struct TemplateEngine {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl TemplateEngine {
+    /// The engine over an explicit checker set (ablations, `--only`).
+    pub fn new(checkers: Vec<Box<dyn Checker>>) -> TemplateEngine {
+        TemplateEngine { checkers }
+    }
+
+    /// The engine over the full default checker set.
+    pub fn default_set() -> TemplateEngine {
+        TemplateEngine::new(crate::checker::default_checkers())
+    }
+}
+
+impl AnalysisEngine for TemplateEngine {
+    fn id(&self) -> EngineId {
+        EngineId::Template
+    }
+
+    fn analyze(&self, ctx: &CheckCtx<'_>) -> Vec<Finding> {
+        run_checkers_on_graph(ctx, &self.checkers)
+    }
+}
+
+/// Which engines an audit runs. The default is both: the template
+/// checkers find, the delta engine cross-validates (and contributes
+/// its own net-delta findings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSet {
+    /// Run the template checkers.
+    pub template: bool,
+    /// Run the ownership-delta dataflow engine.
+    pub delta: bool,
+}
+
+impl Default for EngineSet {
+    fn default() -> EngineSet {
+        EngineSet {
+            template: true,
+            delta: true,
+        }
+    }
+}
+
+impl EngineSet {
+    /// The template-only set (the pre-two-engine behavior).
+    pub fn template_only() -> EngineSet {
+        EngineSet {
+            template: true,
+            delta: false,
+        }
+    }
+
+    /// Parses a comma-separated engine list (`"template,delta"`).
+    /// Rejects unknown names and empty lists.
+    pub fn parse(s: &str) -> Result<EngineSet, String> {
+        let mut set = EngineSet {
+            template: false,
+            delta: false,
+        };
+        for name in s.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            match EngineId::from_name(name) {
+                Some(EngineId::Template) => set.template = true,
+                Some(EngineId::Delta) => set.delta = true,
+                None => return Err(format!("unknown engine '{name}' (template, delta)")),
+            }
+        }
+        if set
+            == (EngineSet {
+                template: false,
+                delta: false,
+            })
+        {
+            return Err("engine list selects no engine".to_string());
+        }
+        Ok(set)
+    }
+
+    /// Whether the set enables `engine`.
+    pub fn enables(&self, engine: EngineId) -> bool {
+        match engine {
+            EngineId::Template => self.template,
+            EngineId::Delta => self.delta,
+        }
+    }
+
+    /// The enabled engines in canonical order.
+    pub fn ids(&self) -> Vec<EngineId> {
+        EngineId::all()
+            .into_iter()
+            .filter(|e| self.enables(*e))
+            .collect()
+    }
+
+    /// Canonical comma-separated rendering (`"template,delta"`).
+    pub fn render(&self) -> String {
+        self.ids()
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Runs a list of engines over every function of a translation unit —
+/// the phase-2 entry point of the two-engine audit. Engines run in
+/// list order per graph (the caller supplies them in canonical
+/// template-then-delta order), each engine's wall time on the unit is
+/// attributed to an `engine.{name}.us` trace counter, and the combined
+/// findings are deduped with attribution union, so a site both engines
+/// flag comes out once with `engines: [template, delta]`.
+pub fn run_engines_traced(
+    unit: &refminer_cparse::TranslationUnit,
+    kb: &refminer_rcapi::ApiKb,
+    graphs: &[refminer_cpg::FunctionGraph],
+    engines: &[Box<dyn AnalysisEngine>],
+    program: &refminer_progdb::ProgramDb,
+    trace: &refminer_trace::TraceHandle,
+) -> Vec<Finding> {
+    let timing = trace.is_enabled();
+    let mut out = Vec::new();
+    for graph in graphs {
+        let ctx = CheckCtx {
+            file: &unit.path,
+            graph,
+            kb,
+            unit,
+            all_graphs: graphs,
+            program,
+            trace: trace.clone(),
+        };
+        for engine in engines {
+            let start = timing.then(std::time::Instant::now);
+            let mut found = engine.analyze(&ctx);
+            if let Some(start) = start {
+                let us = start.elapsed().as_micros().clamp(1, u64::MAX as u128) as u64;
+                trace.add(&format!("engine.{}.us", engine.name()), us);
+            }
+            for f in &mut found {
+                f.add_engine(engine.id());
+            }
+            out.extend(found);
+        }
+    }
+    crate::checker::dedup_findings(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_cparse::parse_str;
+    use refminer_cpg::FunctionGraph;
+    use refminer_progdb::ProgramDb;
+    use refminer_rcapi::ApiKb;
+
+    #[test]
+    fn engine_set_parses_and_renders() {
+        assert_eq!(EngineSet::parse("template,delta"), Ok(EngineSet::default()));
+        assert_eq!(EngineSet::parse("template"), Ok(EngineSet::template_only()));
+        assert_eq!(
+            EngineSet::parse("delta"),
+            Ok(EngineSet {
+                template: false,
+                delta: true
+            })
+        );
+        assert!(EngineSet::parse("bogus").is_err());
+        assert!(EngineSet::parse("").is_err());
+        assert_eq!(EngineSet::default().render(), "template,delta");
+        assert_eq!(EngineSet::template_only().render(), "template");
+    }
+
+    #[test]
+    fn template_engine_matches_checker_runner() {
+        let src = r#"
+int f(struct device *d)
+{
+        int r = pm_runtime_get_sync(d);
+        if (r < 0)
+                return r;
+        pm_runtime_put(d);
+        return 0;
+}
+"#;
+        let tu = parse_str("t.c", src);
+        let graphs = FunctionGraph::build_all(&tu);
+        let kb = ApiKb::builtin();
+        let globals: Vec<String> = tu.globals().map(|g| g.name.clone()).collect();
+        let db = ProgramDb::local(&tu.path, &graphs, &globals, &kb);
+        let engines: Vec<Box<dyn AnalysisEngine>> = vec![Box::new(TemplateEngine::default_set())];
+        let via_engines = run_engines_traced(
+            &tu,
+            &kb,
+            &graphs,
+            &engines,
+            &db,
+            &refminer_trace::TraceHandle::disabled(),
+        );
+        let via_checkers = crate::checker::check_unit_with_program(
+            &tu,
+            &kb,
+            &graphs,
+            &crate::checker::default_checkers(),
+            &db,
+        );
+        assert_eq!(via_engines, via_checkers);
+        assert_eq!(via_engines.len(), 1);
+        assert_eq!(via_engines[0].engines, vec![EngineId::Template]);
+    }
+}

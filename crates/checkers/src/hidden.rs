@@ -98,6 +98,7 @@ impl Checker for SmartLoopBreakChecker {
                         ),
                         feasibility: graph.feas.classify(&q, &graph.cfg, head),
                         checkers: Vec::new(),
+                        engines: Vec::new(),
                     });
                 }
             }
@@ -174,6 +175,7 @@ impl Checker for HiddenApiChecker {
                                 // path; no path constraint applies.
                                 feasibility: refminer_cpg::Feasibility::Assumed,
                                 checkers: Vec::new(),
+                                engines: Vec::new(),
                             });
                         }
                     }
@@ -223,6 +225,7 @@ impl Checker for HiddenApiChecker {
                                 ),
                                 feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
                                 checkers: Vec::new(),
+                                engines: Vec::new(),
                             });
                         }
                     }
@@ -265,6 +268,7 @@ impl Checker for HiddenApiChecker {
                         // happens wherever the call executes.
                         feasibility: refminer_cpg::Feasibility::Assumed,
                         checkers: Vec::new(),
+                        engines: Vec::new(),
                     });
                 }
             }

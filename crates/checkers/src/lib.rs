@@ -18,10 +18,17 @@
 //! | [`EscapeChecker`]        | P9 | future risk | UAF |
 //!
 //! Use [`check_unit`] to run the full set over one parsed file.
+//!
+//! The checkers are one [`AnalysisEngine`] (the [`TemplateEngine`])
+//! behind the engine substrate in [`engine`]; the ownership-delta
+//! dataflow engine in `refminer-delta` is the other. Findings carry an
+//! `engines` attribution and derive a [`Confidence`]
+//! (corroborated / template-only / delta-only) from it.
 
 mod checker;
 mod ctx;
 mod deviation;
+mod engine;
 mod finding;
 mod hidden;
 mod location;
@@ -30,13 +37,14 @@ mod risk;
 pub use checker::{
     check_unit, check_unit_with_checkers, check_unit_with_graphs, check_unit_with_program,
     check_unit_with_program_traced, checker_set_fingerprint, checkers_for_patterns, dedup_findings,
-    default_checkers, Checker,
+    default_checkers, has_any_paired_dec, inc_sites, Checker, IncSite,
 };
 pub use ctx::CheckCtx;
 pub use deviation::{ReturnErrorChecker, ReturnNullChecker};
+pub use engine::{run_engines_traced, AnalysisEngine, EngineSet, TemplateEngine};
 pub use finding::{
-    merge_duplicate_findings, merge_unit_findings, sort_findings_canonical, AntiPattern, Finding,
-    Impact,
+    merge_duplicate_findings, merge_unit_findings, sort_findings_canonical, AntiPattern,
+    Confidence, EngineId, Finding, Impact,
 };
 // The feasibility verdict each finding carries (see `refminer-cpg`).
 pub use hidden::{HiddenApiChecker, SmartLoopBreakChecker};

@@ -77,6 +77,7 @@ impl Checker for ErrorPathChecker {
                     ),
                     feasibility: graph.feas.classify(&q, &graph.cfg, site.node),
                     checkers: Vec::new(),
+                    engines: Vec::new(),
                 });
             }
         }
@@ -232,6 +233,7 @@ impl Checker for InterUnpairedChecker {
                     // to test against the intra-function constraints.
                     feasibility: refminer_cpg::Feasibility::Assumed,
                     checkers: Vec::new(),
+                    engines: Vec::new(),
                 });
             }
         }
@@ -340,6 +342,7 @@ impl Checker for DirectFreeChecker {
                         // condition to refute.
                         feasibility: refminer_cpg::Feasibility::Assumed,
                         checkers: Vec::new(),
+                        engines: Vec::new(),
                     });
                 }
             }

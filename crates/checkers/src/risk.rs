@@ -82,6 +82,7 @@ impl Checker for UadChecker {
                         ),
                         feasibility: graph.feas.classify(&q, &graph.cfg, n),
                         checkers: Vec::new(),
+                        engines: Vec::new(),
                     });
                 }
             }
@@ -196,6 +197,7 @@ impl Checker for EscapeChecker {
                     // happens wherever the store executes.
                     feasibility: refminer_cpg::Feasibility::Assumed,
                     checkers: Vec::new(),
+                    engines: Vec::new(),
                 });
             }
         }

@@ -41,13 +41,14 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use refminer_checkers::{
-    check_unit_with_program_traced, checkers_for_patterns, default_checkers,
-    merge_duplicate_findings, sort_findings_canonical, AntiPattern, Feasibility, Finding, Impact,
-    ProgramDb, UnitExports,
+    checkers_for_patterns, default_checkers, merge_duplicate_findings, run_engines_traced,
+    sort_findings_canonical, AnalysisEngine, AntiPattern, EngineSet, Feasibility, Finding, Impact,
+    ProgramDb, TemplateEngine, UnitExports,
 };
 use refminer_clex::{scan_defines, MacroDef};
 use refminer_cparse::{parse_str_limited, Block, ExprKind, ParseLimits, TranslationUnit};
 use refminer_cpg::FunctionGraph;
+use refminer_delta::DeltaEngine;
 use refminer_rcapi::{discover_unit, merge_discoveries, ApiKb, DiscoverConfig, UnitDiscovery};
 use refminer_trace::TraceHandle;
 
@@ -115,6 +116,13 @@ pub struct AuditConfig {
     /// Restrict the run to a subset of anti-patterns (`--only-pattern`).
     /// `None` runs all nine.
     pub only_patterns: Option<Vec<AntiPattern>>,
+    /// Which analysis engines phase 2 runs (`--engines`). The default
+    /// is both: the template checkers and the ownership-delta dataflow
+    /// engine cross-validate each other, and findings carry per-engine
+    /// attribution plus a derived confidence. The engine set keys the
+    /// check-stage cache — template-only entries never serve a
+    /// two-engine run.
+    pub engines: EngineSet,
     /// Restrict checking to units under this path prefix
     /// (`--subsystem drivers/net`). `None` checks everything. Filtered
     /// units still parse and export — exports are whole-tree — but skip
@@ -145,6 +153,7 @@ impl Default for AuditConfig {
             whole_program: true,
             feasibility: true,
             only_patterns: None,
+            engines: EngineSet::default(),
             subsystem: None,
             streaming: true,
             retain_asts: true,
@@ -413,6 +422,11 @@ impl UnitState {
     }
 }
 
+/// A unit's symbol digest: `(name, is_static)` per function defined,
+/// plus every name called — both sides interned so the streaming
+/// closure map and the program database share the allocations.
+type SymbolDigest = (Vec<(Arc<str>, bool)>, Vec<Arc<str>>);
+
 /// Reads a unit's symbol digest off its AST: the `(name, is_static)`
 /// of every defined function, and the sorted, deduplicated set of
 /// names called anywhere in the unit. The digest is the raw material
@@ -421,11 +435,11 @@ impl UnitState {
 /// [`Expr::walk`](refminer_cparse::Expr::walk) deliberately does not
 /// descend into GNU statement-expressions, so those blocks are
 /// recursed into explicitly here.
-fn unit_symbols(tu: &TranslationUnit) -> (Vec<(String, bool)>, Vec<String>) {
-    let mut syms = Vec::new();
-    let mut called: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+fn unit_symbols(tu: &TranslationUnit) -> SymbolDigest {
+    let mut syms: Vec<(Arc<str>, bool)> = Vec::new();
+    let mut called: std::collections::BTreeSet<Arc<str>> = std::collections::BTreeSet::new();
     for f in tu.functions() {
-        syms.push((f.name.clone(), f.is_static));
+        syms.push((Arc::from(f.name.as_str()), f.is_static));
         let mut blocks: Vec<&Block> = vec![&f.body];
         while let Some(block) = blocks.pop() {
             let mut nested: Vec<&Block> = Vec::new();
@@ -433,7 +447,7 @@ fn unit_symbols(tu: &TranslationUnit) -> (Vec<(String, bool)>, Vec<String>) {
                 s.walk_exprs(&mut |e| {
                     if let Some((name, _)) = e.as_direct_call() {
                         if !called.contains(name) {
-                            called.insert(name.to_string());
+                            called.insert(Arc::from(name));
                         }
                     }
                     if let ExprKind::StmtExpr(b) = &e.kind {
@@ -596,6 +610,7 @@ pub(crate) fn check_one(
     limits: &AuditLimits,
     parse_limits: &ParseLimits,
     only_patterns: Option<&[AntiPattern]>,
+    engine_set: EngineSet,
     trace: &TraceHandle,
 ) -> CheckedUnit {
     let rehydrated;
@@ -624,11 +639,21 @@ pub(crate) fn check_one(
     let checked = fault_boundary(|| {
         let (graphs, capped, feas) =
             FunctionGraph::build_all_limited_timed(tu, limits.max_graph_nodes);
-        let checkers = match only_patterns {
-            Some(ps) => checkers_for_patterns(ps),
-            None => default_checkers(),
-        };
-        let fs = check_unit_with_program_traced(tu, kb, &graphs, &checkers, program, trace);
+        let mut engines: Vec<Box<dyn AnalysisEngine>> = Vec::new();
+        if engine_set.template {
+            let checkers = match only_patterns {
+                Some(ps) => checkers_for_patterns(ps),
+                None => default_checkers(),
+            };
+            engines.push(Box::new(TemplateEngine::new(checkers)));
+        }
+        if engine_set.delta {
+            engines.push(Box::new(match only_patterns {
+                Some(ps) => DeltaEngine::for_patterns(ps),
+                None => DeltaEngine::new(),
+            }));
+        }
+        let fs = run_engines_traced(tu, kb, &graphs, &engines, program, trace);
         (graphs.len(), capped, fs, feas)
     });
     match checked {
@@ -952,6 +977,7 @@ pub fn audit_cancellable(
             limits,
             parse_limits: &parse_limits,
             only_patterns,
+            engines: config.engines,
             jobs: stream_jobs,
             trace,
             cancel,
@@ -1061,6 +1087,7 @@ pub fn audit_cancellable(
                 limits,
                 &parse_limits,
                 only_patterns,
+                config.engines,
                 trace,
             )
         });

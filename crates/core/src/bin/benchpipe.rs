@@ -17,12 +17,12 @@
 //!     --check        enforce the speedup gates (exit 1 on failure)
 //!     --eval         precision/recall mode: score feasibility on vs off
 //!                    against an FP-trap tree (default out BENCH_eval.json)
-//!     --baseline <F> with --eval --check: minimum acceptable total F1
-//!                    for the feasibility-on run
+//!     --baseline <F> with --eval --check: committed template-only F1
+//!                    floor the combined two-engine run must meet
 //!     -h, --help     print this help
 //! ```
 //!
-//! The report (schema 5) records, against one tree:
+//! The report (schema 6) records, against one tree:
 //!
 //! 1. `scaling` — a cold/warm wall-time curve over the worker-count
 //!    ladder {1, 2, 4, `--jobs`} clamped to the available parallelism.
@@ -59,8 +59,8 @@ use refminer::corpus::{
 };
 use refminer::parallel::effective_jobs;
 use refminer::{
-    audit_traced, audit_with_cache, evaluate, AuditCache, AuditConfig, AuditReport, Project,
-    TraceHandle, TraceSummary,
+    audit_traced, audit_with_cache, evaluate, evaluate_engines, AuditCache, AuditConfig,
+    AuditReport, EngineSet, Project, TraceHandle, TraceSummary,
 };
 use refminer_json::{obj, ToJson, Value};
 
@@ -188,9 +188,13 @@ fn measure(
     (m, cache)
 }
 
-/// Per-stage wall times read off the run's trace summary (schema 3).
+/// Per-stage wall times read off the run's trace summary (schema 3);
+/// schema 6 adds the phase-2 engine split from the `engine.*.us`
+/// counters, so the delta engine's cost rides in every run's record.
 fn stage_json(s: &TraceSummary) -> Value {
     let sec = |stage: &str| (s.stage_total_us(stage) as f64 / 1e6).to_json();
+    let counter_sec =
+        |name: &str| (s.counters.get(name).copied().unwrap_or(0) as f64 / 1e6).to_json();
     let merge = (s.stage_total_us("merge.kb") + s.stage_total_us("merge.progdb")) as f64 / 1e6;
     obj([
         ("hash_secs", sec("hash")),
@@ -198,6 +202,8 @@ fn stage_json(s: &TraceSummary) -> Value {
         ("export_secs", sec("export")),
         ("merge_secs", merge.to_json()),
         ("check_secs", sec("check")),
+        ("engine_template_secs", counter_sec("engine.template.us")),
+        ("engine_delta_secs", counter_sec("engine.delta.us")),
         ("report_secs", sec("report")),
         ("feasibility_secs", sec("feasibility")),
     ])
@@ -425,11 +431,12 @@ fn main() -> ExitCode {
     );
 
     let mut report_fields = vec![
-        // Schema 5: the `scaling` worker-count curve, the streaming-vs-
+        // Schema 6: per-engine phase-2 wall times in every run's
+        // `stages` object (the two-engine audit core). Every schema-5
+        // key — the `scaling` worker-count curve, the streaming-vs-
         // barrier cold comparison, the binary-vs-JSON warm-load
-        // comparison, and `--big` kernel-scale trees. Every schema-4
-        // key is unchanged.
-        ("schema", 5.to_json()),
+        // comparison, `--big` kernel-scale trees — is unchanged.
+        ("schema", 6.to_json()),
         ("big", opts.big.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
@@ -589,9 +596,12 @@ fn main() -> ExitCode {
 
 /// `--eval`: generate an FP-trap tree, audit it with the feasibility
 /// engine off and on, score both against the ground-truth manifest,
-/// and (with `--check`) enforce that feasibility pruning strictly
-/// improves precision on at least two anti-patterns with zero recall
-/// loss — and that the total F1 stays at or above `--baseline`.
+/// then audit once more with the template engine alone and score the
+/// two-engine run against it. With `--check`, enforce that
+/// feasibility pruning strictly improves precision on at least two
+/// anti-patterns with zero recall loss, that the combined two-engine
+/// F1 never drops below the template-only run's, and that it stays at
+/// or above `--baseline` (the committed template-only baseline).
 fn run_eval(opts: &Options) -> ExitCode {
     let out = opts
         .out
@@ -620,10 +630,17 @@ fn run_eval(opts: &Options) -> ExitCode {
         feasibility: false,
         ..on_cfg.clone()
     };
+    let tmpl_cfg = AuditConfig {
+        engines: EngineSet::template_only(),
+        ..on_cfg.clone()
+    };
     let off_report = audit_with_cache(&project, &off_cfg, &mut AuditCache::new());
     let on_report = audit_with_cache(&project, &on_cfg, &mut AuditCache::new());
+    let tmpl_report = audit_with_cache(&project, &tmpl_cfg, &mut AuditCache::new());
     let off = evaluate(&off_report.findings, &tree.manifest);
     let on = evaluate(&on_report.findings, &tree.manifest);
+    let tmpl = evaluate(&tmpl_report.findings, &tree.manifest);
+    let engines = evaluate_engines(&on_report.findings, &tree.manifest);
 
     // Per-pattern comparison. A pattern with a row only in the `off`
     // run had nothing but false positives there, all of which the
@@ -655,16 +672,23 @@ fn run_eval(opts: &Options) -> ExitCode {
     }
 
     let report = obj([
-        ("schema", 1.to_json()),
+        // Schema 2: `feasibility_on` carries the per-engine split and
+        // confidence histogram, and the template-only comparison run
+        // rides alongside (`template_only`, `f1_template_only`,
+        // `f1_combined`). Every schema-1 key is unchanged.
+        ("schema", 2.to_json()),
         ("files", tree.files.len().to_json()),
         ("bugs", tree.manifest.bugs.len().to_json()),
         ("fp_traps", tree.manifest.fp_traps.len().to_json()),
         ("feasibility_off", off.to_json()),
-        ("feasibility_on", on.to_json()),
+        ("feasibility_on", engines.to_json()),
+        ("template_only", tmpl.to_json()),
         ("patterns_improved", improved.to_json()),
         ("recall_lost", recall_lost.to_json()),
         ("f1_off", off.totals.f1().to_json()),
         ("f1_on", on.totals.f1().to_json()),
+        ("f1_template_only", tmpl.totals.f1().to_json()),
+        ("f1_combined", on.totals.f1().to_json()),
     ]);
     if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_string_pretty())) {
         eprintln!("benchpipe: cannot write {}: {e}", out.display());
@@ -684,6 +708,11 @@ fn run_eval(opts: &Options) -> ExitCode {
         on.trap_hits,
         improved,
     );
+    eprintln!(
+        "benchpipe: template-only F1 {:.3} | combined two-engine F1 {:.3}",
+        tmpl.totals.f1(),
+        on.totals.f1(),
+    );
     println!("{}", out.display());
 
     if opts.check {
@@ -702,10 +731,18 @@ fn run_eval(opts: &Options) -> ExitCode {
             );
             failed = true;
         }
+        if on.totals.f1() < tmpl.totals.f1() {
+            eprintln!(
+                "benchpipe: FAIL: combined two-engine F1 {:.4} below template-only {:.4}",
+                on.totals.f1(),
+                tmpl.totals.f1()
+            );
+            failed = true;
+        }
         if let Some(baseline) = opts.baseline {
             if on.totals.f1() < baseline {
                 eprintln!(
-                    "benchpipe: FAIL: total F1 {:.4} below committed baseline {baseline:.4}",
+                    "benchpipe: FAIL: combined F1 {:.4} below committed baseline {baseline:.4}",
                     on.totals.f1()
                 );
                 failed = true;

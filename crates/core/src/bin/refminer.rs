@@ -10,6 +10,7 @@
 //! OPTIONS:
 //!     --pattern <P1..P9>[,..]  only report these anti-patterns (report filter)
 //!     --only-pattern <P1..>[,..] only *run* these patterns' checkers
+//!     --engines <template,delta> which analysis engines run (default both)
 //!     --subsystem <PREFIX>     only audit units under this path prefix
 //!     --impact <leak|uaf|npd>  only report these impacts
 //!     --no-feasibility         keep findings on infeasible paths
@@ -47,7 +48,8 @@ use refminer::serve::{
     ServeOptions, WatchOptions,
 };
 use refminer::{
-    audit_traced, evaluate, AuditCache, AuditConfig, AuditLimits, Project, ScanOptions, TraceHandle,
+    audit_traced, evaluate_engines, AuditCache, AuditConfig, AuditLimits, EngineSet, Project,
+    ScanOptions, TraceHandle,
 };
 use refminer_json::{ToJson, Value};
 
@@ -56,6 +58,7 @@ struct Options {
     path: PathBuf,
     patterns: Option<Vec<AntiPattern>>,
     only_patterns: Option<Vec<AntiPattern>>,
+    engines: EngineSet,
     subsystem: Option<String>,
     impacts: Option<Vec<Impact>>,
     feasibility: bool,
@@ -73,7 +76,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: refminer [eval] [--pattern P4,P8] [--only-pattern P4,P8] \
-         [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
+         [--engines template,delta] [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
          [--json|--csv] [--no-discovery] [--stats] [--strict] [--trace FILE] \
          [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
     );
@@ -101,6 +104,7 @@ fn parse_args() -> Options {
         path: PathBuf::new(),
         patterns: None,
         only_patterns: None,
+        engines: EngineSet::default(),
         subsystem: None,
         impacts: None,
         feasibility: true,
@@ -119,7 +123,6 @@ fn parse_args() -> Options {
         opts.eval = true;
         args.next();
     }
-    let mut args = args;
     let mut path: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -178,6 +181,16 @@ fn parse_args() -> Options {
                     Some(v) if !v.is_empty() => opts.only_patterns = Some(v),
                     _ => {
                         eprintln!("unknown anti-pattern in `{value}`");
+                        usage();
+                    }
+                }
+            }
+            "--engines" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match EngineSet::parse(&value) {
+                    Ok(set) => opts.engines = set,
+                    Err(e) => {
+                        eprintln!("--engines: {e}");
                         usage();
                     }
                 }
@@ -262,6 +275,7 @@ fn main() -> ExitCode {
             jobs: opts.jobs,
             feasibility: opts.feasibility,
             only_patterns: opts.only_patterns.clone(),
+            engines: opts.engines,
             subsystem: opts.subsystem.clone(),
             ..Default::default()
         },
@@ -632,7 +646,7 @@ fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let eval = evaluate(findings, &manifest);
+    let eval = evaluate_engines(findings, &manifest);
     if opts.json {
         println!("{}", eval.to_json());
         return ExitCode::SUCCESS;
@@ -647,7 +661,7 @@ fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
         "f1",
     ])
     .numeric();
-    for row in &eval.rows {
+    for row in &eval.combined.rows {
         t.row(vec![
             row.pattern.id().to_string(),
             row.counts.tp.to_string(),
@@ -660,14 +674,31 @@ fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
     }
     t.row(vec![
         "total".to_string(),
-        eval.totals.tp.to_string(),
-        eval.totals.fp.to_string(),
-        eval.totals.missed.to_string(),
-        format!("{:.3}", eval.totals.precision()),
-        format!("{:.3}", eval.totals.recall()),
-        format!("{:.3}", eval.totals.f1()),
+        eval.combined.totals.tp.to_string(),
+        eval.combined.totals.fp.to_string(),
+        eval.combined.totals.missed.to_string(),
+        format!("{:.3}", eval.combined.totals.precision()),
+        format!("{:.3}", eval.combined.totals.recall()),
+        format!("{:.3}", eval.combined.totals.f1()),
     ]);
+    for (engine, report) in &eval.per_engine {
+        t.row(vec![
+            engine.name().to_string(),
+            report.totals.tp.to_string(),
+            report.totals.fp.to_string(),
+            report.totals.missed.to_string(),
+            format!("{:.3}", report.totals.precision()),
+            format!("{:.3}", report.totals.recall()),
+            format!("{:.3}", report.totals.f1()),
+        ]);
+    }
     print!("{}", t.render());
-    println!("trap hits: {}", eval.trap_hits);
+    let conf: Vec<String> = eval
+        .confidence
+        .iter()
+        .map(|(c, n)| format!("{} {n}", c.name()))
+        .collect();
+    println!("confidence: {}", conf.join(", "));
+    println!("trap hits: {}", eval.combined.trap_hits);
     ExitCode::SUCCESS
 }

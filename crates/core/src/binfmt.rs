@@ -25,7 +25,7 @@
 //! or explicit `match`es — stable as long as the order is, which the
 //! cache version guards.
 
-use refminer_checkers::{AntiPattern, Finding, Impact};
+use refminer_checkers::{AntiPattern, EngineId, Finding, Impact};
 use refminer_clex::MacroDef;
 use refminer_cpg::Feasibility;
 use refminer_progdb::{CallSite, FnExport, UnitExports};
@@ -372,6 +372,15 @@ fn put_finding(out: &mut Vec<u8>, f: &Finding) {
         },
     );
     put_vec(out, &f.checkers, |o, c| put_str(o, c));
+    put_vec(out, &f.engines, |o, e| {
+        put_u8(
+            o,
+            match e {
+                EngineId::Template => 0,
+                EngineId::Delta => 1,
+            },
+        )
+    });
 }
 
 fn get_finding(d: &mut Dec<'_>) -> Option<Finding> {
@@ -397,6 +406,11 @@ fn get_finding(d: &mut Dec<'_>) -> Option<Finding> {
             _ => return None,
         },
         checkers: get_vec(d, |d| d.str())?,
+        engines: get_vec(d, |d| match d.u8()? {
+            0 => Some(EngineId::Template),
+            1 => Some(EngineId::Delta),
+            _ => None,
+        })?,
     })
 }
 
@@ -444,8 +458,10 @@ pub(crate) fn decode_parsed(bytes: &[u8]) -> Option<ParsedUnit> {
         errors: get_vec(&mut d, get_error)?,
         defines: get_vec(&mut d, get_macro)?,
         discovery: get_discovery(&mut d)?,
-        syms: get_vec(&mut d, |d| Some((d.str()?, d.bool()?)))?,
-        called: get_vec(&mut d, |d| d.str())?,
+        syms: get_vec(&mut d, |d| {
+            Some((std::sync::Arc::from(d.str()?), d.bool()?))
+        })?,
+        called: get_vec(&mut d, |d| d.str().map(std::sync::Arc::from))?,
     };
     d.is_done().then_some(p)
 }
@@ -605,6 +621,7 @@ mod tests {
                 message: "deref without NULL check".into(),
                 feasibility: Feasibility::Proven,
                 checkers: vec!["ReturnNullChecker".into()],
+                engines: vec![EngineId::Template],
             }],
             functions: 7,
             errors: vec![CachedError {
@@ -647,6 +664,7 @@ mod tests {
                 message: "m".into(),
                 feasibility: Feasibility::Assumed,
                 checkers: vec!["ErrorPathChecker".into()],
+                engines: vec![EngineId::Template, EngineId::Delta],
             }],
             functions: 1,
             errors: Vec::new(),

@@ -139,17 +139,25 @@ pub fn parse_config_fingerprint(config: &AuditConfig) -> u64 {
 
 /// Fingerprint of the check-stage configuration.
 ///
-/// `--only-pattern` and `--subsystem` scope what the check stage
-/// produces, so both key the layer — a filtered run never poisons (or
-/// reuses) full-run entries. The `feasibility` suppression flag is
-/// deliberately absent: verdicts are always computed and cached with
-/// the findings, and suppression happens post-cache in the report
-/// layer, so both modes share the same entries.
+/// `--only-pattern`, `--engines`, and `--subsystem` scope what the
+/// check stage produces, so all three key the layer — a filtered or
+/// template-only run never poisons (or reuses) full-run entries. The
+/// delta engine's own logic version is folded only when the engine is
+/// enabled, so template-only entries survive delta-engine changes.
+/// The `feasibility` suppression flag is deliberately absent: verdicts
+/// are always computed and cached with the findings, and suppression
+/// happens post-cache in the report layer, so both modes share the
+/// same entries.
 pub fn check_config_fingerprint(config: &AuditConfig) -> u64 {
     let mut h = FNV_OFFSET;
     h = mix(h, config.limits.max_graph_nodes as u64);
     h = mix(h, checker_set_fingerprint());
     h = mix(h, config.whole_program as u64);
+    h = mix(h, config.engines.template as u64);
+    h = mix(h, config.engines.delta as u64);
+    if config.engines.delta {
+        h = mix(h, refminer_delta::delta_fingerprint());
+    }
     match &config.only_patterns {
         None => h = mix(h, 0),
         Some(ps) => {
@@ -235,11 +243,13 @@ pub struct ParsedUnit {
     /// Per-unit discovery facts for the cross-unit KB merge.
     pub discovery: UnitDiscovery,
     /// `(name, is_static)` of every function *defined* in the unit, in
-    /// source order — the supply side of the dependency graph.
-    pub syms: Vec<(String, bool)>,
+    /// source order — the supply side of the dependency graph. Interned
+    /// (`Arc<str>`): the streaming scheduler's closure map shares these
+    /// allocations instead of cloning names per edge.
+    pub syms: Vec<(Arc<str>, bool)>,
     /// Names *called* anywhere in the unit, sorted and deduplicated —
-    /// the demand side of the dependency graph.
-    pub called: Vec<String>,
+    /// the demand side of the dependency graph. Interned like `syms`.
+    pub called: Vec<Arc<str>>,
 }
 
 /// The check stage's result for one unit.
@@ -449,7 +459,10 @@ pub const QUARANTINE_SUFFIX: &str = ".corrupt";
 /// with a different version is ignored wholesale.
 /// v4: binary container replaces the JSON document; parse entries
 /// carry discovery/syms/called; export entries are exports-only.
-const CACHE_VERSION: u64 = 4;
+/// v5: findings carry per-engine attribution (the two-engine audit
+/// core); check entries serialized under v4 would deserialize with
+/// empty engine lists and mislabel confidence.
+const CACHE_VERSION: u64 = 5;
 
 /// First bytes of every cache file; anything else is not ours.
 const MAGIC: [u8; 8] = *b"RFMCACHE";
@@ -912,7 +925,12 @@ impl AuditCache {
                                             .collect(),
                                     ),
                                 ),
-                                ("called", p.called.to_json()),
+                                (
+                                    "called",
+                                    Value::Arr(
+                                        p.called.iter().map(|c| c.as_ref().to_json()).collect(),
+                                    ),
+                                ),
                             ]))
                         })
                         .collect(),
@@ -992,14 +1010,14 @@ impl AuditCache {
             let Some(discovery) = entry.get("discovery").and_then(unit_discovery_from_json) else {
                 continue;
             };
-            let syms: Option<Vec<(String, bool)>> = entry
+            let syms: Option<Vec<(Arc<str>, bool)>> = entry
                 .get("syms")
                 .and_then(Value::as_array)
                 .map(|a| {
                     a.iter()
                         .map(|s| {
                             Some((
-                                s.get("name")?.as_str()?.to_string(),
+                                Arc::from(s.get("name")?.as_str()?),
                                 s.get("static")?.as_bool()?,
                             ))
                         })
@@ -1007,12 +1025,12 @@ impl AuditCache {
                 })
                 .unwrap_or(None);
             let Some(syms) = syms else { continue };
-            let called: Option<Vec<String>> = entry
+            let called: Option<Vec<Arc<str>>> = entry
                 .get("called")
                 .and_then(Value::as_array)
                 .map(|a| {
                     a.iter()
-                        .map(|c| c.as_str().map(str::to_string))
+                        .map(|c| c.as_str().map(Arc::from))
                         .collect::<Option<_>>()
                 })
                 .unwrap_or(None);
@@ -1203,6 +1221,16 @@ fn finding_from_json(v: &Value) -> Option<Finding> {
             .iter()
             .map(|c| c.as_str().map(str::to_string))
             .collect::<Option<_>>()?,
+        // Pre-two-engine documents carry no attribution; an absent
+        // list reads as legacy (template-implied) rather than failing.
+        engines: match v.get("engines") {
+            None => Vec::new(),
+            Some(a) => a
+                .as_array()?
+                .iter()
+                .map(|e| e.as_str().and_then(refminer_checkers::EngineId::from_name))
+                .collect::<Option<_>>()?,
+        },
     })
 }
 
@@ -1576,6 +1604,7 @@ mod tests {
             message: "deref without NULL check".into(),
             feasibility: refminer_checkers::Feasibility::Proven,
             checkers: vec!["ReturnNullChecker".into()],
+            engines: vec![refminer_checkers::EngineId::Template],
         };
         assert_eq!(finding_from_json(&f.to_json()), Some(f));
     }
@@ -1655,8 +1684,8 @@ mod tests {
         assert!(p.tu.is_none(), "ASTs must not round-trip through disk");
         assert_eq!(p.lines, 40);
         assert_eq!(p.discovery.apis[0].name, "widget_put");
-        assert_eq!(p.syms, vec![("probe".to_string(), true)]);
-        assert_eq!(p.called, vec!["of_node_put".to_string()]);
+        assert_eq!(p.syms, vec![(Arc::<str>::from("probe"), true)]);
+        assert_eq!(p.called, vec![Arc::<str>::from("of_node_put")]);
         let e = reloaded.export_get(13).expect("export entry");
         assert_eq!(e.fns[0].calls[0].callee, "of_node_put");
         assert_eq!(reloaded.stats.check_hits, 1);
@@ -1805,8 +1834,8 @@ mod tests {
                 p.parsed_ok = next() % 2 == 0;
                 for s in 0..(next() % 4) {
                     p.syms
-                        .push((format!("fn_{round}_{e}_{s}"), next() % 2 == 0));
-                    p.called.push(format!("callee_{}", next() % 7));
+                        .push((format!("fn_{round}_{e}_{s}").into(), next() % 2 == 0));
+                    p.called.push(format!("callee_{}", next() % 7).into());
                 }
                 if next() % 2 == 0 {
                     p.errors.push(CachedError {
@@ -1857,6 +1886,7 @@ mod tests {
                             refminer_checkers::Feasibility::Proven,
                         ][(next() % 3) as usize],
                         checkers: vec!["C".into()],
+                        engines: Vec::new(),
                     });
                 }
                 cache.check_put(

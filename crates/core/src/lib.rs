@@ -39,17 +39,21 @@ pub use cache::{
     QUARANTINE_SUFFIX,
 };
 pub use cancel::{CancelReason, CancelToken, Cancelled};
-pub use eval::{evaluate, Counts, EvalReport, EvalRow};
+pub use eval::{
+    evaluate, evaluate_engines, finding_attributed, Counts, EngineEvalReport, EvalReport, EvalRow,
+};
 pub use parallel::{effective_jobs, run_indexed, run_indexed_timed, run_indexed_traced};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
 pub use refminer_checkers as checkers;
-pub use refminer_checkers::{AntiPattern, Finding, Impact};
+pub use refminer_checkers::{AntiPattern, Confidence, EngineId, EngineSet, Finding, Impact};
 pub use refminer_clex as clex;
 pub use refminer_corpus as corpus;
 pub use refminer_cparse as cparse;
 pub use refminer_cpg as cpg;
 pub use refminer_dataset as dataset;
+pub use refminer_delta as delta;
+pub use refminer_delta::DeltaEngine;
 pub use refminer_progdb as progdb;
 pub use refminer_progdb::ProgramDb;
 pub use refminer_rcapi as rcapi;

@@ -40,7 +40,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use refminer_checkers::{AntiPattern, ProgramDb, UnitExports};
+use refminer_checkers::{AntiPattern, EngineSet, ProgramDb, UnitExports};
 use refminer_cparse::ParseLimits;
 use refminer_rcapi::ApiKb;
 use refminer_trace::TraceHandle;
@@ -98,6 +98,10 @@ pub(crate) struct StreamInput<'a> {
     pub limits: &'a AuditLimits,
     pub parse_limits: &'a ParseLimits,
     pub only_patterns: Option<&'a [AntiPattern]>,
+    /// Which analysis engines each check runs; mirrors the barrier
+    /// path's `config.engines` (the set is already folded into
+    /// `kb_fp`, so keys distinguish engine configurations).
+    pub engines: EngineSet,
     pub jobs: usize,
     pub trace: &'a TraceHandle,
     pub cancel: &'a CancelToken,
@@ -148,7 +152,7 @@ fn closures(
     for (i, p) in parsed.iter().enumerate() {
         for (name, is_static) in &p.as_ref().unwrap().syms {
             if !is_static {
-                definers.entry(name.as_str()).or_default().push(i);
+                definers.entry(name.as_ref()).or_default().push(i);
             }
         }
     }
@@ -159,7 +163,7 @@ fn closures(
         let mut all = false;
         'grow: while let Some(j) = frontier.pop() {
             for name in &parsed[j].as_ref().unwrap().called {
-                let Some(defs) = definers.get(name.as_str()) else {
+                let Some(defs) = definers.get(name.as_ref()) else {
                     continue;
                 };
                 if defs.len() > MAX_DEFINERS {
@@ -442,6 +446,7 @@ fn run_check(input: &StreamInput<'_>, i: usize, db: &ProgramDb, shared: &(Mutex<
                     input.limits,
                     input.parse_limits,
                     input.only_patterns,
+                    input.engines,
                     input.trace,
                 )
             };

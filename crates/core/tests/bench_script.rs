@@ -41,10 +41,10 @@ fn bench_smoke_script_passes() {
     assert!(v.get("speedup_warm").is_some());
     assert!(v.get("speedup_parallel").is_some());
     assert!(v.get("runs").is_some());
-    // Schema 5: the scaling curve, the binary-vs-JSON load comparison,
-    // and explicit gate states. A skipped gate must be visible, not a
-    // silent pass.
-    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(5.0));
+    // Schema 6: the scaling curve, the binary-vs-JSON load comparison,
+    // the per-engine phase-2 time split, and explicit gate states. A
+    // skipped gate must be visible, not a silent pass.
+    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(6.0));
     let cores = v.get("cores").and_then(|c| c.as_u64()).expect("cores");
     let jobs = v.get("jobs").and_then(|c| c.as_u64()).expect("jobs");
     for gate_key in ["parallel_gate", "streaming_gate"] {
@@ -115,7 +115,15 @@ fn bench_smoke_script_passes() {
     assert!(warm.get("phase1_secs").is_some());
     assert!(warm.get("phase2_secs").is_some());
     let stages = warm.get("stages").expect("per-run stage breakdown");
-    for stage in ["parse", "export", "merge", "check", "report"] {
+    for stage in [
+        "parse",
+        "export",
+        "merge",
+        "check",
+        "engine_template",
+        "engine_delta",
+        "report",
+    ] {
         assert!(
             stages.get(&format!("{stage}_secs")).is_some(),
             "missing stage {stage}: {stages}"
@@ -130,7 +138,27 @@ fn bench_smoke_script_passes() {
     let eval = std::fs::read_to_string(&eval_file).expect("eval report written");
     let e = refminer_json::Value::parse(&eval).expect("valid eval report");
     assert!(e.get("feasibility_off").is_some());
-    assert!(e.get("feasibility_on").is_some());
+    let feas_on = e.get("feasibility_on").expect("feasibility_on present");
+    // Schema 2: the feasibility-on run carries the per-engine split
+    // and the confidence histogram, and the template-only comparison
+    // rides alongside.
+    assert!(feas_on
+        .get("engines")
+        .and_then(|x| x.get("delta"))
+        .is_some());
+    assert!(feas_on.get("confidence").is_some());
+    let f1_combined = e
+        .get("f1_combined")
+        .and_then(|f| f.as_f64())
+        .expect("f1_combined");
+    let f1_template = e
+        .get("f1_template_only")
+        .and_then(|f| f.as_f64())
+        .expect("f1_template_only");
+    assert!(
+        f1_combined >= f1_template,
+        "combined F1 {f1_combined} fell below template-only {f1_template}"
+    );
     assert_eq!(e.get("recall_lost").and_then(|b| b.as_bool()), Some(false));
     assert!(
         e.get("patterns_improved")

@@ -316,6 +316,53 @@ fn eval_feasibility_improves_precision_without_recall_loss() {
 }
 
 #[test]
+fn eval_reports_per_engine_and_combined_metrics() {
+    let dir = write_fp_trap_tree("engines");
+    let out = refminer()
+        .arg("eval")
+        .arg("--json")
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0), "eval exits 0");
+    let v = refminer_json::Value::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("eval report is JSON");
+
+    // Combined metrics keep their schema-1 shape at the top level...
+    assert!(v.get("per_pattern").is_some());
+    assert!(v.get("trap_hits").is_some());
+    // ...and the two-engine split plus confidence histogram ride along.
+    let engines = v.get("engines").expect("per-engine sub-reports");
+    for e in ["template", "delta"] {
+        let f1 = engines
+            .get(e)
+            .and_then(|s| s.get("totals"))
+            .and_then(|t| t.get("f1"))
+            .and_then(|f| f.as_f64())
+            .unwrap_or_else(|| panic!("missing {e} F1"));
+        assert!((0.0..=1.0).contains(&f1));
+    }
+    let conf = v.get("confidence").expect("confidence histogram");
+    let mut total = 0;
+    for c in ["corroborated", "template_only", "delta_only"] {
+        total += conf
+            .get(c)
+            .and_then(|n| n.as_u64())
+            .unwrap_or_else(|| panic!("missing {c}"));
+    }
+    assert!(total > 0, "confidence histogram is empty");
+
+    // The text table renders one row per engine plus the histogram.
+    let out = refminer().arg("eval").arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in ["template", "delta", "confidence:"] {
+        assert!(text.contains(needle), "table missing {needle:?}:\n{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn eval_empty_manifest_and_clean_tree_score_perfect() {
     // The degenerate eval: no bugs injected, no findings reported.
     // Both metric denominators are empty and the conventions say 1.0,

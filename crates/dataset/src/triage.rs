@@ -290,6 +290,7 @@ mod tests {
             message: String::new(),
             feasibility: refminer_checkers::Feasibility::Assumed,
             checkers: Vec::new(),
+            engines: Vec::new(),
         }
     }
 

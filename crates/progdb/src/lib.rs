@@ -22,7 +22,8 @@
 //! parks the parameter in a field, out-parameter, or global) used for
 //! cross-unit escape reasoning.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use refminer_cpg::{FunctionGraph, StoreTarget};
 use refminer_rcapi::{ApiKb, RcDir};
@@ -147,6 +148,25 @@ struct FnInfo {
     unit: usize,
 }
 
+/// Build-time symbol interner: every function, callee, and unit-path
+/// name in the merged database shares one allocation per distinct
+/// string. Lookups still take `&str` (through `Borrow`), so the delta
+/// engine's interprocedural queries — one `summary_of` per call node
+/// per seed — never clone a key.
+#[derive(Default)]
+struct Interner(HashSet<Arc<str>>);
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(a) = self.0.get(s) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(s);
+        self.0.insert(a.clone());
+        a
+    }
+}
+
 /// The merged whole-program view: every function's effect summary,
 /// resolvable by `(unit, name)` under C linkage rules.
 #[derive(Default)]
@@ -154,18 +174,22 @@ pub struct ProgramDb {
     fns: Vec<FnInfo>,
     summaries: Vec<FnSummary>,
     /// Per unit: first definition of each name (file-scope lookup).
-    by_unit: Vec<HashMap<String, usize>>,
+    by_unit: Vec<HashMap<Arc<str>, usize>>,
     /// First non-`static` definition of each name, in unit order.
-    extern_first: HashMap<String, usize>,
-    unit_of_path: HashMap<String, usize>,
+    extern_first: HashMap<Arc<str>, usize>,
+    unit_of_path: HashMap<Arc<str>, usize>,
+    /// Unit index → path: the O(1) reverse of `unit_of_path`, so the
+    /// deps fingerprint can name a resolution's defining unit without
+    /// scanning the forward map.
+    unit_paths: Vec<Arc<str>>,
     /// Per unit: sorted, deduplicated callee names (for fingerprints).
-    unit_callees: Vec<Vec<String>>,
+    unit_callees: Vec<Vec<Arc<str>>>,
     whole_program: bool,
 }
 
 fn resolve(
-    by_unit: &[HashMap<String, usize>],
-    extern_first: &HashMap<String, usize>,
+    by_unit: &[HashMap<Arc<str>, usize>],
+    extern_first: &HashMap<Arc<str>, usize>,
     whole_program: bool,
     unit: usize,
     name: &str,
@@ -208,31 +232,37 @@ impl ProgramDb {
     /// lookup stays unit-local, reproducing the pre-refactor per-unit
     /// behavior exactly.
     pub fn build(units: &[&UnitExports], kb: &ApiKb, whole_program: bool) -> ProgramDb {
+        let mut interner = Interner::default();
         let mut fns = Vec::new();
         let mut by_unit = Vec::with_capacity(units.len());
-        let mut extern_first: HashMap<String, usize> = HashMap::new();
+        let mut extern_first: HashMap<Arc<str>, usize> = HashMap::new();
         let mut unit_of_path = HashMap::new();
+        let mut unit_paths = Vec::with_capacity(units.len());
         let mut unit_callees = Vec::with_capacity(units.len());
         for (ui, unit) in units.iter().enumerate() {
-            unit_of_path.entry(unit.path.clone()).or_insert(ui);
-            let mut map: HashMap<String, usize> = HashMap::new();
+            let path = interner.intern(&unit.path);
+            unit_paths.push(path.clone());
+            unit_of_path.entry(path).or_insert(ui);
+            let mut map: HashMap<Arc<str>, usize> = HashMap::new();
             for f in &unit.fns {
                 let id = fns.len();
                 fns.push(FnInfo {
                     is_static: f.is_static,
                     unit: ui,
                 });
-                map.entry(f.name.clone()).or_insert(id);
+                let name = interner.intern(&f.name);
+                map.entry(name.clone()).or_insert(id);
                 if !f.is_static {
-                    extern_first.entry(f.name.clone()).or_insert(id);
+                    extern_first.entry(name).or_insert(id);
                 }
             }
             by_unit.push(map);
-            let mut names: Vec<String> = unit
-                .fns
-                .iter()
-                .flat_map(|f| f.calls.iter().map(|c| c.callee.clone()))
-                .collect();
+            let mut names: Vec<Arc<str>> = Vec::new();
+            for f in &unit.fns {
+                for c in &f.calls {
+                    names.push(interner.intern(&c.callee));
+                }
+            }
             names.sort();
             names.dedup();
             unit_callees.push(names);
@@ -312,6 +342,7 @@ impl ProgramDb {
             by_unit,
             extern_first,
             unit_of_path,
+            unit_paths,
             unit_callees,
             whole_program,
         }
@@ -394,12 +425,7 @@ impl ProgramDb {
             ) {
                 Some(id) => {
                     let info = &self.fns[id];
-                    let def_unit = self
-                        .unit_of_path
-                        .iter()
-                        .find(|(_, &u)| u == info.unit)
-                        .map(|(p, _)| p.as_str())
-                        .unwrap_or("");
+                    let def_unit: &str = &self.unit_paths[info.unit];
                     h = mix(h, fnv1a(def_unit.as_bytes()));
                     h = mix(h, info.is_static as u64 + 1);
                     let s = &self.summaries[id];
