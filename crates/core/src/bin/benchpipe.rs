@@ -22,7 +22,7 @@
 //!     -h, --help     print this help
 //! ```
 //!
-//! The report (schema 6) records, against one tree:
+//! The report (schema 7) records, against one tree:
 //!
 //! 1. `scaling` — a cold/warm wall-time curve over the worker-count
 //!    ladder {1, 2, 4, `--jobs`} clamped to the available parallelism.
@@ -38,6 +38,11 @@
 //!    both ways: the binary container (validate + index, payloads
 //!    lazy) versus the JSON-era document (full parse). This is the
 //!    cache-format comparison: identical content, both formats.
+//! 5. `diff` — a simulated fix history replayed through the
+//!    incremental differ: per-commit diff-audit wall time, the
+//!    left-behind sweep's share of it, and the delta counts, all
+//!    against one shared per-unit cache (so every commit after the
+//!    first is a warm incremental diff, exactly the CI shape).
 //!
 //! With `--check`, the warm run must be ≥5× faster than cold at the
 //! same job count, and the incremental run must re-parse exactly the
@@ -55,12 +60,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use refminer::corpus::{
-    generate_big_tree, generate_tree, next_revision, BigTreeConfig, TreeConfig,
+    generate_big_tree, generate_fix_history, generate_tree, next_revision, BigTreeConfig,
+    TreeConfig,
 };
 use refminer::parallel::effective_jobs;
 use refminer::{
-    audit_traced, audit_with_cache, evaluate, evaluate_engines, AuditCache, AuditConfig,
-    AuditReport, EngineSet, Project, TraceHandle, TraceSummary,
+    audit_traced, audit_with_cache, diff_delta, diff_projects, evaluate, evaluate_engines,
+    AuditCache, AuditConfig, AuditReport, DiffOptions, EngineSet, Project, TraceHandle,
+    TraceSummary,
 };
 use refminer_json::{obj, ToJson, Value};
 
@@ -407,6 +414,92 @@ fn main() -> ExitCode {
         "skipped"
     };
 
+    // Diff-audit replay: a small fix history (base tree + one
+    // partial-fix commit per clone group + a neutral refactor) driven
+    // through the incremental differ against one shared cache. The
+    // base audit is the only cold one; each commit then re-parses
+    // exactly its changed units, which is the number the exactness
+    // gate pins. The sweep's cost is measured as a second delta
+    // computation with the sweep enabled — the set difference it
+    // repeats is trivial next to the clone matching itself.
+    let hist = generate_fix_history(&TreeConfig {
+        seed: 0xD1FF,
+        scale: opts.scale,
+        clone_groups: 2,
+        ..Default::default()
+    });
+    let hist_projects: Vec<Project> = hist.iter().map(|r| Project::from_tree(&r.tree)).collect();
+    let hist_files = hist_projects[0].units().len();
+    let mut diff_cache = AuditCache::new();
+    let t = Instant::now();
+    let hist_base = audit_with_cache(&hist_projects[0], &cfg_at(jobs), &mut diff_cache);
+    let diff_cold_secs = t.elapsed().as_secs_f64();
+    let mut diff_commits: Vec<Value> = Vec::new();
+    let mut diff_parse_exact = true;
+    let mut diff_max_secs: f64 = 0.0;
+    for i in 1..hist_projects.len() {
+        let (a, b) = (&hist_projects[i - 1], &hist_projects[i]);
+        let changed = {
+            let prev: std::collections::HashMap<&str, &str> = a
+                .units()
+                .iter()
+                .map(|u| (u.path.as_str(), u.text.as_str()))
+                .collect();
+            b.units()
+                .iter()
+                .filter(|u| prev.get(u.path.as_str()) != Some(&u.text.as_str()))
+                .count()
+        };
+        let t = Instant::now();
+        let dr = diff_projects(
+            a,
+            b,
+            &cfg_at(jobs),
+            &mut diff_cache,
+            &DiffOptions { sweep: false },
+        );
+        let diff_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let delta = diff_delta(
+            &dr.report_a.findings,
+            &dr.report_b.findings,
+            Some(a),
+            b,
+            &dr.report_b.kb,
+            true,
+        );
+        let sweep_secs = t.elapsed().as_secs_f64();
+        if dr.report_b.cache.parse_misses != changed {
+            eprintln!(
+                "benchpipe: diff commit {} re-parsed {} units, expected {changed}",
+                hist[i].id, dr.report_b.cache.parse_misses,
+            );
+            diff_parse_exact = false;
+        }
+        diff_max_secs = diff_max_secs.max(diff_secs);
+        diff_commits.push(obj([
+            ("id", hist[i].id.as_str().into()),
+            ("changed_units", changed.to_json()),
+            ("diff_secs", diff_secs.to_json()),
+            ("sweep_secs", sweep_secs.to_json()),
+            ("introduced", delta.introduced.len().to_json()),
+            ("fixed", delta.fixed.len().to_json()),
+            ("moved", delta.moved.len().to_json()),
+            ("left_behind", delta.left_behind_total().to_json()),
+        ]));
+    }
+    // The warm-diff-beats-cold-audit gate only means something once the
+    // tree is big enough that per-unit work dominates constant costs;
+    // on a toy history the fixed overhead of two audits can exceed one
+    // cold audit and the gate would flap. Skip it honestly below 300
+    // files rather than letting it pass (or fail) vacuously.
+    let diff_gate_enforced = hist_files >= 300;
+    let diff_latency_gate = if diff_gate_enforced {
+        "enforced"
+    } else {
+        "skipped"
+    };
+
     let mut runs = vec![run_json("cold_jobs1", cold_seq, files)];
     if let Some(m) = cold_par {
         runs.push(run_json(&format!("cold_jobs{jobs}"), m, files));
@@ -431,12 +524,14 @@ fn main() -> ExitCode {
     );
 
     let mut report_fields = vec![
-        // Schema 6: per-engine phase-2 wall times in every run's
-        // `stages` object (the two-engine audit core). Every schema-5
-        // key — the `scaling` worker-count curve, the streaming-vs-
-        // barrier cold comparison, the binary-vs-JSON warm-load
-        // comparison, `--big` kernel-scale trees — is unchanged.
-        ("schema", 6.to_json()),
+        // Schema 7: the `diff` section — a fix history replayed through
+        // the incremental differ, with per-commit diff-audit latency,
+        // sweep time and delta counts. Every schema-6 key — per-engine
+        // phase-2 wall times, the `scaling` worker-count curve, the
+        // streaming-vs-barrier cold comparison, the binary-vs-JSON
+        // warm-load comparison, `--big` kernel-scale trees — is
+        // unchanged.
+        ("schema", 7.to_json()),
         ("big", opts.big.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
@@ -480,6 +575,18 @@ fn main() -> ExitCode {
         ("warm_load_json_secs", warm_load_json_secs.to_json()),
         ("warm_load_speedup", warm_load_speedup.to_json()),
         ("warm_load_gate", warm_load_gate.to_json()),
+        (
+            "diff",
+            obj([
+                ("files", hist_files.to_json()),
+                ("revisions", hist.len().to_json()),
+                ("cold_audit_secs", diff_cold_secs.to_json()),
+                ("cold_findings", hist_base.findings.len().to_json()),
+                ("commits", Value::Arr(diff_commits)),
+                ("parse_misses_exact", diff_parse_exact.to_json()),
+                ("latency_gate", diff_latency_gate.to_json()),
+            ]),
+        ),
     ];
     if opts.big {
         report_fields.push(("replicas", opts.replicas.to_json()));
@@ -528,6 +635,14 @@ fn main() -> ExitCode {
         bin_bytes.len() / 1024,
         warm_load_json_secs,
         json_text.len() / 1024,
+    );
+    eprintln!(
+        "benchpipe: diff replay {} commit(s) on {} files: cold audit {:.3}s, \
+         slowest warm diff {:.4}s",
+        hist.len() - 1,
+        hist_files,
+        diff_cold_secs,
+        diff_max_secs,
     );
     println!("{}", out.display());
 
@@ -584,6 +699,24 @@ fn main() -> ExitCode {
             eprintln!(
                 "benchpipe: SKIP: binary >=3x load gate needs >= 1000 files \
                  (files={files}; use --big)"
+            );
+        }
+        if !diff_parse_exact {
+            eprintln!("benchpipe: FAIL: diff replay re-parsed more than the changed units");
+            failed = true;
+        }
+        if diff_gate_enforced {
+            if diff_max_secs >= diff_cold_secs {
+                eprintln!(
+                    "benchpipe: FAIL: slowest warm diff {diff_max_secs:.3}s not under the \
+                     cold audit {diff_cold_secs:.3}s"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "benchpipe: SKIP: warm-diff-beats-cold gate needs >= 300 history files \
+                 (files={hist_files}; raise --scale)"
             );
         }
         if failed {

@@ -1,0 +1,117 @@
+//! The `histgen` tool: write a simulated fix history to disk — a base
+//! tree with injected clone groups, then one partial-fix commit per
+//! group that repairs only the first clone site, then a neutral
+//! refactor commit. Input for `refminer diff` smoke tests and the
+//! diff-audit benchmark.
+//!
+//! ```text
+//! histgen [OPTIONS] <OUTDIR>
+//!
+//! OPTIONS:
+//!     --seed <N>           tree seed (default 7)
+//!     --scale <F>          tree scale factor (default 0.05)
+//!     --clone-groups <N>   injected clone groups (default 3)
+//!     --fp-traps           also inject feasibility FP traps
+//!     -h, --help           print this help
+//! ```
+//!
+//! Each revision is a full snapshot under `<OUTDIR>/rev00/`,
+//! `<OUTDIR>/rev01/`, … (tree plus its own `manifest.json`), and
+//! `<OUTDIR>/history.json` lists them in order with each commit's
+//! message and the clone sites it fixed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use refminer::corpus::{generate_fix_history, TreeConfig};
+use refminer_json::{obj, ToJson, Value};
+
+fn usage() -> ! {
+    eprintln!("usage: histgen [--seed N] [--scale F] [--clone-groups N] [--fp-traps] <OUTDIR>");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 7;
+    let mut scale: f64 = 0.05;
+    let mut clone_groups: usize = 3;
+    let mut fp_traps = false;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => usage(),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--clone-groups" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                clone_groups = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--fp-traps" => fp_traps = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            other => {
+                if out.is_some() {
+                    usage();
+                }
+                out = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| usage());
+
+    let revs = generate_fix_history(&TreeConfig {
+        seed,
+        scale,
+        clone_groups,
+        fp_traps,
+        ..Default::default()
+    });
+
+    let mut entries: Vec<Value> = Vec::new();
+    for (i, rev) in revs.iter().enumerate() {
+        let dir_name = format!("rev{i:02}");
+        let dir = out.join(&dir_name);
+        if let Err(e) = rev.tree.write_to(&dir) {
+            eprintln!("histgen: cannot write {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        let fixed: Vec<Value> = rev
+            .fixed
+            .iter()
+            .map(|(group, path, function)| {
+                obj([
+                    ("group", group.as_str().into()),
+                    ("path", path.as_str().into()),
+                    ("function", function.as_str().into()),
+                ])
+            })
+            .collect();
+        entries.push(obj([
+            ("id", rev.id.as_str().into()),
+            ("dir", dir_name.as_str().into()),
+            ("message", rev.message.as_str().into()),
+            ("fixed", Value::Arr(fixed)),
+        ]));
+    }
+    let history = obj([
+        ("seed", seed.to_json()),
+        ("clone_groups", clone_groups.to_json()),
+        ("revisions", Value::Arr(entries)),
+    ]);
+    if let Err(e) = std::fs::write(out.join("history.json"), history.to_string_pretty()) {
+        eprintln!("histgen: cannot write history.json: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} revision(s) under {}", revs.len(), out.display());
+    ExitCode::SUCCESS
+}

@@ -4,6 +4,8 @@
 //! ```text
 //! refminer [OPTIONS] <PATH>
 //! refminer eval [OPTIONS] <PATH>     score the audit against <PATH>/manifest.json
+//! refminer diff [OPTIONS] <A> <B>    incremental audit: findings delta between two revisions
+//! refminer sweep --at F:L <PATH>     sweep the tree for clones of one confirmed finding
 //! refminer serve [OPTIONS] <PATH>    resident audit daemon (JSON-RPC over TCP/Unix socket)
 //! refminer rpc <TARGET> <METHOD> …   one RPC against a running daemon
 //!
@@ -47,14 +49,16 @@ use refminer::serve::{
     render_diagnostics_line, render_finding_line, rpc_roundtrip, run_serve, ServeConfig,
     ServeOptions, WatchOptions,
 };
+use refminer::sweep::abstract_template;
 use refminer::{
-    audit_traced, evaluate_engines, AuditCache, AuditConfig, AuditLimits, EngineSet, Project,
-    ScanOptions, TraceHandle,
+    audit_traced, audit_with_cache, diff_audit, evaluate_engines, render_diff_lines, AuditCache,
+    AuditConfig, AuditLimits, DiffOptions, EngineSet, Project, ScanOptions, TraceHandle,
 };
-use refminer_json::{ToJson, Value};
+use refminer_json::{obj, ToJson, Value};
 
 struct Options {
     eval: bool,
+    sweep_eval: bool,
     path: PathBuf,
     patterns: Option<Vec<AntiPattern>>,
     only_patterns: Option<Vec<AntiPattern>>,
@@ -75,7 +79,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: refminer [eval] [--pattern P4,P8] [--only-pattern P4,P8] \
+        "usage: refminer [eval [--sweep]] [--pattern P4,P8] [--only-pattern P4,P8] \
          [--engines template,delta] [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
          [--json|--csv] [--no-discovery] [--stats] [--strict] [--trace FILE] \
          [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
@@ -101,6 +105,7 @@ fn parse_impact(s: &str) -> Option<Impact> {
 fn parse_args() -> Options {
     let mut opts = Options {
         eval: false,
+        sweep_eval: false,
         path: PathBuf::new(),
         patterns: None,
         only_patterns: None,
@@ -129,6 +134,7 @@ fn parse_args() -> Options {
             "-h" | "--help" => usage(),
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
+            "--sweep" if opts.eval => opts.sweep_eval = true,
             "--no-discovery" => opts.discovery = false,
             "--no-feasibility" => opts.feasibility = false,
             "--stats" => opts.stats = true,
@@ -230,6 +236,8 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return serve_main(),
         Some("rpc") => return rpc_main(),
+        Some("diff") => return diff_main(),
+        Some("sweep") => return sweep_main(),
         _ => {}
     }
     let opts = parse_args();
@@ -291,7 +299,7 @@ fn main() -> ExitCode {
     }
     if opts.eval {
         let eval_span = trace.span("eval");
-        let code = run_eval(&opts, &report.findings);
+        let code = run_eval(&opts, &project, &report);
         drop(eval_span);
         finish_trace(&opts, &trace);
         return code;
@@ -531,6 +539,7 @@ fn rpc_usage() -> ! {
          TARGET: host:port or unix:/path/to.sock\n\
          METHODS:\n\
            audit [--deadline-ms N]\n\
+           auditdiff [--deadline-ms N]\n\
            reaudit [--deadline-ms N] <FILE>...\n\
            query [--subsystem S] [--pattern P] [--verdict V]\n\
            status\n\
@@ -569,6 +578,7 @@ fn rpc_main() -> ExitCode {
     }
     let method = match method_name.as_str() {
         "audit" => Method::Audit,
+        "auditdiff" => Method::AuditDiff,
         "reaudit" => {
             if files.is_empty() {
                 rpc_usage();
@@ -580,7 +590,10 @@ fn rpc_main() -> ExitCode {
         "shutdown" => Method::Shutdown,
         _ => rpc_usage(),
     };
-    let is_query = matches!(method, Method::Query(_));
+    // `query` and `auditdiff` both print their lines raw: the former
+    // diffs against one-shot `--json` output, the latter against
+    // `refminer diff --json`.
+    let is_query = matches!(method, Method::Query(_) | Method::AuditDiff);
     let request = Request {
         id: 1,
         method,
@@ -621,9 +634,252 @@ fn rpc_main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn diff_usage() -> ! {
+    eprintln!(
+        "usage: refminer diff [--json] [--jobs N] [--cache-dir DIR] [--no-sweep] <REV-A> <REV-B>"
+    );
+    std::process::exit(2);
+}
+
+/// `refminer diff <REV-A> <REV-B>`: audit two revision roots through
+/// one shared cache and print only the findings delta. Exit 0 when the
+/// commit is clean (nothing introduced, nothing left behind), 1 when
+/// it is not, 2 on usage/scan errors.
+fn diff_main() -> ExitCode {
+    let mut json = false;
+    let mut jobs: usize = 0;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut run_sweep = true;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => diff_usage(),
+            "--json" => json = true,
+            "--no-sweep" => run_sweep = false,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| diff_usage());
+                match value.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => diff_usage(),
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| diff_usage())))
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                diff_usage();
+            }
+            other => roots.push(PathBuf::from(other)),
+        }
+    }
+    if roots.len() != 2 {
+        diff_usage();
+    }
+    let mut cache = match &cache_dir {
+        Some(dir) => AuditCache::with_dir(dir),
+        None => AuditCache::new(),
+    };
+    let config = AuditConfig {
+        jobs,
+        ..Default::default()
+    };
+    let opts = DiffOptions { sweep: run_sweep };
+    let report = match diff_audit(&roots[0], &roots[1], &config, &mut cache, &opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("refminer diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cache_dir.is_some() {
+        if let Err(e) = cache.save() {
+            eprintln!("refminer diff: warning: could not write cache: {e}");
+        }
+    }
+    let delta = &report.delta;
+    if json {
+        for line in render_diff_lines(delta) {
+            println!("{line}");
+        }
+    } else {
+        for f in &delta.introduced {
+            println!("+ {f}");
+        }
+        for f in &delta.fixed {
+            println!("- {f}");
+        }
+        for (from, to) in &delta.moved {
+            println!(
+                "~ {}:{} -> {}:{} {}",
+                from.file, from.line, to.file, to.line, to.message
+            );
+        }
+        for lb in &delta.left_behind {
+            for m in &lb.matches {
+                println!(
+                    "! left behind ({}% match of {}:{}) {}",
+                    m.score, lb.origin.file, lb.origin.line, m.finding
+                );
+            }
+        }
+        eprintln!(
+            "{} introduced, {} fixed, {} moved, {} left behind",
+            delta.introduced.len(),
+            delta.fixed.len(),
+            delta.moved.len(),
+            delta.left_behind_total()
+        );
+    }
+    if delta.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn sweep_usage() -> ! {
+    eprintln!("usage: refminer sweep --at FILE:LINE [--json] [--jobs N] [--cache-dir DIR] <PATH>");
+    std::process::exit(2);
+}
+
+/// `refminer sweep --at FILE:LINE <PATH>`: abstract the confirmed
+/// finding at FILE:LINE (from a prior audit of the same tree) into a
+/// template and rank every clone site that instantiates it with
+/// different identifiers. Exit 0 when no clones match, 1 when some do,
+/// 2 on usage/scan errors or when no finding exists at that site.
+fn sweep_main() -> ExitCode {
+    let mut at: Option<(String, u32)> = None;
+    let mut json = false;
+    let mut jobs: usize = 0;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => sweep_usage(),
+            "--json" => json = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| sweep_usage());
+                match value.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => sweep_usage(),
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| sweep_usage())))
+            }
+            "--at" => {
+                let value = args.next().unwrap_or_else(|| sweep_usage());
+                let Some((file, line)) = value.rsplit_once(':') else {
+                    eprintln!("--at needs FILE:LINE, got `{value}`");
+                    sweep_usage();
+                };
+                match line.parse::<u32>() {
+                    Ok(n) => at = Some((file.to_string(), n)),
+                    Err(_) => {
+                        eprintln!("--at needs FILE:LINE, got `{value}`");
+                        sweep_usage();
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                sweep_usage();
+            }
+            other => {
+                if root.is_some() {
+                    sweep_usage();
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| sweep_usage());
+    let Some((seed_file, seed_line)) = at else {
+        sweep_usage()
+    };
+    let project = match Project::scan(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("refminer sweep: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut cache = match &cache_dir {
+        Some(dir) => AuditCache::with_dir(dir),
+        None => AuditCache::new(),
+    };
+    let config = AuditConfig {
+        jobs,
+        ..Default::default()
+    };
+    let report = audit_with_cache(&project, &config, &mut cache);
+    if cache_dir.is_some() {
+        if let Err(e) = cache.save() {
+            eprintln!("refminer sweep: warning: could not write cache: {e}");
+        }
+    }
+    let Some(seed) = report
+        .findings
+        .iter()
+        .find(|f| f.line == seed_line && (f.file == seed_file || f.file.ends_with(&seed_file)))
+    else {
+        eprintln!("refminer sweep: no finding at {seed_file}:{seed_line}");
+        return ExitCode::from(2);
+    };
+    let source_of = |path: &str| -> Option<String> {
+        project
+            .units()
+            .iter()
+            .find(|u| u.path == path)
+            .map(|u| u.text.clone())
+    };
+    let Some(seed_src) = source_of(&seed.file) else {
+        eprintln!("refminer sweep: seed source {} not in tree", seed.file);
+        return ExitCode::from(2);
+    };
+    let Some(template) = abstract_template(seed, &seed_src, &report.kb) else {
+        eprintln!(
+            "refminer sweep: could not abstract {}:{} into a template",
+            seed.file, seed.line
+        );
+        return ExitCode::from(2);
+    };
+    let matches = refminer::sweep::sweep(&template, &report.findings, &report.kb, source_of);
+    if json {
+        println!("{}", obj([("template", template.to_json())]));
+        for m in &matches {
+            println!("{}", m.to_json());
+        }
+    } else {
+        println!(
+            "template: {} {} in {}:{} ({})",
+            template.pattern,
+            template.api,
+            template.origin.file,
+            template.origin.line,
+            template.family
+        );
+        for m in &matches {
+            println!("{:>3}% {}", m.score, m.finding);
+        }
+        eprintln!("{} clone site(s)", matches.len());
+    }
+    if matches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// `refminer eval <DIR>`: score the audit's findings against the
 /// ground-truth manifest the corpus generator wrote next to the tree.
-fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
+/// Under `--sweep`, score the clone sweep against the manifest's clone
+/// groups instead.
+fn run_eval(opts: &Options, project: &Project, report: &refminer::AuditReport) -> ExitCode {
+    let findings = &report.findings;
     let manifest_path = opts.path.join("manifest.json");
     let text = match std::fs::read_to_string(&manifest_path) {
         Ok(t) => t,
@@ -646,6 +902,57 @@ fn run_eval(opts: &Options, findings: &[refminer::Finding]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.sweep_eval {
+        let sweep_eval = refminer::evaluate_sweep(findings, &manifest, &report.kb, |path| {
+            project
+                .units()
+                .iter()
+                .find(|u| u.path == path)
+                .map(|u| u.text.clone())
+        });
+        if opts.json {
+            println!("{}", sweep_eval.to_json());
+            return ExitCode::SUCCESS;
+        }
+        let mut t = Table::new(vec![
+            "group", "pattern", "api", "found", "missed", "spurious", "recall",
+        ])
+        .numeric();
+        for row in &sweep_eval.rows {
+            t.row(vec![
+                row.group.to_string(),
+                row.pattern.id().to_string(),
+                row.api.clone(),
+                row.counts.found.to_string(),
+                row.counts.missed.to_string(),
+                row.counts.spurious.to_string(),
+                format!("{:.3}", row.counts.recall()),
+            ]);
+        }
+        for (p, c) in &sweep_eval.per_pattern {
+            t.row(vec![
+                "-".to_string(),
+                p.id().to_string(),
+                "-".to_string(),
+                c.found.to_string(),
+                c.missed.to_string(),
+                c.spurious.to_string(),
+                format!("{:.3}", c.recall()),
+            ]);
+        }
+        let c = &sweep_eval.totals;
+        t.row(vec![
+            "total".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            c.found.to_string(),
+            c.missed.to_string(),
+            c.spurious.to_string(),
+            format!("{:.3}", c.recall()),
+        ]);
+        print!("{}", t.render());
+        return ExitCode::SUCCESS;
+    }
     let eval = evaluate_engines(findings, &manifest);
     if opts.json {
         println!("{}", eval.to_json());

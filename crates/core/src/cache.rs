@@ -50,8 +50,10 @@
 //!
 //! The checksum is FNV-1a over the body. Loading validates the header
 //! and walks the section *framing* only — payload bytes are indexed,
-//! not decoded — so a warm start costs one read plus O(entries) pointer
-//! arithmetic, and each entry deserializes lazily on first use
+//! not decoded — so a warm start costs one file map (the container is
+//! memory-mapped read-only where the platform allows, falling back to
+//! an owned read) plus O(entries) pointer arithmetic, and each entry
+//! deserializes lazily on first use
 //! ([`Slot`]). Saving copies still-undecoded payloads byte-for-byte
 //! from the loaded buffer, so a warm save doesn't re-encode what it
 //! never touched. The same atomic temp-file + rename publish and
@@ -72,6 +74,7 @@ use std::sync::Arc;
 use refminer_checkers::{checker_set_fingerprint, AntiPattern, Finding, Impact};
 use refminer_clex::MacroDef;
 use refminer_cparse::TranslationUnit;
+use refminer_faultio::FileBytes;
 use refminer_json::{obj, ToJson, Value};
 use refminer_progdb::{CallSite, FnExport, UnitExports};
 use refminer_rcapi::{
@@ -372,7 +375,7 @@ impl<T> Clone for Slot<T> {
 /// answer.
 fn slot_get<K: Eq + std::hash::Hash + Copy, T>(
     map: &mut HashMap<K, Slot<T>>,
-    raw: &Option<Arc<Vec<u8>>>,
+    raw: &Option<Arc<FileBytes>>,
     key: K,
     decode: impl Fn(&[u8]) -> Option<T>,
 ) -> Option<Arc<T>> {
@@ -397,7 +400,7 @@ fn slot_get<K: Eq + std::hash::Hash + Copy, T>(
 /// Decodes a slot without touching the map (for `&self` serializers).
 fn slot_peek<'a, T: Clone>(
     slot: &'a Slot<T>,
-    raw: &Option<Arc<Vec<u8>>>,
+    raw: &Option<Arc<FileBytes>>,
     decode: impl Fn(&[u8]) -> Option<T>,
 ) -> Option<std::borrow::Cow<'a, T>> {
     match slot {
@@ -439,8 +442,10 @@ pub struct AuditCache {
     export: HashMap<u64, Slot<UnitExports>>,
     check: HashMap<(u64, u64), Slot<CheckedUnit>>,
     discovery: HashMap<u64, Slot<ApiKb>>,
-    /// The loaded cache file, backing every `Slot::Disk` byte range.
-    raw: Option<Arc<Vec<u8>>>,
+    /// The loaded cache file, backing every `Slot::Disk` byte range —
+    /// a read-only memory mapping when the platform supports it, an
+    /// owned buffer otherwise (and always for [`AuditCache::load_bytes`]).
+    raw: Option<Arc<FileBytes>>,
     /// Counters for the current (or most recent) audit run; reset by
     /// each `audit_with_cache` call.
     pub stats: CacheStats,
@@ -488,9 +493,9 @@ impl AuditCache {
         let dir = dir.into();
         let mut cache = AuditCache::new();
         let file = dir.join(CACHE_FILE);
-        match refminer_faultio::read(&file) {
+        match refminer_faultio::read_mapped(&file) {
             Ok(bytes) => {
-                if cache.load_bytes(bytes) {
+                if cache.load_filebytes(bytes) {
                     cache.load_outcome = CacheLoadOutcome::Loaded;
                 } else {
                     // Corrupt: quarantine it so the broken generation is
@@ -764,11 +769,22 @@ impl AuditCache {
         }
     }
 
+    /// Validates a cache file held in an owned buffer and indexes its
+    /// entries as lazy disk slots. The test-facing entry point for
+    /// corruption scenarios (bit flips, truncation); the production
+    /// load path is [`AuditCache::with_dir`], which memory-maps the
+    /// file and feeds it through [`AuditCache::load_filebytes`].
+    pub fn load_bytes(&mut self, bytes: Vec<u8>) -> bool {
+        self.load_filebytes(FileBytes::Owned(bytes))
+    }
+
     /// Validates a cache file and indexes its entries as lazy disk
     /// slots — payloads are *not* decoded here. Returns `false` (caller
     /// quarantines) on a bad magic, a version mismatch, a checksum
-    /// mismatch, or malformed framing.
-    pub fn load_bytes(&mut self, bytes: Vec<u8>) -> bool {
+    /// mismatch, or malformed framing. The backing bytes may be a
+    /// memory mapping; validation (including the full-body checksum)
+    /// runs against exactly the bytes later lookups will decode from.
+    fn load_filebytes(&mut self, bytes: FileBytes) -> bool {
         if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
             return false;
         }
@@ -1103,7 +1119,7 @@ impl AuditCache {
 /// [`AuditCache::check_memoize`] when the caller reports the hit).
 pub(crate) struct CheckSnapshot {
     map: HashMap<(u64, u64), Slot<CheckedUnit>>,
-    raw: Option<Arc<Vec<u8>>>,
+    raw: Option<Arc<FileBytes>>,
 }
 
 impl CheckSnapshot {

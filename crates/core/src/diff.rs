@@ -1,0 +1,297 @@
+//! Diff-aware auditing: the CI-bot workload.
+//!
+//! [`diff_audit`] audits two revisions of a tree through one shared
+//! [`AuditCache`] — so revision B re-parses and re-checks only the
+//! units the commit touched — and reports the *findings delta*:
+//! findings introduced by the commit, findings it fixed, and findings
+//! that merely moved (identical up to their line number, e.g. pushed
+//! down by an inserted comment).
+//!
+//! The delta is computed as a set difference over the exact JSONL
+//! lines [`render_finding_line`] produces, the same renderer the
+//! one-shot `--json` CLI and the daemon share. Because a cached audit
+//! is byte-identical to a cold one at any `--jobs`, the delta is
+//! byte-identical to diffing two full `--json` runs — the property
+//! `scripts/diff_smoke.sh` replays the simulated fix history to check.
+//!
+//! When a commit fixes a finding, the sweep engine abstracts the fixed
+//! bug into a template and searches revision B's surviving findings
+//! for unfixed clones — the incomplete-fix ("one bug, hundreds
+//! behind") detector. Those surface as `left_behind` lines, additive
+//! to the delta.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+
+use refminer_checkers::Finding;
+use refminer_json::{obj, ToJson, Value};
+use refminer_rcapi::ApiKb;
+use refminer_sweep::{abstract_template, sweep, CloneMatch};
+
+use crate::audit::{audit_with_cache, AuditConfig, AuditReport};
+use crate::cache::AuditCache;
+use crate::project::Project;
+use crate::serve::render_finding_line;
+
+/// Clones of a fixed bug that the fixing commit left unfixed.
+#[derive(Debug, Clone)]
+pub struct LeftBehind {
+    /// The finding the commit fixed (revision-A side).
+    pub origin: Finding,
+    /// Surviving clone sites in revision B, ranked by similarity.
+    pub matches: Vec<CloneMatch>,
+}
+
+/// The findings delta between two revisions — the part of a
+/// [`DiffReport`] the daemon also produces (it has no revision-A
+/// [`AuditReport`], only the previous snapshot's findings).
+#[derive(Debug, Default)]
+pub struct DiffDelta {
+    /// Findings present in B but not in A, in B's canonical order.
+    pub introduced: Vec<Finding>,
+    /// Findings present in A but not in B, in A's canonical order.
+    pub fixed: Vec<Finding>,
+    /// Findings identical up to their line number, as `(A, B)` pairs
+    /// in A's canonical order. Not counted as introduced or fixed.
+    pub moved: Vec<(Finding, Finding)>,
+    /// Unfixed clones of each fixed finding (empty when the sweep is
+    /// disabled).
+    pub left_behind: Vec<LeftBehind>,
+}
+
+impl DiffDelta {
+    /// Whether the commit is clean: nothing introduced, nothing left
+    /// behind. (Fixes and moves never block a commit.)
+    pub fn is_clean(&self) -> bool {
+        self.introduced.is_empty() && self.left_behind.iter().all(|l| l.matches.is_empty())
+    }
+
+    /// Surviving clone sites across all fixed findings.
+    pub fn left_behind_total(&self) -> usize {
+        self.left_behind.iter().map(|l| l.matches.len()).sum()
+    }
+}
+
+/// The findings delta between two revisions, with both full audits.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// The delta itself.
+    pub delta: DiffDelta,
+    /// The full revision-A audit.
+    pub report_a: AuditReport,
+    /// The full revision-B audit.
+    pub report_b: AuditReport,
+}
+
+/// A finding's identity with the line number masked out, for detecting
+/// pure moves.
+fn line_masked(f: &Finding) -> String {
+    let mut g = f.clone();
+    g.line = 0;
+    render_finding_line(&g)
+}
+
+/// Computes the delta between two canonical finding lists.
+///
+/// `introduced` = B − A and `fixed` = A − B as set differences over
+/// the exact [`render_finding_line`] strings; pairs equal after
+/// masking the line number are then reclassified as `moved`. The
+/// invariant the smoke tests script against:
+/// `introduced ∪ moved.B == B − A` and `fixed ∪ moved.A == A − B`.
+pub fn diff_findings(
+    a: &[Finding],
+    b: &[Finding],
+) -> (Vec<Finding>, Vec<Finding>, Vec<(Finding, Finding)>) {
+    let a_lines: HashSet<String> = a.iter().map(render_finding_line).collect();
+    let b_lines: HashSet<String> = b.iter().map(render_finding_line).collect();
+    let introduced: Vec<Finding> = b
+        .iter()
+        .filter(|f| !a_lines.contains(&render_finding_line(f)))
+        .cloned()
+        .collect();
+    let gone: Vec<Finding> = a
+        .iter()
+        .filter(|f| !b_lines.contains(&render_finding_line(f)))
+        .cloned()
+        .collect();
+    // Pair up pure moves: first unmatched introduced finding with the
+    // same line-masked identity, in canonical order on both sides.
+    let mut intro_slots: Vec<Option<Finding>> = introduced.into_iter().map(Some).collect();
+    let mut moved = Vec::new();
+    let mut fixed = Vec::new();
+    for f in gone {
+        let key = line_masked(&f);
+        let slot = intro_slots
+            .iter_mut()
+            .find(|s| s.as_ref().is_some_and(|g| line_masked(g) == key));
+        match slot {
+            Some(s) => moved.push((f, s.take().expect("slot just matched"))),
+            None => fixed.push(f),
+        }
+    }
+    let introduced = intro_slots.into_iter().flatten().collect();
+    (introduced, fixed, moved)
+}
+
+/// Sweeps revision B's findings for unfixed clones of each fixed
+/// finding, reading seed sources from revision A (where the bug still
+/// exists) and candidate sources from revision B.
+pub fn sweep_left_behind(
+    fixed: &[Finding],
+    project_a: &Project,
+    project_b: &Project,
+    findings_b: &[Finding],
+    kb: &ApiKb,
+) -> Vec<LeftBehind> {
+    let source_in = |p: &Project, path: &str| -> Option<String> {
+        p.units()
+            .iter()
+            .find(|u| u.path == path)
+            .map(|u| u.text.clone())
+    };
+    let mut out = Vec::new();
+    for origin in fixed {
+        let Some(seed_src) = source_in(project_a, &origin.file) else {
+            continue;
+        };
+        let Some(template) = abstract_template(origin, &seed_src, kb) else {
+            continue;
+        };
+        let matches = sweep(&template, findings_b, kb, |path| source_in(project_b, path));
+        out.push(LeftBehind {
+            origin: origin.clone(),
+            matches,
+        });
+    }
+    out
+}
+
+/// Options for [`diff_audit`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Run the left-behind sweep on fixed findings (the default).
+    pub sweep: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { sweep: true }
+    }
+}
+
+/// Computes the full delta between two finding lists, optionally
+/// sweeping for left-behind clones. `project_a` is `None` when no
+/// revision-A sources exist (e.g. the daemon's very first audit):
+/// the delta is still exact, only the sweep is skipped.
+pub fn diff_delta(
+    findings_a: &[Finding],
+    findings_b: &[Finding],
+    project_a: Option<&Project>,
+    project_b: &Project,
+    kb: &ApiKb,
+    run_sweep: bool,
+) -> DiffDelta {
+    let (introduced, fixed, moved) = diff_findings(findings_a, findings_b);
+    let left_behind = match (run_sweep, project_a) {
+        (true, Some(pa)) => sweep_left_behind(&fixed, pa, project_b, findings_b, kb),
+        _ => Vec::new(),
+    };
+    DiffDelta {
+        introduced,
+        fixed,
+        moved,
+        left_behind,
+    }
+}
+
+/// Audits two in-memory revisions through one shared cache and
+/// computes the findings delta.
+pub fn diff_projects(
+    project_a: &Project,
+    project_b: &Project,
+    config: &AuditConfig,
+    cache: &mut AuditCache,
+    opts: &DiffOptions,
+) -> DiffReport {
+    let report_a = audit_with_cache(project_a, config, cache);
+    let report_b = audit_with_cache(project_b, config, cache);
+    let delta = diff_delta(
+        &report_a.findings,
+        &report_b.findings,
+        Some(project_a),
+        project_b,
+        &report_b.kb,
+        opts.sweep,
+    );
+    DiffReport {
+        delta,
+        report_a,
+        report_b,
+    }
+}
+
+/// Audits two on-disk revision roots — the `refminer diff` CLI entry
+/// point. Only an unreadable root is an error.
+pub fn diff_audit(
+    root_a: &Path,
+    root_b: &Path,
+    config: &AuditConfig,
+    cache: &mut AuditCache,
+    opts: &DiffOptions,
+) -> io::Result<DiffReport> {
+    let project_a = Project::scan(root_a)?;
+    let project_b = Project::scan(root_b)?;
+    Ok(diff_projects(&project_a, &project_b, config, cache, opts))
+}
+
+/// Renders the delta as JSONL lines (no trailing newlines), grouped
+/// `introduced` → `fixed` → `moved` → `left_behind`. The `finding`
+/// objects are the exact [`render_finding_line`] serializations, so
+/// extracting them reproduces the set difference of two full `--json`
+/// runs byte for byte.
+pub fn render_diff_lines(d: &DiffDelta) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in &d.introduced {
+        out.push(
+            obj([
+                ("delta", Value::Str("introduced".to_string())),
+                ("finding", f.to_json()),
+            ])
+            .to_string(),
+        );
+    }
+    for f in &d.fixed {
+        out.push(
+            obj([
+                ("delta", Value::Str("fixed".to_string())),
+                ("finding", f.to_json()),
+            ])
+            .to_string(),
+        );
+    }
+    for (from, to) in &d.moved {
+        out.push(
+            obj([
+                ("delta", Value::Str("moved".to_string())),
+                ("from", from.to_json()),
+                ("finding", to.to_json()),
+            ])
+            .to_string(),
+        );
+    }
+    for lb in &d.left_behind {
+        for m in &lb.matches {
+            out.push(
+                obj([
+                    ("delta", Value::Str("left_behind".to_string())),
+                    ("origin", lb.origin.to_json()),
+                    ("score", m.score.to_json()),
+                    ("finding", m.finding.to_json()),
+                ])
+                .to_string(),
+            );
+        }
+    }
+    out
+}

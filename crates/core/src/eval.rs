@@ -22,6 +22,8 @@ use std::collections::BTreeMap;
 use refminer_checkers::{AntiPattern, Confidence, EngineId, Finding};
 use refminer_corpus::Manifest;
 use refminer_json::{obj, ToJson, Value};
+use refminer_rcapi::ApiKb;
+use refminer_sweep::{abstract_template, sweep};
 
 /// TP/FP/FN counts with the derived metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -301,6 +303,195 @@ impl ToJson for EngineEvalReport {
             ),
         ));
         Value::Obj(root)
+    }
+}
+
+/// Found/missed/spurious counts for the clone sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCounts {
+    /// Injected clone siblings the sweep matched.
+    pub found: usize,
+    /// Injected clone siblings the sweep did not match.
+    pub missed: usize,
+    /// Sweep matches naming no injected bug at all (a trap or a clean
+    /// function) — the zero-spurious acceptance metric.
+    pub spurious: usize,
+}
+
+impl SweepCounts {
+    /// Clone recall `found / (found + missed)`; 1.0 when the group had
+    /// no siblings to find.
+    pub fn recall(&self) -> f64 {
+        if self.found + self.missed == 0 {
+            1.0
+        } else {
+            self.found as f64 / (self.found + self.missed) as f64
+        }
+    }
+
+    fn add(&mut self, other: &SweepCounts) {
+        self.found += other.found;
+        self.missed += other.missed;
+        self.spurious += other.spurious;
+    }
+}
+
+impl ToJson for SweepCounts {
+    fn to_json(&self) -> Value {
+        obj([
+            ("found", self.found.to_json()),
+            ("missed", self.missed.to_json()),
+            ("spurious", self.spurious.to_json()),
+            ("recall", self.recall().to_json()),
+        ])
+    }
+}
+
+/// One clone group's sweep score.
+#[derive(Debug, Clone)]
+pub struct SweepGroupRow {
+    /// The manifest group id (`cg0`, `cg1`, …).
+    pub group: String,
+    /// The group's anti-pattern.
+    pub pattern: AntiPattern,
+    /// The group's acquire API.
+    pub api: String,
+    /// Whether a seed finding existed to sweep from at all.
+    pub seeded: bool,
+    /// The counts.
+    pub counts: SweepCounts,
+}
+
+/// `refminer eval --sweep`: sweep scores per clone group, aggregated
+/// per pattern family and overall.
+#[derive(Debug, Clone, Default)]
+pub struct SweepEvalReport {
+    /// One row per manifest clone group, in manifest order.
+    pub rows: Vec<SweepGroupRow>,
+    /// Counts aggregated per pattern family, in P1..P9 order.
+    pub per_pattern: Vec<(AntiPattern, SweepCounts)>,
+    /// Counts summed over all groups.
+    pub totals: SweepCounts,
+}
+
+impl ToJson for SweepEvalReport {
+    fn to_json(&self) -> Value {
+        obj([
+            (
+                "groups",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            let mut members = match r.counts.to_json() {
+                                Value::Obj(pairs) => pairs,
+                                _ => unreachable!("SweepCounts serializes to an object"),
+                            };
+                            members.insert(0, ("group".to_string(), r.group.as_str().into()));
+                            members.insert(1, ("pattern".to_string(), r.pattern.to_json()));
+                            members.insert(2, ("api".to_string(), r.api.as_str().into()));
+                            members.insert(3, ("seeded".to_string(), r.seeded.into()));
+                            Value::Obj(members)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "per_pattern",
+                Value::Obj(
+                    self.per_pattern
+                        .iter()
+                        .map(|(p, c)| (p.id().to_string(), c.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("totals", self.totals.to_json()),
+        ])
+    }
+}
+
+/// Scores the sweep engine against the manifest's clone groups.
+///
+/// For each group, the seed is the first unfixed member a finding
+/// lands on (path + function); its template is swept over `findings`
+/// and the matches are scored against the group's *other* unfixed
+/// members. A match naming any manifest bug — this group's or, for
+/// repeated-API shapes, another group's — is never spurious; spurious
+/// counts only matches on functions the corpus injected no bug into.
+pub fn evaluate_sweep<F: FnMut(&str) -> Option<String>>(
+    findings: &[Finding],
+    manifest: &Manifest,
+    kb: &ApiKb,
+    mut source_of: F,
+) -> SweepEvalReport {
+    let is_injected = |path: &str, function: &str| -> bool {
+        manifest
+            .bugs
+            .iter()
+            .any(|b| b.path == path && b.function == function)
+    };
+    let mut rows = Vec::new();
+    for group in &manifest.clone_groups {
+        let pattern = AntiPattern::all()
+            .get(group.pattern as usize - 1)
+            .copied()
+            .unwrap_or(AntiPattern::P1);
+        let unfixed: Vec<_> = group.members.iter().filter(|m| !m.fixed).collect();
+        let seed = unfixed.iter().find_map(|m| {
+            findings
+                .iter()
+                .find(|f| f.file == m.path && f.function == m.function)
+                .map(|f| (*m, f))
+        });
+        let mut counts = SweepCounts::default();
+        let seeded = seed.is_some();
+        match seed {
+            None => {
+                // Nothing to sweep from: every sibling is a miss.
+                counts.missed = unfixed.len();
+            }
+            Some((seed_member, seed_finding)) => {
+                let matches = source_of(&seed_finding.file)
+                    .and_then(|src| abstract_template(seed_finding, &src, kb))
+                    .map(|template| sweep(&template, findings, kb, &mut source_of))
+                    .unwrap_or_default();
+                for m in &unfixed {
+                    if m.path == seed_member.path && m.function == seed_member.function {
+                        continue;
+                    }
+                    let hit = matches
+                        .iter()
+                        .any(|c| c.finding.file == m.path && c.finding.function == m.function);
+                    if hit {
+                        counts.found += 1;
+                    } else {
+                        counts.missed += 1;
+                    }
+                }
+                counts.spurious += matches
+                    .iter()
+                    .filter(|c| !is_injected(&c.finding.file, &c.finding.function))
+                    .count();
+            }
+        }
+        rows.push(SweepGroupRow {
+            group: group.group.clone(),
+            pattern,
+            api: group.api.clone(),
+            seeded,
+            counts,
+        });
+    }
+    let mut per: BTreeMap<AntiPattern, SweepCounts> = BTreeMap::new();
+    let mut totals = SweepCounts::default();
+    for row in &rows {
+        per.entry(row.pattern).or_default().add(&row.counts);
+        totals.add(&row.counts);
+    }
+    SweepEvalReport {
+        rows,
+        per_pattern: per.into_iter().collect(),
+        totals,
     }
 }
 

@@ -24,6 +24,7 @@ mod audit;
 mod binfmt;
 mod cache;
 pub mod cancel;
+mod diff;
 mod eval;
 pub mod parallel;
 mod project;
@@ -39,8 +40,13 @@ pub use cache::{
     QUARANTINE_SUFFIX,
 };
 pub use cancel::{CancelReason, CancelToken, Cancelled};
+pub use diff::{
+    diff_audit, diff_delta, diff_findings, diff_projects, render_diff_lines, sweep_left_behind,
+    DiffDelta, DiffOptions, DiffReport, LeftBehind,
+};
 pub use eval::{
-    evaluate, evaluate_engines, finding_attributed, Counts, EngineEvalReport, EvalReport, EvalRow,
+    evaluate, evaluate_engines, evaluate_sweep, finding_attributed, Counts, EngineEvalReport,
+    EvalReport, EvalRow, SweepCounts, SweepEvalReport, SweepGroupRow,
 };
 pub use parallel::{effective_jobs, run_indexed, run_indexed_timed, run_indexed_traced};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
@@ -59,6 +65,8 @@ pub use refminer_progdb::ProgramDb;
 pub use refminer_rcapi as rcapi;
 pub use refminer_rcapi::ApiKb;
 pub use refminer_report as report;
+pub use refminer_sweep as sweep;
+pub use refminer_sweep::{BugTemplate, CloneMatch, StructSig};
 pub use refminer_template as template;
 pub use refminer_trace as trace;
 pub use refminer_trace::{TraceHandle, TraceLog, TraceSummary};

@@ -40,6 +40,7 @@ use super::render::{render_diagnostics_line, render_finding_line, render_unit_di
 use crate::audit::{audit_cancellable, AuditConfig, AuditReport};
 use crate::cache::{AuditCache, CacheLoadOutcome};
 use crate::cancel::{CancelReason, CancelToken};
+use crate::diff::{diff_delta, render_diff_lines};
 use crate::project::{Project, ScanOptions};
 use crate::{UnitDiagnostic, UnitErrorKind, UnitOutcome};
 
@@ -127,6 +128,9 @@ impl Snapshot {
 enum JobKind {
     /// The whole tree.
     Full,
+    /// The whole tree, responding with only the findings delta against
+    /// the previous snapshot (plus left-behind clone sweeps).
+    Diff,
     /// A targeted re-audit after changes to the named files.
     Files(Vec<String>),
 }
@@ -142,6 +146,17 @@ enum JobOutcome {
         /// Files named by a reaudit that no longer exist: diagnosed,
         /// not retried (deletion is a fact, not a transient fault).
         removed: Vec<UnitDiagnostic>,
+    },
+    /// An `auditdiff` job: the delta against the previous snapshot,
+    /// prerendered as the same JSONL lines `refminer diff --json`
+    /// prints.
+    DiffDone {
+        revision: u64,
+        introduced: usize,
+        fixed: usize,
+        moved: usize,
+        left_behind: usize,
+        lines: Vec<String>,
     },
     Cancelled(CancelReason),
     Failed(String),
@@ -290,6 +305,7 @@ impl EngineHandle {
                 Response::ok(req.id, obj([("stopping", true.into())]))
             }
             Method::Audit => self.run_audit_job(req, JobKind::Full),
+            Method::AuditDiff => self.run_audit_job(req, JobKind::Diff),
             Method::Reaudit { files } => self.run_audit_job(req, JobKind::Files(files.clone())),
         }
     }
@@ -431,6 +447,27 @@ impl EngineHandle {
                 }
                 Response::ok(id, Value::Obj(members))
             }
+            JobOutcome::DiffDone {
+                revision,
+                introduced,
+                fixed,
+                moved,
+                left_behind,
+                lines,
+            } => Response::ok(
+                id,
+                obj([
+                    ("revision", revision.to_json()),
+                    ("introduced", introduced.to_json()),
+                    ("fixed", fixed.to_json()),
+                    ("moved", moved.to_json()),
+                    ("left_behind", left_behind.to_json()),
+                    (
+                        "lines",
+                        Value::Arr(lines.iter().map(|l| l.as_str().into()).collect()),
+                    ),
+                ]),
+            ),
             JobOutcome::Cancelled(reason) => {
                 let kind = match reason {
                     CancelReason::DeadlineExceeded => {
@@ -586,6 +623,9 @@ fn worker_loop(shared: Arc<Shared>) {
         shared.counters.cache_quarantined.store(1, Ordering::SeqCst);
     }
     let mut revision: u64 = 0;
+    // The last successfully-audited tree, kept so an `auditdiff` job
+    // can read revision-A sources for its left-behind clone sweep.
+    let mut last_project: Option<Project> = None;
     'outer: loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -601,7 +641,7 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         *shared.current.lock().unwrap() = Some(job.cancel.clone());
         shared.auditing.store(true, Ordering::SeqCst);
-        let outcome = run_job(&shared, &mut cache, &mut revision, &job);
+        let outcome = run_job(&shared, &mut cache, &mut revision, &mut last_project, &job);
         shared.auditing.store(false, Ordering::SeqCst);
         *shared.current.lock().unwrap() = None;
         job.deliver(outcome);
@@ -614,7 +654,13 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
-fn run_job(shared: &Shared, cache: &mut AuditCache, revision: &mut u64, job: &Job) -> JobOutcome {
+fn run_job(
+    shared: &Shared,
+    cache: &mut AuditCache,
+    revision: &mut u64,
+    last_project: &mut Option<Project>,
+    job: &Job,
+) -> JobOutcome {
     let cfg = &shared.cfg;
     let counters = &shared.counters;
     if let Err(c) = job.cancel.check() {
@@ -676,8 +722,12 @@ fn run_job(shared: &Shared, cache: &mut AuditCache, revision: &mut u64, job: &Jo
             let snap = Arc::new(Snapshot::from_report(*revision, &report));
             // The swap is the only mutation readers can observe, and
             // it is atomic: a query sees the old complete snapshot or
-            // the new complete snapshot, never a mix.
-            *shared.snapshot.lock().unwrap() = Arc::clone(&snap);
+            // the new complete snapshot, never a mix. For a diff job
+            // the displaced snapshot *is* revision A.
+            let prev = {
+                let mut guard = shared.snapshot.lock().unwrap();
+                std::mem::replace(&mut *guard, Arc::clone(&snap))
+            };
             if cfg.cache_dir.is_some() {
                 // A failed save (disk full, injected fault) degrades
                 // persistence, not serving: the snapshot already
@@ -688,13 +738,35 @@ fn run_job(shared: &Shared, cache: &mut AuditCache, revision: &mut u64, job: &Jo
                 }
             }
             counters.audits_ok.fetch_add(1, Ordering::SeqCst);
-            JobOutcome::Done {
-                revision: snap.revision,
-                findings: snap.findings.len(),
-                files: snap.files,
-                functions: snap.functions,
-                removed,
-            }
+            let outcome = match &job.kind {
+                JobKind::Diff => {
+                    let delta = diff_delta(
+                        &prev.findings,
+                        &report.findings,
+                        last_project.as_ref(),
+                        &project,
+                        &report.kb,
+                        true,
+                    );
+                    JobOutcome::DiffDone {
+                        revision: snap.revision,
+                        introduced: delta.introduced.len(),
+                        fixed: delta.fixed.len(),
+                        moved: delta.moved.len(),
+                        left_behind: delta.left_behind_total(),
+                        lines: render_diff_lines(&delta),
+                    }
+                }
+                _ => JobOutcome::Done {
+                    revision: snap.revision,
+                    findings: snap.findings.len(),
+                    files: snap.files,
+                    functions: snap.functions,
+                    removed,
+                },
+            };
+            *last_project = Some(project);
+            outcome
         }
         Err(c) => {
             counters.audits_cancelled.fetch_add(1, Ordering::SeqCst);

@@ -10,6 +10,7 @@
 //! {"id":3,"method":"query","params":{"subsystem":"drivers","pattern":"P1"}}
 //! {"id":4,"method":"status"}
 //! {"id":5,"method":"shutdown"}
+//! {"id":6,"method":"auditdiff"}
 //! ```
 //!
 //! Responses are `{"id":N,"ok":true,"result":{…}}` on success and
@@ -47,6 +48,10 @@ impl QueryFilter {
 pub enum Method {
     /// Re-audit the whole tree.
     Audit,
+    /// Re-audit the whole tree and return only the findings delta
+    /// against the previous snapshot (introduced/fixed/moved, plus
+    /// left-behind clone sweeps of fixed findings) — the CI-bot mode.
+    AuditDiff,
     /// Re-audit after changes to the named files (project-relative).
     Reaudit {
         /// The changed files the client knows about.
@@ -190,6 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Value::as_u64);
     let method = match method {
         "audit" => Method::Audit,
+        "auditdiff" => Method::AuditDiff,
         "reaudit" => {
             let files = params
                 .and_then(|p| p.get("files"))
@@ -229,6 +235,7 @@ pub fn encode_request(req: &Request) -> String {
     let mut params: Vec<(String, Value)> = Vec::new();
     let method = match &req.method {
         Method::Audit => "audit",
+        Method::AuditDiff => "auditdiff",
         Method::Reaudit { files } => {
             params.push(("files".to_string(), files.to_json()));
             "reaudit"
@@ -335,6 +342,11 @@ mod tests {
                 id: 4,
                 method: Method::Shutdown,
                 deadline_ms: None,
+            },
+            Request {
+                id: 5,
+                method: Method::AuditDiff,
+                deadline_ms: Some(900),
             },
         ];
         for r in reqs {

@@ -41,10 +41,11 @@ fn bench_smoke_script_passes() {
     assert!(v.get("speedup_warm").is_some());
     assert!(v.get("speedup_parallel").is_some());
     assert!(v.get("runs").is_some());
-    // Schema 6: the scaling curve, the binary-vs-JSON load comparison,
-    // the per-engine phase-2 time split, and explicit gate states. A
-    // skipped gate must be visible, not a silent pass.
-    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(6.0));
+    // Schema 7: the scaling curve, the binary-vs-JSON load comparison,
+    // the per-engine phase-2 time split, the fix-history diff replay,
+    // and explicit gate states. A skipped gate must be visible, not a
+    // silent pass.
+    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(7.0));
     let cores = v.get("cores").and_then(|c| c.as_u64()).expect("cores");
     let jobs = v.get("jobs").and_then(|c| c.as_u64()).expect("jobs");
     for gate_key in ["parallel_gate", "streaming_gate"] {
@@ -103,6 +104,30 @@ fn bench_smoke_script_passes() {
         .expect("warm_load_gate present");
     let files = v.get("files").and_then(|f| f.as_u64()).expect("files");
     assert_eq!(load_gate == "enforced", files >= 1000);
+    // The fix-history diff replay: every commit recorded with its diff
+    // latency and sweep share, parse-miss exactness always enforced,
+    // and the warm-latency gate visibly enforced or skipped.
+    let diff = v.get("diff").expect("diff replay section present");
+    let commits = diff
+        .get("commits")
+        .and_then(|c| c.as_array())
+        .expect("diff commits present");
+    assert!(!commits.is_empty(), "diff replay must cover commits");
+    for commit in commits {
+        assert!(commit.get("diff_secs").and_then(|s| s.as_f64()).is_some());
+        assert!(commit.get("sweep_secs").and_then(|s| s.as_f64()).is_some());
+    }
+    assert_eq!(
+        diff.get("parse_misses_exact").and_then(|b| b.as_bool()),
+        Some(true),
+        "diff replay re-parsed more than the changed units"
+    );
+    let diff_gate = diff
+        .get("latency_gate")
+        .and_then(|g| g.as_str())
+        .expect("diff latency_gate present");
+    assert!(diff_gate == "enforced" || diff_gate == "skipped");
+
     assert!(v.get("summary_hit_rate").is_some());
     assert!(v.get("cold_phase1_secs").is_some());
     assert!(v.get("cold_phase2_secs").is_some());

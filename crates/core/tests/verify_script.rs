@@ -1,6 +1,6 @@
 //! Runs the `scripts/verify.sh` release gate against prebuilt binaries,
 //! so the one-shot fmt → clippy → build → test → chaos → trace → serve
-//! → bench chain stays wired into the test suite. The cargo-based
+//! → diff → bench chain stays wired into the test suite. The cargo-based
 //! steps (fmt, clippy, build, test) are skipped because this test
 //! already runs under cargo — re-entering it here would recurse.
 
@@ -27,6 +27,7 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
         .env("VERIFY_SKIP", "fmt clippy build test")
         .env("REFMINER_BIN", env!("CARGO_BIN_EXE_refminer"))
         .env("CHAOSGEN_BIN", env!("CARGO_BIN_EXE_chaosgen"))
+        .env("HISTGEN_BIN", env!("CARGO_BIN_EXE_histgen"))
         .env("BENCHPIPE_BIN", env!("CARGO_BIN_EXE_benchpipe"))
         .env("BENCH_SCALE", "0.2")
         .env("BENCH_OUT", &out_file)
@@ -67,6 +68,7 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
         stdout.contains("verify.sh: [serve] ok"),
         "stdout:\n{stdout}"
     );
+    assert!(stdout.contains("verify.sh: [diff] ok"), "stdout:\n{stdout}");
     assert!(
         stdout.contains("verify.sh: [bench] ok"),
         "stdout:\n{stdout}"
@@ -83,7 +85,10 @@ fn verify_script_chains_chaos_and_bench_to_a_single_pass() {
 fn verify_script_fails_fast_with_the_step_name() {
     let out = Command::new("bash")
         .arg(script())
-        .env("VERIFY_SKIP", "fmt clippy build test chaos trace serve")
+        .env(
+            "VERIFY_SKIP",
+            "fmt clippy build test chaos trace serve diff",
+        )
         .env("BENCHPIPE_BIN", "/bin/false")
         .output()
         .expect("run verify.sh");

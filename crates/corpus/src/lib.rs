@@ -41,7 +41,8 @@ pub use subsystems::{
     SUBSYSTEM_KLOC,
 };
 pub use tree::{
-    generate_big_tree, generate_tree, next_revision, BigTreeConfig, FpTrap, InjectedBug, Manifest,
-    SourceFile, SyntheticTree, TreeConfig,
+    generate_big_tree, generate_fix_history, generate_tree, next_revision, BigTreeConfig,
+    CloneGroup, CloneMember, FpTrap, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig,
+    TreeRev, CLONE_GROUP_SIZE,
 };
 pub use workload::{generate_workload, WorkloadConfig, WorkloadOp};

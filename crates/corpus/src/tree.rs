@@ -50,6 +50,36 @@ pub struct FpTrap {
     pub kind: String,
 }
 
+/// One member site of a clone group: a function instantiating the
+/// group's shared bug shape with different identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneMember {
+    /// File path within the tree (one file per member, so a partial
+    /// fix touches exactly one file).
+    pub path: String,
+    /// Function the clone site lives in.
+    pub function: String,
+    /// Whether this member has been repaired (only ever `true` in the
+    /// manifests of [`generate_fix_history`] revisions).
+    pub fixed: bool,
+}
+
+/// A group of injected clones of one bug: the same anti-pattern and
+/// API instantiated at several sites with different identifiers — the
+/// paper's "one bug, hundreds behind" shape, as measurable ground
+/// truth for the propagation-search sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneGroup {
+    /// Stable group id (`cg0`, `cg1`, ...).
+    pub group: String,
+    /// The shared anti-pattern (1..=9).
+    pub pattern: u8,
+    /// The shared bug-caused API.
+    pub api: String,
+    /// The member sites, in emission order.
+    pub members: Vec<CloneMember>,
+}
+
 /// The ground-truth record of a generated tree.
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -63,6 +93,9 @@ pub struct Manifest {
     /// False-positive traps (see [`FpTrap`]); empty unless the tree was
     /// generated with [`TreeConfig::fp_traps`].
     pub fp_traps: Vec<FpTrap>,
+    /// Clone groups (see [`CloneGroup`]); empty unless the tree was
+    /// generated with [`TreeConfig::clone_groups`] > 0.
+    pub clone_groups: Vec<CloneGroup>,
 }
 
 impl ToJson for InjectedBug {
@@ -92,6 +125,27 @@ impl ToJson for FpTrap {
     }
 }
 
+impl ToJson for CloneMember {
+    fn to_json(&self) -> Value {
+        obj([
+            ("path", self.path.to_json()),
+            ("function", self.function.to_json()),
+            ("fixed", self.fixed.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CloneGroup {
+    fn to_json(&self) -> Value {
+        obj([
+            ("group", self.group.to_json()),
+            ("pattern", self.pattern.to_json()),
+            ("api", self.api.to_json()),
+            ("members", self.members.to_json()),
+        ])
+    }
+}
+
 impl ToJson for Manifest {
     fn to_json(&self) -> Value {
         obj([
@@ -107,6 +161,7 @@ impl ToJson for Manifest {
             ),
             ("clean_functions", self.clean_functions.to_json()),
             ("fp_traps", self.fp_traps.to_json()),
+            ("clone_groups", self.clone_groups.to_json()),
         ])
     }
 }
@@ -175,11 +230,39 @@ impl Manifest {
                 })
                 .collect::<Option<Vec<_>>>()?,
         };
+        // Absent in manifests written before the knob existed.
+        let clone_groups = match v.get("clone_groups") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()?
+                .iter()
+                .map(|g| {
+                    Some(CloneGroup {
+                        group: g.get("group")?.as_str()?.to_string(),
+                        pattern: g.get("pattern")?.as_u64()? as u8,
+                        api: g.get("api")?.as_str()?.to_string(),
+                        members: g
+                            .get("members")?
+                            .as_array()?
+                            .iter()
+                            .map(|m| {
+                                Some(CloneMember {
+                                    path: m.get("path")?.as_str()?.to_string(),
+                                    function: m.get("function")?.as_str()?.to_string(),
+                                    fixed: m.get("fixed")?.as_bool()?,
+                                })
+                            })
+                            .collect::<Option<Vec<_>>>()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        };
         Some(Manifest {
             bugs,
             tricky,
             clean_functions,
             fp_traps,
+            clone_groups,
         })
     }
 }
@@ -234,6 +317,14 @@ pub struct TreeConfig {
     /// guards. Recorded in [`Manifest::fp_traps`] with `bug: false`.
     /// Off by default so Table 4's totals stay the paper's.
     pub fp_traps: bool,
+    /// Number of clone groups to inject under `drivers/clones/`: each
+    /// group is [`CLONE_GROUP_SIZE`] sites instantiating the *same*
+    /// bug shape (pattern + API) with different identifiers, one site
+    /// per file, recorded in [`Manifest::clone_groups`]. The ground
+    /// truth for the propagation-search sweep and the partial-fix
+    /// history ([`generate_fix_history`]). 0 (off) by default so
+    /// Table 4's totals stay the paper's.
+    pub clone_groups: usize,
 }
 
 impl Default for TreeConfig {
@@ -247,6 +338,7 @@ impl Default for TreeConfig {
             include_vendor: false,
             cross_unit: false,
             fp_traps: false,
+            clone_groups: 0,
         }
     }
 }
@@ -408,6 +500,10 @@ pub fn generate_tree(cfg: &TreeConfig) -> SyntheticTree {
 
     if cfg.fp_traps {
         emit_fp_trap_module(&mut files, &mut manifest);
+    }
+
+    if cfg.clone_groups > 0 {
+        emit_clone_module(&mut files, &mut manifest, cfg, &kb);
     }
 
     if cfg.include_tricky {
@@ -857,6 +953,190 @@ static void fptrap_uad_guard(struct sock *sk)
         });
     }
     manifest.clean_functions += 5;
+}
+
+/// Sites per clone group (see [`TreeConfig::clone_groups`]).
+pub const CLONE_GROUP_SIZE: usize = 4;
+
+/// The bug shapes clone groups rotate over: pattern families whose
+/// buggy emitter has a verified clean twin, so a "fix" of one member
+/// is a real repair, not a different function.
+const CLONE_SHAPES: &[(u8, &str)] = &[
+    (1, "pm_runtime_get_sync"),
+    (4, "of_find_compatible_node"),
+    (5, "of_find_node_by_path"),
+    (7, "of_find_node_by_name"),
+    (2, "mdesc_grab"),
+];
+
+/// Table 4's impact for a clone-shape pattern.
+fn clone_impact(pattern: u8) -> &'static str {
+    match pattern {
+        2 => "NPD",
+        8 | 9 => "UAF",
+        _ => "Leak",
+    }
+}
+
+/// Emits one clone-group member file, buggy or fixed. The identifier
+/// stream is seeded per `(seed, g, k)` so regenerating one member (to
+/// fix it) leaves every other member's file byte-identical, and the
+/// fixed variant keeps the member's function name.
+fn clone_member_file(
+    seed: u64,
+    g: usize,
+    k: usize,
+    pattern: u8,
+    api: &str,
+    kb: &ApiKb,
+    fixed: bool,
+) -> (SourceFile, String) {
+    let member_seed = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(((g as u64) << 32) | (k as u64 + 1));
+    let mut ng = NameGen::new(ChaCha8Rng::seed_from_u64(member_seed));
+    let fn_name = format!("cg{g}_site{k}");
+    let body = if fixed {
+        emit_clean(pattern, api, &fn_name, kb, &mut ng)
+    } else {
+        emit_bug(pattern, api, &fn_name, kb, &mut ng, false)
+    };
+    let content = format!(
+        "// SPDX-License-Identifier: GPL-2.0\n\
+         // drivers/clones/cg{g}: clone-group member {k}.\n\
+         #include <linux/of.h>\n#include <linux/kref.h>\n\n\
+         struct cg{g}_priv {{\n\tstruct device_node *node;\n\tint ready;\n}};\n\n{body}"
+    );
+    (
+        SourceFile {
+            path: format!("drivers/clones/cg{g}_unit{k}.c"),
+            content,
+        },
+        fn_name,
+    )
+}
+
+/// Emits the clones module: `cfg.clone_groups` groups of
+/// [`CLONE_GROUP_SIZE`] sites each instantiating one shared bug shape
+/// with per-site identifiers, one site per translation unit. Ground
+/// truth lands both in [`Manifest::bugs`] (each site is a real bug)
+/// and [`Manifest::clone_groups`] (the sibling structure the sweep is
+/// scored against).
+fn emit_clone_module(
+    files: &mut Vec<SourceFile>,
+    manifest: &mut Manifest,
+    cfg: &TreeConfig,
+    kb: &ApiKb,
+) {
+    for g in 0..cfg.clone_groups {
+        let (pattern, api) = CLONE_SHAPES[g % CLONE_SHAPES.len()];
+        let mut members = Vec::new();
+        for k in 0..CLONE_GROUP_SIZE {
+            let (file, function) = clone_member_file(cfg.seed, g, k, pattern, api, kb, false);
+            manifest.bugs.push(InjectedBug {
+                path: file.path.clone(),
+                function: function.clone(),
+                pattern,
+                api: api.to_string(),
+                impact: clone_impact(pattern).to_string(),
+                subsystem: "drivers".to_string(),
+                module: "clones".to_string(),
+                inter_unit: false,
+            });
+            members.push(CloneMember {
+                path: file.path.clone(),
+                function,
+                fixed: false,
+            });
+            files.push(file);
+        }
+        manifest.clone_groups.push(CloneGroup {
+            group: format!("cg{g}"),
+            pattern,
+            api: api.to_string(),
+            members,
+        });
+    }
+}
+
+/// One revision of a simulated partial-fix history (see
+/// [`generate_fix_history`]).
+#[derive(Debug, Clone)]
+pub struct TreeRev {
+    /// Stable revision id (`rev0`, `rev1`, ...).
+    pub id: String,
+    /// Commit-style one-line message.
+    pub message: String,
+    /// The full tree at this revision, manifest included.
+    pub tree: SyntheticTree,
+    /// Clone members repaired *by this revision*, as
+    /// `(group, path, function)` triples. Empty for the base import
+    /// and for neutral churn.
+    pub fixed: Vec<(String, String, String)>,
+}
+
+/// Generates a partial-fix revision history: a base tree (which must
+/// have `cfg.clone_groups > 0` to be interesting), then one commit per
+/// clone group that repairs *only the group's first member* — the
+/// incomplete-fix shape the sweep's `left_behind` detector exists to
+/// catch — and a final finding-neutral churn commit. Each revision's
+/// manifest is ground truth for that revision: the repaired member's
+/// bug entry is dropped, its `fixed` flag set, and the repaired
+/// function counted clean.
+///
+/// Deterministic given `cfg`; every unrepaired file is byte-identical
+/// across consecutive revisions, so an incremental differ re-audits
+/// exactly one unit per fix commit.
+pub fn generate_fix_history(cfg: &TreeConfig) -> Vec<TreeRev> {
+    let kb = ApiKb::builtin();
+    let base = generate_tree(cfg);
+    let mut revs = vec![TreeRev {
+        id: "rev0".to_string(),
+        message: "import base tree".to_string(),
+        tree: base.clone(),
+        fixed: Vec::new(),
+    }];
+    let mut cur = base;
+    for g in 0..cfg.clone_groups {
+        let (pattern, api) = CLONE_SHAPES[g % CLONE_SHAPES.len()];
+        let (fixed_file, function) = clone_member_file(cfg.seed, g, 0, pattern, api, &kb, true);
+        let mut tree = cur.clone();
+        let slot = tree
+            .files
+            .iter_mut()
+            .find(|f| f.path == fixed_file.path)
+            .expect("clone member file exists in base tree");
+        slot.content = fixed_file.content;
+        tree.manifest
+            .bugs
+            .retain(|b| !(b.path == fixed_file.path && b.function == function));
+        tree.manifest.clean_functions += 1;
+        if let Some(grp) = tree
+            .manifest
+            .clone_groups
+            .iter_mut()
+            .find(|c| c.group == format!("cg{g}"))
+        {
+            if let Some(m) = grp.members.iter_mut().find(|m| m.function == function) {
+                m.fixed = true;
+            }
+        }
+        revs.push(TreeRev {
+            id: format!("rev{}", revs.len()),
+            message: format!("cg{g}: fix {api} refcount bug in {function}"),
+            tree: tree.clone(),
+            fixed: vec![(format!("cg{g}"), fixed_file.path, function)],
+        });
+        cur = tree;
+    }
+    let (neutral, _) = next_revision(&cur, cfg.seed ^ 0x5eed_d1ff, 1);
+    revs.push(TreeRev {
+        id: format!("rev{}", revs.len()),
+        message: "refactor: append helper, no functional change".to_string(),
+        tree: neutral,
+        fixed: Vec::new(),
+    });
+    revs
 }
 
 /// Rotates clean-twin shapes for variety.
@@ -1355,6 +1635,7 @@ mod tests {
             scale: 0.05,
             fp_traps: true,
             cross_unit: true,
+            clone_groups: 2,
             ..Default::default()
         });
         let json = tree.manifest.to_json();
@@ -1365,6 +1646,147 @@ mod tests {
         assert_eq!(back.tricky, tree.manifest.tricky);
         assert_eq!(back.clean_functions, tree.manifest.clean_functions);
         assert_eq!(back.fp_traps, tree.manifest.fp_traps);
+        assert_eq!(back.clone_groups, tree.manifest.clone_groups);
+    }
+
+    #[test]
+    fn clone_groups_knob_injects_sibling_sites() {
+        let base = generate_tree(&TreeConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let tree = generate_tree(&TreeConfig {
+            scale: 0.05,
+            clone_groups: 3,
+            ..Default::default()
+        });
+        assert_eq!(tree.files.len(), base.files.len() + 3 * CLONE_GROUP_SIZE);
+        assert_eq!(tree.manifest.clone_groups.len(), 3);
+        assert_eq!(
+            tree.manifest.bugs.len(),
+            base.manifest.bugs.len() + 3 * CLONE_GROUP_SIZE
+        );
+        for grp in &tree.manifest.clone_groups {
+            assert_eq!(grp.members.len(), CLONE_GROUP_SIZE);
+            // One site per translation unit, so a partial fix touches
+            // exactly one file.
+            let paths: HashSet<&str> = grp.members.iter().map(|m| m.path.as_str()).collect();
+            assert_eq!(paths.len(), CLONE_GROUP_SIZE);
+            for m in &grp.members {
+                assert!(!m.fixed);
+                assert!(tree.manifest.bugs.iter().any(|b| b.path == m.path
+                    && b.function == m.function
+                    && b.pattern == grp.pattern
+                    && b.api == grp.api));
+                assert!(tree.files.iter().any(|f| f.path == m.path));
+            }
+        }
+        // Groups rotate over distinct shapes.
+        assert_ne!(
+            tree.manifest.clone_groups[0].api,
+            tree.manifest.clone_groups[1].api
+        );
+        // Sibling sites use distinct identifier streams.
+        let m0 = &tree.manifest.clone_groups[0].members[0];
+        let m1 = &tree.manifest.clone_groups[0].members[1];
+        let c0 = &tree
+            .files
+            .iter()
+            .find(|f| f.path == m0.path)
+            .unwrap()
+            .content;
+        let c1 = &tree
+            .files
+            .iter()
+            .find(|f| f.path == m1.path)
+            .unwrap()
+            .content;
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn default_tree_has_no_clone_groups() {
+        let tree = generate_tree(&TreeConfig::default());
+        assert!(tree.manifest.clone_groups.is_empty());
+        assert!(!tree.files.iter().any(|f| f.path.contains("/clones/")));
+    }
+
+    #[test]
+    fn fix_history_repairs_one_member_per_commit() {
+        let cfg = TreeConfig {
+            scale: 0.05,
+            clone_groups: 2,
+            ..Default::default()
+        };
+        let revs = generate_fix_history(&cfg);
+        // Base import, one partial fix per group, neutral churn.
+        assert_eq!(revs.len(), 1 + 2 + 1);
+        assert!(revs[0].fixed.is_empty());
+        for i in 1..=2 {
+            let (prev, rev) = (&revs[i - 1], &revs[i]);
+            assert_eq!(rev.fixed.len(), 1);
+            let (grp, path, func) = &rev.fixed[0];
+            // Exactly one file differs from the previous revision.
+            let changed: Vec<&str> = prev
+                .tree
+                .files
+                .iter()
+                .zip(&rev.tree.files)
+                .filter(|(a, b)| a.content != b.content)
+                .map(|(a, _)| a.path.as_str())
+                .collect();
+            assert_eq!(changed, vec![path.as_str()]);
+            // The repaired member's bug entry is gone; its siblings stay.
+            assert!(prev
+                .tree
+                .manifest
+                .bugs
+                .iter()
+                .any(|b| b.path == *path && b.function == *func));
+            assert!(!rev
+                .tree
+                .manifest
+                .bugs
+                .iter()
+                .any(|b| b.path == *path && b.function == *func));
+            let g = rev
+                .tree
+                .manifest
+                .clone_groups
+                .iter()
+                .find(|c| c.group == *grp)
+                .unwrap();
+            assert_eq!(g.members.iter().filter(|m| m.fixed).count(), 1);
+            assert!(
+                g.members
+                    .iter()
+                    .find(|m| m.function == *func)
+                    .unwrap()
+                    .fixed
+            );
+            assert_eq!(
+                rev.tree.manifest.clean_functions,
+                prev.tree.manifest.clean_functions + 1
+            );
+        }
+        // The final churn commit changes no findings-relevant state.
+        let last = revs.last().unwrap();
+        assert!(last.fixed.is_empty());
+        assert_eq!(
+            last.tree.manifest.bugs,
+            revs[revs.len() - 2].tree.manifest.bugs
+        );
+        // Deterministic given the config.
+        let again = generate_fix_history(&cfg);
+        assert_eq!(revs.len(), again.len());
+        for (a, b) in revs.iter().zip(&again) {
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.tree.files.len(), b.tree.files.len());
+            for (fa, fb) in a.tree.files.iter().zip(&b.tree.files) {
+                assert_eq!(fa.path, fb.path);
+                assert_eq!(fa.content, fb.content);
+            }
+        }
     }
 
     #[test]

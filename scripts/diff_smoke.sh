@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Diff smoke run: generate a simulated fix history with histgen, then
+# replay it commit by commit through `refminer diff` against one shared
+# cache dir, verifying at every commit that
+#
+#   1. the reported delta equals the set difference of two full
+#      `refminer --json` audits of the same revisions (moved findings
+#      count on both sides, left_behind lines on neither — they are
+#      revision-B findings that survived the commit);
+#   2. the delta bytes are identical across `--jobs` settings and cache
+#      temperature (the warm shared-cache run vs a cold cache-less one);
+#   3. the partial-fix commits report left-behind clones, and the
+#      neutral refactor commit reports a clean (empty) delta.
+#
+# Env:
+#   REFMINER_BIN  prebuilt refminer binary; default `cargo run`
+#   HISTGEN_BIN   prebuilt histgen binary; default `cargo run`
+set -u
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+outdir="$(mktemp -d "${TMPDIR:-/tmp}/refminer-diff.XXXXXX")"
+trap 'rm -rf "$outdir"' EXIT
+
+refminer() {
+    if [ -n "${REFMINER_BIN:-}" ]; then
+        "$REFMINER_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin refminer -- "$@"
+    fi
+}
+
+histgen() {
+    if [ -n "${HISTGEN_BIN:-}" ]; then
+        "$HISTGEN_BIN" "$@"
+    else
+        cargo run --quiet --manifest-path "$here/Cargo.toml" -p refminer --bin histgen -- "$@"
+    fi
+}
+
+fail() {
+    echo "diff_smoke.sh: FAIL ($1)" >&2
+    exit 1
+}
+
+hist="$outdir/hist"
+histgen --seed 11 --scale 0.05 --clone-groups 3 "$hist" > /dev/null \
+    || fail "histgen"
+[ -f "$hist/history.json" ] || fail "histgen wrote no history.json"
+
+revs=$(cd "$hist" && ls -d rev?? | sort)
+[ -n "$revs" ] || fail "histgen wrote no revisions"
+
+cache="$outdir/cache"
+prev=""
+commit=0
+fix_commits_with_left_behind=0
+fix_commits=0
+for rev in $revs; do
+    cur="$hist/$rev"
+    if [ -z "$prev" ]; then
+        prev="$cur"
+        continue
+    fi
+    commit=$((commit + 1))
+
+    # The two full audits the delta must reduce to.
+    refminer --json "$prev" > "$outdir/full_a.jsonl"
+    refminer --json "$cur" > "$outdir/full_b.jsonl"
+
+    # Warm incremental diff (shared cache, sequential) and a cold
+    # parallel one; the delta must not depend on either knob.
+    refminer diff --json --jobs 1 --cache-dir "$cache" "$prev" "$cur" \
+        > "$outdir/delta_warm.jsonl"
+    refminer diff --json --jobs 4 "$prev" "$cur" > "$outdir/delta_cold.jsonl"
+    cmp -s "$outdir/delta_warm.jsonl" "$outdir/delta_cold.jsonl" \
+        || fail "commit $commit: delta differs across jobs/cache temperature"
+
+    python3 - "$outdir/full_a.jsonl" "$outdir/full_b.jsonl" \
+        "$outdir/delta_warm.jsonl" <<'EOF' || fail "commit $commit: delta != full-audit set difference"
+import json, sys
+
+def canon(o):
+    return json.dumps(o, sort_keys=True)
+
+def lines(path):
+    with open(path) as fh:
+        return [json.loads(l) for l in fh if l.strip()]
+
+a = set(canon(o) for o in lines(sys.argv[1]))
+b = set(canon(o) for o in lines(sys.argv[2]))
+intro, fixed, moved_from, moved_to = set(), set(), set(), set()
+for d in lines(sys.argv[3]):
+    kind = d["delta"]
+    if kind == "introduced":
+        intro.add(canon(d["finding"]))
+    elif kind == "fixed":
+        fixed.add(canon(d["finding"]))
+    elif kind == "moved":
+        moved_from.add(canon(d["from"]))
+        moved_to.add(canon(d["finding"]))
+    elif kind == "left_behind":
+        assert canon(d["finding"]) in b, "left_behind finding not in revision B"
+assert intro | moved_to == b - a, "introduced+moved != B-only findings"
+assert fixed | moved_from == a - b, "fixed+moved != A-only findings"
+EOF
+
+    fixed_count=$(grep -c '"delta":"fixed"' "$outdir/delta_warm.jsonl" || true)
+    left_count=$(grep -c '"delta":"left_behind"' "$outdir/delta_warm.jsonl" || true)
+    if [ "$fixed_count" -gt 0 ]; then
+        fix_commits=$((fix_commits + 1))
+        [ "$left_count" -gt 0 ] \
+            && fix_commits_with_left_behind=$((fix_commits_with_left_behind + 1))
+    else
+        # The neutral refactor commit: nothing fixed, nothing introduced.
+        [ -s "$outdir/delta_warm.jsonl" ] \
+            && fail "commit $commit: non-fix commit reported a delta"
+    fi
+    prev="$cur"
+done
+
+[ "$commit" -ge 2 ] || fail "history too short: $commit commit(s)"
+[ "$fix_commits" -gt 0 ] || fail "no fix commits replayed"
+[ "$fix_commits_with_left_behind" -gt 0 ] \
+    || fail "partial-fix commits reported no left-behind clones"
+
+echo "diff_smoke.sh: PASS ($commit commits, $fix_commits fixes, \
+$fix_commits_with_left_behind with left-behind clones)"

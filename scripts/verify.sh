@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # One-shot release gate: fmt → clippy → build → test → chaos → trace →
-# serve → bench, fail fast, and end with a single "verify.sh: PASS" or
-# "verify.sh: FAIL (<step>)" verdict line.
+# serve → diff → bench, fail fast, and end with a single "verify.sh:
+# PASS" or "verify.sh: FAIL (<step>)" verdict line.
 #
 # Env:
 #   VERIFY_SKIP     space-separated step names to skip
-#                   (any of: fmt clippy build test chaos trace serve bench
-#                   bigbench)
+#                   (any of: fmt clippy build test chaos trace serve diff
+#                   bench bigbench)
 #   VERIFY_BIG      1 = add a kernel-scale corpus smoke (benchpipe --big
 #                   gates on a ~10k-file / ~1 MLoC tree; minutes, not
 #                   seconds, so off by default)
-#   CHAOSGEN_BIN / REFMINER_BIN / BENCHPIPE_BIN, BENCH_SCALE / BENCH_JOBS
+#   CHAOSGEN_BIN / REFMINER_BIN / HISTGEN_BIN / BENCHPIPE_BIN,
+#   BENCH_SCALE / BENCH_JOBS
 #   / BENCH_OUT / BENCH_REPLICAS — forwarded to the underlying scripts,
 #   so a harness can point every step at prebuilt binaries.
 set -u
@@ -47,6 +48,7 @@ step test cargo test --quiet --manifest-path "$here/Cargo.toml" --workspace
 step chaos bash "$here/scripts/chaos.sh"
 step trace bash "$here/scripts/trace_smoke.sh"
 step serve bash "$here/scripts/serve_smoke.sh"
+step diff bash "$here/scripts/diff_smoke.sh"
 step bench bash "$here/scripts/bench.sh"
 if [ "${VERIFY_BIG:-0}" = "1" ]; then
     # The big-corpus smoke: bench.sh with its big mode on, the small

@@ -1,0 +1,264 @@
+//! Integration suite for the finding-generalization sweep and the
+//! diff-aware incremental audit.
+//!
+//! The contract under test: (1) `diff` deltas are exactly the set
+//! difference of two full audits — byte-identical at any job count and
+//! cache temperature; (2) pure line shifts classify as `moved`, not
+//! introduced+fixed; (3) a partial-fix commit surfaces its unfixed
+//! clone siblings as `left_behind`; (4) on the FP-trap corpus the
+//! sweep finds ≥90% of injected clone siblings with zero spurious
+//! matches.
+
+use refminer::corpus::{generate_fix_history, generate_tree, TreeConfig};
+use refminer::serve::render_finding_line;
+use refminer::{
+    audit_with_cache, diff_projects, evaluate_sweep, render_diff_lines, AuditCache, AuditConfig,
+    DiffOptions, Project,
+};
+use std::collections::HashSet;
+
+fn history_cfg() -> TreeConfig {
+    TreeConfig {
+        seed: 11,
+        scale: 0.05,
+        clone_groups: 3,
+        ..Default::default()
+    }
+}
+
+fn config(jobs: usize) -> AuditConfig {
+    AuditConfig {
+        jobs,
+        discover_apis: true,
+        ..Default::default()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Delta exactness: diff == set difference of two full audits.
+// ----------------------------------------------------------------------
+
+#[test]
+fn diff_delta_is_the_full_audit_set_difference() {
+    let revs = generate_fix_history(&history_cfg());
+    let projects: Vec<Project> = revs.iter().map(|r| Project::from_tree(&r.tree)).collect();
+    let cfg = config(1);
+    let mut cache = AuditCache::new();
+    for i in 1..projects.len() {
+        let (a, b) = (&projects[i - 1], &projects[i]);
+        let dr = diff_projects(a, b, &cfg, &mut cache, &DiffOptions::default());
+
+        let lines_a: HashSet<String> = dr
+            .report_a
+            .findings
+            .iter()
+            .map(render_finding_line)
+            .collect();
+        let lines_b: HashSet<String> = dr
+            .report_b
+            .findings
+            .iter()
+            .map(render_finding_line)
+            .collect();
+        let b_only: HashSet<&String> = lines_b.difference(&lines_a).collect();
+        let a_only: HashSet<&String> = lines_a.difference(&lines_b).collect();
+
+        let introduced: HashSet<String> = dr
+            .delta
+            .introduced
+            .iter()
+            .chain(dr.delta.moved.iter().map(|(_, to)| to))
+            .map(render_finding_line)
+            .collect();
+        let fixed: HashSet<String> = dr
+            .delta
+            .fixed
+            .iter()
+            .chain(dr.delta.moved.iter().map(|(from, _)| from))
+            .map(render_finding_line)
+            .collect();
+        assert_eq!(
+            introduced.iter().collect::<HashSet<_>>(),
+            b_only,
+            "commit {i}: introduced+moved must equal the B-only findings"
+        );
+        assert_eq!(
+            fixed.iter().collect::<HashSet<_>>(),
+            a_only,
+            "commit {i}: fixed+moved must equal the A-only findings"
+        );
+    }
+}
+
+#[test]
+fn diff_delta_is_stable_across_jobs_and_cache_temperature() {
+    let revs = generate_fix_history(&history_cfg());
+    let a = Project::from_tree(&revs[0].tree);
+    let b = Project::from_tree(&revs[1].tree);
+    let opts = DiffOptions::default();
+
+    let baseline =
+        render_diff_lines(&diff_projects(&a, &b, &config(1), &mut AuditCache::new(), &opts).delta);
+    assert!(!baseline.is_empty(), "the fix commit must produce a delta");
+
+    // Parallel, cold cache.
+    let par =
+        render_diff_lines(&diff_projects(&a, &b, &config(4), &mut AuditCache::new(), &opts).delta);
+    assert_eq!(baseline, par, "delta must not depend on the job count");
+
+    // Warm cache: audit both revisions first, then diff against the
+    // fully warm per-unit cache.
+    let mut warm = AuditCache::new();
+    audit_with_cache(&a, &config(1), &mut warm);
+    audit_with_cache(&b, &config(1), &mut warm);
+    let cached = render_diff_lines(&diff_projects(&a, &b, &config(1), &mut warm, &opts).delta);
+    assert_eq!(
+        baseline, cached,
+        "delta must not depend on cache temperature"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Moved detection.
+// ----------------------------------------------------------------------
+
+#[test]
+fn pure_line_shifts_classify_as_moved() {
+    let revs = generate_fix_history(&history_cfg());
+    let base = &revs[0].tree;
+    let cfg = config(1);
+    let report = audit_with_cache(&Project::from_tree(base), &cfg, &mut AuditCache::new());
+    assert!(!report.findings.is_empty());
+
+    // Prepend two comment lines to the file holding the first finding:
+    // its findings shift down, nothing else changes.
+    let target = report.findings[0].file.clone();
+    let mut shifted = base.clone();
+    let file = shifted
+        .files
+        .iter_mut()
+        .find(|f| f.path == target)
+        .expect("finding's file exists in the tree");
+    file.content = format!("// shifted\n// shifted\n{}", file.content);
+
+    let dr = diff_projects(
+        &Project::from_tree(base),
+        &Project::from_tree(&shifted),
+        &cfg,
+        &mut AuditCache::new(),
+        &DiffOptions::default(),
+    );
+    assert!(
+        dr.delta.introduced.is_empty() && dr.delta.fixed.is_empty(),
+        "a pure line shift must not read as introduced or fixed"
+    );
+    assert!(
+        !dr.delta.moved.is_empty(),
+        "the shift must classify as moved"
+    );
+    for (from, to) in &dr.delta.moved {
+        assert_eq!(from.file, target);
+        assert_eq!(to.line, from.line + 2, "shift distance is two lines");
+    }
+    assert!(dr.delta.is_clean(), "a move-only commit is clean");
+}
+
+// ----------------------------------------------------------------------
+// Left-behind sweep on partial fixes.
+// ----------------------------------------------------------------------
+
+#[test]
+fn partial_fix_commit_surfaces_left_behind_clones() {
+    let revs = generate_fix_history(&history_cfg());
+    let a = Project::from_tree(&revs[0].tree);
+    let b = Project::from_tree(&revs[1].tree);
+    let dr = diff_projects(
+        &a,
+        &b,
+        &config(1),
+        &mut AuditCache::new(),
+        &DiffOptions::default(),
+    );
+    assert_eq!(dr.delta.fixed.len(), 1, "the commit repairs one clone site");
+    assert!(!dr.delta.is_clean(), "clones were left behind");
+
+    // The fixed member's group has CLONE_GROUP_SIZE - 1 unfixed
+    // siblings; every one of them must be among the sweep's matches.
+    let (group, fixed_path, _) = &revs[1].fixed[0];
+    let manifest = &revs[1].tree.manifest;
+    let cg = manifest
+        .clone_groups
+        .iter()
+        .find(|g| &g.group == group)
+        .expect("fixed group is in the manifest");
+    let matched: HashSet<(&str, &str)> = dr
+        .delta
+        .left_behind
+        .iter()
+        .flat_map(|lb| lb.matches.iter())
+        .map(|m| (m.finding.file.as_str(), m.finding.function.as_str()))
+        .collect();
+    for member in &cg.members {
+        if &member.path == fixed_path {
+            continue;
+        }
+        assert!(
+            matched.contains(&(member.path.as_str(), member.function.as_str())),
+            "unfixed sibling {}:{} missing from the left-behind sweep",
+            member.path,
+            member.function
+        );
+    }
+
+    // With the sweep disabled the same delta reports nothing left
+    // behind (and therefore reads clean).
+    let quiet = diff_projects(
+        &a,
+        &b,
+        &config(1),
+        &mut AuditCache::new(),
+        &DiffOptions { sweep: false },
+    );
+    assert!(quiet.delta.left_behind.is_empty());
+    assert!(quiet.delta.is_clean());
+}
+
+// ----------------------------------------------------------------------
+// Sweep acceptance: ≥90% clone recall, zero spurious, FP-trap corpus.
+// ----------------------------------------------------------------------
+
+#[test]
+fn sweep_finds_clone_siblings_with_zero_spurious_matches() {
+    let tree = generate_tree(&TreeConfig {
+        seed: 7,
+        scale: 0.05,
+        clone_groups: 5,
+        fp_traps: true,
+        ..Default::default()
+    });
+    let project = Project::from_tree(&tree);
+    let report = audit_with_cache(&project, &config(1), &mut AuditCache::new());
+    let sweep = evaluate_sweep(&report.findings, &tree.manifest, &report.kb, |path| {
+        project
+            .units()
+            .iter()
+            .find(|u| u.path == path)
+            .map(|u| u.text.clone())
+    });
+    assert!(
+        sweep.totals.found + sweep.totals.missed > 0,
+        "the corpus must seed clone groups"
+    );
+    assert!(
+        sweep.totals.recall() >= 0.9,
+        "sweep recall {:.3} below the 90% acceptance floor",
+        sweep.totals.recall()
+    );
+    assert_eq!(
+        sweep.totals.spurious, 0,
+        "sweep matched sites that are not injected bugs"
+    );
+    for row in &sweep.rows {
+        assert!(row.seeded, "group {} found no seed finding", row.group);
+    }
+}
