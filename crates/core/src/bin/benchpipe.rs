@@ -43,6 +43,14 @@
 //!    left-behind sweep's share of it, and the delta counts, all
 //!    against one shared per-unit cache (so every commit after the
 //!    first is a warm incremental diff, exactly the CI shape).
+//! 6. `fixcheck` — the same fix history replayed through the
+//!    incomplete-fix checker: each commit rendered to a unified diff,
+//!    reverse-applied, and both sides audited through one shared
+//!    cache; per-commit wall time plus the fixed/incomplete verdicts.
+//! 7. `history` — a seeded release ladder audited release-over-release
+//!    through one shared cache: per-release wall time and re-parse
+//!    counts, pinning the delta-only property `refminer history`
+//!    depends on.
 //!
 //! With `--check`, the warm run must be ≥5× faster than cold at the
 //! same job count, and the incremental run must re-parse exactly the
@@ -60,14 +68,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use refminer::corpus::{
-    generate_big_tree, generate_fix_history, generate_tree, next_revision, BigTreeConfig,
-    TreeConfig,
+    generate_big_tree, generate_fix_history, generate_release_history, generate_tree,
+    next_revision, BigTreeConfig, ReleaseHistoryConfig, TreeConfig,
 };
 use refminer::parallel::effective_jobs;
 use refminer::{
     audit_traced, audit_with_cache, diff_delta, diff_projects, evaluate, evaluate_engines,
-    AuditCache, AuditConfig, AuditReport, DiffOptions, EngineSet, Project, TraceHandle,
-    TraceSummary,
+    fixcheck_project, render_file_diff, AuditCache, AuditConfig, AuditReport, DiffOptions,
+    EngineSet, Project, TraceHandle, TraceSummary,
 };
 use refminer_json::{obj, ToJson, Value};
 
@@ -500,6 +508,132 @@ fn main() -> ExitCode {
         "skipped"
     };
 
+    // Incomplete-fix replay: the same history, but each commit is
+    // rendered to a unified diff and driven through the fixcheck
+    // pipeline (reverse-apply, audit both sides, sweep for left-unfixed
+    // siblings) against one shared cache. The verdicts are the gate —
+    // every partial-fix commit must report what it left behind, the
+    // neutral commit must come back clean — and the wall times record
+    // what that costs on top of a plain diff audit.
+    let mut fixcheck_cache = AuditCache::new();
+    let t = Instant::now();
+    let _ = audit_with_cache(&hist_projects[0], &cfg_at(jobs), &mut fixcheck_cache);
+    let fixcheck_base_secs = t.elapsed().as_secs_f64();
+    let mut fixcheck_commits: Vec<Value> = Vec::new();
+    let mut fixcheck_correct = true;
+    let mut fixcheck_max_secs: f64 = 0.0;
+    for i in 1..hist_projects.len() {
+        let (a, b) = (&hist_projects[i - 1], &hist_projects[i]);
+        let prev: std::collections::HashMap<&str, &str> = a
+            .units()
+            .iter()
+            .map(|u| (u.path.as_str(), u.text.as_str()))
+            .collect();
+        let mut diff_text = String::new();
+        for u in b.units() {
+            let old = prev.get(u.path.as_str()).copied().unwrap_or("");
+            if let Some(d) = render_file_diff(&u.path, old, &u.text) {
+                diff_text.push_str(&d);
+            }
+        }
+        let t = Instant::now();
+        let fr = match fixcheck_project(b, &diff_text, &cfg_at(jobs), &mut fixcheck_cache) {
+            Ok(fr) => fr,
+            Err(e) => {
+                eprintln!("benchpipe: fixcheck replay of {} failed: {e}", hist[i].id);
+                return ExitCode::FAILURE;
+            }
+        };
+        let fixcheck_secs = t.elapsed().as_secs_f64();
+        let partial = !hist[i].fixed.is_empty();
+        if partial && (fr.fixed.is_empty() || fr.incomplete_total() == 0) {
+            eprintln!(
+                "benchpipe: fixcheck missed the incomplete fix in {} \
+                 ({} fixed, {} left unfixed)",
+                hist[i].id,
+                fr.fixed.len(),
+                fr.incomplete_total(),
+            );
+            fixcheck_correct = false;
+        }
+        if !partial && !fr.is_clean() {
+            eprintln!(
+                "benchpipe: fixcheck flagged the neutral commit {}",
+                hist[i].id
+            );
+            fixcheck_correct = false;
+        }
+        fixcheck_max_secs = fixcheck_max_secs.max(fixcheck_secs);
+        fixcheck_commits.push(obj([
+            ("id", hist[i].id.as_str().into()),
+            ("fixcheck_secs", fixcheck_secs.to_json()),
+            ("files_changed", fr.files_changed.to_json()),
+            ("fixed", fr.fixed.len().to_json()),
+            ("incomplete", fr.incomplete_total().to_json()),
+            ("clean", fr.is_clean().to_json()),
+        ]));
+    }
+    // Same honesty rule as the diff gate: a fixcheck audits *two* trees
+    // per commit, so the latency bound is 2x the cold audit, and only
+    // once per-unit work dominates the constant costs.
+    let fixcheck_gate_enforced = hist_files >= 300;
+    let fixcheck_latency_gate = if fixcheck_gate_enforced {
+        "enforced"
+    } else {
+        "skipped"
+    };
+
+    // Release-history replay: a seeded release ladder audited
+    // release-over-release through one shared cache, the workload under
+    // `refminer history`. Each release adds a replica of the tree and
+    // repairs one clone member, so after the base release the cache
+    // must re-parse exactly the new and changed units — the delta-only
+    // property that makes a multi-release study affordable.
+    let releases = generate_release_history(&ReleaseHistoryConfig {
+        seed: 0x4E7EA5E,
+        scale: (opts.scale * 0.5).max(0.02),
+        releases: 3,
+        clone_groups: 2,
+    });
+    let mut release_cache = AuditCache::new();
+    let mut release_rows: Vec<Value> = Vec::new();
+    let mut history_delta_exact = true;
+    let mut prev_release: Option<Project> = None;
+    for rel in &releases {
+        let project = Project::from_tree(&rel.tree);
+        let t = Instant::now();
+        let report = audit_with_cache(&project, &cfg_at(jobs), &mut release_cache);
+        let secs = t.elapsed().as_secs_f64();
+        if let Some(prev) = &prev_release {
+            let old: std::collections::HashMap<&str, &str> = prev
+                .units()
+                .iter()
+                .map(|u| (u.path.as_str(), u.text.as_str()))
+                .collect();
+            let changed = project
+                .units()
+                .iter()
+                .filter(|u| old.get(u.path.as_str()) != Some(&u.text.as_str()))
+                .count();
+            if report.cache.parse_misses != changed {
+                eprintln!(
+                    "benchpipe: release {} re-parsed {} units, expected {changed}",
+                    rel.version, report.cache.parse_misses,
+                );
+                history_delta_exact = false;
+            }
+        }
+        release_rows.push(obj([
+            ("version", rel.version.as_str().into()),
+            ("files", report.files.to_json()),
+            ("lines", report.lines.to_json()),
+            ("findings", report.findings.len().to_json()),
+            ("parse_misses", report.cache.parse_misses.to_json()),
+            ("secs", secs.to_json()),
+        ]));
+        prev_release = Some(project);
+    }
+
     let mut runs = vec![run_json("cold_jobs1", cold_seq, files)];
     if let Some(m) = cold_par {
         runs.push(run_json(&format!("cold_jobs{jobs}"), m, files));
@@ -524,14 +658,16 @@ fn main() -> ExitCode {
     );
 
     let mut report_fields = vec![
-        // Schema 7: the `diff` section — a fix history replayed through
-        // the incremental differ, with per-commit diff-audit latency,
-        // sweep time and delta counts. Every schema-6 key — per-engine
+        // Schema 8: the `fixcheck` section — the fix history replayed
+        // through the incomplete-fix checker, with per-commit latency
+        // and verdicts — and the `history` section — a release ladder
+        // audited through one shared cache with per-release re-parse
+        // counts. Every schema-7 key — the `diff` replay, per-engine
         // phase-2 wall times, the `scaling` worker-count curve, the
         // streaming-vs-barrier cold comparison, the binary-vs-JSON
         // warm-load comparison, `--big` kernel-scale trees — is
         // unchanged.
-        ("schema", 7.to_json()),
+        ("schema", 8.to_json()),
         ("big", opts.big.to_json()),
         ("files", files.to_json()),
         ("lines", cold_seq.report.lines.to_json()),
@@ -585,6 +721,23 @@ fn main() -> ExitCode {
                 ("commits", Value::Arr(diff_commits)),
                 ("parse_misses_exact", diff_parse_exact.to_json()),
                 ("latency_gate", diff_latency_gate.to_json()),
+            ]),
+        ),
+        (
+            "fixcheck",
+            obj([
+                ("files", hist_files.to_json()),
+                ("cold_audit_secs", fixcheck_base_secs.to_json()),
+                ("commits", Value::Arr(fixcheck_commits)),
+                ("verdicts_correct", fixcheck_correct.to_json()),
+                ("latency_gate", fixcheck_latency_gate.to_json()),
+            ]),
+        ),
+        (
+            "history",
+            obj([
+                ("releases", Value::Arr(release_rows)),
+                ("delta_exact", history_delta_exact.to_json()),
             ]),
         ),
     ];
@@ -643,6 +796,20 @@ fn main() -> ExitCode {
         hist_files,
         diff_cold_secs,
         diff_max_secs,
+    );
+    eprintln!(
+        "benchpipe: fixcheck replay: slowest commit {:.4}s, verdicts {}",
+        fixcheck_max_secs,
+        if fixcheck_correct { "correct" } else { "WRONG" },
+    );
+    eprintln!(
+        "benchpipe: history replay {} release(s): delta-only re-parse {}",
+        releases.len(),
+        if history_delta_exact {
+            "exact"
+        } else {
+            "WRONG"
+        },
     );
     println!("{}", out.display());
 
@@ -718,6 +885,28 @@ fn main() -> ExitCode {
                 "benchpipe: SKIP: warm-diff-beats-cold gate needs >= 300 history files \
                  (files={hist_files}; raise --scale)"
             );
+        }
+        if !fixcheck_correct {
+            eprintln!("benchpipe: FAIL: fixcheck replay verdicts were wrong");
+            failed = true;
+        }
+        if fixcheck_gate_enforced {
+            if fixcheck_max_secs >= 2.0 * fixcheck_base_secs {
+                eprintln!(
+                    "benchpipe: FAIL: slowest fixcheck {fixcheck_max_secs:.3}s not under \
+                     2x the cold audit {fixcheck_base_secs:.3}s"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "benchpipe: SKIP: fixcheck-latency gate needs >= 300 history files \
+                 (files={hist_files}; raise --scale)"
+            );
+        }
+        if !history_delta_exact {
+            eprintln!("benchpipe: FAIL: release replay re-parsed more than each release's delta");
+            failed = true;
         }
         if failed {
             return ExitCode::FAILURE;

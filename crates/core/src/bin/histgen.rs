@@ -1,8 +1,16 @@
-//! The `histgen` tool: write a simulated fix history to disk — a base
-//! tree with injected clone groups, then one partial-fix commit per
-//! group that repairs only the first clone site, then a neutral
-//! refactor commit. Input for `refminer diff` smoke tests and the
-//! diff-audit benchmark.
+//! The `histgen` tool: write a simulated revision corpus to disk.
+//!
+//! Two modes:
+//!
+//! - **Fix history** (default): a base tree with injected clone
+//!   groups, then one partial-fix commit per group that repairs only
+//!   the first clone site, then a neutral refactor commit. Input for
+//!   `refminer diff`/`fixcheck` smoke tests, `eval --fixcheck`, and
+//!   the diff-audit benchmark.
+//! - **Release history** (`--releases N`): a seeded v2.6.12 → v6.x
+//!   release sequence with per-release LoC growth (one fresh replica
+//!   stamped per release) and one partial clone-group fix per release
+//!   while groups remain. Input for `refminer history`.
 //!
 //! ```text
 //! histgen [OPTIONS] <OUTDIR>
@@ -12,22 +20,26 @@
 //!     --scale <F>          tree scale factor (default 0.05)
 //!     --clone-groups <N>   injected clone groups (default 3)
 //!     --fp-traps           also inject feasibility FP traps
+//!     --releases <N>       write an N-release history instead
 //!     -h, --help           print this help
 //! ```
 //!
-//! Each revision is a full snapshot under `<OUTDIR>/rev00/`,
-//! `<OUTDIR>/rev01/`, … (tree plus its own `manifest.json`), and
-//! `<OUTDIR>/history.json` lists them in order with each commit's
-//! message and the clone sites it fixed.
+//! Fix-history mode writes full snapshots under `<OUTDIR>/rev00/`,
+//! `<OUTDIR>/rev01/`, … plus `history.json`; release mode writes
+//! `<OUTDIR>/rel00/`, … plus `releases.json` with version labels.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use refminer::corpus::{generate_fix_history, TreeConfig};
+use refminer::corpus::{
+    generate_fix_history, generate_release_history, ReleaseHistoryConfig, TreeConfig,
+};
 use refminer_json::{obj, ToJson, Value};
 
 fn usage() -> ! {
-    eprintln!("usage: histgen [--seed N] [--scale F] [--clone-groups N] [--fp-traps] <OUTDIR>");
+    eprintln!(
+        "usage: histgen [--seed N] [--scale F] [--clone-groups N] [--fp-traps] [--releases N] <OUTDIR>"
+    );
     std::process::exit(2);
 }
 
@@ -36,6 +48,7 @@ fn main() -> ExitCode {
     let mut scale: f64 = 0.05;
     let mut clone_groups: usize = 3;
     let mut fp_traps = false;
+    let mut releases: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +68,15 @@ fn main() -> ExitCode {
                 clone_groups = v.parse().unwrap_or_else(|_| usage());
             }
             "--fp-traps" => fp_traps = true,
+            "--releases" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("histgen: --releases needs at least 1");
+                    return ExitCode::from(2);
+                }
+                releases = Some(n);
+            }
             other if other.starts_with('-') => {
                 eprintln!("unknown option `{other}`");
                 usage();
@@ -68,6 +90,40 @@ fn main() -> ExitCode {
         }
     }
     let out = out.unwrap_or_else(|| usage());
+
+    if let Some(n) = releases {
+        let revs = generate_release_history(&ReleaseHistoryConfig {
+            seed,
+            scale,
+            releases: n,
+            clone_groups,
+        });
+        let mut entries: Vec<Value> = Vec::new();
+        for (i, rev) in revs.iter().enumerate() {
+            let dir_name = format!("rel{i:02}");
+            let dir = out.join(&dir_name);
+            if let Err(e) = rev.tree.write_to(&dir) {
+                eprintln!("histgen: cannot write {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            entries.push(obj([
+                ("version", rev.version.as_str().into()),
+                ("dir", dir_name.as_str().into()),
+                ("added_files", rev.added_files.to_json()),
+            ]));
+        }
+        let listing = obj([
+            ("seed", seed.to_json()),
+            ("clone_groups", clone_groups.to_json()),
+            ("releases", Value::Arr(entries)),
+        ]);
+        if let Err(e) = std::fs::write(out.join("releases.json"), listing.to_string_pretty()) {
+            eprintln!("histgen: cannot write releases.json: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {} release(s) under {}", revs.len(), out.display());
+        return ExitCode::SUCCESS;
+    }
 
     let revs = generate_fix_history(&TreeConfig {
         seed,

@@ -4,8 +4,11 @@
 //! ```text
 //! refminer [OPTIONS] <PATH>
 //! refminer eval [OPTIONS] <PATH>     score the audit against <PATH>/manifest.json
+//! refminer eval --fixcheck <ROOT>    replay a histgen fix history through fixcheck
 //! refminer diff [OPTIONS] <A> <B>    incremental audit: findings delta between two revisions
 //! refminer sweep --at F:L <PATH>     sweep the tree for clones of one confirmed finding
+//! refminer fixcheck <ROOT> <DIFF>    audit both sides of a fix diff; report what it left behind
+//! refminer history <ROOT>            findings/KLoC per subsystem across a release corpus
 //! refminer serve [OPTIONS] <PATH>    resident audit daemon (JSON-RPC over TCP/Unix socket)
 //! refminer rpc <TARGET> <METHOD> …   one RPC against a running daemon
 //!
@@ -59,6 +62,7 @@ use refminer_json::{obj, ToJson, Value};
 struct Options {
     eval: bool,
     sweep_eval: bool,
+    fixcheck_eval: bool,
     path: PathBuf,
     patterns: Option<Vec<AntiPattern>>,
     only_patterns: Option<Vec<AntiPattern>>,
@@ -79,7 +83,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: refminer [eval [--sweep]] [--pattern P4,P8] [--only-pattern P4,P8] \
+        "usage: refminer [eval [--sweep|--fixcheck]] [--pattern P4,P8] [--only-pattern P4,P8] \
          [--engines template,delta] [--subsystem PREFIX] [--impact leak,uaf,npd] [--no-feasibility] \
          [--json|--csv] [--no-discovery] [--stats] [--strict] [--trace FILE] \
          [--max-file-bytes N] [--jobs N] [--cache-dir DIR] <PATH>"
@@ -106,6 +110,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         eval: false,
         sweep_eval: false,
+        fixcheck_eval: false,
         path: PathBuf::new(),
         patterns: None,
         only_patterns: None,
@@ -135,6 +140,7 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--sweep" if opts.eval => opts.sweep_eval = true,
+            "--fixcheck" if opts.eval => opts.fixcheck_eval = true,
             "--no-discovery" => opts.discovery = false,
             "--no-feasibility" => opts.feasibility = false,
             "--stats" => opts.stats = true,
@@ -238,9 +244,16 @@ fn main() -> ExitCode {
         Some("rpc") => return rpc_main(),
         Some("diff") => return diff_main(),
         Some("sweep") => return sweep_main(),
+        Some("fixcheck") => return fixcheck_main(),
+        Some("history") => return history_main(),
         _ => {}
     }
     let opts = parse_args();
+    // `eval --fixcheck` takes a histgen fix-history root, not a single
+    // source tree: route it before the ordinary scan/audit path.
+    if opts.eval && opts.fixcheck_eval {
+        return run_fixcheck_eval(&opts);
+    }
     // Recording is observation-only (findings are byte-identical either
     // way), so `--stats` alone also gets the full trace summary.
     let trace = if opts.trace.is_some() || opts.stats {
@@ -542,6 +555,7 @@ fn rpc_usage() -> ! {
            auditdiff [--deadline-ms N]\n\
            reaudit [--deadline-ms N] <FILE>...\n\
            query [--subsystem S] [--pattern P] [--verdict V]\n\
+           fixcheck [--deadline-ms N] <DIFF-FILE>\n\
            status\n\
            shutdown"
     );
@@ -586,14 +600,28 @@ fn rpc_main() -> ExitCode {
             Method::Reaudit { files }
         }
         "query" => Method::Query(filter.clone()),
+        "fixcheck" => {
+            if files.len() != 1 {
+                rpc_usage();
+            }
+            match std::fs::read_to_string(&files[0]) {
+                Ok(diff) => Method::Fixcheck { diff },
+                Err(e) => {
+                    eprintln!("refminer rpc: cannot read {}: {e}", files[0]);
+                    return ExitCode::from(2);
+                }
+            }
+        }
         "status" => Method::Status,
         "shutdown" => Method::Shutdown,
         _ => rpc_usage(),
     };
-    // `query` and `auditdiff` both print their lines raw: the former
-    // diffs against one-shot `--json` output, the latter against
-    // `refminer diff --json`.
-    let is_query = matches!(method, Method::Query(_) | Method::AuditDiff);
+    // `query`, `auditdiff` and `fixcheck` all print their lines raw:
+    // the same bytes the corresponding one-shot `--json` mode prints.
+    let is_query = matches!(
+        method,
+        Method::Query(_) | Method::AuditDiff | Method::Fixcheck { .. }
+    );
     let request = Request {
         id: 1,
         method,
@@ -872,6 +900,274 @@ fn sweep_main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn fixcheck_usage() -> ! {
+    eprintln!("usage: refminer fixcheck [--json] [--jobs N] [--cache-dir DIR] <ROOT> <DIFF-FILE>");
+    std::process::exit(2);
+}
+
+/// `refminer fixcheck <ROOT> <DIFF-FILE>`: parse a unified fix diff,
+/// reconstruct the pre-fix tree by reverse-applying it onto ROOT (the
+/// post-fix tree), audit both sides through one shared cache, and
+/// report the anti-pattern sites the fix left behind — sibling error
+/// paths and other call sites of the same API still matching the
+/// fixed bug's template. Exit 0 when the fix is complete (nothing
+/// left behind, nothing introduced), 1 when it is not, 2 on
+/// usage/scan/diff errors.
+fn fixcheck_main() -> ExitCode {
+    let mut json = false;
+    let mut jobs: usize = 0;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => fixcheck_usage(),
+            "--json" => json = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| fixcheck_usage());
+                match value.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => fixcheck_usage(),
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| fixcheck_usage()),
+                ))
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                fixcheck_usage();
+            }
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+    if positional.len() != 2 {
+        fixcheck_usage();
+    }
+    let (root, diff_path) = (&positional[0], &positional[1]);
+    let diff_text = match std::fs::read_to_string(diff_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "refminer fixcheck: cannot read {}: {e}",
+                diff_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut cache = match &cache_dir {
+        Some(dir) => AuditCache::with_dir(dir),
+        None => AuditCache::new(),
+    };
+    let config = AuditConfig {
+        jobs,
+        ..Default::default()
+    };
+    let r = match refminer::fixcheck_audit(root, &diff_text, &config, &mut cache) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("refminer fixcheck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cache_dir.is_some() {
+        if let Err(e) = cache.save() {
+            eprintln!("refminer fixcheck: warning: could not write cache: {e}");
+        }
+    }
+    if json {
+        for line in refminer::render_fixcheck_lines(&r) {
+            println!("{line}");
+        }
+    } else {
+        for intent in &r.intents {
+            let dir = match intent.dir {
+                refminer::rcapi::RcDir::Inc => "acquire",
+                refminer::rcapi::RcDir::Dec => "release",
+            };
+            println!(
+                "intent: {} ({dir}) in {} [pairs: {}]",
+                intent.api,
+                intent.file,
+                intent.acquires.join(", ")
+            );
+        }
+        for f in &r.fixed {
+            println!("- fixed {f}");
+        }
+        for f in &r.introduced {
+            println!("+ introduced {f}");
+        }
+        for inc in &r.incomplete {
+            for m in &inc.matches {
+                println!(
+                    "! left unfixed ({}% match of {}:{}) [{}] {}",
+                    m.score,
+                    inc.origin.file,
+                    inc.origin.line,
+                    m.finding.confidence().name(),
+                    m.finding
+                );
+            }
+        }
+        eprintln!(
+            "{} changed file(s): {} fixed, {} introduced, {} left unfixed",
+            r.files_changed,
+            r.fixed.len(),
+            r.introduced.len(),
+            r.incomplete_total()
+        );
+    }
+    if r.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn history_usage() -> ! {
+    eprintln!("usage: refminer history [--json] [--jobs N] [--cache-dir DIR] <ROOT>");
+    std::process::exit(2);
+}
+
+/// `refminer history <ROOT>`: audit every release tree under ROOT
+/// (labeled by `releases.json`, `history.json`, or sorted
+/// subdirectories) through one shared cache and print findings per
+/// KLoC per subsystem per release — the Faults-in-Linux Figure-1
+/// fault-density methodology. Exit 0 on success, 2 on usage/scan
+/// errors or when ROOT holds no revisions.
+fn history_main() -> ExitCode {
+    let mut json = false;
+    let mut jobs: usize = 0;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => history_usage(),
+            "--json" => json = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| history_usage());
+                match value.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => history_usage(),
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| history_usage()),
+                ))
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                history_usage();
+            }
+            other => {
+                if root.is_some() {
+                    history_usage();
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| history_usage());
+    let mut cache = match &cache_dir {
+        Some(dir) => AuditCache::with_dir(dir),
+        None => AuditCache::new(),
+    };
+    let config = AuditConfig {
+        jobs,
+        ..Default::default()
+    };
+    let report = match refminer::history_audit(&root, &config, &mut cache) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("refminer history: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cache_dir.is_some() {
+        if let Err(e) = cache.save() {
+            eprintln!("refminer history: warning: could not write cache: {e}");
+        }
+    }
+    if json {
+        for line in refminer::render_history_lines(&report) {
+            println!("{line}");
+        }
+    } else {
+        let mut t =
+            Table::new(vec!["release", "subsystem", "findings", "kloc", "per_kloc"]).numeric();
+        for rel in &report.releases {
+            for row in &rel.rows {
+                t.row(vec![
+                    rel.version.clone(),
+                    row.subsystem.clone(),
+                    row.findings.to_string(),
+                    format!("{:.3}", row.lines as f64 / 1000.0),
+                    format!("{:.3}", row.per_kloc()),
+                ]);
+            }
+        }
+        print!("{}", t.render());
+        for rel in &report.releases {
+            eprintln!(
+                "{}: {} files, {} lines, {} finding(s), {} unit(s) re-parsed",
+                rel.version, rel.files, rel.lines, rel.findings, rel.parse_misses
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `refminer eval --fixcheck <ROOT>`: replay every commit of a
+/// `histgen` fix history through the fixcheck pipeline and score the
+/// incomplete-fix reports against the manifests' clone-group ground
+/// truth.
+fn run_fixcheck_eval(opts: &Options) -> ExitCode {
+    let config = AuditConfig {
+        jobs: opts.jobs,
+        ..Default::default()
+    };
+    let eval = match refminer::evaluate_fixcheck(&opts.path, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("refminer: eval --fixcheck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", eval.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let mut t = Table::new(vec![
+        "revision", "group", "expected", "found", "missed", "spurious",
+    ])
+    .numeric();
+    for row in &eval.rows {
+        t.row(vec![
+            row.revision.clone(),
+            row.group.clone().unwrap_or_else(|| "-".to_string()),
+            row.expected.to_string(),
+            row.counts.found.to_string(),
+            row.counts.missed.to_string(),
+            row.counts.spurious.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        eval.totals.found.to_string(),
+        eval.totals.missed.to_string(),
+        eval.totals.spurious.to_string(),
+    ]);
+    print!("{}", t.render());
+    println!("recall: {:.3}", eval.totals.recall());
+    ExitCode::SUCCESS
 }
 
 /// `refminer eval <DIR>`: score the audit's findings against the

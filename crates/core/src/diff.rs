@@ -20,7 +20,7 @@
 //! behind") detector. Those surface as `left_behind` lines, additive
 //! to the delta.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::Path;
 
@@ -115,18 +115,27 @@ pub fn diff_findings(
         .filter(|f| !b_lines.contains(&render_finding_line(f)))
         .cloned()
         .collect();
-    // Pair up pure moves: first unmatched introduced finding with the
-    // same line-masked identity, in canonical order on both sides.
+    // Pair up pure moves by *ordinal within signature bucket*: the
+    // k-th vanished finding with a given line-masked identity pairs
+    // with the k-th appearing one, both in canonical order. With two
+    // byte-identical clone findings in one file (clone groups make
+    // this reachable) a first-match scan over a shared key could
+    // cross-pair them; ordinal pairing keeps each pure line shift
+    // matched to its own twin and never reports it introduced+fixed.
+    // Masked keys are computed once per finding, not once per probe.
+    let mut buckets: HashMap<String, VecDeque<usize>> = HashMap::new();
+    for (i, g) in introduced.iter().enumerate() {
+        buckets.entry(line_masked(g)).or_default().push_back(i);
+    }
     let mut intro_slots: Vec<Option<Finding>> = introduced.into_iter().map(Some).collect();
     let mut moved = Vec::new();
     let mut fixed = Vec::new();
     for f in gone {
-        let key = line_masked(&f);
-        let slot = intro_slots
-            .iter_mut()
-            .find(|s| s.as_ref().is_some_and(|g| line_masked(g) == key));
+        let slot = buckets
+            .get_mut(&line_masked(&f))
+            .and_then(|bucket| bucket.pop_front());
         match slot {
-            Some(s) => moved.push((f, s.take().expect("slot just matched"))),
+            Some(i) => moved.push((f, intro_slots[i].take().expect("each slot pairs once"))),
             None => fixed.push(f),
         }
     }
@@ -294,4 +303,68 @@ pub fn render_diff_lines(d: &DiffDelta) -> Vec<String> {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refminer_checkers::{AntiPattern, EngineId, Impact};
+
+    fn finding_at(line: u32) -> Finding {
+        Finding {
+            pattern: AntiPattern::P1,
+            impact: Impact::Leak,
+            file: "drivers/clones/cg0_unit0.c".to_string(),
+            function: "cg0_site0".to_string(),
+            line,
+            api: "of_find_compatible_node".to_string(),
+            object: Some("np".to_string()),
+            message: "missing of_node_put on the error path".to_string(),
+            feasibility: Default::default(),
+            checkers: vec!["return_error_no_put".to_string()],
+            engines: vec![EngineId::Template],
+        }
+    }
+
+    /// Two byte-identical findings in one file (same function, same
+    /// API, different lines only) shifted down by a pure edit must
+    /// both classify as `moved` — never cross-pair into a spurious
+    /// introduced+fixed pair.
+    #[test]
+    fn identical_twins_shift_as_two_moves() {
+        let a = vec![finding_at(10), finding_at(50)];
+        let b = vec![finding_at(12), finding_at(52)];
+        let (introduced, fixed, moved) = diff_findings(&a, &b);
+        assert!(introduced.is_empty(), "pure shift introduced nothing");
+        assert!(fixed.is_empty(), "pure shift fixed nothing");
+        let pairs: Vec<(u32, u32)> = moved.iter().map(|(f, g)| (f.line, g.line)).collect();
+        assert_eq!(pairs, vec![(10, 12), (50, 52)], "ordinal pairing per twin");
+    }
+
+    /// When one twin is fixed and the other shifts, exactly one move
+    /// and one fix come back, and the pairing stays ordinal.
+    #[test]
+    fn fixed_twin_does_not_steal_the_survivors_move() {
+        let a = vec![finding_at(10), finding_at(50)];
+        let b = vec![finding_at(52)];
+        let (introduced, fixed, moved) = diff_findings(&a, &b);
+        assert!(introduced.is_empty());
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].1.line, 52);
+    }
+
+    /// Findings that differ in anything but the line never pair as
+    /// moves, even at identical lines.
+    #[test]
+    fn different_identity_is_introduced_plus_fixed() {
+        let mut other = finding_at(10);
+        other.function = "cg0_site1".to_string();
+        let a = vec![finding_at(10)];
+        let b = vec![other];
+        let (introduced, fixed, moved) = diff_findings(&a, &b);
+        assert!(moved.is_empty());
+        assert_eq!(introduced.len(), 1);
+        assert_eq!(fixed.len(), 1);
+    }
 }

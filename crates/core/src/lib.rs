@@ -26,6 +26,8 @@ mod cache;
 pub mod cancel;
 mod diff;
 mod eval;
+mod fixcheck;
+mod history;
 pub mod parallel;
 mod project;
 pub mod serve;
@@ -48,6 +50,13 @@ pub use eval::{
     evaluate, evaluate_engines, evaluate_sweep, finding_attributed, Counts, EngineEvalReport,
     EvalReport, EvalRow, SweepCounts, SweepEvalReport, SweepGroupRow,
 };
+pub use fixcheck::{
+    evaluate_fixcheck, fixcheck_audit, fixcheck_project, render_fixcheck_lines, FixcheckEvalReport,
+    FixcheckEvalRow, FixcheckReport,
+};
+pub use history::{
+    history_audit, render_history_lines, subsystem_of, HistoryRelease, HistoryReport, HistoryRow,
+};
 pub use parallel::{effective_jobs, run_indexed, run_indexed_timed, run_indexed_traced};
 pub use project::{Project, ScanDiagnostic, ScanErrorKind, ScanOptions, SourceUnit};
 
@@ -60,6 +69,10 @@ pub use refminer_cpg as cpg;
 pub use refminer_dataset as dataset;
 pub use refminer_delta as delta;
 pub use refminer_delta::DeltaEngine;
+pub use refminer_fixcheck as fixdiff;
+pub use refminer_fixcheck::{
+    infer_intents, parse_diff, render_file_diff, FixDiff, FixIntent, IncompleteFix,
+};
 pub use refminer_progdb as progdb;
 pub use refminer_progdb::ProgramDb;
 pub use refminer_rcapi as rcapi;

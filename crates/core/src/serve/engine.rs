@@ -41,6 +41,7 @@ use crate::audit::{audit_cancellable, AuditConfig, AuditReport};
 use crate::cache::{AuditCache, CacheLoadOutcome};
 use crate::cancel::{CancelReason, CancelToken};
 use crate::diff::{diff_delta, render_diff_lines};
+use crate::fixcheck::{fixcheck_project, render_fixcheck_lines};
 use crate::project::{Project, ScanOptions};
 use crate::{UnitDiagnostic, UnitErrorKind, UnitOutcome};
 
@@ -133,6 +134,10 @@ enum JobKind {
     Diff,
     /// A targeted re-audit after changes to the named files.
     Files(Vec<String>),
+    /// A fixcheck pass: audit the tree, reverse-apply the unified
+    /// diff to audit the pre-fix tree too, and report what the fix
+    /// left behind.
+    Fixcheck(String),
 }
 
 /// How a job ended.
@@ -158,7 +163,20 @@ enum JobOutcome {
         left_behind: usize,
         lines: Vec<String>,
     },
+    /// A `fixcheck` job: the incomplete-fix report, prerendered as the
+    /// same JSONL lines `refminer fixcheck --json` prints.
+    FixcheckDone {
+        revision: u64,
+        fixed: usize,
+        introduced: usize,
+        incomplete: usize,
+        clean: bool,
+        lines: Vec<String>,
+    },
     Cancelled(CancelReason),
+    /// The request itself was invalid (e.g. a malformed or
+    /// inapplicable fix diff) — a client error, not an engine fault.
+    Rejected(String),
     Failed(String),
 }
 
@@ -237,13 +255,17 @@ impl Engine {
             current: Mutex::new(None),
             counters: Counters::default(),
         });
-        // The warm-up audit: no deadline — it's nobody's request, and
-        // shedding or expiring it would just delay first light.
-        shared
-            .queue
-            .lock()
-            .unwrap()
-            .push_back(Job::new(JobKind::Full, CancelToken::new()));
+        // The warm-up audit runs under the default deadline like any
+        // request: it's nobody's request, but an unbounded warm-up
+        // means one hung scan (a stalled NFS mount, an injected stall
+        // fault) blocks the worker before it serves a single job. An
+        // expired warm-up just leaves revision 0; the next audit or
+        // watch trigger retries from a healthy worker.
+        let warmup_deadline = Duration::from_millis(shared.cfg.default_deadline_ms);
+        shared.queue.lock().unwrap().push_back(Job::new(
+            JobKind::Full,
+            CancelToken::with_timeout(warmup_deadline),
+        ));
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::spawn(move || worker_loop(worker_shared));
         Engine {
@@ -307,6 +329,7 @@ impl EngineHandle {
             Method::Audit => self.run_audit_job(req, JobKind::Full),
             Method::AuditDiff => self.run_audit_job(req, JobKind::Diff),
             Method::Reaudit { files } => self.run_audit_job(req, JobKind::Files(files.clone())),
+            Method::Fixcheck { diff } => self.run_audit_job(req, JobKind::Fixcheck(diff.clone())),
         }
     }
 
@@ -468,6 +491,27 @@ impl EngineHandle {
                     ),
                 ]),
             ),
+            JobOutcome::FixcheckDone {
+                revision,
+                fixed,
+                introduced,
+                incomplete,
+                clean,
+                lines,
+            } => Response::ok(
+                id,
+                obj([
+                    ("revision", revision.to_json()),
+                    ("fixed", fixed.to_json()),
+                    ("introduced", introduced.to_json()),
+                    ("incomplete", incomplete.to_json()),
+                    ("clean", clean.into()),
+                    (
+                        "lines",
+                        Value::Arr(lines.iter().map(|l| l.as_str().into()).collect()),
+                    ),
+                ]),
+            ),
             JobOutcome::Cancelled(reason) => {
                 let kind = match reason {
                     CancelReason::DeadlineExceeded => {
@@ -481,6 +525,7 @@ impl EngineHandle {
                 };
                 Response::err(id, kind, format!("audit {}", reason.name()))
             }
+            JobOutcome::Rejected(msg) => Response::err(id, ErrorKind::BadRequest, msg),
             JobOutcome::Failed(msg) => Response::err(id, ErrorKind::Internal, msg),
         }
     }
@@ -716,6 +761,32 @@ fn run_job(
             }
         }
     };
+    // A fixcheck job audits both sides of the fix itself (through the
+    // same shared cache, so only the diffed units re-parse); its diff
+    // errors are the client's fault and map to `bad_request`.
+    if let JobKind::Fixcheck(diff_text) = &job.kind {
+        return match fixcheck_project(&project, diff_text, &cfg.audit, cache) {
+            Ok(fr) => {
+                *revision += 1;
+                let snap = Arc::new(Snapshot::from_report(*revision, &fr.report));
+                *shared.snapshot.lock().unwrap() = Arc::clone(&snap);
+                if cfg.cache_dir.is_some() && cache.save().is_err() {
+                    counters.cache_save_failures.fetch_add(1, Ordering::SeqCst);
+                }
+                counters.audits_ok.fetch_add(1, Ordering::SeqCst);
+                *last_project = Some(project);
+                JobOutcome::FixcheckDone {
+                    revision: snap.revision,
+                    fixed: fr.fixed.len(),
+                    introduced: fr.introduced.len(),
+                    incomplete: fr.incomplete_total(),
+                    clean: fr.is_clean(),
+                    lines: render_fixcheck_lines(&fr),
+                }
+            }
+            Err(msg) => JobOutcome::Rejected(msg),
+        };
+    }
     match audit_cancellable(&project, &cfg.audit, cache, &cfg.trace, &job.cancel) {
         Ok(report) => {
             *revision += 1;

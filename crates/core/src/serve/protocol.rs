@@ -11,6 +11,7 @@
 //! {"id":4,"method":"status"}
 //! {"id":5,"method":"shutdown"}
 //! {"id":6,"method":"auditdiff"}
+//! {"id":7,"method":"fixcheck","params":{"diff":"--- a/f.c\n+++ b/f.c\n…"}}
 //! ```
 //!
 //! Responses are `{"id":N,"ok":true,"result":{…}}` on success and
@@ -56,6 +57,13 @@ pub enum Method {
     Reaudit {
         /// The changed files the client knows about.
         files: Vec<String>,
+    },
+    /// Check a fix diff for incomplete-fix clones against the current
+    /// tree: infer the anti-pattern/API template the diff repairs,
+    /// re-audit, and report sibling sites the fix left unfixed.
+    Fixcheck {
+        /// The unified fix diff text (the commit being checked).
+        diff: String,
     },
     /// Read findings from the current snapshot.
     Query(QueryFilter),
@@ -213,6 +221,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Method::Reaudit { files }
         }
+        "fixcheck" => Method::Fixcheck {
+            diff: get_str("diff").ok_or_else(|| "fixcheck needs a `diff` string".to_string())?,
+        },
         "query" => Method::Query(QueryFilter {
             subsystem: get_str("subsystem"),
             pattern: get_str("pattern"),
@@ -239,6 +250,10 @@ pub fn encode_request(req: &Request) -> String {
         Method::Reaudit { files } => {
             params.push(("files".to_string(), files.to_json()));
             "reaudit"
+        }
+        Method::Fixcheck { diff } => {
+            params.push(("diff".to_string(), diff.as_str().into()));
+            "fixcheck"
         }
         Method::Query(f) => {
             if let Some(s) = &f.subsystem {
@@ -312,6 +327,22 @@ mod tests {
         assert!(parse_request(r#"{"id":1,"method":"reaudit"}"#).is_err());
         assert!(parse_request(r#"{"id":1,"method":"reaudit","params":{"files":[]}}"#).is_err());
         assert!(parse_request(r#"{"id":1,"method":"reaudit","params":{"files":[3]}}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"fixcheck"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"method":"fixcheck","params":{"diff":7}}"#).is_err());
+    }
+
+    #[test]
+    fn parses_fixcheck() {
+        let r = parse_request(
+            r#"{"id":9,"method":"fixcheck","params":{"diff":"--- a/x.c\n+++ b/x.c\n"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.method,
+            Method::Fixcheck {
+                diff: "--- a/x.c\n+++ b/x.c\n".to_string()
+            }
+        );
     }
 
     #[test]
@@ -347,6 +378,13 @@ mod tests {
                 id: 5,
                 method: Method::AuditDiff,
                 deadline_ms: Some(900),
+            },
+            Request {
+                id: 6,
+                method: Method::Fixcheck {
+                    diff: "--- a/x.c\n+++ b/x.c\n@@ -1,2 +1,3 @@\n+\tput(np);\n".to_string(),
+                },
+                deadline_ms: Some(400),
             },
         ];
         for r in reqs {

@@ -41,11 +41,12 @@ fn bench_smoke_script_passes() {
     assert!(v.get("speedup_warm").is_some());
     assert!(v.get("speedup_parallel").is_some());
     assert!(v.get("runs").is_some());
-    // Schema 7: the scaling curve, the binary-vs-JSON load comparison,
+    // Schema 8: the scaling curve, the binary-vs-JSON load comparison,
     // the per-engine phase-2 time split, the fix-history diff replay,
-    // and explicit gate states. A skipped gate must be visible, not a
+    // the fixcheck replay, the release-ladder history replay, and
+    // explicit gate states. A skipped gate must be visible, not a
     // silent pass.
-    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(7.0));
+    assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(8.0));
     let cores = v.get("cores").and_then(|c| c.as_u64()).expect("cores");
     let jobs = v.get("jobs").and_then(|c| c.as_u64()).expect("jobs");
     for gate_key in ["parallel_gate", "streaming_gate"] {
@@ -127,6 +128,45 @@ fn bench_smoke_script_passes() {
         .and_then(|g| g.as_str())
         .expect("diff latency_gate present");
     assert!(diff_gate == "enforced" || diff_gate == "skipped");
+
+    // The fixcheck replay: every commit verdict-checked, latency gate
+    // visibly enforced or skipped.
+    let fixcheck = v.get("fixcheck").expect("fixcheck section present");
+    let fc_commits = fixcheck
+        .get("commits")
+        .and_then(|c| c.as_array())
+        .expect("fixcheck commits present");
+    assert!(!fc_commits.is_empty(), "fixcheck replay must cover commits");
+    for commit in fc_commits {
+        assert!(commit
+            .get("fixcheck_secs")
+            .and_then(|s| s.as_f64())
+            .is_some());
+    }
+    assert_eq!(
+        fixcheck.get("verdicts_correct").and_then(|b| b.as_bool()),
+        Some(true),
+        "fixcheck verdicts diverged from ground truth"
+    );
+    let fc_gate = fixcheck
+        .get("latency_gate")
+        .and_then(|g| g.as_str())
+        .expect("fixcheck latency_gate present");
+    assert!(fc_gate == "enforced" || fc_gate == "skipped");
+
+    // The release-ladder history replay: delta-only re-parse after the
+    // base release is exact, always enforced.
+    let history = v.get("history").expect("history section present");
+    assert!(!history
+        .get("releases")
+        .and_then(|r| r.as_array())
+        .expect("history releases present")
+        .is_empty());
+    assert_eq!(
+        history.get("delta_exact").and_then(|b| b.as_bool()),
+        Some(true),
+        "history replay re-parsed more than each release's delta"
+    );
 
     assert!(v.get("summary_hit_rate").is_some());
     assert!(v.get("cold_phase1_secs").is_some());

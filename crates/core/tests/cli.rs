@@ -546,3 +546,314 @@ fn cache_dir_warm_run_is_byte_identical_and_hits() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_cli_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn histgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_histgen"))
+}
+
+/// Renders the unified diff between two on-disk revision trees the way
+/// a CI bot would hand it to `fixcheck` — via the library's renderer,
+/// so the tests don't depend on an external `diff` binary.
+fn diff_between(a: &std::path::Path, b: &std::path::Path) -> String {
+    let pa = refminer::Project::scan(a).expect("scan rev a");
+    let pb = refminer::Project::scan(b).expect("scan rev b");
+    let old: std::collections::HashMap<&str, &str> = pa
+        .units()
+        .iter()
+        .map(|u| (u.path.as_str(), u.text.as_str()))
+        .collect();
+    let mut out = String::new();
+    for u in pb.units() {
+        let prev = old.get(u.path.as_str()).copied().unwrap_or("");
+        if let Some(d) = refminer::render_file_diff(&u.path, prev, &u.text) {
+            out.push_str(&d);
+        }
+    }
+    out
+}
+
+#[test]
+fn fixcheck_nonexistent_root_exits_two() {
+    let dir = scratch_dir("fixcheck_noroot");
+    let patch = dir.join("fix.patch");
+    std::fs::write(
+        &patch,
+        "--- a/x.c\n+++ b/x.c\n@@ -1 +1 @@\n-int a;\n+int b;\n",
+    )
+    .unwrap();
+    let out = refminer()
+        .arg("fixcheck")
+        .arg("/nonexistent/refminer/root")
+        .arg(&patch)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("refminer fixcheck:"),
+        "wanted a diagnostic, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixcheck_missing_diff_file_exits_two() {
+    let dir = write_demo_tree();
+    let out = refminer()
+        .arg("fixcheck")
+        .arg(&dir)
+        .arg("/nonexistent/refminer/fix.patch")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixcheck_malformed_diff_exits_two_with_diagnostic() {
+    let dir = write_demo_tree();
+    let patch = dir.join("garbage.patch");
+    std::fs::write(&patch, "this is not a unified diff\n").unwrap();
+    let out = refminer()
+        .arg("fixcheck")
+        .arg(&dir)
+        .arg(&patch)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "malformed diff must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("refminer fixcheck:"),
+        "wanted a parse diagnostic, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixcheck_stale_diff_exits_two_not_panic() {
+    // A syntactically fine diff whose context does not match the tree:
+    // the reverse-apply must fail with a located diagnostic.
+    let dir = write_demo_tree();
+    let patch = dir.join("stale.patch");
+    std::fs::write(
+        &patch,
+        "--- a/drivers/demo/demo.c\n+++ b/drivers/demo/demo.c\n\
+         @@ -1,2 +1,2 @@\n line that was never there\n-gone\n+also wrong\n",
+    )
+    .unwrap();
+    let out = refminer()
+        .arg("fixcheck")
+        .arg(&dir)
+        .arg(&patch)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("refminer fixcheck:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn history_nonexistent_root_exits_two() {
+    let out = refminer()
+        .arg("history")
+        .arg("/nonexistent/refminer/releases")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("refminer history:"));
+}
+
+#[test]
+fn history_empty_root_exits_two_with_diagnostic() {
+    let dir = scratch_dir("history_empty");
+    let out = refminer().arg("history").arg(&dir).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "no revisions must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("refminer history:"),
+        "wanted a diagnostic, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn histgen_zero_releases_exits_two() {
+    let dir = scratch_dir("histgen_zero");
+    let out = histgen()
+        .args(["--releases", "0"])
+        .arg(dir.join("out"))
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--releases"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn histgen_unwritable_outdir_exits_two() {
+    // The out path runs through an existing *file*, so every write
+    // fails; the tool must diagnose, not panic.
+    let dir = scratch_dir("histgen_badout");
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let out = histgen()
+        .args(["--scale", "0.02"])
+        .arg(blocker.join("nested"))
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("histgen:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixcheck_cli_reports_the_unfixed_siblings() {
+    let dir = scratch_dir("fixcheck_e2e");
+    let hist = dir.join("hist");
+    let out = histgen()
+        .args(["--scale", "0.02", "--clone-groups", "1"])
+        .arg(&hist)
+        .output()
+        .expect("run histgen");
+    assert!(out.status.success(), "histgen failed");
+    let patch = dir.join("fix.patch");
+    std::fs::write(
+        &patch,
+        diff_between(&hist.join("rev00"), &hist.join("rev01")),
+    )
+    .unwrap();
+
+    let out = refminer()
+        .args(["fixcheck", "--json"])
+        .arg(hist.join("rev01"))
+        .arg(&patch)
+        .output()
+        .expect("run fixcheck");
+    assert_eq!(out.status.code(), Some(1), "incomplete fix must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .last()
+        .and_then(|l| refminer_json::Value::parse(l).ok())
+        .expect("summary line");
+    assert_eq!(
+        summary
+            .get("fixcheck")
+            .and_then(|v| v.as_str().map(String::from)),
+        Some("summary".to_string())
+    );
+    assert_eq!(
+        summary.get("clean").and_then(refminer_json::Value::as_bool),
+        Some(false)
+    );
+    assert!(
+        summary
+            .get("incomplete")
+            .and_then(refminer_json::Value::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "the partial fix must leave siblings behind: {summary}"
+    );
+    // The neutral last commit must come back clean with exit 0.
+    let revs: Vec<_> = std::fs::read_dir(&hist)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.path())
+        .collect();
+    let mut revs = revs;
+    revs.sort();
+    let (prev, last) = (&revs[revs.len() - 2], &revs[revs.len() - 1]);
+    std::fs::write(&patch, diff_between(prev, last)).unwrap();
+    let out = refminer()
+        .arg("fixcheck")
+        .arg(last)
+        .arg(&patch)
+        .output()
+        .expect("run fixcheck neutral");
+    assert_eq!(out.status.code(), Some(0), "neutral diff must be clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eval_fixcheck_has_full_recall_and_zero_spurious() {
+    let dir = scratch_dir("fixcheck_eval");
+    let hist = dir.join("hist");
+    let out = histgen()
+        .args(["--scale", "0.02", "--clone-groups", "2"])
+        .arg(&hist)
+        .output()
+        .expect("run histgen");
+    assert!(out.status.success(), "histgen failed");
+    let out = refminer()
+        .args(["eval", "--fixcheck", "--json"])
+        .arg(&hist)
+        .output()
+        .expect("run eval");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = refminer_json::Value::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("eval json");
+    let totals = v.get("totals").expect("totals");
+    let num = |k: &str| {
+        totals
+            .get(k)
+            .and_then(refminer_json::Value::as_u64)
+            .unwrap()
+    };
+    assert!(num("found") >= 1, "ground truth must be non-empty: {v}");
+    assert_eq!(num("missed"), 0, "recall must be total: {v}");
+    assert_eq!(num("spurious"), 0, "no spurious incompletes: {v}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn history_json_is_byte_identical_across_jobs_and_cache() {
+    let dir = scratch_dir("history_bytes");
+    let rels = dir.join("rels");
+    let out = histgen()
+        .args(["--releases", "3", "--scale", "0.02"])
+        .arg(&rels)
+        .output()
+        .expect("run histgen");
+    assert!(out.status.success(), "histgen failed");
+    let cache = dir.join(".cache");
+    let run = |extra: &[&str]| {
+        let out = refminer()
+            .args(["history", "--json"])
+            .args(extra)
+            .arg(&rels)
+            .output()
+            .expect("run history");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let base = run(&[]);
+    assert_eq!(base, run(&["--jobs", "8"]), "jobs changed history bytes");
+    let cold = run(&["--cache-dir", cache.to_str().unwrap()]);
+    let warm = run(&["--cache-dir", cache.to_str().unwrap()]);
+    assert_eq!(base, cold, "cold cache changed history bytes");
+    assert_eq!(base, warm, "warm cache changed history bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -695,3 +695,102 @@ fn watch_mode_reaudits_on_change() {
     d.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn fixcheck_rpc_reports_incomplete_fix_and_rejects_garbage() {
+    // The tree on disk is the *post-fix* state: demo.c got its
+    // `of_node_put` while sibling demo2.c kept the identical leak.
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_serve_test_fixcheck_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("drivers/demo")).expect("mkdir");
+    std::fs::write(
+        dir.join("drivers/demo/demo.c"),
+        "\nint demo_probe(struct platform_device *pdev)\n{\n\
+         \tstruct device_node *np = of_find_node_by_name(NULL, \"x\");\n\
+         \tif (!np)\n\t\treturn -ENODEV;\n\tof_node_put(np);\n\treturn 0;\n}\n",
+    )
+    .expect("write demo");
+    std::fs::write(
+        dir.join("drivers/demo/demo2.c"),
+        "\nint demo_init(struct platform_device *pdev)\n{\n\
+         \tstruct device_node *np = of_find_node_by_name(NULL, \"y\");\n\
+         \tif (!np)\n\t\treturn -ENODEV;\n\treturn 0;\n}\n",
+    )
+    .expect("write demo2");
+    let diff = "--- a/drivers/demo/demo.c\n+++ b/drivers/demo/demo.c\n\
+                @@ -5,4 +5,5 @@\n \tif (!np)\n \t\treturn -ENODEV;\n\
+                +\tof_node_put(np);\n \treturn 0;\n }\n";
+
+    let d = Daemon::start(&dir, &[], &[]);
+    d.wait_for_revision(1, Duration::from_secs(30));
+    let before = d.revision();
+
+    let v = d.rpc(&Request {
+        id: 7,
+        method: Method::Fixcheck {
+            diff: diff.to_string(),
+        },
+        deadline_ms: Some(30_000),
+    });
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+    let result = v.get("result").cloned().expect("fixcheck result");
+    assert_eq!(
+        result.get("fixed").and_then(Value::as_u64),
+        Some(1),
+        "{result}"
+    );
+    assert_eq!(
+        result.get("clean").and_then(Value::as_bool),
+        Some(false),
+        "{result}"
+    );
+    assert!(
+        result
+            .get("incomplete")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "the sibling leak must be reported: {result}"
+    );
+    let lines = result
+        .get("lines")
+        .and_then(Value::as_array)
+        .expect("lines");
+    assert!(
+        lines
+            .iter()
+            .filter_map(|l| l.as_str())
+            .any(|l| l.contains("demo2.c")),
+        "an incomplete line must name the unfixed sibling: {result}"
+    );
+    assert!(d.revision() > before, "fixcheck publishes a snapshot");
+
+    // A client-side bad diff is a bad_request, not a failed audit.
+    let v = d.rpc(&Request {
+        id: 8,
+        method: Method::Fixcheck {
+            diff: "not a diff at all\n".to_string(),
+        },
+        deadline_ms: Some(30_000),
+    });
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{v}");
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        Some("bad_request".to_string()),
+        "{v}"
+    );
+
+    // Queries after a fixcheck still serve the post-tree snapshot,
+    // byte-identical to the one-shot run.
+    let v = d.rpc(&query_request(9, QueryFilter::default()));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+    d.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,112 @@
+//! The serve engine's warm-up audit must run under the default
+//! deadline like any other job: a stalled scan (an NFS mount that
+//! hangs, an injected stall fault) expires the warm-up instead of
+//! wedging the worker, and the engine recovers to a healthy audit the
+//! moment the I/O unsticks.
+//!
+//! This lives in its own integration-test binary because the fault
+//! plan is process-global: no other test shares the process, so
+//! `install`/`clear` cannot race a neighbour's I/O.
+
+use std::time::{Duration, Instant};
+
+use refminer::serve::protocol::{Method, Request, Response};
+use refminer::serve::{Engine, ServeConfig};
+use refminer_faultio::{FaultOp, FaultPlan};
+use refminer_json::Value;
+
+fn write_demo_tree(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "refminer_warmup_stall_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("drivers/demo")).expect("mkdir");
+    std::fs::write(
+        dir.join("drivers/demo/demo.c"),
+        r#"
+int demo_probe(struct platform_device *pdev)
+{
+        struct device_node *np = of_find_node_by_name(NULL, "x");
+        if (!np)
+                return -ENODEV;
+        return 0;
+}
+"#,
+    )
+    .expect("write demo");
+    dir
+}
+
+fn counter(status: &Value, name: &str) -> u64 {
+    status.get(name).and_then(Value::as_u64).unwrap_or(0)
+}
+
+#[test]
+fn stalled_scan_expires_the_warmup_and_the_engine_recovers() {
+    let dir = write_demo_tree("scan");
+
+    // Every scan syscall sleeps 80ms, so the warm-up's tree walk needs
+    // several hundred ms of wall time against a 40ms deadline. The
+    // stall *proceeds* after sleeping — only the deadline, not an I/O
+    // error, can stop the job.
+    refminer_faultio::install(FaultPlan {
+        seed: 1,
+        rate: 1,
+        ops: vec![FaultOp::Scan, FaultOp::Read],
+        max_failures: None,
+        torn_write_permille: 0,
+        stall_ms: 80,
+    });
+
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.default_deadline_ms = 40;
+    let mut engine = Engine::start(cfg);
+    let handle = engine.handle();
+
+    // The warm-up must cancel, not wedge: poll status until the
+    // counter moves. Unbounded warm-up (the old behavior) would hold
+    // `auditing` through every stalled syscall and then land
+    // revision 1 — the assertions below pin both differences.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let cancelled = loop {
+        let resp = handle.request(&Request {
+            id: 1,
+            method: Method::Status,
+            deadline_ms: None,
+        });
+        let Response::Ok { result: status, .. } = resp else {
+            panic!("status request failed: {resp:?}");
+        };
+        let n = counter(&status, "audits_cancelled");
+        if n >= 1 {
+            break n;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "warm-up neither finished nor cancelled: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(cancelled >= 1, "stalled warm-up must count as cancelled");
+    assert_eq!(
+        handle.revision(),
+        0,
+        "an expired warm-up must not publish a snapshot"
+    );
+
+    // Unstick the I/O: the very next audit must succeed from the same
+    // worker, no restart involved.
+    refminer_faultio::clear();
+    let resp = handle.request(&Request {
+        id: 2,
+        method: Method::Audit,
+        deadline_ms: Some(30_000),
+    });
+    assert!(resp.is_ok(), "post-stall audit failed: {resp:?}");
+    assert!(handle.revision() >= 1, "recovered audit must publish");
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -41,8 +41,9 @@ pub use subsystems::{
     SUBSYSTEM_KLOC,
 };
 pub use tree::{
-    generate_big_tree, generate_fix_history, generate_tree, next_revision, BigTreeConfig,
-    CloneGroup, CloneMember, FpTrap, InjectedBug, Manifest, SourceFile, SyntheticTree, TreeConfig,
-    TreeRev, CLONE_GROUP_SIZE,
+    generate_big_tree, generate_fix_history, generate_release_history, generate_tree,
+    next_revision, release_version, BigTreeConfig, CloneGroup, CloneMember, FpTrap, InjectedBug,
+    Manifest, ReleaseHistoryConfig, ReleaseRev, SourceFile, SyntheticTree, TreeConfig, TreeRev,
+    CLONE_GROUP_SIZE, RELEASE_LADDER,
 };
 pub use workload::{generate_workload, WorkloadConfig, WorkloadOp};

@@ -1369,10 +1369,264 @@ pub fn generate_big_tree(cfg: &BigTreeConfig) -> SyntheticTree {
     SyntheticTree { files, manifest }
 }
 
+/// Release labels for [`generate_release_history`], spanning the
+/// paper's v2.6.12 → v6.x study window (Faults-in-Linux Figure 1).
+pub const RELEASE_LADDER: [&str; 10] = [
+    "v2.6.12", "v2.6.27", "v3.0", "v3.10", "v4.0", "v4.14", "v5.0", "v5.10", "v6.0", "v6.6",
+];
+
+/// Configuration for [`generate_release_history`].
+#[derive(Debug, Clone)]
+pub struct ReleaseHistoryConfig {
+    /// RNG seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Scale factor forwarded to every stamped [`TreeConfig`].
+    pub scale: f64,
+    /// Number of releases, the base import included.
+    pub releases: usize,
+    /// Clone groups injected into the base release (partial fixes
+    /// repair one member per release while groups remain).
+    pub clone_groups: usize,
+}
+
+impl Default for ReleaseHistoryConfig {
+    fn default() -> Self {
+        ReleaseHistoryConfig {
+            seed: 0x6e1ea5e,
+            scale: 0.25,
+            releases: 5,
+            clone_groups: 2,
+        }
+    }
+}
+
+/// One release of a simulated kernel history.
+#[derive(Debug, Clone)]
+pub struct ReleaseRev {
+    /// Version label from [`RELEASE_LADDER`] (`v2.6.12`, …).
+    pub version: String,
+    /// The full tree at this release, manifest included.
+    pub tree: SyntheticTree,
+    /// Files this release added over the previous one (LoC growth).
+    pub added_files: usize,
+    /// Clone members repaired by this release, as
+    /// `(group, path, function)` triples.
+    pub fixed: Vec<(String, String, String)>,
+}
+
+/// The version label for release index `i`: the ladder while it
+/// lasts, then synthetic `v6.x` labels beyond it.
+pub fn release_version(i: usize) -> String {
+    if i < RELEASE_LADDER.len() {
+        RELEASE_LADDER[i].to_string()
+    } else {
+        format!("v6.{}", 6 + 2 * (i - RELEASE_LADDER.len() + 1))
+    }
+}
+
+/// Generates a seeded v2.6 → v6.x-style release sequence: the base
+/// release is a [`generate_tree`] stamping (clone groups included);
+/// every later release *grows* the tree by one independently-seeded
+/// replica (nested via the big-tree path scheme so earlier files stay
+/// byte-identical) and, while unfixed clone groups remain, repairs
+/// one group's first member — the incomplete-fix shape. Each
+/// release's manifest is ground truth for that release.
+///
+/// Deterministic given `cfg`; because untouched files are
+/// byte-identical across consecutive releases, a shared audit cache
+/// re-parses only each release's delta.
+pub fn generate_release_history(cfg: &ReleaseHistoryConfig) -> Vec<ReleaseRev> {
+    let kb = ApiKb::builtin();
+    let base = generate_tree(&TreeConfig {
+        seed: cfg.seed,
+        scale: cfg.scale,
+        clone_groups: cfg.clone_groups,
+        ..TreeConfig::default()
+    });
+    let base_files = base.files.len();
+    let mut revs = vec![ReleaseRev {
+        version: release_version(0),
+        tree: base.clone(),
+        added_files: base_files,
+        fixed: Vec::new(),
+    }];
+    let mut cur = base;
+    for i in 1..cfg.releases {
+        let mut tree = cur.clone();
+        let mut fixed = Vec::new();
+        // (a) Partial fix: repair the next clone group's first member,
+        // exactly like a fix-history commit.
+        let g = i - 1;
+        if g < cfg.clone_groups {
+            let (pattern, api) = CLONE_SHAPES[g % CLONE_SHAPES.len()];
+            let (fixed_file, function) = clone_member_file(cfg.seed, g, 0, pattern, api, &kb, true);
+            let slot = tree
+                .files
+                .iter_mut()
+                .find(|f| f.path == fixed_file.path)
+                .expect("clone member file exists in base release");
+            slot.content = fixed_file.content;
+            tree.manifest
+                .bugs
+                .retain(|b| !(b.path == fixed_file.path && b.function == function));
+            tree.manifest.clean_functions += 1;
+            if let Some(grp) = tree
+                .manifest
+                .clone_groups
+                .iter_mut()
+                .find(|c| c.group == format!("cg{g}"))
+            {
+                if let Some(m) = grp.members.iter_mut().find(|m| m.function == function) {
+                    m.fixed = true;
+                }
+            }
+            fixed.push((format!("cg{g}"), fixed_file.path, function));
+        }
+        // (b) LoC growth: stamp one fresh replica of the Table 5 plan
+        // under release-keyed nested paths (shared headers already
+        // exist and are kept verbatim).
+        let replica_cfg = TreeConfig {
+            seed: cfg
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            scale: cfg.scale,
+            ..TreeConfig::default()
+        };
+        let replica = generate_tree(&replica_cfg);
+        let mut added_files = 0usize;
+        for f in replica.files {
+            if SHARED_PREAMBLE.contains(&f.path.as_str()) {
+                continue;
+            }
+            added_files += 1;
+            tree.files.push(SourceFile {
+                path: replica_path(&f.path, i),
+                content: f.content,
+            });
+        }
+        tree.manifest
+            .bugs
+            .extend(replica.manifest.bugs.into_iter().map(|mut b| {
+                b.path = replica_path(&b.path, i);
+                b
+            }));
+        tree.manifest.tricky.extend(
+            replica
+                .manifest
+                .tricky
+                .into_iter()
+                .map(|(path, func)| (replica_path(&path, i), func)),
+        );
+        tree.manifest.clean_functions += replica.manifest.clean_functions;
+        tree.manifest
+            .fp_traps
+            .extend(replica.manifest.fp_traps.into_iter().map(|mut t| {
+                t.path = replica_path(&t.path, i);
+                t
+            }));
+        revs.push(ReleaseRev {
+            version: release_version(i),
+            tree: tree.clone(),
+            added_files,
+            fixed,
+        });
+        cur = tree;
+    }
+    revs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn release_history_grows_and_stays_deterministic() {
+        let cfg = ReleaseHistoryConfig {
+            seed: 0xfeed,
+            scale: 0.05,
+            releases: 4,
+            clone_groups: 2,
+        };
+        let a = generate_release_history(&cfg);
+        let b = generate_release_history(&cfg);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].version, "v2.6.12");
+        assert_eq!(a[1].version, "v2.6.27");
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.tree.files.len(), rb.tree.files.len());
+            for (fa, fb) in ra.tree.files.iter().zip(&rb.tree.files) {
+                assert_eq!(fa.path, fb.path);
+                assert_eq!(fa.content, fb.content);
+            }
+        }
+        // LoC growth is monotone, and no paths collide.
+        for w in a.windows(2) {
+            assert!(w[1].tree.total_lines() > w[0].tree.total_lines());
+            assert!(w[1].tree.files.len() > w[0].tree.files.len());
+        }
+        for rel in &a {
+            let paths: HashSet<&str> = rel.tree.files.iter().map(|f| f.path.as_str()).collect();
+            assert_eq!(paths.len(), rel.tree.files.len(), "paths collide");
+        }
+    }
+
+    #[test]
+    fn release_history_fixes_one_clone_member_per_release() {
+        let cfg = ReleaseHistoryConfig {
+            seed: 0xfeed,
+            scale: 0.05,
+            releases: 4,
+            clone_groups: 2,
+        };
+        let revs = generate_release_history(&cfg);
+        assert_eq!(revs[0].fixed.len(), 0);
+        assert_eq!(revs[1].fixed.len(), 1);
+        assert_eq!(revs[1].fixed[0].0, "cg0");
+        assert_eq!(revs[2].fixed[0].0, "cg1");
+        assert!(revs[3].fixed.is_empty(), "groups exhausted, growth only");
+        // The repaired member's bug entry is gone and its flag set.
+        let (_, path, function) = &revs[1].fixed[0];
+        let m = &revs[1].tree.manifest;
+        assert!(!m
+            .bugs
+            .iter()
+            .any(|b| b.path == *path && b.function == *function));
+        let member = m
+            .clone_groups
+            .iter()
+            .find(|g| g.group == "cg0")
+            .unwrap()
+            .members
+            .iter()
+            .find(|mm| mm.function == *function)
+            .unwrap();
+        assert!(member.fixed);
+        // Untouched base files are byte-identical across releases, so
+        // a shared cache re-parses only the delta.
+        let base: std::collections::HashMap<&str, &str> = revs[0]
+            .tree
+            .files
+            .iter()
+            .map(|f| (f.path.as_str(), f.content.as_str()))
+            .collect();
+        let changed: Vec<&str> = revs[1]
+            .tree
+            .files
+            .iter()
+            .filter(|f| base.get(f.path.as_str()).is_some_and(|c| *c != f.content))
+            .map(|f| f.path.as_str())
+            .collect();
+        assert_eq!(changed, vec![path.as_str()]);
+    }
+
+    #[test]
+    fn release_version_ladder_extends() {
+        assert_eq!(release_version(0), "v2.6.12");
+        assert_eq!(release_version(9), "v6.6");
+        assert_eq!(release_version(10), "v6.8");
+        assert_eq!(release_version(11), "v6.10");
+    }
 
     #[test]
     fn big_tree_is_deterministic_and_collision_free() {

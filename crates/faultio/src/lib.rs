@@ -11,7 +11,7 @@
 //! exactly when `fnv(seed, kind, n) % rate == 0`, so a failing run can
 //! be replayed bit-for-bit by reusing the seed.
 //!
-//! Two fault shapes:
+//! Three fault shapes:
 //!
 //! - **Erroring** — the wrapper returns `io::Error` (kind `Other`,
 //!   message prefixed `injected fault:`) without touching the
@@ -20,6 +20,12 @@
 //!   of the content and then errors, simulating a process killed (or a
 //!   disk filled) mid-write. This is what makes the atomic-rename save
 //!   path testable without real `kill -9` timing races.
+//! - **Stall** — with [`FaultPlan::stall_ms`] set, a scheduled call
+//!   *sleeps* that long and then proceeds normally instead of erroring.
+//!   Models a hung NFS mount or a disk spinning up: the operation
+//!   eventually succeeds, but anything waiting on it without a deadline
+//!   hangs with it. The sleep happens outside the plan lock, so other
+//!   threads' I/O keeps flowing while one call stalls.
 //!
 //! The schedule is global to the process (a `Mutex<Option<Plan>>`), so
 //! a daemon under test can have faults injected into every layer at
@@ -96,6 +102,11 @@ pub struct FaultPlan {
     /// content (in per-mille, so `500` = half) before erroring — the
     /// torn-write shape. `0` means fail before writing anything.
     pub torn_write_permille: u16,
+    /// When nonzero, a scheduled call sleeps this many milliseconds and
+    /// then *proceeds normally* instead of erroring — the stall shape.
+    /// Counts toward [`FaultStats::injected`] and `max_failures` like
+    /// an erroring fault.
+    pub stall_ms: u64,
 }
 
 impl FaultPlan {
@@ -107,11 +118,12 @@ impl FaultPlan {
             ops: FaultOp::all().to_vec(),
             max_failures: None,
             torn_write_permille: 500,
+            stall_ms: 0,
         }
     }
 
     /// Parses the `REFMINER_FAULTS` syntax:
-    /// `seed=N,rate=N[,ops=read+write+rename][,max=N][,torn=N]`.
+    /// `seed=N,rate=N[,ops=read+write+rename][,max=N][,torn=N][,stall=N]`.
     /// Unknown keys and malformed values yield `None` — a typo must
     /// never silently run faultless.
     pub fn parse(spec: &str) -> Option<FaultPlan> {
@@ -121,6 +133,7 @@ impl FaultPlan {
             ops: FaultOp::all().to_vec(),
             max_failures: None,
             torn_write_permille: 500,
+            stall_ms: 0,
         };
         for part in spec.split(',') {
             let part = part.trim();
@@ -133,6 +146,7 @@ impl FaultPlan {
                 "rate" => plan.rate = value.trim().parse().ok()?,
                 "max" => plan.max_failures = Some(value.trim().parse().ok()?),
                 "torn" => plan.torn_write_permille = value.trim().parse().ok()?,
+                "stall" => plan.stall_ms = value.trim().parse().ok()?,
                 "ops" => {
                     plan.ops = value
                         .split('+')
@@ -233,9 +247,20 @@ fn fnv_mix(mut h: u64, word: u64) -> u64 {
     h
 }
 
-/// Consults the schedule for one call of `op`. Returns `Some(permille)`
-/// when the call must fail (`permille` only matters for torn writes).
-fn should_fail(op: FaultOp) -> Option<u16> {
+/// What the schedule decided for one call.
+enum Injection {
+    /// Return an injected `io::Error` (carries the torn-write permille,
+    /// which only [`write`] consults).
+    Fail(u16),
+    /// Sleep this many milliseconds, then proceed normally.
+    Stall(u64),
+}
+
+/// Consults the schedule for one call of `op`. The decision is taken
+/// under the plan lock; a stall's sleep is performed by the wrapper
+/// *after* the lock is released so one stalled call never blocks the
+/// schedule for other threads.
+fn consult(op: FaultOp) -> Option<Injection> {
     maybe_init_from_env();
     if !ARMED.load(Ordering::Relaxed) {
         return None;
@@ -256,9 +281,25 @@ fn should_fail(op: FaultOp) -> Option<u16> {
     let h = fnv_mix(fnv_mix(fnv_mix(FNV_OFFSET, active.plan.seed), i as u64), n);
     if h.is_multiple_of(active.plan.rate) {
         active.stats.injected[i] += 1;
-        Some(active.plan.torn_write_permille)
+        if active.plan.stall_ms > 0 {
+            Some(Injection::Stall(active.plan.stall_ms))
+        } else {
+            Some(Injection::Fail(active.plan.torn_write_permille))
+        }
     } else {
         None
+    }
+}
+
+/// Consults the schedule for one call of `op`, absorbing any stall
+/// in-place. Returns `Some(permille)` exactly when the call must fail.
+fn should_fail(op: FaultOp) -> Option<u16> {
+    match consult(op)? {
+        Injection::Fail(permille) => Some(permille),
+        Injection::Stall(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
     }
 }
 
@@ -514,6 +555,7 @@ mod tests {
                 ops: vec![FaultOp::Read],
                 max_failures: None,
                 torn_write_permille: 0,
+                stall_ms: 0,
             });
             (0..32).map(|_| read(&p).is_err()).collect()
         };
@@ -539,6 +581,7 @@ mod tests {
             ops: vec![FaultOp::Write],
             max_failures: None,
             torn_write_permille: 500,
+            stall_ms: 0,
         });
         let err = write(&p, "0123456789").unwrap_err();
         clear();
@@ -559,6 +602,7 @@ mod tests {
             ops: vec![FaultOp::Read],
             max_failures: Some(2),
             torn_write_permille: 0,
+            stall_ms: 0,
         });
         let failures = (0..10).filter(|_| read(&p).is_err()).count();
         let stats = stats().unwrap();
@@ -577,6 +621,12 @@ mod tests {
         assert_eq!(plan.ops, vec![FaultOp::Read, FaultOp::Rename]);
         assert_eq!(plan.max_failures, Some(3));
         assert_eq!(plan.torn_write_permille, 250);
+        assert_eq!(plan.stall_ms, 0);
+        assert_eq!(
+            FaultPlan::parse("seed=1,rate=1,stall=40").unwrap().stall_ms,
+            40
+        );
+        assert!(FaultPlan::parse("stall=abc").is_none());
         assert!(FaultPlan::parse("seed=9,bogus=1").is_none());
         assert!(FaultPlan::parse("ops=read+typo").is_none());
         assert!(FaultPlan::parse("rate=abc").is_none());
@@ -619,10 +669,41 @@ mod tests {
             ops: vec![FaultOp::Read],
             max_failures: None,
             torn_write_permille: 0,
+            stall_ms: 0,
         });
         let err = read_mapped(&p).unwrap_err();
         clear();
         assert!(err.to_string().contains("injected fault: read"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_sleeps_then_proceeds() {
+        let _gate = lock_plan();
+        let dir = tmp("stall");
+        let p = dir.join("x.txt");
+        std::fs::write(&p, "slow but fine").unwrap();
+        install(FaultPlan {
+            seed: 4,
+            rate: 1,
+            ops: vec![FaultOp::Read],
+            max_failures: None,
+            torn_write_permille: 0,
+            stall_ms: 30,
+        });
+        let start = std::time::Instant::now();
+        let got = read_to_string(&p);
+        let elapsed = start.elapsed();
+        let stats = stats().unwrap();
+        clear();
+        // The call succeeds — a stall delays, it does not error.
+        assert_eq!(got.unwrap(), "slow but fine");
+        assert!(
+            elapsed >= std::time::Duration::from_millis(30),
+            "stall must actually sleep (took {elapsed:?})"
+        );
+        // And it is visible in stats like any other injected fault.
+        assert_eq!(stats.injected[FaultOp::Read as usize], 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

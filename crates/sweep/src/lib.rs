@@ -86,9 +86,14 @@ impl StructSig {
             .count() as u32
     }
 
-    /// Similarity as an integer percentage (exact, JSON-stable).
+    /// Similarity as an integer percentage, rounded to nearest
+    /// (JSON-stable). At the [`MIN_SCORE`] boundary this makes the
+    /// reported number honest about which side it falls on: 5 of 9
+    /// bits is 55.6% → 56 (a match), 4 of 9 is 44.4% → 44 (not one),
+    /// so "score ≥ 50" is exactly the "at least half the bits agree"
+    /// contract — with 9 bits that means ≥5 matched.
     pub fn score(&self, other: &StructSig) -> u32 {
-        self.matched(other) * 100 / SIG_BITS
+        (self.matched(other) * 200 + SIG_BITS) / (2 * SIG_BITS)
     }
 }
 
@@ -526,5 +531,41 @@ static int epsilon_probe(struct platform_device *pdev)
         assert_eq!(a.score(&b), b.score(&a));
         assert_eq!(a.score(&a), 100);
         assert!(a.score(&b) < 100);
+    }
+
+    /// The MIN_SCORE boundary in bits: 5 of 9 matched bits rounds to
+    /// 56 and clears the floor, 4 of 9 rounds to 44 and does not —
+    /// "score ≥ 50" is exactly "at least half the bits agree".
+    #[test]
+    fn score_floor_boundary_at_four_and_five_bits() {
+        // All-true vs a signature with exactly N bits flipped back.
+        let all = StructSig {
+            null_guard: true,
+            error_return: true,
+            error_blocks: true,
+            paired_dec: true,
+            returns_object: true,
+            stores_object: true,
+            derefs_object: true,
+            in_loop: true,
+            release_like: true,
+        };
+        let five_matched = StructSig {
+            null_guard: false,
+            error_return: false,
+            error_blocks: false,
+            paired_dec: false,
+            ..all
+        };
+        let four_matched = StructSig {
+            returns_object: false,
+            ..five_matched
+        };
+        assert_eq!(all.matched(&five_matched), 5);
+        assert_eq!(all.score(&five_matched), 56);
+        assert!(all.score(&five_matched) >= MIN_SCORE);
+        assert_eq!(all.matched(&four_matched), 4);
+        assert_eq!(all.score(&four_matched), 44);
+        assert!(all.score(&four_matched) < MIN_SCORE);
     }
 }

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # One-shot release gate: fmt → clippy → build → test → chaos → trace →
-# serve → diff → bench, fail fast, and end with a single "verify.sh:
-# PASS" or "verify.sh: FAIL (<step>)" verdict line.
+# serve → diff → fixcheck → bench, fail fast, and end with a single
+# "verify.sh: PASS" or "verify.sh: FAIL (<step>)" verdict line.
 #
 # Env:
 #   VERIFY_SKIP     space-separated step names to skip
 #                   (any of: fmt clippy build test chaos trace serve diff
-#                   bench bigbench)
+#                   fixcheck bench bigbench)
 #   VERIFY_BIG      1 = add a kernel-scale corpus smoke (benchpipe --big
 #                   gates on a ~10k-file / ~1 MLoC tree; minutes, not
 #                   seconds, so off by default)
@@ -49,6 +49,7 @@ step chaos bash "$here/scripts/chaos.sh"
 step trace bash "$here/scripts/trace_smoke.sh"
 step serve bash "$here/scripts/serve_smoke.sh"
 step diff bash "$here/scripts/diff_smoke.sh"
+step fixcheck bash "$here/scripts/fixcheck_smoke.sh"
 step bench bash "$here/scripts/bench.sh"
 if [ "${VERIFY_BIG:-0}" = "1" ]; then
     # The big-corpus smoke: bench.sh with its big mode on, the small
